@@ -1,0 +1,97 @@
+// EXP-F — ML-enhanced search (paper §3.2): the AI+R tree routes
+// high-overlap range queries through learned per-leaf classifiers
+// (skipping internal-node traversal) and falls back to the classic R-tree
+// for low-overlap queries. Sweep query size (overlap level); report node
+// accesses and recall of the AI path.
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "spatial/air_tree.h"
+#include "workload/spatial_gen.h"
+
+namespace {
+
+using namespace ml4db;
+using namespace ml4db::spatial;
+
+Rect ToRect(const workload::Rect2& r) { return {r.xlo, r.ylo, r.xhi, r.yhi}; }
+
+}  // namespace
+
+int main() {
+  using namespace ml4db;
+  // Rectangle objects (not points): leaf MBRs accumulate dead space, so
+  // many leaves intersect a query without contributing results — exactly
+  // the accesses the learned AI-tree skips.
+  constexpr size_t kObjects = 60'000;
+  workload::SpatialGenOptions opts;
+  opts.distribution = workload::SpatialDistribution::kClustered;
+  opts.seed = 51;
+  const auto rects = workload::GenerateRects(kObjects, opts, 0.001, 0.01);
+  std::vector<SpatialEntry> entries(rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    entries[i] = {ToRect(rects[i]), i};
+  }
+  // Small nodes (fanout 8): the internal-node traversal the AI-tree skips
+  // is a meaningful fraction of the work, as with disk-page-sized nodes.
+  RTree::Options topts;
+  topts.max_entries = 8;
+  topts.min_entries = 2;
+  RTree tree(topts);
+  tree.BulkLoadStr(entries);
+
+  bench::PrintHeader("EXP-F AI+R routed search vs classic R-tree");
+  bench::Table table({"query_sel", "overlap", "rtree_acc", "air_acc",
+                      "ai_recall", "routed_frac"});
+  for (double sel : {0.001, 0.01, 0.05, 0.15}) {
+    // One stream split into history (training) and fresh arrivals (test) —
+    // clustered generators tie their hot spots to the seed, so train/test
+    // must share it to model a consistent workload.
+    workload::SpatialGenOptions qopts = opts;
+    qopts.seed = 52;
+    const auto stream = workload::GenerateRangeQueries(550, sel, qopts);
+    const std::vector<workload::Rect2> train_wq(stream.begin(),
+                                                stream.begin() + 250);
+    const std::vector<workload::Rect2> test_wq(stream.begin() + 250,
+                                               stream.end());
+    std::vector<Rect> train;
+    for (const auto& q : train_wq) train.push_back(ToRect(q));
+
+    AirTree air(&tree, AirTree::Options{});
+    air.Train(train);
+
+    double acc_rtree = 0, acc_air = 0, recall = 0, routed = 0, overlap = 0;
+    size_t recall_n = 0;
+    for (const auto& wq : test_wq) {
+      const Rect q = ToRect(wq);
+      const auto classic = tree.RangeQuery(q);
+      const auto routed_result = air.RangeQuery(q);
+      acc_rtree += static_cast<double>(classic.nodes_accessed);
+      acc_air += static_cast<double>(routed_result.nodes_accessed);
+      overlap += static_cast<double>(classic.nodes_accessed);
+      const auto predicted = air.PredictLeaves(q);
+      if (predicted.size() >= 4) routed += 1.0;
+      if (!classic.results.empty()) {
+        const std::set<uint64_t> truth(classic.results.begin(),
+                                       classic.results.end());
+        size_t hit = 0;
+        for (uint64_t id : routed_result.results) hit += truth.count(id);
+        recall += static_cast<double>(hit) / truth.size();
+        ++recall_n;
+      }
+    }
+    const double n = static_cast<double>(test_wq.size());
+    table.AddRow({bench::Fmt(sel, 3), bench::Fmt(overlap / n, 1),
+                  bench::Fmt(acc_rtree / n, 1), bench::Fmt(acc_air / n, 1),
+                  bench::Fmt(recall_n ? recall / recall_n : 1.0, 3),
+                  bench::Fmt(routed / n, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): on high-overlap (large) queries the AI-routed "
+      "path needs fewer accesses than full traversal while recall stays "
+      "high; low-overlap queries fall back to the R-tree (routed_frac "
+      "small, identical accesses).\n");
+  return 0;
+}

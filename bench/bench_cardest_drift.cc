@@ -1,0 +1,94 @@
+// EXP-K — cardinality estimation under data drift (paper §3.3, open
+// problem 2): stream of single-table queries; mid-stream the data shifts.
+// Policies compared: stale (never update), warper (drift detection +
+// evidence decay + streaming refit), retrain (periodic full refit — the
+// expensive upper bound), and the classical histogram after re-ANALYZE.
+// Reported as windowed median q-error across the stream.
+
+#include "bench/bench_util.h"
+#include "costest/estimators.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace ml4db;
+  bench::BenchDb bdb = bench::MakeBenchDb(131, 30000, 1500, 3);
+  engine::Database& db = *bdb.db;
+
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 1;
+  qopts.seed = 132;
+  workload::QueryGenerator gen(bdb.schema_ptr.get(), qopts);
+  auto next_fact = [&] {
+    while (true) {
+      engine::Query q = gen.Next();
+      if (q.tables[0] == "fact") return q;
+    }
+  };
+
+  auto vec = std::make_shared<costest::SingleTableVectorizer>(&db, "fact");
+  costest::LwGpEstimator stale(vec, costest::LwGpEstimator::Options{});
+  costest::LwGpEstimator adaptive(vec, costest::LwGpEstimator::Options{});
+  costest::WarperAdapter warper(&adaptive, costest::WarperAdapter::Options{});
+  // "retrain": keeps a buffer of the last window and refits from scratch
+  // each window (expensive but optimal recency).
+  std::vector<std::pair<engine::Query, double>> recent;
+
+  // Warm-up phase.
+  for (int i = 0; i < 250; ++i) {
+    engine::Query q = next_fact();
+    auto r = db.Run(q);
+    ML4DB_CHECK(r.ok());
+    const double card = static_cast<double>(r->count);
+    stale.Observe(q, card);
+    warper.ObserveFeedback(q, card);
+    recent.emplace_back(q, card);
+  }
+
+  bench::PrintHeader("EXP-K q-error stream with mid-stream data drift");
+  bench::Table table({"phase", "window", "stale_p50", "warper_p50",
+                      "retrain_p50", "drifts"});
+
+  int window_id = 0;
+  auto run_window = [&](const std::string& phase) {
+    ++window_id;
+    std::vector<double> es, ew, er, truth;
+    // Periodic retrain policy: fresh model on the last 150 observations.
+    costest::LwGpEstimator retrained(vec, costest::LwGpEstimator::Options{});
+    const size_t start = recent.size() > 150 ? recent.size() - 150 : 0;
+    for (size_t i = start; i < recent.size(); ++i) {
+      retrained.Observe(recent[i].first, recent[i].second);
+    }
+    for (int i = 0; i < 80; ++i) {
+      engine::Query q = next_fact();
+      auto r = db.Run(q);
+      ML4DB_CHECK(r.ok());
+      const double card = static_cast<double>(r->count);
+      es.push_back(stale.EstimateCardinality(q));
+      ew.push_back(warper.EstimateCardinality(q));
+      er.push_back(retrained.EstimateCardinality(q));
+      truth.push_back(card);
+      warper.ObserveFeedback(q, card);
+      recent.emplace_back(q, card);
+    }
+    table.AddRow({phase, std::to_string(window_id),
+                  bench::Fmt(ml::SummarizeQErrors(es, truth).median, 2),
+                  bench::Fmt(ml::SummarizeQErrors(ew, truth).median, 2),
+                  bench::Fmt(ml::SummarizeQErrors(er, truth).median, 2),
+                  std::to_string(warper.drifts_handled())});
+  };
+
+  run_window("pre-drift");
+  run_window("pre-drift");
+  ML4DB_CHECK(
+      workload::InjectDataDrift(&db, bdb.schema(), 60000, 0.12, 133, true).ok());
+  run_window("post-drift");
+  run_window("post-drift");
+  run_window("post-drift");
+  table.Print();
+  std::printf(
+      "\nShape check (paper): post-drift the stale model's q-error blows "
+      "up and stays high; warper detects the shift and re-converges toward "
+      "the periodic-retrain bound at a fraction of its cost.\n");
+  return 0;
+}

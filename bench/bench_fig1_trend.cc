@@ -1,0 +1,45 @@
+// FIG1 — regenerates Figure 1 of the paper: the SIGMOD/VLDB publication
+// trend for machine learning on data indexes & query optimizers, split by
+// paradigm (replacement vs ML-enhanced), from the embedded survey corpus.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "survey/corpus.h"
+
+int main() {
+  using namespace ml4db;
+  bench::PrintHeader("FIG1: publication trend (replacement vs ML-enhanced)");
+  std::printf("%s\n", survey::RenderTrendTable().c_str());
+
+  // The observation the paper draws from the figure, checked numerically.
+  for (auto component :
+       {survey::Component::kIndex, survey::Component::kQueryOptimizer}) {
+    const auto trend = survey::PublicationTrend(component);
+    int early_repl = 0, early_enh = 0, late_repl = 0, late_enh = 0;
+    for (const auto& cell : trend) {
+      if (cell.year <= 2020) {
+        early_repl += cell.replacement;
+        early_enh += cell.enhanced;
+      } else {
+        late_repl += cell.replacement;
+        late_enh += cell.enhanced;
+      }
+    }
+    std::printf(
+        "%s: 2018-2020 repl=%d enh=%d | 2021-2023 repl=%d enh=%d -> "
+        "shift toward ML-enhanced: %s\n",
+        survey::ComponentName(component), early_repl, early_enh, late_repl,
+        late_enh, (late_enh > late_repl && early_repl > early_enh) ? "YES" : "NO");
+  }
+
+  bench::PrintHeader("surveyed corpus");
+  bench::Table table({"year", "venue", "component", "paradigm", "system"});
+  for (const auto& pub : survey::Corpus()) {
+    table.AddRow({std::to_string(pub.year), pub.venue,
+                  survey::ComponentName(pub.component),
+                  survey::ParadigmName(pub.paradigm), pub.name});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// EXP-P — learned index recommendation ("AI meets AI", paper refs [5, 37]):
+// the classical what-if advisor trusts the optimizer's cost model, so when
+// that model is miscalibrated against the hardware its picks misfire. The
+// learned advisor measures real executions for a few candidates and
+// generalizes through features — its recommendations track actual latency.
+// Compare realized workload speed-up of both advisors, plus the exhaustive
+// oracle, under calibrated and miscalibrated cost models.
+
+#include "common/math_util.h"
+#include "bench/bench_util.h"
+#include "advisor/index_advisor.h"
+
+namespace {
+
+using namespace ml4db;
+
+// Builds a fresh DB without indexes and a workload over it.
+struct Setup {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<workload::SyntheticSchema> schema;
+  std::vector<engine::Query> workload;
+};
+
+Setup MakeSetup(const engine::DatabaseOptions& dopts, uint64_t seed) {
+  Setup s;
+  s.db = std::make_unique<engine::Database>(dopts);
+  workload::SchemaGenOptions opts;
+  opts.num_dimensions = 4;
+  opts.fact_rows = 12000;
+  opts.dim_rows = 800;
+  opts.seed = seed;
+  opts.build_indexes = false;
+  auto schema = workload::BuildSyntheticDb(s.db.get(), opts);
+  ML4DB_CHECK_MSG(schema.ok(), "schema build failed");
+  s.schema = std::make_unique<workload::SyntheticSchema>(std::move(*schema));
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 4;
+  qopts.seed = seed ^ 0xadULL;
+  workload::QueryGenerator gen(s.schema.get(), qopts);
+  s.workload = gen.Batch(30);
+  return s;
+}
+
+// Applies `rec`, measures, and reverts.
+double RealizedLatency(engine::Database* db,
+                       const std::vector<engine::Query>& workload,
+                       const advisor::Recommendation& rec) {
+  ML4DB_CHECK(advisor::ApplyRecommendation(db, rec).ok());
+  auto lat = advisor::MeasureWorkloadLatency(*db, workload);
+  ML4DB_CHECK(lat.ok());
+  for (const auto& cand : rec.indexes) {
+    auto t = db->catalog().GetTable(cand.table);
+    if (t.ok()) (*t)->DropIndex(cand.column);
+  }
+  return *lat;
+}
+
+void RunScenario(const char* name, const engine::DatabaseOptions& dopts,
+                 uint64_t seed) {
+  Setup s = MakeSetup(dopts, seed);
+  auto baseline = advisor::MeasureWorkloadLatency(*s.db, s.workload);
+  ML4DB_CHECK(baseline.ok());
+
+  constexpr size_t kBudget = 3;  // indexes to pick
+  advisor::WhatIfAdvisor what_if(s.db.get());
+  auto wi_rec = what_if.Recommend(s.workload, kBudget);
+  ML4DB_CHECK(wi_rec.ok());
+  const double wi_lat = RealizedLatency(s.db.get(), s.workload, *wi_rec);
+
+  advisor::LearnedAdvisor::Options lopts;
+  lopts.explore_candidates = 8;
+  advisor::LearnedAdvisor learned(s.db.get(), lopts);
+  auto l_rec = learned.Recommend(s.workload, kBudget);
+  ML4DB_CHECK(l_rec.ok());
+  const double l_lat = RealizedLatency(s.db.get(), s.workload, *l_rec);
+
+  // Exhaustive reference: measure EVERY candidate's standalone benefit,
+  // then greedy by measured value (no interaction modeling).
+  advisor::LearnedAdvisor::Options oopts;
+  oopts.explore_candidates = 1000;  // measure everything
+  advisor::LearnedAdvisor oracle(s.db.get(), oopts);
+  auto o_rec = oracle.Recommend(s.workload, kBudget);
+  ML4DB_CHECK(o_rec.ok());
+  const double o_lat = RealizedLatency(s.db.get(), s.workload, *o_rec);
+
+  bench::PrintHeader(std::string("EXP-P index advisor, ") + name);
+  bench::Table table({"advisor", "indexes", "measured_cands",
+                      "workload_latency", "speedup"});
+  table.AddRow({"none (baseline)", "0", "0", bench::Fmt(*baseline, 0), "1.00"});
+  auto row = [&](const char* n, const advisor::Recommendation& rec,
+                 size_t measured, double lat) {
+    std::string names;
+    for (const auto& c : rec.indexes) names += c.Name() + " ";
+    table.AddRow({n, names.empty() ? "-" : names, std::to_string(measured),
+                  bench::Fmt(lat, 0), bench::Fmt(*baseline / lat, 2)});
+  };
+  row("what-if (cost model)", *wi_rec, 0, wi_lat);
+  row("learned (executions)", *l_rec, 8, l_lat);
+  row("exhaustive-singleton", *o_rec, oracle.measurements(), o_lat);
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  // Calibrated: the cost model matches the hardware; what-if should do
+  // fine. Miscalibrated: random I/O is 3x pricier than modeled — what-if
+  // over-recommends index-nested-loop enablers; the learned advisor sees
+  // through it.
+  RunScenario("calibrated cost model", engine::DatabaseOptions{}, 171);
+  RunScenario("miscalibrated cost model", bench::MiscalibratedHardware(), 171);
+  std::printf(
+      "\nShape check (paper [5]/[37]): with a calibrated cost model the "
+      "what-if advisor is already good; under miscalibration the learned "
+      "advisor (8 measured candidates) matches or beats it by ranking on "
+      "realized executions, approaching exhaustive measurement at a "
+      "fraction of its cost.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// EXP-A — learned index vs B-tree on static data (paper §3.2, learned
+// index basics): build time, structure size, and lookup latency for
+// B+-tree / RMI / PGM / RadixSpline / ALEX across key distributions. The
+// paper's claim: on static data the replacement-paradigm learned index
+// wins on size and lookup speed. Lookup latency additionally measured via
+// google-benchmark microbenchmarks at the bottom.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "learned_index/alex_index.h"
+#include "learned_index/btree_index.h"
+#include "learned_index/pgm_index.h"
+#include "learned_index/radix_spline.h"
+#include "learned_index/rmi_index.h"
+#include "workload/data_gen.h"
+
+namespace {
+
+using namespace ml4db;
+using learned_index::Entry;
+
+constexpr size_t kKeys = 2'000'000;
+
+std::vector<Entry> MakeEntries(workload::Distribution dist, uint64_t seed) {
+  workload::DataGenOptions opts;
+  opts.distribution = dist;
+  opts.max_value = 4'000'000'000ULL;
+  opts.seed = seed;
+  const auto keys = workload::GenerateSortedUniqueKeys(kKeys, opts);
+  std::vector<Entry> entries(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries[i] = {keys[i], static_cast<uint64_t>(i)};
+  }
+  return entries;
+}
+
+struct BuiltIndex {
+  std::string name;
+  std::unique_ptr<learned_index::OrderedIndex> index;
+  double build_seconds = 0.0;
+};
+
+std::vector<BuiltIndex> BuildAll(const std::vector<Entry>& entries) {
+  std::vector<BuiltIndex> out;
+  auto add = [&](auto index_ptr) {
+    BuiltIndex b;
+    b.name = index_ptr->Name();
+    Stopwatch sw;
+    const Status st = index_ptr->BulkLoad(entries);
+    b.build_seconds = sw.ElapsedSeconds();
+    ML4DB_CHECK_MSG(st.ok(), "bulk load failed");
+    b.index = std::move(index_ptr);
+    out.push_back(std::move(b));
+  };
+  add(std::make_unique<learned_index::BTreeIndex>());
+  add(std::make_unique<learned_index::RmiIndex>(4096));
+  add(std::make_unique<learned_index::PgmIndex>(32));
+  add(std::make_unique<learned_index::RadixSplineIndex>(32));
+  add(std::make_unique<learned_index::AlexIndex>());
+  return out;
+}
+
+void RunTable() {
+  for (auto dist :
+       {workload::Distribution::kUniform, workload::Distribution::kLognormal,
+        workload::Distribution::kClustered}) {
+    bench::PrintHeader(std::string("EXP-A static index comparison, ") +
+                       workload::DistributionName(dist) + " keys, " +
+                       std::to_string(kKeys) + " keys");
+    const auto entries = MakeEntries(dist, 1234);
+    auto indexes = BuildAll(entries);
+
+    // Lookup throughput: existing keys in random order.
+    Rng rng(99);
+    std::vector<int64_t> probes(200000);
+    for (auto& p : probes) p = entries[rng.NextUint64(entries.size())].key;
+
+    bench::Table table({"index", "build_s", "size_MB", "lookup_Mops",
+                        "range1k_ms"});
+    for (auto& b : indexes) {
+      Stopwatch sw;
+      uint64_t sink = 0;
+      for (int64_t key : probes) {
+        uint64_t v;
+        if (b.index->Lookup(key, &v)) sink += v;
+      }
+      const double lookup_s = sw.ElapsedSeconds();
+      benchmark::DoNotOptimize(sink);
+      // 1000 range scans spanning ~1k keys each.
+      sw.Reset();
+      for (int i = 0; i < 1000; ++i) {
+        const size_t a = rng.NextUint64(entries.size() - 1100);
+        const auto r =
+            b.index->RangeScan(entries[a].key, entries[a + 1000].key);
+        benchmark::DoNotOptimize(r.size());
+      }
+      const double range_s = sw.ElapsedSeconds();
+      table.AddRow({b.name, bench::Fmt(b.build_seconds, 3),
+                    bench::Fmt(b.index->StructureBytes() / 1048576.0, 1),
+                    bench::Fmt(probes.size() / lookup_s / 1e6, 2),
+                    bench::Fmt(range_s * 1000.0 / 1000.0, 3)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check (paper): learned indexes (rmi/pgm/radix_spline) should "
+      "be smaller than btree and at least as fast on static lookups.\n");
+}
+
+// ------------------- google-benchmark microbenchmarks -----------------------
+
+template <typename MakeIndexFn>
+void LookupLoop(benchmark::State& state, workload::Distribution dist,
+                MakeIndexFn make_index) {
+  const auto entries = MakeEntries(dist, 5);
+  auto index_ptr = make_index();
+  auto& index = *index_ptr;
+  ML4DB_CHECK(index.BulkLoad(entries).ok());
+  Rng rng(7);
+  size_t i = 0;
+  std::vector<int64_t> probes(8192);
+  for (auto& p : probes) p = entries[rng.NextUint64(entries.size())].key;
+  for (auto _ : state) {
+    uint64_t v = 0;
+    benchmark::DoNotOptimize(index.Lookup(probes[i++ & 8191], &v));
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+void BM_BtreeUniform(benchmark::State& s) {
+  LookupLoop(s, workload::Distribution::kUniform,
+             [] { return std::make_unique<learned_index::BTreeIndex>(); });
+}
+void BM_RmiUniform(benchmark::State& s) {
+  LookupLoop(s, workload::Distribution::kUniform,
+             [] { return std::make_unique<learned_index::RmiIndex>(4096); });
+}
+void BM_PgmUniform(benchmark::State& s) {
+  LookupLoop(s, workload::Distribution::kUniform,
+             [] { return std::make_unique<learned_index::PgmIndex>(32); });
+}
+void BM_RadixSplineUniform(benchmark::State& s) {
+  LookupLoop(s, workload::Distribution::kUniform, [] {
+    return std::make_unique<learned_index::RadixSplineIndex>(32, 18);
+  });
+}
+void BM_BtreeLognormal(benchmark::State& s) {
+  LookupLoop(s, workload::Distribution::kLognormal,
+             [] { return std::make_unique<learned_index::BTreeIndex>(); });
+}
+void BM_PgmLognormal(benchmark::State& s) {
+  LookupLoop(s, workload::Distribution::kLognormal,
+             [] { return std::make_unique<learned_index::PgmIndex>(32); });
+}
+
+}  // namespace
+
+BENCHMARK(BM_BtreeUniform);
+BENCHMARK(BM_RmiUniform);
+BENCHMARK(BM_PgmUniform);
+BENCHMARK(BM_RadixSplineUniform);
+BENCHMARK(BM_BtreeLognormal);
+BENCHMARK(BM_PgmLognormal);
+
+int main(int argc, char** argv) {
+  RunTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

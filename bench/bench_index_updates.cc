@@ -1,0 +1,139 @@
+// EXP-B — robustness under updates (paper §3.2): the replacement-paradigm
+// learned index cannot absorb inserts (it must rebuild), while ML-enhanced
+// learned indexes (ALEX, dynamized PGM) keep the learned win under mixed
+// read/insert workloads. Sweep the insert ratio and report throughput;
+// RMI pays a full rebuild whenever its staleness exceeds a threshold.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "learned_index/alex_index.h"
+#include "learned_index/btree_index.h"
+#include "learned_index/pgm_index.h"
+#include "learned_index/rmi_index.h"
+#include "workload/data_gen.h"
+
+namespace {
+
+using namespace ml4db;
+using learned_index::Entry;
+
+constexpr size_t kInitialKeys = 500'000;
+constexpr size_t kOperations = 400'000;
+
+std::vector<Entry> Initial(uint64_t seed) {
+  workload::DataGenOptions opts;
+  opts.max_value = 4'000'000'000ULL;
+  opts.seed = seed;
+  const auto keys = workload::GenerateSortedUniqueKeys(kInitialKeys, opts);
+  std::vector<Entry> entries(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries[i] = {keys[i], static_cast<uint64_t>(i)};
+  }
+  return entries;
+}
+
+// Runs a mixed workload; returns ops/second. For the static RMI, inserts
+// go to a side buffer and the index is rebuilt once the buffer exceeds 1%
+// of the data (the "rebuild to update" strategy) — its cost is charged to
+// the workload.
+double RunMixed(learned_index::OrderedIndex* index, double insert_ratio,
+                const std::vector<Entry>& initial, uint64_t seed) {
+  Rng rng(seed);
+  Stopwatch sw;
+  uint64_t sink = 0;
+  for (size_t op = 0; op < kOperations; ++op) {
+    if (rng.NextDouble() < insert_ratio) {
+      const int64_t key =
+          static_cast<int64_t>(rng.NextUint64(4'000'000'000ULL));
+      ML4DB_CHECK(index->Insert(key, op).ok());
+    } else {
+      const int64_t key = initial[rng.NextUint64(initial.size())].key;
+      uint64_t v;
+      if (index->Lookup(key, &v)) sink += v;
+    }
+  }
+  (void)sink;
+  return static_cast<double>(kOperations) / sw.ElapsedSeconds();
+}
+
+// RMI with rebuild-on-staleness wrapper.
+double RunRmiWithRebuilds(const std::vector<Entry>& initial, double insert_ratio,
+                          uint64_t seed, size_t* rebuilds) {
+  Rng rng(seed);
+  learned_index::RmiIndex rmi(2048);
+  ML4DB_CHECK(rmi.BulkLoad(initial).ok());
+  std::vector<Entry> all = initial;
+  std::vector<Entry> buffer;
+  *rebuilds = 0;
+  Stopwatch sw;
+  uint64_t sink = 0;
+  for (size_t op = 0; op < kOperations; ++op) {
+    if (rng.NextDouble() < insert_ratio) {
+      const int64_t key =
+          static_cast<int64_t>(rng.NextUint64(4'000'000'000ULL));
+      buffer.push_back({key, op});
+      if (buffer.size() > all.size() / 100) {
+        // Rebuild: merge buffer and bulk-load again.
+        std::sort(buffer.begin(), buffer.end(),
+                  [](const Entry& a, const Entry& b) { return a.key < b.key; });
+        std::vector<Entry> merged;
+        merged.reserve(all.size() + buffer.size());
+        std::merge(all.begin(), all.end(), buffer.begin(), buffer.end(),
+                   std::back_inserter(merged),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+        merged.erase(std::unique(merged.begin(), merged.end(),
+                                 [](const Entry& a, const Entry& b) {
+                                   return a.key == b.key;
+                                 }),
+                     merged.end());
+        all = std::move(merged);
+        ML4DB_CHECK(rmi.BulkLoad(all).ok());
+        buffer.clear();
+        ++*rebuilds;
+      }
+    } else {
+      const int64_t key = initial[rng.NextUint64(initial.size())].key;
+      uint64_t v;
+      if (rmi.Lookup(key, &v)) sink += v;
+    }
+  }
+  (void)sink;
+  return static_cast<double>(kOperations) / sw.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ml4db;
+  const auto initial = Initial(42);
+  bench::PrintHeader(
+      "EXP-B mixed read/insert throughput (500k initial keys, 400k ops)");
+  bench::Table table({"insert_ratio", "btree_Mops", "alex_Mops",
+                      "pgm_dyn_Mops", "rmi+rebuild_Mops", "rmi_rebuilds"});
+  for (double ratio : {0.0, 0.1, 0.3, 0.5, 0.9}) {
+    learned_index::BTreeIndex btree;
+    ML4DB_CHECK(btree.BulkLoad(initial).ok());
+    learned_index::AlexIndex alex;
+    ML4DB_CHECK(alex.BulkLoad(initial).ok());
+    learned_index::DynamicPgmIndex pgm(32, 4096);
+    ML4DB_CHECK(pgm.BulkLoad(initial).ok());
+
+    const double bt = RunMixed(&btree, ratio, initial, 7) / 1e6;
+    const double al = RunMixed(&alex, ratio, initial, 7) / 1e6;
+    const double pg = RunMixed(&pgm, ratio, initial, 7) / 1e6;
+    size_t rebuilds = 0;
+    const double rm = RunRmiWithRebuilds(initial, ratio, 7, &rebuilds) / 1e6;
+    table.AddRow({bench::Fmt(ratio, 1), bench::Fmt(bt, 2), bench::Fmt(al, 2),
+                  bench::Fmt(pg, 2), bench::Fmt(rm, 2),
+                  std::to_string(rebuilds)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): at insert_ratio 0 the static learned index "
+      "(rmi) is competitive; as the ratio grows its rebuild cost collapses "
+      "throughput while ML-enhanced indexes (alex, pgm_dyn) degrade "
+      "gracefully alongside the btree.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// EXP-J — model efficiency (paper §3.3, open problem 1): the lightweight
+// Bayesian model (NNGP-style random-feature GP) vs the deep TreeLSTM
+// estimator on single-table cardinality estimation: model size, training
+// time, inference time, accuracy. The paper's point (Zhao et al.): the
+// lightweight model trains orders of magnitude faster at competitive
+// accuracy.
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "costest/estimators.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace ml4db;
+  bench::BenchDb bdb = bench::MakeBenchDb(121, 40000, 2000, 4);
+  engine::Database& db = *bdb.db;
+  planrepr::PlanFeaturizer featurizer(&db, planrepr::FeatureConfig{});
+
+  // Single-table workload against the fact table.
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 1;
+  qopts.max_filters = 3;
+  qopts.seed = 122;
+  workload::QueryGenerator gen(bdb.schema_ptr.get(), qopts);
+  auto next_fact = [&] {
+    while (true) {
+      engine::Query q = gen.Next();
+      if (q.tables[0] == "fact") return q;
+    }
+  };
+
+  const int kTrain = 400, kTest = 150;
+  std::vector<engine::Query> queries;
+  std::vector<double> cards;
+  std::vector<ml::FeatureTree> trees;
+  std::vector<double> latencies;
+  for (int i = 0; i < kTrain + kTest; ++i) {
+    engine::Query q = next_fact();
+    auto plan = db.Plan(q);
+    ML4DB_CHECK(plan.ok());
+    auto r = db.Execute(q, &*plan);
+    ML4DB_CHECK(r.ok());
+    queries.push_back(q);
+    cards.push_back(static_cast<double>(r->count));
+    trees.push_back(featurizer.Encode(q, *plan->root));
+    latencies.push_back(r->latency);
+  }
+
+  bench::PrintHeader("EXP-J model efficiency: deep vs lightweight card-est");
+  bench::Table table({"model", "params", "train_s", "infer_us", "qerr_p50",
+                      "qerr_p99"});
+
+  // --- deep: TreeLSTM estimator ---
+  {
+    costest::E2eCostEstimator::Options eopts;
+    eopts.epochs = 30;
+    costest::E2eCostEstimator deep(featurizer.dim(), eopts);
+    std::vector<costest::PlanSample> samples(kTrain);
+    for (int i = 0; i < kTrain; ++i) {
+      samples[i].tree = trees[i];
+      samples[i].latency = latencies[i];
+      samples[i].cardinality = cards[i];
+    }
+    Stopwatch sw;
+    deep.Train(samples);
+    const double train_s = sw.ElapsedSeconds();
+    sw.Reset();
+    std::vector<double> est, truth;
+    for (int i = kTrain; i < kTrain + kTest; ++i) {
+      est.push_back(deep.EstimateCardinality(trees[i]));
+      truth.push_back(cards[i]);
+    }
+    const double infer_us = sw.ElapsedSeconds() * 1e6 / kTest;
+    const auto s = ml::SummarizeQErrors(est, truth);
+    table.AddRow({"treelstm(e2e)", std::to_string(deep.NumParams()),
+                  bench::Fmt(train_s, 2), bench::Fmt(infer_us, 1),
+                  bench::Fmt(s.median, 2), bench::Fmt(s.p99, 1)});
+  }
+  // --- lightweight: random-feature GP ---
+  {
+    auto vec = std::make_shared<costest::SingleTableVectorizer>(&db, "fact");
+    costest::LwGpEstimator gp(vec, costest::LwGpEstimator::Options{});
+    Stopwatch sw;
+    for (int i = 0; i < kTrain; ++i) gp.Observe(queries[i], cards[i]);
+    const double train_s = sw.ElapsedSeconds();
+    sw.Reset();
+    std::vector<double> est, truth;
+    for (int i = kTrain; i < kTrain + kTest; ++i) {
+      est.push_back(gp.EstimateCardinality(queries[i]));
+      truth.push_back(cards[i]);
+    }
+    const double infer_us = sw.ElapsedSeconds() * 1e6 / kTest;
+    const auto s = ml::SummarizeQErrors(est, truth);
+    table.AddRow({"lw-gp(nngp)", std::to_string(gp.NumParams()),
+                  bench::Fmt(train_s, 2), bench::Fmt(infer_us, 1),
+                  bench::Fmt(s.median, 2), bench::Fmt(s.p99, 1)});
+  }
+  // --- classical: histogram estimator (no training) ---
+  {
+    std::vector<double> est, truth;
+    Stopwatch sw;
+    for (int i = kTrain; i < kTrain + kTest; ++i) {
+      est.push_back(db.card_estimator().EstimateScan(queries[i], 0));
+      truth.push_back(cards[i]);
+    }
+    const double infer_us = sw.ElapsedSeconds() * 1e6 / kTest;
+    const auto s = ml::SummarizeQErrors(est, truth);
+    table.AddRow({"histogram(classical)", "0", "0.00", bench::Fmt(infer_us, 1),
+                  bench::Fmt(s.median, 2), bench::Fmt(s.p99, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): lw-gp trains orders of magnitude faster than "
+      "the deep model at comparable (or better) q-error; the classical "
+      "histogram is free but suffers under correlated multi-filter "
+      "predicates (independence assumption).\n");
+  return 0;
+}

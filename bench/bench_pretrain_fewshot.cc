@@ -1,0 +1,75 @@
+// EXP-L — pretrained plan models (paper §3.1): pretrain an encoder with
+// execution-free self-supervision across several databases, then fine-tune
+// a latency head with K labeled samples on an unseen database. Sweep K;
+// compare against the identical architecture trained from scratch on the
+// same K shots. The paper's promise: pretraining buys few-shot accuracy.
+
+#include "common/math_util.h"
+#include "bench/bench_util.h"
+#include "pretrain/pretrained_model.h"
+
+int main() {
+  using namespace ml4db;
+  planrepr::FeatureConfig config;
+
+  // Pretraining pool from three source databases.
+  std::vector<pretrain::PretrainSample> pool;
+  std::vector<bench::BenchDb> sources;
+  for (uint64_t seed : {141ULL, 142ULL, 143ULL}) {
+    sources.push_back(bench::MakeBenchDb(seed, 15000, 800, 4));
+    bench::BenchDb& s = sources.back();
+    planrepr::PlanFeaturizer fz(s.db.get(), config);
+    auto samples =
+        pretrain::MakePretrainSamples(*s.db, fz, s.gen->Batch(150));
+    ML4DB_CHECK(samples.ok());
+    pool.insert(pool.end(), samples->begin(), samples->end());
+  }
+
+  // Target database (unseen during pretraining) with labeled executions.
+  bench::BenchDb target = bench::MakeBenchDb(149, 20000, 1000, 4);
+  planrepr::PlanFeaturizer fz(target.db.get(), config);
+  costest::CollectOptions copts;
+  copts.num_queries = 260;
+  auto collected = costest::CollectSamples(
+      *target.db, fz, [&] { return target.gen->Next(); }, copts);
+  ML4DB_CHECK(collected.ok());
+  const auto& samples = collected->samples;
+  const size_t test_start = 200;
+
+  auto eval = [&](pretrain::PretrainedPlanModel& m) {
+    std::vector<double> pred, truth;
+    for (size_t i = test_start; i < samples.size(); ++i) {
+      pred.push_back(m.EstimateLatency(samples[i].tree));
+      truth.push_back(samples[i].latency);
+    }
+    return ml4db::KendallTau(pred, truth);
+  };
+
+  bench::PrintHeader("EXP-L few-shot latency estimation on an unseen DB");
+  bench::Table table({"K_shots", "pretrained_tau", "scratch_tau", "delta"});
+  for (size_t k : {8u, 16u, 32u, 64u, 128u}) {
+    std::vector<costest::PlanSample> shots(samples.begin(),
+                                           samples.begin() + k);
+    pretrain::PretrainedPlanModel::Options popts;
+    popts.pretrain_epochs = 15;
+    popts.finetune_epochs = 40;
+    popts.encoder = planrepr::EncoderKind::kTreeLstm;
+
+    pretrain::PretrainedPlanModel pretrained(fz.dim(), popts);
+    pretrained.Pretrain(pool);
+    pretrained.FineTune(shots);
+    pretrain::PretrainedPlanModel scratch(fz.dim(), popts);
+    scratch.FineTune(shots);
+
+    const double tp = eval(pretrained);
+    const double ts = eval(scratch);
+    table.AddRow({std::to_string(k), bench::Fmt(tp, 3), bench::Fmt(ts, 3),
+                  bench::Fmt(tp - ts, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): the pretrained encoder dominates at small K "
+      "(positive delta) and the gap narrows as K grows — pretraining "
+      "substitutes for scarce labeled executions.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared helpers for the experiment benchmark binaries: standard database /
+// workload setup and aligned-column table printing. Each bench binary
+// regenerates one table/figure of the paper (see DESIGN.md experiment
+// index) and prints it in a paper-shaped layout.
+
+#ifndef ML4DB_BENCH_BENCH_UTIL_H_
+#define ML4DB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace bench {
+
+/// Prints a separator + centered title.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> width(columns_.size(), 0);
+    for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : "";
+        std::printf("%-*s  ", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::string dash;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      dash.assign(width[c], '-');
+      std::printf("%s  ", dash.c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+/// Database options modeling the production reality that motivates learned
+/// query optimization: the planner's cost constants are the textbook
+/// defaults, but the "hardware" (true latency model) disagrees — random
+/// I/O is pricier and hashing cheaper than the model believes, so the
+/// expert systematically over-uses index nested-loop joins. Feedback-driven
+/// components (Bao/AutoSteer/NEO) can exploit the gap; ParamTree closes it.
+inline engine::DatabaseOptions MiscalibratedHardware() {
+  engine::DatabaseOptions dopts;
+  dopts.true_params.rand_page_cost = 12.0;   // model believes 4.0
+  dopts.true_params.hash_build_cost = 0.004; // model believes 0.02
+  dopts.true_params.hash_probe_cost = 0.002; // model believes 0.005
+  return dopts;
+}
+
+/// A standard star-schema benchmark database + generator pair. The schema
+/// lives on the heap so a BenchDb can be moved (e.g. into a vector)
+/// without invalidating the generator's pointer into it.
+struct BenchDb {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<workload::SyntheticSchema> schema_ptr;
+  std::unique_ptr<workload::QueryGenerator> gen;
+
+  const workload::SyntheticSchema& schema() const { return *schema_ptr; }
+};
+
+inline BenchDb MakeBenchDb(uint64_t seed, size_t fact_rows = 40000,
+                           size_t dim_rows = 2000, int dims = 4,
+                           engine::DatabaseOptions dopts = {}) {
+  BenchDb out;
+  out.db = std::make_unique<engine::Database>(dopts);
+  workload::SchemaGenOptions opts;
+  opts.num_dimensions = dims;
+  opts.fact_rows = fact_rows;
+  opts.dim_rows = dim_rows;
+  opts.seed = seed;
+  auto schema = workload::BuildSyntheticDb(out.db.get(), opts);
+  ML4DB_CHECK_MSG(schema.ok(), "bench db build failed");
+  out.schema_ptr =
+      std::make_unique<workload::SyntheticSchema>(std::move(*schema));
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 4;
+  qopts.seed = seed ^ 0xbe7cULL;
+  out.gen =
+      std::make_unique<workload::QueryGenerator>(out.schema_ptr.get(), qopts);
+  return out;
+}
+
+}  // namespace bench
+}  // namespace ml4db
+
+#endif  // ML4DB_BENCH_BENCH_UTIL_H_

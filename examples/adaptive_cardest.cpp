@@ -1,0 +1,81 @@
+// Scenario: a self-tuning cardinality advisor (paper §3.3, open problems
+// 1 & 2 together). A dashboard's filter queries are estimated by a
+// lightweight NNGP-style model that (a) trains in milliseconds from
+// execution feedback and (b) wraps itself in a Warper-style drift adaptor
+// so a bulk data load doesn't silently poison its estimates. The classical
+// histogram estimator is shown alongside for reference.
+//
+// Build & run:  ./build/examples/adaptive_cardest
+
+#include <cstdio>
+
+#include "costest/estimators.h"
+#include "ml/metrics.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+using namespace ml4db;
+
+int main() {
+  engine::Database db;
+  workload::SchemaGenOptions schema_opts;
+  schema_opts.num_dimensions = 2;
+  schema_opts.fact_rows = 30000;
+  schema_opts.dim_rows = 1000;
+  schema_opts.seed = 3;
+  auto schema = workload::BuildSyntheticDb(&db, schema_opts);
+  ML4DB_CHECK(schema.ok());
+
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 1;
+  qopts.max_filters = 3;
+  qopts.seed = 4;
+  workload::QueryGenerator gen(&*schema, qopts);
+  auto next_query = [&] {
+    while (true) {
+      engine::Query q = gen.Next();
+      if (q.tables[0] == "fact") return q;
+    }
+  };
+
+  auto vectorizer =
+      std::make_shared<costest::SingleTableVectorizer>(&db, "fact");
+  costest::LwGpEstimator model(vectorizer, {});
+  costest::WarperAdapter advisor(&model, {});
+
+  auto report = [&](const char* phase, int queries) {
+    std::vector<double> learned, histogram, truth;
+    for (int i = 0; i < queries; ++i) {
+      const engine::Query q = next_query();
+      auto r = db.Run(q);
+      ML4DB_CHECK(r.ok());
+      const double card = static_cast<double>(r->count);
+      learned.push_back(advisor.EstimateCardinality(q));
+      histogram.push_back(db.card_estimator().EstimateScan(q, 0));
+      truth.push_back(card);
+      advisor.ObserveFeedback(q, card);  // online learning
+    }
+    const auto lq = ml::SummarizeQErrors(learned, truth);
+    const auto hq = ml::SummarizeQErrors(histogram, truth);
+    std::printf("%-28s learned q-err p50=%5.2f p99=%7.1f | histogram "
+                "p50=%5.2f p99=%7.1f | drifts=%zu\n",
+                phase, lq.median, lq.p99, hq.median, hq.p99,
+                advisor.drifts_handled());
+  };
+
+  std::printf("phase                        accuracy (lower is better)\n");
+  report("cold start (learning)", 120);
+  report("warmed up", 120);
+
+  // Bulk load: 60k new rows concentrated in the top 15%% of the domain.
+  ML4DB_CHECK(
+      workload::InjectDataDrift(&db, *schema, 60000, 0.15, 5, true).ok());
+  std::printf("-- bulk data load (distribution shift) --\n");
+  report("right after the load", 120);
+  report("after re-adaptation", 120);
+  std::printf(
+      "\nThe advisor detects the shift (drifts > 0), decays stale evidence "
+      "and re-converges from fresh feedback — no full retraining pass.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: the three layers of ml4db in ~100 lines.
+//   1. learned indexes   — drop-in OrderedIndex implementations
+//   2. the mini engine   — tables, statistics, SQL-ish SPJ queries, EXPLAIN
+//   3. ML4DB components  — steer the optimizer with the Bao bandit
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "learned_index/btree_index.h"
+#include "learned_index/pgm_index.h"
+#include "optimizer/bao.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+using namespace ml4db;
+
+int main() {
+  // ------------------------------------------------------------------
+  // 1. A learned index vs a B+-tree on 1M lognormal keys.
+  // ------------------------------------------------------------------
+  workload::DataGenOptions key_opts;
+  key_opts.distribution = workload::Distribution::kLognormal;
+  const auto keys = workload::GenerateSortedUniqueKeys(1'000'000, key_opts);
+  std::vector<learned_index::Entry> entries(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries[i] = {keys[i], static_cast<uint64_t>(i)};
+  }
+
+  learned_index::BTreeIndex btree;
+  ML4DB_CHECK(btree.BulkLoad(entries).ok());
+  learned_index::PgmIndex pgm(/*epsilon=*/32);
+  ML4DB_CHECK(pgm.BulkLoad(entries).ok());
+
+  uint64_t value = 0;
+  ML4DB_CHECK(pgm.Lookup(keys[123456], &value) && value == 123456);
+  std::printf("PGM index: %zu keys in %.1f MB (B+-tree: %.1f MB), "
+              "epsilon-bounded lookups\n",
+              pgm.size(), pgm.StructureBytes() / 1048576.0,
+              btree.StructureBytes() / 1048576.0);
+
+  // ------------------------------------------------------------------
+  // 2. An in-memory star-schema database and an SPJ query.
+  // ------------------------------------------------------------------
+  engine::Database db;
+  workload::SchemaGenOptions schema_opts;
+  schema_opts.num_dimensions = 3;
+  schema_opts.fact_rows = 20000;
+  schema_opts.dim_rows = 1000;
+  auto schema = workload::BuildSyntheticDb(&db, schema_opts);
+  ML4DB_CHECK(schema.ok());
+
+  workload::QueryGenOptions query_opts;
+  query_opts.min_tables = 3;
+  query_opts.max_tables = 4;
+  workload::QueryGenerator gen(&*schema, query_opts);
+  const engine::Query query = gen.Next();
+  std::printf("\nquery: %s\n", query.ToString().c_str());
+
+  auto plan = db.Plan(query);
+  ML4DB_CHECK(plan.ok());
+  std::printf("expert plan:\n%s", plan->root->Explain().c_str());
+  auto result = db.Execute(query, &*plan);
+  ML4DB_CHECK(result.ok());
+  std::printf("COUNT(*) = %llu, simulated latency = %.1f\n",
+              static_cast<unsigned long long>(result->count), result->latency);
+
+  // ------------------------------------------------------------------
+  // 3. Steer the optimizer with the Bao bandit (ML-enhanced paradigm).
+  // ------------------------------------------------------------------
+  optimizer::BaoOptimizer bao(&db, optimizer::BaoOptimizer::Options{});
+  auto run_window = [&](int queries) {
+    double expert_total = 0.0, bao_total = 0.0;
+    for (int i = 0; i < queries; ++i) {
+      const engine::Query q = gen.Next();
+      auto expert_result = db.Run(q);
+      ML4DB_CHECK(expert_result.ok());
+      expert_total += expert_result->latency;
+      auto bao_latency = bao.RunAndLearn(q);
+      ML4DB_CHECK(bao_latency.ok());
+      bao_total += *bao_latency;
+    }
+    return std::make_pair(bao_total, expert_total);
+  };
+  const auto [learn_bao, learn_expert] = run_window(120);
+  const auto [conv_bao, conv_expert] = run_window(60);
+  std::printf(
+      "\nBao while exploring (first 120 queries): %.0f vs expert %.0f "
+      "(%.2fx)\nBao after convergence (next 60):       %.0f vs expert %.0f "
+      "(%.2fx)\n",
+      learn_bao, learn_expert, learn_bao / learn_expert, conv_bao,
+      conv_expert, conv_bao / conv_expert);
+  std::printf("arm picks:");
+  for (size_t a = 0; a < bao.num_arms(); ++a) {
+    std::printf(" %s=%zu", bao.arm(a).Name().c_str(), bao.arm_picks()[a]);
+  }
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

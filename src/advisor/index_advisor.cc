@@ -1,0 +1,213 @@
+#include "advisor/index_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ml4db {
+namespace advisor {
+
+std::vector<IndexCandidate> EnumerateCandidates(
+    const engine::Database& db, const std::vector<engine::Query>& workload) {
+  std::set<std::pair<std::string, int>> seen;
+  std::vector<IndexCandidate> out;
+  auto consider = [&](const std::string& table, int column) {
+    auto t = db.catalog().GetTable(table);
+    if (!t.ok()) return;
+    if ((*t)->HasIndex(column)) return;  // already indexed
+    if (seen.insert({table, column}).second) {
+      out.push_back({table, column});
+    }
+  };
+  for (const auto& q : workload) {
+    for (const auto& f : q.filters) {
+      consider(q.tables[f.table_slot], f.column);
+    }
+    for (const auto& j : q.joins) {
+      consider(q.tables[j.left.table_slot], j.left.column);
+      consider(q.tables[j.right.table_slot], j.right.column);
+    }
+  }
+  return out;
+}
+
+Status ApplyRecommendation(engine::Database* db, const Recommendation& rec) {
+  for (const auto& cand : rec.indexes) {
+    ML4DB_ASSIGN_OR_RETURN(engine::Table * t,
+                           db->catalog().GetTable(cand.table));
+    ML4DB_RETURN_IF_ERROR(t->BuildIndex(cand.column));
+  }
+  return Status::OK();
+}
+
+StatusOr<double> MeasureWorkloadLatency(
+    const engine::Database& db, const std::vector<engine::Query>& workload) {
+  double total = 0.0;
+  for (const auto& q : workload) {
+    auto r = db.Run(q);
+    ML4DB_RETURN_IF_ERROR(r.status());
+    total += r->latency;
+  }
+  return total;
+}
+
+// ------------------------------ WhatIfAdvisor ------------------------------
+
+StatusOr<double> WhatIfAdvisor::EstimatedBenefit(
+    const IndexCandidate& cand, const std::vector<engine::Query>& workload) {
+  // Baseline estimated costs.
+  double before = 0.0;
+  for (const auto& q : workload) {
+    ML4DB_ASSIGN_OR_RETURN(engine::PhysicalPlan plan, db_->Plan(q));
+    before += plan.est_cost;
+  }
+  ML4DB_ASSIGN_OR_RETURN(engine::Table * t, db_->catalog().GetTable(cand.table));
+  ML4DB_RETURN_IF_ERROR(t->BuildIndex(cand.column));
+  double after = 0.0;
+  Status st;
+  for (const auto& q : workload) {
+    auto plan = db_->Plan(q);
+    if (!plan.ok()) {
+      st = plan.status();
+      break;
+    }
+    after += plan->est_cost;
+  }
+  t->DropIndex(cand.column);
+  ML4DB_RETURN_IF_ERROR(st);
+  return before - after;
+}
+
+StatusOr<Recommendation> WhatIfAdvisor::Recommend(
+    const std::vector<engine::Query>& workload, size_t k) {
+  Recommendation rec;
+  std::vector<IndexCandidate> remaining = EnumerateCandidates(*db_, workload);
+  for (size_t round = 0; round < k && !remaining.empty(); ++round) {
+    double best_benefit = 0.0;
+    size_t best = remaining.size();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      ML4DB_ASSIGN_OR_RETURN(const double benefit,
+                             EstimatedBenefit(remaining[i], workload));
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best = i;
+      }
+    }
+    if (best == remaining.size()) break;  // nothing beneficial
+    // Greedy: materialize the winner so later rounds see the interaction.
+    ML4DB_ASSIGN_OR_RETURN(engine::Table * t,
+                           db_->catalog().GetTable(remaining[best].table));
+    ML4DB_RETURN_IF_ERROR(t->BuildIndex(remaining[best].column));
+    rec.indexes.push_back(remaining[best]);
+    rec.predicted_benefit += best_benefit;
+    remaining.erase(remaining.begin() + best);
+  }
+  // Leave the database as found: drop what we materialized.
+  for (const auto& cand : rec.indexes) {
+    auto t = db_->catalog().GetTable(cand.table);
+    if (t.ok()) (*t)->DropIndex(cand.column);
+  }
+  return rec;
+}
+
+// ------------------------------ LearnedAdvisor -----------------------------
+
+ml::Vec LearnedAdvisor::Features(
+    const IndexCandidate& cand,
+    const std::vector<engine::Query>& workload) const {
+  double filter_uses = 0, eq_uses = 0, join_uses = 0, sel_sum = 0;
+  for (const auto& q : workload) {
+    for (const auto& f : q.filters) {
+      if (q.tables[f.table_slot] != cand.table || f.column != cand.column) {
+        continue;
+      }
+      filter_uses += 1.0;
+      if (f.op == engine::CompareOp::kEq) eq_uses += 1.0;
+      sel_sum += db_->card_estimator().FilterSelectivity(q, f);
+    }
+    for (const auto& j : q.joins) {
+      if ((q.tables[j.left.table_slot] == cand.table &&
+           j.left.column == cand.column) ||
+          (q.tables[j.right.table_slot] == cand.table &&
+           j.right.column == cand.column)) {
+        join_uses += 1.0;
+      }
+    }
+  }
+  double table_rows = 0, distinct = 1;
+  const engine::TableStats* ts = db_->stats().Get(cand.table);
+  if (ts != nullptr) {
+    table_rows = static_cast<double>(ts->row_count);
+    if (cand.column < static_cast<int>(ts->columns.size())) {
+      distinct = ts->columns[cand.column].num_distinct;
+    }
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(workload.size()));
+  return {filter_uses / n,
+          eq_uses / n,
+          join_uses / n,
+          filter_uses > 0 ? sel_sum / filter_uses : 0.0,
+          std::log1p(table_rows),
+          std::log1p(distinct),
+          1.0};
+}
+
+StatusOr<double> LearnedAdvisor::MeasureBenefit(
+    const IndexCandidate& cand, const std::vector<engine::Query>& workload) {
+  ML4DB_ASSIGN_OR_RETURN(const double before,
+                         MeasureWorkloadLatency(*db_, workload));
+  ML4DB_ASSIGN_OR_RETURN(engine::Table * t, db_->catalog().GetTable(cand.table));
+  ML4DB_RETURN_IF_ERROR(t->BuildIndex(cand.column));
+  auto after = MeasureWorkloadLatency(*db_, workload);
+  t->DropIndex(cand.column);
+  ML4DB_RETURN_IF_ERROR(after.status());
+  const double benefit = before - *after;
+  model_.Observe(Features(cand, workload), benefit);
+  ++measurements_;
+  return benefit;
+}
+
+StatusOr<Recommendation> LearnedAdvisor::Recommend(
+    const std::vector<engine::Query>& workload, size_t k) {
+  std::vector<IndexCandidate> candidates = EnumerateCandidates(*db_, workload);
+  if (candidates.empty()) return Recommendation{};
+
+  // Exploration: measure the most-used candidates first (usage is the
+  // cheapest prior), up to the execution budget.
+  std::vector<std::pair<double, size_t>> usage(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const ml::Vec f = Features(candidates[i], workload);
+    usage[i] = {f[0] + f[2], i};  // filter + join usage rate
+  }
+  std::sort(usage.rbegin(), usage.rend());
+  const size_t to_explore =
+      std::min(options_.explore_candidates, candidates.size());
+  for (size_t e = 0; e < to_explore; ++e) {
+    ML4DB_RETURN_IF_ERROR(
+        MeasureBenefit(candidates[usage[e].second], workload).status());
+  }
+
+  // Greedy selection by predicted real benefit.
+  Recommendation rec;
+  std::vector<bool> taken(candidates.size(), false);
+  for (size_t round = 0; round < k; ++round) {
+    double best_pred = 0.0;
+    size_t best = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const double pred = model_.PredictMean(Features(candidates[i], workload));
+      if (pred > best_pred) {
+        best_pred = pred;
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;
+    taken[best] = true;
+    rec.indexes.push_back(candidates[best]);
+    rec.predicted_benefit += best_pred;
+  }
+  return rec;
+}
+
+}  // namespace advisor
+}  // namespace ml4db

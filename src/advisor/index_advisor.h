@@ -1,0 +1,121 @@
+// Index advisors (paper §3.1 applications; refs [5] "AI meets AI" and
+// [37] learned index-benefit estimation).
+//
+// The classical what-if advisor scores a candidate index by the optimizer's
+// *estimated* cost saving — which inherits every miscalibration of the cost
+// model. The learned advisor replaces the benefit oracle with a model
+// trained on observed executions ("leveraging query executions to improve
+// index recommendations"): it measures real latency savings for explored
+// candidates and generalizes across candidates through features, so its
+// recommendations track the actual hardware instead of the cost formulas.
+
+#ifndef ML4DB_ADVISOR_INDEX_ADVISOR_H_
+#define ML4DB_ADVISOR_INDEX_ADVISOR_H_
+
+#include "engine/database.h"
+#include "ml/bayes_linear.h"
+
+namespace ml4db {
+namespace advisor {
+
+/// A single-column index candidate.
+struct IndexCandidate {
+  std::string table;
+  int column = 0;
+
+  std::string Name() const { return table + ".c" + std::to_string(column); }
+  bool operator==(const IndexCandidate& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+/// All candidate indexes referenced by the workload (filter or join
+/// columns without an existing index).
+std::vector<IndexCandidate> EnumerateCandidates(
+    const engine::Database& db, const std::vector<engine::Query>& workload);
+
+/// A recommendation: chosen candidates plus the advisor's predicted total
+/// workload benefit.
+struct Recommendation {
+  std::vector<IndexCandidate> indexes;
+  double predicted_benefit = 0.0;
+};
+
+/// Classical what-if advisor: greedy selection by the optimizer's estimated
+/// cost saving (hypothetical index built, workload re-planned, cost deltas
+/// summed, index dropped again — no execution).
+class WhatIfAdvisor {
+ public:
+  explicit WhatIfAdvisor(engine::Database* db) : db_(db) {
+    ML4DB_CHECK(db != nullptr);
+  }
+
+  /// Greedily picks up to `k` candidates with positive estimated benefit.
+  StatusOr<Recommendation> Recommend(const std::vector<engine::Query>& workload,
+                                     size_t k);
+
+  /// Estimated total plan-cost saving of adding `cand` right now.
+  StatusOr<double> EstimatedBenefit(const IndexCandidate& cand,
+                                    const std::vector<engine::Query>& workload);
+
+ private:
+  engine::Database* db_;
+};
+
+/// Learned advisor: per-candidate benefit model over workload/candidate
+/// features, trained by *executing* the workload with and without explored
+/// candidates (a bounded exploration budget), then greedy selection by
+/// predicted real benefit.
+class LearnedAdvisor {
+ public:
+  struct Options {
+    size_t explore_candidates = 8;  ///< candidates measured by execution
+    double prior_alpha = 0.5;
+    double noise_var = 0.1;
+    uint64_t seed = 77;
+  };
+
+  LearnedAdvisor(engine::Database* db, Options options)
+      : db_(db), options_(options), model_(kFeatureDim, options.prior_alpha,
+                                           options.noise_var) {
+    ML4DB_CHECK(db != nullptr);
+  }
+
+  /// Candidate features: workload usage statistics + catalog statistics.
+  static constexpr size_t kFeatureDim = 7;
+  ml::Vec Features(const IndexCandidate& cand,
+                   const std::vector<engine::Query>& workload) const;
+
+  /// Executes the workload without the candidate and with it, measuring
+  /// the true latency saving; feeds the model. Restores the physical
+  /// design afterwards.
+  StatusOr<double> MeasureBenefit(const IndexCandidate& cand,
+                                  const std::vector<engine::Query>& workload);
+
+  /// Explores the top candidates (by model uncertainty then what-if prior),
+  /// trains the benefit model, and returns the greedy top-k by predicted
+  /// real benefit. `execution_budget` counts measured candidates.
+  StatusOr<Recommendation> Recommend(const std::vector<engine::Query>& workload,
+                                     size_t k);
+
+  size_t measurements() const { return measurements_; }
+
+ private:
+  engine::Database* db_;
+  Options options_;
+  ml::BayesianLinearModel model_;
+  size_t measurements_ = 0;
+};
+
+/// Applies a recommendation (builds the chosen indexes).
+Status ApplyRecommendation(engine::Database* db, const Recommendation& rec);
+
+/// Total executed latency of the workload under the current physical
+/// design (the ground-truth objective).
+StatusOr<double> MeasureWorkloadLatency(
+    const engine::Database& db, const std::vector<engine::Query>& workload);
+
+}  // namespace advisor
+}  // namespace ml4db
+
+#endif  // ML4DB_ADVISOR_INDEX_ADVISOR_H_

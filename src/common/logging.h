@@ -1,0 +1,49 @@
+// Assertion and lightweight logging macros.
+//
+// ML4DB_CHECK fires in all build types and is used at API boundaries for
+// conditions that indicate caller bugs. ML4DB_DCHECK compiles out in
+// release builds and guards internal invariants on hot paths.
+
+#ifndef ML4DB_COMMON_LOGGING_H_
+#define ML4DB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ml4db {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "[ml4db] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ml4db
+
+#define ML4DB_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ml4db::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                  \
+  } while (0)
+
+#define ML4DB_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ml4db::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define ML4DB_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define ML4DB_DCHECK(cond) ML4DB_CHECK(cond)
+#endif
+
+#endif  // ML4DB_COMMON_LOGGING_H_

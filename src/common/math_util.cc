@@ -1,0 +1,96 @@
+#include "common/math_util.h"
+
+#include <numeric>
+
+namespace ml4db {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Quantile(std::vector<double> v, double q) {
+  ML4DB_CHECK(!v.empty());
+  ML4DB_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& v) {
+  ML4DB_CHECK(!v.empty());
+  double acc = 0.0;
+  for (double x : v) {
+    ML4DB_CHECK(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  ML4DB_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double KsStatistic(std::vector<double> a, std::vector<double> b) {
+  ML4DB_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0, ib = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    // Advance past all copies of the smaller value (both sides on ties) so
+    // identical samples yield D = 0.
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] == x) ++ia;
+    while (ib < b.size() && b[ib] == x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double JensenShannon(const std::vector<double>& p, const std::vector<double>& q) {
+  ML4DB_CHECK(p.size() == q.size());
+  ML4DB_CHECK(!p.empty());
+  double sp = std::accumulate(p.begin(), p.end(), 0.0);
+  double sq = std::accumulate(q.begin(), q.end(), 0.0);
+  ML4DB_CHECK(sp > 0.0 && sq > 0.0);
+  double js = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / sp;
+    const double qi = q[i] / sq;
+    const double mi = 0.5 * (pi + qi);
+    if (pi > 0.0) js += 0.5 * pi * std::log(pi / mi);
+    if (qi > 0.0) js += 0.5 * qi * std::log(qi / mi);
+  }
+  return js;
+}
+
+}  // namespace ml4db

@@ -1,0 +1,54 @@
+// Small statistics helpers shared across modules.
+
+#ifndef ML4DB_COMMON_MATH_UTIL_H_
+#define ML4DB_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ml4db {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for inputs of size < 2.
+double StdDev(const std::vector<double>& v);
+
+/// q-quantile (q in [0,1]) with linear interpolation. Input need not be
+/// sorted; the function copies and sorts. Empty input is a caller bug.
+double Quantile(std::vector<double> v, double q);
+
+/// Median (50th percentile).
+inline double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+/// Geometric mean of strictly positive values.
+double GeometricMean(const std::vector<double>& v);
+
+/// Kendall rank correlation (tau-a) between two equally-sized vectors.
+/// O(n^2); intended for evaluation on modest sample sizes.
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+/// Natural log of (1 + x) safe for small x; plain wrapper for readability.
+inline double Log1p(double x) { return std::log1p(x); }
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF distance). Inputs are
+/// copied and sorted. Either input empty is a caller bug.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Jensen–Shannon divergence between two discrete distributions given as
+/// (possibly unnormalized) non-negative weight vectors of equal length.
+/// Returns a value in [0, ln 2].
+double JensenShannon(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace ml4db
+
+#endif  // ML4DB_COMMON_MATH_UTIL_H_

@@ -1,0 +1,188 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in ml4db takes an explicit seed and draws from
+// Rng so that experiments are bit-reproducible across runs and machines.
+// The core generator is xoshiro256**, seeded via SplitMix64.
+
+#ifndef ML4DB_COMMON_RNG_H_
+#define ML4DB_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ml4db {
+
+/// SplitMix64 step; used for seeding and cheap hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Not thread-safe; create one Rng per thread / component.
+class Rng {
+ public:
+  /// Seeds the generator. Distinct seeds produce independent-looking
+  /// streams; the same seed always produces the same stream.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+    gauss_valid_ = false;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n) {
+    ML4DB_DCHECK(n > 0);
+    // Modulo bias is negligible for n << 2^64 (all our uses).
+    return NextUint64() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    ML4DB_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double Gaussian() {
+    if (gauss_valid_) {
+      gauss_valid_ = false;
+      return gauss_spare_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_spare_ = v * mul;
+    gauss_valid_ = true;
+    return u * mul;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    ML4DB_DCHECK(total > 0.0);
+    double r = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks a statistically independent child generator. Useful for giving
+  /// each sub-component its own stream derived from one experiment seed.
+  Rng Fork() { return Rng(NextUint64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  double gauss_spare_ = 0.0;
+  bool gauss_valid_ = false;
+};
+
+/// Zipf-distributed integer sampler over {0, ..., n-1} with exponent theta.
+/// Uses the rejection-inversion method of Hörmann & Derflinger, O(1) per
+/// sample after O(1) setup, valid for theta in (0, ~10].
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+    ML4DB_CHECK(n >= 1);
+    ML4DB_CHECK(theta > 0.0);
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - HInv(H(2.5) - std::pow(2.0, -theta_));
+  }
+
+  /// Draws one sample (0-based rank; rank 0 is the most frequent).
+  uint64_t Sample(Rng& rng) {
+    while (true) {
+      const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+      const double x = HInv(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  double H(double x) const {
+    if (std::abs(theta_ - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+  }
+  double HInv(double x) const {
+    if (std::abs(theta_ - 1.0) < 1e-12) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+  }
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace ml4db
+
+#endif  // ML4DB_COMMON_RNG_H_

@@ -1,0 +1,161 @@
+// Status / StatusOr error model for ml4db.
+//
+// Fallible public APIs in this library return Status (or StatusOr<T> when
+// they produce a value) instead of throwing exceptions, following the
+// RocksDB / Arrow convention. Status is cheap to copy in the OK case (a
+// single enum; the message is only allocated on error).
+
+#ifndef ML4DB_COMMON_STATUS_H_
+#define ML4DB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ml4db {
+
+/// Machine-readable error category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// The OK state carries no allocation; error states allocate a message
+/// string. Use the static factories (`Status::InvalidArgument(...)`) to
+/// construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return msg_ ? *msg_ : kEmpty;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message() == other.message();
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::make_shared<std::string>(std::move(msg))) {}
+
+  StatusCode code_;
+  std::shared_ptr<std::string> msg_;  // null when OK
+};
+
+/// Either a value of type T or an error Status. Access the value only after
+/// checking `ok()`; accessing the value of an error StatusOr aborts in debug
+/// builds and is undefined in release builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, like absl::StatusOr).
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `s` must not be OK.
+  StatusOr(Status s) : data_(std::move(s)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(data_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; returns OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+/// Propagates an error status from an expression to the caller.
+#define ML4DB_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::ml4db::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors; on success binds the
+/// value to `lhs`. Usage: ML4DB_ASSIGN_OR_RETURN(auto x, Compute());
+#define ML4DB_ASSIGN_OR_RETURN(lhs, expr)                    \
+  ML4DB_ASSIGN_OR_RETURN_IMPL_(                              \
+      ML4DB_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define ML4DB_STATUS_CONCAT_INNER_(a, b) a##b
+#define ML4DB_STATUS_CONCAT_(a, b) ML4DB_STATUS_CONCAT_INNER_(a, b)
+#define ML4DB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace ml4db
+
+#endif  // ML4DB_COMMON_STATUS_H_

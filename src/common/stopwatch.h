@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by benchmarks and training loops.
+
+#ifndef ML4DB_COMMON_STOPWATCH_H_
+#define ML4DB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ml4db {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ml4db
+
+#endif  // ML4DB_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+#include "costest/collector.h"
+
+namespace ml4db {
+namespace costest {
+
+StatusOr<CollectResult> CollectSamples(
+    const engine::Database& db, const planrepr::PlanFeaturizer& featurizer,
+    const std::function<engine::Query()>& next_query,
+    const CollectOptions& options) {
+  CollectResult out;
+  Rng rng(options.seed);
+  const std::vector<engine::HintSet> arms = engine::HintSet::BaoArms();
+  for (int i = 0; i < options.num_queries; ++i) {
+    PlanSample sample;
+    sample.query = next_query();
+    const engine::HintSet hints =
+        options.vary_hints ? arms[rng.NextUint64(arms.size())]
+                           : engine::HintSet{};
+    auto plan = db.Plan(sample.query, hints);
+    ML4DB_RETURN_IF_ERROR(plan.status());
+    sample.plan = std::move(*plan);
+    auto result = db.Execute(sample.query, &sample.plan);
+    ML4DB_RETURN_IF_ERROR(result.status());
+    sample.latency = result->latency;
+    sample.cardinality = static_cast<double>(result->count);
+    sample.tree = featurizer.Encode(sample.query, *sample.plan.root);
+    out.total_execution_latency += sample.latency;
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace costest
+}  // namespace ml4db

@@ -1,0 +1,51 @@
+// Training-data collection for learned cost/cardinality models: run a
+// query workload through the engine under varied hint sets, record the
+// annotated plan, its featurized tree, and the observed latency /
+// cardinality. The cost of exactly this step is the paper's "training data
+// is expensive" open problem (§3.3(4)); CollectSamples reports how much
+// simulated execution time the collection consumed.
+
+#ifndef ML4DB_COSTEST_COLLECTOR_H_
+#define ML4DB_COSTEST_COLLECTOR_H_
+
+#include <functional>
+
+#include "planrepr/plan_features.h"
+#include "workload/query_gen.h"
+
+namespace ml4db {
+namespace costest {
+
+/// One executed-plan training sample.
+struct PlanSample {
+  engine::Query query;
+  engine::PhysicalPlan plan;  ///< annotated with actual rows/costs
+  ml::FeatureTree tree;
+  double latency = 0.0;       ///< simulated execution latency
+  double cardinality = 0.0;   ///< true result cardinality
+};
+
+/// Options for CollectSamples.
+struct CollectOptions {
+  int num_queries = 200;
+  bool vary_hints = true;  ///< execute each query under a random Bao arm
+                           ///< (plan diversity, as NEO/Bao training needs)
+  uint64_t seed = 3;
+};
+
+/// Result of a collection run.
+struct CollectResult {
+  std::vector<PlanSample> samples;
+  double total_execution_latency = 0.0;  ///< the data-collection "bill"
+};
+
+/// Executes queries from `next_query` and collects samples.
+StatusOr<CollectResult> CollectSamples(
+    const engine::Database& db, const planrepr::PlanFeaturizer& featurizer,
+    const std::function<engine::Query()>& next_query,
+    const CollectOptions& options);
+
+}  // namespace costest
+}  // namespace ml4db
+
+#endif  // ML4DB_COSTEST_COLLECTOR_H_

@@ -1,0 +1,139 @@
+#include "costest/estimators.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace costest {
+
+E2eCostEstimator::E2eCostEstimator(size_t input_dim, Options options)
+    : options_(options),
+      model_(input_dim, [&] {
+        planrepr::PlanRegressorOptions o;
+        o.encoder = options.encoder;
+        o.embedding_dim = options.embedding_dim;
+        o.output_dim = 2;
+        o.seed = options.seed;
+        return o;
+      }()) {}
+
+double E2eCostEstimator::Train(const std::vector<PlanSample>& samples) {
+  ML4DB_CHECK(!samples.empty());
+  std::vector<ml::FeatureTree> trees;
+  std::vector<ml::Vec> targets;
+  trees.reserve(samples.size());
+  for (const auto& s : samples) {
+    trees.push_back(s.tree);
+    targets.push_back({std::log1p(s.latency), std::log1p(s.cardinality)});
+  }
+  Rng rng(options_.seed ^ 0x77ULL);
+  double loss = 0.0;
+  for (int e = 0; e < options_.epochs; ++e) {
+    loss = model_.TrainEpoch(trees, targets, options_.batch_size, rng);
+  }
+  return loss;
+}
+
+double E2eCostEstimator::EstimateLatency(const ml::FeatureTree& tree) const {
+  return std::expm1(std::max(0.0, model_.Predict(tree)[0]));
+}
+
+double E2eCostEstimator::EstimateCardinality(
+    const ml::FeatureTree& tree) const {
+  return std::expm1(std::max(0.0, model_.Predict(tree)[1]));
+}
+
+SingleTableVectorizer::SingleTableVectorizer(const engine::Database* db,
+                                             const std::string& table) {
+  ML4DB_CHECK(db != nullptr);
+  const engine::TableStats* stats = db->stats().Get(table);
+  ML4DB_CHECK_MSG(stats != nullptr, "table not analyzed");
+  num_columns_ = stats->columns.size();
+  col_min_.resize(num_columns_);
+  col_max_.resize(num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    col_min_[c] = stats->columns[c].min;
+    col_max_[c] = std::max(stats->columns[c].max, col_min_[c] + 1.0);
+  }
+}
+
+ml::Vec SingleTableVectorizer::Encode(const engine::Query& query) const {
+  ML4DB_CHECK(query.num_tables() == 1);
+  ml::Vec out(dim());
+  for (size_t c = 0; c < num_columns_; ++c) {
+    out[2 * c] = 0.0;      // lo (normalized)
+    out[2 * c + 1] = 1.0;  // hi
+  }
+  for (const auto& f : query.filters) {
+    const size_t c = static_cast<size_t>(f.column);
+    if (c >= num_columns_) continue;
+    const double span = col_max_[c] - col_min_[c];
+    auto norm = [&](double v) {
+      return Clamp((v - col_min_[c]) / span, 0.0, 1.0);
+    };
+    switch (f.op) {
+      case engine::CompareOp::kEq:
+        out[2 * c] = norm(f.value);
+        out[2 * c + 1] = norm(f.value);
+        break;
+      case engine::CompareOp::kLt:
+      case engine::CompareOp::kLe:
+        out[2 * c + 1] = std::min(out[2 * c + 1], norm(f.value));
+        break;
+      case engine::CompareOp::kGt:
+      case engine::CompareOp::kGe:
+        out[2 * c] = std::max(out[2 * c], norm(f.value));
+        break;
+      case engine::CompareOp::kBetween:
+        out[2 * c] = std::max(out[2 * c], norm(f.value));
+        out[2 * c + 1] = std::min(out[2 * c + 1], norm(f.value2));
+        break;
+    }
+  }
+  return out;
+}
+
+LwGpEstimator::LwGpEstimator(
+    std::shared_ptr<SingleTableVectorizer> vectorizer, Options options)
+    : vectorizer_(std::move(vectorizer)),
+      gp_(vectorizer_->dim(), options.num_features, options.lengthscale,
+          options.noise_var, options.seed) {}
+
+void LwGpEstimator::Observe(const engine::Query& query, double cardinality) {
+  gp_.Observe(vectorizer_->Encode(query), std::log1p(cardinality));
+}
+
+double LwGpEstimator::EstimateCardinality(const engine::Query& query) const {
+  return std::expm1(std::max(0.0, gp_.PredictMean(vectorizer_->Encode(query))));
+}
+
+double LwGpEstimator::Uncertainty(const engine::Query& query) const {
+  return std::sqrt(gp_.PredictVariance(vectorizer_->Encode(query)));
+}
+
+void LwGpEstimator::Decay(double factor) {
+  // RandomFeatureGp owns a BayesianLinearModel; expose decay through a
+  // refit-free evidence rescale.
+  gp_.DecayEvidence(factor);
+}
+
+WarperAdapter::WarperAdapter(LwGpEstimator* base, Options options)
+    : base_(base),
+      options_(options),
+      detector_(options.detector_window, options.ks_threshold) {
+  ML4DB_CHECK(base != nullptr);
+}
+
+bool WarperAdapter::ObserveFeedback(const engine::Query& query,
+                                    double true_cardinality) {
+  // Drift signal: the model's residual in log space. Under data drift the
+  // residual distribution shifts even when query features do not.
+  const double pred = std::log1p(base_->EstimateCardinality(query));
+  const double residual = std::log1p(true_cardinality) - pred;
+  const bool drifted = detector_.Observe(residual);
+  if (drifted) base_->Decay(options_.decay_on_drift);
+  base_->Observe(query, true_cardinality);
+  return drifted;
+}
+
+}  // namespace costest
+}  // namespace ml4db

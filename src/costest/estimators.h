@@ -1,0 +1,136 @@
+// Learned cost & cardinality estimators (paper §3.1 application; §3.3
+// model-efficiency open problem):
+//   * E2eCostEstimator — E2E-Cost-style deep model: TreeLSTM plan encoder
+//     with a joint (log-latency, log-cardinality) head.
+//   * LwGpEstimator — lightweight NNGP-style random-feature Gaussian
+//     process over query filter features; trains in (milli)seconds with
+//     calibrated uncertainty (Zhao et al. 2022).
+//   * WarperAdapter — drift-adaptive wrapper (Warper-style): detects data /
+//     workload shift on the feature stream and refreshes the underlying
+//     model by evidence decay + refit on recent samples.
+
+#ifndef ML4DB_COSTEST_ESTIMATORS_H_
+#define ML4DB_COSTEST_ESTIMATORS_H_
+
+#include <memory>
+
+#include "costest/collector.h"
+#include "drift/detectors.h"
+#include "ml/random_feature_gp.h"
+#include "planrepr/plan_regressor.h"
+
+namespace ml4db {
+namespace costest {
+
+/// Deep plan-based estimator: tree encoder + 2-output head.
+class E2eCostEstimator {
+ public:
+  struct Options {
+    planrepr::EncoderKind encoder = planrepr::EncoderKind::kTreeLstm;
+    size_t embedding_dim = 32;
+    int epochs = 25;
+    size_t batch_size = 16;
+    uint64_t seed = 11;
+  };
+
+  E2eCostEstimator(size_t input_dim, Options options);
+
+  /// Trains on collected samples; returns final epoch mean loss. Targets
+  /// are log1p(latency) and log1p(cardinality).
+  double Train(const std::vector<PlanSample>& samples);
+
+  /// Predicted latency (de-logged).
+  double EstimateLatency(const ml::FeatureTree& tree) const;
+  /// Predicted cardinality (de-logged).
+  double EstimateCardinality(const ml::FeatureTree& tree) const;
+
+  size_t NumParams() { return model_.NumParams(); }
+  planrepr::PlanRegressor& model() { return model_; }
+
+ private:
+  Options options_;
+  planrepr::PlanRegressor model_;
+};
+
+/// Vectorizes single-table queries for the lightweight estimator: for each
+/// column of the (single) table, the normalized filter interval [lo, hi]
+/// (whole domain when unfiltered).
+class SingleTableVectorizer {
+ public:
+  SingleTableVectorizer(const engine::Database* db, const std::string& table);
+
+  size_t dim() const { return 2 * num_columns_; }
+
+  /// Query must reference exactly the bound table at slot 0.
+  ml::Vec Encode(const engine::Query& query) const;
+
+ private:
+  size_t num_columns_;
+  std::vector<double> col_min_;
+  std::vector<double> col_max_;
+};
+
+/// Lightweight GP cardinality estimator over single-table queries.
+class LwGpEstimator {
+ public:
+  struct Options {
+    size_t num_features = 256;
+    double lengthscale = 0.4;
+    double noise_var = 0.05;
+    uint64_t seed = 13;
+  };
+
+  LwGpEstimator(std::shared_ptr<SingleTableVectorizer> vectorizer,
+                Options options);
+
+  /// Absorbs one (query, true cardinality) observation.
+  void Observe(const engine::Query& query, double cardinality);
+
+  double EstimateCardinality(const engine::Query& query) const;
+  /// Predictive stddev in log space (uncertainty signal).
+  double Uncertainty(const engine::Query& query) const;
+
+  size_t NumParams() const { return gp_.NumParams(); }
+  size_t num_observations() const { return gp_.num_observations(); }
+
+  /// Downweights absorbed evidence (drift adaptation primitive).
+  void Decay(double factor);
+
+ private:
+  std::shared_ptr<SingleTableVectorizer> vectorizer_;
+  mutable ml::RandomFeatureGp gp_;
+};
+
+/// Warper-style adaptive wrapper around LwGpEstimator: monitors the
+/// observed-cardinality stream for drift and decays stale evidence when a
+/// shift is detected, so the estimator re-converges from recent data.
+class WarperAdapter {
+ public:
+  struct Options {
+    size_t detector_window = 64;
+    double ks_threshold = 0.35;
+    double decay_on_drift = 0.05;  ///< evidence multiplier applied on drift
+  };
+
+  WarperAdapter(LwGpEstimator* base, Options options);
+
+  /// Feeds feedback after executing a query; adapts on drift.
+  /// Returns true when a drift was handled this step.
+  bool ObserveFeedback(const engine::Query& query, double true_cardinality);
+
+  double EstimateCardinality(const engine::Query& query) const {
+    return base_->EstimateCardinality(query);
+  }
+
+  size_t drifts_handled() const { return detector_.drift_count(); }
+
+ private:
+  LwGpEstimator* base_;
+  Options options_;
+  drift::KsDriftDetector detector_;
+};
+
+}  // namespace costest
+}  // namespace ml4db
+
+#endif  // ML4DB_COSTEST_ESTIMATORS_H_

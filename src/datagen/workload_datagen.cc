@@ -1,0 +1,126 @@
+#include "datagen/workload_datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace datagen {
+
+WorkloadDrivenGenerator::WorkloadDrivenGenerator(DataGenFitOptions options)
+    : options_(options) {
+  ML4DB_CHECK(options.grid >= 2);
+  ML4DB_CHECK(options.sweeps >= 1);
+}
+
+double WorkloadDrivenGenerator::Coverage(int i, int j, double x_lo,
+                                         double x_hi, double y_lo,
+                                         double y_hi) const {
+  const double g = static_cast<double>(options_.grid);
+  const double cx_lo = i / g, cx_hi = (i + 1) / g;
+  const double cy_lo = j / g, cy_hi = (j + 1) / g;
+  const double wx = std::min(cx_hi, x_hi) - std::max(cx_lo, x_lo);
+  const double wy = std::min(cy_hi, y_hi) - std::max(cy_lo, y_lo);
+  if (wx <= 0 || wy <= 0) return 0.0;
+  return (wx * g) * (wy * g);  // fraction of the cell covered
+}
+
+Status WorkloadDrivenGenerator::Fit(
+    const std::vector<CardinalityObservation>& observations,
+    double total_rows) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("no observations");
+  }
+  if (total_rows <= 0) {
+    return Status::InvalidArgument("total_rows must be positive");
+  }
+  total_rows_ = total_rows;
+  const int g = options_.grid;
+  mass_.assign(static_cast<size_t>(g) * g, total_rows / (g * g));
+
+  for (int sweep = 0; sweep < options_.sweeps; ++sweep) {
+    for (const auto& obs : observations) {
+      // Current model mass inside the box.
+      double cur = 0.0;
+      for (int i = 0; i < g; ++i) {
+        for (int j = 0; j < g; ++j) {
+          const double cov = Coverage(i, j, obs.x_lo, obs.x_hi, obs.y_lo, obs.y_hi);
+          if (cov > 0) cur += CellMass(i, j) * cov;
+        }
+      }
+      if (cur < 1e-9) continue;
+      const double target = std::max(obs.cardinality, 0.0);
+      double ratio = target > 0 ? target / cur : 0.1;  // zero-answer shrink
+      if (options_.damping != 1.0) {
+        ratio = std::pow(ratio, options_.damping);
+      }
+      ratio = Clamp(ratio, 0.05, 20.0);  // guard divergence
+      for (int i = 0; i < g; ++i) {
+        for (int j = 0; j < g; ++j) {
+          const double cov = Coverage(i, j, obs.x_lo, obs.x_hi, obs.y_lo, obs.y_hi);
+          if (cov <= 0) continue;
+          // Scale covered mass; partially covered cells blend.
+          const double m = mass_[static_cast<size_t>(i) * g + j];
+          mass_[static_cast<size_t>(i) * g + j] =
+              m * (1.0 - cov) + m * cov * ratio;
+        }
+      }
+    }
+    // Re-anchor the total mass to the known row count.
+    double total = 0.0;
+    for (double m : mass_) total += m;
+    if (total > 1e-9) {
+      const double scale = total_rows_ / total;
+      for (double& m : mass_) m *= scale;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double WorkloadDrivenGenerator::EstimateCardinality(double x_lo, double x_hi,
+                                                    double y_lo,
+                                                    double y_hi) const {
+  ML4DB_CHECK(fitted_);
+  const int g = options_.grid;
+  double acc = 0.0;
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      const double cov = Coverage(i, j, x_lo, x_hi, y_lo, y_hi);
+      if (cov > 0) acc += CellMass(i, j) * cov;
+    }
+  }
+  return acc;
+}
+
+double WorkloadDrivenGenerator::FitError(
+    const std::vector<CardinalityObservation>& holdout) const {
+  ML4DB_CHECK(!holdout.empty());
+  double acc = 0.0;
+  for (const auto& obs : holdout) {
+    const double est =
+        EstimateCardinality(obs.x_lo, obs.x_hi, obs.y_lo, obs.y_hi);
+    acc += std::abs(est - obs.cardinality) / std::max(obs.cardinality, 1.0);
+  }
+  return acc / static_cast<double>(holdout.size());
+}
+
+std::vector<std::pair<double, double>> WorkloadDrivenGenerator::Sample(
+    size_t n, Rng& rng) const {
+  ML4DB_CHECK(fitted_);
+  const int g = options_.grid;
+  std::vector<double> weights(mass_.begin(), mass_.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    const size_t cell = rng.Categorical(weights);
+    const int i = static_cast<int>(cell) / g;
+    const int j = static_cast<int>(cell) % g;
+    out.emplace_back((i + rng.NextDouble()) / g, (j + rng.NextDouble()) / g);
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace ml4db

@@ -1,0 +1,78 @@
+// Workload-driven synthetic database generation — the paper's open problem
+// 4 ("generating training data of high quality"), following SAM (Yang et
+// al. 2022, ref [49]): given only the *answers* a private database returned
+// to a query workload (query predicates + observed cardinalities — no raw
+// rows), synthesize a data distribution whose query answers match, so
+// ML4DB components can be trained on privacy-compliant synthetic data.
+//
+// This laptop-scale variant fits a 2-d histogram grid over two attribute
+// columns by multiplicative (iterative-proportional-fitting-style) updates
+// against the observed box cardinalities, then samples synthetic rows.
+
+#ifndef ML4DB_DATAGEN_WORKLOAD_DATAGEN_H_
+#define ML4DB_DATAGEN_WORKLOAD_DATAGEN_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace ml4db {
+namespace datagen {
+
+/// One workload observation: the query's rectangle over the two modeled
+/// columns (full domain when a column is unfiltered) and the cardinality
+/// the private database returned.
+struct CardinalityObservation {
+  double x_lo = 0.0, x_hi = 1.0;  ///< normalized [0,1] filter interval, col A
+  double y_lo = 0.0, y_hi = 1.0;  ///< col B
+  double cardinality = 0.0;
+};
+
+/// Options for the generator.
+struct DataGenFitOptions {
+  int grid = 32;        ///< cells per axis
+  int sweeps = 60;      ///< multiplicative-update passes over the workload
+  double damping = 1.0; ///< update exponent (1 = full IPF step)
+};
+
+/// Fits a 2-d distribution to query-cardinality feedback and samples
+/// synthetic rows from it.
+class WorkloadDrivenGenerator {
+ public:
+  explicit WorkloadDrivenGenerator(DataGenFitOptions options = {});
+
+  /// Fits the grid to the observations. `total_rows` anchors the overall
+  /// mass (the private table's row count — typically public metadata).
+  Status Fit(const std::vector<CardinalityObservation>& observations,
+             double total_rows);
+
+  bool fitted() const { return fitted_; }
+
+  /// Model's estimated cardinality for a box (diagnostic + holdout eval).
+  double EstimateCardinality(double x_lo, double x_hi, double y_lo,
+                             double y_hi) const;
+
+  /// Mean relative cardinality error over a set of observations.
+  double FitError(const std::vector<CardinalityObservation>& holdout) const;
+
+  /// Samples `n` synthetic (x, y) pairs in normalized [0,1) coordinates.
+  std::vector<std::pair<double, double>> Sample(size_t n, Rng& rng) const;
+
+  int grid() const { return options_.grid; }
+
+ private:
+  double CellMass(int i, int j) const { return mass_[i * options_.grid + j]; }
+  /// Fraction of cell (i,j) covered by the box, by area.
+  double Coverage(int i, int j, double x_lo, double x_hi, double y_lo,
+                  double y_hi) const;
+
+  DataGenFitOptions options_;
+  std::vector<double> mass_;  // grid x grid, sums to total_rows
+  double total_rows_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace datagen
+}  // namespace ml4db
+
+#endif  // ML4DB_DATAGEN_WORKLOAD_DATAGEN_H_

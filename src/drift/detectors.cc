@@ -1,0 +1,67 @@
+#include "drift/detectors.h"
+
+namespace ml4db {
+namespace drift {
+
+bool KsDriftDetector::Observe(double value) {
+  if (reference_.size() < window_) {
+    reference_.push_back(value);
+    return false;
+  }
+  recent_.push_back(value);
+  if (recent_.size() > window_) recent_.pop_front();
+  if (recent_.size() < window_) return false;
+  if (Distance() > threshold_) {
+    reference_.assign(recent_.begin(), recent_.end());
+    recent_.clear();
+    ++drift_count_;
+    return true;
+  }
+  return false;
+}
+
+double KsDriftDetector::Distance() const {
+  if (reference_.size() < window_ || recent_.size() < window_) return 0.0;
+  return KsStatistic(reference_,
+                     std::vector<double>(recent_.begin(), recent_.end()));
+}
+
+bool MixDriftDetector::Observe(size_t template_id) {
+  ML4DB_CHECK(template_id < num_templates_);
+  if (reference_counts_.empty()) {
+    reference_counts_.assign(num_templates_, 0.0);
+    reference_fill_ = 0;
+  }
+  if (reference_fill_ < window_) {
+    reference_counts_[template_id] += 1.0;
+    ++reference_fill_;
+    return false;
+  }
+  recent_.push_back(template_id);
+  if (recent_.size() > window_) recent_.pop_front();
+  if (recent_.size() < window_) return false;
+  if (Divergence() > threshold_) {
+    reference_counts_.assign(num_templates_, 0.0);
+    for (size_t t : recent_) reference_counts_[t] += 1.0;
+    recent_.clear();
+    ++drift_count_;
+    return true;
+  }
+  return false;
+}
+
+double MixDriftDetector::Divergence() const {
+  if (recent_.size() < window_ || reference_counts_.empty()) return 0.0;
+  std::vector<double> recent_counts(num_templates_, 0.0);
+  for (size_t t : recent_) recent_counts[t] += 1.0;
+  // Laplace smoothing keeps JS finite on unseen templates.
+  std::vector<double> ref = reference_counts_;
+  for (size_t i = 0; i < num_templates_; ++i) {
+    ref[i] += 0.5;
+    recent_counts[i] += 0.5;
+  }
+  return JensenShannon(ref, recent_counts);
+}
+
+}  // namespace drift
+}  // namespace ml4db

@@ -1,0 +1,76 @@
+// Data & workload drift detection (paper §3.3, open problem 2). Detectors
+// compare a reference window against a recent window: KS statistic for
+// continuous feature/key distributions (data drift), Jensen–Shannon
+// divergence over template mixes (workload drift).
+
+#ifndef ML4DB_DRIFT_DETECTORS_H_
+#define ML4DB_DRIFT_DETECTORS_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace drift {
+
+/// Sliding-window KS drift detector over a scalar stream.
+class KsDriftDetector {
+ public:
+  /// @param window     observations per window
+  /// @param threshold  KS statistic above which drift is flagged
+  KsDriftDetector(size_t window, double threshold)
+      : window_(window), threshold_(threshold) {
+    ML4DB_CHECK(window >= 8);
+  }
+
+  /// Feeds one observation; returns true when drift is detected (the
+  /// recent window then becomes the new reference).
+  bool Observe(double value);
+
+  /// Current KS distance between reference and recent windows (0 until
+  /// both windows are full).
+  double Distance() const;
+
+  bool HasReference() const { return reference_.size() == window_; }
+  size_t drift_count() const { return drift_count_; }
+
+ private:
+  size_t window_;
+  double threshold_;
+  std::vector<double> reference_;
+  std::deque<double> recent_;
+  size_t drift_count_ = 0;
+};
+
+/// Workload-mix drift detector over categorical template ids.
+class MixDriftDetector {
+ public:
+  /// @param num_templates categorical domain size
+  /// @param window        observations per window
+  /// @param threshold     JS divergence (nats) above which drift is flagged
+  MixDriftDetector(size_t num_templates, size_t window, double threshold)
+      : num_templates_(num_templates), window_(window), threshold_(threshold) {
+    ML4DB_CHECK(num_templates >= 1 && window >= 8);
+  }
+
+  /// Feeds one template observation; returns true on detected drift.
+  bool Observe(size_t template_id);
+
+  double Divergence() const;
+  size_t drift_count() const { return drift_count_; }
+
+ private:
+  size_t num_templates_;
+  size_t window_;
+  double threshold_;
+  std::vector<double> reference_counts_;
+  size_t reference_fill_ = 0;
+  std::deque<size_t> recent_;
+  size_t drift_count_ = 0;
+};
+
+}  // namespace drift
+}  // namespace ml4db
+
+#endif  // ML4DB_DRIFT_DETECTORS_H_

@@ -1,0 +1,76 @@
+#include "engine/card_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace engine {
+
+const TableStats* HistogramCardEstimator::StatsFor(const Query& query,
+                                                   int slot) const {
+  ML4DB_CHECK(slot >= 0 && slot < query.num_tables());
+  const TableStats* ts = stats_->Get(query.tables[slot]);
+  ML4DB_CHECK_MSG(ts != nullptr, "table not analyzed");
+  return ts;
+}
+
+double HistogramCardEstimator::FilterSelectivity(
+    const Query& query, const FilterPredicate& f) const {
+  const TableStats* ts = StatsFor(query, f.table_slot);
+  ML4DB_CHECK(f.column >= 0 &&
+              f.column < static_cast<int>(ts->columns.size()));
+  const ColumnStats& cs = ts->columns[f.column];
+  const Histogram& h = cs.histogram;
+  switch (f.op) {
+    case CompareOp::kEq:
+      return h.EqualSelectivity(f.value);
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return h.CdfLeq(f.value);
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return 1.0 - h.CdfLeq(f.value);
+    case CompareOp::kBetween:
+      return h.RangeSelectivity(f.value, f.value2);
+  }
+  return 1.0;
+}
+
+double HistogramCardEstimator::EstimateScan(const Query& query,
+                                            int slot) const {
+  const TableStats* ts = StatsFor(query, slot);
+  double sel = 1.0;
+  for (const auto& f : query.filters) {
+    if (f.table_slot != slot) continue;
+    sel *= FilterSelectivity(query, f);  // independence assumption
+  }
+  return std::max(1.0, sel * static_cast<double>(ts->row_count));
+}
+
+double HistogramCardEstimator::JoinSelectivity(const Query& query,
+                                               const JoinPredicate& j) const {
+  const TableStats* lt = StatsFor(query, j.left.table_slot);
+  const TableStats* rt = StatsFor(query, j.right.table_slot);
+  const double lndv = std::max(1.0, lt->columns[j.left.column].num_distinct);
+  const double rndv = std::max(1.0, rt->columns[j.right.column].num_distinct);
+  return 1.0 / std::max(lndv, rndv);
+}
+
+double HistogramCardEstimator::EstimateSubset(const Query& query,
+                                              SlotMask mask) const {
+  double card = 1.0;
+  for (int slot = 0; slot < query.num_tables(); ++slot) {
+    if ((mask & SlotBit(slot)) != 0) {
+      card *= EstimateScan(query, slot);
+    }
+  }
+  for (const auto& j : query.joins) {
+    const bool l_in = (mask & SlotBit(j.left.table_slot)) != 0;
+    const bool r_in = (mask & SlotBit(j.right.table_slot)) != 0;
+    if (l_in && r_in) card *= JoinSelectivity(query, j);
+  }
+  return std::max(1.0, card);
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,66 @@
+// Cardinality estimation interface plus the classical histogram-based
+// implementation (independence + uniformity assumptions, PostgreSQL-style).
+// The interface is virtual so learned estimators (src/costest) can be
+// plugged into the same DP optimizer — the LEON / ParamTree experiments
+// swap this component.
+
+#ifndef ML4DB_ENGINE_CARD_ESTIMATOR_H_
+#define ML4DB_ENGINE_CARD_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "engine/query.h"
+#include "engine/stats.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Bitmask of query slots (table positions); queries have ≤ 63 tables.
+using SlotMask = uint64_t;
+
+inline SlotMask SlotBit(int slot) { return SlotMask{1} << slot; }
+
+/// Estimates cardinalities for (sub)queries.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated output rows of scanning `slot` with its filters applied.
+  virtual double EstimateScan(const Query& query, int slot) const = 0;
+
+  /// Estimated rows of the join over the subset of slots in `mask`
+  /// (all applicable filters and join edges applied).
+  virtual double EstimateSubset(const Query& query, SlotMask mask) const = 0;
+
+  /// Selectivity of one filter conjunct (exposed for feature encoding).
+  virtual double FilterSelectivity(const Query& query,
+                                   const FilterPredicate& f) const = 0;
+};
+
+/// Histogram + independence estimator backed by ANALYZE statistics.
+class HistogramCardEstimator : public CardinalityEstimator {
+ public:
+  HistogramCardEstimator(const Catalog* catalog, const StatsCatalog* stats)
+      : catalog_(catalog), stats_(stats) {
+    ML4DB_CHECK(catalog != nullptr && stats != nullptr);
+  }
+
+  double EstimateScan(const Query& query, int slot) const override;
+  double EstimateSubset(const Query& query, SlotMask mask) const override;
+  double FilterSelectivity(const Query& query,
+                           const FilterPredicate& f) const override;
+
+  /// Join selectivity of one equi-edge: 1 / max(ndv_left, ndv_right).
+  double JoinSelectivity(const Query& query, const JoinPredicate& j) const;
+
+ private:
+  const TableStats* StatsFor(const Query& query, int slot) const;
+
+  const Catalog* catalog_;
+  const StatsCatalog* stats_;
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_CARD_ESTIMATOR_H_

@@ -1,0 +1,115 @@
+#include "engine/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace engine {
+
+const std::vector<std::string>& CostParams::Names() {
+  static const std::vector<std::string> kNames = {
+      "seq_page_cost",   "rand_page_cost",  "cpu_tuple_cost",
+      "cpu_operator_cost", "hash_build_cost", "hash_probe_cost",
+      "output_tuple_cost"};
+  return kNames;
+}
+
+double CostParams::Get(size_t i) const {
+  switch (i) {
+    case 0: return seq_page_cost;
+    case 1: return rand_page_cost;
+    case 2: return cpu_tuple_cost;
+    case 3: return cpu_operator_cost;
+    case 4: return hash_build_cost;
+    case 5: return hash_probe_cost;
+    case 6: return output_tuple_cost;
+  }
+  ML4DB_CHECK_MSG(false, "bad param index");
+  return 0.0;
+}
+
+void CostParams::Set(size_t i, double v) {
+  switch (i) {
+    case 0: seq_page_cost = v; return;
+    case 1: rand_page_cost = v; return;
+    case 2: cpu_tuple_cost = v; return;
+    case 3: cpu_operator_cost = v; return;
+    case 4: hash_build_cost = v; return;
+    case 5: hash_probe_cost = v; return;
+    case 6: output_tuple_cost = v; return;
+  }
+  ML4DB_CHECK_MSG(false, "bad param index");
+}
+
+double PriceWork(const OperatorWork& w, const CostParams& p) {
+  return w.seq_pages * p.seq_page_cost + w.rand_pages * p.rand_page_cost +
+         w.input_tuples * p.cpu_tuple_cost +
+         w.filter_evals * p.cpu_operator_cost +
+         w.hash_build_tuples * p.hash_build_cost +
+         w.hash_probe_tuples * p.hash_probe_cost +
+         w.output_tuples * p.output_tuple_cost;
+}
+
+double IndexProbePages(double table_rows, double matches) {
+  const double n = std::max(table_rows, 2.0);
+  const double depth = std::ceil(std::log(n) / std::log(64.0));
+  return depth + std::ceil(matches / 256.0);
+}
+
+OperatorWork CostModel::SeqScanWork(double table_rows, int num_filters,
+                                    double out_rows) const {
+  OperatorWork w;
+  w.seq_pages = std::ceil(table_rows / kRowsPerPage);
+  w.input_tuples = table_rows;
+  w.filter_evals = table_rows * num_filters;
+  w.output_tuples = out_rows;
+  return w;
+}
+
+OperatorWork CostModel::IndexScanWork(double table_rows, double index_matches,
+                                      int residual_filters,
+                                      double out_rows) const {
+  OperatorWork w;
+  w.rand_pages = IndexProbePages(table_rows, index_matches);
+  w.input_tuples = index_matches;
+  w.filter_evals = index_matches * residual_filters;
+  w.output_tuples = out_rows;
+  return w;
+}
+
+OperatorWork CostModel::HashJoinWork(double outer_rows, double inner_rows,
+                                     double out_rows,
+                                     int residual_joins) const {
+  OperatorWork w;
+  w.hash_build_tuples = inner_rows;
+  w.hash_probe_tuples = outer_rows;
+  w.filter_evals = out_rows * residual_joins;
+  w.output_tuples = out_rows;
+  return w;
+}
+
+OperatorWork CostModel::IndexNlJoinWork(double outer_rows,
+                                        double inner_table_rows,
+                                        double matches_per_probe,
+                                        double out_rows,
+                                        int residual_joins) const {
+  OperatorWork w;
+  w.rand_pages = outer_rows * IndexProbePages(inner_table_rows, matches_per_probe);
+  w.input_tuples = outer_rows;
+  w.filter_evals = out_rows * residual_joins;
+  w.output_tuples = out_rows;
+  return w;
+}
+
+OperatorWork CostModel::NlJoinWork(double outer_rows, double inner_rows,
+                                   double out_rows, int residual_joins) const {
+  OperatorWork w;
+  w.input_tuples = outer_rows;
+  w.filter_evals = outer_rows * inner_rows * (1 + residual_joins);
+  w.output_tuples = out_rows;
+  return w;
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,91 @@
+// PostgreSQL-style formula cost model with tunable constants.
+//
+// The constants are exactly the "R-params" ParamTree (paper §3.2) learns:
+// the same formulas evaluated with miscalibrated constants produce the
+// plan-choice mistakes learned cost models try to fix, and evaluated with
+// actual (post-execution) row counts they define the engine's deterministic
+// latency model.
+
+#ifndef ML4DB_ENGINE_COST_MODEL_H_
+#define ML4DB_ENGINE_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Rows per simulated disk page (fixed layout constant).
+inline constexpr double kRowsPerPage = 128.0;
+
+/// Tunable cost-model constants (ParamTree's R-params).
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double rand_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;
+  double hash_build_cost = 0.02;   ///< per build-side tuple
+  double hash_probe_cost = 0.005;  ///< per probe-side tuple
+  double output_tuple_cost = 0.01; ///< per emitted join tuple
+
+  /// Named accessors used by ParamTree's generic tuner.
+  static const std::vector<std::string>& Names();
+  double Get(size_t i) const;
+  void Set(size_t i, double v);
+  static constexpr size_t kNumParams = 7;
+};
+
+/// Prices a work vector under the given constants.
+double PriceWork(const OperatorWork& work, const CostParams& params);
+
+/// Formula cost model evaluated on estimated cardinalities. Scan costs need
+/// the base-table row count; join costs need child estimates.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+  void set_params(const CostParams& p) { params_ = p; }
+
+  /// Work vector for a sequential scan of a table with `table_rows` rows,
+  /// `num_filters` conjuncts, emitting `out_rows`.
+  OperatorWork SeqScanWork(double table_rows, int num_filters,
+                           double out_rows) const;
+
+  /// Work for an index scan matching `index_matches` rows (then applying
+  /// `residual_filters` more conjuncts) on a table of `table_rows` rows.
+  OperatorWork IndexScanWork(double table_rows, double index_matches,
+                             int residual_filters, double out_rows) const;
+
+  /// Work for a hash join of child cardinalities (probe = left/outer).
+  OperatorWork HashJoinWork(double outer_rows, double inner_rows,
+                            double out_rows, int residual_joins) const;
+
+  /// Work for an index nested-loop join driving `outer_rows` probes into an
+  /// index on a table of `inner_table_rows` rows.
+  OperatorWork IndexNlJoinWork(double outer_rows, double inner_table_rows,
+                               double matches_per_probe, double out_rows,
+                               int residual_joins) const;
+
+  /// Work for a materialized nested-loop join.
+  OperatorWork NlJoinWork(double outer_rows, double inner_rows,
+                          double out_rows, int residual_joins) const;
+
+  /// Prices under this model's constants.
+  double Price(const OperatorWork& w) const { return PriceWork(w, params_); }
+
+ private:
+  CostParams params_;
+};
+
+/// Simulated index probe page cost (duplicated from SortedIndex so the
+/// optimizer can price probes without touching data).
+double IndexProbePages(double table_rows, double matches);
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_COST_MODEL_H_

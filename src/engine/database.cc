@@ -1,0 +1,54 @@
+#include "engine/database.h"
+
+namespace ml4db {
+namespace engine {
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  card_est_ = std::make_unique<HistogramCardEstimator>(&catalog_, &stats_);
+  planner_ctx_.catalog = &catalog_;
+  planner_ctx_.stats = &stats_;
+  planner_ctx_.card_est = card_est_.get();
+  planner_ctx_.cost_model = CostModel(options_.planner_params);
+  optimizer_ = std::make_unique<DpOptimizer>(planner_ctx_);
+  executor_ = std::make_unique<Executor>(&catalog_, options_.true_params);
+}
+
+Status Database::AnalyzeTable(const std::string& table_name) {
+  ML4DB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  stats_.Put(table_name, Analyze(*table, options_.histogram_buckets,
+                                 options_.sample_size, options_.analyze_seed));
+  return Status::OK();
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : catalog_.TableNames()) {
+    ML4DB_RETURN_IF_ERROR(AnalyzeTable(name));
+  }
+  return Status::OK();
+}
+
+StatusOr<PhysicalPlan> Database::Plan(const Query& query,
+                                      const HintSet& hints) const {
+  return optimizer_->Optimize(query, hints);
+}
+
+StatusOr<ExecutionResult> Database::Execute(const Query& query,
+                                            PhysicalPlan* plan,
+                                            const ExecutionLimits& limits) const {
+  return executor_->Execute(query, plan, limits);
+}
+
+StatusOr<ExecutionResult> Database::Run(const Query& query,
+                                        const HintSet& hints) const {
+  ML4DB_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query, hints));
+  return Execute(query, &plan);
+}
+
+void Database::SetPlannerParams(const CostParams& params) {
+  options_.planner_params = params;
+  planner_ctx_.cost_model = CostModel(params);
+  optimizer_ = std::make_unique<DpOptimizer>(planner_ctx_);
+}
+
+}  // namespace engine
+}  // namespace ml4db

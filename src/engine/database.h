@@ -1,0 +1,80 @@
+// Database facade tying the engine together: catalog + statistics +
+// classical optimizer + executor. This plays the role PostgreSQL plays for
+// the surveyed ML4DB systems: it plans queries, executes plans, exposes
+// EXPLAIN trees and statistics, and reports (simulated) latencies as the
+// learning signal.
+
+#ifndef ML4DB_ENGINE_DATABASE_H_
+#define ML4DB_ENGINE_DATABASE_H_
+
+#include <memory>
+
+#include "engine/dp_optimizer.h"
+#include "engine/executor.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Configuration of a Database instance.
+struct DatabaseOptions {
+  /// Constants the optimizer believes (PostgreSQL defaults).
+  CostParams planner_params;
+  /// Constants the simulated hardware actually exhibits; the gap between
+  /// the two is what ParamTree learns to close.
+  CostParams true_params;
+  int histogram_buckets = 64;
+  int sample_size = 256;
+  uint64_t analyze_seed = 1;
+};
+
+/// An in-memory database instance.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  const StatsCatalog& stats() const { return stats_; }
+
+  /// Recomputes statistics for one table (run after loading data).
+  Status AnalyzeTable(const std::string& table_name);
+
+  /// Recomputes statistics for every table.
+  Status AnalyzeAll();
+
+  /// Plans a query with the classical DP optimizer.
+  StatusOr<PhysicalPlan> Plan(const Query& query,
+                              const HintSet& hints = {}) const;
+
+  /// Executes a plan, annotating actuals and returning count + latency.
+  StatusOr<ExecutionResult> Execute(const Query& query, PhysicalPlan* plan,
+                                    const ExecutionLimits& limits = {}) const;
+
+  /// Plan + execute in one call.
+  StatusOr<ExecutionResult> Run(const Query& query,
+                                const HintSet& hints = {}) const;
+
+  /// Planner context (catalog/stats/estimator/cost model) for learned
+  /// planners that want to share the engine's primitives.
+  const PlannerContext& planner_context() const { return planner_ctx_; }
+  const DpOptimizer& optimizer() const { return *optimizer_; }
+  const Executor& executor() const { return *executor_; }
+  const HistogramCardEstimator& card_estimator() const { return *card_est_; }
+
+  /// Replaces the planner's cost constants (ParamTree integration point).
+  void SetPlannerParams(const CostParams& params);
+
+ private:
+  DatabaseOptions options_;
+  Catalog catalog_;
+  StatsCatalog stats_;
+  std::unique_ptr<HistogramCardEstimator> card_est_;
+  PlannerContext planner_ctx_;
+  std::unique_ptr<DpOptimizer> optimizer_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_DATABASE_H_

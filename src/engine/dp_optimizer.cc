@@ -1,0 +1,228 @@
+#include "engine/dp_optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+namespace ml4db {
+namespace engine {
+
+SlotMask MaskOf(const PlanNode& node) {
+  SlotMask m = 0;
+  for (int s : node.CoveredSlots()) m |= SlotBit(s);
+  return m;
+}
+
+double DpOptimizer::TableRows(const Query& query, int slot) const {
+  const TableStats* ts = ctx_.stats->Get(query.tables[slot]);
+  ML4DB_CHECK_MSG(ts != nullptr, "table not analyzed");
+  return static_cast<double>(ts->row_count);
+}
+
+std::unique_ptr<PlanNode> DpOptimizer::BestScan(const Query& query, int slot,
+                                                const HintSet& hints) const {
+  const double table_rows = TableRows(query, slot);
+  const double out_rows = ctx_.card_est->EstimateScan(query, slot);
+  const std::vector<FilterPredicate> filters = query.FiltersFor(slot);
+
+  auto make_scan = [&](PlanOp op, int index_filter) {
+    auto node = std::make_unique<PlanNode>();
+    node->op = op;
+    node->table_slot = slot;
+    node->table_name = query.tables[slot];
+    node->filters = filters;
+    node->index_filter = index_filter;
+    node->est_rows = out_rows;
+    return node;
+  };
+
+  // Sequential scan (always constructible; penalized if disabled).
+  auto best = make_scan(PlanOp::kSeqScan, -1);
+  {
+    const OperatorWork w = ctx_.cost_model.SeqScanWork(
+        table_rows, static_cast<int>(filters.size()), out_rows);
+    best->est_cost = ctx_.cost_model.Price(w) +
+                     (hints.enable_seq_scan ? 0.0 : kDisabledOpPenalty);
+  }
+
+  // Index scans: one candidate per sargable filter with an index.
+  auto table = ctx_.catalog->GetTable(query.tables[slot]);
+  if (table.ok()) {
+    for (size_t fi = 0; fi < filters.size(); ++fi) {
+      const FilterPredicate& f = filters[fi];
+      if (!(*table)->HasIndex(f.column)) continue;
+      // Estimate rows matched by the index condition alone.
+      double index_sel = ctx_.card_est->FilterSelectivity(query, f);
+      const double matches = std::max(1.0, index_sel * table_rows);
+      auto cand = make_scan(PlanOp::kIndexScan, static_cast<int>(fi));
+      const OperatorWork w = ctx_.cost_model.IndexScanWork(
+          table_rows, matches, static_cast<int>(filters.size()), out_rows);
+      cand->est_cost = ctx_.cost_model.Price(w) +
+                       (hints.enable_index_scan ? 0.0 : kDisabledOpPenalty);
+      if (cand->est_cost < best->est_cost) best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+std::vector<JoinPredicate> DpOptimizer::ConnectingEdges(const Query& query,
+                                                        SlotMask left,
+                                                        SlotMask right) const {
+  std::vector<JoinPredicate> edges;
+  for (const auto& j : query.joins) {
+    const SlotMask lb = SlotBit(j.left.table_slot);
+    const SlotMask rb = SlotBit(j.right.table_slot);
+    if (((lb & left) && (rb & right)) || ((lb & right) && (rb & left))) {
+      edges.push_back(j);
+    }
+  }
+  return edges;
+}
+
+std::vector<std::unique_ptr<PlanNode>> DpOptimizer::CandidateJoins(
+    const Query& query, const PlanNode& left, const PlanNode& right,
+    const HintSet& hints) const {
+  std::vector<std::unique_ptr<PlanNode>> out;
+  const SlotMask lm = MaskOf(left);
+  const SlotMask rm = MaskOf(right);
+  if ((lm & rm) != 0) return out;
+  const std::vector<JoinPredicate> edges = ConnectingEdges(query, lm, rm);
+  if (edges.empty()) return out;
+
+  const SlotMask joint = lm | rm;
+  const double out_rows = ctx_.card_est->EstimateSubset(query, joint);
+  const int residuals = static_cast<int>(edges.size()) - 1;
+
+  auto base_join = [&](PlanOp op) {
+    auto node = std::make_unique<PlanNode>();
+    node->op = op;
+    node->join_pred = edges[0];
+    node->residual_joins.assign(edges.begin() + 1, edges.end());
+    node->est_rows = out_rows;
+    return node;
+  };
+
+  // Hash join, both orientations (build side = right child).
+  for (int orient = 0; orient < 2; ++orient) {
+    const PlanNode& outer = orient == 0 ? left : right;
+    const PlanNode& inner = orient == 0 ? right : left;
+    auto node = base_join(PlanOp::kHashJoin);
+    const OperatorWork w = ctx_.cost_model.HashJoinWork(
+        outer.est_rows, inner.est_rows, out_rows, residuals);
+    node->est_cost = outer.est_cost + inner.est_cost + ctx_.cost_model.Price(w) +
+                     (hints.enable_hash_join ? 0.0 : kDisabledOpPenalty);
+    node->children.push_back(outer.Clone());
+    node->children.push_back(inner.Clone());
+    out.push_back(std::move(node));
+  }
+
+  // Nested loop join, both orientations.
+  for (int orient = 0; orient < 2; ++orient) {
+    const PlanNode& outer = orient == 0 ? left : right;
+    const PlanNode& inner = orient == 0 ? right : left;
+    auto node = base_join(PlanOp::kNlJoin);
+    const OperatorWork w = ctx_.cost_model.NlJoinWork(
+        outer.est_rows, inner.est_rows, out_rows, residuals);
+    node->est_cost = outer.est_cost + inner.est_cost + ctx_.cost_model.Price(w) +
+                     (hints.enable_nl_join ? 0.0 : kDisabledOpPenalty);
+    node->children.push_back(outer.Clone());
+    node->children.push_back(inner.Clone());
+    out.push_back(std::move(node));
+  }
+
+  // Index NL join: inner side must be a bare base-table scan whose join
+  // column is indexed.
+  for (int orient = 0; orient < 2; ++orient) {
+    const PlanNode& outer = orient == 0 ? left : right;
+    const PlanNode& inner = orient == 0 ? right : left;
+    if (inner.table_slot < 0 || !inner.children.empty()) continue;
+    // Which side of the primary edge touches the inner slot?
+    ColumnRef inner_ref = edges[0].right;
+    if (inner_ref.table_slot != inner.table_slot) inner_ref = edges[0].left;
+    if (inner_ref.table_slot != inner.table_slot) continue;
+    auto table = ctx_.catalog->GetTable(inner.table_name);
+    if (!table.ok() || !(*table)->HasIndex(inner_ref.column)) continue;
+
+    const double inner_table_rows = TableRows(query, inner.table_slot);
+    const TableStats* its = ctx_.stats->Get(inner.table_name);
+    const double ndv =
+        std::max(1.0, its->columns[inner_ref.column].num_distinct);
+    const double matches_per_probe = inner_table_rows / ndv;
+
+    auto node = base_join(PlanOp::kIndexNlJoin);
+    const OperatorWork w = ctx_.cost_model.IndexNlJoinWork(
+        outer.est_rows, inner_table_rows, matches_per_probe, out_rows,
+        residuals);
+    // The inner scan is performed through the index; its standalone scan
+    // cost is not paid.
+    node->est_cost = outer.est_cost + ctx_.cost_model.Price(w) +
+                     (hints.enable_index_nl_join ? 0.0 : kDisabledOpPenalty);
+    node->children.push_back(outer.Clone());
+    node->children.push_back(inner.Clone());
+    out.push_back(std::move(node));
+  }
+
+  return out;
+}
+
+std::unique_ptr<PlanNode> DpOptimizer::BestJoin(const Query& query,
+                                                const PlanNode& left,
+                                                const PlanNode& right,
+                                                const HintSet& hints) const {
+  auto candidates = CandidateJoins(query, left, right, hints);
+  std::unique_ptr<PlanNode> best;
+  for (auto& c : candidates) {
+    if (!best || c->est_cost < best->est_cost) best = std::move(c);
+  }
+  return best;
+}
+
+StatusOr<PhysicalPlan> DpOptimizer::Optimize(const Query& query,
+                                             const HintSet& hints) const {
+  const int n = query.num_tables();
+  if (n == 0) return Status::InvalidArgument("query has no tables");
+  if (n > 16) return Status::InvalidArgument("too many tables for DP");
+  if (!query.JoinGraphConnected()) {
+    return Status::InvalidArgument("join graph is not connected");
+  }
+
+  std::unordered_map<SlotMask, std::unique_ptr<PlanNode>> best;
+  for (int s = 0; s < n; ++s) {
+    best[SlotBit(s)] = BestScan(query, s, hints);
+  }
+
+  const SlotMask full = (SlotMask{1} << n) - 1;
+  // Enumerate masks in increasing popcount via plain ordering: any proper
+  // submask is numerically smaller, so ascending order is safe.
+  for (SlotMask mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    std::unique_ptr<PlanNode>* entry = &best[mask];
+    // Iterate proper non-empty submasks.
+    for (SlotMask sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+      const SlotMask other = mask ^ sub;
+      if (sub > other) continue;  // each partition once; joins try both orders
+      auto li = best.find(sub);
+      auto ri = best.find(other);
+      if (li == best.end() || li->second == nullptr) continue;
+      if (ri == best.end() || ri->second == nullptr) continue;
+      if (hints.left_deep_only &&
+          std::popcount(sub) > 1 && std::popcount(other) > 1) {
+        continue;  // one side must be a base relation
+      }
+      auto cand = BestJoin(query, *li->second, *ri->second, hints);
+      if (cand == nullptr) continue;
+      if (*entry == nullptr || cand->est_cost < (*entry)->est_cost) {
+        *entry = std::move(cand);
+      }
+    }
+  }
+
+  auto it = best.find(full);
+  if (it == best.end() || it->second == nullptr) {
+    return Status::Internal("DP failed to cover all tables");
+  }
+  return PhysicalPlan(std::move(it->second));
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,80 @@
+// Selinger-style dynamic-programming query optimizer — the "expert
+// optimizer" every learned method in this library bootstraps from,
+// enhances, or replaces (paper §3.2). Exposes its plan-construction
+// primitives (BestScan / CandidateJoins) so learned planners (NEO, RTOS,
+// LEON) build plans from exactly the same operator implementations.
+
+#ifndef ML4DB_ENGINE_DP_OPTIMIZER_H_
+#define ML4DB_ENGINE_DP_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/card_estimator.h"
+#include "engine/cost_model.h"
+#include "engine/hints.h"
+#include "engine/plan.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Everything a planner needs to cost plans.
+struct PlannerContext {
+  const Catalog* catalog = nullptr;
+  const StatsCatalog* stats = nullptr;
+  const CardinalityEstimator* card_est = nullptr;
+  CostModel cost_model{CostParams{}};
+};
+
+/// Dynamic-programming join-order optimizer with pluggable cardinality
+/// estimation and hint flags.
+class DpOptimizer {
+ public:
+  explicit DpOptimizer(PlannerContext ctx) : ctx_(ctx) {
+    ML4DB_CHECK(ctx.catalog != nullptr && ctx.stats != nullptr &&
+                ctx.card_est != nullptr);
+  }
+
+  /// Full DP optimization (bushy unless hints say left-deep). Queries must
+  /// have a connected join graph and at most 16 tables.
+  StatusOr<PhysicalPlan> Optimize(const Query& query,
+                                  const HintSet& hints = {}) const;
+
+  /// Best access path for one slot under the hints (SeqScan vs IndexScan),
+  /// fully annotated with est_rows / est_cost.
+  std::unique_ptr<PlanNode> BestScan(const Query& query, int slot,
+                                     const HintSet& hints) const;
+
+  /// All legal join operators combining two disjoint annotated subplans
+  /// (both operand orders for symmetric algorithms), each annotated.
+  /// Returns empty if no join edge connects the two sides.
+  std::vector<std::unique_ptr<PlanNode>> CandidateJoins(
+      const Query& query, const PlanNode& left, const PlanNode& right,
+      const HintSet& hints) const;
+
+  /// Convenience: the cheapest candidate join, or nullptr.
+  std::unique_ptr<PlanNode> BestJoin(const Query& query, const PlanNode& left,
+                                     const PlanNode& right,
+                                     const HintSet& hints) const;
+
+  const PlannerContext& context() const { return ctx_; }
+
+ private:
+  /// Join edges between the two slot sets; first is the primary predicate.
+  std::vector<JoinPredicate> ConnectingEdges(const Query& query,
+                                             SlotMask left,
+                                             SlotMask right) const;
+
+  double TableRows(const Query& query, int slot) const;
+
+  PlannerContext ctx_;
+};
+
+/// Slot mask covered by a plan subtree.
+SlotMask MaskOf(const PlanNode& node);
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_DP_OPTIMIZER_H_

@@ -1,0 +1,346 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ml4db {
+namespace engine {
+
+bool EvalFilter(const FilterPredicate& f, double v) {
+  switch (f.op) {
+    case CompareOp::kEq: return v == f.value;
+    case CompareOp::kLt: return v < f.value;
+    case CompareOp::kLe: return v <= f.value;
+    case CompareOp::kGt: return v > f.value;
+    case CompareOp::kGe: return v >= f.value;
+    case CompareOp::kBetween: return v >= f.value && v <= f.value2;
+  }
+  return false;
+}
+
+/// Tuples of base-table row ids; `slots[i]` names the query slot whose row
+/// id lives at position i of each tuple.
+struct Executor::Intermediate {
+  std::vector<int> slots;
+  std::vector<uint32_t> data;  // stride = slots.size()
+
+  size_t NumTuples() const {
+    return slots.empty() ? 0 : data.size() / slots.size();
+  }
+  int SlotPos(int slot) const {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == slot) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+namespace {
+
+struct Resolver {
+  const Query* query;
+  const Catalog* catalog;
+
+  const Column& ColumnOf(const ColumnRef& ref) const {
+    auto table = catalog->GetTable(query->tables[ref.table_slot]);
+    ML4DB_CHECK(table.ok());
+    return table.value()->column(ref.column);
+  }
+};
+
+}  // namespace
+
+StatusOr<ExecutionResult> Executor::Execute(const Query& query,
+                                            PhysicalPlan* plan,
+                                            const ExecutionLimits& limits) const {
+  ML4DB_CHECK(plan != nullptr && plan->root != nullptr);
+  double latency = 0.0;
+  auto result = ExecNode(query, plan->root.get(), limits, &latency);
+  ML4DB_RETURN_IF_ERROR(result.status());
+  ExecutionResult out;
+  out.count = result->NumTuples();
+  out.latency = latency;
+  return out;
+}
+
+StatusOr<Executor::Intermediate> Executor::ExecNode(
+    const Query& query, PlanNode* node, const ExecutionLimits& limits,
+    double* accumulated_latency) const {
+  Resolver resolver{&query, catalog_};
+  Intermediate out;
+  OperatorWork work;
+
+  auto check_limits = [&](size_t tuples) -> Status {
+    if (tuples * std::max<size_t>(out.slots.size(), 1) >
+        limits.max_intermediate_tuples) {
+      return Status::ResourceExhausted("intermediate result too large");
+    }
+    if (limits.latency_timeout >= 0 &&
+        *accumulated_latency > limits.latency_timeout) {
+      return Status::ResourceExhausted("latency timeout");
+    }
+    return Status::OK();
+  };
+
+  switch (node->op) {
+    case PlanOp::kSeqScan: {
+      ML4DB_ASSIGN_OR_RETURN(const Table* table,
+                             catalog_->GetTable(node->table_name));
+      const size_t n = table->num_rows();
+      out.slots = {node->table_slot};
+      out.data.reserve(64);
+      for (size_t r = 0; r < n; ++r) {
+        bool pass = true;
+        for (const auto& f : node->filters) {
+          if (!EvalFilter(f, table->column(f.column).GetNumeric(r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.data.push_back(static_cast<uint32_t>(r));
+      }
+      work = latency_model_.SeqScanWork(static_cast<double>(n),
+                                        static_cast<int>(node->filters.size()),
+                                        static_cast<double>(out.data.size()));
+      break;
+    }
+
+    case PlanOp::kIndexScan: {
+      ML4DB_ASSIGN_OR_RETURN(const Table* table,
+                             catalog_->GetTable(node->table_name));
+      ML4DB_CHECK(node->index_filter >= 0 &&
+                  node->index_filter < static_cast<int>(node->filters.size()));
+      const FilterPredicate& ixf = node->filters[node->index_filter];
+      const SortedIndex* index = table->GetIndex(ixf.column);
+      if (index == nullptr) {
+        return Status::FailedPrecondition("index scan without index on " +
+                                          node->table_name);
+      }
+      std::vector<uint32_t> candidates;
+      switch (ixf.op) {
+        case CompareOp::kEq:
+          candidates = index->Equal(ixf.value);
+          break;
+        case CompareOp::kBetween:
+          candidates = index->Range(ixf.value, ixf.value2);
+          break;
+        case CompareOp::kLe:
+        case CompareOp::kLt:
+          candidates = index->Range(-1e300, ixf.value);
+          break;
+        case CompareOp::kGe:
+        case CompareOp::kGt:
+          candidates = index->Range(ixf.value, 1e300);
+          break;
+      }
+      out.slots = {node->table_slot};
+      int residuals = 0;
+      for (uint32_t r : candidates) {
+        bool pass = true;
+        for (size_t fi = 0; fi < node->filters.size(); ++fi) {
+          const auto& f = node->filters[fi];
+          // The index handles equality/between exactly; strict bounds still
+          // need rechecking, so apply every filter including the indexed one.
+          if (!EvalFilter(f, table->column(f.column).GetNumeric(r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.data.push_back(r);
+      }
+      residuals = static_cast<int>(node->filters.size());
+      work = latency_model_.IndexScanWork(
+          static_cast<double>(table->num_rows()),
+          static_cast<double>(candidates.size()), residuals,
+          static_cast<double>(out.data.size()));
+      break;
+    }
+
+    case PlanOp::kHashJoin:
+    case PlanOp::kNlJoin: {
+      ML4DB_CHECK(node->children.size() == 2);
+      ML4DB_ASSIGN_OR_RETURN(
+          Intermediate left,
+          ExecNode(query, node->children[0].get(), limits, accumulated_latency));
+      ML4DB_ASSIGN_OR_RETURN(
+          Intermediate right,
+          ExecNode(query, node->children[1].get(), limits, accumulated_latency));
+
+      // Orient the join predicate: `lref` must live in the left child.
+      ColumnRef lref = node->join_pred.left;
+      ColumnRef rref = node->join_pred.right;
+      if (left.SlotPos(lref.table_slot) < 0) std::swap(lref, rref);
+      const int lpos = left.SlotPos(lref.table_slot);
+      const int rpos = right.SlotPos(rref.table_slot);
+      ML4DB_CHECK(lpos >= 0 && rpos >= 0);
+      const Column& lcol = resolver.ColumnOf(lref);
+      const Column& rcol = resolver.ColumnOf(rref);
+
+      out.slots = left.slots;
+      out.slots.insert(out.slots.end(), right.slots.begin(), right.slots.end());
+      const size_t lw = left.slots.size();
+      const size_t rw = right.slots.size();
+      const size_t ln = left.NumTuples();
+      const size_t rn = right.NumTuples();
+
+      // Residual equi-edges evaluated on combined tuples.
+      auto passes_residuals = [&](const uint32_t* lt, const uint32_t* rt) {
+        for (const auto& rj : node->residual_joins) {
+          ColumnRef a = rj.left, b = rj.right;
+          const Column& ca = resolver.ColumnOf(a);
+          const Column& cb = resolver.ColumnOf(b);
+          auto row_of = [&](const ColumnRef& ref) -> uint32_t {
+            int p = left.SlotPos(ref.table_slot);
+            if (p >= 0) return lt[p];
+            p = right.SlotPos(ref.table_slot);
+            ML4DB_CHECK(p >= 0);
+            return rt[p];
+          };
+          if (ca.GetNumeric(row_of(a)) != cb.GetNumeric(row_of(b))) {
+            return false;
+          }
+        }
+        return true;
+      };
+
+      auto emit = [&](const uint32_t* lt, const uint32_t* rt) {
+        for (size_t i = 0; i < lw; ++i) out.data.push_back(lt[i]);
+        for (size_t i = 0; i < rw; ++i) out.data.push_back(rt[i]);
+      };
+
+      if (node->op == PlanOp::kHashJoin) {
+        // Build on the right (inner) side.
+        std::unordered_map<double, std::vector<uint32_t>> ht;
+        ht.reserve(rn * 2);
+        for (size_t t = 0; t < rn; ++t) {
+          const uint32_t* rt = right.data.data() + t * rw;
+          ht[rcol.GetNumeric(rt[rpos])].push_back(static_cast<uint32_t>(t));
+        }
+        for (size_t t = 0; t < ln; ++t) {
+          const uint32_t* lt = left.data.data() + t * lw;
+          auto it = ht.find(lcol.GetNumeric(lt[lpos]));
+          if (it == ht.end()) continue;
+          for (uint32_t rtidx : it->second) {
+            const uint32_t* rt = right.data.data() + rtidx * rw;
+            if (passes_residuals(lt, rt)) emit(lt, rt);
+          }
+          ML4DB_RETURN_IF_ERROR(check_limits(out.data.size() / out.slots.size()));
+        }
+        work = latency_model_.HashJoinWork(
+            static_cast<double>(ln), static_cast<double>(rn),
+            static_cast<double>(out.data.size() / out.slots.size()),
+            static_cast<int>(node->residual_joins.size()));
+      } else {
+        for (size_t tl = 0; tl < ln; ++tl) {
+          const uint32_t* lt = left.data.data() + tl * lw;
+          const double lv = lcol.GetNumeric(lt[lpos]);
+          for (size_t tr = 0; tr < rn; ++tr) {
+            const uint32_t* rt = right.data.data() + tr * rw;
+            if (rcol.GetNumeric(rt[rpos]) == lv && passes_residuals(lt, rt)) {
+              emit(lt, rt);
+            }
+          }
+          ML4DB_RETURN_IF_ERROR(check_limits(out.data.size() / out.slots.size()));
+        }
+        work = latency_model_.NlJoinWork(
+            static_cast<double>(ln), static_cast<double>(rn),
+            static_cast<double>(out.data.size() / out.slots.size()),
+            static_cast<int>(node->residual_joins.size()));
+      }
+      break;
+    }
+
+    case PlanOp::kIndexNlJoin: {
+      ML4DB_CHECK(node->children.size() == 2);
+      PlanNode* inner = node->children[1].get();
+      ML4DB_CHECK(inner->op == PlanOp::kSeqScan ||
+                  inner->op == PlanOp::kIndexScan);
+      ML4DB_ASSIGN_OR_RETURN(
+          Intermediate left,
+          ExecNode(query, node->children[0].get(), limits, accumulated_latency));
+      ML4DB_ASSIGN_OR_RETURN(const Table* inner_table,
+                             catalog_->GetTable(inner->table_name));
+
+      ColumnRef lref = node->join_pred.left;
+      ColumnRef iref = node->join_pred.right;
+      if (iref.table_slot != inner->table_slot) std::swap(lref, iref);
+      ML4DB_CHECK(iref.table_slot == inner->table_slot);
+      const SortedIndex* index = inner_table->GetIndex(iref.column);
+      if (index == nullptr) {
+        return Status::FailedPrecondition("index NL join without index");
+      }
+      const int lpos = left.SlotPos(lref.table_slot);
+      ML4DB_CHECK(lpos >= 0);
+      const Column& lcol = resolver.ColumnOf(lref);
+
+      out.slots = left.slots;
+      out.slots.push_back(inner->table_slot);
+      const size_t lw = left.slots.size();
+      const size_t ln = left.NumTuples();
+      double rand_pages = 0.0;
+      double inner_matches = 0.0;
+      uint64_t inner_emitted = 0;
+
+      for (size_t t = 0; t < ln; ++t) {
+        const uint32_t* lt = left.data.data() + t * lw;
+        const std::vector<uint32_t> matches =
+            index->Equal(lcol.GetNumeric(lt[lpos]));
+        rand_pages += index->ProbePageCost(matches.size());
+        inner_matches += static_cast<double>(matches.size());
+        for (uint32_t r : matches) {
+          bool pass = true;
+          for (const auto& f : inner->filters) {
+            if (!EvalFilter(f, inner_table->column(f.column).GetNumeric(r))) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          // Residual joins against the combined tuple.
+          bool res_ok = true;
+          for (const auto& rj : node->residual_joins) {
+            ColumnRef a = rj.left, b = rj.right;
+            if (a.table_slot == inner->table_slot) std::swap(a, b);
+            const int ap = left.SlotPos(a.table_slot);
+            ML4DB_CHECK(ap >= 0 && b.table_slot == inner->table_slot);
+            if (resolver.ColumnOf(a).GetNumeric(lt[ap]) !=
+                inner_table->column(b.column).GetNumeric(r)) {
+              res_ok = false;
+              break;
+            }
+          }
+          if (!res_ok) continue;
+          for (size_t i = 0; i < lw; ++i) out.data.push_back(lt[i]);
+          out.data.push_back(r);
+          ++inner_emitted;
+        }
+        ML4DB_RETURN_IF_ERROR(check_limits(out.data.size() / out.slots.size()));
+      }
+      work.rand_pages = rand_pages;
+      work.input_tuples = static_cast<double>(ln);
+      work.filter_evals =
+          inner_matches * static_cast<double>(inner->filters.size() +
+                                              node->residual_joins.size());
+      work.output_tuples = static_cast<double>(inner_emitted);
+      // Annotate the (virtual) inner scan node for feature extraction.
+      inner->actual_rows = inner_matches;
+      inner->actual_cost = 0.0;
+      break;
+    }
+  }
+
+  const double own_cost = latency_model_.Price(work);
+  *accumulated_latency += own_cost;
+  node->actual_work = work;
+  node->actual_rows = static_cast<double>(out.NumTuples());
+  double subtree = own_cost;
+  for (const auto& c : node->children) {
+    if (c->actual_cost > 0) subtree += c->actual_cost;
+  }
+  node->actual_cost = subtree;
+  ML4DB_RETURN_IF_ERROR(check_limits(out.NumTuples()));
+  return out;
+}
+
+}  // namespace engine
+}  // namespace ml4db

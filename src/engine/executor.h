@@ -1,0 +1,71 @@
+// Physical plan executor.
+//
+// Executes a PhysicalPlan against the catalog, producing the COUNT result,
+// true per-node cardinalities (annotated onto the plan — the training
+// labels for learned cardinality/cost models), and a deterministic
+// simulated latency: the true work counters of every operator priced under
+// the engine's *true* cost constants. Using priced-actual-work as latency
+// keeps experiment shapes machine-independent while remaining a monotone
+// function of real work done (see DESIGN.md substitutions).
+
+#ifndef ML4DB_ENGINE_EXECUTOR_H_
+#define ML4DB_ENGINE_EXECUTOR_H_
+
+#include "common/status.h"
+#include "engine/cost_model.h"
+#include "engine/plan.h"
+#include "engine/table.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Result of executing a plan.
+struct ExecutionResult {
+  uint64_t count = 0;        ///< COUNT(*) of the query result
+  double latency = 0.0;      ///< simulated latency (priced true work)
+  uint64_t tuples_flowed = 0;///< total intermediate tuples (diagnostics)
+};
+
+/// Execution limits: plans whose intermediate results explode are aborted
+/// (the timeout mechanism Balsa-style safe training relies on).
+struct ExecutionLimits {
+  uint64_t max_intermediate_tuples = 50'000'000;
+  double latency_timeout = -1.0;  ///< abort when priced work exceeds this; <0 = off
+};
+
+/// Executes plans against a catalog.
+class Executor {
+ public:
+  /// @param true_params the hidden "hardware" constants used to convert
+  ///        actual operator work into simulated latency.
+  Executor(const Catalog* catalog, CostParams true_params)
+      : catalog_(catalog), latency_model_(true_params) {
+    ML4DB_CHECK(catalog != nullptr);
+  }
+
+  /// Runs the plan. Annotates actual_rows/actual_cost on every node.
+  /// Returns ResourceExhausted if limits are exceeded (the plan's
+  /// annotations are left partially filled in that case).
+  StatusOr<ExecutionResult> Execute(const Query& query, PhysicalPlan* plan,
+                                    const ExecutionLimits& limits = {}) const;
+
+  const CostModel& latency_model() const { return latency_model_; }
+
+ private:
+  struct Intermediate;
+
+  StatusOr<Intermediate> ExecNode(const Query& query, PlanNode* node,
+                                  const ExecutionLimits& limits,
+                                  double* accumulated_latency) const;
+
+  const Catalog* catalog_;
+  CostModel latency_model_;
+};
+
+/// Evaluates one filter conjunct against a raw column value.
+bool EvalFilter(const FilterPredicate& f, double v);
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_EXECUTOR_H_

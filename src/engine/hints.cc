@@ -1,0 +1,71 @@
+#include "engine/hints.h"
+
+namespace ml4db {
+namespace engine {
+
+std::string HintSet::Name() const {
+  std::string out;
+  if (!enable_hash_join) out += "-hashjoin";
+  if (!enable_index_nl_join) out += "-idxnljoin";
+  if (!enable_nl_join) out += "-nljoin";
+  if (!enable_index_scan) out += "-idxscan";
+  if (!enable_seq_scan) out += "-seqscan";
+  if (left_deep_only) out += "+leftdeep";
+  return out.empty() ? "default" : out;
+}
+
+std::vector<HintSet> HintSet::BaoArms() {
+  std::vector<HintSet> arms;
+  arms.push_back(HintSet{});  // default
+  {
+    HintSet h;
+    h.enable_hash_join = false;
+    arms.push_back(h);
+  }
+  {
+    HintSet h;
+    h.enable_index_nl_join = false;
+    arms.push_back(h);
+  }
+  {
+    HintSet h;
+    h.enable_nl_join = false;
+    arms.push_back(h);
+  }
+  {
+    HintSet h;
+    h.enable_index_scan = false;
+    arms.push_back(h);
+  }
+  {
+    HintSet h;
+    h.left_deep_only = true;
+    arms.push_back(h);
+  }
+  return arms;
+}
+
+std::vector<HintSet> HintSet::FullUniverse() {
+  std::vector<HintSet> all;
+  // All combinations of the five switches (sequential scans always allowed
+  // as the safety fallback), with and without left-deep; drop sets that
+  // disable every join algorithm.
+  for (int mask = 0; mask < 16; ++mask) {
+    for (int ld = 0; ld < 2; ++ld) {
+      HintSet h;
+      h.enable_hash_join = (mask & 1) == 0;
+      h.enable_index_nl_join = (mask & 2) == 0;
+      h.enable_nl_join = (mask & 4) == 0;
+      h.enable_index_scan = (mask & 8) == 0;
+      h.left_deep_only = ld == 1;
+      if (!h.enable_hash_join && !h.enable_index_nl_join && !h.enable_nl_join) {
+        continue;
+      }
+      all.push_back(h);
+    }
+  }
+  return all;
+}
+
+}  // namespace engine
+}  // namespace ml4db

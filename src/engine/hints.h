@@ -1,0 +1,53 @@
+// Optimizer hint sets — the arms of the Bao bandit (paper §3.2).
+//
+// Following PostgreSQL's enable_* GUCs (and Bao's use of them), a disabled
+// operator is not removed from the search space; it is penalized so heavily
+// that it is only chosen when no alternative exists. This guarantees every
+// hint set still yields a valid plan.
+
+#ifndef ML4DB_ENGINE_HINTS_H_
+#define ML4DB_ENGINE_HINTS_H_
+
+#include <string>
+#include <vector>
+
+namespace ml4db {
+namespace engine {
+
+/// Cost penalty added to disabled operators.
+inline constexpr double kDisabledOpPenalty = 1e9;
+
+/// A set of optimizer switches (one Bao "arm").
+struct HintSet {
+  bool enable_hash_join = true;
+  bool enable_index_nl_join = true;
+  bool enable_nl_join = true;
+  bool enable_index_scan = true;
+  bool enable_seq_scan = true;
+  bool left_deep_only = false;
+
+  /// Short name like "-hashjoin-idxscan" ("default" when nothing is off).
+  std::string Name() const;
+
+  /// Stable identity for logging / arm bookkeeping.
+  bool operator==(const HintSet& o) const {
+    return enable_hash_join == o.enable_hash_join &&
+           enable_index_nl_join == o.enable_index_nl_join &&
+           enable_nl_join == o.enable_nl_join &&
+           enable_index_scan == o.enable_index_scan &&
+           enable_seq_scan == o.enable_seq_scan &&
+           left_deep_only == o.left_deep_only;
+  }
+
+  /// The hand-crafted arm collection used by the Bao reimplementation:
+  /// default plus single-switch-off variants and a left-deep arm.
+  static std::vector<HintSet> BaoArms();
+
+  /// The full single/double-switch universe AutoSteer greedily explores.
+  static std::vector<HintSet> FullUniverse();
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_HINTS_H_

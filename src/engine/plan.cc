@@ -1,0 +1,81 @@
+#include "engine/plan.h"
+
+#include <algorithm>
+
+namespace ml4db {
+namespace engine {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kSeqScan: return "SeqScan";
+    case PlanOp::kIndexScan: return "IndexScan";
+    case PlanOp::kHashJoin: return "HashJoin";
+    case PlanOp::kIndexNlJoin: return "IndexNLJoin";
+    case PlanOp::kNlJoin: return "NestedLoopJoin";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->table_slot = table_slot;
+  n->table_name = table_name;
+  n->filters = filters;
+  n->index_filter = index_filter;
+  n->join_pred = join_pred;
+  n->residual_joins = residual_joins;
+  n->est_rows = est_rows;
+  n->est_cost = est_cost;
+  n->actual_rows = actual_rows;
+  n->actual_cost = actual_cost;
+  n->actual_work = actual_work;
+  for (const auto& c : children) n->children.push_back(c->Clone());
+  return n;
+}
+
+std::vector<int> PlanNode::CoveredSlots() const {
+  std::vector<int> slots;
+  if (table_slot >= 0) slots.push_back(table_slot);
+  for (const auto& c : children) {
+    for (int s : c->CoveredSlots()) slots.push_back(s);
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
+}
+
+int PlanNode::TreeSize() const {
+  int n = 1;
+  for (const auto& c : children) n += c->TreeSize();
+  return n;
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "-> " + PlanOpName(op);
+  if (op == PlanOp::kSeqScan || op == PlanOp::kIndexScan) {
+    out += " " + table_name + " (t" + std::to_string(table_slot) + ")";
+    if (!filters.empty()) {
+      out += " [" + std::to_string(filters.size()) + " filter(s)";
+      if (index_filter >= 0) out += ", index on filter " + std::to_string(index_filter);
+      out += "]";
+    }
+  } else {
+    out += " on t" + std::to_string(join_pred.left.table_slot) + ".c" +
+           std::to_string(join_pred.left.column) + " = t" +
+           std::to_string(join_pred.right.table_slot) + ".c" +
+           std::to_string(join_pred.right.column);
+  }
+  out += "  (est_rows=" + std::to_string(static_cast<long long>(est_rows)) +
+         ", est_cost=" + std::to_string(est_cost);
+  if (actual_rows >= 0) {
+    out += ", actual_rows=" + std::to_string(static_cast<long long>(actual_rows));
+  }
+  out += ")\n";
+  for (const auto& c : children) out += c->Explain(indent + 1);
+  return out;
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,116 @@
+// Physical query plans: the tree structure every ML4DB component in this
+// library consumes (plan representation, cost estimation, learned
+// optimizers) — mirroring how the surveyed systems consume PostgreSQL
+// EXPLAIN trees.
+
+#ifndef ML4DB_ENGINE_PLAN_H_
+#define ML4DB_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Physical operator kinds.
+enum class PlanOp {
+  kSeqScan,       ///< full scan + filters
+  kIndexScan,     ///< index probe on one sargable filter + residual filters
+  kHashJoin,      ///< build on right child, probe with left child
+  kIndexNlJoin,   ///< left child drives probes into a base-table index
+  kNlJoin,        ///< materialized nested loop (fallback)
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// Per-operator work counters, filled with either estimates (by the
+/// optimizer) or actuals (by the executor), then priced by a CostParams
+/// (see cost_model.h). Lives here so plans can carry their actual work for
+/// cost-model calibration (ParamTree).
+struct OperatorWork {
+  double seq_pages = 0.0;
+  double rand_pages = 0.0;
+  double input_tuples = 0.0;     ///< tuples scanned / probed through
+  double filter_evals = 0.0;     ///< predicate evaluations
+  double hash_build_tuples = 0.0;
+  double hash_probe_tuples = 0.0;
+  double output_tuples = 0.0;
+};
+
+/// A node of a physical plan tree.
+struct PlanNode {
+  PlanOp op = PlanOp::kSeqScan;
+
+  // --- Scan fields (kSeqScan / kIndexScan) ---
+  int table_slot = -1;
+  std::string table_name;
+  std::vector<FilterPredicate> filters;  ///< all filters for this slot
+  int index_filter = -1;  ///< index into `filters` served by the index probe
+
+  // --- Join fields ---
+  JoinPredicate join_pred;                       ///< hash/probe key
+  std::vector<JoinPredicate> residual_joins;     ///< extra equi-edges checked
+  // For kIndexNlJoin the right child is a bare scan node describing the
+  // probed table; probing happens through its index, filters applied after.
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- Optimizer annotations ---
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+
+  // --- Execution annotations (filled by the executor) ---
+  double actual_rows = -1.0;
+  double actual_cost = -1.0;  ///< latency-model cost of this node subtree
+  OperatorWork actual_work;   ///< this node's own true work counters
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Slots covered by this subtree, ascending.
+  std::vector<int> CoveredSlots() const;
+
+  /// Number of nodes in the subtree.
+  int TreeSize() const;
+
+  /// EXPLAIN-style indented rendering.
+  std::string Explain(int indent = 0) const;
+};
+
+/// A complete plan for a query.
+struct PhysicalPlan {
+  std::unique_ptr<PlanNode> root;
+  double est_cost = 0.0;
+
+  PhysicalPlan() = default;
+  explicit PhysicalPlan(std::unique_ptr<PlanNode> r) : root(std::move(r)) {
+    if (root) est_cost = root->est_cost;
+  }
+  // Copying deep-clones the plan tree (plans are small; training datasets
+  // copy samples freely).
+  PhysicalPlan(const PhysicalPlan& o)
+      : root(o.root ? o.root->Clone() : nullptr), est_cost(o.est_cost) {}
+  PhysicalPlan& operator=(const PhysicalPlan& o) {
+    if (this != &o) {
+      root = o.root ? o.root->Clone() : nullptr;
+      est_cost = o.est_cost;
+    }
+    return *this;
+  }
+  PhysicalPlan(PhysicalPlan&&) noexcept = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) noexcept = default;
+  PhysicalPlan Clone() const {
+    PhysicalPlan p;
+    if (root) p.root = root->Clone();
+    p.est_cost = est_cost;
+    return p;
+  }
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_PLAN_H_

@@ -1,0 +1,90 @@
+#include "engine/query.h"
+
+#include <functional>
+
+namespace ml4db {
+namespace engine {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kBetween: return "BETWEEN";
+  }
+  return "?";
+}
+
+std::string FilterPredicate::ToString(const std::string& table_alias,
+                                      const std::string& column_name) const {
+  std::string lhs = table_alias + "." + column_name;
+  if (op == CompareOp::kBetween) {
+    return lhs + " BETWEEN " + std::to_string(value) + " AND " +
+           std::to_string(value2);
+  }
+  return lhs + " " + CompareOpName(op) + " " + std::to_string(value);
+}
+
+std::vector<FilterPredicate> Query::FiltersFor(int slot) const {
+  std::vector<FilterPredicate> out;
+  for (const auto& f : filters) {
+    if (f.table_slot == slot) out.push_back(f);
+  }
+  return out;
+}
+
+bool Query::JoinGraphConnected() const {
+  const int n = num_tables();
+  if (n <= 1) return true;
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& j : joins) {
+    adj[j.left.table_slot].push_back(j.right.table_slot);
+    adj[j.right.table_slot].push_back(j.left.table_slot);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  return count == n;
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT COUNT(*) FROM ";
+  for (int i = 0; i < num_tables(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i] + " t" + std::to_string(i);
+  }
+  bool first = true;
+  auto conj = [&](const std::string& s) {
+    out += first ? " WHERE " : " AND ";
+    out += s;
+    first = false;
+  };
+  for (const auto& j : joins) {
+    conj("t" + std::to_string(j.left.table_slot) + ".c" +
+         std::to_string(j.left.column) + " = t" +
+         std::to_string(j.right.table_slot) + ".c" +
+         std::to_string(j.right.column));
+  }
+  for (const auto& f : filters) {
+    conj(f.ToString("t" + std::to_string(f.table_slot),
+                    "c" + std::to_string(f.column)));
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace ml4db

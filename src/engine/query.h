@@ -1,0 +1,66 @@
+// Select-project-join (SPJ) query specification. This is the query class
+// the surveyed learned optimizers handle (the paper notes SPJ-only support
+// as a generalization limit of replacement-style learned QOs — our NEO/RTOS
+// reimplementations inherit exactly that limit, while the classical engine
+// also evaluates the plans they produce).
+
+#ifndef ML4DB_ENGINE_QUERY_H_
+#define ML4DB_ENGINE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Comparison operators for filter predicates.
+enum class CompareOp { kEq, kLt, kLe, kGt, kGe, kBetween };
+
+const char* CompareOpName(CompareOp op);
+
+/// One conjunct of a table's filter: column <op> literal
+/// (or column BETWEEN lo AND hi).
+struct FilterPredicate {
+  int table_slot = 0;   ///< which FROM entry this filter applies to
+  int column = 0;       ///< column index within that table
+  CompareOp op = CompareOp::kEq;
+  double value = 0.0;   ///< literal (lo for kBetween)
+  double value2 = 0.0;  ///< hi for kBetween, unused otherwise
+
+  std::string ToString(const std::string& table_alias,
+                       const std::string& column_name) const;
+};
+
+/// An equi-join edge between two FROM entries.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// An SPJ query: FROM tables[0] t0, tables[1] t1, ... WHERE joins AND
+/// filters, returning COUNT(*). COUNT output keeps the training-signal
+/// plumbing simple while still requiring full join execution.
+struct Query {
+  std::vector<std::string> tables;      ///< table names, slot = position
+  std::vector<JoinPredicate> joins;     ///< equi-join edges
+  std::vector<FilterPredicate> filters; ///< conjunctive base-table filters
+
+  int num_tables() const { return static_cast<int>(tables.size()); }
+
+  /// All filters that apply to one slot.
+  std::vector<FilterPredicate> FiltersFor(int slot) const;
+
+  /// True when the join graph is connected (required by the DP optimizer;
+  /// cross products are not enumerated).
+  bool JoinGraphConnected() const;
+
+  /// SQL-ish rendering for logs and EXPLAIN output.
+  std::string ToString() const;
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_QUERY_H_

@@ -1,0 +1,155 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace engine {
+
+Histogram Histogram::Build(const Column& col, int buckets) {
+  ML4DB_CHECK(buckets >= 1);
+  Histogram h;
+  const size_t n = col.size();
+  h.total_rows_ = n;
+  if (n == 0) return h;
+
+  std::vector<double> vals(n);
+  for (size_t i = 0; i < n; ++i) vals[i] = col.GetNumeric(i);
+  std::sort(vals.begin(), vals.end());
+  h.min_ = vals.front();
+  h.max_ = vals.back();
+
+  const int b = std::min<int>(buckets, static_cast<int>(n));
+  h.bounds_.resize(b + 1);
+  h.counts_.assign(b, 0.0);
+  h.distinct_.assign(b, 0.0);
+  for (int i = 0; i <= b; ++i) {
+    const size_t pos =
+        std::min(n - 1, static_cast<size_t>(std::llround(
+                            static_cast<double>(i) * (n - 1) / b)));
+    h.bounds_[i] = vals[pos];
+  }
+  // Count rows and distincts per bucket. Bucket i covers (bounds_[i],
+  // bounds_[i+1]]; the first bucket is closed on the left.
+  size_t vi = 0;
+  for (int i = 0; i < b; ++i) {
+    double cnt = 0.0, dst = 0.0;
+    double prev = std::nan("");
+    while (vi < n &&
+           (vals[vi] <= h.bounds_[i + 1] || i == b - 1)) {
+      cnt += 1.0;
+      if (vals[vi] != prev) {
+        dst += 1.0;
+        prev = vals[vi];
+      }
+      ++vi;
+    }
+    h.counts_[i] = cnt;
+    h.distinct_[i] = std::max(dst, 1.0);
+  }
+  return h;
+}
+
+double Histogram::CdfLeq(double x) const {
+  if (total_rows_ == 0) return 0.0;
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    const double lo = bounds_[i];
+    const double hi = bounds_[i + 1];
+    if (x >= hi) {
+      acc += counts_[i];
+    } else {
+      const double width = hi - lo;
+      const double frac = width > 0 ? Clamp((x - lo) / width, 0.0, 1.0) : 1.0;
+      acc += counts_[i] * frac;
+      break;
+    }
+  }
+  return acc / static_cast<double>(total_rows_);
+}
+
+double Histogram::RangeSelectivity(double lo, double hi) const {
+  if (total_rows_ == 0 || hi < lo) return 0.0;
+  // Include equality mass at the lower endpoint approximately by nudging.
+  const double width = max_ > min_ ? (max_ - min_) : 1.0;
+  const double eps = width * 1e-12;
+  return std::max(0.0, CdfLeq(hi) - CdfLeq(lo - eps));
+}
+
+double Histogram::EqualSelectivity(double x) const {
+  if (total_rows_ == 0 || x < min_ || x > max_) return 0.0;
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (x <= bounds_[i + 1] || i + 2 == bounds_.size()) {
+      const double bucket_rows = counts_[i];
+      const double bucket_sel =
+          bucket_rows / static_cast<double>(total_rows_);
+      return bucket_sel / distinct_[i];
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> Histogram::Sketch(int dims) const {
+  std::vector<double> out(dims, 0.0);
+  if (total_rows_ == 0 || bounds_.size() < 2) return out;
+  // Resample bucket densities at `dims` evenly spaced quantile positions.
+  for (int d = 0; d < dims; ++d) {
+    const double x =
+        min_ + (max_ - min_) * (static_cast<double>(d) + 0.5) / dims;
+    // Density ≈ d(CDF)/dx over a small window.
+    const double w = (max_ - min_) / dims;
+    out[d] = w > 0 ? RangeSelectivity(x - w / 2, x + w / 2) : 1.0;
+  }
+  return out;
+}
+
+TableStats Analyze(const Table& table, int histogram_buckets, int sample_size,
+                   uint64_t seed) {
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  stats.columns.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(static_cast<int>(c));
+    ColumnStats& cs = stats.columns[c];
+    if (col.type == DataType::kString || col.size() == 0) {
+      continue;  // strings keep default stats
+    }
+    cs.histogram = Histogram::Build(col, histogram_buckets);
+    cs.min = cs.histogram.min();
+    cs.max = cs.histogram.max();
+    // Exact distinct count (tables are memory-resident; fine at our scale).
+    std::unordered_set<int64_t> distinct;
+    for (size_t i = 0; i < col.size(); ++i) {
+      // Hash the bit pattern so doubles work too.
+      double v = col.GetNumeric(i);
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      distinct.insert(bits);
+    }
+    cs.num_distinct = static_cast<double>(distinct.size());
+  }
+  // Reservoir sample of row ids.
+  Rng rng(seed);
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (stats.sample_rows.size() < static_cast<size_t>(sample_size)) {
+      stats.sample_rows.push_back(static_cast<uint32_t>(i));
+    } else {
+      const size_t j = rng.NextUint64(i + 1);
+      if (j < static_cast<size_t>(sample_size)) {
+        stats.sample_rows[j] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,95 @@
+// ANALYZE-style statistics: equi-depth histograms, distinct counts, and
+// row samples. These feed both the classical cardinality estimator and the
+// "database statistics" feature channel of plan representations (§3.1).
+
+#ifndef ML4DB_ENGINE_STATS_H_
+#define ML4DB_ENGINE_STATS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Equi-depth histogram over a numeric column.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds an equi-depth histogram with up to `buckets` buckets.
+  static Histogram Build(const Column& col, int buckets);
+
+  /// Estimated fraction of rows with value <= x (empirical CDF).
+  double CdfLeq(double x) const;
+
+  /// Estimated selectivity of value in [lo, hi].
+  double RangeSelectivity(double lo, double hi) const;
+
+  /// Estimated selectivity of value == x.
+  double EqualSelectivity(double x) const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  size_t num_buckets() const { return bounds_.empty() ? 0 : bounds_.size() - 1; }
+
+  /// Fixed-size sketch of the distribution (bucket densities normalized to
+  /// sum 1, resampled to `dims` values) — the histogram feature used by
+  /// plan-representation encoders.
+  std::vector<double> Sketch(int dims) const;
+
+ private:
+  double min_ = 0.0;
+  double max_ = 0.0;
+  size_t total_rows_ = 0;
+  // bounds_[i], bounds_[i+1] delimit bucket i; counts_[i] rows inside;
+  // distinct_[i] approximate distinct values inside.
+  std::vector<double> bounds_;
+  std::vector<double> counts_;
+  std::vector<double> distinct_;
+};
+
+/// Per-column statistics.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  double num_distinct = 1.0;
+  double null_fraction = 0.0;  // engine has no NULLs yet; kept for fidelity
+  Histogram histogram;
+};
+
+/// Per-table statistics collected by Analyze().
+struct TableStats {
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;          // aligned with schema
+  std::vector<uint32_t> sample_rows;         // sampled row ids
+};
+
+/// Computes statistics for every numeric column of a table.
+/// @param histogram_buckets number of equi-depth buckets
+/// @param sample_size       number of reservoir-sampled row ids to keep
+TableStats Analyze(const Table& table, int histogram_buckets = 64,
+                   int sample_size = 256, uint64_t seed = 1);
+
+/// Statistics registry keyed by table name.
+class StatsCatalog {
+ public:
+  void Put(const std::string& table_name, TableStats stats) {
+    stats_[table_name] = std::move(stats);
+  }
+  const TableStats* Get(const std::string& table_name) const {
+    auto it = stats_.find(table_name);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, TableStats> stats_;
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_STATS_H_

@@ -1,0 +1,193 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace engine {
+
+int TableSchema::ColumnIndex(const std::string& col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == col_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Column::size() const {
+  switch (type) {
+    case DataType::kInt64: return i64.size();
+    case DataType::kDouble: return f64.size();
+    case DataType::kString: return str.size();
+  }
+  return 0;
+}
+
+Value Column::Get(size_t row) const {
+  switch (type) {
+    case DataType::kInt64: return Value(i64[row]);
+    case DataType::kDouble: return Value(f64[row]);
+    case DataType::kString: return Value(str[row]);
+  }
+  return Value();
+}
+
+double Column::GetNumeric(size_t row) const {
+  switch (type) {
+    case DataType::kInt64: return static_cast<double>(i64[row]);
+    case DataType::kDouble: return f64[row];
+    case DataType::kString:
+      ML4DB_CHECK_MSG(false, "string column has no numeric view");
+  }
+  return 0.0;
+}
+
+void Column::Append(const Value& v) {
+  ML4DB_CHECK(v.type() == type);
+  switch (type) {
+    case DataType::kInt64: i64.push_back(v.AsInt64()); break;
+    case DataType::kDouble: f64.push_back(v.AsDouble()); break;
+    case DataType::kString: str.push_back(v.AsString()); break;
+  }
+}
+
+SortedIndex SortedIndex::Build(const Column& col) {
+  ML4DB_CHECK_MSG(col.type != DataType::kString,
+                  "indexes support numeric columns only");
+  SortedIndex idx;
+  const size_t n = col.size();
+  std::vector<std::pair<double, uint32_t>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(col.GetNumeric(i), static_cast<uint32_t>(i));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  idx.keys_.reserve(n);
+  idx.rows_.reserve(n);
+  for (const auto& [k, r] : pairs) {
+    idx.keys_.push_back(k);
+    idx.rows_.push_back(r);
+  }
+  return idx;
+}
+
+std::vector<uint32_t> SortedIndex::Equal(double key) const {
+  std::vector<uint32_t> out;
+  auto lo = std::lower_bound(keys_.begin(), keys_.end(), key);
+  auto hi = std::upper_bound(keys_.begin(), keys_.end(), key);
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SortedIndex::Range(double lo_key, double hi_key) const {
+  std::vector<uint32_t> out;
+  auto lo = std::lower_bound(keys_.begin(), keys_.end(), lo_key);
+  auto hi = std::upper_bound(keys_.begin(), keys_.end(), hi_key);
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
+  }
+  return out;
+}
+
+double SortedIndex::ProbePageCost(size_t matches) const {
+  // B-tree-like: log_f(n) internal pages plus one leaf page per ~256 hits.
+  const double n = std::max<double>(static_cast<double>(keys_.size()), 2.0);
+  const double depth = std::ceil(std::log(n) / std::log(64.0));
+  return depth + std::ceil(static_cast<double>(matches) / 256.0);
+}
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.columns.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].type = schema_.columns[i].type;
+  }
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   schema_.name);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.columns[i].name);
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AppendColumnarInt64(
+    const std::vector<std::vector<int64_t>>& cols) {
+  if (cols.size() != columns_.size()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  const size_t n = cols.empty() ? 0 : cols[0].size();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (columns_[i].type != DataType::kInt64) {
+      return Status::InvalidArgument("AppendColumnarInt64 on non-int column");
+    }
+    if (cols[i].size() != n) {
+      return Status::InvalidArgument("ragged column data");
+    }
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    columns_[i].i64.insert(columns_[i].i64.end(), cols[i].begin(),
+                           cols[i].end());
+  }
+  num_rows_ += n;
+  return Status::OK();
+}
+
+Status Table::BuildIndex(int column_idx) {
+  if (column_idx < 0 || column_idx >= static_cast<int>(columns_.size())) {
+    return Status::InvalidArgument("no such column");
+  }
+  if (columns_[column_idx].type == DataType::kString) {
+    return Status::InvalidArgument("cannot index string column");
+  }
+  indexes_[column_idx] = SortedIndex::Build(columns_[column_idx]);
+  return Status::OK();
+}
+
+const SortedIndex* Table::GetIndex(int column_idx) const {
+  auto it = indexes_.find(column_idx);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+StatusOr<Table*> Catalog::CreateTable(TableSchema schema) {
+  const std::string name = schema.name;
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+StatusOr<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+StatusOr<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace engine
+}  // namespace ml4db

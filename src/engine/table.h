@@ -1,0 +1,134 @@
+// Columnar in-memory tables and the catalog.
+
+#ifndef ML4DB_ENGINE_TABLE_H_
+#define ML4DB_ENGINE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Definition of one column.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// Schema of a table.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& col_name) const;
+};
+
+/// One column's data (columnar layout). Exactly one vector is populated,
+/// selected by `type`.
+struct Column {
+  DataType type = DataType::kInt64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+
+  size_t size() const;
+  Value Get(size_t row) const;
+  double GetNumeric(size_t row) const;
+  void Append(const Value& v);
+};
+
+/// A sorted secondary index over one INT64/DOUBLE column: pairs of
+/// (key, row id) sorted by key, probed with binary search. This is the
+/// engine's classical index; learned alternatives live in
+/// src/learned_index and are benchmarked against it.
+class SortedIndex {
+ public:
+  /// Builds the index over the given column data.
+  static SortedIndex Build(const Column& col);
+
+  /// Row ids whose key equals `key`.
+  std::vector<uint32_t> Equal(double key) const;
+
+  /// Row ids whose key is in [lo, hi].
+  std::vector<uint32_t> Range(double lo, double hi) const;
+
+  /// Estimated page reads for a probe returning `matches` rows (root-to-leaf
+  /// descent plus leaf scan).
+  double ProbePageCost(size_t matches) const;
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<double> keys_;     // sorted
+  std::vector<uint32_t> rows_;   // aligned row ids
+};
+
+/// An immutable-after-load columnar table with optional per-column indexes
+/// and collected statistics (see stats.h; stored opaquely here to avoid a
+/// header cycle).
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(int idx) const {
+    ML4DB_DCHECK(idx >= 0 && idx < static_cast<int>(columns_.size()));
+    return columns_[idx];
+  }
+
+  /// Appends one row; value types must match the schema.
+  Status AppendRow(const Row& row);
+
+  /// Bulk-appends typed int64 column data; all columns must be provided and
+  /// equally sized. Faster path used by generators.
+  Status AppendColumnarInt64(const std::vector<std::vector<int64_t>>& cols);
+
+  /// Builds a sorted index on the given column (replacing any existing one).
+  Status BuildIndex(int column_idx);
+
+  /// Drops the index on the given column (no-op if absent). The what-if
+  /// primitive index advisors rely on.
+  void DropIndex(int column_idx) { indexes_.erase(column_idx); }
+
+  /// Index on a column, or nullptr.
+  const SortedIndex* GetIndex(int column_idx) const;
+
+  bool HasIndex(int column_idx) const { return GetIndex(column_idx) != nullptr; }
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+  std::unordered_map<int, SortedIndex> indexes_;
+};
+
+/// Name → table registry.
+class Catalog {
+ public:
+  /// Creates an empty table; fails if the name exists.
+  StatusOr<Table*> CreateTable(TableSchema schema);
+
+  /// Looks a table up by name.
+  StatusOr<Table*> GetTable(const std::string& name);
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_TABLE_H_

@@ -1,0 +1,25 @@
+#include "engine/types.h"
+
+namespace ml4db {
+namespace engine {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64: return std::to_string(AsInt64());
+    case DataType::kDouble: return std::to_string(AsDouble());
+    case DataType::kString: return AsString();
+  }
+  return "?";
+}
+
+}  // namespace engine
+}  // namespace ml4db

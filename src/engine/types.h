@@ -1,0 +1,88 @@
+// Value types and rows for the in-memory relational engine.
+
+#ifndef ML4DB_ENGINE_TYPES_H_
+#define ML4DB_ENGINE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Column data types supported by the engine.
+enum class DataType { kInt64, kDouble, kString };
+
+const char* DataTypeName(DataType t);
+
+/// A single cell value. Engine data is strongly typed per column; Value is
+/// used at API boundaries (literals in predicates, row materialization).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0: return DataType::kInt64;
+      case 1: return DataType::kDouble;
+      default: return DataType::kString;
+    }
+  }
+
+  int64_t AsInt64() const {
+    ML4DB_DCHECK(type() == DataType::kInt64);
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    ML4DB_DCHECK(type() == DataType::kDouble);
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    ML4DB_DCHECK(type() == DataType::kString);
+    return std::get<std::string>(v_);
+  }
+
+  /// Numeric view: int64 and double both convert; strings are a caller bug.
+  double ToNumeric() const {
+    switch (type()) {
+      case DataType::kInt64: return static_cast<double>(AsInt64());
+      case DataType::kDouble: return AsDouble();
+      case DataType::kString: ML4DB_CHECK_MSG(false, "string is not numeric");
+    }
+    return 0.0;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator<(const Value& o) const { return v_ < o.v_; }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+/// A materialized row.
+using Row = std::vector<Value>;
+
+/// Identifies a column within a query as (table slot, column index). The
+/// "slot" is the position of the table in the query's FROM list, so self
+/// joins are representable.
+struct ColumnRef {
+  int table_slot = 0;
+  int column = 0;
+
+  bool operator==(const ColumnRef& o) const {
+    return table_slot == o.table_slot && column == o.column;
+  }
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_TYPES_H_

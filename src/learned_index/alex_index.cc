@@ -1,0 +1,357 @@
+#include "learned_index/alex_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace learned_index {
+
+/// Gapped array with a local model. Slots hold (key, value) or are empty.
+struct AlexIndex::DataNode {
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> vals;
+  std::vector<uint8_t> occ;
+  size_t num_keys = 0;
+  LinearModel model;  // key -> slot (scaled to capacity)
+
+  size_t capacity() const { return keys.size(); }
+  double density() const {
+    return capacity() == 0
+               ? 1.0
+               : static_cast<double>(num_keys) / static_cast<double>(capacity());
+  }
+
+  /// Rebuilds the node at `new_capacity` with model-based placement.
+  void Rebuild(const std::vector<Entry>& sorted, size_t new_capacity) {
+    const size_t n = sorted.size();
+    new_capacity = std::max(new_capacity, n + 1);
+    std::vector<int64_t> ks(n);
+    for (size_t i = 0; i < n; ++i) ks[i] = sorted[i].key;
+    // Fit key -> rank, scale to capacity.
+    LinearModel rank_model = LinearModel::Fit(ks.data(), n, 0);
+    const double scale =
+        n > 0 ? static_cast<double>(new_capacity) / static_cast<double>(n) : 1.0;
+    model.slope = rank_model.slope * scale;
+    model.intercept = rank_model.intercept * scale;
+
+    keys.assign(new_capacity, 0);
+    vals.assign(new_capacity, 0);
+    occ.assign(new_capacity, 0);
+    num_keys = n;
+    if (n == 0) return;
+    // Model-based placement with monotone correction.
+    std::vector<size_t> slot(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double p = model.Predict(static_cast<double>(sorted[i].key));
+      slot[i] = static_cast<size_t>(
+          Clamp(p, 0.0, static_cast<double>(new_capacity - 1)));
+      if (i > 0 && slot[i] <= slot[i - 1]) slot[i] = slot[i - 1] + 1;
+    }
+    // If we overflowed on the right, push back within capacity.
+    for (size_t i = n; i-- > 0;) {
+      const size_t max_slot = new_capacity - (n - i);
+      if (slot[i] > max_slot) slot[i] = max_slot;
+      if (i + 1 < n && slot[i] >= slot[i + 1]) slot[i] = slot[i + 1] - 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      keys[slot[i]] = sorted[i].key;
+      vals[slot[i]] = sorted[i].value;
+      occ[slot[i]] = 1;
+    }
+  }
+
+  /// Slot of `key` if present, else SIZE_MAX. Uses the sorted insertion
+  /// boundary, which the model keeps within a few slots of the prediction.
+  size_t Find(int64_t key) const {
+    if (capacity() == 0 || num_keys == 0) return SIZE_MAX;
+    const size_t p = InsertionPoint(key);
+    if (p < capacity() && occ[p] && keys[p] == key) return p;
+    return SIZE_MAX;
+  }
+
+  /// Sorted insertion boundary: the slot where `key` belongs. Returns the
+  /// gap slot if one is available at the boundary, otherwise the slot of
+  /// the first occupied key > `key` (shift needed).
+  size_t InsertionPoint(int64_t key) const {
+    size_t p = static_cast<size_t>(
+        Clamp(model.Predict(static_cast<double>(key)), 0.0,
+              static_cast<double>(capacity() - 1)));
+    // Walk right past occupied keys smaller than `key` and gaps whose next
+    // occupied key is still smaller.
+    while (true) {
+      if (occ[p]) {
+        if (keys[p] < key) {
+          ++p;
+          if (p == capacity()) return p;
+          continue;
+        }
+        break;  // occupied with keys[p] >= key
+      }
+      // Gap: valid only if the next occupied slot right of p has key > key.
+      size_t q = p + 1;
+      while (q < capacity() && !occ[q]) ++q;
+      if (q < capacity() && keys[q] < key) {
+        p = q;
+        continue;
+      }
+      break;
+    }
+    // Walk left while the previous occupied key is >= key (model
+    // overshoot); landing on an equal key makes upserts and Find exact.
+    while (p > 0) {
+      size_t q = p - 1;
+      bool move = false;
+      while (true) {
+        if (occ[q]) {
+          move = keys[q] >= key;
+          break;
+        }
+        if (q == 0) break;
+        --q;
+      }
+      if (!move) break;
+      p = q;
+    }
+    return p;
+  }
+
+  /// Inserts; returns false when the node has no free slot (caller splits).
+  bool Insert(int64_t key, uint64_t value) {
+    if (num_keys + 1 >= capacity()) return false;
+    size_t p = InsertionPoint(key);
+    if (p < capacity() && occ[p] && keys[p] == key) {
+      vals[p] = value;  // upsert without growth
+      return true;
+    }
+    if (p == capacity() || occ[p]) {
+      // Shift toward the nearest gap.
+      size_t gap_right = p;
+      while (gap_right < capacity() && occ[gap_right]) ++gap_right;
+      if (gap_right < capacity()) {
+        for (size_t i = gap_right; i > p; --i) {
+          keys[i] = keys[i - 1];
+          vals[i] = vals[i - 1];
+          occ[i] = occ[i - 1];
+        }
+      } else {
+        size_t gap_left = p == 0 ? 0 : p - 1;
+        while (gap_left > 0 && occ[gap_left]) --gap_left;
+        if (occ[gap_left]) return false;  // completely full
+        for (size_t i = gap_left; i + 1 < p; ++i) {
+          keys[i] = keys[i + 1];
+          vals[i] = vals[i + 1];
+          occ[i] = occ[i + 1];
+        }
+        p = p - 1;
+      }
+    }
+    keys[p] = key;
+    vals[p] = value;
+    occ[p] = 1;
+    ++num_keys;
+    return true;
+  }
+
+  /// All entries in key order.
+  std::vector<Entry> Items() const {
+    std::vector<Entry> out;
+    out.reserve(num_keys);
+    for (size_t i = 0; i < capacity(); ++i) {
+      if (occ[i]) out.push_back({keys[i], vals[i]});
+    }
+    return out;
+  }
+};
+
+AlexIndex::AlexIndex() : AlexIndex(Options()) {}
+
+AlexIndex::AlexIndex(Options options) : options_(options) {
+  children_.assign(1, std::make_shared<DataNode>());
+  children_[0]->Rebuild({}, 8);
+}
+
+AlexIndex::~AlexIndex() = default;
+
+Status AlexIndex::BulkLoad(const std::vector<Entry>& entries) {
+  if (!KeysStrictlyIncreasing(entries)) {
+    return Status::InvalidArgument("bulk load requires strictly increasing keys");
+  }
+  const size_t n = entries.size();
+  size_ = n;
+  size_t num_nodes = 1;
+  while (num_nodes * options_.target_node_keys < n) num_nodes <<= 1;
+  children_.assign(num_nodes, nullptr);
+
+  std::vector<int64_t> ks(n);
+  for (size_t i = 0; i < n; ++i) ks[i] = entries[i].key;
+  LinearModel rank = LinearModel::Fit(ks.data(), n, 0);
+  const double scale =
+      n > 0 ? static_cast<double>(num_nodes) / static_cast<double>(n) : 1.0;
+  root_.slope = rank.slope * scale;
+  root_.intercept = rank.intercept * scale;
+
+  // Partition entries by root slot (monotone in key).
+  size_t start = 0;
+  for (size_t slot = 0; slot < num_nodes; ++slot) {
+    size_t end = start;
+    while (end < n && RootSlot(entries[end].key) <= slot) ++end;
+    auto node = std::make_shared<DataNode>();
+    std::vector<Entry> part(entries.begin() + start, entries.begin() + end);
+    node->Rebuild(part, std::max<size_t>(16, part.size() * 2));
+    children_[slot] = node;
+    start = end;
+  }
+  return Status::OK();
+}
+
+size_t AlexIndex::RootSlot(int64_t key) const {
+  const double p = root_.Predict(static_cast<double>(key));
+  return static_cast<size_t>(
+      Clamp(p, 0.0, static_cast<double>(children_.size()) - 1));
+}
+
+AlexIndex::DataNode* AlexIndex::NodeFor(int64_t key) const {
+  return children_[RootSlot(key)].get();
+}
+
+bool AlexIndex::Lookup(int64_t key, uint64_t* value) const {
+  const DataNode* node = NodeFor(key);
+  const size_t p = node->Find(key);
+  if (p == SIZE_MAX) {
+    // Boundary effects: the key may live in a neighbor node when root
+    // predictions at bulk-load versus lookup disagree by one slot.
+    const size_t slot = RootSlot(key);
+    for (int d : {-1, 1}) {
+      const int64_t q = static_cast<int64_t>(slot) + d;
+      if (q < 0 || q >= static_cast<int64_t>(children_.size())) continue;
+      const DataNode* nb = children_[static_cast<size_t>(q)].get();
+      if (nb == node) continue;
+      const size_t pp = nb->Find(key);
+      if (pp != SIZE_MAX) {
+        *value = nb->vals[pp];
+        return true;
+      }
+    }
+    return false;
+  }
+  *value = node->vals[p];
+  return true;
+}
+
+Status AlexIndex::Insert(int64_t key, uint64_t value) {
+  const size_t slot = RootSlot(key);
+  DataNode* node = children_[slot].get();
+  uint64_t existing;
+  const bool had = Lookup(key, &existing);
+  if (node->density() > options_.max_density ||
+      node->num_keys + 2 >= node->capacity()) {
+    if (node->capacity() >= options_.max_node_slots) {
+      SplitNode(slot);
+      node = children_[RootSlot(key)].get();
+    } else {
+      const auto items = node->Items();
+      node->Rebuild(items, std::max<size_t>(16, node->capacity() * 2));
+    }
+  }
+  if (!node->Insert(key, value)) {
+    // Degenerate model placement; rebuild at double capacity and retry.
+    const auto items = node->Items();
+    node->Rebuild(items, std::max<size_t>(16, node->capacity() * 2));
+    ML4DB_CHECK(node->Insert(key, value));
+  }
+  if (!had) ++size_;
+  return Status::OK();
+}
+
+void AlexIndex::SplitNode(size_t slot) {
+  // Find the contiguous root-slot range sharing this node.
+  DataNode* node = children_[slot].get();
+  size_t lo = slot, hi = slot;
+  while (lo > 0 && children_[lo - 1].get() == node) --lo;
+  while (hi + 1 < children_.size() && children_[hi + 1].get() == node) ++hi;
+  if (hi == lo) {
+    GrowRoot();
+    // Recompute the range after doubling.
+    lo *= 2;
+    hi = lo + 1;
+  }
+  const auto items = node->Items();
+  const size_t mid_slot = (lo + hi + 1) / 2;
+  // Partition items by root slot so each half holds the keys its slots map
+  // to.
+  std::vector<Entry> left_items, right_items;
+  for (const auto& e : items) {
+    if (RootSlot(e.key) < mid_slot) {
+      left_items.push_back(e);
+    } else {
+      right_items.push_back(e);
+    }
+  }
+  auto left = std::make_shared<DataNode>();
+  auto right = std::make_shared<DataNode>();
+  left->Rebuild(left_items, std::max<size_t>(16, left_items.size() * 2));
+  right->Rebuild(right_items, std::max<size_t>(16, right_items.size() * 2));
+  for (size_t s = lo; s < mid_slot; ++s) children_[s] = left;
+  for (size_t s = mid_slot; s <= hi; ++s) children_[s] = right;
+}
+
+void AlexIndex::GrowRoot() {
+  std::vector<std::shared_ptr<DataNode>> doubled(children_.size() * 2);
+  for (size_t i = 0; i < children_.size(); ++i) {
+    doubled[2 * i] = children_[i];
+    doubled[2 * i + 1] = children_[i];
+  }
+  children_ = std::move(doubled);
+  root_.slope *= 2.0;
+  root_.intercept *= 2.0;
+}
+
+std::vector<uint64_t> AlexIndex::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  const DataNode* prev = nullptr;
+  for (size_t slot = RootSlot(lo); slot < children_.size(); ++slot) {
+    const DataNode* node = children_[slot].get();
+    if (node == prev) continue;
+    prev = node;
+    bool past_end = false;
+    for (size_t i = 0; i < node->capacity(); ++i) {
+      if (!node->occ[i]) continue;
+      if (node->keys[i] > hi) {
+        past_end = true;
+        break;
+      }
+      if (node->keys[i] >= lo) out.push_back(node->vals[i]);
+    }
+    if (past_end) break;
+  }
+  return out;
+}
+
+size_t AlexIndex::num_data_nodes() const {
+  size_t count = 0;
+  const DataNode* prev = nullptr;
+  for (const auto& c : children_) {
+    if (c.get() != prev) {
+      ++count;
+      prev = c.get();
+    }
+  }
+  return count;
+}
+
+size_t AlexIndex::StructureBytes() const {
+  size_t bytes = children_.size() * sizeof(void*) + sizeof(LinearModel);
+  const DataNode* prev = nullptr;
+  for (const auto& c : children_) {
+    if (c.get() == prev) continue;
+    prev = c.get();
+    bytes += c->capacity() * (sizeof(int64_t) + sizeof(uint64_t) + 1) +
+             sizeof(LinearModel);
+  }
+  return bytes;
+}
+
+}  // namespace learned_index
+}  // namespace ml4db

@@ -1,0 +1,68 @@
+// ALEX-style updatable adaptive learned index (Ding et al. 2020) — the
+// paper's ML-enhanced answer to the static learned index: keep the learned
+// CDF idea, but store data in gapped arrays with model-based inserts,
+// exponential search, node expansion and splitting (§3.2, ML-enhanced
+// insertion).
+//
+// Structure: a linear root model maps a key to a slot in a pointer array;
+// several consecutive slots may share one data node (ALEX's pointer
+// duplication), so node splits just re-point half the slots. Data nodes are
+// gapped arrays with a local linear model.
+
+#ifndef ML4DB_LEARNED_INDEX_ALEX_INDEX_H_
+#define ML4DB_LEARNED_INDEX_ALEX_INDEX_H_
+
+#include <memory>
+
+#include "learned_index/rmi_index.h"  // LinearModel
+
+namespace ml4db {
+namespace learned_index {
+
+/// Updatable adaptive learned index.
+class AlexIndex : public OrderedIndex {
+ public:
+  struct Options {
+    size_t target_node_keys = 2048;  ///< keys per data node at bulk load
+    double max_density = 0.7;        ///< expand node beyond this fill
+    size_t max_node_slots = 1 << 16; ///< split instead of expanding past this
+  };
+
+  AlexIndex();  // default options
+  explicit AlexIndex(Options options);
+  ~AlexIndex() override;
+
+  Status BulkLoad(const std::vector<Entry>& entries);
+
+  std::string Name() const override { return "alex"; }
+  bool Lookup(int64_t key, uint64_t* value) const override;
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const override;
+  Status Insert(int64_t key, uint64_t value) override;
+  size_t size() const override { return size_; }
+  size_t StructureBytes() const override;
+  bool SupportsInsert() const override { return true; }
+
+  /// Diagnostics for tests/benchmarks.
+  size_t num_data_nodes() const;
+  size_t num_root_slots() const { return children_.size(); }
+
+ private:
+  struct DataNode;
+
+  size_t RootSlot(int64_t key) const;
+  DataNode* NodeFor(int64_t key) const;
+  /// Splits the node occupying `slot` into two; grows the root if the node
+  /// only spans a single slot.
+  void SplitNode(size_t slot);
+  void GrowRoot();
+
+  Options options_;
+  LinearModel root_;  // key -> root slot (already scaled to children_.size())
+  std::vector<std::shared_ptr<DataNode>> children_;
+  size_t size_ = 0;
+};
+
+}  // namespace learned_index
+}  // namespace ml4db
+
+#endif  // ML4DB_LEARNED_INDEX_ALEX_INDEX_H_

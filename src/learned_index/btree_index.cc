@@ -1,0 +1,191 @@
+#include "learned_index/btree_index.h"
+
+#include <algorithm>
+
+namespace ml4db {
+namespace learned_index {
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<int64_t> keys;  // leaf: entry keys; inner: separator keys
+  std::vector<uint64_t> values;               // leaf only
+  std::vector<std::unique_ptr<Node>> children;  // inner only
+  Node* next = nullptr;                       // leaf chaining for range scans
+};
+
+BTreeIndex::BTreeIndex(int fanout) : fanout_(fanout) {
+  ML4DB_CHECK(fanout >= 4);
+  root_ = std::make_unique<Node>();
+  node_count_ = 1;
+}
+
+BTreeIndex::~BTreeIndex() = default;
+
+Status BTreeIndex::BulkLoad(const std::vector<Entry>& entries) {
+  if (!KeysStrictlyIncreasing(entries)) {
+    return Status::InvalidArgument("bulk load requires strictly increasing keys");
+  }
+  // Build leaves left to right at ~90% fill, then build inner levels.
+  const size_t per_leaf = std::max<size_t>(2, fanout_ * 9 / 10);
+  std::vector<std::unique_ptr<Node>> level;
+  node_count_ = 0;
+  for (size_t i = 0; i < entries.size(); i += per_leaf) {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    const size_t end = std::min(entries.size(), i + per_leaf);
+    for (size_t j = i; j < end; ++j) {
+      leaf->keys.push_back(entries[j].key);
+      leaf->values.push_back(entries[j].value);
+    }
+    if (!level.empty()) level.back()->next = leaf.get();
+    level.push_back(std::move(leaf));
+    ++node_count_;
+  }
+  if (level.empty()) {
+    level.push_back(std::make_unique<Node>());
+    ++node_count_;
+  }
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    const size_t per_inner = std::max<size_t>(2, fanout_ * 9 / 10);
+    for (size_t i = 0; i < level.size(); i += per_inner) {
+      auto inner = std::make_unique<Node>();
+      inner->leaf = false;
+      const size_t end = std::min(level.size(), i + per_inner);
+      for (size_t j = i; j < end; ++j) {
+        if (j > i) {
+          // Separator = first key reachable under child j.
+          const Node* n = level[j].get();
+          while (!n->leaf) n = n->children.front().get();
+          inner->keys.push_back(n->keys.front());
+        }
+        inner->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(inner));
+      ++node_count_;
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+  size_ = entries.size();
+  return Status::OK();
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(int64_t key) const {
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    const size_t pos = static_cast<size_t>(
+        std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[pos].get();
+  }
+  return n;
+}
+
+bool BTreeIndex::Lookup(int64_t key, uint64_t* value) const {
+  const Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  *value = leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+  return true;
+}
+
+std::vector<uint64_t> BTreeIndex::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return out;
+      out.push_back(leaf->values[i]);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+void BTreeIndex::SplitChild(Node* parent, int pos) {
+  Node* child = parent->children[pos].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  const size_t mid = child->keys.size() / 2;
+  int64_t separator;
+  if (child->leaf) {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + pos, separator);
+  parent->children.insert(parent->children.begin() + pos + 1, std::move(right));
+  ++node_count_;
+}
+
+void BTreeIndex::InsertNonFull(Node* node, int64_t key, uint64_t value) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t pos = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      node->values[pos] = value;  // upsert
+      return;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + pos, value);
+    ++size_;
+    return;
+  }
+  size_t pos = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  if (node->children[pos]->keys.size() >= static_cast<size_t>(fanout_)) {
+    SplitChild(node, static_cast<int>(pos));
+    if (key >= node->keys[pos]) ++pos;
+  }
+  InsertNonFull(node->children[pos].get(), key, value);
+}
+
+Status BTreeIndex::Insert(int64_t key, uint64_t value) {
+  if (root_->keys.size() >= static_cast<size_t>(fanout_)) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    ++node_count_;
+    SplitChild(root_.get(), 0);
+  }
+  const size_t before = size_;
+  InsertNonFull(root_.get(), key, value);
+  (void)before;
+  return Status::OK();
+}
+
+int BTreeIndex::Height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+size_t BTreeIndex::StructureBytes() const {
+  // Node overheads + separator keys + child pointers. Leaf key/value data
+  // is the index's own storage, so count it too (B-trees store the data).
+  return node_count_ * (sizeof(Node) + 16) +
+         size_ * (sizeof(int64_t) + sizeof(uint64_t));
+}
+
+}  // namespace learned_index
+}  // namespace ml4db

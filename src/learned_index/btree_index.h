@@ -1,0 +1,52 @@
+// Classical B+-tree — the baseline every learned index is measured against
+// (and, per the paper, the structure RMI proposed to replace).
+
+#ifndef ML4DB_LEARNED_INDEX_BTREE_INDEX_H_
+#define ML4DB_LEARNED_INDEX_BTREE_INDEX_H_
+
+#include <memory>
+
+#include "learned_index/ordered_index.h"
+
+namespace ml4db {
+namespace learned_index {
+
+/// In-memory B+-tree with configurable fanout, bulk loading, and inserts.
+class BTreeIndex : public OrderedIndex {
+ public:
+  /// @param fanout max children per inner node (= max entries per leaf)
+  explicit BTreeIndex(int fanout = 64);
+  ~BTreeIndex() override;
+
+  /// Bulk-loads from strictly increasing entries (replaces all contents).
+  Status BulkLoad(const std::vector<Entry>& entries);
+
+  std::string Name() const override { return "btree"; }
+  bool Lookup(int64_t key, uint64_t* value) const override;
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const override;
+  Status Insert(int64_t key, uint64_t value) override;
+  size_t size() const override { return size_; }
+  size_t StructureBytes() const override;
+  bool SupportsInsert() const override { return true; }
+
+  /// Tree height (leaf = 1); exposed for tests.
+  int Height() const;
+
+ private:
+  struct Node;
+
+  const Node* FindLeaf(int64_t key) const;
+  /// Splits `child` (index `pos` in `parent`); parent must have room.
+  void SplitChild(Node* parent, int pos);
+  void InsertNonFull(Node* node, int64_t key, uint64_t value);
+
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace learned_index
+}  // namespace ml4db
+
+#endif  // ML4DB_LEARNED_INDEX_BTREE_INDEX_H_

@@ -1,0 +1,68 @@
+// Common interface for one-dimensional ordered indexes (paper §3.2,
+// "Machine Learning for Database Index"). Classical (B+-tree), replacement
+// learned indexes (RMI), and ML-enhanced learned indexes (PGM, RadixSpline,
+// ALEX) all implement this interface so the benchmarks sweep them
+// uniformly.
+
+#ifndef ML4DB_LEARNED_INDEX_ORDERED_INDEX_H_
+#define ML4DB_LEARNED_INDEX_ORDERED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ml4db {
+namespace learned_index {
+
+/// Key/payload entry. Keys are signed 64-bit (the learned-index literature's
+/// standard domain); payloads model row pointers.
+struct Entry {
+  int64_t key;
+  uint64_t value;
+};
+
+/// Ordered index over unique int64 keys.
+class OrderedIndex {
+ public:
+  virtual ~OrderedIndex() = default;
+
+  /// Short identifier used in benchmark tables ("btree", "rmi", ...).
+  virtual std::string Name() const = 0;
+
+  /// Point lookup. Returns true and sets *value when the key exists.
+  virtual bool Lookup(int64_t key, uint64_t* value) const = 0;
+
+  /// All payloads with key in [lo, hi], in key order.
+  virtual std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const = 0;
+
+  /// Inserts a new key. Replacement-paradigm indexes return Unimplemented —
+  /// exactly the robustness limitation the paper discusses.
+  virtual Status Insert(int64_t key, uint64_t value) = 0;
+
+  /// Number of keys currently stored.
+  virtual size_t size() const = 0;
+
+  /// Approximate memory footprint of the *structure* (models, inner nodes)
+  /// excluding the raw key/payload data where the structure stores it
+  /// separately; used for the space-efficiency comparison.
+  virtual size_t StructureBytes() const = 0;
+
+  /// True when Insert is supported.
+  virtual bool SupportsInsert() const = 0;
+};
+
+/// Validates bulk-load input: strictly increasing keys.
+inline bool KeysStrictlyIncreasing(const std::vector<Entry>& entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].key >= entries[i].key) return false;
+  }
+  return true;
+}
+
+}  // namespace learned_index
+}  // namespace ml4db
+
+#endif  // ML4DB_LEARNED_INDEX_ORDERED_INDEX_H_

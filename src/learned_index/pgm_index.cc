@@ -1,0 +1,269 @@
+#include "learned_index/pgm_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ml4db {
+namespace learned_index {
+
+std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
+                                 size_t epsilon) {
+  std::vector<PgmSegment> segments;
+  const size_t n = keys.size();
+  if (n == 0) return segments;
+  const double eps = static_cast<double>(epsilon);
+
+  size_t start = 0;
+  double slope_lo = -std::numeric_limits<double>::infinity();
+  double slope_hi = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i <= n; ++i) {
+    bool close = (i == n);
+    if (!close) {
+      const double dx = static_cast<double>(keys[i] - keys[start]);
+      const double dy = static_cast<double>(i - start);
+      // Keys are strictly increasing so dx > 0.
+      const double lo = (dy - eps) / dx;
+      const double hi = (dy + eps) / dx;
+      const double new_lo = std::max(slope_lo, lo);
+      const double new_hi = std::min(slope_hi, hi);
+      if (new_lo <= new_hi) {
+        slope_lo = new_lo;
+        slope_hi = new_hi;
+      } else {
+        close = true;
+      }
+    }
+    if (close) {
+      PgmSegment seg;
+      seg.first_key = keys[start];
+      seg.intercept = static_cast<double>(start);
+      if (slope_lo > slope_hi || !std::isfinite(slope_lo) ||
+          !std::isfinite(slope_hi)) {
+        seg.slope = 0.0;  // single-key segment
+      } else {
+        seg.slope = 0.5 * (slope_lo + slope_hi);
+      }
+      segments.push_back(seg);
+      start = i;
+      slope_lo = -std::numeric_limits<double>::infinity();
+      slope_hi = std::numeric_limits<double>::infinity();
+      if (i == n) break;
+    }
+  }
+  // A trailing single-point segment can be missed when the cone closes on
+  // the final iteration; ensure the last key starts a segment if needed.
+  if (segments.empty() || start < n) {
+    PgmSegment seg;
+    seg.first_key = keys[start];
+    seg.intercept = static_cast<double>(start);
+    seg.slope = 0.0;
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+Status PgmIndex::BulkLoad(const std::vector<Entry>& entries) {
+  if (!KeysStrictlyIncreasing(entries)) {
+    return Status::InvalidArgument("bulk load requires strictly increasing keys");
+  }
+  const size_t n = entries.size();
+  keys_.resize(n);
+  values_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys_[i] = entries[i].key;
+    values_[i] = entries[i].value;
+  }
+  levels_.clear();
+  if (n == 0) return Status::OK();
+  levels_.push_back(BuildPla(keys_, epsilon_));
+  // Recurse over segment first-keys until a single segment remains.
+  while (levels_.back().size() > 1) {
+    std::vector<int64_t> seg_keys;
+    seg_keys.reserve(levels_.back().size());
+    for (const auto& s : levels_.back()) seg_keys.push_back(s.first_key);
+    levels_.push_back(BuildPla(seg_keys, epsilon_));
+    ML4DB_CHECK(levels_.back().size() < seg_keys.size() ||
+                seg_keys.size() == 1);
+  }
+  return Status::OK();
+}
+
+size_t PgmIndex::LowerBoundPos(int64_t key) const {
+  const size_t n = keys_.size();
+  if (n == 0) return 0;
+  if (key <= keys_.front()) return key == keys_.front() ? 0 : 0;
+  // Descend from the top level to the leaf segments.
+  size_t seg_idx = 0;
+  for (size_t l = levels_.size(); l-- > 0;) {
+    const auto& level = levels_[l];
+    const PgmSegment& seg = level[seg_idx];
+    const size_t lower_size = (l == 0) ? n : levels_[l - 1].size();
+    const double predf = seg.Predict(key);
+    const int64_t pred = std::llround(predf);
+    size_t lo = static_cast<size_t>(std::max<int64_t>(
+        0, pred - static_cast<int64_t>(epsilon_) - 1));
+    size_t hi = static_cast<size_t>(std::min<int64_t>(
+        static_cast<int64_t>(lower_size) - 1,
+        pred + static_cast<int64_t>(epsilon_) + 1));
+    if (lo > hi) {
+      lo = 0;
+      hi = lower_size - 1;
+    }
+    if (l == 0) {
+      // Find first data key >= key within [lo, hi]; the ε-bound guarantees
+      // the answer lies inside, but clamp defensively at the edges.
+      while (lo > 0 && keys_[lo] >= key) {
+        lo = lo > epsilon_ ? lo - epsilon_ : 0;
+      }
+      while (hi + 1 < n && keys_[hi] < key) {
+        hi = std::min(n - 1, hi + epsilon_);
+      }
+      auto it = std::lower_bound(keys_.begin() + lo, keys_.begin() + hi + 1, key);
+      return static_cast<size_t>(it - keys_.begin());
+    }
+    // Among lower-level segments, pick the last with first_key <= key.
+    const auto& lower = levels_[l - 1];
+    while (lo > 0 && lower[lo].first_key > key) {
+      lo = lo > epsilon_ ? lo - epsilon_ : 0;
+    }
+    while (hi + 1 < lower.size() && lower[hi + 1].first_key <= key) {
+      hi = std::min(lower.size() - 1, hi + epsilon_);
+    }
+    auto it = std::upper_bound(
+        lower.begin() + lo, lower.begin() + hi + 1, key,
+        [](int64_t k, const PgmSegment& s) { return k < s.first_key; });
+    seg_idx = it == lower.begin() + lo
+                  ? lo
+                  : static_cast<size_t>(it - lower.begin()) - 1;
+  }
+  return 0;
+}
+
+bool PgmIndex::Lookup(int64_t key, uint64_t* value) const {
+  const size_t pos = LowerBoundPos(key);
+  if (pos >= keys_.size() || keys_[pos] != key) return false;
+  *value = values_[pos];
+  return true;
+}
+
+std::vector<uint64_t> PgmIndex::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  for (size_t i = LowerBoundPos(lo); i < keys_.size() && keys_[i] <= hi; ++i) {
+    out.push_back(values_[i]);
+  }
+  return out;
+}
+
+std::vector<Entry> PgmIndex::Items() const {
+  std::vector<Entry> out(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) out[i] = {keys_[i], values_[i]};
+  return out;
+}
+
+size_t PgmIndex::StructureBytes() const {
+  size_t seg_bytes = 0;
+  for (const auto& level : levels_) seg_bytes += level.size() * sizeof(PgmSegment);
+  return seg_bytes + keys_.size() * (sizeof(int64_t) + sizeof(uint64_t));
+}
+
+// ----------------------------- DynamicPgmIndex -----------------------------
+
+Status DynamicPgmIndex::BulkLoad(const std::vector<Entry>& entries) {
+  buffer_.clear();
+  runs_.clear();
+  auto run = std::make_unique<PgmIndex>(epsilon_);
+  ML4DB_RETURN_IF_ERROR(run->BulkLoad(entries));
+  if (run->size() > 0) runs_.push_back(std::move(run));
+  return Status::OK();
+}
+
+Status DynamicPgmIndex::Insert(int64_t key, uint64_t value) {
+  auto it = std::lower_bound(
+      buffer_.begin(), buffer_.end(), key,
+      [](const Entry& e, int64_t k) { return e.key < k; });
+  if (it != buffer_.end() && it->key == key) {
+    it->value = value;
+    return Status::OK();
+  }
+  buffer_.insert(it, Entry{key, value});
+  MergeIfNeeded();
+  return Status::OK();
+}
+
+void DynamicPgmIndex::MergeIfNeeded() {
+  if (buffer_.size() < buffer_capacity_) return;
+  // Geometric merge policy: absorb the buffer, then keep merging the
+  // smallest remaining run while it is within 2x of the merged size. Runs
+  // are kept ordered small -> large.
+  std::vector<Entry> merged = std::move(buffer_);
+  buffer_.clear();
+  while (!runs_.empty() && runs_.front()->size() <= merged.size() * 2) {
+    const std::vector<Entry> run_items = runs_.front()->Items();
+    runs_.erase(runs_.begin());
+    std::vector<Entry> combined;
+    combined.reserve(merged.size() + run_items.size());
+    // Two-way merge; on duplicate keys the buffer/newer side wins (`merged`
+    // always holds the newer data).
+    size_t a = 0, b = 0;
+    while (a < merged.size() || b < run_items.size()) {
+      if (b >= run_items.size() ||
+          (a < merged.size() && merged[a].key <= run_items[b].key)) {
+        if (b < run_items.size() && merged[a].key == run_items[b].key) ++b;
+        combined.push_back(merged[a++]);
+      } else {
+        combined.push_back(run_items[b++]);
+      }
+    }
+    merged = std::move(combined);
+  }
+  auto run = std::make_unique<PgmIndex>(epsilon_);
+  const Status st = run->BulkLoad(merged);
+  ML4DB_CHECK_MSG(st.ok(), "merge produced non-increasing keys");
+  // Insert preserving the size ordering.
+  auto pos = std::lower_bound(
+      runs_.begin(), runs_.end(), run->size(),
+      [](const std::unique_ptr<PgmIndex>& r, size_t s) { return r->size() < s; });
+  runs_.insert(pos, std::move(run));
+}
+
+bool DynamicPgmIndex::Lookup(int64_t key, uint64_t* value) const {
+  auto it = std::lower_bound(
+      buffer_.begin(), buffer_.end(), key,
+      [](const Entry& e, int64_t k) { return e.key < k; });
+  if (it != buffer_.end() && it->key == key) {
+    *value = it->value;
+    return true;
+  }
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    if ((*rit)->Lookup(key, value)) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> DynamicPgmIndex::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  for (const auto& run : runs_) {
+    const auto part = run->RangeScan(lo, hi);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  for (const auto& e : buffer_) {
+    if (e.key >= lo && e.key <= hi) out.push_back(e.value);
+  }
+  return out;
+}
+
+size_t DynamicPgmIndex::size() const {
+  size_t n = buffer_.size();
+  for (const auto& run : runs_) n += run->size();
+  return n;
+}
+
+size_t DynamicPgmIndex::StructureBytes() const {
+  size_t b = buffer_.capacity() * sizeof(Entry);
+  for (const auto& run : runs_) b += run->StructureBytes();
+  return b;
+}
+
+}  // namespace learned_index
+}  // namespace ml4db

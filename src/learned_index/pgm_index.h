@@ -1,0 +1,109 @@
+// PGM-index (Ferragina & Vinciguerra 2020): piecewise-linear ε-approximation
+// of the key CDF with recursive levels, plus an LSM-style dynamized variant.
+// The paper cites PGM among the learned-index variants that improved
+// efficiency and robustness over the original RMI (§3.2).
+//
+// Segmentation uses the shrinking-cone algorithm: every segment provably
+// predicts the position of its keys within ±epsilon, so lookups are a
+// model prediction plus a bounded binary search of 2ε+1 slots.
+
+#ifndef ML4DB_LEARNED_INDEX_PGM_INDEX_H_
+#define ML4DB_LEARNED_INDEX_PGM_INDEX_H_
+
+#include <memory>
+
+#include "learned_index/ordered_index.h"
+
+namespace ml4db {
+namespace learned_index {
+
+/// One piecewise-linear segment: position(k) ≈ intercept + slope*(k - first_key).
+struct PgmSegment {
+  int64_t first_key = 0;
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double Predict(int64_t key) const {
+    return intercept + slope * static_cast<double>(key - first_key);
+  }
+};
+
+/// Builds an ε-bounded PLA over (keys[i] -> i). Exposed for RadixSpline and
+/// tests.
+std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
+                                 size_t epsilon);
+
+/// Static PGM-index.
+class PgmIndex : public OrderedIndex {
+ public:
+  explicit PgmIndex(size_t epsilon = 32) : epsilon_(epsilon) {
+    ML4DB_CHECK(epsilon >= 1);
+  }
+
+  Status BulkLoad(const std::vector<Entry>& entries);
+
+  std::string Name() const override { return "pgm"; }
+  bool Lookup(int64_t key, uint64_t* value) const override;
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const override;
+  Status Insert(int64_t key, uint64_t value) override {
+    (void)key;
+    (void)value;
+    return Status::Unimplemented("static PGM; use DynamicPgmIndex for updates");
+  }
+  size_t size() const override { return keys_.size(); }
+  size_t StructureBytes() const override;
+  bool SupportsInsert() const override { return false; }
+
+  size_t epsilon() const { return epsilon_; }
+  size_t num_levels() const { return levels_.size(); }
+  size_t num_leaf_segments() const {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+
+  /// Position of the first key >= `key` (n when none); the primitive both
+  /// Lookup and RangeScan build on. Exposed for the ε-bound property test.
+  size_t LowerBoundPos(int64_t key) const;
+
+  /// All stored entries in key order (used by DynamicPgmIndex merges).
+  std::vector<Entry> Items() const;
+
+ private:
+  size_t epsilon_;
+  std::vector<std::vector<PgmSegment>> levels_;  // [0] = leaf level
+  std::vector<int64_t> keys_;
+  std::vector<uint64_t> values_;
+};
+
+/// LSM-dynamized PGM: a sorted insert buffer plus geometrically growing
+/// static PGM runs, merged on overflow — the ML-enhanced answer to the
+/// static learned index's missing update support.
+class DynamicPgmIndex : public OrderedIndex {
+ public:
+  explicit DynamicPgmIndex(size_t epsilon = 32, size_t buffer_capacity = 4096)
+      : epsilon_(epsilon), buffer_capacity_(buffer_capacity) {}
+
+  Status BulkLoad(const std::vector<Entry>& entries);
+
+  std::string Name() const override { return "pgm_dynamic"; }
+  bool Lookup(int64_t key, uint64_t* value) const override;
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const override;
+  Status Insert(int64_t key, uint64_t value) override;
+  size_t size() const override;
+  size_t StructureBytes() const override;
+  bool SupportsInsert() const override { return true; }
+
+  size_t num_runs() const { return runs_.size(); }
+
+ private:
+  void MergeIfNeeded();
+
+  size_t epsilon_;
+  size_t buffer_capacity_;
+  std::vector<Entry> buffer_;  // sorted by key
+  std::vector<std::unique_ptr<PgmIndex>> runs_;  // geometric sizes
+};
+
+}  // namespace learned_index
+}  // namespace ml4db
+
+#endif  // ML4DB_LEARNED_INDEX_PGM_INDEX_H_

@@ -1,0 +1,124 @@
+#include "learned_index/radix_spline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "learned_index/pgm_index.h"  // BuildPla
+
+namespace ml4db {
+namespace learned_index {
+
+Status RadixSplineIndex::BulkLoad(const std::vector<Entry>& entries) {
+  if (!KeysStrictlyIncreasing(entries)) {
+    return Status::InvalidArgument("bulk load requires strictly increasing keys");
+  }
+  const size_t n = entries.size();
+  keys_.resize(n);
+  values_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys_[i] = entries[i].key;
+    values_[i] = entries[i].value;
+  }
+  spline_keys_.clear();
+  spline_pos_.clear();
+  radix_table_.clear();
+  if (n == 0) return Status::OK();
+
+  // Spline knots from an ε-bounded PLA pass: segment boundaries plus the
+  // final key; linear interpolation between consecutive knots stays within
+  // ~2ε of the true position.
+  const std::vector<PgmSegment> segments = BuildPla(keys_, epsilon_);
+  for (const auto& s : segments) {
+    spline_keys_.push_back(s.first_key);
+    spline_pos_.push_back(s.intercept);
+  }
+  if (spline_keys_.back() != keys_.back()) {
+    spline_keys_.push_back(keys_.back());
+    spline_pos_.push_back(static_cast<double>(n - 1));
+  }
+
+  // Radix table over (key - min) >> shift.
+  min_key_ = keys_.front();
+  const uint64_t range =
+      static_cast<uint64_t>(keys_.back() - keys_.front()) + 1;
+  shift_ = 0;
+  while ((range >> shift_) >= (uint64_t{1} << radix_bits_)) ++shift_;
+  const size_t buckets = (range >> shift_) + 2;
+  radix_table_.assign(buckets + 1, 0);
+  // radix_table_[b] = first spline index whose key maps to bucket >= b.
+  size_t si = 0;
+  for (size_t b = 0; b <= buckets; ++b) {
+    while (si < spline_keys_.size() && RadixBucket(spline_keys_[si]) < b) {
+      ++si;
+    }
+    radix_table_[b] = static_cast<uint32_t>(si);
+  }
+  return Status::OK();
+}
+
+size_t RadixSplineIndex::RadixBucket(int64_t key) const {
+  if (key <= min_key_) return 0;
+  return static_cast<size_t>(static_cast<uint64_t>(key - min_key_) >> shift_);
+}
+
+size_t RadixSplineIndex::LowerBoundPos(int64_t key) const {
+  const size_t n = keys_.size();
+  if (n == 0) return 0;
+  if (key <= keys_.front()) return 0;
+  if (key > keys_.back()) return n;
+
+  // Locate the spline segment via the radix table.
+  const size_t b = std::min(RadixBucket(key), radix_table_.size() - 2);
+  size_t s_lo = radix_table_[b] > 0 ? radix_table_[b] - 1 : 0;
+  size_t s_hi = std::min<size_t>(radix_table_[b + 1] + 1, spline_keys_.size() - 1);
+  // Binary search spline points in [s_lo, s_hi] for the segment containing
+  // the key.
+  auto it = std::upper_bound(spline_keys_.begin() + s_lo,
+                             spline_keys_.begin() + s_hi + 1, key);
+  size_t right = static_cast<size_t>(it - spline_keys_.begin());
+  if (right == 0) right = 1;
+  if (right >= spline_keys_.size()) right = spline_keys_.size() - 1;
+  const size_t left = right - 1;
+
+  // Interpolate between knots.
+  const double x0 = static_cast<double>(spline_keys_[left]);
+  const double x1 = static_cast<double>(spline_keys_[right]);
+  const double y0 = spline_pos_[left];
+  const double y1 = spline_pos_[right];
+  const double t = x1 > x0 ? (static_cast<double>(key) - x0) / (x1 - x0) : 0.0;
+  const double predf = y0 + t * (y1 - y0);
+  const int64_t pred = std::llround(predf);
+
+  const int64_t window = 2 * static_cast<int64_t>(epsilon_) + 2;
+  size_t lo = static_cast<size_t>(std::max<int64_t>(0, pred - window));
+  size_t hi = static_cast<size_t>(
+      std::min<int64_t>(static_cast<int64_t>(n) - 1, pred + window));
+  while (lo > 0 && keys_[lo] >= key) lo = lo > 64 ? lo - 64 : 0;
+  while (hi + 1 < n && keys_[hi] < key) hi = std::min(n - 1, hi + 64);
+  auto kit = std::lower_bound(keys_.begin() + lo, keys_.begin() + hi + 1, key);
+  return static_cast<size_t>(kit - keys_.begin());
+}
+
+bool RadixSplineIndex::Lookup(int64_t key, uint64_t* value) const {
+  const size_t pos = LowerBoundPos(key);
+  if (pos >= keys_.size() || keys_[pos] != key) return false;
+  *value = values_[pos];
+  return true;
+}
+
+std::vector<uint64_t> RadixSplineIndex::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  for (size_t i = LowerBoundPos(lo); i < keys_.size() && keys_[i] <= hi; ++i) {
+    out.push_back(values_[i]);
+  }
+  return out;
+}
+
+size_t RadixSplineIndex::StructureBytes() const {
+  return radix_table_.size() * sizeof(uint32_t) +
+         spline_keys_.size() * (sizeof(int64_t) + sizeof(double)) +
+         keys_.size() * (sizeof(int64_t) + sizeof(uint64_t));
+}
+
+}  // namespace learned_index
+}  // namespace ml4db

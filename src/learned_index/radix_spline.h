@@ -1,0 +1,60 @@
+// RadixSpline (Kipf et al. 2020): a single-pass learned index — an
+// ε-bounded linear spline over the CDF plus a radix table over key prefixes
+// that bounds the spline-point search. Cited by the paper among the
+// efficiency-focused learned-index variants (§3.2).
+
+#ifndef ML4DB_LEARNED_INDEX_RADIX_SPLINE_H_
+#define ML4DB_LEARNED_INDEX_RADIX_SPLINE_H_
+
+#include "learned_index/ordered_index.h"
+
+namespace ml4db {
+namespace learned_index {
+
+/// Static radix-spline index over strictly increasing keys.
+class RadixSplineIndex : public OrderedIndex {
+ public:
+  /// @param epsilon     max position error of the spline
+  /// @param radix_bits  size of the prefix table (2^bits entries)
+  explicit RadixSplineIndex(size_t epsilon = 32, int radix_bits = 18)
+      : epsilon_(epsilon), radix_bits_(radix_bits) {
+    ML4DB_CHECK(epsilon >= 1);
+    ML4DB_CHECK(radix_bits >= 1 && radix_bits <= 28);
+  }
+
+  Status BulkLoad(const std::vector<Entry>& entries);
+
+  std::string Name() const override { return "radix_spline"; }
+  bool Lookup(int64_t key, uint64_t* value) const override;
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const override;
+  Status Insert(int64_t key, uint64_t value) override {
+    (void)key;
+    (void)value;
+    return Status::Unimplemented("RadixSpline is built in one pass; rebuild");
+  }
+  size_t size() const override { return keys_.size(); }
+  size_t StructureBytes() const override;
+  bool SupportsInsert() const override { return false; }
+
+  size_t num_spline_points() const { return spline_keys_.size(); }
+
+ private:
+  /// Index of first key >= key.
+  size_t LowerBoundPos(int64_t key) const;
+  size_t RadixBucket(int64_t key) const;
+
+  size_t epsilon_;
+  int radix_bits_;
+  int64_t min_key_ = 0;
+  int shift_ = 0;
+  std::vector<uint32_t> radix_table_;   // bucket -> first spline point index
+  std::vector<int64_t> spline_keys_;    // spline point keys
+  std::vector<double> spline_pos_;      // spline point positions
+  std::vector<int64_t> keys_;
+  std::vector<uint64_t> values_;
+};
+
+}  // namespace learned_index
+}  // namespace ml4db
+
+#endif  // ML4DB_LEARNED_INDEX_RADIX_SPLINE_H_

@@ -1,0 +1,165 @@
+#include "learned_index/rmi_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace learned_index {
+
+LinearModel LinearModel::Fit(const int64_t* keys, size_t n, size_t y0) {
+  LinearModel m;
+  if (n == 0) return m;
+  if (n == 1) {
+    m.slope = 0.0;
+    m.intercept = static_cast<double>(y0);
+    return m;
+  }
+  // Center x values to keep the normal equations well conditioned for
+  // large key magnitudes.
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += static_cast<double>(keys[i]);
+    mean_y += static_cast<double>(y0 + i);
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(keys[i]) - mean_x;
+    const double dy = static_cast<double>(y0 + i) - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+  }
+  m.slope = sxx > 0 ? sxy / sxx : 0.0;
+  m.intercept = mean_y - m.slope * mean_x;
+  return m;
+}
+
+Status RmiIndex::BulkLoad(const std::vector<Entry>& entries) {
+  if (!KeysStrictlyIncreasing(entries)) {
+    return Status::InvalidArgument("bulk load requires strictly increasing keys");
+  }
+  const size_t n = entries.size();
+  keys_.resize(n);
+  values_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys_[i] = entries[i].key;
+    values_[i] = entries[i].value;
+  }
+  num_models_ = std::max<size_t>(1, std::min(num_models_, n));
+  // Stage 1: root model over the whole CDF, scaled to leaf-model slots.
+  root_ = LinearModel::Fit(keys_.data(), n, 0);
+  const double scale = static_cast<double>(num_models_) / static_cast<double>(n);
+  // Stage 2: partition keys by root prediction.
+  std::vector<size_t> first_key(num_models_ + 1, n);
+  std::vector<size_t> model_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    double p = root_.Predict(static_cast<double>(keys_[i])) * scale;
+    size_t m = static_cast<size_t>(Clamp(p, 0.0,
+                                         static_cast<double>(num_models_) - 1));
+    model_of[i] = m;
+  }
+  // Root predictions are monotone in the key, so assignments are sorted.
+  leaves_.assign(num_models_, {});
+  size_t start = 0;
+  for (size_t m = 0; m < num_models_; ++m) {
+    size_t end = start;
+    while (end < n && model_of[end] == m) ++end;
+    first_key[m] = start;
+    if (end > start) {
+      leaves_[m].model = LinearModel::Fit(keys_.data() + start, end - start,
+                                          start);
+      int32_t lo = 0, hi = 0;
+      for (size_t i = start; i < end; ++i) {
+        const double pred = leaves_[m].model.Predict(static_cast<double>(keys_[i]));
+        const int64_t diff =
+            static_cast<int64_t>(i) - static_cast<int64_t>(std::llround(pred));
+        lo = std::min<int32_t>(lo, static_cast<int32_t>(diff));
+        hi = std::max<int32_t>(hi, static_cast<int32_t>(diff));
+      }
+      leaves_[m].err_lo = lo;
+      leaves_[m].err_hi = hi;
+    } else {
+      // Empty model: point into the data where the partition boundary is.
+      leaves_[m].model.slope = 0.0;
+      leaves_[m].model.intercept = static_cast<double>(start);
+    }
+    start = end;
+  }
+  return Status::OK();
+}
+
+size_t RmiIndex::ModelFor(int64_t key) const {
+  const double scale =
+      static_cast<double>(num_models_) / static_cast<double>(keys_.size());
+  const double p = root_.Predict(static_cast<double>(key)) * scale;
+  return static_cast<size_t>(
+      Clamp(p, 0.0, static_cast<double>(num_models_) - 1));
+}
+
+size_t RmiIndex::PredictPos(int64_t key, size_t* lo, size_t* hi) const {
+  const size_t n = keys_.size();
+  const LeafModel& leaf = leaves_[ModelFor(key)];
+  const double predf = leaf.model.Predict(static_cast<double>(key));
+  const int64_t pred = std::llround(Clamp(predf, 0.0, static_cast<double>(n - 1)));
+  *lo = static_cast<size_t>(
+      std::max<int64_t>(0, pred + leaf.err_lo));
+  *hi = static_cast<size_t>(
+      std::min<int64_t>(static_cast<int64_t>(n) - 1, pred + leaf.err_hi));
+  return static_cast<size_t>(pred);
+}
+
+bool RmiIndex::Lookup(int64_t key, uint64_t* value) const {
+  if (keys_.empty()) return false;
+  size_t lo, hi;
+  PredictPos(key, &lo, &hi);
+  // Bounded binary search in [lo, hi]; widen defensively if the key falls
+  // outside (cannot happen when bounds were computed over the loaded keys,
+  // but keeps Lookup total for arbitrary probes).
+  while (lo > 0 && keys_[lo] > key) lo = lo > 64 ? lo - 64 : 0;
+  while (hi + 1 < keys_.size() && keys_[hi] < key) {
+    hi = std::min(keys_.size() - 1, hi + 64);
+  }
+  auto it = std::lower_bound(keys_.begin() + lo, keys_.begin() + hi + 1, key);
+  if (it == keys_.begin() + hi + 1 || *it != key) return false;
+  *value = values_[static_cast<size_t>(it - keys_.begin())];
+  return true;
+}
+
+std::vector<uint64_t> RmiIndex::RangeScan(int64_t lo_key, int64_t hi_key) const {
+  std::vector<uint64_t> out;
+  if (keys_.empty()) return out;
+  size_t lo, hi;
+  PredictPos(lo_key, &lo, &hi);
+  while (lo > 0 && keys_[lo] >= lo_key) lo = lo > 64 ? lo - 64 : 0;
+  while (hi + 1 < keys_.size() && keys_[hi] < lo_key) {
+    hi = std::min(keys_.size() - 1, hi + 64);
+  }
+  auto it = std::lower_bound(keys_.begin() + lo, keys_.begin() + hi + 1, lo_key);
+  for (size_t i = static_cast<size_t>(it - keys_.begin());
+       i < keys_.size() && keys_[i] <= hi_key; ++i) {
+    out.push_back(values_[i]);
+  }
+  return out;
+}
+
+size_t RmiIndex::StructureBytes() const {
+  // Root + leaf models + error bounds; keys/values are the data payload but
+  // the RMI owns them (sorted array), so count keys once.
+  return sizeof(LinearModel) + leaves_.size() * sizeof(LeafModel) +
+         keys_.size() * (sizeof(int64_t) + sizeof(uint64_t));
+}
+
+double RmiIndex::MeanErrorWindow() const {
+  if (leaves_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& l : leaves_) {
+    acc += static_cast<double>(l.err_hi - l.err_lo);
+  }
+  return acc / static_cast<double>(leaves_.size());
+}
+
+}  // namespace learned_index
+}  // namespace ml4db

@@ -1,0 +1,74 @@
+// Recursive Model Index (Kraska et al. 2018) — the original
+// "replacement"-paradigm learned index (paper §3.2): a two-stage model of
+// the key CDF replaces the B-tree, with a last-mile bounded binary search
+// correcting model error. Static: Insert returns Unimplemented, which is
+// precisely the robustness limitation the paper attributes to the
+// replacement approach.
+
+#ifndef ML4DB_LEARNED_INDEX_RMI_INDEX_H_
+#define ML4DB_LEARNED_INDEX_RMI_INDEX_H_
+
+#include "learned_index/ordered_index.h"
+
+namespace ml4db {
+namespace learned_index {
+
+/// A 1-d linear model y = slope * x + intercept.
+struct LinearModel {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double Predict(double x) const { return slope * x + intercept; }
+
+  /// Least-squares fit of positions `y0..` to keys.
+  static LinearModel Fit(const int64_t* keys, size_t n, size_t y0);
+};
+
+/// Two-stage RMI over strictly increasing keys.
+class RmiIndex : public OrderedIndex {
+ public:
+  /// @param num_leaf_models second-stage model count (the paper's 2-stage
+  ///        RMI with ~n/λ leaf models; more models = tighter error bounds)
+  explicit RmiIndex(size_t num_leaf_models = 1024)
+      : num_models_(num_leaf_models) {}
+
+  Status BulkLoad(const std::vector<Entry>& entries);
+
+  std::string Name() const override { return "rmi"; }
+  bool Lookup(int64_t key, uint64_t* value) const override;
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const override;
+  Status Insert(int64_t key, uint64_t value) override {
+    (void)key;
+    (void)value;
+    return Status::Unimplemented(
+        "RMI is a static replacement-paradigm index; rebuild to update");
+  }
+  size_t size() const override { return keys_.size(); }
+  size_t StructureBytes() const override;
+  bool SupportsInsert() const override { return false; }
+
+  /// Mean absolute last-mile search window (diagnostic: model quality).
+  double MeanErrorWindow() const;
+
+ private:
+  struct LeafModel {
+    LinearModel model;
+    int32_t err_lo = 0;  // max underestimate
+    int32_t err_hi = 0;  // max overestimate
+  };
+
+  size_t ModelFor(int64_t key) const;
+  /// Predicted position clamped to [0, n).
+  size_t PredictPos(int64_t key, size_t* lo, size_t* hi) const;
+
+  size_t num_models_;
+  LinearModel root_;
+  std::vector<LeafModel> leaves_;
+  std::vector<int64_t> keys_;
+  std::vector<uint64_t> values_;
+};
+
+}  // namespace learned_index
+}  // namespace ml4db
+
+#endif  // ML4DB_LEARNED_INDEX_RMI_INDEX_H_

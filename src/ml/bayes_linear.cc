@@ -1,0 +1,114 @@
+#include "ml/bayes_linear.h"
+
+namespace ml4db {
+namespace ml {
+
+namespace {
+
+// Solves L y = b (forward substitution) for lower-triangular L.
+Vec ForwardSolve(const Matrix& l, const Vec& b) {
+  const size_t n = b.size();
+  Vec y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  return y;
+}
+
+// Solves L^T x = b (backward substitution) for lower-triangular L.
+Vec BackwardSolve(const Matrix& l, const Vec& b) {
+  const size_t n = b.size();
+  Vec x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+BayesianLinearModel::BayesianLinearModel(size_t dim, double alpha,
+                                         double noise_var)
+    : dim_(dim),
+      alpha_(alpha),
+      noise_var_(noise_var),
+      xtx_(dim, dim),
+      xty_(dim, 0.0) {
+  ML4DB_CHECK(dim > 0);
+  ML4DB_CHECK(alpha > 0.0 && noise_var > 0.0);
+}
+
+void BayesianLinearModel::Observe(const Vec& x, double y) {
+  ML4DB_CHECK(x.size() == dim_);
+  AddOuter(xtx_, x, x);
+  AxpyInPlace(xty_, x, y);
+  ++n_;
+  dirty_ = true;
+}
+
+void BayesianLinearModel::DecayEvidence(double factor) {
+  ML4DB_CHECK(factor > 0.0 && factor <= 1.0);
+  for (size_t i = 0; i < xtx_.size(); ++i) xtx_.data()[i] *= factor;
+  for (double& v : xty_) v *= factor;
+  dirty_ = true;
+}
+
+void BayesianLinearModel::Refresh() const {
+  if (!dirty_) return;
+  // Posterior precision A = alpha I + X^T X / sigma^2. Everything else is
+  // derived from its Cholesky factor:
+  //   mean        = A^{-1} X^T y / sigma^2           (two triangular solves)
+  //   var(x)      = x^T A^{-1} x = ||L^{-1} x||^2    (one forward solve)
+  //   sample      = mean + L^{-T} z, z ~ N(0, I)     (one backward solve)
+  Matrix a(dim_, dim_);
+  const double inv_noise = 1.0 / noise_var_;
+  for (size_t i = 0; i < dim_; ++i) {
+    for (size_t j = 0; j < dim_; ++j) {
+      a.At(i, j) = xtx_.At(i, j) * inv_noise + (i == j ? alpha_ : 0.0);
+    }
+  }
+  prec_chol_ = Cholesky(a);
+  mean_ = BackwardSolve(prec_chol_,
+                        ForwardSolve(prec_chol_, VecScale(xty_, inv_noise)));
+  dirty_ = false;
+}
+
+double BayesianLinearModel::PredictMean(const Vec& x) const {
+  ML4DB_CHECK(x.size() == dim_);
+  Refresh();
+  return Dot(mean_, x);
+}
+
+double BayesianLinearModel::PredictVariance(const Vec& x) const {
+  ML4DB_CHECK(x.size() == dim_);
+  Refresh();
+  const Vec y = ForwardSolve(prec_chol_, x);
+  return Dot(y, y) + noise_var_;
+}
+
+Vec BayesianLinearModel::SampleWeights(Rng& rng) const {
+  Refresh();
+  Vec z(dim_);
+  for (double& v : z) v = rng.Gaussian();
+  // cov = A^{-1} = L^{-T} L^{-1}, so mean + L^{-T} z has covariance A^{-1}.
+  Vec w = BackwardSolve(prec_chol_, z);
+  AxpyInPlace(w, mean_, 1.0);
+  return w;
+}
+
+double BayesianLinearModel::SamplePrediction(const Vec& x, Rng& rng) const {
+  ML4DB_CHECK(x.size() == dim_);
+  return Dot(SampleWeights(rng), x);
+}
+
+Vec BayesianLinearModel::MeanWeights() const {
+  Refresh();
+  return mean_;
+}
+
+}  // namespace ml
+}  // namespace ml4db

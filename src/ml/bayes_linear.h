@@ -1,0 +1,78 @@
+// Bayesian linear regression with a conjugate Gaussian prior, the model
+// behind Bao-style Thompson sampling (paper §3.2, "Bandit Optimizer") and
+// the lightweight cardinality estimators (§3.3 "Model Efficiency").
+
+#ifndef ML4DB_ML_BAYES_LINEAR_H_
+#define ML4DB_ML_BAYES_LINEAR_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace ml4db {
+namespace ml {
+
+/// Bayesian linear regression y ~ N(w^T x, sigma^2) with prior
+/// w ~ N(0, alpha^{-1} I). Maintains the posterior in sufficient-statistic
+/// form (X^T X, X^T y) so updates are O(d^2) per observation and the
+/// posterior can be recomputed exactly at any time.
+class BayesianLinearModel {
+ public:
+  /// @param dim       feature dimension (callers append a bias feature
+  ///                  themselves if wanted)
+  /// @param alpha     prior precision (larger = stronger shrinkage to 0)
+  /// @param noise_var observation noise variance sigma^2
+  BayesianLinearModel(size_t dim, double alpha = 1.0, double noise_var = 1.0);
+
+  /// Adds one (x, y) observation.
+  void Observe(const Vec& x, double y);
+
+  /// Number of observations absorbed so far.
+  size_t num_observations() const { return n_; }
+
+  size_t dim() const { return dim_; }
+
+  /// Posterior mean prediction at x.
+  double PredictMean(const Vec& x) const;
+
+  /// Posterior predictive variance at x (includes observation noise).
+  double PredictVariance(const Vec& x) const;
+
+  /// Draws one weight vector from the posterior and returns its prediction
+  /// at x — the Thompson-sampling primitive.
+  double SamplePrediction(const Vec& x, Rng& rng) const;
+
+  /// Draws a full weight vector from the posterior (useful when scoring
+  /// many arms under one coherent sample).
+  Vec SampleWeights(Rng& rng) const;
+
+  /// Posterior mean weights.
+  Vec MeanWeights() const;
+
+  /// Downweights all absorbed evidence by `factor` in (0, 1]; used to adapt
+  /// to non-stationary workloads (Bao retrains on a sliding window; decay
+  /// is the streaming equivalent).
+  void DecayEvidence(double factor);
+
+ private:
+  void Refresh() const;  // recompute posterior from sufficient stats
+
+  size_t dim_;
+  double alpha_;
+  double noise_var_;
+  size_t n_ = 0;
+  Matrix xtx_;  // running X^T X
+  Vec xty_;     // running X^T y
+
+  // Posterior cache (lazily recomputed after updates): the Cholesky factor
+  // of the posterior *precision* plus the mean; variance and Thompson
+  // samples come from triangular solves against it (O(d^2) per query).
+  mutable bool dirty_ = true;
+  mutable Vec mean_;
+  mutable Matrix prec_chol_;
+};
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_BAYES_LINEAR_H_

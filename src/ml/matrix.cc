@@ -1,0 +1,158 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace ml {
+
+Matrix Matrix::Randn(Rng& rng, size_t rows, size_t cols, double scale) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Gaussian(0.0, scale);
+  }
+  return m;
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+Vec MatVec(const Matrix& m, const Vec& x) {
+  ML4DB_CHECK(x.size() == m.cols());
+  Vec y(m.rows(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.data() + r * m.cols();
+    double acc = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vec MatTVec(const Matrix& m, const Vec& x) {
+  ML4DB_CHECK(x.size() == m.rows());
+  Vec y(m.cols(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.data() + r * m.cols();
+    const double xr = x[r];
+    for (size_t c = 0; c < m.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void AddOuter(Matrix& m, const Vec& y, const Vec& x, double a) {
+  ML4DB_CHECK(y.size() == m.rows() && x.size() == m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.data() + r * m.cols();
+    const double ay = a * y[r];
+    for (size_t c = 0; c < m.cols(); ++c) row[c] += ay * x[c];
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  ML4DB_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols();
+      double* crow = c.data() + i * c.cols();
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) t.At(c, r) = a.At(r, c);
+  }
+  return t;
+}
+
+Matrix Cholesky(const Matrix& a) {
+  ML4DB_CHECK(a.rows() == a.cols());
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        // Tiny jitter keeps nearly-singular posterior covariances usable.
+        ML4DB_CHECK_MSG(sum > -1e-9, "matrix not positive definite");
+        l.At(i, i) = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vec CholeskySolve(const Matrix& a, const Vec& b) {
+  ML4DB_CHECK(a.rows() == b.size());
+  const Matrix l = Cholesky(a);
+  const size_t n = b.size();
+  // Forward substitution: L y = b.
+  Vec y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  // Backward substitution: L^T x = y.
+  Vec x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+Vec VecAdd(const Vec& a, const Vec& b) {
+  ML4DB_CHECK(a.size() == b.size());
+  Vec c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+Vec VecSub(const Vec& a, const Vec& b) {
+  ML4DB_CHECK(a.size() == b.size());
+  Vec c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+Vec VecMul(const Vec& a, const Vec& b) {
+  ML4DB_CHECK(a.size() == b.size());
+  Vec c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+Vec VecScale(const Vec& a, double s) {
+  Vec c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] * s;
+  return c;
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  ML4DB_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyInPlace(Vec& y, const Vec& x, double a) {
+  ML4DB_CHECK(y.size() == x.size());
+  for (size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+}  // namespace ml
+}  // namespace ml4db

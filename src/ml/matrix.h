@@ -1,0 +1,95 @@
+// Dense row-major matrix of doubles plus the linear-algebra kernels the
+// ml module needs (matmul, transpose, Cholesky). Sized for small models
+// (hidden dims of tens), not BLAS-scale workloads.
+
+#ifndef ML4DB_ML_MATRIX_H_
+#define ML4DB_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ml4db {
+namespace ml {
+
+/// Vector of doubles; the element type used throughout the ml module.
+using Vec = std::vector<double>;
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Gaussian init with standard deviation `scale` (e.g. Xavier/He scale
+  /// computed by the caller).
+  static Matrix Randn(Rng& rng, size_t rows, size_t cols, double scale);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& At(size_t r, size_t c) {
+    ML4DB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    ML4DB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Frobenius-norm squared; used for weight-decay and gradient clipping.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// y = M x (matrix–vector product). x.size() must equal M.cols().
+Vec MatVec(const Matrix& m, const Vec& x);
+
+/// y = M^T x. x.size() must equal M.rows().
+Vec MatTVec(const Matrix& m, const Vec& x);
+
+/// M += a * outer(y, x), i.e. M[r][c] += a * y[r] * x[c]. The shape of the
+/// rank-1 update used by every backward pass: dW += dy x^T.
+void AddOuter(Matrix& m, const Vec& y, const Vec& x, double a = 1.0);
+
+/// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// A^T.
+Matrix Transpose(const Matrix& a);
+
+/// In-place Cholesky decomposition of a symmetric positive-definite matrix;
+/// returns lower-triangular L with A = L L^T. Aborts (CHECK) if A is not
+/// positive definite beyond a small jitter.
+Matrix Cholesky(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+Vec CholeskySolve(const Matrix& a, const Vec& b);
+
+/// Elementwise vector helpers.
+Vec VecAdd(const Vec& a, const Vec& b);
+Vec VecSub(const Vec& a, const Vec& b);
+Vec VecMul(const Vec& a, const Vec& b);
+Vec VecScale(const Vec& a, double s);
+double Dot(const Vec& a, const Vec& b);
+void AxpyInPlace(Vec& y, const Vec& x, double a);  // y += a * x
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_MATRIX_H_

@@ -1,0 +1,145 @@
+// Monte Carlo Tree Search (UCT), the "lightweight reinforcement learning"
+// engine behind PLATON's learned R-tree packing policy (paper §3.2,
+// ML-enhanced bulk-loading). Header-only and generic over an environment.
+//
+// The environment type E must provide:
+//   using State = ...;                    // copyable
+//   std::vector<int> Actions(const State&) const;   // empty == terminal
+//   State Apply(const State&, int action) const;
+//   double Rollout(const State&, Rng&) const;       // reward, higher better
+//
+// Rewards should be (roughly) in [0, 1] for the default exploration
+// constant to be sensible.
+
+#ifndef ML4DB_ML_MCTS_H_
+#define ML4DB_ML_MCTS_H_
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ml4db {
+namespace ml {
+
+/// Configuration for an MCTS search.
+struct MctsOptions {
+  int iterations = 200;          ///< simulations per Search() call
+  double exploration = 1.0;      ///< UCT exploration constant c
+  int max_rollout_depth = 64;    ///< safety bound inside Rollout loops
+};
+
+/// UCT search over an environment E (see file comment for the concept).
+template <typename E>
+class Mcts {
+ public:
+  using State = typename E::State;
+
+  Mcts(const E* env, MctsOptions options, uint64_t seed)
+      : env_(env), options_(options), rng_(seed) {
+    ML4DB_CHECK(env != nullptr);
+    ML4DB_CHECK(options.iterations > 0);
+  }
+
+  /// Runs the configured number of simulations from `root` and returns the
+  /// most-visited action. `root` must be non-terminal.
+  int Search(const State& root) {
+    auto root_node = std::make_unique<Node>();
+    root_node->state = root;
+    root_node->untried = env_->Actions(root);
+    ML4DB_CHECK_MSG(!root_node->untried.empty(),
+                    "MCTS called on a terminal state");
+    for (int it = 0; it < options_.iterations; ++it) {
+      Simulate(root_node.get());
+    }
+    int best_action = root_node->children.front()->action;
+    int best_visits = -1;
+    for (const auto& child : root_node->children) {
+      if (child->visits > best_visits) {
+        best_visits = child->visits;
+        best_action = child->action;
+      }
+    }
+    return best_action;
+  }
+
+  /// Mean value of the action chosen by the last Search at the root; useful
+  /// for diagnostics.
+  double last_root_value() const { return last_root_value_; }
+
+ private:
+  struct Node {
+    State state;
+    int action = -1;  // action that led here from the parent
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<int> untried;
+    int visits = 0;
+    double total_reward = 0.0;
+  };
+
+  void Simulate(Node* root) {
+    // Selection.
+    Node* node = root;
+    while (node->untried.empty() && !node->children.empty()) {
+      node = SelectUct(node);
+    }
+    // Expansion.
+    if (!node->untried.empty()) {
+      const size_t pick = rng_.NextUint64(node->untried.size());
+      const int action = node->untried[pick];
+      node->untried[pick] = node->untried.back();
+      node->untried.pop_back();
+      auto child = std::make_unique<Node>();
+      child->state = env_->Apply(node->state, action);
+      child->action = action;
+      child->parent = node;
+      child->untried = env_->Actions(child->state);
+      node->children.push_back(std::move(child));
+      node = node->children.back().get();
+    }
+    // Rollout.
+    const double reward = env_->Rollout(node->state, rng_);
+    // Backpropagation.
+    for (Node* n = node; n != nullptr; n = n->parent) {
+      n->visits += 1;
+      n->total_reward += reward;
+    }
+    last_root_value_ = root->total_reward / std::max(root->visits, 1);
+  }
+
+  Node* SelectUct(Node* node) {
+    Node* best = nullptr;
+    double best_score = -std::numeric_limits<double>::infinity();
+    const double log_n = std::log(static_cast<double>(node->visits) + 1.0);
+    for (const auto& child : node->children) {
+      const double mean = child->visits > 0
+                              ? child->total_reward / child->visits
+                              : std::numeric_limits<double>::infinity();
+      const double ucb =
+          child->visits > 0
+              ? mean + options_.exploration *
+                           std::sqrt(log_n / static_cast<double>(child->visits))
+              : std::numeric_limits<double>::infinity();
+      if (ucb > best_score) {
+        best_score = ucb;
+        best = child.get();
+      }
+    }
+    ML4DB_DCHECK(best != nullptr);
+    return best;
+  }
+
+  const E* env_;
+  MctsOptions options_;
+  Rng rng_;
+  double last_root_value_ = 0.0;
+};
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_MCTS_H_

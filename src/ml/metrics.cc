@@ -1,0 +1,43 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace ml {
+
+double QError(double estimate, double truth) {
+  const double e = std::max(estimate, 1.0);
+  const double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& estimates,
+                               const std::vector<double>& truths) {
+  ML4DB_CHECK(estimates.size() == truths.size());
+  ML4DB_CHECK(!estimates.empty());
+  std::vector<double> qs(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    qs[i] = QError(estimates[i], truths[i]);
+  }
+  QErrorSummary s;
+  s.mean = Mean(qs);
+  s.median = Quantile(qs, 0.5);
+  s.p90 = Quantile(qs, 0.9);
+  s.p99 = Quantile(qs, 0.99);
+  s.max = *std::max_element(qs.begin(), qs.end());
+  return s;
+}
+
+double MeanRelativeError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths) {
+  ML4DB_CHECK(estimates.size() == truths.size() && !estimates.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    acc += std::abs(estimates[i] - truths[i]) / std::max(truths[i], 1.0);
+  }
+  return acc / static_cast<double>(estimates.size());
+}
+
+}  // namespace ml
+}  // namespace ml4db

@@ -1,0 +1,39 @@
+// Evaluation metrics used across ML4DB experiments: q-error for
+// cardinality/cost estimation, regret for bandit optimizers, ranking
+// quality for plan selection.
+
+#ifndef ML4DB_ML_METRICS_H_
+#define ML4DB_ML_METRICS_H_
+
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace ml {
+
+/// q-error of a single estimate: max(est/true, true/est), with both sides
+/// floored at 1 to avoid division blowups. The standard cardinality
+/// estimation metric.
+double QError(double estimate, double truth);
+
+/// Aggregated q-error quantiles over a test set.
+struct QErrorSummary {
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& estimates,
+                               const std::vector<double>& truths);
+
+/// Mean relative error |est - true| / max(true, 1).
+double MeanRelativeError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths);
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_METRICS_H_

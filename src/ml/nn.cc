@@ -1,0 +1,256 @@
+#include "ml/nn.h"
+
+#include <algorithm>
+
+namespace ml4db {
+namespace ml {
+
+Vec ApplyActivation(Activation act, const Vec& x) {
+  Vec y(x.size());
+  switch (act) {
+    case Activation::kIdentity:
+      y = x;
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < x.size(); ++i) y[i] = 1.0 / (1.0 + std::exp(-x[i]));
+      break;
+  }
+  return y;
+}
+
+Vec ActivationGradFromOutput(Activation act, const Vec& y, const Vec& dy) {
+  ML4DB_CHECK(y.size() == dy.size());
+  Vec dx(y.size());
+  switch (act) {
+    case Activation::kIdentity:
+      dx = dy;
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < y.size(); ++i) dx[i] = y[i] > 0.0 ? dy[i] : 0.0;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < y.size(); ++i) dx[i] = dy[i] * (1.0 - y[i] * y[i]);
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < y.size(); ++i) dx[i] = dy[i] * y[i] * (1.0 - y[i]);
+      break;
+  }
+  return dx;
+}
+
+Vec Softmax(const Vec& x) {
+  ML4DB_CHECK(!x.empty());
+  const double mx = *std::max_element(x.begin(), x.end());
+  Vec y(x.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::exp(x[i] - mx);
+    sum += y[i];
+  }
+  for (double& v : y) v /= sum;
+  return y;
+}
+
+Linear::Linear(Rng& rng, size_t in_dim, size_t out_dim, Activation act)
+    : act_(act) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim + out_dim));
+  w_ = Parameter(Matrix::Randn(rng, out_dim, in_dim, scale));
+  b_ = Parameter(Matrix::Zeros(out_dim, 1));
+}
+
+Vec Linear::Forward(const Vec& x, Cache* cache) const {
+  Vec z = MatVec(w_.value, x);
+  for (size_t i = 0; i < z.size(); ++i) z[i] += b_.value.At(i, 0);
+  Vec y = ApplyActivation(act_, z);
+  if (cache != nullptr) {
+    cache->input = x;
+    cache->output = y;
+  }
+  return y;
+}
+
+Vec Linear::Backward(const Vec& grad_out, const Cache& cache) {
+  const Vec dz = ActivationGradFromOutput(act_, cache.output, grad_out);
+  AddOuter(w_.grad, dz, cache.input);
+  for (size_t i = 0; i < dz.size(); ++i) b_.grad.At(i, 0) += dz[i];
+  return MatTVec(w_.value, dz);
+}
+
+Mlp::Mlp(Rng& rng, const std::vector<size_t>& dims, Activation hidden_act) {
+  ML4DB_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(rng, dims[i], dims[i + 1],
+                         last ? Activation::kIdentity : hidden_act);
+  }
+}
+
+Vec Mlp::Forward(const Vec& x, Cache* cache) const {
+  if (cache != nullptr) cache->layers.resize(layers_.size());
+  Vec h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h, cache != nullptr ? &cache->layers[i] : nullptr);
+  }
+  return h;
+}
+
+Vec Mlp::Backward(const Vec& grad_out, const Cache& cache) {
+  ML4DB_CHECK(cache.layers.size() == layers_.size());
+  Vec g = grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i].Backward(g, cache.layers[i]);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Mlp::Params() {
+  std::vector<Parameter*> out;
+  for (Linear& l : layers_) {
+    for (Parameter* p : l.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+double MseLoss(const Vec& pred, const Vec& target, Vec* grad) {
+  ML4DB_CHECK(pred.size() == target.size() && !pred.empty());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  grad->assign(pred.size(), 0.0);
+  double loss = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    loss += 0.5 * d * d * inv_n;
+    (*grad)[i] = d * inv_n;
+  }
+  return loss;
+}
+
+double HuberLoss(const Vec& pred, const Vec& target, double delta, Vec* grad) {
+  ML4DB_CHECK(pred.size() == target.size() && !pred.empty());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  grad->assign(pred.size(), 0.0);
+  double loss = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    if (std::abs(d) <= delta) {
+      loss += 0.5 * d * d * inv_n;
+      (*grad)[i] = d * inv_n;
+    } else {
+      loss += delta * (std::abs(d) - 0.5 * delta) * inv_n;
+      (*grad)[i] = (d > 0 ? delta : -delta) * inv_n;
+    }
+  }
+  return loss;
+}
+
+double BceWithLogitsLoss(double logit, double label, double* grad) {
+  const double p = 1.0 / (1.0 + std::exp(-logit));
+  *grad = p - label;
+  const double eps = 1e-12;
+  return -(label * std::log(p + eps) + (1.0 - label) * std::log(1.0 - p + eps));
+}
+
+double PairwiseRankLoss(double score_better, double score_worse,
+                        double* grad_better, double* grad_worse) {
+  // Logistic loss on the margin (worse - better): minimized when the better
+  // plan's score (cost) is lower.
+  const double margin = score_worse - score_better;
+  const double p = 1.0 / (1.0 + std::exp(-margin));
+  // loss = -log(sigmoid(margin)); d/dmargin = p - 1.
+  const double dmargin = p - 1.0;
+  *grad_worse = dmargin;
+  *grad_better = -dmargin;
+  return -std::log(std::max(p, 1e-12));
+}
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params_) total += p->grad.SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (Parameter* p : params_) {
+    for (size_t i = 0; i < p->grad.size(); ++i) p->grad.data()[i] *= scale;
+  }
+}
+
+void Sgd::Step() {
+  for (Parameter* p : params_) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double g = p->grad.data()[i] + weight_decay_ * p->value.data()[i];
+      p->value.data()[i] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter* p = params_[pi];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad.data()[i] + weight_decay_ * p->value.data()[i];
+      double& m = m_[pi].data()[i];
+      double& v = v_[pi].data()[i];
+      m = beta1_ * m + (1.0 - beta1_) * g;
+      v = beta2_ * v + (1.0 - beta2_) * g * g;
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      p->value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void StandardScaler::Fit(const std::vector<Vec>& rows) {
+  ML4DB_CHECK(!rows.empty());
+  const size_t d = rows[0].size();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 0.0);
+  for (const Vec& r : rows) {
+    ML4DB_CHECK(r.size() == d);
+    for (size_t i = 0; i < d; ++i) mean_[i] += r[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  for (double& m : mean_) m *= inv_n;
+  Vec var(d, 0.0);
+  for (const Vec& r : rows) {
+    for (size_t i = 0; i < d; ++i) {
+      const double c = r[i] - mean_[i];
+      var[i] += c * c;
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    const double sd = std::sqrt(var[i] * inv_n);
+    inv_std_[i] = sd > 1e-9 ? 1.0 / sd : 0.0;
+  }
+}
+
+Vec StandardScaler::Transform(const Vec& x) const {
+  ML4DB_CHECK(x.size() == mean_.size());
+  Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = (x[i] - mean_[i]) * inv_std_[i];
+  return y;
+}
+
+}  // namespace ml
+}  // namespace ml4db

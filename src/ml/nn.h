@@ -1,0 +1,215 @@
+// Neural-network building blocks with manual backpropagation.
+//
+// Models in this module operate on single samples (Vec in, Vec out);
+// mini-batching is done by accumulating gradients across samples before an
+// optimizer step. This keeps tree-structured backprop (TreeLSTM/TreeCNN)
+// simple and is plenty fast at the model sizes ML4DB systems use.
+
+#ifndef ML4DB_ML_NN_H_
+#define ML4DB_ML_NN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace ml4db {
+namespace ml {
+
+/// A trainable tensor: value plus accumulated gradient.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  explicit Parameter(Matrix v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+  size_t size() const { return value.size(); }
+};
+
+/// Interface implemented by every trainable model so optimizers can walk
+/// its parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, in a stable order.
+  virtual std::vector<Parameter*> Params() = 0;
+
+  /// Sets every parameter gradient to zero.
+  void ZeroGrad() {
+    for (Parameter* p : Params()) p->ZeroGrad();
+  }
+
+  /// Total number of trainable scalars; the "model size" metric used by the
+  /// model-efficiency experiments.
+  size_t NumParams() {
+    size_t n = 0;
+    for (Parameter* p : Params()) n += p->size();
+    return n;
+  }
+};
+
+/// Supported elementwise nonlinearities.
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// Applies an activation elementwise.
+Vec ApplyActivation(Activation act, const Vec& x);
+
+/// Derivative of the activation as a function of its *output* y (all four
+/// supported activations admit this form).
+Vec ActivationGradFromOutput(Activation act, const Vec& y, const Vec& dy);
+
+/// Numerically-stable softmax.
+Vec Softmax(const Vec& x);
+
+/// Fully-connected layer y = act(W x + b).
+class Linear {
+ public:
+  Linear() = default;
+
+  /// Xavier-initialized layer.
+  Linear(Rng& rng, size_t in_dim, size_t out_dim,
+         Activation act = Activation::kIdentity);
+
+  /// Forward pass; caches the input and pre-activation output internally
+  /// when `cache` is non-null (required before Backward on that cache).
+  struct Cache {
+    Vec input;
+    Vec output;  // post-activation
+  };
+  Vec Forward(const Vec& x, Cache* cache) const;
+
+  /// Backward pass: consumes d(loss)/d(output), accumulates dW/db, returns
+  /// d(loss)/d(input).
+  Vec Backward(const Vec& grad_out, const Cache& cache);
+
+  std::vector<Parameter*> Params() { return {&w_, &b_}; }
+
+  size_t in_dim() const { return w_.value.cols(); }
+  size_t out_dim() const { return w_.value.rows(); }
+
+ private:
+  Parameter w_;
+  Parameter b_;
+  Activation act_ = Activation::kIdentity;
+};
+
+/// Multi-layer perceptron: a stack of Linear layers with a shared hidden
+/// activation and identity output.
+class Mlp : public Module {
+ public:
+  Mlp() = default;
+
+  /// dims = {in, hidden..., out}.
+  Mlp(Rng& rng, const std::vector<size_t>& dims,
+      Activation hidden_act = Activation::kRelu);
+
+  struct Cache {
+    std::vector<Linear::Cache> layers;
+  };
+
+  Vec Forward(const Vec& x, Cache* cache) const;
+  /// Convenience forward without gradient caching (inference).
+  Vec Predict(const Vec& x) const { return Forward(x, nullptr); }
+
+  /// Backprop; returns gradient w.r.t. the input.
+  Vec Backward(const Vec& grad_out, const Cache& cache);
+
+  std::vector<Parameter*> Params() override;
+
+  size_t in_dim() const { return layers_.front().in_dim(); }
+  size_t out_dim() const { return layers_.back().out_dim(); }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+// ---------------------------------------------------------------------------
+// Losses. Each returns the loss value and writes d(loss)/d(pred) to *grad.
+// ---------------------------------------------------------------------------
+
+/// 0.5 * ||pred - target||^2 (mean over dimensions).
+double MseLoss(const Vec& pred, const Vec& target, Vec* grad);
+
+/// Huber loss with threshold delta; robust to latency outliers.
+double HuberLoss(const Vec& pred, const Vec& target, double delta, Vec* grad);
+
+/// Binary cross-entropy on a scalar logit (pred is pre-sigmoid).
+double BceWithLogitsLoss(double logit, double label, double* grad);
+
+/// Pairwise ranking (logistic) loss on a pair of scalar scores: encourages
+/// score_better < score_worse by margin in log-odds. Returns loss; writes
+/// gradients for both scores.
+double PairwiseRankLoss(double score_better, double score_worse,
+                        double* grad_better, double* grad_worse);
+
+// ---------------------------------------------------------------------------
+// Optimizers. They operate on the Parameter list of a Module; call
+// ZeroGrad() before accumulating the next batch.
+// ---------------------------------------------------------------------------
+
+/// Optimizer interface.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients (does not zero them).
+  virtual void Step() = 0;
+
+  /// Clips the global gradient norm to `max_norm`; call before Step().
+  void ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD with optional weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double weight_decay = 0.0)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+  void Step() override;
+
+ private:
+  double lr_;
+  double weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void Step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Standardizes features to zero mean / unit variance; fit on training data,
+/// then applied everywhere. Constant features map to zero.
+class StandardScaler {
+ public:
+  void Fit(const std::vector<Vec>& rows);
+  Vec Transform(const Vec& x) const;
+  bool fitted() const { return !mean_.empty(); }
+  size_t dim() const { return mean_.size(); }
+
+ private:
+  Vec mean_;
+  Vec inv_std_;
+};
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_NN_H_

@@ -1,0 +1,61 @@
+#include "ml/qlearning.h"
+
+#include <limits>
+
+namespace ml4db {
+namespace ml {
+
+LinearQLearner::LinearQLearner(size_t num_actions, size_t feature_dim,
+                               QLearnOptions options, uint64_t seed)
+    : feature_dim_(feature_dim),
+      options_(options),
+      epsilon_(options.epsilon),
+      rng_(seed) {
+  ML4DB_CHECK(num_actions > 0 && feature_dim > 0);
+  weights_.assign(num_actions, Vec(feature_dim, 0.0));
+}
+
+double LinearQLearner::Q(size_t action, const Vec& features) const {
+  ML4DB_CHECK(action < weights_.size());
+  ML4DB_CHECK(features.size() == feature_dim_);
+  return Dot(weights_[action], features);
+}
+
+size_t LinearQLearner::GreedyAction(const std::vector<size_t>& candidates,
+                                    const std::vector<Vec>& features) const {
+  ML4DB_CHECK(!candidates.empty());
+  ML4DB_CHECK(candidates.size() == features.size());
+  size_t best = candidates[0];
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double q = Q(candidates[i], features[i]);
+    if (q > best_q) {
+      best_q = q;
+      best = candidates[i];
+    }
+  }
+  return best;
+}
+
+size_t LinearQLearner::SelectAction(const std::vector<size_t>& candidates,
+                                    const std::vector<Vec>& features) {
+  ML4DB_CHECK(!candidates.empty());
+  if (rng_.Bernoulli(epsilon_)) {
+    return candidates[rng_.NextUint64(candidates.size())];
+  }
+  return GreedyAction(candidates, features);
+}
+
+void LinearQLearner::Update(size_t action, const Vec& features, double reward,
+                            double next_best_q) {
+  const double target = reward + options_.gamma * next_best_q;
+  const double td_error = target - Q(action, features);
+  AxpyInPlace(weights_[action], features, options_.learning_rate * td_error);
+}
+
+void LinearQLearner::EndEpisode() {
+  epsilon_ = std::max(options_.min_epsilon, epsilon_ * options_.epsilon_decay);
+}
+
+}  // namespace ml
+}  // namespace ml4db

@@ -1,0 +1,68 @@
+// Q-learning with linear function approximation, the learning engine of
+// the RLR-tree (paper §3.2, ML-enhanced insertion): Q(s, a) = w_a · φ(s, a)
+// trained with epsilon-greedy exploration and TD(0) updates.
+
+#ifndef ML4DB_ML_QLEARNING_H_
+#define ML4DB_ML_QLEARNING_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace ml4db {
+namespace ml {
+
+/// Configuration for LinearQLearner.
+struct QLearnOptions {
+  double learning_rate = 0.01;
+  double gamma = 0.9;          ///< discount factor
+  double epsilon = 0.2;        ///< exploration rate during training
+  double epsilon_decay = 1.0;  ///< multiplicative decay per episode
+  double min_epsilon = 0.01;
+};
+
+/// Linear Q-function over a fixed action set. Actions share the feature
+/// map φ(s, a) supplied by the caller per (state, action) pair; each action
+/// keeps its own weight vector.
+class LinearQLearner {
+ public:
+  LinearQLearner(size_t num_actions, size_t feature_dim, QLearnOptions options,
+                 uint64_t seed);
+
+  size_t num_actions() const { return weights_.size(); }
+  size_t feature_dim() const { return feature_dim_; }
+
+  /// Q-value of one action.
+  double Q(size_t action, const Vec& features) const;
+
+  /// Greedy action over the candidate set (indices into the action space);
+  /// `features[i]` are φ(s, candidate i).
+  size_t GreedyAction(const std::vector<size_t>& candidates,
+                      const std::vector<Vec>& features) const;
+
+  /// Epsilon-greedy action during training.
+  size_t SelectAction(const std::vector<size_t>& candidates,
+                      const std::vector<Vec>& features);
+
+  /// TD(0) update for a transition: (s, a) with reward r; `next_best_q` is
+  /// max_a' Q(s', a') or 0 for terminal states.
+  void Update(size_t action, const Vec& features, double reward,
+              double next_best_q);
+
+  /// Call at episode boundaries to decay exploration.
+  void EndEpisode();
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  size_t feature_dim_;
+  QLearnOptions options_;
+  double epsilon_;
+  std::vector<Vec> weights_;  // one weight vector per action
+  Rng rng_;
+};
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_QLEARNING_H_

@@ -1,0 +1,55 @@
+#include "ml/random_feature_gp.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace ml {
+
+RandomFeatureGp::RandomFeatureGp(size_t input_dim, size_t num_features,
+                                 double lengthscale, double noise_var,
+                                 uint64_t seed)
+    : input_dim_(input_dim),
+      num_features_(num_features),
+      omega_(num_features, input_dim),
+      phase_(num_features, 0.0),
+      model_(num_features, /*alpha=*/1.0, noise_var) {
+  ML4DB_CHECK(lengthscale > 0.0);
+  Rng rng(seed);
+  for (size_t i = 0; i < num_features; ++i) {
+    for (size_t j = 0; j < input_dim; ++j) {
+      omega_.At(i, j) = rng.Gaussian() / lengthscale;
+    }
+    phase_[i] = rng.Uniform(0.0, 2.0 * M_PI);
+  }
+}
+
+Vec RandomFeatureGp::Features(const Vec& x) const {
+  ML4DB_CHECK(x.size() == input_dim_);
+  Vec z = MatVec(omega_, x);
+  const double scale = std::sqrt(2.0 / static_cast<double>(num_features_));
+  for (size_t i = 0; i < num_features_; ++i) {
+    z[i] = scale * std::cos(z[i] + phase_[i]);
+  }
+  return z;
+}
+
+void RandomFeatureGp::Observe(const Vec& x, double y) {
+  model_.Observe(Features(x), y);
+}
+
+void RandomFeatureGp::Fit(const std::vector<Vec>& xs,
+                          const std::vector<double>& ys) {
+  ML4DB_CHECK(xs.size() == ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) Observe(xs[i], ys[i]);
+}
+
+double RandomFeatureGp::PredictMean(const Vec& x) const {
+  return model_.PredictMean(Features(x));
+}
+
+double RandomFeatureGp::PredictVariance(const Vec& x) const {
+  return model_.PredictVariance(Features(x));
+}
+
+}  // namespace ml
+}  // namespace ml4db

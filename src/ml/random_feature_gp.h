@@ -1,0 +1,59 @@
+// Random-feature Gaussian process regressor: the lightweight, trains-in-
+// seconds estimator family the paper cites for the model-efficiency open
+// problem (Zhao et al., neural network gaussian process). Random Fourier
+// features of an RBF kernel feed a conjugate Bayesian linear layer, giving
+// an O(D^2)-per-sample exact-posterior model with calibrated uncertainty.
+
+#ifndef ML4DB_ML_RANDOM_FEATURE_GP_H_
+#define ML4DB_ML_RANDOM_FEATURE_GP_H_
+
+#include <vector>
+
+#include "ml/bayes_linear.h"
+
+namespace ml4db {
+namespace ml {
+
+/// Approximate GP regression via random Fourier features.
+class RandomFeatureGp {
+ public:
+  /// @param input_dim    raw feature dimension
+  /// @param num_features number of random Fourier features D
+  /// @param lengthscale  RBF kernel lengthscale
+  /// @param noise_var    observation noise variance
+  RandomFeatureGp(size_t input_dim, size_t num_features, double lengthscale,
+                  double noise_var, uint64_t seed);
+
+  /// Absorbs one observation.
+  void Observe(const Vec& x, double y);
+
+  /// Fits a batch (equivalent to repeated Observe; provided for clarity).
+  void Fit(const std::vector<Vec>& xs, const std::vector<double>& ys);
+
+  double PredictMean(const Vec& x) const;
+  double PredictVariance(const Vec& x) const;
+
+  /// Downweights all absorbed evidence (streaming non-stationarity knob;
+  /// see BayesianLinearModel::DecayEvidence).
+  void DecayEvidence(double factor) { model_.DecayEvidence(factor); }
+
+  size_t num_observations() const { return model_.num_observations(); }
+
+  /// Number of learned scalars (posterior mean size) — used by the
+  /// model-efficiency benchmark.
+  size_t NumParams() const { return model_.dim(); }
+
+ private:
+  Vec Features(const Vec& x) const;
+
+  size_t input_dim_;
+  size_t num_features_;
+  Matrix omega_;  // (D x input_dim) random frequencies
+  Vec phase_;     // (D) random phases
+  BayesianLinearModel model_;
+};
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_RANDOM_FEATURE_GP_H_

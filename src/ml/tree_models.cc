@@ -1,0 +1,549 @@
+#include "ml/tree_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace ml {
+
+namespace {
+
+inline double SigmoidScalar(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+Vec SigmoidVec(const Vec& x) {
+  Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = SigmoidScalar(x[i]);
+  return y;
+}
+
+Vec TanhVec(const Vec& x) {
+  Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  return y;
+}
+
+// z = W x + U h + b where b is a (n x 1) parameter matrix.
+Vec Affine2(const Matrix& w, const Vec& x, const Matrix& u, const Vec& h,
+            const Matrix& b) {
+  Vec z = MatVec(w, x);
+  const Vec uh = MatVec(u, h);
+  for (size_t i = 0; i < z.size(); ++i) z[i] += uh[i] + b.At(i, 0);
+  return z;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FeatureTree
+// ---------------------------------------------------------------------------
+
+std::vector<int> FeatureTree::Depths() const {
+  std::vector<int> depth(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int c : nodes[i].children) depth[c] = depth[i] + 1;
+  }
+  return depth;
+}
+
+std::vector<int> FeatureTree::DfsOrder() const {
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    const auto& ch = nodes[v].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+bool FeatureTree::IsTopologicallyOrdered() const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int c : nodes[i].children) {
+      if (c <= static_cast<int>(i) || c >= static_cast<int>(nodes.size())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LstmCell
+// ---------------------------------------------------------------------------
+
+LstmCell::LstmCell(Rng& rng, size_t input_dim, size_t hidden_dim)
+    : hidden_(hidden_dim) {
+  const double ws = std::sqrt(1.0 / static_cast<double>(input_dim));
+  const double us = std::sqrt(1.0 / static_cast<double>(hidden_dim));
+  w_ = Parameter(Matrix::Randn(rng, 4 * hidden_dim, input_dim, ws));
+  u_ = Parameter(Matrix::Randn(rng, 4 * hidden_dim, hidden_dim, us));
+  b_ = Parameter(Matrix::Zeros(4 * hidden_dim, 1));
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (size_t i = hidden_dim; i < 2 * hidden_dim; ++i) b_.value.At(i, 0) = 1.0;
+}
+
+void LstmCell::Forward(const Vec& x, const Vec& h_prev, const Vec& c_prev,
+                       Vec* h, Vec* c, StepCache* cache) const {
+  const size_t hd = hidden_;
+  const Vec z = Affine2(w_.value, x, u_.value, h_prev, b_.value);
+  Vec i(hd), f(hd), o(hd), g(hd);
+  for (size_t k = 0; k < hd; ++k) {
+    i[k] = SigmoidScalar(z[k]);
+    f[k] = SigmoidScalar(z[hd + k]);
+    o[k] = SigmoidScalar(z[2 * hd + k]);
+    g[k] = std::tanh(z[3 * hd + k]);
+  }
+  c->assign(hd, 0.0);
+  h->assign(hd, 0.0);
+  Vec tanh_c(hd);
+  for (size_t k = 0; k < hd; ++k) {
+    (*c)[k] = f[k] * c_prev[k] + i[k] * g[k];
+    tanh_c[k] = std::tanh((*c)[k]);
+    (*h)[k] = o[k] * tanh_c[k];
+  }
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->h_prev = h_prev;
+    cache->c_prev = c_prev;
+    cache->i = std::move(i);
+    cache->f = std::move(f);
+    cache->o = std::move(o);
+    cache->g = std::move(g);
+    cache->c = *c;
+    cache->h = *h;
+    cache->tanh_c = std::move(tanh_c);
+  }
+}
+
+void LstmCell::Backward(const Vec& dh, const Vec& dc_in,
+                        const StepCache& cache, Vec* dx, Vec* dh_prev,
+                        Vec* dc_prev) {
+  const size_t hd = hidden_;
+  Vec dz(4 * hd, 0.0);
+  dc_prev->assign(hd, 0.0);
+  for (size_t k = 0; k < hd; ++k) {
+    const double dck =
+        dc_in[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+    const double dok = dh[k] * cache.tanh_c[k];
+    const double dik = dck * cache.g[k];
+    const double dfk = dck * cache.c_prev[k];
+    const double dgk = dck * cache.i[k];
+    (*dc_prev)[k] = dck * cache.f[k];
+    dz[k] = dik * cache.i[k] * (1.0 - cache.i[k]);
+    dz[hd + k] = dfk * cache.f[k] * (1.0 - cache.f[k]);
+    dz[2 * hd + k] = dok * cache.o[k] * (1.0 - cache.o[k]);
+    dz[3 * hd + k] = dgk * (1.0 - cache.g[k] * cache.g[k]);
+  }
+  AddOuter(w_.grad, dz, cache.x);
+  AddOuter(u_.grad, dz, cache.h_prev);
+  for (size_t k = 0; k < 4 * hd; ++k) b_.grad.At(k, 0) += dz[k];
+  *dx = MatTVec(w_.value, dz);
+  *dh_prev = MatTVec(u_.value, dz);
+}
+
+// ---------------------------------------------------------------------------
+// DfsLstmEncoder
+// ---------------------------------------------------------------------------
+
+struct DfsLstmEncoder::LstmCacheImpl : TreeEncoder::Cache {
+  std::vector<LstmCell::StepCache> steps;
+  std::vector<int> order;
+};
+
+DfsLstmEncoder::DfsLstmEncoder(Rng& rng, size_t input_dim, size_t hidden_dim)
+    : cell_(rng, input_dim, hidden_dim) {}
+
+Vec DfsLstmEncoder::Encode(const FeatureTree& tree,
+                           std::unique_ptr<Cache>* cache) const {
+  ML4DB_CHECK(!tree.nodes.empty());
+  auto impl = cache != nullptr ? std::make_unique<LstmCacheImpl>() : nullptr;
+  const std::vector<int> order = tree.DfsOrder();
+  Vec h(cell_.hidden_dim(), 0.0), c(cell_.hidden_dim(), 0.0);
+  if (impl) impl->steps.resize(order.size());
+  for (size_t t = 0; t < order.size(); ++t) {
+    Vec h_next, c_next;
+    cell_.Forward(tree.nodes[order[t]].features, h, c, &h_next, &c_next,
+                  impl ? &impl->steps[t] : nullptr);
+    h = std::move(h_next);
+    c = std::move(c_next);
+  }
+  if (impl) {
+    impl->order = order;
+    *cache = std::move(impl);
+  }
+  return h;
+}
+
+void DfsLstmEncoder::Backward(const Vec& grad_out, const FeatureTree& tree,
+                              const Cache& cache) {
+  (void)tree;
+  const auto& impl = static_cast<const LstmCacheImpl&>(cache);
+  Vec dh = grad_out;
+  Vec dc(cell_.hidden_dim(), 0.0);
+  for (size_t t = impl.steps.size(); t-- > 0;) {
+    Vec dx, dh_prev, dc_prev;
+    cell_.Backward(dh, dc, impl.steps[t], &dx, &dh_prev, &dc_prev);
+    dh = std::move(dh_prev);
+    dc = std::move(dc_prev);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeLstmEncoder (child-sum)
+// ---------------------------------------------------------------------------
+
+struct TreeLstmEncoder::NodeCache {
+  Vec h_sum;
+  Vec i, o, u;
+  std::vector<Vec> f;  // one forget gate per child
+  Vec c, h, tanh_c;
+};
+
+struct TreeLstmEncoder::TreeCacheImpl : TreeEncoder::Cache {
+  std::vector<NodeCache> nodes;
+};
+
+TreeLstmEncoder::TreeLstmEncoder(Rng& rng, size_t input_dim, size_t hidden_dim)
+    : hidden_(hidden_dim) {
+  const double ws = std::sqrt(1.0 / static_cast<double>(input_dim));
+  const double us = std::sqrt(1.0 / static_cast<double>(hidden_dim));
+  auto mk_w = [&] { return Parameter(Matrix::Randn(rng, hidden_dim, input_dim, ws)); };
+  auto mk_u = [&] { return Parameter(Matrix::Randn(rng, hidden_dim, hidden_dim, us)); };
+  auto mk_b = [&] { return Parameter(Matrix::Zeros(hidden_dim, 1)); };
+  wi_ = mk_w(); ui_ = mk_u(); bi_ = mk_b();
+  wf_ = mk_w(); uf_ = mk_u(); bf_ = mk_b();
+  wo_ = mk_w(); uo_ = mk_u(); bo_ = mk_b();
+  wu_ = mk_w(); uu_ = mk_u(); bu_ = mk_b();
+  for (size_t k = 0; k < hidden_dim; ++k) bf_.value.At(k, 0) = 1.0;
+}
+
+void TreeLstmEncoder::ForwardNode(const FeatureTree& tree, int idx,
+                                  std::vector<NodeCache>& caches) const {
+  // Children are at larger indices and have been processed already when we
+  // iterate from the back of the node array; this method assumes caches for
+  // children are valid.
+  const auto& node = tree.nodes[idx];
+  NodeCache& nc = caches[idx];
+  nc.h_sum.assign(hidden_, 0.0);
+  for (int c : node.children) {
+    AxpyInPlace(nc.h_sum, caches[c].h, 1.0);
+  }
+  nc.i = SigmoidVec(Affine2(wi_.value, node.features, ui_.value, nc.h_sum, bi_.value));
+  nc.o = SigmoidVec(Affine2(wo_.value, node.features, uo_.value, nc.h_sum, bo_.value));
+  nc.u = TanhVec(Affine2(wu_.value, node.features, uu_.value, nc.h_sum, bu_.value));
+  nc.c = VecMul(nc.i, nc.u);
+  nc.f.clear();
+  for (int c : node.children) {
+    Vec fk = SigmoidVec(
+        Affine2(wf_.value, node.features, uf_.value, caches[c].h, bf_.value));
+    for (size_t k = 0; k < hidden_; ++k) nc.c[k] += fk[k] * caches[c].c[k];
+    nc.f.push_back(std::move(fk));
+  }
+  nc.tanh_c = TanhVec(nc.c);
+  nc.h = VecMul(nc.o, nc.tanh_c);
+}
+
+Vec TreeLstmEncoder::Encode(const FeatureTree& tree,
+                            std::unique_ptr<Cache>* cache) const {
+  ML4DB_CHECK(!tree.nodes.empty());
+  ML4DB_DCHECK(tree.IsTopologicallyOrdered());
+  auto impl = std::make_unique<TreeCacheImpl>();
+  impl->nodes.resize(tree.size());
+  // Children have larger indices, so iterating from the back processes
+  // leaves before parents.
+  for (size_t i = tree.size(); i-- > 0;) {
+    ForwardNode(tree, static_cast<int>(i), impl->nodes);
+  }
+  Vec out = impl->nodes[0].h;
+  if (cache != nullptr) *cache = std::move(impl);
+  return out;
+}
+
+void TreeLstmEncoder::Backward(const Vec& grad_out, const FeatureTree& tree,
+                               const Cache& cache) {
+  const auto& impl = static_cast<const TreeCacheImpl&>(cache);
+  const size_t n = tree.size();
+  std::vector<Vec> dh(n, Vec(hidden_, 0.0));
+  std::vector<Vec> dc(n, Vec(hidden_, 0.0));
+  dh[0] = grad_out;
+  // Parents come before children, so a forward pass propagates gradients
+  // top-down.
+  for (size_t idx = 0; idx < n; ++idx) {
+    const auto& node = tree.nodes[idx];
+    const NodeCache& nc = impl.nodes[idx];
+    Vec dck(hidden_);
+    Vec dzo(hidden_), dzi(hidden_), dzu(hidden_);
+    for (size_t k = 0; k < hidden_; ++k) {
+      dck[k] = dc[idx][k] +
+               dh[idx][k] * nc.o[k] * (1.0 - nc.tanh_c[k] * nc.tanh_c[k]);
+      const double dok = dh[idx][k] * nc.tanh_c[k];
+      const double dik = dck[k] * nc.u[k];
+      const double duk = dck[k] * nc.i[k];
+      dzo[k] = dok * nc.o[k] * (1.0 - nc.o[k]);
+      dzi[k] = dik * nc.i[k] * (1.0 - nc.i[k]);
+      dzu[k] = duk * (1.0 - nc.u[k] * nc.u[k]);
+    }
+    AddOuter(wi_.grad, dzi, node.features);
+    AddOuter(ui_.grad, dzi, nc.h_sum);
+    AddOuter(wo_.grad, dzo, node.features);
+    AddOuter(uo_.grad, dzo, nc.h_sum);
+    AddOuter(wu_.grad, dzu, node.features);
+    AddOuter(uu_.grad, dzu, nc.h_sum);
+    for (size_t k = 0; k < hidden_; ++k) {
+      bi_.grad.At(k, 0) += dzi[k];
+      bo_.grad.At(k, 0) += dzo[k];
+      bu_.grad.At(k, 0) += dzu[k];
+    }
+    Vec dh_sum = MatTVec(ui_.value, dzi);
+    AxpyInPlace(dh_sum, MatTVec(uo_.value, dzo), 1.0);
+    AxpyInPlace(dh_sum, MatTVec(uu_.value, dzu), 1.0);
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      const int child = node.children[ci];
+      const Vec& fk = nc.f[ci];
+      const NodeCache& cc = impl.nodes[child];
+      Vec dzf(hidden_);
+      for (size_t k = 0; k < hidden_; ++k) {
+        const double dfk = dck[k] * cc.c[k];
+        dzf[k] = dfk * fk[k] * (1.0 - fk[k]);
+        dc[child][k] += dck[k] * fk[k];
+        dh[child][k] += dh_sum[k];
+      }
+      AddOuter(wf_.grad, dzf, node.features);
+      AddOuter(uf_.grad, dzf, cc.h);
+      for (size_t k = 0; k < hidden_; ++k) bf_.grad.At(k, 0) += dzf[k];
+      const Vec dh_child = MatTVec(uf_.value, dzf);
+      AxpyInPlace(dh[child], dh_child, 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeCnnEncoder
+// ---------------------------------------------------------------------------
+
+struct TreeCnnEncoder::CnnCacheImpl : TreeEncoder::Cache {
+  // Pre-activation conv output per node (F each) and the argmax node per
+  // filter from the max pooling.
+  std::vector<Vec> conv;   // post-ReLU
+  std::vector<int> argmax; // size F
+};
+
+TreeCnnEncoder::TreeCnnEncoder(Rng& rng, size_t input_dim, size_t filters)
+    : filters_(filters) {
+  const double s = std::sqrt(2.0 / static_cast<double>(3 * input_dim + filters));
+  wp_ = Parameter(Matrix::Randn(rng, filters, input_dim, s));
+  wl_ = Parameter(Matrix::Randn(rng, filters, input_dim, s));
+  wr_ = Parameter(Matrix::Randn(rng, filters, input_dim, s));
+  b_ = Parameter(Matrix::Zeros(filters, 1));
+}
+
+Vec TreeCnnEncoder::Encode(const FeatureTree& tree,
+                           std::unique_ptr<Cache>* cache) const {
+  ML4DB_CHECK(!tree.nodes.empty());
+  auto impl = std::make_unique<CnnCacheImpl>();
+  impl->conv.resize(tree.size());
+  for (size_t v = 0; v < tree.size(); ++v) {
+    const auto& node = tree.nodes[v];
+    Vec z = MatVec(wp_.value, node.features);
+    if (!node.children.empty()) {
+      const Vec zl = MatVec(wl_.value, tree.nodes[node.children.front()].features);
+      AxpyInPlace(z, zl, 1.0);
+    }
+    if (node.children.size() >= 2) {
+      const Vec zr = MatVec(wr_.value, tree.nodes[node.children.back()].features);
+      AxpyInPlace(z, zr, 1.0);
+    }
+    for (size_t k = 0; k < filters_; ++k) {
+      z[k] += b_.value.At(k, 0);
+      if (z[k] < 0.0) z[k] = 0.0;  // ReLU
+    }
+    impl->conv[v] = std::move(z);
+  }
+  // Global max pooling over nodes.
+  Vec out(filters_, 0.0);
+  impl->argmax.assign(filters_, 0);
+  for (size_t k = 0; k < filters_; ++k) {
+    double best = impl->conv[0][k];
+    int best_v = 0;
+    for (size_t v = 1; v < tree.size(); ++v) {
+      if (impl->conv[v][k] > best) {
+        best = impl->conv[v][k];
+        best_v = static_cast<int>(v);
+      }
+    }
+    out[k] = best;
+    impl->argmax[k] = best_v;
+  }
+  if (cache != nullptr) *cache = std::move(impl);
+  return out;
+}
+
+void TreeCnnEncoder::Backward(const Vec& grad_out, const FeatureTree& tree,
+                              const Cache& cache) {
+  const auto& impl = static_cast<const CnnCacheImpl&>(cache);
+  // Group pooled gradients by source node so each node's rank-1 updates are
+  // applied once per filter hit.
+  for (size_t k = 0; k < filters_; ++k) {
+    const int v = impl.argmax[k];
+    const double y = impl.conv[v][k];
+    if (y <= 0.0) continue;  // ReLU gate closed
+    const double dz = grad_out[k];
+    if (dz == 0.0) continue;
+    const auto& node = tree.nodes[v];
+    // dW row k += dz * x.
+    for (size_t c = 0; c < node.features.size(); ++c) {
+      wp_.grad.At(k, c) += dz * node.features[c];
+    }
+    if (!node.children.empty()) {
+      const Vec& xl = tree.nodes[node.children.front()].features;
+      for (size_t c = 0; c < xl.size(); ++c) wl_.grad.At(k, c) += dz * xl[c];
+    }
+    if (node.children.size() >= 2) {
+      const Vec& xr = tree.nodes[node.children.back()].features;
+      for (size_t c = 0; c < xr.size(); ++c) wr_.grad.At(k, c) += dz * xr[c];
+    }
+    b_.grad.At(k, 0) += dz;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeAttentionEncoder
+// ---------------------------------------------------------------------------
+
+struct TreeAttentionEncoder::AttnCacheImpl : TreeEncoder::Cache {
+  std::vector<int> depths;
+  std::vector<Vec> embed;  // tanh output per node (pre positional add)
+  Matrix x;                // n x D node representations
+  Matrix q, k, v;          // n x D
+  Matrix a;                // n x n attention weights
+};
+
+TreeAttentionEncoder::TreeAttentionEncoder(Rng& rng, size_t input_dim,
+                                           size_t model_dim, size_t max_depth)
+    : dim_(model_dim), max_depth_(max_depth) {
+  const double es = std::sqrt(2.0 / static_cast<double>(input_dim + model_dim));
+  const double ps = 0.1;
+  const double as = std::sqrt(1.0 / static_cast<double>(model_dim));
+  embed_w_ = Parameter(Matrix::Randn(rng, model_dim, input_dim, es));
+  embed_b_ = Parameter(Matrix::Zeros(model_dim, 1));
+  pos_ = Parameter(Matrix::Randn(rng, max_depth, model_dim, ps));
+  wq_ = Parameter(Matrix::Randn(rng, model_dim, model_dim, as));
+  wk_ = Parameter(Matrix::Randn(rng, model_dim, model_dim, as));
+  wv_ = Parameter(Matrix::Randn(rng, model_dim, model_dim, as));
+}
+
+Vec TreeAttentionEncoder::Encode(const FeatureTree& tree,
+                                 std::unique_ptr<Cache>* cache) const {
+  ML4DB_CHECK(!tree.nodes.empty());
+  const size_t n = tree.size();
+  auto impl = std::make_unique<AttnCacheImpl>();
+  impl->depths = tree.Depths();
+  impl->embed.resize(n);
+  impl->x = Matrix(n, dim_);
+  for (size_t i = 0; i < n; ++i) {
+    Vec z = MatVec(embed_w_.value, tree.nodes[i].features);
+    for (size_t d = 0; d < dim_; ++d) z[d] += embed_b_.value.At(d, 0);
+    Vec e = TanhVec(z);
+    const size_t depth =
+        std::min(static_cast<size_t>(impl->depths[i]), max_depth_ - 1);
+    for (size_t d = 0; d < dim_; ++d) {
+      impl->x.At(i, d) = e[d] + pos_.value.At(depth, d);
+    }
+    impl->embed[i] = std::move(e);
+  }
+  impl->q = MatMul(impl->x, Transpose(wq_.value));
+  impl->k = MatMul(impl->x, Transpose(wk_.value));
+  impl->v = MatMul(impl->x, Transpose(wv_.value));
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
+  Matrix s = MatMul(impl->q, Transpose(impl->k));
+  impl->a = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec row(n);
+    for (size_t j = 0; j < n; ++j) row[j] = s.At(i, j) * inv_sqrt_d;
+    const Vec sm = Softmax(row);
+    for (size_t j = 0; j < n; ++j) impl->a.At(i, j) = sm[j];
+  }
+  const Matrix o = MatMul(impl->a, impl->v);
+  // Residual + mean pool.
+  Vec out(dim_, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      out[d] += (impl->x.At(i, d) + o.At(i, d)) * inv_n;
+    }
+  }
+  if (cache != nullptr) *cache = std::move(impl);
+  return out;
+}
+
+void TreeAttentionEncoder::Backward(const Vec& grad_out,
+                                    const FeatureTree& tree,
+                                    const Cache& cache) {
+  const auto& impl = static_cast<const AttnCacheImpl&>(cache);
+  const size_t n = tree.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  // dH rows are grad_out/n each; residual: dX += dH, dO = dH.
+  Matrix d_o(n, dim_);
+  Matrix dx(n, dim_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      d_o.At(i, d) = grad_out[d] * inv_n;
+      dx.At(i, d) = grad_out[d] * inv_n;
+    }
+  }
+  // dA = dO V^T; dV = A^T dO.
+  const Matrix da = MatMul(d_o, Transpose(impl.v));
+  const Matrix dv = MatMul(Transpose(impl.a), d_o);
+  // Softmax backward per row: dS_i = A_i ∘ (dA_i - <dA_i, A_i>).
+  Matrix ds(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (size_t j = 0; j < n; ++j) dot += da.At(i, j) * impl.a.At(i, j);
+    for (size_t j = 0; j < n; ++j) {
+      ds.At(i, j) = impl.a.At(i, j) * (da.At(i, j) - dot) * inv_sqrt_d;
+    }
+  }
+  const Matrix dq = MatMul(ds, impl.k);
+  const Matrix dk = MatMul(Transpose(ds), impl.q);
+  // Parameter gradients: dWq += dQ^T X (Wq is D x D, Q = X Wq^T).
+  auto accum = [&](Parameter& p, const Matrix& dmat) {
+    const Matrix g = MatMul(Transpose(dmat), impl.x);
+    for (size_t i = 0; i < g.rows(); ++i) {
+      for (size_t j = 0; j < g.cols(); ++j) p.grad.At(i, j) += g.At(i, j);
+    }
+  };
+  accum(wq_, dq);
+  accum(wk_, dk);
+  accum(wv_, dv);
+  // dX += dQ Wq + dK Wk + dV Wv.
+  auto add_mat = [](Matrix& dst, const Matrix& src) {
+    for (size_t i = 0; i < dst.rows(); ++i) {
+      for (size_t j = 0; j < dst.cols(); ++j) dst.At(i, j) += src.At(i, j);
+    }
+  };
+  add_mat(dx, MatMul(dq, wq_.value));
+  add_mat(dx, MatMul(dk, wk_.value));
+  add_mat(dx, MatMul(dv, wv_.value));
+  // Through positional add and tanh embedding.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t depth =
+        std::min(static_cast<size_t>(impl.depths[i]), max_depth_ - 1);
+    Vec dz(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      const double dxi = dx.At(i, d);
+      pos_.grad.At(depth, d) += dxi;
+      const double e = impl.embed[i][d];
+      dz[d] = dxi * (1.0 - e * e);
+    }
+    AddOuter(embed_w_.grad, dz, tree.nodes[i].features);
+    for (size_t d = 0; d < dim_; ++d) embed_b_.grad.At(d, 0) += dz[d];
+  }
+}
+
+}  // namespace ml
+}  // namespace ml4db

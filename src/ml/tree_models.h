@@ -1,0 +1,214 @@
+// Tree-structured encoders used for query plan representation (paper §3.1):
+// DFS-flattened LSTM [AVGDL], TreeCNN [BAO/NEO], child-sum TreeLSTM
+// [E2E-Cost/RTOS], and a single-block tree attention encoder
+// [QueryFormer-lite]. Each maps a FeatureTree (a plan whose nodes carry
+// fixed-size feature vectors) to one fixed-size embedding and supports
+// manual backpropagation of a gradient at that embedding.
+
+#ifndef ML4DB_ML_TREE_MODELS_H_
+#define ML4DB_ML_TREE_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/nn.h"
+
+namespace ml4db {
+namespace ml {
+
+/// A tree whose nodes carry dense feature vectors. Node 0 is the root;
+/// children indices always point to later entries (topological order),
+/// which every encoder relies on.
+struct FeatureTree {
+  struct Node {
+    Vec features;
+    std::vector<int> children;
+  };
+  std::vector<Node> nodes;
+
+  size_t size() const { return nodes.size(); }
+
+  /// Depth of each node (root = 0).
+  std::vector<int> Depths() const;
+
+  /// Node indices in DFS pre-order starting at the root.
+  std::vector<int> DfsOrder() const;
+
+  /// Validates the topological-order invariant (children after parents).
+  bool IsTopologicallyOrdered() const;
+};
+
+/// Common interface for plan-tree encoders.
+class TreeEncoder : public Module {
+ public:
+  /// Opaque per-call cache; create one per Encode and pass it to Backward.
+  struct Cache {
+    virtual ~Cache() = default;
+  };
+
+  ~TreeEncoder() override = default;
+
+  /// Embedding dimension of the output vector.
+  virtual size_t OutputDim() const = 0;
+
+  /// Encodes a tree. When `cache` is non-null it receives state required by
+  /// Backward.
+  virtual Vec Encode(const FeatureTree& tree,
+                     std::unique_ptr<Cache>* cache) const = 0;
+
+  /// Convenience inference entry point.
+  Vec Embed(const FeatureTree& tree) const { return Encode(tree, nullptr); }
+
+  /// Backprop of d(loss)/d(embedding) into parameter gradients.
+  virtual void Backward(const Vec& grad_out, const FeatureTree& tree,
+                        const Cache& cache) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// LSTM cell (shared by DfsLstmEncoder and reused in sequential models).
+// ---------------------------------------------------------------------------
+
+/// A standard LSTM cell with manual backprop. Gate order in the stacked
+/// parameter matrices is [i, f, o, g].
+class LstmCell {
+ public:
+  LstmCell() = default;
+  LstmCell(Rng& rng, size_t input_dim, size_t hidden_dim);
+
+  struct StepCache {
+    Vec x, h_prev, c_prev;
+    Vec i, f, o, g, c, h, tanh_c;
+  };
+
+  /// One step: consumes (x, h_prev, c_prev), produces (h, c).
+  void Forward(const Vec& x, const Vec& h_prev, const Vec& c_prev, Vec* h,
+               Vec* c, StepCache* cache) const;
+
+  /// Backprop one step. dh/dc are gradients flowing into this step's
+  /// outputs; on return *dh_prev/*dc_prev/*dx carry gradients for the
+  /// inputs.
+  void Backward(const Vec& dh, const Vec& dc, const StepCache& cache,
+                Vec* dx, Vec* dh_prev, Vec* dc_prev);
+
+  std::vector<Parameter*> Params() { return {&w_, &u_, &b_}; }
+  size_t hidden_dim() const { return hidden_; }
+  size_t input_dim() const { return w_.value.cols(); }
+
+ private:
+  size_t hidden_ = 0;
+  Parameter w_;  // (4H x I)
+  Parameter u_;  // (4H x H)
+  Parameter b_;  // (4H x 1)
+};
+
+/// Flattens the plan via DFS pre-order and runs an LSTM over the sequence;
+/// the final hidden state is the plan embedding (AVGDL-style).
+class DfsLstmEncoder : public TreeEncoder {
+ public:
+  DfsLstmEncoder(Rng& rng, size_t input_dim, size_t hidden_dim);
+
+  size_t OutputDim() const override { return cell_.hidden_dim(); }
+  Vec Encode(const FeatureTree& tree,
+             std::unique_ptr<Cache>* cache) const override;
+  void Backward(const Vec& grad_out, const FeatureTree& tree,
+                const Cache& cache) override;
+  std::vector<Parameter*> Params() override { return cell_.Params(); }
+
+ private:
+  struct LstmCacheImpl;
+  mutable LstmCell cell_;
+};
+
+// ---------------------------------------------------------------------------
+// Child-sum TreeLSTM (Tai et al. 2015), as used by E2E-Cost and RTOS.
+// ---------------------------------------------------------------------------
+
+class TreeLstmEncoder : public TreeEncoder {
+ public:
+  TreeLstmEncoder(Rng& rng, size_t input_dim, size_t hidden_dim);
+
+  size_t OutputDim() const override { return hidden_; }
+  Vec Encode(const FeatureTree& tree,
+             std::unique_ptr<Cache>* cache) const override;
+  void Backward(const Vec& grad_out, const FeatureTree& tree,
+                const Cache& cache) override;
+  std::vector<Parameter*> Params() override {
+    return {&wi_, &ui_, &bi_, &wf_, &uf_, &bf_,
+            &wo_, &uo_, &bo_, &wu_, &uu_, &bu_};
+  }
+
+ private:
+  struct NodeCache;
+  struct TreeCacheImpl;
+
+  void ForwardNode(const FeatureTree& tree, int idx,
+                   std::vector<NodeCache>& caches) const;
+
+  size_t hidden_ = 0;
+  Parameter wi_, ui_, bi_;  // input gate
+  Parameter wf_, uf_, bf_;  // forget gate (per child, shared weights)
+  Parameter wo_, uo_, bo_;  // output gate
+  Parameter wu_, uu_, bu_;  // candidate
+};
+
+// ---------------------------------------------------------------------------
+// TreeCNN with triangular (parent, left-child, right-child) filters and
+// global max pooling (Mou et al. 2016; used by NEO and BAO).
+// ---------------------------------------------------------------------------
+
+class TreeCnnEncoder : public TreeEncoder {
+ public:
+  /// `filters` is the number of convolution filters = output dimension.
+  TreeCnnEncoder(Rng& rng, size_t input_dim, size_t filters);
+
+  size_t OutputDim() const override { return filters_; }
+  Vec Encode(const FeatureTree& tree,
+             std::unique_ptr<Cache>* cache) const override;
+  void Backward(const Vec& grad_out, const FeatureTree& tree,
+                const Cache& cache) override;
+  std::vector<Parameter*> Params() override {
+    return {&wp_, &wl_, &wr_, &b_};
+  }
+
+ private:
+  struct CnnCacheImpl;
+
+  size_t filters_ = 0;
+  Parameter wp_, wl_, wr_;  // (F x I) each
+  Parameter b_;             // (F x 1)
+};
+
+// ---------------------------------------------------------------------------
+// Tree attention (QueryFormer-lite): node embedding + learned depth
+// positional encoding, one self-attention block with residual, mean pool.
+// ---------------------------------------------------------------------------
+
+class TreeAttentionEncoder : public TreeEncoder {
+ public:
+  TreeAttentionEncoder(Rng& rng, size_t input_dim, size_t model_dim,
+                       size_t max_depth = 32);
+
+  size_t OutputDim() const override { return dim_; }
+  Vec Encode(const FeatureTree& tree,
+             std::unique_ptr<Cache>* cache) const override;
+  void Backward(const Vec& grad_out, const FeatureTree& tree,
+                const Cache& cache) override;
+  std::vector<Parameter*> Params() override {
+    return {&embed_w_, &embed_b_, &pos_, &wq_, &wk_, &wv_};
+  }
+
+ private:
+  struct AttnCacheImpl;
+
+  size_t dim_ = 0;
+  size_t max_depth_ = 0;
+  Parameter embed_w_;  // (D x I)
+  Parameter embed_b_;  // (D x 1)
+  Parameter pos_;      // (max_depth x D), row = depth embedding
+  Parameter wq_, wk_, wv_;  // (D x D)
+};
+
+}  // namespace ml
+}  // namespace ml4db
+
+#endif  // ML4DB_ML_TREE_MODELS_H_

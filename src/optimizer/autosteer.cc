@@ -1,0 +1,151 @@
+#include "optimizer/autosteer.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace optimizer {
+
+std::string PlanFingerprint(const engine::PlanNode& node) {
+  std::string out = "(";
+  out += engine::PlanOpName(node.op);
+  if (node.table_slot >= 0) {
+    out += ":" + std::to_string(node.table_slot);
+  }
+  for (const auto& c : node.children) out += PlanFingerprint(*c);
+  out += ")";
+  return out;
+}
+
+AutoSteer::AutoSteer(const engine::Database* db, Options options)
+    : db_(db), options_(options), rng_(options.seed) {
+  ML4DB_CHECK(db != nullptr);
+}
+
+ml::BayesianLinearModel& AutoSteer::ModelFor(const std::string& key) {
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    it = models_
+             .emplace(key, ml::BayesianLinearModel(kBaoFeatureDim,
+                                                   options_.prior_alpha,
+                                                   options_.noise_var))
+             .first;
+  }
+  return it->second;
+}
+
+StatusOr<AutoSteer::Choice> AutoSteer::ChoosePlan(const engine::Query& query) {
+  // Stage 1: greedy discovery. Start from the default plan; probe each
+  // single-switch hint; keep those that change the plan shape. Then try
+  // pairwise combinations of the two most promising switches.
+  struct Candidate {
+    engine::HintSet hints;
+    engine::PhysicalPlan plan;
+    std::string fingerprint;
+  };
+  std::vector<Candidate> candidates;
+  auto add_candidate = [&](const engine::HintSet& h) -> Status {
+    auto plan = db_->Plan(query, h);
+    ML4DB_RETURN_IF_ERROR(plan.status());
+    std::string fp = PlanFingerprint(*plan->root);
+    for (const auto& c : candidates) {
+      if (c.fingerprint == fp) return Status::OK();  // duplicate outcome
+    }
+    candidates.push_back({h, std::move(*plan), std::move(fp)});
+    return Status::OK();
+  };
+  ML4DB_RETURN_IF_ERROR(add_candidate(engine::HintSet{}));
+
+  std::vector<engine::HintSet> switches;
+  {
+    engine::HintSet h;
+    h.enable_hash_join = false;
+    switches.push_back(h);
+  }
+  {
+    engine::HintSet h;
+    h.enable_index_nl_join = false;
+    switches.push_back(h);
+  }
+  {
+    engine::HintSet h;
+    h.enable_nl_join = false;
+    switches.push_back(h);
+  }
+  {
+    engine::HintSet h;
+    h.enable_index_scan = false;
+    switches.push_back(h);
+  }
+  {
+    engine::HintSet h;
+    h.left_deep_only = true;
+    switches.push_back(h);
+  }
+  std::vector<engine::HintSet> effective;
+  for (const auto& h : switches) {
+    const size_t before = candidates.size();
+    ML4DB_RETURN_IF_ERROR(add_candidate(h));
+    if (candidates.size() > before) effective.push_back(h);
+    if (candidates.size() >= options_.max_arms_per_query) break;
+  }
+  // Pairwise combinations of effective switches.
+  for (size_t i = 0;
+       i < effective.size() && candidates.size() < options_.max_arms_per_query;
+       ++i) {
+    for (size_t j = i + 1;
+         j < effective.size() &&
+         candidates.size() < options_.max_arms_per_query;
+         ++j) {
+      engine::HintSet combo = effective[i];
+      combo.enable_hash_join &= effective[j].enable_hash_join;
+      combo.enable_index_nl_join &= effective[j].enable_index_nl_join;
+      combo.enable_nl_join &= effective[j].enable_nl_join;
+      combo.enable_index_scan &= effective[j].enable_index_scan;
+      combo.left_deep_only |= effective[j].left_deep_only;
+      if (!combo.enable_hash_join && !combo.enable_index_nl_join &&
+          !combo.enable_nl_join) {
+        continue;
+      }
+      ML4DB_RETURN_IF_ERROR(add_candidate(combo));
+    }
+  }
+
+  // Stage 2: Thompson sampling over the candidate arms (keyed by hint
+  // name, so knowledge transfers across queries choosing the same arm).
+  Choice best;
+  double best_sample = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (auto& cand : candidates) {
+    const std::string key = cand.hints.Name();
+    ml::BayesianLinearModel& model = ModelFor(key);
+    const ml::Vec features = BaoPlanFeatures(cand.plan);
+    const double sampled = model.num_observations() < 3
+                               ? rng_.Gaussian(0.0, 1.0)
+                               : model.SamplePrediction(features, rng_);
+    if (!found || sampled < best_sample) {
+      found = true;
+      best_sample = sampled;
+      best.hints = cand.hints;
+      best.plan = std::move(cand.plan);
+      best.arm_key = key;
+    }
+  }
+  if (!found) return Status::Internal("no candidate plan");
+  return best;
+}
+
+void AutoSteer::Feedback(const Choice& choice, double latency) {
+  ModelFor(choice.arm_key)
+      .Observe(BaoPlanFeatures(choice.plan), std::log1p(latency));
+}
+
+StatusOr<double> AutoSteer::RunAndLearn(const engine::Query& query) {
+  ML4DB_ASSIGN_OR_RETURN(Choice choice, ChoosePlan(query));
+  auto result = db_->Execute(query, &choice.plan);
+  ML4DB_RETURN_IF_ERROR(result.status());
+  Feedback(choice, result->latency);
+  return result->latency;
+}
+
+}  // namespace optimizer
+}  // namespace ml4db

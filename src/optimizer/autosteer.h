@@ -1,0 +1,64 @@
+// AutoSteer (Anneser et al. 2023; paper §3.2): removes Bao's hand-crafted
+// hint-set requirement. For each query it greedily discovers *effective*
+// single-switch hints (those that actually change the expert's plan),
+// combines promising ones into candidate hint sets, and runs the Bao-style
+// Thompson-sampling bandit over the dynamically discovered arm pool.
+
+#ifndef ML4DB_OPTIMIZER_AUTOSTEER_H_
+#define ML4DB_OPTIMIZER_AUTOSTEER_H_
+
+#include <map>
+#include <string>
+
+#include "optimizer/bao.h"
+
+namespace ml4db {
+namespace optimizer {
+
+/// Structural fingerprint of a plan (operator tree shape); two plans with
+/// equal fingerprints are treated as the same arm outcome.
+std::string PlanFingerprint(const engine::PlanNode& node);
+
+/// Dynamic hint-set discovery + bandit.
+class AutoSteer {
+ public:
+  struct Options {
+    size_t max_arms_per_query = 6;  ///< candidate plans evaluated per query
+    double prior_alpha = 0.5;
+    double noise_var = 1.0;
+    uint64_t seed = 23;
+  };
+
+  AutoSteer(const engine::Database* db, Options options);
+
+  struct Choice {
+    engine::HintSet hints;
+    engine::PhysicalPlan plan;
+    std::string arm_key;  ///< registry key of the chosen arm
+  };
+
+  /// Discovers effective hints for this query, Thompson-samples among the
+  /// resulting candidate plans, returns the winner.
+  StatusOr<Choice> ChoosePlan(const engine::Query& query);
+
+  /// Observed-latency feedback for the chosen arm.
+  void Feedback(const Choice& choice, double latency);
+
+  StatusOr<double> RunAndLearn(const engine::Query& query);
+
+  /// Number of distinct effective hint sets discovered so far.
+  size_t discovered_arms() const { return models_.size(); }
+
+ private:
+  ml::BayesianLinearModel& ModelFor(const std::string& key);
+
+  const engine::Database* db_;
+  Options options_;
+  std::map<std::string, ml::BayesianLinearModel> models_;  // arm registry
+  Rng rng_;
+};
+
+}  // namespace optimizer
+}  // namespace ml4db
+
+#endif  // ML4DB_OPTIMIZER_AUTOSTEER_H_

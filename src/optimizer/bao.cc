@@ -1,0 +1,104 @@
+#include "optimizer/bao.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace optimizer {
+
+namespace {
+
+void CountOps(const engine::PlanNode& node, std::vector<double>* counts,
+              int* depth, double* est_probes, int level) {
+  (*counts)[static_cast<size_t>(node.op)] += 1.0;
+  *depth = std::max(*depth, level);
+  if (node.op == engine::PlanOp::kIndexNlJoin && !node.children.empty()) {
+    // Each outer row drives one index probe.
+    *est_probes += node.children.front()->est_rows;
+  }
+  for (const auto& c : node.children) {
+    CountOps(*c, counts, depth, est_probes, level + 1);
+  }
+}
+
+}  // namespace
+
+ml::Vec BaoPlanFeatures(const engine::PhysicalPlan& plan) {
+  ML4DB_CHECK(plan.root != nullptr);
+  std::vector<double> op_counts(5, 0.0);
+  int depth = 0;
+  double est_probes = 0.0;
+  CountOps(*plan.root, &op_counts, &depth, &est_probes, 1);
+  ml::Vec f;
+  f.reserve(kBaoFeatureDim);
+  for (double c : op_counts) f.push_back(c);           // 5 operator counts
+  f.push_back(std::log1p(plan.root->est_cost));        // expert cost signal
+  f.push_back(std::log1p(plan.root->est_rows));
+  f.push_back(std::log1p(est_probes));  // random-I/O exposure of the plan
+  f.push_back(static_cast<double>(depth));
+  f.push_back(static_cast<double>(plan.root->TreeSize()));
+  f.push_back(1.0);                                    // bias
+  ML4DB_DCHECK(f.size() == kBaoFeatureDim);
+  return f;
+}
+
+BaoOptimizer::BaoOptimizer(const engine::Database* db, Options options,
+                           std::vector<engine::HintSet> arms)
+    : db_(db), options_(options), arms_(std::move(arms)), rng_(options.seed) {
+  ML4DB_CHECK(db != nullptr);
+  ML4DB_CHECK(!arms_.empty());
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    models_.emplace_back(kBaoFeatureDim, options_.prior_alpha,
+                         options_.noise_var);
+  }
+  arm_picks_.assign(arms_.size(), 0);
+}
+
+StatusOr<BaoOptimizer::Choice> BaoOptimizer::ChoosePlan(
+    const engine::Query& query) {
+  Choice best;
+  double best_sample = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    auto plan = db_->Plan(query, arms_[a]);
+    if (!plan.ok()) continue;
+    const ml::Vec features = BaoPlanFeatures(*plan);
+    double sampled;
+    if (models_[a].num_observations() < 3) {
+      // Cold arm: fall back to the expert's own belief (log cost) plus
+      // exploration noise — Bao's safety property that the worst case is
+      // the expert's plan, even before any feedback.
+      sampled = std::log1p(plan->root->est_cost) + rng_.Gaussian(0.0, 0.3);
+    } else {
+      sampled = models_[a].SamplePrediction(features, rng_);
+    }
+    if (!found || sampled < best_sample) {
+      found = true;
+      best_sample = sampled;
+      best.arm = a;
+      best.plan = std::move(*plan);
+    }
+  }
+  if (!found) return Status::Internal("no arm produced a plan");
+  return best;
+}
+
+void BaoOptimizer::Feedback(const Choice& choice, double latency) {
+  if (options_.evidence_decay < 1.0) {
+    for (auto& m : models_) m.DecayEvidence(options_.evidence_decay);
+  }
+  models_[choice.arm].Observe(BaoPlanFeatures(choice.plan),
+                              std::log1p(latency));
+  arm_picks_[choice.arm] += 1;
+  ++feedback_count_;
+}
+
+StatusOr<double> BaoOptimizer::RunAndLearn(const engine::Query& query) {
+  ML4DB_ASSIGN_OR_RETURN(Choice choice, ChoosePlan(query));
+  auto result = db_->Execute(query, &choice.plan);
+  ML4DB_RETURN_IF_ERROR(result.status());
+  Feedback(choice, result->latency);
+  return result->latency;
+}
+
+}  // namespace optimizer
+}  // namespace ml4db

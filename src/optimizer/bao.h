@@ -1,0 +1,79 @@
+// Bao (Marcus et al. 2021; paper §3.2, "Bandit Optimizer"): the flagship
+// ML-enhanced query optimizer. Instead of replacing the optimizer, Bao
+// steers it: a fixed collection of hint sets (arms) each yields a plan
+// from the *expert* optimizer; a contextual multi-armed bandit with
+// Thompson sampling picks the arm per query from plan features, learning
+// from observed latencies. Robust by construction — the worst case is the
+// expert's own plan.
+
+#ifndef ML4DB_OPTIMIZER_BAO_H_
+#define ML4DB_OPTIMIZER_BAO_H_
+
+#include <memory>
+
+#include "engine/database.h"
+#include "ml/bayes_linear.h"
+
+namespace ml4db {
+namespace optimizer {
+
+/// Hand-crafted plan features for the bandit's contextual model (Bao uses
+/// a TreeCNN; a linear model over these plan statistics preserves the
+/// bandit behaviour at a fraction of the cost and admits exact Thompson
+/// sampling).
+ml::Vec BaoPlanFeatures(const engine::PhysicalPlan& plan);
+
+/// Dimension of BaoPlanFeatures vectors.
+inline constexpr size_t kBaoFeatureDim = 11;
+
+/// Contextual bandit over optimizer hint sets.
+class BaoOptimizer {
+ public:
+  struct Options {
+    double prior_alpha = 0.5;     ///< weight shrinkage
+    double noise_var = 0.25;      ///< latency (log-space) noise
+    double evidence_decay = 1.0;  ///< per-feedback decay (<1 adapts to drift)
+    uint64_t seed = 21;
+  };
+
+  /// @param db   the database whose expert optimizer Bao steers
+  /// @param arms hint-set collection (defaults to HintSet::BaoArms())
+  BaoOptimizer(const engine::Database* db, Options options,
+               std::vector<engine::HintSet> arms = engine::HintSet::BaoArms());
+
+  /// The per-query decision: plans the query under every arm, Thompson-
+  /// samples predicted (log) latency for each, returns the winning arm's
+  /// plan and index.
+  struct Choice {
+    size_t arm = 0;
+    engine::PhysicalPlan plan;
+  };
+  StatusOr<Choice> ChoosePlan(const engine::Query& query);
+
+  /// Feedback after executing the chosen plan.
+  void Feedback(const Choice& choice, double latency);
+
+  /// Plans + executes + learns in one step; returns observed latency.
+  StatusOr<double> RunAndLearn(const engine::Query& query);
+
+  size_t num_arms() const { return arms_.size(); }
+  const engine::HintSet& arm(size_t i) const { return arms_[i]; }
+  size_t feedback_count() const { return feedback_count_; }
+
+  /// Per-arm pick counts (diagnostics: arm usage distribution).
+  const std::vector<size_t>& arm_picks() const { return arm_picks_; }
+
+ private:
+  const engine::Database* db_;
+  Options options_;
+  std::vector<engine::HintSet> arms_;
+  std::vector<ml::BayesianLinearModel> models_;  // one per arm
+  std::vector<size_t> arm_picks_;
+  size_t feedback_count_ = 0;
+  Rng rng_;
+};
+
+}  // namespace optimizer
+}  // namespace ml4db
+
+#endif  // ML4DB_OPTIMIZER_BAO_H_

@@ -1,0 +1,75 @@
+#include "optimizer/harness.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace optimizer {
+
+namespace {
+
+void Summarize(WorkloadReport* report) {
+  if (report->latencies.empty()) return;
+  report->mean = Mean(report->latencies);
+  report->p50 = Quantile(report->latencies, 0.5);
+  report->p95 = Quantile(report->latencies, 0.95);
+  report->p99 = Quantile(report->latencies, 0.99);
+  report->total = 0.0;
+  for (double l : report->latencies) report->total += l;
+}
+
+}  // namespace
+
+WorkloadReport EvaluatePlanner(const engine::Database& db,
+                               const std::vector<engine::Query>& queries,
+                               const PlanFn& planner) {
+  WorkloadReport report;
+  for (const auto& query : queries) {
+    auto plan = planner(query);
+    if (!plan.ok()) {
+      ++report.failures;
+      continue;
+    }
+    ++report.planned;
+    auto result = db.Execute(query, &*plan);
+    if (!result.ok()) {
+      ++report.failures;
+      continue;
+    }
+    report.latencies.push_back(result->latency);
+  }
+  Summarize(&report);
+  return report;
+}
+
+PlanFn ExpertPlanner(const engine::Database& db) {
+  return [&db](const engine::Query& q) { return db.Plan(q); };
+}
+
+WorkloadReport OracleArmPlanner(const engine::Database& db,
+                                const std::vector<engine::Query>& queries) {
+  WorkloadReport report;
+  const auto arms = engine::HintSet::BaoArms();
+  for (const auto& query : queries) {
+    double best = -1.0;
+    for (const auto& hints : arms) {
+      auto plan = db.Plan(query, hints);
+      if (!plan.ok()) continue;
+      auto result = db.Execute(query, &*plan);
+      if (!result.ok()) continue;
+      if (best < 0 || result->latency < best) best = result->latency;
+    }
+    if (best < 0) {
+      ++report.failures;
+    } else {
+      ++report.planned;
+      report.latencies.push_back(best);
+    }
+  }
+  Summarize(&report);
+  return report;
+}
+
+}  // namespace optimizer
+}  // namespace ml4db

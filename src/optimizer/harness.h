@@ -1,0 +1,50 @@
+// Workload evaluation harness shared by the query-optimization tests and
+// benchmarks: run a list of queries through any planner, execute each
+// chosen plan, and summarize the latency distribution — mean, tail, and
+// regret against the expert. Tail behaviour is exactly where the paper
+// says the paradigms differ.
+
+#ifndef ML4DB_OPTIMIZER_HARNESS_H_
+#define ML4DB_OPTIMIZER_HARNESS_H_
+
+#include <functional>
+
+#include "engine/database.h"
+
+namespace ml4db {
+namespace optimizer {
+
+/// Any planner: query in, physical plan out.
+using PlanFn =
+    std::function<StatusOr<engine::PhysicalPlan>(const engine::Query&)>;
+
+/// Latency summary over a workload.
+struct WorkloadReport {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double total = 0.0;
+  int planned = 0;
+  int failures = 0;
+  std::vector<double> latencies;  ///< per-query, successful only
+};
+
+/// Plans + executes every query; failures (planning or execution) are
+/// counted, not fatal.
+WorkloadReport EvaluatePlanner(const engine::Database& db,
+                               const std::vector<engine::Query>& queries,
+                               const PlanFn& planner);
+
+/// The expert planner as a PlanFn.
+PlanFn ExpertPlanner(const engine::Database& db);
+
+/// Per-query latency of the best Bao arm in hindsight (the bandit's
+/// oracle); used for regret reporting.
+WorkloadReport OracleArmPlanner(const engine::Database& db,
+                                const std::vector<engine::Query>& queries);
+
+}  // namespace optimizer
+}  // namespace ml4db
+
+#endif  // ML4DB_OPTIMIZER_HARNESS_H_

@@ -1,0 +1,192 @@
+#include "optimizer/leon.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace optimizer {
+
+using engine::PhysicalPlan;
+using engine::PlanNode;
+using engine::Query;
+using engine::SlotBit;
+using engine::SlotMask;
+
+LeonOptimizer::LeonOptimizer(const engine::Database* db,
+                             const planrepr::PlanFeaturizer* featurizer,
+                             Options options)
+    : db_(db),
+      featurizer_(featurizer),
+      options_(options),
+      ranker_(featurizer->dim(),
+              [&] {
+                planrepr::PlanRegressorOptions o;
+                o.encoder = options.encoder;
+                o.embedding_dim = options.embedding_dim;
+                o.output_dim = 1;
+                o.seed = options.seed;
+                return o;
+              }()),
+      rng_(options.seed ^ 0x5555ULL) {
+  ML4DB_CHECK(db != nullptr && featurizer != nullptr);
+}
+
+double LeonOptimizer::Score(const Query& query, const PlanNode& plan) const {
+  const double expert = std::log1p(plan.est_cost);
+  if (!model_active()) return expert;
+  const double model =
+      ranker_.Predict(featurizer_->Encode(query, plan))[0];
+  return (1.0 - options_.model_weight) * expert +
+         options_.model_weight * model;
+}
+
+StatusOr<std::vector<PhysicalPlan>> LeonOptimizer::TopPlans(
+    const Query& query, size_t k) const {
+  const int n = query.num_tables();
+  if (n == 0) return Status::InvalidArgument("empty query");
+  if (n > 14) return Status::InvalidArgument("too many tables");
+  if (!query.JoinGraphConnected()) {
+    return Status::InvalidArgument("join graph not connected");
+  }
+  const engine::DpOptimizer& expert = db_->optimizer();
+  const engine::HintSet hints;
+
+  struct Entry {
+    std::unique_ptr<PlanNode> plan;
+    double score;
+  };
+  std::unordered_map<SlotMask, std::vector<Entry>> best;
+  // Inside the DP, sub-plans are ranked by the expert cost alone; the
+  // learned ranker only re-orders the complete top-k at the end (its
+  // training pairs are complete plans).
+  auto push_entry = [&](SlotMask mask, std::unique_ptr<PlanNode> plan) {
+    const double score = std::log1p(plan->est_cost);
+    auto& vec = best[mask];
+    vec.push_back({std::move(plan), score});
+    std::sort(vec.begin(), vec.end(),
+              [](const Entry& a, const Entry& b) { return a.score < b.score; });
+    if (vec.size() > options_.top_k) vec.resize(options_.top_k);
+  };
+
+  for (int s = 0; s < n; ++s) {
+    push_entry(SlotBit(s), expert.BestScan(query, s, hints));
+  }
+  const SlotMask full = (SlotMask{1} << n) - 1;
+  for (SlotMask mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    for (SlotMask sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+      const SlotMask other = mask ^ sub;
+      if (sub > other) continue;
+      auto li = best.find(sub);
+      auto ri = best.find(other);
+      if (li == best.end() || ri == best.end()) continue;
+      for (const Entry& le : li->second) {
+        for (const Entry& re : ri->second) {
+          auto joins = expert.CandidateJoins(query, *le.plan, *re.plan, hints);
+          for (auto& j : joins) push_entry(mask, std::move(j));
+        }
+      }
+    }
+  }
+  auto it = best.find(full);
+  if (it == best.end() || it->second.empty()) {
+    return Status::Internal("LEON DP found no complete plan");
+  }
+  // Final re-ranking of complete plans by the mixed score. Expert cost and
+  // model score live on different scales, so both are z-normalized within
+  // the candidate set before blending.
+  std::vector<Entry>& finals = it->second;
+  if (model_active() && finals.size() > 1) {
+    std::vector<double> expert_s(finals.size()), model_s(finals.size());
+    for (size_t i = 0; i < finals.size(); ++i) {
+      expert_s[i] = std::log1p(finals[i].plan->est_cost);
+      model_s[i] =
+          ranker_.Predict(featurizer_->Encode(query, *finals[i].plan))[0];
+    }
+    auto znorm = [](std::vector<double>& v) {
+      const double m = Mean(v);
+      const double sd = std::max(StdDev(v), 1e-9);
+      for (double& x : v) x = (x - m) / sd;
+    };
+    znorm(expert_s);
+    znorm(model_s);
+    for (size_t i = 0; i < finals.size(); ++i) {
+      finals[i].score = (1.0 - options_.model_weight) * expert_s[i] +
+                        options_.model_weight * model_s[i];
+    }
+  }
+  std::sort(finals.begin(), finals.end(),
+            [](const Entry& a, const Entry& b) { return a.score < b.score; });
+  std::vector<PhysicalPlan> out;
+  for (Entry& e : finals) {
+    if (out.size() >= k) break;
+    out.emplace_back(std::move(e.plan));
+  }
+  return out;
+}
+
+StatusOr<PhysicalPlan> LeonOptimizer::PlanQuery(const Query& query) const {
+  ML4DB_ASSIGN_OR_RETURN(std::vector<PhysicalPlan> plans, TopPlans(query, 1));
+  return std::move(plans.front());
+}
+
+StatusOr<double> LeonOptimizer::TrainRound(
+    const std::vector<Query>& queries) {
+  double total = 0.0;
+  struct Labeled {
+    ml::FeatureTree tree;
+    double latency;
+  };
+  std::vector<std::pair<ml::FeatureTree, ml::FeatureTree>> pairs;
+  for (const Query& query : queries) {
+    ML4DB_ASSIGN_OR_RETURN(std::vector<PhysicalPlan> plans,
+                           TopPlans(query, options_.top_k));
+    std::vector<Labeled> labeled;
+    for (PhysicalPlan& plan : plans) {
+      auto result = db_->Execute(query, &plan);
+      ML4DB_RETURN_IF_ERROR(result.status());
+      total += result->latency;
+      labeled.push_back(
+          {featurizer_->Encode(query, *plan.root), result->latency});
+    }
+    for (size_t i = 0; i < labeled.size(); ++i) {
+      for (size_t j = i + 1; j < labeled.size(); ++j) {
+        if (labeled[i].latency == labeled[j].latency) continue;
+        const bool i_better = labeled[i].latency < labeled[j].latency;
+        const ml::FeatureTree& better = labeled[i_better ? i : j].tree;
+        const ml::FeatureTree& worse = labeled[i_better ? j : i].tree;
+        // Prequential accuracy: score the pair before training on it.
+        preq_outcomes_.push_back(ranker_.Predict(better)[0] <
+                                 ranker_.Predict(worse)[0]);
+        while (preq_outcomes_.size() > options_.accuracy_window) {
+          preq_outcomes_.pop_front();
+        }
+        pairs.emplace_back(better, worse);
+      }
+    }
+  }
+  // Train the ranker on accumulated pairs.
+  for (int epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    std::vector<size_t> order(pairs.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.Shuffle(order);
+    size_t in_batch = 0;
+    for (size_t i : order) {
+      ranker_.AccumulateRanking(pairs[i].first, pairs[i].second);
+      if (++in_batch >= 8) {
+        ranker_.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) ranker_.Step();
+  }
+  pairs_absorbed_ += pairs.size();
+  return total;
+}
+
+}  // namespace optimizer
+}  // namespace ml4db

@@ -1,0 +1,95 @@
+// LEON (Chen et al. 2023; paper §3.2): ML-aided query optimization. The
+// expert DP search is retained; a pairwise-ranking model re-ranks
+// equivalent sub-plans, mixed with the expert cost model, and the
+// optimizer falls back to pure expert cost while the model is untrained or
+// unconfident. The DP keeps the top-k plans per subset so the learned
+// ranker has alternatives to promote.
+
+#ifndef ML4DB_OPTIMIZER_LEON_H_
+#define ML4DB_OPTIMIZER_LEON_H_
+
+#include <deque>
+#include <memory>
+
+#include "planrepr/plan_features.h"
+#include "planrepr/plan_regressor.h"
+
+namespace ml4db {
+namespace optimizer {
+
+/// ML-aided DP optimizer.
+class LeonOptimizer {
+ public:
+  struct Options {
+    size_t top_k = 3;            ///< candidate plans kept per DP subset
+    planrepr::EncoderKind encoder = planrepr::EncoderKind::kTreeLstm;
+    size_t embedding_dim = 24;
+    int train_epochs = 10;
+    /// Pairs absorbed before the model influences ranking (fallback gate).
+    size_t min_pairs = 40;
+    /// Minimum prequential ranking accuracy before the model is trusted
+    /// (the LEON fallback: an inaccurate model must not steer the plan).
+    double min_accuracy = 0.65;
+    /// Weight of the model score once trusted (expert keeps 1 - weight).
+    /// The downside is bounded either way: candidates are the expert's own
+    /// top-k plans.
+    double model_weight = 0.5;
+    /// Prequential window (recent pairs only, so pre-training guesses
+    /// don't poison the estimate forever).
+    size_t accuracy_window = 200;
+    uint64_t seed = 41;
+  };
+
+  LeonOptimizer(const engine::Database* db,
+                const planrepr::PlanFeaturizer* featurizer, Options options);
+
+  /// Plans with the ML-aided DP; identical to the expert when untrained.
+  StatusOr<engine::PhysicalPlan> PlanQuery(const engine::Query& query) const;
+
+  /// Top-k complete plans for a query (exposed for training & tests).
+  StatusOr<std::vector<engine::PhysicalPlan>> TopPlans(
+      const engine::Query& query, size_t k) const;
+
+  /// One training round: for each query, execute its current top plans and
+  /// absorb pairwise preferences by observed latency. Returns executed
+  /// latency total (the training bill).
+  StatusOr<double> TrainRound(const std::vector<engine::Query>& queries);
+
+  /// The model steers only when it has enough pairs AND its prequential
+  /// ranking accuracy clears the gate — otherwise pure expert (fallback).
+  bool model_active() const {
+    return pairs_absorbed_ >= options_.min_pairs &&
+           PrequentialAccuracy() >= options_.min_accuracy;
+  }
+  size_t pairs_absorbed() const { return pairs_absorbed_; }
+
+  /// Ranking accuracy measured on each training pair *before* training on
+  /// it, over the recent window (honest streaming estimate).
+  double PrequentialAccuracy() const {
+    if (preq_outcomes_.empty()) return 0.0;
+    size_t correct = 0;
+    for (bool b : preq_outcomes_) correct += b;
+    return static_cast<double>(correct) /
+           static_cast<double>(preq_outcomes_.size());
+  }
+
+ private:
+  /// Mixed final-plan score (lower = better): expert log-cost blended with
+  /// the model when trusted. Used only to re-rank complete plans — the
+  /// model never steers sub-plan ranking inside the DP (those plans are
+  /// out of its training distribution).
+  double Score(const engine::Query& query, const engine::PlanNode& plan) const;
+
+  const engine::Database* db_;
+  const planrepr::PlanFeaturizer* featurizer_;
+  Options options_;
+  mutable planrepr::PlanRegressor ranker_;
+  size_t pairs_absorbed_ = 0;
+  std::deque<bool> preq_outcomes_;
+  mutable Rng rng_;
+};
+
+}  // namespace optimizer
+}  // namespace ml4db
+
+#endif  // ML4DB_OPTIMIZER_LEON_H_

@@ -1,0 +1,100 @@
+#include "optimizer/paramtree.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace optimizer {
+
+ml::Vec ParamTreeTuner::WorkVector(const engine::OperatorWork& w) {
+  return {w.seq_pages,         w.rand_pages,       w.input_tuples,
+          w.filter_evals,      w.hash_build_tuples, w.hash_probe_tuples,
+          w.output_tuples};
+}
+
+void ParamTreeTuner::AbsorbNode(const engine::PlanNode& node) {
+  for (const auto& c : node.children) AbsorbNode(*c);
+  if (node.actual_cost < 0) return;  // not executed
+  double own = node.actual_cost;
+  for (const auto& c : node.children) {
+    if (c->actual_cost > 0) own -= c->actual_cost;
+  }
+  const ml::Vec w = WorkVector(node.actual_work);
+  ml::AddOuter(xtx_, w, w);
+  ml::AxpyInPlace(xty_, w, own);
+  observations_.emplace_back(w, own);
+  op_kinds_.push_back(static_cast<int>(node.op));
+  ++n_;
+}
+
+void ParamTreeTuner::AbsorbPlan(const engine::PhysicalPlan& plan) {
+  ML4DB_CHECK(plan.root != nullptr);
+  AbsorbNode(*plan.root);
+}
+
+Status ParamTreeTuner::CollectFrom(const engine::Database& db,
+                                   const std::vector<engine::Query>& queries) {
+  for (const auto& query : queries) {
+    ML4DB_ASSIGN_OR_RETURN(engine::PhysicalPlan plan, db.Plan(query));
+    auto result = db.Execute(query, &plan);
+    ML4DB_RETURN_IF_ERROR(result.status());
+    AbsorbPlan(plan);
+  }
+  return Status::OK();
+}
+
+StatusOr<engine::CostParams> ParamTreeTuner::Fit() const {
+  constexpr size_t d = engine::CostParams::kNumParams;
+  if (n_ < d) {
+    return Status::FailedPrecondition("not enough observations to fit");
+  }
+  // Ridge-regularized normal equations (tiny ridge keeps rarely-exercised
+  // counters identifiable).
+  ml::Matrix a = xtx_;
+  for (size_t i = 0; i < d; ++i) a.At(i, i) += 1e-6;
+  ml::Vec params = ml::CholeskySolve(a, xty_);
+  engine::CostParams out;
+  for (size_t i = 0; i < d; ++i) {
+    // R-params are physically non-negative; clamp tiny negatives from
+    // collinear counters.
+    out.Set(i, std::max(params[i], 0.0));
+  }
+  return out;
+}
+
+double ParamTreeTuner::RelativeError(const engine::CostParams& params) const {
+  if (observations_.empty()) return 0.0;
+  const ml::Vec p = {params.seq_page_cost,   params.rand_page_cost,
+                     params.cpu_tuple_cost,  params.cpu_operator_cost,
+                     params.hash_build_cost, params.hash_probe_cost,
+                     params.output_tuple_cost};
+  double acc = 0.0;
+  for (const auto& [w, y] : observations_) {
+    const double pred = ml::Dot(p, w);
+    acc += std::abs(pred - y) / std::max(std::abs(y), 1e-9);
+  }
+  return acc / static_cast<double>(observations_.size());
+}
+
+std::array<double, 5> ParamTreeTuner::PerOperatorError(
+    const engine::CostParams& global) const {
+  const ml::Vec p = {global.seq_page_cost,   global.rand_page_cost,
+                     global.cpu_tuple_cost,  global.cpu_operator_cost,
+                     global.hash_build_cost, global.hash_probe_cost,
+                     global.output_tuple_cost};
+  std::array<double, 5> err{};
+  std::array<size_t, 5> cnt{};
+  for (size_t i = 0; i < observations_.size(); ++i) {
+    const auto& [w, y] = observations_[i];
+    const int op = op_kinds_[i];
+    const double pred = ml::Dot(p, w);
+    err[op] += std::abs(pred - y) / std::max(std::abs(y), 1e-9);
+    cnt[op] += 1;
+  }
+  for (size_t op = 0; op < err.size(); ++op) {
+    if (cnt[op] > 0) err[op] /= static_cast<double>(cnt[op]);
+  }
+  return err;
+}
+
+}  // namespace optimizer
+}  // namespace ml4db

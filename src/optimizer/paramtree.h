@@ -1,0 +1,67 @@
+// ParamTree (Yang et al. 2023; paper §3.2): instead of learning a cost
+// model from scratch, learn the *hyperparameters* (R-params) of the
+// formula-based cost model from observed executions. Each executed plan
+// node contributes (true work counters, own latency); the R-params solve
+// the resulting least-squares system — interpretable, tiny, and directly
+// pluggable into the existing optimizer. A per-operator refinement stage
+// (the "tree" in ParamTree: regimes split by operator type) reports
+// whether a single global parameter set suffices.
+
+#ifndef ML4DB_OPTIMIZER_PARAMTREE_H_
+#define ML4DB_OPTIMIZER_PARAMTREE_H_
+
+#include <array>
+
+#include "engine/database.h"
+#include "ml/matrix.h"
+
+namespace ml4db {
+namespace optimizer {
+
+/// Least-squares R-param learner.
+class ParamTreeTuner {
+ public:
+  ParamTreeTuner() = default;
+
+  /// Walks an executed plan and absorbs every node's (work, own-latency)
+  /// observation. Nodes must carry actuals (run the executor first).
+  void AbsorbPlan(const engine::PhysicalPlan& plan);
+
+  /// Convenience: execute `queries` on `db` (expert plans) and absorb.
+  Status CollectFrom(const engine::Database& db,
+                     const std::vector<engine::Query>& queries);
+
+  size_t num_observations() const { return n_; }
+
+  /// Solves for the R-params (non-negative least squares via clamped
+  /// normal equations). Requires >= kNumParams observations.
+  StatusOr<engine::CostParams> Fit() const;
+
+  /// Mean relative pricing error of `params` over the absorbed
+  /// observations (diagnostic: how well the formula explains latency).
+  double RelativeError(const engine::CostParams& params) const;
+
+  /// Per-operator-type regime refinement: fits params per operator kind
+  /// and returns the per-regime relative errors (the ParamTree split
+  /// criterion — large gains justify regime splits).
+  std::array<double, 5> PerOperatorError(const engine::CostParams& global) const;
+
+ private:
+  void AbsorbNode(const engine::PlanNode& node);
+
+  static ml::Vec WorkVector(const engine::OperatorWork& w);
+
+  // Sufficient statistics for least squares.
+  ml::Matrix xtx_{engine::CostParams::kNumParams,
+                  engine::CostParams::kNumParams};
+  ml::Vec xty_ = ml::Vec(engine::CostParams::kNumParams, 0.0);
+  size_t n_ = 0;
+  // Raw observations kept for error reporting (ops are small counts here).
+  std::vector<std::pair<ml::Vec, double>> observations_;
+  std::vector<int> op_kinds_;
+};
+
+}  // namespace optimizer
+}  // namespace ml4db
+
+#endif  // ML4DB_OPTIMIZER_PARAMTREE_H_

@@ -1,0 +1,262 @@
+#include "optimizer/value_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace optimizer {
+
+ValueSearchOptions NeoPreset() {
+  ValueSearchOptions o;
+  o.encoder = planrepr::EncoderKind::kTreeCnn;
+  return o;
+}
+
+ValueSearchOptions RtosPreset() {
+  ValueSearchOptions o;
+  o.encoder = planrepr::EncoderKind::kTreeLstm;
+  // RTOS improves training efficiency by bootstrapping from cost signals
+  // before latency fine-tuning.
+  o.bootstrap_from_cost = true;
+  return o;
+}
+
+ValueSearchOptions BalsaPreset() {
+  ValueSearchOptions o;
+  o.encoder = planrepr::EncoderKind::kTreeCnn;
+  o.bootstrap_from_cost = true;   // simulation-to-reality
+  o.timeout_factor = 4.0;         // safe execution framework
+  return o;
+}
+
+ValueSearchOptimizer::ValueSearchOptimizer(
+    const engine::Database* db, const planrepr::PlanFeaturizer* featurizer,
+    ValueSearchOptions options)
+    : db_(db),
+      featurizer_(featurizer),
+      options_(options),
+      value_net_(featurizer->dim(),
+                 [&] {
+                   planrepr::PlanRegressorOptions o;
+                   o.encoder = options.encoder;
+                   o.embedding_dim = options.embedding_dim;
+                   o.output_dim = 1;
+                   o.seed = options.seed;
+                   return o;
+                 }()),
+      rng_(options.seed ^ 0xabcULL) {
+  ML4DB_CHECK(db != nullptr && featurizer != nullptr);
+}
+
+ml::FeatureTree ValueSearchOptimizer::EncodeForest(
+    const engine::Query& query,
+    const std::vector<const engine::PlanNode*>& forest) const {
+  ML4DB_CHECK(!forest.empty());
+  if (forest.size() == 1) {
+    return featurizer_->Encode(query, *forest[0]);
+  }
+  // Virtual root whose children are the subplan trees.
+  ml::FeatureTree out;
+  out.nodes.emplace_back();
+  out.nodes[0].features.assign(featurizer_->dim(), 0.0);
+  for (const engine::PlanNode* subplan : forest) {
+    const ml::FeatureTree sub = featurizer_->Encode(query, *subplan);
+    const int offset = static_cast<int>(out.nodes.size());
+    out.nodes[0].children.push_back(offset);
+    for (const auto& n : sub.nodes) {
+      ml::FeatureTree::Node copy;
+      copy.features = n.features;
+      for (int c : n.children) copy.children.push_back(c + offset);
+      out.nodes.push_back(std::move(copy));
+    }
+  }
+  ML4DB_DCHECK(out.IsTopologicallyOrdered());
+  return out;
+}
+
+StatusOr<engine::PhysicalPlan> ValueSearchOptimizer::PlanQuery(
+    const engine::Query& query) const {
+  if (!trained_) {
+    // Cold start: the paper's point — without training data the
+    // replacement optimizer has nothing to offer; fall back to the expert.
+    return db_->Plan(query);
+  }
+  const engine::DpOptimizer& expert = db_->optimizer();
+  const engine::HintSet hints;  // all operators available
+
+  // Beam search over forests of subplans.
+  struct State {
+    std::vector<std::unique_ptr<engine::PlanNode>> forest;
+    double score = 0.0;
+
+    std::vector<const engine::PlanNode*> View() const {
+      std::vector<const engine::PlanNode*> v;
+      v.reserve(forest.size());
+      for (const auto& p : forest) v.push_back(p.get());
+      return v;
+    }
+  };
+
+  auto clone_forest = [](const State& s, size_t skip_a, size_t skip_b,
+                         std::unique_ptr<engine::PlanNode> merged) {
+    State next;
+    for (size_t i = 0; i < s.forest.size(); ++i) {
+      if (i == skip_a || i == skip_b) continue;
+      next.forest.push_back(s.forest[i]->Clone());
+    }
+    next.forest.push_back(std::move(merged));
+    return next;
+  };
+
+  std::vector<State> beam;
+  {
+    State init;
+    for (int slot = 0; slot < query.num_tables(); ++slot) {
+      init.forest.push_back(expert.BestScan(query, slot, hints));
+    }
+    beam.push_back(std::move(init));
+  }
+
+  for (int join = 0; join + 1 < query.num_tables(); ++join) {
+    std::vector<State> next_beam;
+    for (const State& state : beam) {
+      for (size_t a = 0; a < state.forest.size(); ++a) {
+        for (size_t b = a + 1; b < state.forest.size(); ++b) {
+          auto candidates = expert.CandidateJoins(query, *state.forest[a],
+                                                  *state.forest[b], hints);
+          for (auto& cand : candidates) {
+            State next = clone_forest(state, a, b, std::move(cand));
+            const ml::FeatureTree tree = EncodeForest(query, next.View());
+            next.score = value_net_.Predict(tree)[0];
+            next_beam.push_back(std::move(next));
+          }
+        }
+      }
+    }
+    if (next_beam.empty()) {
+      return Status::Internal("learned search found no joinable pair");
+    }
+    std::sort(next_beam.begin(), next_beam.end(),
+              [](const State& x, const State& y) { return x.score < y.score; });
+    if (next_beam.size() > options_.beam_width) {
+      next_beam.resize(options_.beam_width);
+    }
+    beam = std::move(next_beam);
+  }
+  ML4DB_CHECK(!beam.empty() && beam.front().forest.size() == 1);
+  return engine::PhysicalPlan(std::move(beam.front().forest[0]));
+}
+
+void ValueSearchOptimizer::AbsorbPlan(const engine::Query& query,
+                                      const engine::PhysicalPlan& plan,
+                                      double latency) {
+  const double label = std::log1p(latency);
+  // Complete plan.
+  experiences_.push_back({featurizer_->Encode(query, *plan.root), label});
+  // Each proper join subtree paired with the unused base-table scans.
+  std::vector<const engine::PlanNode*> subtrees;
+  std::vector<const engine::PlanNode*> stack = {plan.root.get()};
+  while (!stack.empty()) {
+    const engine::PlanNode* n = stack.back();
+    stack.pop_back();
+    if (!n->children.empty() && n != plan.root.get()) subtrees.push_back(n);
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  const engine::HintSet hints;
+  for (const engine::PlanNode* sub : subtrees) {
+    std::vector<const engine::PlanNode*> forest = {sub};
+    std::vector<std::unique_ptr<engine::PlanNode>> extra_scans;
+    const std::vector<int> covered = sub->CoveredSlots();
+    for (int slot = 0; slot < query.num_tables(); ++slot) {
+      if (std::find(covered.begin(), covered.end(), slot) != covered.end()) {
+        continue;
+      }
+      extra_scans.push_back(db_->optimizer().BestScan(query, slot, hints));
+      forest.push_back(extra_scans.back().get());
+    }
+    experiences_.push_back({EncodeForest(query, forest), label});
+  }
+  while (experiences_.size() > options_.max_experience) {
+    experiences_.pop_front();
+  }
+}
+
+void ValueSearchOptimizer::TrainNetwork() {
+  if (experiences_.empty()) return;
+  std::vector<ml::FeatureTree> trees;
+  std::vector<ml::Vec> targets;
+  trees.reserve(experiences_.size());
+  for (const auto& e : experiences_) {
+    trees.push_back(e.state);
+    targets.push_back({e.log_latency});
+  }
+  for (int epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    value_net_.TrainEpoch(trees, targets, options_.batch_size, rng_);
+  }
+  trained_ = true;
+}
+
+Status ValueSearchOptimizer::Bootstrap(
+    const std::vector<engine::Query>& queries) {
+  for (const auto& query : queries) {
+    ML4DB_ASSIGN_OR_RETURN(engine::PhysicalPlan plan, db_->Plan(query));
+    double latency;
+    if (options_.bootstrap_from_cost) {
+      // Simulation: the expert cost model's estimate, no execution.
+      latency = plan.est_cost;
+      // Annotate actuals from estimates so featurization sees a consistent
+      // tree (est fields are already populated by the optimizer).
+    } else {
+      auto result = db_->Execute(query, &plan);
+      ML4DB_RETURN_IF_ERROR(result.status());
+      latency = result->latency;
+    }
+    AbsorbPlan(query, plan, latency);
+  }
+  TrainNetwork();
+  return Status::OK();
+}
+
+StatusOr<double> ValueSearchOptimizer::TrainIteration(
+    const std::vector<engine::Query>& queries) {
+  double total_latency = 0.0;
+  for (const auto& query : queries) {
+    ML4DB_ASSIGN_OR_RETURN(engine::PhysicalPlan plan, PlanQuery(query));
+    engine::ExecutionLimits limits;
+    double timeout_label = -1.0;
+    if (options_.timeout_factor > 0) {
+      ML4DB_ASSIGN_OR_RETURN(engine::PhysicalPlan expert_plan,
+                             db_->Plan(query));
+      auto expert_result = db_->Execute(query, &expert_plan);
+      ML4DB_RETURN_IF_ERROR(expert_result.status());
+      total_latency += expert_result->latency;
+      limits.latency_timeout =
+          expert_result->latency * options_.timeout_factor;
+      timeout_label = limits.latency_timeout * 2.0;  // pessimistic penalty
+    }
+    auto result = db_->Execute(query, &plan, limits);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kResourceExhausted &&
+          timeout_label > 0) {
+        // Timed out: learn the penalty, pay the timeout budget.
+        AbsorbPlan(query, plan, timeout_label);
+        total_latency += limits.latency_timeout;
+        continue;
+      }
+      return result.status();
+    }
+    total_latency += result->latency;
+    AbsorbPlan(query, plan, result->latency);
+  }
+  TrainNetwork();
+  return total_latency;
+}
+
+double ValueSearchOptimizer::PredictLatency(
+    const engine::Query& query, const engine::PhysicalPlan& plan) const {
+  const ml::FeatureTree tree = featurizer_->Encode(query, *plan.root);
+  return std::expm1(std::max(0.0, value_net_.Predict(tree)[0]));
+}
+
+}  // namespace optimizer
+}  // namespace ml4db

@@ -1,0 +1,105 @@
+// Replacement-paradigm learned query optimizers (paper §3.2): a value
+// network over partial plans guides plan search, as in NEO (TreeCNN
+// encoder, bootstrapped from the expert optimizer then trained on
+// latency), RTOS (TreeLSTM encoder, cost-signal bootstrap for training
+// efficiency), and Balsa (no expert demonstrations: bootstrap from the
+// cost-model "simulation", fine-tune on execution with timeout safety).
+// One class, three configurations — the differences the tutorial
+// highlights are exactly these knobs.
+
+#ifndef ML4DB_OPTIMIZER_VALUE_SEARCH_H_
+#define ML4DB_OPTIMIZER_VALUE_SEARCH_H_
+
+#include <deque>
+#include <memory>
+
+#include "costest/collector.h"
+#include "planrepr/plan_regressor.h"
+
+namespace ml4db {
+namespace optimizer {
+
+/// Configuration of the learned-value plan search.
+struct ValueSearchOptions {
+  planrepr::EncoderKind encoder = planrepr::EncoderKind::kTreeCnn;  // NEO
+  size_t embedding_dim = 32;
+  int train_epochs = 12;
+  size_t batch_size = 16;
+  size_t beam_width = 3;
+  /// Balsa mode: bootstrap labels come from the expert *cost model*
+  /// (simulation) instead of executed latency.
+  bool bootstrap_from_cost = false;
+  /// Safe execution: abort on-policy executions beyond
+  /// timeout_factor × expert latency and penalize (<= 0 disables).
+  double timeout_factor = -1.0;
+  size_t max_experience = 8192;
+  uint64_t seed = 31;
+};
+
+/// Presets matching the surveyed systems.
+ValueSearchOptions NeoPreset();
+ValueSearchOptions RtosPreset();
+ValueSearchOptions BalsaPreset();
+
+/// Value-network-guided plan search ("replacement" learned optimizer).
+class ValueSearchOptimizer {
+ public:
+  ValueSearchOptimizer(const engine::Database* db,
+                       const planrepr::PlanFeaturizer* featurizer,
+                       ValueSearchOptions options);
+
+  /// Plans a query with the learned search. Falls back to the expert
+  /// optimizer until the value network has been trained at least once —
+  /// the cold-start behaviour the paper critiques.
+  StatusOr<engine::PhysicalPlan> PlanQuery(const engine::Query& query) const;
+
+  /// Whether the network has been trained (off-cold-start).
+  bool trained() const { return trained_; }
+
+  /// Phase 1: collect experiences from expert plans (NEO bootstrap) or the
+  /// cost model (Balsa), then train.
+  Status Bootstrap(const std::vector<engine::Query>& queries);
+
+  /// Phase 2: one on-policy iteration — plan with the current network,
+  /// execute (with timeout safety when configured), absorb experiences,
+  /// retrain. Returns total executed latency (the training bill).
+  StatusOr<double> TrainIteration(const std::vector<engine::Query>& queries);
+
+  /// Value prediction for a complete plan (diagnostics).
+  double PredictLatency(const engine::Query& query,
+                        const engine::PhysicalPlan& plan) const;
+
+  size_t experience_size() const { return experiences_.size(); }
+
+ private:
+  struct Experience {
+    ml::FeatureTree state;
+    double log_latency;
+  };
+
+  /// Encodes a forest of subplans as one FeatureTree under a virtual root.
+  ml::FeatureTree EncodeForest(
+      const engine::Query& query,
+      const std::vector<const engine::PlanNode*>& forest) const;
+
+  /// Adds experiences from a completed, executed plan: every join subtree
+  /// (paired with the not-yet-joined scans) is labeled with the final
+  /// latency (NEO's subplan labeling).
+  void AbsorbPlan(const engine::Query& query, const engine::PhysicalPlan& plan,
+                  double latency);
+
+  void TrainNetwork();
+
+  const engine::Database* db_;
+  const planrepr::PlanFeaturizer* featurizer_;
+  ValueSearchOptions options_;
+  mutable planrepr::PlanRegressor value_net_;
+  std::deque<Experience> experiences_;
+  bool trained_ = false;
+  mutable Rng rng_;
+};
+
+}  // namespace optimizer
+}  // namespace ml4db
+
+#endif  // ML4DB_OPTIMIZER_VALUE_SEARCH_H_

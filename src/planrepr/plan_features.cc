@@ -1,0 +1,177 @@
+#include "planrepr/plan_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace planrepr {
+
+namespace {
+
+constexpr int kNumOps = 5;  // matches engine::PlanOp
+
+double Log1pSafe(double x) { return std::log1p(std::max(0.0, x)); }
+
+}  // namespace
+
+size_t FeatureConfig::Dim() const {
+  size_t d = 0;
+  if (semantic) {
+    // op one-hot + table one-hot + [num_filters, num_join_preds,
+    // has_index_probe, filter_width_sum].
+    d += kNumOps + max_tables + 4;
+  }
+  if (statistics) {
+    // [log est_rows, log est_cost, log table_rows, est selectivity].
+    d += 4;
+  }
+  if (histogram) d += histogram_dims;
+  if (sample) d += 1;
+  return d;
+}
+
+std::string FeatureConfig::Name() const {
+  std::string out;
+  if (semantic) out += "semantic+";
+  if (statistics) out += "stats+";
+  if (histogram) out += "hist+";
+  if (sample) out += "sample+";
+  if (!out.empty()) out.pop_back();
+  return out.empty() ? "none" : out;
+}
+
+PlanFeaturizer::PlanFeaturizer(const engine::Database* db,
+                               FeatureConfig config)
+    : db_(db), config_(config) {
+  ML4DB_CHECK(db != nullptr);
+  ML4DB_CHECK(config_.Dim() > 0);
+  table_names_ = db->catalog().TableNames();
+}
+
+double PlanFeaturizer::SampleHitFraction(const engine::Query& query,
+                                         const engine::PlanNode& node) const {
+  if (node.table_slot < 0 || node.filters.empty()) return 1.0;
+  const engine::TableStats* stats =
+      db_->stats().Get(query.tables[node.table_slot]);
+  if (stats == nullptr || stats->sample_rows.empty()) return 1.0;
+  auto table = db_->catalog().GetTable(query.tables[node.table_slot]);
+  if (!table.ok()) return 1.0;
+  size_t hits = 0;
+  for (uint32_t row : stats->sample_rows) {
+    bool pass = true;
+    for (const auto& f : node.filters) {
+      if (!engine::EvalFilter(
+              f, (*table)->column(f.column).GetNumeric(row))) {
+        pass = false;
+        break;
+      }
+    }
+    hits += pass;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(stats->sample_rows.size());
+}
+
+ml::Vec PlanFeaturizer::NodeFeatures(const engine::Query& query,
+                                     const engine::PlanNode& node) const {
+  ml::Vec f;
+  f.reserve(config_.Dim());
+  if (config_.semantic) {
+    // Operator one-hot.
+    for (int op = 0; op < kNumOps; ++op) {
+      f.push_back(op == static_cast<int>(node.op) ? 1.0 : 0.0);
+    }
+    // Table one-hot (scans only).
+    int table_idx = -1;
+    if (node.table_slot >= 0) {
+      auto it = std::find(table_names_.begin(), table_names_.end(),
+                          node.table_name);
+      if (it != table_names_.end()) {
+        table_idx = static_cast<int>(it - table_names_.begin());
+      }
+    }
+    for (int t = 0; t < config_.max_tables; ++t) {
+      f.push_back(t == table_idx ? 1.0 : 0.0);
+    }
+    // Predicate shape.
+    f.push_back(static_cast<double>(node.filters.size()));
+    f.push_back(static_cast<double>(node.residual_joins.size()) +
+                (node.table_slot < 0 ? 1.0 : 0.0));
+    f.push_back(node.op == engine::PlanOp::kIndexScan ||
+                        node.op == engine::PlanOp::kIndexNlJoin
+                    ? 1.0
+                    : 0.0);
+    double width_sum = 0.0;
+    for (const auto& p : node.filters) {
+      width_sum += db_->card_estimator().FilterSelectivity(query, p);
+    }
+    f.push_back(width_sum);
+  }
+  if (config_.statistics) {
+    f.push_back(Log1pSafe(node.est_rows));
+    f.push_back(Log1pSafe(node.est_cost));
+    double table_rows = 0.0;
+    if (node.table_slot >= 0) {
+      const engine::TableStats* ts =
+          db_->stats().Get(query.tables[node.table_slot]);
+      if (ts != nullptr) table_rows = static_cast<double>(ts->row_count);
+    }
+    f.push_back(Log1pSafe(table_rows));
+    f.push_back(table_rows > 0 ? node.est_rows / table_rows : 0.0);
+  }
+  if (config_.histogram) {
+    // Sketch of the first filtered column (zeros when unfiltered).
+    std::vector<double> sketch(config_.histogram_dims, 0.0);
+    if (node.table_slot >= 0 && !node.filters.empty()) {
+      const engine::TableStats* ts =
+          db_->stats().Get(query.tables[node.table_slot]);
+      if (ts != nullptr) {
+        const int col = node.filters.front().column;
+        if (col < static_cast<int>(ts->columns.size())) {
+          sketch = ts->columns[col].histogram.Sketch(config_.histogram_dims);
+        }
+      }
+    }
+    f.insert(f.end(), sketch.begin(), sketch.end());
+  }
+  if (config_.sample) {
+    f.push_back(SampleHitFraction(query, node));
+  }
+  ML4DB_DCHECK(f.size() == config_.Dim());
+  return f;
+}
+
+ml::FeatureTree PlanFeaturizer::Encode(const engine::Query& query,
+                                       const engine::PlanNode& root) const {
+  ml::FeatureTree tree;
+  // Pre-order: parents before children (topological requirement).
+  std::vector<const engine::PlanNode*> stack = {&root};
+  std::vector<const engine::PlanNode*> order;
+  std::vector<int> parent_of;
+  std::vector<int> parents = {-1};
+  while (!stack.empty()) {
+    const engine::PlanNode* n = stack.back();
+    stack.pop_back();
+    const int parent = parents.back();
+    parents.pop_back();
+    const int idx = static_cast<int>(order.size());
+    order.push_back(n);
+    parent_of.push_back(parent);
+    for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+      stack.push_back(it->get());
+      parents.push_back(idx);
+    }
+  }
+  tree.nodes.resize(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    tree.nodes[i].features = NodeFeatures(query, *order[i]);
+    if (parent_of[i] >= 0) {
+      tree.nodes[parent_of[i]].children.push_back(static_cast<int>(i));
+    }
+  }
+  ML4DB_DCHECK(tree.IsTopologicallyOrdered());
+  return tree;
+}
+
+}  // namespace planrepr
+}  // namespace ml4db

@@ -1,0 +1,65 @@
+// Query plan feature encoding (paper §3.1, "Feature Encoding"): converts a
+// physical plan tree into a FeatureTree whose node vectors combine
+//   * semantic features  — operator one-hot, table identity, predicate
+//     shape (the workload description), and
+//   * database statistics — estimated cardinality/cost, table sizes,
+//     histogram sketches, sample-hit fractions (the data description).
+// The channels are individually switchable, which is what the encoding-
+// ablation experiment (EXP-I; ref [57] in the paper) sweeps.
+
+#ifndef ML4DB_PLANREPR_PLAN_FEATURES_H_
+#define ML4DB_PLANREPR_PLAN_FEATURES_H_
+
+#include "engine/database.h"
+#include "ml/tree_models.h"
+
+namespace ml4db {
+namespace planrepr {
+
+/// Which feature channels to emit.
+struct FeatureConfig {
+  bool semantic = true;     ///< operator one-hot, table one-hot, predicates
+  bool statistics = true;   ///< log-card/cost estimates, table sizes
+  bool histogram = true;    ///< histogram sketch of filtered columns
+  bool sample = true;       ///< sample-hit fraction of the node's filters
+  int max_tables = 12;      ///< table one-hot width
+  int histogram_dims = 4;
+
+  /// Total per-node feature dimension under this config.
+  size_t Dim() const;
+
+  /// A short label for benchmark tables ("semantic+stats+hist+sample").
+  std::string Name() const;
+};
+
+/// Stateless plan featurizer bound to a database (for stats lookups).
+class PlanFeaturizer {
+ public:
+  PlanFeaturizer(const engine::Database* db, FeatureConfig config);
+
+  size_t dim() const { return config_.Dim(); }
+  const FeatureConfig& config() const { return config_; }
+
+  /// Encodes a plan (with `query` providing predicate context) into a
+  /// FeatureTree in pre-order (children follow parents, as the tree models
+  /// require).
+  ml::FeatureTree Encode(const engine::Query& query,
+                         const engine::PlanNode& root) const;
+
+  /// Encodes a single node (exposed for tests).
+  ml::Vec NodeFeatures(const engine::Query& query,
+                       const engine::PlanNode& node) const;
+
+ private:
+  double SampleHitFraction(const engine::Query& query,
+                           const engine::PlanNode& node) const;
+
+  const engine::Database* db_;
+  FeatureConfig config_;
+  std::vector<std::string> table_names_;  // stable one-hot mapping
+};
+
+}  // namespace planrepr
+}  // namespace ml4db
+
+#endif  // ML4DB_PLANREPR_PLAN_FEATURES_H_

@@ -1,0 +1,164 @@
+#include "planrepr/plan_regressor.h"
+
+#include <algorithm>
+
+namespace ml4db {
+namespace planrepr {
+
+const char* EncoderKindName(EncoderKind k) {
+  switch (k) {
+    case EncoderKind::kFeatureVector: return "feature_vector";
+    case EncoderKind::kDfsLstm: return "dfs_lstm";
+    case EncoderKind::kTreeCnn: return "tree_cnn";
+    case EncoderKind::kTreeLstm: return "tree_lstm";
+    case EncoderKind::kTreeAttention: return "tree_attention";
+  }
+  return "?";
+}
+
+PlanRegressor::PlanRegressor(size_t input_dim, PlanRegressorOptions options)
+    : input_dim_(input_dim), options_(options) {
+  Rng rng(options.seed);
+  size_t head_in = options.embedding_dim;
+  switch (options.encoder) {
+    case EncoderKind::kFeatureVector:
+      head_in = input_dim * options.max_nodes;
+      break;
+    case EncoderKind::kDfsLstm:
+      encoder_ = std::make_unique<ml::DfsLstmEncoder>(rng, input_dim,
+                                                      options.embedding_dim);
+      break;
+    case EncoderKind::kTreeCnn:
+      encoder_ = std::make_unique<ml::TreeCnnEncoder>(rng, input_dim,
+                                                      options.embedding_dim);
+      break;
+    case EncoderKind::kTreeLstm:
+      encoder_ = std::make_unique<ml::TreeLstmEncoder>(rng, input_dim,
+                                                       options.embedding_dim);
+      break;
+    case EncoderKind::kTreeAttention:
+      encoder_ = std::make_unique<ml::TreeAttentionEncoder>(
+          rng, input_dim, options.embedding_dim);
+      break;
+  }
+  head_ = ml::Mlp(rng, {head_in, options.head_hidden, options.output_dim},
+                  ml::Activation::kRelu);
+  std::vector<ml::Parameter*> params = head_.Params();
+  if (encoder_) {
+    for (ml::Parameter* p : encoder_->Params()) params.push_back(p);
+  }
+  opt_ = std::make_unique<ml::Adam>(params, options.learning_rate);
+}
+
+ml::Vec PlanRegressor::Flatten(const ml::FeatureTree& tree) const {
+  ml::Vec out(input_dim_ * options_.max_nodes, 0.0);
+  const std::vector<int> order = tree.DfsOrder();
+  for (size_t i = 0; i < order.size() && i < options_.max_nodes; ++i) {
+    const ml::Vec& f = tree.nodes[order[i]].features;
+    std::copy(f.begin(), f.end(), out.begin() + i * input_dim_);
+  }
+  return out;
+}
+
+ml::Vec PlanRegressor::Embed(
+    const ml::FeatureTree& tree,
+    std::unique_ptr<ml::TreeEncoder::Cache>* cache) const {
+  if (!encoder_) return Flatten(tree);
+  return encoder_->Encode(tree, cache);
+}
+
+void PlanRegressor::BackwardEmbed(const ml::Vec& grad,
+                                  const ml::FeatureTree& tree,
+                                  const ml::TreeEncoder::Cache* cache) {
+  if (!encoder_) return;  // flattening has no parameters
+  ML4DB_CHECK(cache != nullptr);
+  encoder_->Backward(grad, tree, *cache);
+}
+
+ml::Vec PlanRegressor::Predict(const ml::FeatureTree& tree) const {
+  return head_.Forward(Embed(tree, nullptr), nullptr);
+}
+
+double PlanRegressor::AccumulateRegression(const ml::FeatureTree& tree,
+                                           const ml::Vec& target) {
+  std::unique_ptr<ml::TreeEncoder::Cache> cache;
+  const ml::Vec e = encoder_ ? encoder_->Encode(tree, &cache) : Flatten(tree);
+  ml::Mlp::Cache head_cache;
+  const ml::Vec pred = head_.Forward(e, &head_cache);
+  ml::Vec grad;
+  const double loss = ml::HuberLoss(pred, target, 2.0, &grad);
+  const ml::Vec de = head_.Backward(grad, head_cache);
+  BackwardEmbed(de, tree, cache.get());
+  return loss;
+}
+
+double PlanRegressor::AccumulateRanking(const ml::FeatureTree& better,
+                                        const ml::FeatureTree& worse) {
+  ML4DB_CHECK(options_.output_dim == 1);
+  std::unique_ptr<ml::TreeEncoder::Cache> cb, cw;
+  const ml::Vec eb = encoder_ ? encoder_->Encode(better, &cb) : Flatten(better);
+  const ml::Vec ew = encoder_ ? encoder_->Encode(worse, &cw) : Flatten(worse);
+  ml::Mlp::Cache hb, hw;
+  const double sb = head_.Forward(eb, &hb)[0];
+  const double sw = head_.Forward(ew, &hw)[0];
+  double gb, gw;
+  const double loss = ml::PairwiseRankLoss(sb, sw, &gb, &gw);
+  const ml::Vec deb = head_.Backward({gb}, hb);
+  const ml::Vec dew = head_.Backward({gw}, hw);
+  BackwardEmbed(deb, better, cb.get());
+  BackwardEmbed(dew, worse, cw.get());
+  return loss;
+}
+
+void PlanRegressor::Step() {
+  opt_->ClipGradNorm(options_.grad_clip);
+  opt_->Step();
+  head_.ZeroGrad();
+  if (encoder_) encoder_->ZeroGrad();
+}
+
+double PlanRegressor::TrainEpoch(const std::vector<ml::FeatureTree>& trees,
+                                 const std::vector<ml::Vec>& targets,
+                                 size_t batch_size, Rng& rng) {
+  ML4DB_CHECK(trees.size() == targets.size());
+  ML4DB_CHECK(!trees.empty());
+  std::vector<size_t> order(trees.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  double total = 0.0;
+  size_t in_batch = 0;
+  for (size_t i : order) {
+    total += AccumulateRegression(trees[i], targets[i]);
+    if (++in_batch >= batch_size) {
+      Step();
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) Step();
+  return total / static_cast<double>(trees.size());
+}
+
+void PlanRegressor::ResetHead(size_t output_dim, uint64_t seed) {
+  Rng rng(seed);
+  options_.output_dim = output_dim;
+  size_t head_in = options_.embedding_dim;
+  if (options_.encoder == EncoderKind::kFeatureVector) {
+    head_in = input_dim_ * options_.max_nodes;
+  }
+  head_ = ml::Mlp(rng, {head_in, options_.head_hidden, output_dim},
+                  ml::Activation::kRelu);
+  std::vector<ml::Parameter*> params = head_.Params();
+  if (encoder_) {
+    for (ml::Parameter* p : encoder_->Params()) params.push_back(p);
+  }
+  opt_ = std::make_unique<ml::Adam>(params, options_.learning_rate);
+}
+
+size_t PlanRegressor::NumParams() {
+  size_t n = head_.NumParams();
+  if (encoder_) n += encoder_->NumParams();
+  return n;
+}
+
+}  // namespace planrepr
+}  // namespace ml4db

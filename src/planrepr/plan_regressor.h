@@ -1,0 +1,96 @@
+// End-to-end trainable plan models: a tree encoder (paper §3.1, "Tree
+// Models") + an MLP task head. Supports the five encoder families from
+// Table 1 — Feature Vector (no learnable tree aggregation), DFS-flattened
+// LSTM, TreeCNN, TreeLSTM, and tree attention (QueryFormer-lite) — under
+// regression (cost / cardinality) and pairwise-ranking objectives.
+
+#ifndef ML4DB_PLANREPR_PLAN_REGRESSOR_H_
+#define ML4DB_PLANREPR_PLAN_REGRESSOR_H_
+
+#include <memory>
+
+#include "ml/tree_models.h"
+
+namespace ml4db {
+namespace planrepr {
+
+/// Encoder families (Table 1 of the paper).
+enum class EncoderKind {
+  kFeatureVector,  ///< flatten + zero-pad, no learnable aggregation
+  kDfsLstm,        ///< AVGDL-style LSTM over DFS order
+  kTreeCnn,        ///< NEO/BAO-style triangular convolutions
+  kTreeLstm,       ///< E2E-Cost/RTOS-style child-sum TreeLSTM
+  kTreeAttention,  ///< QueryFormer-style tree transformer
+};
+
+const char* EncoderKindName(EncoderKind k);
+
+/// Options for PlanRegressor.
+struct PlanRegressorOptions {
+  EncoderKind encoder = EncoderKind::kTreeLstm;
+  size_t embedding_dim = 32;   ///< tree-model output size
+  size_t head_hidden = 32;     ///< MLP head hidden width
+  size_t output_dim = 1;
+  size_t max_nodes = 24;       ///< FeatureVector flatten budget
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;
+  uint64_t seed = 7;
+};
+
+/// Encoder + head regression model over FeatureTrees.
+class PlanRegressor {
+ public:
+  PlanRegressor(size_t input_dim, PlanRegressorOptions options);
+
+  /// Forward pass (inference).
+  ml::Vec Predict(const ml::FeatureTree& tree) const;
+
+  /// Accumulates gradients for one (tree, target) sample under Huber loss;
+  /// returns the loss. Call Step() after a batch.
+  double AccumulateRegression(const ml::FeatureTree& tree,
+                              const ml::Vec& target);
+
+  /// Accumulates a pairwise-ranking sample: `better` should score lower
+  /// than `worse` (LEON's objective). Only valid for output_dim == 1.
+  double AccumulateRanking(const ml::FeatureTree& better,
+                           const ml::FeatureTree& worse);
+
+  /// Applies one optimizer step from accumulated gradients and clears them.
+  void Step();
+
+  /// Convenience epoch: shuffled minibatch SGD over a regression dataset;
+  /// returns mean loss.
+  double TrainEpoch(const std::vector<ml::FeatureTree>& trees,
+                    const std::vector<ml::Vec>& targets, size_t batch_size,
+                    Rng& rng);
+
+  /// Re-initializes the task head with a new output dimension, keeping the
+  /// (pre)trained encoder weights — the fine-tuning entry point for the
+  /// pretrained-model experiments (paper §3.1).
+  void ResetHead(size_t output_dim, uint64_t seed);
+
+  /// Trainable parameter count (model-size metric).
+  size_t NumParams();
+
+  EncoderKind encoder_kind() const { return options_.encoder; }
+  size_t input_dim() const { return input_dim_; }
+
+ private:
+  ml::Vec Embed(const ml::FeatureTree& tree,
+                std::unique_ptr<ml::TreeEncoder::Cache>* cache) const;
+  void BackwardEmbed(const ml::Vec& grad, const ml::FeatureTree& tree,
+                     const ml::TreeEncoder::Cache* cache);
+  /// FeatureVector path: flatten DFS nodes into one fixed vector.
+  ml::Vec Flatten(const ml::FeatureTree& tree) const;
+
+  size_t input_dim_;
+  PlanRegressorOptions options_;
+  std::unique_ptr<ml::TreeEncoder> encoder_;  // null for kFeatureVector
+  ml::Mlp head_;
+  std::unique_ptr<ml::Adam> opt_;
+};
+
+}  // namespace planrepr
+}  // namespace ml4db
+
+#endif  // ML4DB_PLANREPR_PLAN_REGRESSOR_H_

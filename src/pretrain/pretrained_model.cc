@@ -1,0 +1,93 @@
+#include "pretrain/pretrained_model.h"
+
+#include <cmath>
+
+namespace ml4db {
+namespace pretrain {
+
+namespace {
+
+void Walk(const engine::PlanNode& node, int depth, int* max_depth, int* joins) {
+  *max_depth = std::max(*max_depth, depth);
+  if (node.children.size() == 2) ++*joins;
+  for (const auto& c : node.children) Walk(*c, depth + 1, max_depth, joins);
+}
+
+}  // namespace
+
+ml::Vec AuxTargets(const engine::PlanNode& root) {
+  int depth = 0, joins = 0;
+  Walk(root, 1, &depth, &joins);
+  return {static_cast<double>(root.TreeSize()), static_cast<double>(depth),
+          std::log1p(root.est_rows), std::log1p(root.est_cost),
+          static_cast<double>(joins)};
+}
+
+StatusOr<std::vector<PretrainSample>> MakePretrainSamples(
+    const engine::Database& db, const planrepr::PlanFeaturizer& featurizer,
+    const std::vector<engine::Query>& queries) {
+  std::vector<PretrainSample> out;
+  out.reserve(queries.size());
+  for (const auto& query : queries) {
+    ML4DB_ASSIGN_OR_RETURN(engine::PhysicalPlan plan, db.Plan(query));
+    PretrainSample s;
+    s.tree = featurizer.Encode(query, *plan.root);
+    s.targets = AuxTargets(*plan.root);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+PretrainedPlanModel::PretrainedPlanModel(size_t input_dim, Options options)
+    : options_(options),
+      model_(input_dim,
+             [&] {
+               planrepr::PlanRegressorOptions o;
+               o.encoder = options.encoder;
+               o.embedding_dim = options.embedding_dim;
+               o.output_dim = kNumAuxTargets;
+               o.seed = options.seed;
+               return o;
+             }()),
+      rng_(options.seed ^ 0x99ULL) {}
+
+double PretrainedPlanModel::Pretrain(
+    const std::vector<PretrainSample>& samples) {
+  ML4DB_CHECK(!samples.empty());
+  std::vector<ml::FeatureTree> trees;
+  std::vector<ml::Vec> targets;
+  for (const auto& s : samples) {
+    trees.push_back(s.tree);
+    targets.push_back(s.targets);
+  }
+  double loss = 0.0;
+  for (int e = 0; e < options_.pretrain_epochs; ++e) {
+    loss = model_.TrainEpoch(trees, targets, options_.batch_size, rng_);
+  }
+  pretrained_ = true;
+  return loss;
+}
+
+double PretrainedPlanModel::FineTune(
+    const std::vector<costest::PlanSample>& shots) {
+  ML4DB_CHECK(!shots.empty());
+  model_.ResetHead(1, options_.seed ^ 0xf1eULL);
+  std::vector<ml::FeatureTree> trees;
+  std::vector<ml::Vec> targets;
+  for (const auto& s : shots) {
+    trees.push_back(s.tree);
+    targets.push_back({std::log1p(s.latency)});
+  }
+  double loss = 0.0;
+  for (int e = 0; e < options_.finetune_epochs; ++e) {
+    loss = model_.TrainEpoch(trees, targets, options_.batch_size, rng_);
+  }
+  return loss;
+}
+
+double PretrainedPlanModel::EstimateLatency(const ml::FeatureTree& tree) const {
+  return std::expm1(std::max(0.0, model_.Predict(tree)[0]));
+}
+
+}  // namespace pretrain
+}  // namespace ml4db

@@ -1,0 +1,80 @@
+// Pretrained / unified plan models (paper §3.1, "Pretrained Model").
+//
+// Following Paul et al. (query plan encoders, purely unsupervised
+// pretraining over multiple databases) and the MTMLF/zero-shot program
+// (Hilprecht & Binnig): pretrain a plan encoder on *execution-free*
+// self-supervised targets — structural and statistics-derived plan
+// properties available without running a single query — across several
+// synthetic databases, then fine-tune a fresh task head with K labeled
+// samples on an unseen database. The few-shot benchmark (EXP-L) compares
+// this against training the same architecture from scratch.
+
+#ifndef ML4DB_PRETRAIN_PRETRAINED_MODEL_H_
+#define ML4DB_PRETRAIN_PRETRAINED_MODEL_H_
+
+#include "costest/collector.h"
+#include "planrepr/plan_regressor.h"
+
+namespace ml4db {
+namespace pretrain {
+
+/// Number of self-supervised pretraining targets.
+inline constexpr size_t kNumAuxTargets = 5;
+
+/// Execution-free targets of a plan: [tree size, depth, log est rows,
+/// log est cost, join count] — all derivable from the plan + catalog
+/// statistics, never from execution.
+ml::Vec AuxTargets(const engine::PlanNode& root);
+
+/// A pretraining sample: featurized plan + aux targets (no latency).
+struct PretrainSample {
+  ml::FeatureTree tree;
+  ml::Vec targets;
+};
+
+/// Builds pretraining samples from planned (not executed) queries.
+StatusOr<std::vector<PretrainSample>> MakePretrainSamples(
+    const engine::Database& db, const planrepr::PlanFeaturizer& featurizer,
+    const std::vector<engine::Query>& queries);
+
+/// Encoder pretrained across databases, fine-tunable per task.
+class PretrainedPlanModel {
+ public:
+  struct Options {
+    planrepr::EncoderKind encoder = planrepr::EncoderKind::kTreeAttention;
+    size_t embedding_dim = 32;
+    int pretrain_epochs = 20;
+    int finetune_epochs = 40;
+    size_t batch_size = 16;
+    uint64_t seed = 51;
+  };
+
+  /// @param input_dim featurizer dimension (must match across databases;
+  ///        use one FeatureConfig everywhere)
+  PretrainedPlanModel(size_t input_dim, Options options);
+
+  /// Self-supervised pretraining over samples pooled from many databases.
+  /// Returns final epoch loss.
+  double Pretrain(const std::vector<PretrainSample>& samples);
+
+  /// Swaps in a fresh 1-output head and fine-tunes on K latency-labeled
+  /// samples from the target database. Returns final epoch loss.
+  double FineTune(const std::vector<costest::PlanSample>& shots);
+
+  /// Predicted latency after fine-tuning.
+  double EstimateLatency(const ml::FeatureTree& tree) const;
+
+  bool pretrained() const { return pretrained_; }
+  planrepr::PlanRegressor& model() { return model_; }
+
+ private:
+  Options options_;
+  planrepr::PlanRegressor model_;
+  bool pretrained_ = false;
+  Rng rng_;
+};
+
+}  // namespace pretrain
+}  // namespace ml4db
+
+#endif  // ML4DB_PRETRAIN_PRETRAINED_MODEL_H_

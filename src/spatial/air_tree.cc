@@ -1,0 +1,112 @@
+#include "spatial/air_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace spatial {
+
+AirTree::AirTree(const RTree* tree, Options options)
+    : tree_(tree), options_(options) {
+  ML4DB_CHECK(tree != nullptr);
+  tree_->VisitLeaves(
+      [&](size_t, const Rect& mbr, const std::vector<SpatialEntry>&) {
+        leaf_mbrs_.push_back(mbr);
+      });
+  // features: [bias, dx, dy, ox, oy, overlap/leaf, overlap/query].
+  leaf_weights_.assign(leaf_mbrs_.size(), ml::Vec(7, 0.0));
+}
+
+ml::Vec AirTree::QueryFeatures(const Rect& q, const Rect& leaf_mbr) {
+  // Scale-aware separation features (per-axis normalized center distance,
+  // per-axis overlap extent) plus exact MBR-overlap fractions. The learned
+  // part is predicting whether the overlap region actually holds data —
+  // MBR geometry alone is what the plain R-tree already checks.
+  const Point qc = q.Center();
+  const Point lc = leaf_mbr.Center();
+  const double half_w = (q.Width() + leaf_mbr.Width()) / 2 + 1e-9;
+  const double half_h = (q.Height() + leaf_mbr.Height()) / 2 + 1e-9;
+  const double dx = std::abs(qc.x - lc.x) / half_w;  // <1 iff x-overlap
+  const double dy = std::abs(qc.y - lc.y) / half_h;
+  const double ox = std::max(0.0, 1.0 - dx);
+  const double oy = std::max(0.0, 1.0 - dy);
+  const double inter = IntersectionArea(q, leaf_mbr);
+  const double of_leaf = inter / (leaf_mbr.Area() + 1e-12);
+  const double of_query = inter / (q.Area() + 1e-12);
+  return {1.0, dx, dy, ox, oy, of_leaf, of_query};
+}
+
+void AirTree::Train(const std::vector<Rect>& training_queries) {
+  ML4DB_CHECK(!training_queries.empty());
+  // Self-supervised labels: which leaves actually contain results for the
+  // query (per the paper, the AI-tree learns from executed workloads).
+  std::vector<std::vector<uint8_t>> labels(
+      training_queries.size(), std::vector<uint8_t>(leaf_mbrs_.size(), 0));
+  std::vector<const std::vector<SpatialEntry>*> leaf_entries;
+  std::vector<std::vector<SpatialEntry>> leaf_copies;
+  tree_->VisitLeaves(
+      [&](size_t, const Rect&, const std::vector<SpatialEntry>& entries) {
+        leaf_copies.push_back(entries);
+      });
+  for (size_t qi = 0; qi < training_queries.size(); ++qi) {
+    const Rect& q = training_queries[qi];
+    for (size_t li = 0; li < leaf_mbrs_.size(); ++li) {
+      if (!q.Intersects(leaf_mbrs_[li])) continue;
+      for (const auto& e : leaf_copies[li]) {
+        if (q.Intersects(e.rect)) {
+          labels[qi][li] = 1;
+          break;
+        }
+      }
+    }
+  }
+  // Per-leaf logistic regression via SGD.
+  Rng rng(options_.seed);
+  std::vector<size_t> order(training_queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t qi : order) {
+      const Rect& q = training_queries[qi];
+      for (size_t li = 0; li < leaf_mbrs_.size(); ++li) {
+        const ml::Vec f = QueryFeatures(q, leaf_mbrs_[li]);
+        const double logit = ml::Dot(leaf_weights_[li], f);
+        double grad;
+        const bool positive = labels[qi][li] != 0;
+        ml::BceWithLogitsLoss(logit, positive ? 1.0 : 0.0, &grad);
+        // Weight positives: a missed leaf loses results (recall), an extra
+        // predicted leaf only costs one access.
+        const double w = positive ? 4.0 : 1.0;
+        ml::AxpyInPlace(leaf_weights_[li], f, -options_.lr * w * grad);
+      }
+    }
+  }
+  trained_ = true;
+}
+
+std::vector<size_t> AirTree::PredictLeaves(const Rect& query) const {
+  std::vector<size_t> out;
+  for (size_t li = 0; li < leaf_mbrs_.size(); ++li) {
+    const double logit = ml::Dot(leaf_weights_[li], QueryFeatures(query, leaf_mbrs_[li]));
+    const double p = 1.0 / (1.0 + std::exp(-logit));
+    if (p >= options_.route_threshold) out.push_back(li);
+  }
+  return out;
+}
+
+QueryStats AirTree::AiRangeQuery(const Rect& query) const {
+  return tree_->RangeQueryLeaves(query, PredictLeaves(query));
+}
+
+QueryStats AirTree::RangeQuery(const Rect& query) const {
+  if (!trained_) return tree_->RangeQuery(query);
+  const std::vector<size_t> predicted = PredictLeaves(query);
+  if (predicted.size() >= options_.high_overlap_leaves) {
+    // High-overlap query: classifier routing skips internal traversal.
+    return tree_->RangeQueryLeaves(query, predicted);
+  }
+  return tree_->RangeQuery(query);
+}
+
+}  // namespace spatial
+}  // namespace ml4db

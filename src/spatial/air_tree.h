@@ -1,0 +1,68 @@
+// AI+R tree (Al-Mamun et al. 2022; paper §3.2, ML-enhanced search): an
+// R-tree augmented with a learned "AI-tree" that turns range search into
+// multi-label classification over leaves. High-overlap queries — the ones
+// that would touch many internal nodes — are routed to the classifier,
+// which predicts the candidate leaf set directly and skips the internal
+// traversal; low-overlap queries use the classic R-tree. The classifier
+// can miss leaves (a tunable recall/speed trade-off), which the benchmark
+// reports as recall alongside node accesses.
+
+#ifndef ML4DB_SPATIAL_AIR_TREE_H_
+#define ML4DB_SPATIAL_AIR_TREE_H_
+
+#include <memory>
+
+#include "ml/nn.h"
+#include "spatial/rtree.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// R-tree + learned leaf-routing classifier.
+class AirTree {
+ public:
+  struct Options {
+    double route_threshold = 0.3;   ///< classifier score to include a leaf
+    size_t high_overlap_leaves = 4; ///< predicted-leaf count that triggers
+                                    ///< AI routing (else fall back to R-tree)
+    int train_epochs = 60;
+    double lr = 0.05;
+    uint64_t seed = 31;
+  };
+
+  /// Wraps an already-built R-tree (not owned).
+  AirTree(const RTree* tree, Options options);
+
+  /// Trains the per-leaf classifiers on a historical query workload
+  /// (self-supervised: labels come from running the queries on the R-tree).
+  void Train(const std::vector<Rect>& training_queries);
+
+  /// Routed range query: AI-tree path for predicted-high-overlap queries,
+  /// classic R-tree otherwise.
+  QueryStats RangeQuery(const Rect& query) const;
+
+  /// Forces the AI-tree path (diagnostics).
+  QueryStats AiRangeQuery(const Rect& query) const;
+
+  /// Fraction of queries routed to the AI-tree in the last batch counted
+  /// externally; exposed: predicted leaf ids for a query.
+  std::vector<size_t> PredictLeaves(const Rect& query) const;
+
+  size_t num_leaves() const { return leaf_mbrs_.size(); }
+  bool trained() const { return trained_; }
+
+ private:
+  static ml::Vec QueryFeatures(const Rect& q, const Rect& leaf_mbr);
+
+  const RTree* tree_;
+  Options options_;
+  bool trained_ = false;
+  std::vector<Rect> leaf_mbrs_;
+  // One logistic scorer per leaf: w · features(query, leaf).
+  std::vector<ml::Vec> leaf_weights_;
+};
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_AIR_TREE_H_

@@ -1,0 +1,98 @@
+// 2-d geometry primitives shared by every spatial index. Header-only so the
+// workload generators can use the types without linking the spatial lib.
+
+#ifndef ML4DB_SPATIAL_GEOMETRY_H_
+#define ML4DB_SPATIAL_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ml4db {
+namespace spatial {
+
+/// A 2-d point (unit-square domain by convention).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Axis-aligned rectangle; degenerate rectangles represent points.
+struct Rect {
+  double xlo = 0.0, ylo = 0.0, xhi = 0.0, yhi = 0.0;
+
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  /// The "empty" rectangle: Union identity.
+  static Rect Empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {inf, inf, -inf, -inf};
+  }
+
+  double Width() const { return std::max(0.0, xhi - xlo); }
+  double Height() const { return std::max(0.0, yhi - ylo); }
+  double Area() const { return Width() * Height(); }
+  double Margin() const { return 2.0 * (Width() + Height()); }
+  Point Center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+
+  bool Intersects(const Rect& o) const {
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+  bool Contains(const Rect& o) const {
+    return xlo <= o.xlo && o.xhi <= xhi && ylo <= o.ylo && o.yhi <= yhi;
+  }
+  bool ContainsPoint(const Point& p) const {
+    return xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+};
+
+/// Smallest rectangle covering both inputs.
+inline Rect Union(const Rect& a, const Rect& b) {
+  return {std::min(a.xlo, b.xlo), std::min(a.ylo, b.ylo),
+          std::max(a.xhi, b.xhi), std::max(a.yhi, b.yhi)};
+}
+
+/// Area of the intersection (0 when disjoint).
+inline double IntersectionArea(const Rect& a, const Rect& b) {
+  const double w = std::min(a.xhi, b.xhi) - std::max(a.xlo, b.xlo);
+  const double h = std::min(a.yhi, b.yhi) - std::max(a.ylo, b.ylo);
+  return w > 0 && h > 0 ? w * h : 0.0;
+}
+
+/// Area increase of `mbr` if it absorbed `r`.
+inline double Enlargement(const Rect& mbr, const Rect& r) {
+  return Union(mbr, r).Area() - mbr.Area();
+}
+
+/// Squared minimum distance from a point to a rectangle (0 when inside).
+inline double MinDist2(const Point& p, const Rect& r) {
+  const double dx = p.x < r.xlo ? r.xlo - p.x : (p.x > r.xhi ? p.x - r.xhi : 0.0);
+  const double dy = p.y < r.ylo ? r.ylo - p.y : (p.y > r.yhi ? p.y - r.yhi : 0.0);
+  return dx * dx + dy * dy;
+}
+
+inline double Dist2(const Point& a, const Point& b) {
+  return (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+}
+
+/// Morton (Z-order) code of a point in the unit square at `bits` bits per
+/// dimension (bits <= 31).
+inline uint64_t ZOrder(const Point& p, int bits = 20) {
+  const uint64_t scale = (uint64_t{1} << bits) - 1;
+  uint64_t xi = static_cast<uint64_t>(
+      std::min(std::max(p.x, 0.0), 1.0) * static_cast<double>(scale));
+  uint64_t yi = static_cast<uint64_t>(
+      std::min(std::max(p.y, 0.0), 1.0) * static_cast<double>(scale));
+  uint64_t z = 0;
+  for (int b = 0; b < bits; ++b) {
+    z |= ((xi >> b) & 1ULL) << (2 * b);
+    z |= ((yi >> b) & 1ULL) << (2 * b + 1);
+  }
+  return z;
+}
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_GEOMETRY_H_

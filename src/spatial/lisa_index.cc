@@ -1,0 +1,180 @@
+#include "spatial/lisa_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ml4db {
+namespace spatial {
+
+namespace {
+
+// Boundaries at the q-quantiles of vals (vals is consumed/sorted).
+std::vector<double> QuantileBounds(std::vector<double> vals, size_t parts) {
+  std::sort(vals.begin(), vals.end());
+  std::vector<double> bounds(parts + 1);
+  bounds[0] = -std::numeric_limits<double>::infinity();
+  bounds[parts] = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < parts; ++i) {
+    const size_t pos = std::min(vals.size() - 1, i * vals.size() / parts);
+    bounds[i] = vals.empty() ? 0.0 : vals[pos];
+  }
+  return bounds;
+}
+
+}  // namespace
+
+Status LisaIndex::Build(const std::vector<Point>& points,
+                        const std::vector<uint64_t>& ids) {
+  if (points.size() != ids.size()) {
+    return Status::InvalidArgument("points/ids size mismatch");
+  }
+  total_ = points.size();
+  if (total_ == 0) {
+    x_bounds_.assign(grid_ + 1, 0.0);
+    y_bounds_.assign(grid_, std::vector<double>(grid_ + 1, 0.0));
+    cells_.assign(grid_, std::vector<Cell>(grid_));
+    return Status::OK();
+  }
+  std::vector<double> xs(total_);
+  for (size_t i = 0; i < total_; ++i) xs[i] = points[i].x;
+  x_bounds_ = QuantileBounds(std::move(xs), grid_);
+
+  // Group points by strip, then cut each strip by y-quantiles.
+  std::vector<std::vector<size_t>> strip_members(grid_);
+  for (size_t i = 0; i < total_; ++i) {
+    strip_members[StripOf(points[i].x)].push_back(i);
+  }
+  y_bounds_.assign(grid_, {});
+  cells_.assign(grid_, {});
+  for (size_t s = 0; s < grid_; ++s) {
+    std::vector<double> ys;
+    ys.reserve(strip_members[s].size());
+    for (size_t i : strip_members[s]) ys.push_back(points[i].y);
+    y_bounds_[s] = QuantileBounds(std::move(ys), grid_);
+    cells_[s].assign(grid_, {});
+    for (size_t i : strip_members[s]) {
+      Cell& c = cells_[s][CellOf(s, points[i].y)];
+      c.points.push_back(points[i]);
+      c.ids.push_back(ids[i]);
+    }
+  }
+  return Status::OK();
+}
+
+size_t LisaIndex::StripOf(double x) const {
+  // Last boundary <= x; bounds_[0] = -inf so the result is in [0, grid_).
+  const auto it = std::upper_bound(x_bounds_.begin(), x_bounds_.end(), x);
+  const size_t idx = static_cast<size_t>(it - x_bounds_.begin());
+  return std::min(grid_ - 1, idx == 0 ? 0 : idx - 1);
+}
+
+size_t LisaIndex::CellOf(size_t strip, double y) const {
+  const auto& b = y_bounds_[strip];
+  const auto it = std::upper_bound(b.begin(), b.end(), y);
+  const size_t idx = static_cast<size_t>(it - b.begin());
+  return std::min(grid_ - 1, idx == 0 ? 0 : idx - 1);
+}
+
+QueryStats LisaIndex::RangeQuery(const Rect& query) const {
+  QueryStats stats;
+  if (total_ == 0) return stats;
+  const size_t s_lo = StripOf(query.xlo);
+  const size_t s_hi = StripOf(query.xhi);
+  for (size_t s = s_lo; s <= s_hi && s < grid_; ++s) {
+    const size_t c_lo = CellOf(s, query.ylo);
+    const size_t c_hi = CellOf(s, query.yhi);
+    for (size_t c = c_lo; c <= c_hi && c < grid_; ++c) {
+      const Cell& cell = cells_[s][c];
+      if (cell.points.empty()) continue;
+      ++stats.nodes_accessed;
+      for (size_t i = 0; i < cell.points.size(); ++i) {
+        if (query.ContainsPoint(cell.points[i])) {
+          stats.results.push_back(cell.ids[i]);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+QueryStats LisaIndex::KnnQuery(const Point& p, size_t k) const {
+  QueryStats stats;
+  if (total_ == 0 || k == 0) return stats;
+  const size_t ps = StripOf(p.x);
+  const size_t pc = CellOf(ps, p.y);
+  std::vector<std::pair<double, uint64_t>> best;  // max-heap via sort
+  auto consider_cell = [&](size_t s, size_t c) {
+    const Cell& cell = cells_[s][c];
+    if (cell.points.empty()) return;
+    ++stats.nodes_accessed;
+    for (size_t i = 0; i < cell.points.size(); ++i) {
+      best.emplace_back(Dist2(p, cell.points[i]), cell.ids[i]);
+    }
+  };
+  // Expanding rings of cells until the kth distance is covered by the ring
+  // boundary distance (conservative: cell bounds come from quantiles, so we
+  // use actual cell rectangle bounds for the stop test).
+  size_t ring = 0;
+  const size_t max_ring = 2 * grid_;
+  double kth = std::numeric_limits<double>::infinity();
+  while (ring <= max_ring) {
+    bool any = false;
+    for (int64_t ds = -static_cast<int64_t>(ring);
+         ds <= static_cast<int64_t>(ring); ++ds) {
+      for (int64_t dc = -static_cast<int64_t>(ring);
+           dc <= static_cast<int64_t>(ring); ++dc) {
+        if (std::max(std::llabs(ds), std::llabs(dc)) !=
+            static_cast<int64_t>(ring)) {
+          continue;  // ring shell only
+        }
+        const int64_t s = static_cast<int64_t>(ps) + ds;
+        const int64_t c = static_cast<int64_t>(pc) + dc;
+        if (s < 0 || c < 0 || s >= static_cast<int64_t>(grid_) ||
+            c >= static_cast<int64_t>(grid_)) {
+          continue;
+        }
+        consider_cell(static_cast<size_t>(s), static_cast<size_t>(c));
+        any = true;
+      }
+    }
+    if (best.size() >= k) {
+      std::nth_element(best.begin(), best.begin() + k - 1, best.end());
+      kth = best[k - 1].first;
+      // Conservative stop: the next ring is at least (ring) strips away;
+      // estimate min distance via the closest boundary of the explored box.
+      // Compute the explored rectangle in coordinate space.
+      const size_t slo = ps > ring ? ps - ring : 0;
+      const size_t shi = std::min(grid_ - 1, ps + ring);
+      const size_t clo = pc > ring ? pc - ring : 0;
+      const size_t chi = std::min(grid_ - 1, pc + ring);
+      const double xlo = x_bounds_[slo];
+      const double xhi = x_bounds_[shi + 1];
+      const double ylo = y_bounds_[ps][clo];
+      const double yhi = y_bounds_[ps][chi + 1];
+      double bound2 = std::numeric_limits<double>::infinity();
+      if (std::isfinite(xlo)) bound2 = std::min(bound2, (p.x - xlo) * (p.x - xlo));
+      if (std::isfinite(xhi)) bound2 = std::min(bound2, (xhi - p.x) * (xhi - p.x));
+      if (std::isfinite(ylo)) bound2 = std::min(bound2, (p.y - ylo) * (p.y - ylo));
+      if (std::isfinite(yhi)) bound2 = std::min(bound2, (yhi - p.y) * (yhi - p.y));
+      if (kth <= bound2) break;
+    }
+    if (!any && best.size() >= k) break;
+    ++ring;
+  }
+  std::sort(best.begin(), best.end());
+  for (size_t i = 0; i < std::min(best.size(), k); ++i) {
+    stats.results.push_back(best[i].second);
+  }
+  return stats;
+}
+
+size_t LisaIndex::StructureBytes() const {
+  size_t b = x_bounds_.size() * sizeof(double);
+  for (const auto& yb : y_bounds_) b += yb.size() * sizeof(double);
+  b += total_ * (sizeof(Point) + sizeof(uint64_t));
+  return b;
+}
+
+}  // namespace spatial
+}  // namespace ml4db

@@ -1,0 +1,58 @@
+// LISA-style learned spatial index (Li et al. 2020; paper §3.2,
+// replacement paradigm): instead of a space-filling curve, learn a mapping
+// from points to 1-d shard ids directly from the data distribution. We
+// realize the mapping as data-adaptive quantile partitions: x-strips of
+// equal mass, each cut into y-cells of equal mass — a monotone piecewise
+// mapping fit to the data (LISA's Lebesgue-measure mapping specialized to
+// a grid). Range queries are exact; KNN uses expanding cell rings.
+
+#ifndef ML4DB_SPATIAL_LISA_INDEX_H_
+#define ML4DB_SPATIAL_LISA_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "spatial/rtree.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// Learned shard-mapping spatial index over points.
+class LisaIndex {
+ public:
+  /// @param shards_per_axis grid resolution learned from data quantiles
+  explicit LisaIndex(size_t shards_per_axis = 64)
+      : grid_(shards_per_axis) {}
+
+  Status Build(const std::vector<Point>& points,
+               const std::vector<uint64_t>& ids);
+
+  /// Exact range query; nodes_accessed counts visited shards.
+  QueryStats RangeQuery(const Rect& query) const;
+
+  /// Exact KNN via expanding shard rings.
+  QueryStats KnnQuery(const Point& p, size_t k) const;
+
+  size_t size() const { return total_; }
+  size_t StructureBytes() const;
+
+ private:
+  struct Cell {
+    std::vector<Point> points;
+    std::vector<uint64_t> ids;
+  };
+
+  size_t StripOf(double x) const;
+  size_t CellOf(size_t strip, double y) const;
+
+  size_t grid_;
+  size_t total_ = 0;
+  std::vector<double> x_bounds_;               // grid_+1 strip boundaries
+  std::vector<std::vector<double>> y_bounds_;  // per strip, grid_+1 bounds
+  std::vector<std::vector<Cell>> cells_;       // [strip][cell]
+};
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_LISA_INDEX_H_

@@ -1,0 +1,382 @@
+#include "spatial/platon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/mcts.h"
+
+namespace ml4db {
+namespace spatial {
+
+namespace {
+
+constexpr int kNumCutActions = 6;  // {x, y} × {0.25, 0.5, 0.75}
+
+double CutFraction(int action) {
+  static const double kFractions[3] = {0.25, 0.5, 0.75};
+  return kFractions[action % 3];
+}
+int CutAxis(int action) { return action / 3; }
+
+double CenterCoord(const SpatialEntry& e, int axis) {
+  const Point c = e.rect.Center();
+  return axis == 0 ? c.x : c.y;
+}
+
+Rect MbrOf(const std::vector<SpatialEntry>& entries,
+           const std::vector<int>& idx) {
+  Rect mbr = Rect::Empty();
+  for (int i : idx) mbr = Union(mbr, entries[i].rect);
+  return mbr;
+}
+
+/// MCTS environment over a sampled block: states are partitions of the
+/// sample; actions cut the largest block; reward is the fraction of
+/// (query, block) pairs NOT touched — higher is better packing.
+struct PartitionEnv {
+  const std::vector<SpatialEntry>* sample;
+  const std::vector<Rect>* queries;
+  size_t min_block;
+  size_t max_blocks;
+
+  struct State {
+    std::vector<std::vector<int>> blocks;
+  };
+
+  std::vector<int> Actions(const State& s) const {
+    if (s.blocks.size() >= max_blocks) return {};
+    size_t largest = 0;
+    for (const auto& b : s.blocks) largest = std::max(largest, b.size());
+    if (largest <= min_block) return {};
+    std::vector<int> acts(kNumCutActions);
+    for (int a = 0; a < kNumCutActions; ++a) acts[a] = a;
+    return acts;
+  }
+
+  State Apply(const State& s, int action) const {
+    State next = s;
+    // Find the largest block.
+    size_t target = 0;
+    for (size_t i = 1; i < next.blocks.size(); ++i) {
+      if (next.blocks[i].size() > next.blocks[target].size()) target = i;
+    }
+    std::vector<int> block = std::move(next.blocks[target]);
+    const int axis = CutAxis(action);
+    const size_t cut_pos = std::max<size_t>(
+        1, std::min(block.size() - 1,
+                    static_cast<size_t>(CutFraction(action) *
+                                        static_cast<double>(block.size()))));
+    std::nth_element(block.begin(), block.begin() + cut_pos, block.end(),
+                     [&](int a, int b) {
+                       return CenterCoord((*sample)[a], axis) <
+                              CenterCoord((*sample)[b], axis);
+                     });
+    std::vector<int> left(block.begin(), block.begin() + cut_pos);
+    std::vector<int> right(block.begin() + cut_pos, block.end());
+    next.blocks[target] = std::move(left);
+    next.blocks.push_back(std::move(right));
+    return next;
+  }
+
+  /// Default completion policy for rollouts: cut the largest block along
+  /// its longer axis at the median. A strong deterministic baseline keeps
+  /// rollout values comparable across first actions (random completions
+  /// drown the signal in variance).
+  int DefaultAction(const State& s) const {
+    size_t target = 0;
+    for (size_t i = 1; i < s.blocks.size(); ++i) {
+      if (s.blocks[i].size() > s.blocks[target].size()) target = i;
+    }
+    const Rect mbr = MbrOf(*sample, s.blocks[target]);
+    const int axis = mbr.Width() >= mbr.Height() ? 0 : 1;
+    return axis * 3 + 1;  // median fraction
+  }
+
+  double Rollout(const State& s, Rng& rng) const {
+    (void)rng;
+    State cur = s;
+    int guard = 0;
+    while (guard++ < 256) {
+      const auto acts = Actions(cur);
+      if (acts.empty()) break;
+      cur = Apply(cur, DefaultAction(cur));
+    }
+    // Cost: expected blocks touched per query (NOT normalized by block
+    // count — that would reward fragmentation), scaled by the terminal
+    // block budget so the reward lands in [0, 1].
+    if (cur.blocks.empty() || queries->empty()) return 0.0;
+    double touched = 0.0;
+    for (const auto& b : cur.blocks) {
+      const Rect mbr = MbrOf(*sample, b);
+      for (const auto& q : *queries) {
+        if (q.Intersects(mbr)) touched += 1.0;
+      }
+    }
+    const double per_query = touched / static_cast<double>(queries->size());
+    return 1.0 - per_query / static_cast<double>(max_blocks);
+  }
+};
+
+size_t AlignCut(size_t cut_pos, size_t block_size, size_t leaf_capacity);
+
+/// Greedy cut for mid-size blocks: evaluate all six cuts by workload hits
+/// of the two halves' MBRs plus a fragmentation penalty — unbalanced cuts
+/// create extra partially-filled leaves, each a potential access.
+int GreedyCut(const std::vector<SpatialEntry>& entries,
+              std::vector<int>& block, const std::vector<Rect>& queries,
+              size_t leaf_capacity) {
+  int best_action = 1;  // x/median default
+  double best_cost = std::numeric_limits<double>::infinity();
+  const double min_leaves = std::ceil(static_cast<double>(block.size()) /
+                                      static_cast<double>(leaf_capacity));
+  for (int a = 0; a < kNumCutActions; ++a) {
+    const int axis = CutAxis(a);
+    const size_t raw = std::max<size_t>(
+        1, std::min(block.size() - 1,
+                    static_cast<size_t>(CutFraction(a) *
+                                        static_cast<double>(block.size()))));
+    const size_t cut_pos = AlignCut(raw, block.size(), leaf_capacity);
+    std::nth_element(block.begin(), block.begin() + cut_pos, block.end(),
+                     [&](int x, int y) {
+                       return CenterCoord(entries[x], axis) <
+                              CenterCoord(entries[y], axis);
+                     });
+    Rect left = Rect::Empty(), right = Rect::Empty();
+    for (size_t i = 0; i < cut_pos; ++i) {
+      left = Union(left, entries[block[i]].rect);
+    }
+    for (size_t i = cut_pos; i < block.size(); ++i) {
+      right = Union(right, entries[block[i]].rect);
+    }
+    double hits = 0.0;
+    for (const auto& q : queries) {
+      if (q.Intersects(left)) hits += 1.0;
+      if (q.Intersects(right)) hits += 1.0;
+    }
+    const double leaves =
+        std::ceil(static_cast<double>(cut_pos) / leaf_capacity) +
+        std::ceil(static_cast<double>(block.size() - cut_pos) / leaf_capacity);
+    const double hit_rate = hits / (2.0 * std::max<size_t>(queries.size(), 1));
+    double cost = hits + (leaves - min_leaves) * hit_rate *
+                             static_cast<double>(queries.size());
+    // Slight preference for balanced median cuts on ties.
+    cost += std::abs(CutFraction(a) - 0.5) * 1e-3;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_action = a;
+    }
+  }
+  return best_action;
+}
+
+// Rounds a cut position to a multiple of the leaf capacity so full leaves
+// survive the recursion (STR-style packing discipline; avoids the ~50%
+// leaf-fill fragmentation naive fractional cuts cause).
+size_t AlignCut(size_t cut_pos, size_t block_size, size_t leaf_capacity) {
+  if (block_size <= 2 * leaf_capacity) return std::max<size_t>(1, cut_pos);
+  const size_t aligned =
+      std::llround(static_cast<double>(cut_pos) /
+                   static_cast<double>(leaf_capacity)) *
+      leaf_capacity;
+  return std::min(std::max<size_t>(aligned, leaf_capacity),
+                  block_size - leaf_capacity);
+}
+
+void ApplyCutToBlock(const std::vector<SpatialEntry>& entries,
+                     std::vector<int>& block, int action,
+                     size_t leaf_capacity, std::vector<int>* left,
+                     std::vector<int>* right) {
+  const int axis = CutAxis(action);
+  const size_t raw = std::max<size_t>(
+      1, std::min(block.size() - 1,
+                  static_cast<size_t>(CutFraction(action) *
+                                      static_cast<double>(block.size()))));
+  const size_t cut_pos = AlignCut(raw, block.size(), leaf_capacity);
+  std::nth_element(block.begin(), block.begin() + cut_pos, block.end(),
+                   [&](int a, int b) {
+                     return CenterCoord(entries[a], axis) <
+                            CenterCoord(entries[b], axis);
+                   });
+  left->assign(block.begin(), block.begin() + cut_pos);
+  right->assign(block.begin() + cut_pos, block.end());
+}
+
+// Terminal packing of a small block: mini-STR tiling (slice along one
+// axis, chunk each slice along the other) in whichever orientation the
+// workload sample finds cheaper. Single-axis chunking would produce thin
+// strip leaves with terrible aspect ratios.
+void ChunkBlock(const std::vector<SpatialEntry>& entries,
+                std::vector<int>& block, const std::vector<Rect>& queries,
+                size_t leaf_capacity,
+                std::vector<std::vector<SpatialEntry>>* leaves) {
+  const size_t num_leaves =
+      (block.size() + leaf_capacity - 1) / leaf_capacity;
+  const size_t num_slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t per_slice =
+      (block.size() + num_slices - 1) / num_slices;
+
+  auto tile = [&](int primary_axis, std::vector<std::vector<int>>* out) {
+    const int secondary_axis = 1 - primary_axis;
+    std::sort(block.begin(), block.end(), [&](int a, int b) {
+      return CenterCoord(entries[a], primary_axis) <
+             CenterCoord(entries[b], primary_axis);
+    });
+    for (size_t s = 0; s * per_slice < block.size(); ++s) {
+      const size_t lo = s * per_slice;
+      const size_t hi = std::min(block.size(), lo + per_slice);
+      std::sort(block.begin() + lo, block.begin() + hi, [&](int a, int b) {
+        return CenterCoord(entries[a], secondary_axis) <
+               CenterCoord(entries[b], secondary_axis);
+      });
+      for (size_t i = lo; i < hi; i += leaf_capacity) {
+        const size_t end = std::min(hi, i + leaf_capacity);
+        out->emplace_back(block.begin() + i, block.begin() + end);
+      }
+    }
+  };
+  auto cost_of = [&](const std::vector<std::vector<int>>& tiles) {
+    double cost = 0;
+    for (const auto& t : tiles) {
+      const Rect mbr = MbrOf(entries, t);
+      for (const auto& q : queries) {
+        if (q.Intersects(mbr)) cost += 1.0;
+      }
+      cost += 0.01;  // slight preference for fewer leaves
+    }
+    return cost;
+  };
+
+  // Strip tilings: single-axis chunking produces elongated leaves, which
+  // beat square tiles when the workload's query boxes are themselves
+  // elongated (leaf shape should match query shape).
+  auto strips = [&](int axis, std::vector<std::vector<int>>* out) {
+    std::sort(block.begin(), block.end(), [&](int a, int b) {
+      return CenterCoord(entries[a], axis) < CenterCoord(entries[b], axis);
+    });
+    for (size_t i = 0; i < block.size(); i += leaf_capacity) {
+      const size_t end = std::min(block.size(), i + leaf_capacity);
+      out->emplace_back(block.begin() + i, block.begin() + end);
+    }
+  };
+
+  std::vector<std::vector<std::vector<int>>> candidates(4);
+  tile(0, &candidates[0]);
+  tile(1, &candidates[1]);
+  strips(0, &candidates[2]);
+  strips(1, &candidates[3]);
+  size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double c = cost_of(candidates[i]);
+    if (c < best_cost) {
+      best_cost = c;
+      best = i;
+    }
+  }
+  const auto& chosen = candidates[best];
+  for (const auto& t : chosen) {
+    std::vector<SpatialEntry> leaf;
+    leaf.reserve(t.size());
+    for (int i : t) leaf.push_back(entries[i]);
+    leaves->push_back(std::move(leaf));
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<SpatialEntry>> PlatonPartition(
+    const std::vector<SpatialEntry>& entries,
+    const std::vector<Rect>& workload_queries, const PlatonOptions& options) {
+  std::vector<std::vector<SpatialEntry>> leaves;
+  if (entries.empty()) return leaves;
+  Rng rng(options.seed);
+
+  // Query sample for value estimation.
+  std::vector<Rect> qsample = workload_queries;
+  if (qsample.size() > options.query_sample) {
+    rng.Shuffle(qsample);
+    qsample.resize(options.query_sample);
+  }
+  if (qsample.empty()) qsample.push_back({0, 0, 1, 1});
+
+  std::vector<int> all(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) all[i] = static_cast<int>(i);
+
+  // Worklist of blocks.
+  std::vector<std::vector<int>> work = {std::move(all)};
+  while (!work.empty()) {
+    std::vector<int> block = std::move(work.back());
+    work.pop_back();
+    if (block.size() <= options.leaf_capacity) {
+      std::vector<SpatialEntry> leaf;
+      leaf.reserve(block.size());
+      for (int i : block) leaf.push_back(entries[i]);
+      leaves.push_back(std::move(leaf));
+      continue;
+    }
+    if (block.size() <= 4 * options.leaf_capacity) {
+      // Terminal chunking keeps leaves fully packed.
+      ChunkBlock(entries, block, qsample, options.leaf_capacity, &leaves);
+      continue;
+    }
+    int action;
+    if (block.size() > options.mcts_min_block) {
+      // Sample the block for MCTS value estimation.
+      std::vector<int> sample_idx = block;
+      if (sample_idx.size() > options.value_sample) {
+        rng.Shuffle(sample_idx);
+        sample_idx.resize(options.value_sample);
+      }
+      std::vector<SpatialEntry> sample;
+      sample.reserve(sample_idx.size());
+      for (int i : sample_idx) sample.push_back(entries[i]);
+
+      PartitionEnv env;
+      env.sample = &sample;
+      env.queries = &qsample;
+      env.min_block = std::max<size_t>(8, sample.size() / 64);
+      env.max_blocks = 64;
+      ml::MctsOptions mopts;
+      mopts.iterations = static_cast<int>(options.mcts_iterations);
+      ml::Mcts<PartitionEnv> mcts(&env, mopts, rng.NextUint64());
+      PartitionEnv::State root;
+      std::vector<int> sample_block(sample.size());
+      for (size_t i = 0; i < sample.size(); ++i) {
+        sample_block[i] = static_cast<int>(i);
+      }
+      root.blocks.push_back(std::move(sample_block));
+      action = mcts.Search(root);
+    } else {
+      action = GreedyCut(entries, block, qsample, options.leaf_capacity);
+    }
+    std::vector<int> left, right;
+    ApplyCutToBlock(entries, block, action, options.leaf_capacity, &left,
+                    &right);
+    work.push_back(std::move(left));
+    work.push_back(std::move(right));
+  }
+  return leaves;
+}
+
+RTree PlatonPack(const std::vector<SpatialEntry>& entries,
+                 const std::vector<Rect>& workload_queries,
+                 RTree::Options tree_options, const PlatonOptions& options) {
+  RTree learned(tree_options);
+  learned.BuildFromLeafPartition(
+      PlatonPartition(entries, workload_queries, options));
+  // The partition policy's action space includes the space-filling tiling
+  // as a whole-tree alternative: build the STR packing too and keep
+  // whichever the workload sample prices cheaper. This is the safety net
+  // that makes the learned bulk-loader never worse than the classical one
+  // on the instance it optimized for.
+  RTree str(tree_options);
+  str.BulkLoadStr(entries);
+  if (workload_queries.empty()) return learned;
+  const double learned_cost = learned.ExpectedNodeAccesses(workload_queries);
+  const double str_cost = str.ExpectedNodeAccesses(workload_queries);
+  return learned_cost <= str_cost ? std::move(learned) : std::move(str);
+}
+
+}  // namespace spatial
+}  // namespace ml4db

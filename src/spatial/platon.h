@@ -1,0 +1,46 @@
+// PLATON (Yang & Cong 2023; paper §3.2, ML-enhanced bulk-loading): top-down
+// R-tree packing whose partition policy is *learned* with Monte Carlo Tree
+// Search against the given data + query workload, instead of the fixed
+// space-filling heuristic of STR.
+//
+// Scope of this reimplementation (the paper's own optimizations, scaled to
+// our substrate): MCTS decides (axis, quantile) cuts for large blocks;
+// value rollouts are evaluated on entry and query *samples* (PLATON's
+// sampling-based value approximation); blocks below a threshold fall back
+// to the workload-greedy cut, and leaf-sized blocks are emitted directly —
+// keeping the whole build near-linear.
+
+#ifndef ML4DB_SPATIAL_PLATON_H_
+#define ML4DB_SPATIAL_PLATON_H_
+
+#include "spatial/rtree.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// Options for PLATON packing.
+struct PlatonOptions {
+  size_t leaf_capacity = 32;       ///< entries per packed leaf (match STR)
+  size_t mcts_iterations = 48;     ///< simulations per partition decision
+  size_t mcts_min_block = 4096;    ///< blocks below this use greedy cuts
+  size_t value_sample = 512;       ///< entry subsample for rollout evaluation
+  size_t query_sample = 64;        ///< query subsample for rollout evaluation
+  uint64_t seed = 123;
+};
+
+/// Packs `entries` into an RTree optimized for `workload_queries`.
+/// `tree_options` controls node capacities of the resulting tree.
+RTree PlatonPack(const std::vector<SpatialEntry>& entries,
+                 const std::vector<Rect>& workload_queries,
+                 RTree::Options tree_options, const PlatonOptions& options);
+
+/// The leaf partition PLATON produces (exposed for tests: every entry must
+/// appear in exactly one leaf, leaves respect capacity).
+std::vector<std::vector<SpatialEntry>> PlatonPartition(
+    const std::vector<SpatialEntry>& entries,
+    const std::vector<Rect>& workload_queries, const PlatonOptions& options);
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_PLATON_H_

@@ -1,0 +1,212 @@
+#include "spatial/rlr_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ml4db {
+namespace spatial {
+
+namespace {
+
+ml::QLearnOptions MakeQOpts(const RlrPolicy::Options& o) {
+  ml::QLearnOptions q;
+  q.learning_rate = o.lr;
+  q.gamma = 0.0;  // contextual bandit: immediate geometric reward
+  q.epsilon = o.epsilon;
+  q.epsilon_decay = o.epsilon_decay;
+  q.min_epsilon = 0.02;
+  return q;
+}
+
+}  // namespace
+
+RlrPolicy::RlrPolicy(Options options, uint64_t seed)
+    // One shared scorer per decision type (action id 0): candidates are
+    // distinguished purely by their feature vectors, as in the RLR-tree's
+    // shared Q-network — per-slot weights would starve the rarely-picked
+    // slots of training samples.
+    : options_(options),
+      choose_q_(1, kChooseFeatures, MakeQOpts(options), seed),
+      split_q_(1, kSplitFeatures, MakeQOpts(options), seed ^ 0x9e37ULL) {}
+
+size_t RlrPolicy::ChooseSubtree(const std::vector<ChildInfo>& children,
+                                const Rect& rect) {
+  const size_t n = children.size();
+  if (n == 1) return 0;
+  // Rank children by enlargement; consider the top_k.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return Enlargement(children[a].mbr, rect) <
+           Enlargement(children[b].mbr, rect);
+  });
+  const size_t k = std::min(options_.top_k, n);
+
+  // Features per candidate (normalized within the candidate set).
+  std::vector<ml::Vec> feats(k);
+  std::vector<size_t> actions(k);
+  double max_area = 1e-12, max_fill = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    max_area = std::max(max_area, children[order[i]].mbr.Area());
+    max_fill = std::max(max_fill,
+                        static_cast<double>(children[order[i]].num_entries));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    const ChildInfo& c = children[order[i]];
+    const Rect enlarged = Union(c.mbr, rect);
+    // Overlap increase with the other candidates after enlargement.
+    double overlap_delta = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      overlap_delta += IntersectionArea(enlarged, children[order[j]].mbr) -
+                       IntersectionArea(c.mbr, children[order[j]].mbr);
+    }
+    feats[i] = {Enlargement(c.mbr, rect) / (max_area + 1e-12),
+                (enlarged.Margin() - c.mbr.Margin()),
+                overlap_delta / (max_area + 1e-12),
+                static_cast<double>(c.num_entries) / max_fill,
+                c.mbr.Area() / (max_area + 1e-12),
+                1.0};
+    actions[i] = 0;  // shared scorer; candidates differ by features
+  }
+
+  (void)actions;
+  size_t pick_idx;
+  if (training_) {
+    pick_idx = SelectCandidate(choose_q_, feats, /*explore=*/true);
+    // Immediate reward: negative enlargement + weighted overlap growth +
+    // a node-compactness term (without it, ties between zero-enlargement
+    // candidates teach nothing and fat nodes win by default).
+    const double reward =
+        -(feats[pick_idx][0] + options_.overlap_weight * feats[pick_idx][2] +
+          0.3 * feats[pick_idx][4]);
+    choose_q_.Update(0, feats[pick_idx], reward, 0.0);
+    choose_q_.EndEpisode();
+    ++updates_;
+  } else {
+    pick_idx = SelectCandidate(choose_q_, feats, /*explore=*/false);
+  }
+  return order[pick_idx];
+}
+
+std::vector<size_t> RlrPolicy::SplitNode(const std::vector<Rect>& rects,
+                                         size_t min_fill) {
+  const size_t n = rects.size();
+  // Four candidate orderings (R*-style axis choices); within each ordering,
+  // split at the position minimizing group overlap.
+  auto sorted_by = [&](int mode) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      switch (mode) {
+        case 0: return rects[a].xlo < rects[b].xlo;
+        case 1: return rects[a].xhi < rects[b].xhi;
+        case 2: return rects[a].ylo < rects[b].ylo;
+        default: return rects[a].yhi < rects[b].yhi;
+      }
+    });
+    return order;
+  };
+
+  struct Candidate {
+    std::vector<size_t> group_a;
+    double area_sum;
+    double overlap;
+    double margin_sum;
+  };
+  std::vector<Candidate> candidates;
+  double max_area = 1e-12;
+  for (int mode = 0; mode < static_cast<int>(kSplitActions); ++mode) {
+    const std::vector<size_t> order = sorted_by(mode);
+    // Prefix/suffix MBRs for O(n) split evaluation.
+    std::vector<Rect> prefix(n), suffix(n);
+    Rect acc = Rect::Empty();
+    for (size_t i = 0; i < n; ++i) {
+      acc = Union(acc, rects[order[i]]);
+      prefix[i] = acc;
+    }
+    acc = Rect::Empty();
+    for (size_t i = n; i-- > 0;) {
+      acc = Union(acc, rects[order[i]]);
+      suffix[i] = acc;
+    }
+    double best_score = std::numeric_limits<double>::infinity();
+    size_t best_split = min_fill;
+    for (size_t split = min_fill; split + min_fill <= n; ++split) {
+      const double ov = IntersectionArea(prefix[split - 1], suffix[split]);
+      const double area = prefix[split - 1].Area() + suffix[split].Area();
+      const double score = ov * 10 + area;
+      if (score < best_score) {
+        best_score = score;
+        best_split = split;
+      }
+    }
+    Candidate cand;
+    cand.group_a.assign(order.begin(), order.begin() + best_split);
+    cand.area_sum =
+        prefix[best_split - 1].Area() + suffix[best_split].Area();
+    cand.overlap = IntersectionArea(prefix[best_split - 1], suffix[best_split]);
+    cand.margin_sum =
+        prefix[best_split - 1].Margin() + suffix[best_split].Margin();
+    max_area = std::max(max_area, cand.area_sum);
+    candidates.push_back(std::move(cand));
+  }
+
+  std::vector<ml::Vec> feats(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    feats[i] = {candidates[i].area_sum / max_area,
+                candidates[i].overlap / max_area,
+                candidates[i].margin_sum, 1.0};
+  }
+  size_t pick;
+  if (training_) {
+    pick = SelectCandidate(split_q_, feats, /*explore=*/true);
+    const double reward =
+        -(feats[pick][0] + options_.overlap_weight * feats[pick][1]);
+    split_q_.Update(0, feats[pick], reward, 0.0);
+    split_q_.EndEpisode();
+    ++updates_;
+  } else {
+    pick = SelectCandidate(split_q_, feats, /*explore=*/false);
+  }
+  return candidates[pick].group_a;
+}
+
+size_t RlrPolicy::SelectCandidate(ml::LinearQLearner& q,
+                                  const std::vector<ml::Vec>& feats,
+                                  bool explore) {
+  ML4DB_CHECK(!feats.empty());
+  if (explore && rng_.Bernoulli(q.epsilon())) {
+    return rng_.NextUint64(feats.size());
+  }
+  size_t best = 0;
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < feats.size(); ++i) {
+    const double value = q.Q(0, feats[i]);
+    if (value > best_q) {
+      best_q = value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+RlrTree::RlrTree(RTree::Options tree_options,
+                 RlrPolicy::Options policy_options, uint64_t seed)
+    : tree_options_(tree_options),
+      policy_(std::make_shared<RlrPolicy>(policy_options, seed)),
+      tree_(tree_options, policy_) {}
+
+void RlrTree::TrainAndFreeze(const std::vector<SpatialEntry>& training_entries) {
+  policy_->set_training(true);
+  {
+    // Scratch tree: absorbs the exploration noise, then is discarded.
+    RTree scratch(tree_options_, policy_);
+    for (const auto& e : training_entries) scratch.Insert(e);
+  }
+  policy_->set_training(false);
+  tree_ = RTree(tree_options_, policy_);
+}
+
+}  // namespace spatial
+}  // namespace ml4db

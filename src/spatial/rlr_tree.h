@@ -1,0 +1,94 @@
+// RLR-tree (Gu et al. 2023; paper §3.2, ML-enhanced insertion): keep the
+// R-tree structure, replace the ChooseSubtree and SplitNode heuristics with
+// reinforcement-learned policies over geometric features. We use linear
+// Q-learning: the agent picks among the top candidate children (resp.
+// candidate split orderings) from features (area/margin/overlap deltas,
+// occupancy) and is rewarded for avoiding enlargement and overlap — the
+// signals that drive query I/O.
+
+#ifndef ML4DB_SPATIAL_RLR_TREE_H_
+#define ML4DB_SPATIAL_RLR_TREE_H_
+
+#include <memory>
+
+#include "ml/qlearning.h"
+#include "spatial/rtree.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// RL-learned insertion policy.
+class RlrPolicy : public RTreePolicy {
+ public:
+  struct Options {
+    size_t top_k = 4;          ///< ChooseSubtree candidates considered
+    double overlap_weight = 3.0;
+    double lr = 0.02;
+    double epsilon = 0.3;      ///< initial exploration while training
+    double epsilon_decay = 0.9995;
+  };
+
+  RlrPolicy(Options options, uint64_t seed);
+
+  /// Training mode: epsilon-greedy exploration + TD updates. Serving mode:
+  /// pure greedy. Train while bulk-inserting a training prefix, then freeze.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  size_t ChooseSubtree(const std::vector<ChildInfo>& children,
+                       const Rect& rect) override;
+  std::vector<size_t> SplitNode(const std::vector<Rect>& rects,
+                                size_t min_fill) override;
+
+  /// Number of TD updates applied so far (diagnostics).
+  size_t updates() const { return updates_; }
+
+ private:
+  static constexpr size_t kChooseFeatures = 6;
+  static constexpr size_t kSplitFeatures = 4;
+  static constexpr size_t kSplitActions = 4;  // sort by xlo/xhi/ylo/yhi
+
+  /// Epsilon-greedy (training) / greedy (serving) pick over candidate
+  /// feature vectors under the shared scorer of `q`.
+  size_t SelectCandidate(ml::LinearQLearner& q,
+                         const std::vector<ml::Vec>& feats, bool explore);
+
+  Options options_;
+  bool training_ = true;
+  size_t updates_ = 0;
+  ml::LinearQLearner choose_q_;
+  ml::LinearQLearner split_q_;
+  Rng rng_{0x515aULL};
+};
+
+/// Convenience: an RTree wired with an RlrPolicy, with a training phase.
+class RlrTree {
+ public:
+  RlrTree(RTree::Options tree_options, RlrPolicy::Options policy_options,
+          uint64_t seed);
+
+  /// Trains the policy by inserting `training_entries` into a *scratch*
+  /// tree with epsilon-greedy exploration (as the RLR-tree paper trains on
+  /// a reference tree), then freezes the policy and resets this tree —
+  /// exploration mistakes never pollute the serving tree. Insert the real
+  /// data afterwards.
+  void TrainAndFreeze(const std::vector<SpatialEntry>& training_entries);
+
+  void Insert(const SpatialEntry& e) { tree_.Insert(e); }
+  QueryStats RangeQuery(const Rect& q) const { return tree_.RangeQuery(q); }
+  QueryStats KnnQuery(const Point& p, size_t k) const {
+    return tree_.KnnQuery(p, k);
+  }
+  const RTree& tree() const { return tree_; }
+  RlrPolicy& policy() { return *policy_; }
+
+ private:
+  RTree::Options tree_options_;
+  std::shared_ptr<RlrPolicy> policy_;
+  RTree tree_;
+};
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_RLR_TREE_H_

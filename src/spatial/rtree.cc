@@ -1,0 +1,472 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ml4db {
+namespace spatial {
+
+// ----------------------------- default policy ------------------------------
+
+size_t RTreePolicy::ChooseSubtree(const std::vector<ChildInfo>& children,
+                                  const Rect& rect) {
+  ML4DB_DCHECK(!children.empty());
+  size_t best = 0;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < children.size(); ++i) {
+    const double enl = Enlargement(children[i].mbr, rect);
+    const double area = children[i].mbr.Area();
+    if (enl < best_enl || (enl == best_enl && area < best_area)) {
+      best = i;
+      best_enl = enl;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> RTreePolicy::SplitNode(const std::vector<Rect>& rects,
+                                           size_t min_fill) {
+  const size_t n = rects.size();
+  ML4DB_DCHECK(n >= 2 * min_fill);
+  // Quadratic pick-seeds: the pair wasting the most area.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double waste =
+          Union(rects[i], rects[j]).Area() - rects[i].Area() - rects[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  std::vector<size_t> group_a = {seed_a};
+  std::vector<size_t> group_b = {seed_b};
+  Rect mbr_a = rects[seed_a];
+  Rect mbr_b = rects[seed_b];
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // Force-assign to honor minimum fill.
+    if (group_a.size() + remaining == min_fill ||
+        group_b.size() + remaining == min_fill) {
+      auto& group = group_a.size() + remaining == min_fill ? group_a : group_b;
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group.push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick-next: entry with max preference difference.
+    size_t pick = n;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = Enlargement(mbr_a, rects[i]);
+      const double db = Enlargement(mbr_b, rects[i]);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    const double da = Enlargement(mbr_a, rects[pick]);
+    const double db = Enlargement(mbr_b, rects[pick]);
+    const bool to_a = da < db || (da == db && group_a.size() < group_b.size());
+    if (to_a) {
+      group_a.push_back(pick);
+      mbr_a = Union(mbr_a, rects[pick]);
+    } else {
+      group_b.push_back(pick);
+      mbr_b = Union(mbr_b, rects[pick]);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+  return group_a;
+}
+
+// --------------------------------- node ------------------------------------
+
+struct RTree::Node {
+  bool leaf = true;
+  Rect mbr = Rect::Empty();
+  Node* parent = nullptr;
+  std::vector<SpatialEntry> entries;               // leaf
+  std::vector<std::unique_ptr<Node>> children;     // inner
+};
+
+RTree::RTree() : RTree(Options{}) {}
+
+RTree::RTree(Options options, std::shared_ptr<RTreePolicy> policy)
+    : options_(options),
+      policy_(policy ? std::move(policy) : std::make_shared<RTreePolicy>()) {
+  ML4DB_CHECK(options_.min_entries >= 2);
+  ML4DB_CHECK(options_.max_entries >= 2 * options_.min_entries);
+  root_ = std::make_unique<Node>();
+  node_count_ = 1;
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+Rect RTree::NodeMbr(const Node* node) const {
+  Rect mbr = Rect::Empty();
+  if (node->leaf) {
+    for (const auto& e : node->entries) mbr = Union(mbr, e.rect);
+  } else {
+    for (const auto& c : node->children) mbr = Union(mbr, c->mbr);
+  }
+  return mbr;
+}
+
+RTree::Node* RTree::ChooseLeaf(const Rect& rect) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    std::vector<RTreePolicy::ChildInfo> infos;
+    infos.reserve(node->children.size());
+    for (const auto& c : node->children) {
+      infos.push_back({c->mbr, c->leaf ? c->entries.size() : c->children.size()});
+    }
+    const size_t pick = policy_->ChooseSubtree(infos, rect);
+    ML4DB_DCHECK(pick < node->children.size());
+    node = node->children[pick].get();
+  }
+  return node;
+}
+
+void RTree::Insert(const SpatialEntry& entry) {
+  leaf_cache_valid_ = false;
+  Node* leaf = ChooseLeaf(entry.rect);
+  leaf->entries.push_back(entry);
+  leaf->mbr = Union(leaf->mbr, entry.rect);
+  ++size_;
+  if (leaf->entries.size() > options_.max_entries) {
+    SplitAndPropagate(leaf);
+  } else {
+    AdjustUpward(leaf->parent);
+  }
+}
+
+void RTree::SplitAndPropagate(Node* node) {
+  while (node != nullptr) {
+    const size_t count =
+        node->leaf ? node->entries.size() : node->children.size();
+    if (count <= options_.max_entries) {
+      AdjustUpward(node);
+      return;
+    }
+    // Collect rects of the overflowing node's members.
+    std::vector<Rect> rects;
+    rects.reserve(count);
+    if (node->leaf) {
+      for (const auto& e : node->entries) rects.push_back(e.rect);
+    } else {
+      for (const auto& c : node->children) rects.push_back(c->mbr);
+    }
+    std::vector<size_t> group_a =
+        policy_->SplitNode(rects, options_.min_entries);
+    std::vector<bool> in_a(count, false);
+    for (size_t i : group_a) {
+      ML4DB_CHECK(i < count);
+      in_a[i] = true;
+    }
+    // Validate the policy respected the fill constraints; fall back to the
+    // classical split if not (keeps learned policies safe).
+    const size_t a_count = group_a.size();
+    if (a_count < options_.min_entries ||
+        count - a_count < options_.min_entries) {
+      RTreePolicy fallback;
+      group_a = fallback.SplitNode(rects, options_.min_entries);
+      in_a.assign(count, false);
+      for (size_t i : group_a) in_a[i] = true;
+    }
+
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+    ++node_count_;
+    if (node->leaf) {
+      std::vector<SpatialEntry> keep;
+      for (size_t i = 0; i < count; ++i) {
+        if (in_a[i]) {
+          keep.push_back(node->entries[i]);
+        } else {
+          sibling->entries.push_back(node->entries[i]);
+        }
+      }
+      node->entries = std::move(keep);
+    } else {
+      std::vector<std::unique_ptr<Node>> keep;
+      for (size_t i = 0; i < count; ++i) {
+        if (in_a[i]) {
+          keep.push_back(std::move(node->children[i]));
+        } else {
+          sibling->children.push_back(std::move(node->children[i]));
+        }
+      }
+      node->children = std::move(keep);
+      for (auto& c : node->children) c->parent = node;
+      for (auto& c : sibling->children) c->parent = sibling.get();
+    }
+    node->mbr = NodeMbr(node);
+    sibling->mbr = NodeMbr(sibling.get());
+
+    if (node->parent == nullptr) {
+      // Grow a new root.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      ++node_count_;
+      sibling->parent = new_root.get();
+      Node* old = root_.release();
+      old->parent = new_root.get();
+      new_root->children.emplace_back(old);
+      new_root->children.push_back(std::move(sibling));
+      new_root->mbr = NodeMbr(new_root.get());
+      root_ = std::move(new_root);
+      return;
+    }
+    sibling->parent = node->parent;
+    node->parent->children.push_back(std::move(sibling));
+    node = node->parent;
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node != nullptr) {
+    node->mbr = NodeMbr(node);
+    node = node->parent;
+  }
+}
+
+void RTree::BulkLoadStr(std::vector<SpatialEntry> entries) {
+  std::vector<std::vector<SpatialEntry>> leaves;
+  const size_t cap = options_.max_entries;  // STR packs nodes full
+  const size_t n = entries.size();
+  if (n == 0) {
+    BuildFromLeafPartition({});
+    return;
+  }
+  const size_t num_leaves = (n + cap - 1) / cap;
+  const size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  std::sort(entries.begin(), entries.end(),
+            [](const SpatialEntry& a, const SpatialEntry& b) {
+              return a.rect.Center().x < b.rect.Center().x;
+            });
+  const size_t per_slice = (n + num_slices - 1) / num_slices;
+  for (size_t s = 0; s < num_slices; ++s) {
+    const size_t lo = s * per_slice;
+    if (lo >= n) break;
+    const size_t hi = std::min(n, lo + per_slice);
+    std::sort(entries.begin() + lo, entries.begin() + hi,
+              [](const SpatialEntry& a, const SpatialEntry& b) {
+                return a.rect.Center().y < b.rect.Center().y;
+              });
+    for (size_t i = lo; i < hi; i += cap) {
+      const size_t end = std::min(hi, i + cap);
+      leaves.emplace_back(entries.begin() + i, entries.begin() + end);
+    }
+  }
+  BuildFromLeafPartition(leaves);
+}
+
+void RTree::BuildFromLeafPartition(
+    const std::vector<std::vector<SpatialEntry>>& leaves) {
+  leaf_cache_valid_ = false;
+  size_ = 0;
+  node_count_ = 0;
+  std::vector<std::unique_ptr<Node>> level;
+  for (const auto& part : leaves) {
+    if (part.empty()) continue;
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->entries = part;
+    leaf->mbr = NodeMbr(leaf.get());
+    size_ += part.size();
+    ++node_count_;
+    level.push_back(std::move(leaf));
+  }
+  if (level.empty()) {
+    root_ = std::make_unique<Node>();
+    node_count_ = 1;
+    return;
+  }
+  // Pack upper levels by STR over child MBR centers.
+  while (level.size() > 1) {
+    const size_t cap = options_.max_entries;
+    const size_t num_parents = (level.size() + cap - 1) / cap;
+    const size_t num_slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    std::sort(level.begin(), level.end(),
+              [](const auto& a, const auto& b) {
+                return a->mbr.Center().x < b->mbr.Center().x;
+              });
+    std::vector<std::unique_ptr<Node>> parents;
+    const size_t per_slice = (level.size() + num_slices - 1) / num_slices;
+    for (size_t s = 0; s < num_slices; ++s) {
+      const size_t lo = s * per_slice;
+      if (lo >= level.size()) break;
+      const size_t hi = std::min(level.size(), lo + per_slice);
+      std::sort(level.begin() + lo, level.begin() + hi,
+                [](const auto& a, const auto& b) {
+                  return a->mbr.Center().y < b->mbr.Center().y;
+                });
+      for (size_t i = lo; i < hi; i += cap) {
+        const size_t end = std::min(hi, i + cap);
+        auto parent = std::make_unique<Node>();
+        parent->leaf = false;
+        ++node_count_;
+        for (size_t j = i; j < end; ++j) {
+          level[j]->parent = parent.get();
+          parent->children.push_back(std::move(level[j]));
+        }
+        parent->mbr = NodeMbr(parent.get());
+        parents.push_back(std::move(parent));
+      }
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+  root_->parent = nullptr;
+}
+
+QueryStats RTree::RangeQuery(const Rect& query) const {
+  QueryStats stats;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++stats.nodes_accessed;
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        if (query.Intersects(e.rect)) stats.results.push_back(e.id);
+      }
+    } else {
+      for (const auto& c : node->children) {
+        if (query.Intersects(c->mbr)) stack.push_back(c.get());
+      }
+    }
+  }
+  return stats;
+}
+
+QueryStats RTree::KnnQuery(const Point& p, size_t k) const {
+  QueryStats stats;
+  if (k == 0 || size_ == 0) return stats;
+  // Best-first search over nodes and entries.
+  struct Item {
+    double dist2;
+    const Node* node;     // null for entry items
+    uint64_t id;
+    bool operator>(const Item& o) const { return dist2 > o.dist2; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({MinDist2(p, root_->mbr), root_.get(), 0});
+  while (!pq.empty() && stats.results.size() < k) {
+    const Item item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      stats.results.push_back(item.id);
+      continue;
+    }
+    ++stats.nodes_accessed;
+    if (item.node->leaf) {
+      for (const auto& e : item.node->entries) {
+        pq.push({MinDist2(p, e.rect), nullptr, e.id});
+      }
+    } else {
+      for (const auto& c : item.node->children) {
+        pq.push({MinDist2(p, c->mbr), c.get(), 0});
+      }
+    }
+  }
+  return stats;
+}
+
+int RTree::Height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+double RTree::ExpectedNodeAccesses(const std::vector<Rect>& query_sample) const {
+  if (query_sample.empty()) return 0.0;
+  double total = 0.0;
+  std::vector<const Node*> stack = {root_.get()};
+  std::vector<const Node*> all;
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    all.push_back(n);
+    if (!n->leaf) {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  for (const Rect& q : query_sample) {
+    for (const Node* n : all) {
+      if (q.Intersects(n->mbr)) total += 1.0;
+    }
+  }
+  return total / static_cast<double>(query_sample.size());
+}
+
+void RTree::VisitLeaves(
+    const std::function<void(size_t, const Rect&,
+                             const std::vector<SpatialEntry>&)>& fn) const {
+  if (!leaf_cache_valid_) {
+    leaf_cache_.clear();
+    std::vector<const Node*> stack = {root_.get()};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (n->leaf) {
+        leaf_cache_.push_back(n);
+      } else {
+        for (const auto& c : n->children) stack.push_back(c.get());
+      }
+    }
+    // Stable order: sort by MBR lower corner for reproducibility.
+    std::sort(leaf_cache_.begin(), leaf_cache_.end(),
+              [](const Node* a, const Node* b) {
+                if (a->mbr.xlo != b->mbr.xlo) return a->mbr.xlo < b->mbr.xlo;
+                return a->mbr.ylo < b->mbr.ylo;
+              });
+    leaf_cache_valid_ = true;
+  }
+  for (size_t i = 0; i < leaf_cache_.size(); ++i) {
+    fn(i, leaf_cache_[i]->mbr, leaf_cache_[i]->entries);
+  }
+}
+
+QueryStats RTree::RangeQueryLeaves(const Rect& query,
+                                   const std::vector<size_t>& leaf_ids) const {
+  QueryStats stats;
+  // Ensure the cache exists.
+  if (!leaf_cache_valid_) {
+    VisitLeaves([](size_t, const Rect&, const std::vector<SpatialEntry>&) {});
+  }
+  for (size_t id : leaf_ids) {
+    if (id >= leaf_cache_.size()) continue;
+    ++stats.nodes_accessed;
+    for (const auto& e : leaf_cache_[id]->entries) {
+      if (query.Intersects(e.rect)) stats.results.push_back(e.id);
+    }
+  }
+  return stats;
+}
+
+}  // namespace spatial
+}  // namespace ml4db

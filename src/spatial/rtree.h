@@ -1,0 +1,134 @@
+// R-tree with pluggable insertion policies — the classical spatial index
+// the paper's ML-enhanced methods build on (§3.2). The ChooseSubtree and
+// SplitNode heuristics are virtual, which is exactly the surface RLR-tree
+// (reinforcement-learned) and RW-tree (workload-aware) replace; PLATON
+// replaces the bulk-loading partitioner; AI+R wraps the search path.
+//
+// Query methods report node accesses — the I/O-proxy metric the R-tree
+// literature (and our benchmarks) compare on.
+
+#ifndef ML4DB_SPATIAL_RTREE_H_
+#define ML4DB_SPATIAL_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "spatial/geometry.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// A data entry: rectangle (or point) plus payload id.
+struct SpatialEntry {
+  Rect rect;
+  uint64_t id = 0;
+};
+
+/// Result of a spatial query plus the access cost incurred.
+struct QueryStats {
+  std::vector<uint64_t> results;
+  size_t nodes_accessed = 0;
+};
+
+class RTree;
+
+/// Insertion heuristics. Implementations must be deterministic given their
+/// internal state; the tree calls them under its own locks-free usage.
+class RTreePolicy {
+ public:
+  virtual ~RTreePolicy() = default;
+
+  /// Context handed to ChooseSubtree: candidate child MBRs and fills.
+  struct ChildInfo {
+    Rect mbr;
+    size_t num_entries;
+  };
+
+  /// Picks which child of an internal node receives `rect`.
+  /// Default: minimum area enlargement, ties by smaller area (Guttman).
+  virtual size_t ChooseSubtree(const std::vector<ChildInfo>& children,
+                               const Rect& rect);
+
+  /// Splits an overflowing entry set into two groups (returning the index
+  /// set of the first group; the rest form the second). Both groups must be
+  /// non-empty and respect a minimum fill of `min_fill` entries.
+  /// Default: Guttman's quadratic split.
+  virtual std::vector<size_t> SplitNode(const std::vector<Rect>& rects,
+                                        size_t min_fill);
+};
+
+/// R-tree over rectangles with range and KNN queries.
+class RTree {
+ public:
+  struct Options {
+    size_t max_entries = 32;  ///< node capacity
+    size_t min_entries = 8;   ///< min fill after split
+  };
+
+  RTree();  // default options + classical policy
+  explicit RTree(Options options, std::shared_ptr<RTreePolicy> policy = nullptr);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Inserts one entry.
+  void Insert(const SpatialEntry& entry);
+
+  /// Sort-Tile-Recursive bulk loading (replaces current contents).
+  void BulkLoadStr(std::vector<SpatialEntry> entries);
+
+  /// Builds the tree from an explicit leaf partition (each inner vector
+  /// becomes one leaf); upper levels are packed by STR over leaf MBRs.
+  /// PLATON's integration point.
+  void BuildFromLeafPartition(const std::vector<std::vector<SpatialEntry>>& leaves);
+
+  /// All entry ids whose rect intersects `query`.
+  QueryStats RangeQuery(const Rect& query) const;
+
+  /// The k nearest entries (by rect min-distance) to `p`. Exact best-first.
+  QueryStats KnnQuery(const Point& p, size_t k) const;
+
+  size_t size() const { return size_; }
+  size_t num_nodes() const { return node_count_; }
+  int Height() const;
+
+  /// Sum over all nodes of P(random workload query intersects node MBR),
+  /// approximated over a sample of query rects: the expected node accesses
+  /// per query. The objective PLATON/RW-tree optimize.
+  double ExpectedNodeAccesses(const std::vector<Rect>& query_sample) const;
+
+  /// Walks all leaf MBRs (AI+R needs leaf identity).
+  void VisitLeaves(
+      const std::function<void(size_t leaf_id, const Rect& mbr,
+                               const std::vector<SpatialEntry>& entries)>& fn)
+      const;
+
+  /// Range query restricted to the given leaf ids (AI+R's routed search);
+  /// nodes_accessed counts only the visited leaves.
+  QueryStats RangeQueryLeaves(const Rect& query,
+                              const std::vector<size_t>& leaf_ids) const;
+
+ private:
+  struct Node;
+
+  Node* ChooseLeaf(const Rect& rect);
+  void SplitAndPropagate(Node* node);
+  void AdjustUpward(Node* node);
+  Rect NodeMbr(const Node* node) const;
+
+  Options options_;
+  std::shared_ptr<RTreePolicy> policy_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+  mutable std::vector<const Node*> leaf_cache_;  // rebuilt lazily
+  mutable bool leaf_cache_valid_ = false;
+};
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_RTREE_H_

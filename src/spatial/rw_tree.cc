@@ -1,0 +1,79 @@
+#include "spatial/rw_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ml4db {
+namespace spatial {
+
+size_t RwPolicy::ChooseSubtree(const std::vector<ChildInfo>& children,
+                               const Rect& rect) {
+  // Lexicographic: minimize the increase in expected query hits of the
+  // child MBR; ties (common when MBRs are small relative to queries) fall
+  // back to the geometric default, which keeps the tree healthy where the
+  // workload model is indifferent.
+  size_t best = 0;
+  double best_delta = std::numeric_limits<double>::infinity();
+  double best_geo = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < children.size(); ++i) {
+    const Rect enlarged = Union(children[i].mbr, rect);
+    const double delta = HitCount(enlarged) - HitCount(children[i].mbr);
+    const double geo =
+        Enlargement(children[i].mbr, rect) + 0.05 * children[i].mbr.Area();
+    if (delta < best_delta || (delta == best_delta && geo < best_geo)) {
+      best = i;
+      best_delta = delta;
+      best_geo = geo;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> RwPolicy::SplitNode(const std::vector<Rect>& rects,
+                                        size_t min_fill) {
+  const size_t n = rects.size();
+  // Evaluate axis orderings × split positions by expected workload hits of
+  // the two group MBRs (the learned cost model), pick the cheapest.
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<size_t> best_group;
+  for (int mode = 0; mode < 4; ++mode) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      switch (mode) {
+        case 0: return rects[a].xlo < rects[b].xlo;
+        case 1: return rects[a].xhi < rects[b].xhi;
+        case 2: return rects[a].ylo < rects[b].ylo;
+        default: return rects[a].yhi < rects[b].yhi;
+      }
+    });
+    std::vector<Rect> prefix(n), suffix(n);
+    Rect acc = Rect::Empty();
+    for (size_t i = 0; i < n; ++i) {
+      acc = Union(acc, rects[order[i]]);
+      prefix[i] = acc;
+    }
+    acc = Rect::Empty();
+    for (size_t i = n; i-- > 0;) {
+      acc = Union(acc, rects[order[i]]);
+      suffix[i] = acc;
+    }
+    for (size_t split = min_fill; split + min_fill <= n; ++split) {
+      const Rect& a = prefix[split - 1];
+      const Rect& b = suffix[split];
+      // Workload hits dominate; geometric quality (overlap + area) breaks
+      // the frequent all-zero-hit ties so splits stay healthy where the
+      // workload model is indifferent.
+      const double geo = IntersectionArea(a, b) * 10.0 + a.Area() + b.Area();
+      const double cost = (HitCount(a) + HitCount(b)) + geo * 1e-3;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_group.assign(order.begin(), order.begin() + split);
+      }
+    }
+  }
+  return best_group;
+}
+
+}  // namespace spatial
+}  // namespace ml4db

@@ -1,0 +1,75 @@
+// RW-tree (Dong et al. 2022; paper §3.2, ML-enhanced insertion): a
+// workload-aware R-tree. ChooseSubtree and SplitNode are optimized against
+// a learned cost model of the *historical query workload*: the cost of an
+// MBR is the (sample-estimated) probability that a workload query
+// intersects it, so insertion decisions minimize expected query I/O for
+// the workload actually observed rather than generic geometric proxies.
+
+#ifndef ML4DB_SPATIAL_RW_TREE_H_
+#define ML4DB_SPATIAL_RW_TREE_H_
+
+#include <memory>
+
+#include "spatial/rtree.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// Workload-aware insertion policy driven by a query sample.
+class RwPolicy : public RTreePolicy {
+ public:
+  /// @param query_sample historical workload sample (the learned cost
+  ///        model's training data); kept by value.
+  explicit RwPolicy(std::vector<Rect> query_sample)
+      : queries_(std::move(query_sample)) {
+    ML4DB_CHECK(!queries_.empty());
+  }
+
+  /// Expected number of sample queries hitting `r` (the cost model).
+  double HitCount(const Rect& r) const {
+    double hits = 0.0;
+    for (const auto& q : queries_) {
+      if (q.Intersects(r)) hits += 1.0;
+    }
+    return hits;
+  }
+
+  size_t ChooseSubtree(const std::vector<ChildInfo>& children,
+                       const Rect& rect) override;
+  std::vector<size_t> SplitNode(const std::vector<Rect>& rects,
+                                size_t min_fill) override;
+
+  /// Replaces the workload sample (adaptation to workload shift).
+  void UpdateWorkload(std::vector<Rect> query_sample) {
+    ML4DB_CHECK(!query_sample.empty());
+    queries_ = std::move(query_sample);
+  }
+
+ private:
+  std::vector<Rect> queries_;
+};
+
+/// An RTree wired with an RwPolicy.
+class RwTree {
+ public:
+  RwTree(RTree::Options tree_options, std::vector<Rect> query_sample)
+      : policy_(std::make_shared<RwPolicy>(std::move(query_sample))),
+        tree_(tree_options, policy_) {}
+
+  void Insert(const SpatialEntry& e) { tree_.Insert(e); }
+  QueryStats RangeQuery(const Rect& q) const { return tree_.RangeQuery(q); }
+  QueryStats KnnQuery(const Point& p, size_t k) const {
+    return tree_.KnnQuery(p, k);
+  }
+  const RTree& tree() const { return tree_; }
+  RwPolicy& policy() { return *policy_; }
+
+ private:
+  std::shared_ptr<RwPolicy> policy_;
+  RTree tree_;
+};
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_RW_TREE_H_

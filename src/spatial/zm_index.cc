@@ -1,0 +1,98 @@
+#include "spatial/zm_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace spatial {
+
+ZmIndex::ZmIndex(size_t epsilon, int bits) : epsilon_(epsilon), bits_(bits) {}
+
+Status ZmIndex::Build(const std::vector<Point>& points,
+                      const std::vector<uint64_t>& ids) {
+  if (points.size() != ids.size()) {
+    return Status::InvalidArgument("points/ids size mismatch");
+  }
+  const size_t n = points.size();
+  std::vector<size_t> order(n);
+  std::vector<int64_t> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    z[i] = static_cast<int64_t>(ZOrder(points[i], bits_));
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return z[a] < z[b]; });
+  points_.resize(n);
+  ids_.resize(n);
+  zvals_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    points_[i] = points[order[i]];
+    ids_[i] = ids[order[i]];
+    zvals_[i] = z[order[i]];
+  }
+  // The PGM requires strictly increasing keys; co-located points share a
+  // z-value, so index unique z-values and scan duplicates at query time.
+  std::vector<learned_index::Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 || zvals_[i] != zvals_[i - 1]) {
+      entries.push_back({zvals_[i], i});
+    }
+  }
+  pgm_ = std::make_unique<learned_index::PgmIndex>(epsilon_);
+  return pgm_->BulkLoad(entries);
+}
+
+QueryStats ZmIndex::RangeQuery(const Rect& query) const {
+  QueryStats stats;
+  if (points_.empty()) return stats;
+  const int64_t zlo =
+      static_cast<int64_t>(ZOrder({query.xlo, query.ylo}, bits_));
+  const int64_t zhi =
+      static_cast<int64_t>(ZOrder({query.xhi, query.yhi}, bits_));
+  // All points in the query box have z in [zlo, zhi] (Z-order property for
+  // the corner codes); the interval also contains non-matching candidates
+  // which we filter out.
+  const auto first_positions = pgm_->RangeScan(zlo, zhi);
+  size_t inspected = 0;
+  if (!first_positions.empty()) {
+    size_t i = static_cast<size_t>(first_positions.front());
+    for (; i < points_.size() && zvals_[i] <= zhi; ++i) {
+      ++inspected;
+      if (query.ContainsPoint(points_[i])) stats.results.push_back(ids_[i]);
+    }
+  }
+  // Page-granularity access proxy (64 candidates per "page") plus the
+  // learned-index probe itself.
+  stats.nodes_accessed = 1 + inspected / 64;
+  return stats;
+}
+
+QueryStats ZmIndex::KnnQuery(const Point& p, size_t k,
+                             size_t window_factor) const {
+  QueryStats stats;
+  if (points_.empty() || k == 0) return stats;
+  const int64_t zq = static_cast<int64_t>(ZOrder(p, bits_));
+  const size_t center = pgm_->LowerBoundPos(zq);
+  const size_t window = std::max<size_t>(k * window_factor, k);
+  const size_t lo = center > window ? center - window : 0;
+  const size_t hi = std::min(points_.size(), center + window);
+  std::vector<std::pair<double, uint64_t>> cand;
+  for (size_t i = lo; i < hi; ++i) {
+    cand.emplace_back(Dist2(p, points_[i]), ids_[i]);
+  }
+  std::sort(cand.begin(), cand.end());
+  for (size_t i = 0; i < std::min(cand.size(), k); ++i) {
+    stats.results.push_back(cand[i].second);
+  }
+  stats.nodes_accessed = 1 + (hi - lo) / 64;
+  return stats;
+}
+
+size_t ZmIndex::StructureBytes() const {
+  return (pgm_ ? pgm_->StructureBytes() : 0) +
+         points_.size() * (sizeof(Point) + sizeof(uint64_t) + sizeof(int64_t));
+}
+
+}  // namespace spatial
+}  // namespace ml4db

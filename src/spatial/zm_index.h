@@ -1,0 +1,59 @@
+// ZM-index (Wang et al. 2019) — the first learned spatial index (paper
+// §3.2, replacement paradigm): linearize points by Z-order, learn the CDF
+// of z-values (we use the ε-bounded PGM as the 1-d learned index), and
+// answer spatial queries through the 1-d structure.
+//
+// Faithful limitations (the paper's generalization critique):
+//  * point data only — no rectangles;
+//  * KNN is approximate: it inspects a z-order window around the query
+//    point, which can miss true neighbors across Z-curve discontinuities.
+
+#ifndef ML4DB_SPATIAL_ZM_INDEX_H_
+#define ML4DB_SPATIAL_ZM_INDEX_H_
+
+#include <memory>
+
+#include "learned_index/pgm_index.h"
+#include "spatial/rtree.h"
+
+namespace ml4db {
+namespace spatial {
+
+/// Learned Z-order spatial index over points.
+class ZmIndex {
+ public:
+  /// @param epsilon  PGM error bound on z-value positions
+  /// @param bits     Z-curve resolution bits per dimension
+  explicit ZmIndex(size_t epsilon = 32, int bits = 20);
+
+  /// Builds from points; ids are payloads.
+  Status Build(const std::vector<Point>& points,
+               const std::vector<uint64_t>& ids);
+
+  /// Exact range query: scans the z-interval [z(lo), z(hi)] through the
+  /// learned index and filters to the query rectangle. `nodes_accessed`
+  /// counts inspected candidates / 64 (a page-granularity proxy comparable
+  /// to R-tree node accesses).
+  QueryStats RangeQuery(const Rect& query) const;
+
+  /// Approximate KNN: the k nearest among a z-order window of
+  /// `window_factor * k` candidates around the query point.
+  QueryStats KnnQuery(const Point& p, size_t k, size_t window_factor = 8) const;
+
+  size_t size() const { return points_.size(); }
+  size_t StructureBytes() const;
+
+ private:
+  size_t epsilon_;
+  int bits_;
+  std::unique_ptr<learned_index::PgmIndex> pgm_;
+  // Data ordered by z-value.
+  std::vector<Point> points_;
+  std::vector<uint64_t> ids_;
+  std::vector<int64_t> zvals_;
+};
+
+}  // namespace spatial
+}  // namespace ml4db
+
+#endif  // ML4DB_SPATIAL_ZM_INDEX_H_

@@ -1,0 +1,143 @@
+#include "survey/corpus.h"
+
+#include <cstdio>
+#include <map>
+
+namespace ml4db {
+namespace survey {
+
+const char* ComponentName(Component c) {
+  return c == Component::kIndex ? "index" : "query_optimizer";
+}
+
+const char* ParadigmName(Paradigm p) {
+  return p == Paradigm::kReplacement ? "replacement" : "ml_enhanced";
+}
+
+const std::vector<Publication>& Corpus() {
+  static const std::vector<Publication> kCorpus = {
+      // ----- learned indexes: replacement era -----
+      {"RMI (case for learned index structures)", "SIGMOD", 2018,
+       Component::kIndex, Paradigm::kReplacement},
+      {"FITing-Tree", "SIGMOD", 2019, Component::kIndex,
+       Paradigm::kReplacement},
+      {"ZM-index (learned index for spatial queries)", "MDM", 2019,
+       Component::kIndex, Paradigm::kReplacement},
+      {"Flood (multi-dim learned index)", "SIGMOD", 2020, Component::kIndex,
+       Paradigm::kReplacement},
+      {"LISA", "SIGMOD", 2020, Component::kIndex, Paradigm::kReplacement},
+      {"RSMI (effectively learning spatial indices)", "VLDB", 2020,
+       Component::kIndex, Paradigm::kReplacement},
+      {"PGM-index", "VLDB", 2020, Component::kIndex, Paradigm::kReplacement},
+      {"RadixSpline", "aiDM@SIGMOD", 2020, Component::kIndex,
+       Paradigm::kReplacement},
+      {"Tsunami", "VLDB", 2021, Component::kIndex, Paradigm::kReplacement},
+      {"LIPP (updatable learned index with precise positions)", "VLDB", 2021,
+       Component::kIndex, Paradigm::kReplacement},
+      {"NFL (normalizing-flow learned index)", "VLDB", 2022,
+       Component::kIndex, Paradigm::kReplacement},
+      {"DILI (distribution-driven learned index)", "VLDB", 2023,
+       Component::kIndex, Paradigm::kReplacement},
+
+      // ----- learned indexes: ML-enhanced era -----
+      {"ALEX (updatable adaptive learned index)", "SIGMOD", 2020,
+       Component::kIndex, Paradigm::kMlEnhanced},
+      {"APEX (learned index on persistent memory)", "VLDB", 2021,
+       Component::kIndex, Paradigm::kMlEnhanced},
+      {"Learned-index benefit estimation", "VLDB", 2022, Component::kIndex,
+       Paradigm::kMlEnhanced},
+      {"RW-Tree (workload-aware R-tree construction)", "ICDE", 2022,
+       Component::kIndex, Paradigm::kMlEnhanced},
+      {"AI+R tree", "MDM", 2022, Component::kIndex, Paradigm::kMlEnhanced},
+      {"RLR-Tree (RL-based R-tree)", "SIGMOD", 2023, Component::kIndex,
+       Paradigm::kMlEnhanced},
+      {"PLATON (top-down R-tree packing, learned partition policy)",
+       "SIGMOD", 2023, Component::kIndex, Paradigm::kMlEnhanced},
+      {"Piecewise space-filling curves", "VLDB", 2023, Component::kIndex,
+       Paradigm::kMlEnhanced},
+      {"Learned index with dynamic epsilon", "VLDB", 2023, Component::kIndex,
+       Paradigm::kMlEnhanced},
+
+      // ----- learned query optimizers: replacement era -----
+      {"DQ (learning to optimize join queries)", "arXiv/SIGMOD-wksp", 2018,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+      {"ReJOIN (DRL for join order enumeration)", "aiDM@SIGMOD", 2018,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+      {"SkinnerDB (adaptive query processing via RL)", "SIGMOD", 2019,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+      {"Neo (learned query optimizer)", "VLDB", 2019,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+      {"RTOS (RL with TreeLSTM for join order)", "ICDE", 2020,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+      {"Balsa (learning without expert demonstrations)", "SIGMOD", 2022,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+      {"HybridQO (cost/latency hybrid learned optimizer)", "VLDB", 2022,
+       Component::kQueryOptimizer, Paradigm::kReplacement},
+
+      // ----- learned query optimizers: ML-enhanced era -----
+      {"Bao (bandit optimizer)", "SIGMOD", 2021, Component::kQueryOptimizer,
+       Paradigm::kMlEnhanced},
+      {"Steering query optimizers (big-data workloads)", "SIGMOD", 2021,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"Deploying Bao at Microsoft (production steering)", "SIGMOD", 2022,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"QueryFormer (tree transformer plan representation)", "VLDB", 2022,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"Lero (learning-to-rank query optimizer)", "VLDB", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"LEON (ML-aided query optimization)", "VLDB", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"AutoSteer (learned optimization for any SQL database)", "VLDB", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"Kepler (robust parametric query optimization)", "SIGMOD", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"ParamTree (rethinking learned cost models)", "SIGMOD", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"Eraser (robustness layer for learned optimizers)", "VLDB", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+      {"Lemo (cache-enhanced learned optimizer)", "SIGMOD", 2023,
+       Component::kQueryOptimizer, Paradigm::kMlEnhanced},
+  };
+  return kCorpus;
+}
+
+std::vector<TrendCell> PublicationTrend(Component component) {
+  std::map<int, TrendCell> by_year;
+  for (int year = 2018; year <= 2023; ++year) {
+    by_year[year] = TrendCell{year, component, 0, 0};
+  }
+  for (const auto& pub : Corpus()) {
+    if (pub.component != component) continue;
+    auto it = by_year.find(pub.year);
+    if (it == by_year.end()) continue;
+    if (pub.paradigm == Paradigm::kReplacement) {
+      ++it->second.replacement;
+    } else {
+      ++it->second.enhanced;
+    }
+  }
+  std::vector<TrendCell> out;
+  for (const auto& [year, cell] : by_year) out.push_back(cell);
+  return out;
+}
+
+std::string RenderTrendTable() {
+  std::string out;
+  out += "Figure 1: publication trend, replacement vs ML-enhanced\n";
+  out += "year | index: repl  enh | QO: repl  enh\n";
+  out += "-----+------------------+---------------\n";
+  const auto index_trend = PublicationTrend(Component::kIndex);
+  const auto qo_trend = PublicationTrend(Component::kQueryOptimizer);
+  for (size_t i = 0; i < index_trend.size(); ++i) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%d |       %2d   %2d  |     %2d   %2d\n",
+                  index_trend[i].year, index_trend[i].replacement,
+                  index_trend[i].enhanced, qo_trend[i].replacement,
+                  qo_trend[i].enhanced);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace survey
+}  // namespace ml4db

@@ -1,0 +1,54 @@
+// The survey corpus behind Figure 1 (paper §1): learned-index and
+// learned-query-optimizer publications at SIGMOD/VLDB (plus the venues the
+// tutorial's reference list draws on), each labeled with the component it
+// targets and the paradigm it follows. Figure 1 is a count over such a
+// reading list; we embed the list as data and regenerate the counts.
+
+#ifndef ML4DB_SURVEY_CORPUS_H_
+#define ML4DB_SURVEY_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace ml4db {
+namespace survey {
+
+/// Database component a publication targets.
+enum class Component { kIndex, kQueryOptimizer };
+
+/// Paradigm per the tutorial's taxonomy.
+enum class Paradigm { kReplacement, kMlEnhanced };
+
+const char* ComponentName(Component c);
+const char* ParadigmName(Paradigm p);
+
+/// One surveyed publication.
+struct Publication {
+  std::string name;
+  std::string venue;
+  int year;
+  Component component;
+  Paradigm paradigm;
+};
+
+/// The embedded corpus (2018–2023).
+const std::vector<Publication>& Corpus();
+
+/// Counts for one (year, component, paradigm) cell of Figure 1.
+struct TrendCell {
+  int year;
+  Component component;
+  int replacement = 0;
+  int enhanced = 0;
+};
+
+/// Figure 1 data: per-year counts for each component.
+std::vector<TrendCell> PublicationTrend(Component component);
+
+/// Renders Figure 1 as an ASCII table (one row per year).
+std::string RenderTrendTable();
+
+}  // namespace survey
+}  // namespace ml4db
+
+#endif  // ML4DB_SURVEY_CORPUS_H_

@@ -1,0 +1,98 @@
+#include "workload/data_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace workload {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kNormal: return "normal";
+    case Distribution::kLognormal: return "lognormal";
+    case Distribution::kZipf: return "zipf";
+    case Distribution::kClustered: return "clustered";
+    case Distribution::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+std::vector<int64_t> GenerateKeys(size_t n, const DataGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<int64_t> keys(n);
+  const double maxv = static_cast<double>(options.max_value);
+  auto clamp = [&](double v) {
+    return static_cast<int64_t>(Clamp(v, 0.0, maxv - 1.0));
+  };
+  switch (options.distribution) {
+    case Distribution::kUniform:
+      for (auto& k : keys) {
+        k = static_cast<int64_t>(rng.NextUint64(options.max_value));
+      }
+      break;
+    case Distribution::kNormal:
+      for (auto& k : keys) {
+        k = clamp(rng.Gaussian(maxv / 2, maxv / 8));
+      }
+      break;
+    case Distribution::kLognormal: {
+      // Scale so the body of the distribution covers ~the domain.
+      const double mu = std::log(maxv) - 4.0;
+      for (auto& k : keys) {
+        k = clamp(std::exp(rng.Gaussian(mu, 1.0)));
+      }
+      break;
+    }
+    case Distribution::kZipf: {
+      ZipfSampler zipf(options.max_value, options.zipf_theta);
+      for (auto& k : keys) {
+        k = static_cast<int64_t>(zipf.Sample(rng));
+      }
+      break;
+    }
+    case Distribution::kClustered: {
+      std::vector<double> centers(options.num_clusters);
+      for (auto& c : centers) c = rng.Uniform(0.0, maxv);
+      const double sd = options.cluster_stddev * maxv;
+      for (auto& k : keys) {
+        const double c = centers[rng.NextUint64(centers.size())];
+        k = clamp(rng.Gaussian(c, sd));
+      }
+      break;
+    }
+    case Distribution::kSequential: {
+      const double step = maxv / static_cast<double>(std::max<size_t>(n, 1));
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = clamp(static_cast<double>(i) * step +
+                        rng.Uniform(0.0, step * 0.5));
+      }
+      break;
+    }
+  }
+  return keys;
+}
+
+std::vector<int64_t> GenerateSortedUniqueKeys(size_t n,
+                                              const DataGenOptions& options) {
+  // Oversample to survive dedup, then trim.
+  DataGenOptions opts = options;
+  std::vector<int64_t> keys = GenerateKeys(n + n / 4 + 16, opts);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  uint64_t bump = options.seed;
+  while (keys.size() < n) {  // rare: refill with fresh samples
+    opts.seed = SplitMix64(bump);
+    std::vector<int64_t> more = GenerateKeys(n, opts);
+    keys.insert(keys.end(), more.begin(), more.end());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  keys.resize(n);
+  return keys;
+}
+
+}  // namespace workload
+}  // namespace ml4db

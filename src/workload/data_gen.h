@@ -1,0 +1,50 @@
+// Key/value generators for synthetic data — the distribution sweeps
+// (uniform / zipf / normal-clusters / lognormal) that learned-index and
+// cardinality-estimation papers evaluate on.
+
+#ifndef ML4DB_WORKLOAD_DATA_GEN_H_
+#define ML4DB_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ml4db {
+namespace workload {
+
+/// Families of key distributions.
+enum class Distribution {
+  kUniform,     ///< uniform over [0, max)
+  kNormal,      ///< single Gaussian cluster
+  kLognormal,   ///< heavy right tail (the classic learned-index stressor)
+  kZipf,        ///< value = zipf rank (frequency-skewed, many duplicates)
+  kClustered,   ///< mixture of Gaussian clusters
+  kSequential,  ///< 0..n-1 with small jitter (append-style keys)
+};
+
+const char* DistributionName(Distribution d);
+
+/// Options for GenerateKeys.
+struct DataGenOptions {
+  Distribution distribution = Distribution::kUniform;
+  uint64_t max_value = 1'000'000'000ULL;  ///< value domain upper bound
+  double zipf_theta = 1.1;
+  int num_clusters = 10;          ///< for kClustered
+  double cluster_stddev = 1e-3;   ///< relative to max_value
+  uint64_t seed = 42;
+};
+
+/// Generates `n` int64 keys (unsorted) from the configured distribution,
+/// clamped to [0, max_value).
+std::vector<int64_t> GenerateKeys(size_t n, const DataGenOptions& options);
+
+/// Sorted + deduplicated variant (what index bulk-loading consumes).
+std::vector<int64_t> GenerateSortedUniqueKeys(size_t n,
+                                              const DataGenOptions& options);
+
+}  // namespace workload
+}  // namespace ml4db
+
+#endif  // ML4DB_WORKLOAD_DATA_GEN_H_

@@ -1,0 +1,147 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+namespace ml4db {
+namespace workload {
+
+using engine::ColumnRef;
+using engine::CompareOp;
+using engine::FilterPredicate;
+using engine::JoinPredicate;
+using engine::Query;
+
+QueryGenerator::QueryGenerator(const SyntheticSchema* schema,
+                               QueryGenOptions options)
+    : schema_(schema), options_(options), rng_(options.seed) {
+  ML4DB_CHECK(schema != nullptr);
+  ML4DB_CHECK(options.min_tables >= 1 &&
+              options.min_tables <= options.max_tables);
+}
+
+void QueryGenerator::AddJoins(const std::vector<int>& schema_tables,
+                              Query* q) const {
+  if (schema_->topology == Topology::kStar) {
+    // schema_tables[0] must be the fact table (index 0); every dim joins
+    // fact.fk_{dim-1} = dim.id.
+    ML4DB_CHECK(schema_tables[0] == 0);
+    for (size_t s = 1; s < schema_tables.size(); ++s) {
+      const int dim_index = schema_tables[s];  // >= 1
+      JoinPredicate j;
+      j.left = ColumnRef{0, 1 + (dim_index - 1)};  // fact fk column
+      j.right = ColumnRef{static_cast<int>(s), schema_->pk_column[dim_index]};
+      q->joins.push_back(j);
+    }
+  } else {
+    // Chain: consecutive links join fk -> next pk.
+    for (size_t s = 0; s + 1 < schema_tables.size(); ++s) {
+      const int t = schema_tables[s];
+      ML4DB_CHECK(schema_->fk_target[t] == schema_tables[s + 1]);
+      JoinPredicate j;
+      j.left = ColumnRef{static_cast<int>(s), schema_->fk_column[t]};
+      j.right = ColumnRef{static_cast<int>(s) + 1,
+                          schema_->pk_column[schema_tables[s + 1]]};
+      q->joins.push_back(j);
+    }
+  }
+}
+
+FilterPredicate QueryGenerator::MakeFilter(int slot, int column) {
+  FilterPredicate f;
+  f.table_slot = slot;
+  f.column = column;
+  const double domain = static_cast<double>(schema_->attr_domain);
+  if (rng_.Bernoulli(options_.eq_filter_prob)) {
+    f.op = CompareOp::kEq;
+    f.value = static_cast<double>(
+        rng_.NextUint64(static_cast<uint64_t>(schema_->attr_domain)));
+  } else {
+    const double sel = rng_.Uniform(options_.sel_min, options_.sel_max);
+    const double width = sel * domain;
+    const double lo = rng_.Uniform(0.0, std::max(domain - width, 1.0));
+    f.op = CompareOp::kBetween;
+    f.value = lo;
+    f.value2 = lo + width;
+  }
+  return f;
+}
+
+QueryTemplate QueryGenerator::MakeTemplate() {
+  QueryTemplate tmpl;
+  const int total_tables = static_cast<int>(schema_->table_names.size());
+  const int want = static_cast<int>(
+      rng_.UniformInt(options_.min_tables,
+                      std::min(options_.max_tables, total_tables)));
+  if (schema_->topology == Topology::kStar) {
+    tmpl.schema_tables.push_back(0);
+    // Pick want-1 distinct dimensions.
+    std::vector<int> dims;
+    for (int i = 1; i < total_tables; ++i) dims.push_back(i);
+    rng_.Shuffle(dims);
+    for (int i = 0; i < want - 1 && i < static_cast<int>(dims.size()); ++i) {
+      tmpl.schema_tables.push_back(dims[i]);
+    }
+  } else {
+    const int max_start = total_tables - want;
+    const int start =
+        max_start > 0 ? static_cast<int>(rng_.UniformInt(0, max_start)) : 0;
+    for (int i = 0; i < want; ++i) tmpl.schema_tables.push_back(start + i);
+  }
+  // Choose filtered (slot, column) pairs.
+  const int nf = static_cast<int>(rng_.UniformInt(1, options_.max_filters));
+  for (int i = 0; i < nf; ++i) {
+    const int slot = static_cast<int>(
+        rng_.UniformInt(0, static_cast<int64_t>(tmpl.schema_tables.size()) - 1));
+    const auto& attrs = schema_->attr_columns[tmpl.schema_tables[slot]];
+    if (attrs.empty()) continue;
+    const int col = attrs[rng_.NextUint64(attrs.size())];
+    tmpl.filter_on.emplace_back(slot, col);
+  }
+  return tmpl;
+}
+
+Query QueryGenerator::Instantiate(const QueryTemplate& tmpl) {
+  Query q;
+  for (int t : tmpl.schema_tables) {
+    q.tables.push_back(schema_->table_names[t]);
+  }
+  AddJoins(tmpl.schema_tables, &q);
+  for (const auto& [slot, col] : tmpl.filter_on) {
+    q.filters.push_back(MakeFilter(slot, col));
+  }
+  return q;
+}
+
+Query QueryGenerator::Next() { return Instantiate(MakeTemplate()); }
+
+std::vector<Query> QueryGenerator::Batch(int n) {
+  std::vector<Query> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+TemplateWorkload::TemplateWorkload(QueryGenerator* gen,
+                                   std::vector<QueryTemplate> templates,
+                                   std::vector<double> weights, uint64_t seed)
+    : gen_(gen),
+      templates_(std::move(templates)),
+      weights_(std::move(weights)),
+      rng_(seed) {
+  ML4DB_CHECK(gen != nullptr);
+  ML4DB_CHECK(!templates_.empty());
+  ML4DB_CHECK(templates_.size() == weights_.size());
+}
+
+Query TemplateWorkload::Next() {
+  const size_t t = rng_.Categorical(weights_);
+  return gen_->Instantiate(templates_[t]);
+}
+
+void TemplateWorkload::SetWeights(std::vector<double> weights) {
+  ML4DB_CHECK(weights.size() == templates_.size());
+  weights_ = std::move(weights);
+}
+
+}  // namespace workload
+}  // namespace ml4db

@@ -1,0 +1,83 @@
+// SPJ query workload generator over a synthetic schema, with template-mix
+// control for workload-shift experiments (paper §3.3 open problem 2).
+
+#ifndef ML4DB_WORKLOAD_QUERY_GEN_H_
+#define ML4DB_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace workload {
+
+/// Options for query generation.
+struct QueryGenOptions {
+  int min_tables = 2;
+  int max_tables = 4;
+  int max_filters = 3;       ///< per query
+  double sel_min = 0.005;    ///< filter selectivity range
+  double sel_max = 0.4;
+  double eq_filter_prob = 0.15;  ///< chance a filter is equality not range
+  uint64_t seed = 99;
+};
+
+/// A query template: fixed join shape and filtered columns; instances draw
+/// fresh literals. Templates are the unit of workload mix.
+struct QueryTemplate {
+  std::vector<int> schema_tables;              ///< indexes into schema tables
+  std::vector<std::pair<int, int>> filter_on;  ///< (slot, column) pairs
+};
+
+/// Generates random SPJ queries over a SyntheticSchema.
+class QueryGenerator {
+ public:
+  QueryGenerator(const SyntheticSchema* schema, QueryGenOptions options);
+
+  /// A fresh random query (random shape + literals).
+  engine::Query Next();
+
+  /// A batch of fresh random queries.
+  std::vector<engine::Query> Batch(int n);
+
+  /// Draws a random template (join shape + filter columns, no literals).
+  QueryTemplate MakeTemplate();
+
+  /// Instantiates a template with fresh literals.
+  engine::Query Instantiate(const QueryTemplate& tmpl);
+
+ private:
+  void AddJoins(const std::vector<int>& schema_tables, engine::Query* q) const;
+  engine::FilterPredicate MakeFilter(int slot, int column);
+
+  const SyntheticSchema* schema_;
+  QueryGenOptions options_;
+  Rng rng_;
+};
+
+/// A workload as a weighted mix over templates; shifting the weights (or
+/// swapping the template pool) models workload drift.
+class TemplateWorkload {
+ public:
+  TemplateWorkload(QueryGenerator* gen, std::vector<QueryTemplate> templates,
+                   std::vector<double> weights, uint64_t seed);
+
+  engine::Query Next();
+
+  /// Replaces the mix weights (workload shift).
+  void SetWeights(std::vector<double> weights);
+
+  const std::vector<double>& weights() const { return weights_; }
+  size_t num_templates() const { return templates_.size(); }
+
+ private:
+  QueryGenerator* gen_;
+  std::vector<QueryTemplate> templates_;
+  std::vector<double> weights_;
+  Rng rng_;
+};
+
+}  // namespace workload
+}  // namespace ml4db
+
+#endif  // ML4DB_WORKLOAD_QUERY_GEN_H_

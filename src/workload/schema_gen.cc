@@ -1,0 +1,259 @@
+#include "workload/schema_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml4db {
+namespace workload {
+
+using engine::ColumnDef;
+using engine::Database;
+using engine::DataType;
+using engine::Table;
+using engine::TableSchema;
+
+namespace {
+
+// Attribute value draw: uniform when skew == 0, power-law concentrated
+// toward 0 otherwise.
+int64_t DrawAttr(Rng& rng, int64_t domain, double skew) {
+  if (skew <= 0.0) {
+    return static_cast<int64_t>(rng.NextUint64(domain));
+  }
+  const double u = std::pow(rng.NextDouble(), 1.0 + skew);
+  return static_cast<int64_t>(u * static_cast<double>(domain - 1));
+}
+
+// Builds one table: id column, optional fk column, `attrs` attribute
+// columns. Attribute values are uniform over [0, attr_domain); the fk
+// distribution over [0, fk_domain) is zipf-skewed then shuffled through a
+// random permutation so popular keys are spread across the id space.
+StatusOr<Table*> BuildTable(Database* db, const std::string& name,
+                            size_t rows, bool with_fk, size_t fk_domain,
+                            double fk_theta, int attrs, int64_t attr_domain,
+                            double attr_skew, Rng& rng) {
+  TableSchema schema;
+  schema.name = name;
+  schema.columns.push_back({"id", DataType::kInt64});
+  if (with_fk) schema.columns.push_back({"fk", DataType::kInt64});
+  for (int a = 0; a < attrs; ++a) {
+    schema.columns.push_back({"attr" + std::to_string(a), DataType::kInt64});
+  }
+  ML4DB_ASSIGN_OR_RETURN(Table * table, db->catalog().CreateTable(schema));
+
+  std::vector<std::vector<int64_t>> cols(schema.columns.size());
+  for (auto& c : cols) c.reserve(rows);
+  // ids 0..rows-1.
+  for (size_t i = 0; i < rows; ++i) cols[0].push_back(static_cast<int64_t>(i));
+  if (with_fk) {
+    std::vector<int64_t> perm(fk_domain);
+    for (size_t i = 0; i < fk_domain; ++i) perm[i] = static_cast<int64_t>(i);
+    rng.Shuffle(perm);
+    if (fk_theta > 0.0) {
+      ZipfSampler zipf(fk_domain, fk_theta);
+      for (size_t i = 0; i < rows; ++i) {
+        cols[1].push_back(perm[zipf.Sample(rng)]);
+      }
+    } else {
+      for (size_t i = 0; i < rows; ++i) {
+        cols[1].push_back(perm[rng.NextUint64(fk_domain)]);
+      }
+    }
+  }
+  const size_t attr_base = with_fk ? 2 : 1;
+  for (int a = 0; a < attrs; ++a) {
+    for (size_t i = 0; i < rows; ++i) {
+      cols[attr_base + a].push_back(DrawAttr(rng, attr_domain, attr_skew));
+    }
+  }
+  ML4DB_RETURN_IF_ERROR(table->AppendColumnarInt64(cols));
+  return table;
+}
+
+}  // namespace
+
+StatusOr<SyntheticSchema> BuildSyntheticDb(Database* db,
+                                           const SchemaGenOptions& options) {
+  ML4DB_CHECK(db != nullptr);
+  Rng rng(options.seed);
+  SyntheticSchema out;
+  out.topology = options.topology;
+  out.attr_domain = options.attr_domain;
+  const int d = options.num_dimensions;
+
+  if (options.topology == Topology::kStar) {
+    // Fact table holds one FK per dimension: columns
+    // [id, fk0..fk{d-1}, attr0..].
+    TableSchema fact_schema;
+    fact_schema.name = "fact";
+    fact_schema.columns.push_back({"id", DataType::kInt64});
+    for (int i = 0; i < d; ++i) {
+      fact_schema.columns.push_back({"fk" + std::to_string(i), DataType::kInt64});
+    }
+    for (int a = 0; a < options.attrs_per_table; ++a) {
+      fact_schema.columns.push_back({"attr" + std::to_string(a), DataType::kInt64});
+    }
+    ML4DB_ASSIGN_OR_RETURN(Table * fact,
+                           db->catalog().CreateTable(fact_schema));
+    std::vector<std::vector<int64_t>> cols(fact_schema.columns.size());
+    for (size_t i = 0; i < options.fact_rows; ++i) {
+      cols[0].push_back(static_cast<int64_t>(i));
+    }
+    for (int i = 0; i < d; ++i) {
+      if (options.fk_zipf_theta > 0.0) {
+        ZipfSampler zipf(options.dim_rows, options.fk_zipf_theta);
+        std::vector<int64_t> perm(options.dim_rows);
+        for (size_t k = 0; k < options.dim_rows; ++k) {
+          perm[k] = static_cast<int64_t>(k);
+        }
+        rng.Shuffle(perm);
+        for (size_t r = 0; r < options.fact_rows; ++r) {
+          cols[1 + i].push_back(perm[zipf.Sample(rng)]);
+        }
+      } else {
+        for (size_t r = 0; r < options.fact_rows; ++r) {
+          cols[1 + i].push_back(
+              static_cast<int64_t>(rng.NextUint64(options.dim_rows)));
+        }
+      }
+    }
+    for (int a = 0; a < options.attrs_per_table; ++a) {
+      for (size_t r = 0; r < options.fact_rows; ++r) {
+        cols[1 + d + a].push_back(
+            DrawAttr(rng, options.attr_domain, options.attr_skew));
+      }
+    }
+    ML4DB_RETURN_IF_ERROR(fact->AppendColumnarInt64(cols));
+
+    out.table_names.push_back("fact");
+    out.pk_column.push_back(0);
+    out.fk_column.push_back(-1);  // per-dimension FKs tracked separately
+    out.fk_target.push_back(-1);
+    std::vector<int> fact_attrs;
+    for (int a = 0; a < options.attrs_per_table; ++a) {
+      fact_attrs.push_back(1 + d + a);
+    }
+    out.attr_columns.push_back(fact_attrs);
+
+    for (int i = 0; i < d; ++i) {
+      const std::string name = "dim" + std::to_string(i);
+      ML4DB_ASSIGN_OR_RETURN(
+          Table * dim,
+          BuildTable(db, name, options.dim_rows, /*with_fk=*/false, 0, 0.0,
+                     options.attrs_per_table, options.attr_domain,
+                     options.attr_skew, rng));
+      (void)dim;
+      out.table_names.push_back(name);
+      out.pk_column.push_back(0);
+      out.fk_column.push_back(-1);
+      out.fk_target.push_back(-1);
+      std::vector<int> attrs;
+      for (int a = 0; a < options.attrs_per_table; ++a) attrs.push_back(1 + a);
+      out.attr_columns.push_back(attrs);
+    }
+
+    if (options.build_indexes) {
+      ML4DB_ASSIGN_OR_RETURN(Table * f, db->catalog().GetTable("fact"));
+      ML4DB_RETURN_IF_ERROR(f->BuildIndex(0));
+      for (int i = 0; i < d; ++i) {
+        ML4DB_RETURN_IF_ERROR(f->BuildIndex(1 + i));
+        ML4DB_ASSIGN_OR_RETURN(Table * t,
+                               db->catalog().GetTable("dim" + std::to_string(i)));
+        ML4DB_RETURN_IF_ERROR(t->BuildIndex(0));
+      }
+    }
+  } else {
+    // Chain: tables t0..td; t_i (i < d) has an FK to t_{i+1}.id. Sizes
+    // shrink along the chain.
+    for (int i = 0; i <= d; ++i) {
+      const std::string name = "link" + std::to_string(i);
+      const size_t rows =
+          i == 0 ? options.fact_rows
+                 : std::max<size_t>(options.dim_rows / (1u << (i - 1)), 64);
+      const bool with_fk = i < d;
+      const size_t next_rows =
+          i + 1 == 0
+              ? options.fact_rows
+              : std::max<size_t>(options.dim_rows / (1u << i), 64);
+      ML4DB_ASSIGN_OR_RETURN(
+          Table * t, BuildTable(db, name, rows, with_fk,
+                                with_fk ? next_rows : 0,
+                                options.fk_zipf_theta, options.attrs_per_table,
+                                options.attr_domain, options.attr_skew, rng));
+      (void)t;
+      out.table_names.push_back(name);
+      out.pk_column.push_back(0);
+      out.fk_column.push_back(with_fk ? 1 : -1);
+      out.fk_target.push_back(with_fk ? i + 1 : -1);
+      std::vector<int> attrs;
+      const int base = with_fk ? 2 : 1;
+      for (int a = 0; a < options.attrs_per_table; ++a) {
+        attrs.push_back(base + a);
+      }
+      out.attr_columns.push_back(attrs);
+    }
+    if (options.build_indexes) {
+      for (int i = 0; i <= d; ++i) {
+        ML4DB_ASSIGN_OR_RETURN(Table * t,
+                               db->catalog().GetTable(out.table_names[i]));
+        ML4DB_RETURN_IF_ERROR(t->BuildIndex(out.pk_column[i]));
+        if (out.fk_column[i] >= 0) {
+          ML4DB_RETURN_IF_ERROR(t->BuildIndex(out.fk_column[i]));
+        }
+      }
+    }
+  }
+
+  ML4DB_RETURN_IF_ERROR(db->AnalyzeAll());
+  return out;
+}
+
+Status InjectDataDrift(Database* db, const SyntheticSchema& schema,
+                       size_t rows, double shift_fraction, uint64_t seed,
+                       bool reanalyze) {
+  ML4DB_CHECK(shift_fraction > 0.0 && shift_fraction <= 1.0);
+  Rng rng(seed);
+  ML4DB_ASSIGN_OR_RETURN(Table * fact,
+                         db->catalog().GetTable(schema.table_names[0]));
+  const size_t old_rows = fact->num_rows();
+  const auto& sch = fact->schema();
+  std::vector<std::vector<int64_t>> cols(sch.columns.size());
+  const int64_t lo = static_cast<int64_t>(
+      (1.0 - shift_fraction) * static_cast<double>(schema.attr_domain));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < sch.columns.size(); ++c) {
+      const std::string& cname = sch.columns[c].name;
+      int64_t v;
+      if (cname == "id") {
+        v = static_cast<int64_t>(old_rows + r);
+      } else if (cname.rfind("fk", 0) == 0) {
+        // Keep FK domain consistent with the referenced dimension. Use the
+        // first dimension's row count as domain (all dims equally sized).
+        auto dim = db->catalog().GetTable(
+            schema.table_names.size() > 1 ? schema.table_names[1]
+                                          : schema.table_names[0]);
+        const size_t domain = dim.ok() ? (*dim)->num_rows() : 1;
+        v = static_cast<int64_t>(rng.NextUint64(std::max<size_t>(domain, 1)));
+      } else {
+        // Attribute columns: shifted to the top of the domain.
+        v = lo + static_cast<int64_t>(rng.NextUint64(
+                     std::max<int64_t>(schema.attr_domain - lo, 1)));
+      }
+      cols[c].push_back(v);
+    }
+  }
+  ML4DB_RETURN_IF_ERROR(fact->AppendColumnarInt64(cols));
+  // Rebuild any indexes so executions stay correct after the append.
+  for (size_t c = 0; c < sch.columns.size(); ++c) {
+    if (fact->HasIndex(static_cast<int>(c))) {
+      ML4DB_RETURN_IF_ERROR(fact->BuildIndex(static_cast<int>(c)));
+    }
+  }
+  if (reanalyze) {
+    ML4DB_RETURN_IF_ERROR(db->AnalyzeTable(schema.table_names[0]));
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace ml4db

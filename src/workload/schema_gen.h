@@ -1,0 +1,70 @@
+// Synthetic relational database generator: star / chain join topologies
+// with skewed foreign keys and filterable attribute columns. Stands in for
+// IMDB/JOB and TPC-H as the substrate of the query-optimization and
+// cardinality-estimation experiments (see DESIGN.md substitutions).
+
+#ifndef ML4DB_WORKLOAD_SCHEMA_GEN_H_
+#define ML4DB_WORKLOAD_SCHEMA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace ml4db {
+namespace workload {
+
+/// Join topology shapes.
+enum class Topology {
+  kStar,   ///< fact table with FKs into each dimension
+  kChain,  ///< t0 -FK-> t1 -FK-> t2 ...
+};
+
+/// Options for BuildSyntheticDb.
+struct SchemaGenOptions {
+  Topology topology = Topology::kStar;
+  int num_dimensions = 4;     ///< dimension tables (star) / chain length - 1
+  size_t fact_rows = 40000;   ///< rows in the fact table / chain head
+  size_t dim_rows = 4000;     ///< rows per dimension / chain link
+  int attrs_per_table = 2;    ///< filterable attribute columns per table
+  double fk_zipf_theta = 0.8; ///< FK skew (0 disables skew)
+  /// Attribute-value skew: 0 = uniform; > 0 concentrates attribute values
+  /// toward the low end of the domain (power-law exponent).
+  double attr_skew = 0.0;
+  uint64_t seed = 7;
+  bool build_indexes = true;  ///< index PK + FK columns
+  /// Attribute value domain [0, attr_domain).
+  int64_t attr_domain = 1'000'000;
+};
+
+/// Description of the generated schema, needed by the query generator.
+struct SyntheticSchema {
+  Topology topology = Topology::kStar;
+  std::vector<std::string> table_names;  ///< [0] = fact / chain head
+  /// fk_columns[t] = column index in table t holding the FK to `fk_target[t]`
+  /// (-1 when table t has no outgoing FK).
+  std::vector<int> fk_column;
+  std::vector<int> fk_target;
+  /// pk_column[t] = primary-key column index (joined against FKs).
+  std::vector<int> pk_column;
+  /// attr_columns[t] = filterable attribute column indexes of table t.
+  std::vector<std::vector<int>> attr_columns;
+  int64_t attr_domain = 1'000'000;
+};
+
+/// Creates tables in `db`, fills them with data, builds indexes, and runs
+/// ANALYZE. Returns the schema description.
+StatusOr<SyntheticSchema> BuildSyntheticDb(engine::Database* db,
+                                           const SchemaGenOptions& options);
+
+/// Appends `rows` additional fact rows drawn from a *shifted* attribute
+/// distribution (attributes concentrated in the upper `shift_fraction` of
+/// the domain) and re-runs ANALYZE if `reanalyze`. The data-drift injector.
+Status InjectDataDrift(engine::Database* db, const SyntheticSchema& schema,
+                       size_t rows, double shift_fraction, uint64_t seed,
+                       bool reanalyze);
+
+}  // namespace workload
+}  // namespace ml4db
+
+#endif  // ML4DB_WORKLOAD_SCHEMA_GEN_H_

@@ -1,0 +1,114 @@
+#include "workload/spatial_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ml4db {
+namespace workload {
+
+const char* SpatialDistributionName(SpatialDistribution d) {
+  switch (d) {
+    case SpatialDistribution::kUniform: return "uniform";
+    case SpatialDistribution::kClustered: return "clustered";
+    case SpatialDistribution::kSkewed: return "skewed";
+    case SpatialDistribution::kDiagonal: return "diagonal";
+  }
+  return "?";
+}
+
+namespace {
+
+Point2 SamplePoint(Rng& rng, const SpatialGenOptions& options,
+                   const std::vector<Point2>& centers) {
+  switch (options.distribution) {
+    case SpatialDistribution::kUniform:
+      return {rng.NextDouble(), rng.NextDouble()};
+    case SpatialDistribution::kClustered: {
+      const Point2& c = centers[rng.NextUint64(centers.size())];
+      return {Clamp(rng.Gaussian(c.x, options.cluster_stddev), 0.0, 1.0),
+              Clamp(rng.Gaussian(c.y, options.cluster_stddev), 0.0, 1.0)};
+    }
+    case SpatialDistribution::kSkewed: {
+      // Density ∝ power law toward the origin corner.
+      const double u = std::pow(rng.NextDouble(), 3.0);
+      const double v = std::pow(rng.NextDouble(), 3.0);
+      return {u, v};
+    }
+    case SpatialDistribution::kDiagonal: {
+      const double t = rng.NextDouble();
+      return {Clamp(t + rng.Gaussian(0.0, 0.03), 0.0, 1.0),
+              Clamp(t + rng.Gaussian(0.0, 0.03), 0.0, 1.0)};
+    }
+  }
+  return {0, 0};
+}
+
+std::vector<Point2> MakeCenters(Rng& rng, const SpatialGenOptions& options) {
+  std::vector<Point2> centers;
+  if (options.distribution == SpatialDistribution::kClustered) {
+    centers.resize(options.num_clusters);
+    for (auto& c : centers) c = {rng.NextDouble(), rng.NextDouble()};
+  }
+  return centers;
+}
+
+}  // namespace
+
+std::vector<Point2> GeneratePoints(size_t n,
+                                   const SpatialGenOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<Point2> centers = MakeCenters(rng, options);
+  std::vector<Point2> out(n);
+  for (auto& p : out) p = SamplePoint(rng, options, centers);
+  return out;
+}
+
+std::vector<Rect2> GenerateRects(size_t n, const SpatialGenOptions& options,
+                                 double min_extent, double max_extent) {
+  Rng rng(options.seed);
+  const std::vector<Point2> centers = MakeCenters(rng, options);
+  std::vector<Rect2> out(n);
+  for (auto& r : out) {
+    const Point2 c = SamplePoint(rng, options, centers);
+    const double w = rng.Uniform(min_extent, max_extent);
+    const double h = rng.Uniform(min_extent, max_extent);
+    r.xlo = Clamp(c.x - w / 2, 0.0, 1.0);
+    r.xhi = Clamp(c.x + w / 2, 0.0, 1.0);
+    r.ylo = Clamp(c.y - h / 2, 0.0, 1.0);
+    r.yhi = Clamp(c.y + h / 2, 0.0, 1.0);
+  }
+  return out;
+}
+
+std::vector<Rect2> GenerateRangeQueries(size_t n, double selectivity,
+                                        const SpatialGenOptions& center_dist) {
+  ML4DB_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  Rng rng(center_dist.seed ^ 0xabcdef12345ULL);
+  const std::vector<Point2> centers = MakeCenters(rng, center_dist);
+  const double side = std::sqrt(selectivity);
+  std::vector<Rect2> out(n);
+  for (auto& q : out) {
+    const Point2 c = SamplePoint(rng, center_dist, centers);
+    // Jitter the aspect ratio a bit.
+    const double ar = rng.Uniform(0.5, 2.0);
+    const double w = side * std::sqrt(ar);
+    const double h = side / std::sqrt(ar);
+    q.xlo = Clamp(c.x - w / 2, 0.0, 1.0);
+    q.xhi = Clamp(c.x + w / 2, 0.0, 1.0);
+    q.ylo = Clamp(c.y - h / 2, 0.0, 1.0);
+    q.yhi = Clamp(c.y + h / 2, 0.0, 1.0);
+  }
+  return out;
+}
+
+std::vector<Point2> GenerateKnnQueries(size_t n,
+                                       const SpatialGenOptions& options) {
+  SpatialGenOptions o = options;
+  o.seed ^= 0x5a5a5a5aULL;
+  return GeneratePoints(n, o);
+}
+
+}  // namespace workload
+}  // namespace ml4db

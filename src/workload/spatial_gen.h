@@ -1,0 +1,65 @@
+// Spatial data and query generators for the learned / ML-enhanced spatial
+// index experiments (paper §3.2): point clouds and rectangle sets from
+// uniform / clustered / skewed distributions, plus range and KNN query
+// workloads with controlled selectivity and overlap.
+
+#ifndef ML4DB_WORKLOAD_SPATIAL_GEN_H_
+#define ML4DB_WORKLOAD_SPATIAL_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ml4db {
+namespace workload {
+
+/// A 2-d point in the unit square.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// An axis-aligned rectangle.
+struct Rect2 {
+  double xlo = 0.0, ylo = 0.0, xhi = 0.0, yhi = 0.0;
+};
+
+/// Spatial distribution families.
+enum class SpatialDistribution {
+  kUniform,
+  kClustered,  ///< Gaussian clusters (OSM-city-like)
+  kSkewed,     ///< density decays toward one corner (power law)
+  kDiagonal,   ///< points concentrated along the main diagonal
+};
+
+const char* SpatialDistributionName(SpatialDistribution d);
+
+/// Options for point/rect generation.
+struct SpatialGenOptions {
+  SpatialDistribution distribution = SpatialDistribution::kUniform;
+  int num_clusters = 16;
+  double cluster_stddev = 0.02;
+  uint64_t seed = 17;
+};
+
+/// `n` points in the unit square.
+std::vector<Point2> GeneratePoints(size_t n, const SpatialGenOptions& options);
+
+/// `n` small rectangles whose centers follow the distribution; width/height
+/// uniform in [min_extent, max_extent].
+std::vector<Rect2> GenerateRects(size_t n, const SpatialGenOptions& options,
+                                 double min_extent, double max_extent);
+
+/// Range-query workload: boxes with area ≈ `selectivity` of the unit
+/// square, centers following `center_dist`.
+std::vector<Rect2> GenerateRangeQueries(size_t n, double selectivity,
+                                        const SpatialGenOptions& center_dist);
+
+/// KNN query points.
+std::vector<Point2> GenerateKnnQueries(size_t n,
+                                       const SpatialGenOptions& options);
+
+}  // namespace workload
+}  // namespace ml4db
+
+#endif  // ML4DB_WORKLOAD_SPATIAL_GEN_H_

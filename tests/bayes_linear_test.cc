@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/bayes_linear.h"
+#include "ml/metrics.h"
+#include "ml/random_feature_gp.h"
+
+namespace ml4db {
+namespace ml {
+namespace {
+
+TEST(BayesLinearTest, RecoversTrueWeights) {
+  Rng rng(1);
+  const Vec w_true = {2.0, -1.0, 0.5};
+  BayesianLinearModel model(3, /*alpha=*/0.01, /*noise_var=*/0.01);
+  for (int i = 0; i < 500; ++i) {
+    Vec x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1), 1.0};
+    const double y = Dot(w_true, x) + rng.Gaussian(0, 0.1);
+    model.Observe(x, y);
+  }
+  const Vec w = model.MeanWeights();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], w_true[i], 0.08);
+}
+
+TEST(BayesLinearTest, PriorPredictsZero) {
+  BayesianLinearModel model(2);
+  EXPECT_DOUBLE_EQ(model.PredictMean({1.0, 1.0}), 0.0);
+}
+
+TEST(BayesLinearTest, VarianceShrinksWithData) {
+  Rng rng(2);
+  BayesianLinearModel model(2, 1.0, 0.25);
+  const Vec x = {1.0, 0.5};
+  const double v0 = model.PredictVariance(x);
+  for (int i = 0; i < 100; ++i) {
+    model.Observe({rng.Uniform(-1, 1), rng.Uniform(-1, 1)}, rng.Gaussian());
+  }
+  const double v1 = model.PredictVariance(x);
+  EXPECT_LT(v1, v0);
+  EXPECT_GE(v1, 0.25);  // never below observation noise
+}
+
+TEST(BayesLinearTest, ThompsonSamplesConcentrate) {
+  Rng rng(3);
+  BayesianLinearModel model(1, 1.0, 0.01);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Uniform(-1, 1);
+    model.Observe({x}, 3.0 * x + rng.Gaussian(0, 0.05));
+  }
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(model.SamplePrediction({1.0}, rng));
+  }
+  EXPECT_NEAR(Mean(samples), 3.0, 0.1);
+  EXPECT_LT(StdDev(samples), 0.2);
+}
+
+TEST(BayesLinearTest, DecayForgetsOldEvidence) {
+  Rng rng(4);
+  BayesianLinearModel model(1, 1.0, 0.01);
+  // Old regime: y = +5 x.
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(0.5, 1);
+    model.Observe({x}, 5.0 * x);
+  }
+  // Heavy decay then new regime: y = -5 x.
+  for (int i = 0; i < 50; ++i) {
+    model.DecayEvidence(0.9);
+    const double x = rng.Uniform(0.5, 1);
+    model.Observe({x}, -5.0 * x);
+  }
+  EXPECT_LT(model.PredictMean({1.0}), 0.0);
+}
+
+TEST(RandomFeatureGpTest, FitsNonlinearFunction) {
+  Rng rng(5);
+  RandomFeatureGp gp(1, 128, 0.5, 0.01, /*seed=*/42);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    gp.Observe({x}, std::sin(2 * x));
+  }
+  double max_err = 0;
+  for (double x = -1.5; x <= 1.5; x += 0.1) {
+    max_err = std::max(max_err, std::abs(gp.PredictMean({x}) - std::sin(2 * x)));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(RandomFeatureGpTest, UncertaintyGrowsOffData) {
+  Rng rng(6);
+  RandomFeatureGp gp(1, 64, 0.3, 0.01, 7);
+  for (int i = 0; i < 200; ++i) {
+    gp.Observe({rng.Uniform(-1, 1)}, 1.0);
+  }
+  EXPECT_LT(gp.PredictVariance({0.0}), gp.PredictVariance({5.0}));
+}
+
+TEST(MetricsTest, QErrorSymmetric) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(50, 50), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);  // floored
+}
+
+TEST(MetricsTest, SummaryQuantiles) {
+  std::vector<double> est = {1, 2, 4, 8, 100};
+  std::vector<double> truth = {1, 1, 1, 1, 1};
+  const QErrorSummary s = SummarizeQErrors(est, truth);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_GT(s.p90, s.median);
+}
+
+TEST(MetricsTest, MeanRelativeError) {
+  EXPECT_NEAR(MeanRelativeError({110, 90}, {100, 100}), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace ml4db

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ml4db {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such table t1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such table t1");
+  EXPECT_EQ(s.ToString(), "NotFound: no such table t1");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::InvalidArgument("bad");
+  Status t = s;
+  EXPECT_EQ(t, s);
+  EXPECT_EQ(t.message(), "bad");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssign(int x, int* out) {
+  ML4DB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssign(3, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_FALSE(UseAssign(-3, &out).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Gaussian(3.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 3.0, 0.1);
+  EXPECT_NEAR(StdDev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(99);
+  Rng child = a.Fork();
+  // The fork and the parent should not produce identical streams.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (a.NextUint64() == child.NextUint64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(5);
+  ZipfSampler zipf(1000, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  // Rank 0 should dominate rank 10 which dominates rank 100.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  // All samples in range.
+  for (const auto& [k, v] : counts) EXPECT_LT(k, 1000u);
+}
+
+TEST(ZipfTest, ApproximatesPowerLaw) {
+  Rng rng(6);
+  const double theta = 1.2;
+  ZipfSampler zipf(10000, theta);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  // freq(rank r) ∝ (r+1)^-theta; check the ratio between rank 1 and rank 9.
+  const double ratio = static_cast<double>(counts[1]) / counts[9];
+  const double expected = std::pow(10.0 / 2.0, theta);
+  EXPECT_NEAR(ratio, expected, expected * 0.35);
+}
+
+TEST(MathTest, QuantileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(MathTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+}
+
+TEST(MathTest, KendallTauPerfectOrders) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {10, 20, 30, 40};
+  std::vector<double> c = {40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(a, c), -1.0);
+}
+
+TEST(MathTest, KsStatisticZeroForIdentical) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(KsStatistic(a, a), 0.0, 1e-12);
+}
+
+TEST(MathTest, KsStatisticDetectsShift) {
+  Rng rng(3);
+  std::vector<double> a(5000), b(5000);
+  for (auto& x : a) x = rng.Gaussian(0.0, 1.0);
+  for (auto& x : b) x = rng.Gaussian(2.0, 1.0);
+  EXPECT_GT(KsStatistic(a, b), 0.5);
+}
+
+TEST(MathTest, JensenShannonBounds) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(JensenShannon(p, q), std::log(2.0), 1e-9);
+  EXPECT_NEAR(JensenShannon(p, p), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ml4db

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costest/estimators.h"
+#include "ml/metrics.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace costest {
+namespace {
+
+using workload::BuildSyntheticDb;
+using workload::QueryGenerator;
+using workload::QueryGenOptions;
+using workload::SchemaGenOptions;
+using workload::SyntheticSchema;
+
+class CostEstFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaGenOptions opts;
+    opts.num_dimensions = 3;
+    opts.fact_rows = 4000;
+    opts.dim_rows = 400;
+    opts.seed = 5;
+    auto schema = BuildSyntheticDb(&db_, opts);
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+    featurizer_ = std::make_unique<planrepr::PlanFeaturizer>(
+        &db_, planrepr::FeatureConfig{});
+  }
+
+  engine::Database db_;
+  SyntheticSchema schema_;
+  std::unique_ptr<planrepr::PlanFeaturizer> featurizer_;
+};
+
+TEST_F(CostEstFixture, CollectorGathersAnnotatedSamples) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 3;
+  QueryGenerator gen(&schema_, qopts);
+  CollectOptions copts;
+  copts.num_queries = 30;
+  auto result = CollectSamples(db_, *featurizer_,
+                               [&] { return gen.Next(); }, copts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->samples.size(), 30u);
+  EXPECT_GT(result->total_execution_latency, 0.0);
+  for (const auto& s : result->samples) {
+    EXPECT_GT(s.latency, 0.0);
+    EXPECT_GE(s.cardinality, 0.0);
+    EXPECT_GE(s.plan.root->actual_rows, 0.0);
+    EXPECT_FALSE(s.tree.nodes.empty());
+  }
+}
+
+TEST_F(CostEstFixture, E2eEstimatorLearnsLatency) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 3;
+  qopts.seed = 6;
+  QueryGenerator gen(&schema_, qopts);
+  CollectOptions copts;
+  copts.num_queries = 120;
+  auto collected = CollectSamples(db_, *featurizer_,
+                                  [&] { return gen.Next(); }, copts);
+  ASSERT_TRUE(collected.ok());
+  auto& samples = collected->samples;
+  const size_t train_n = 90;
+
+  E2eCostEstimator::Options eopts;
+  eopts.epochs = 20;
+  E2eCostEstimator est(featurizer_->dim(), eopts);
+  std::vector<PlanSample> train(samples.begin(), samples.begin() + train_n);
+  est.Train(train);
+
+  // Evaluate relative latency ordering on held-out samples: the learned
+  // model should rank latencies far better than chance.
+  std::vector<double> pred, truth;
+  for (size_t i = train_n; i < samples.size(); ++i) {
+    pred.push_back(est.EstimateLatency(samples[i].tree));
+    truth.push_back(samples[i].latency);
+  }
+  EXPECT_GT(KendallTau(pred, truth), 0.4);
+}
+
+TEST_F(CostEstFixture, SingleTableVectorizerEncodesFilters) {
+  SingleTableVectorizer vec(&db_, "fact");
+  engine::Query q;
+  q.tables = {"fact"};
+  // Unfiltered: whole [0,1] interval per column.
+  ml::Vec enc = vec.Encode(q);
+  ASSERT_EQ(enc.size(), vec.dim());
+  for (size_t c = 0; c < enc.size() / 2; ++c) {
+    EXPECT_DOUBLE_EQ(enc[2 * c], 0.0);
+    EXPECT_DOUBLE_EQ(enc[2 * c + 1], 1.0);
+  }
+  engine::FilterPredicate f;
+  f.table_slot = 0;
+  f.column = schema_.attr_columns[0][0];
+  f.op = engine::CompareOp::kBetween;
+  f.value = 0.25 * schema_.attr_domain;
+  f.value2 = 0.5 * schema_.attr_domain;
+  q.filters.push_back(f);
+  enc = vec.Encode(q);
+  EXPECT_NEAR(enc[2 * f.column], 0.25, 0.02);
+  EXPECT_NEAR(enc[2 * f.column + 1], 0.5, 0.02);
+}
+
+TEST_F(CostEstFixture, LwGpBeatsNothingAndTrainsFast) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 1;
+  qopts.seed = 8;
+  QueryGenerator gen(&schema_, qopts);
+  auto vec = std::make_shared<SingleTableVectorizer>(&db_, "fact");
+  LwGpEstimator gp(vec, LwGpEstimator::Options{});
+
+  // Collect labeled queries against the fact table only.
+  std::vector<engine::Query> queries;
+  std::vector<double> cards;
+  while (queries.size() < 250) {
+    engine::Query q = gen.Next();
+    if (q.tables[0] != "fact") continue;
+    auto r = db_.Run(q);
+    ASSERT_TRUE(r.ok());
+    queries.push_back(q);
+    cards.push_back(static_cast<double>(r->count));
+  }
+  for (size_t i = 0; i < 200; ++i) gp.Observe(queries[i], cards[i]);
+
+  std::vector<double> est, truth;
+  for (size_t i = 200; i < queries.size(); ++i) {
+    est.push_back(gp.EstimateCardinality(queries[i]));
+    truth.push_back(cards[i]);
+  }
+  const ml::QErrorSummary s = ml::SummarizeQErrors(est, truth);
+  EXPECT_LT(s.median, 3.0);
+}
+
+TEST_F(CostEstFixture, WarperDetectsAndAdaptsToDrift) {
+  // Single-attribute queries over the fact table; mid-stream the data
+  // distribution shifts (drift injection), stale models misestimate.
+  auto vec = std::make_shared<SingleTableVectorizer>(&db_, "fact");
+  LwGpEstimator adaptive(vec, LwGpEstimator::Options{});
+  LwGpEstimator stale(vec, LwGpEstimator::Options{});
+  WarperAdapter warper(&adaptive, WarperAdapter::Options{});
+
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 1;
+  qopts.seed = 9;
+  QueryGenerator gen(&schema_, qopts);
+  auto next_fact_query = [&] {
+    while (true) {
+      engine::Query q = gen.Next();
+      if (q.tables[0] == "fact") return q;
+    }
+  };
+
+  // Phase 1: train both on the original data.
+  for (int i = 0; i < 200; ++i) {
+    const engine::Query q = next_fact_query();
+    auto r = db_.Run(q);
+    ASSERT_TRUE(r.ok());
+    warper.ObserveFeedback(q, static_cast<double>(r->count));
+    stale.Observe(q, static_cast<double>(r->count));
+  }
+  // Inject drift: triple the table with top-decile attribute values.
+  ASSERT_TRUE(
+      workload::InjectDataDrift(&db_, schema_, 8000, 0.1, 10, true).ok());
+
+  // Phase 2: stream post-drift queries through the warper only.
+  std::vector<double> warper_est, stale_est, truth;
+  for (int i = 0; i < 200; ++i) {
+    const engine::Query q = next_fact_query();
+    auto r = db_.Run(q);
+    ASSERT_TRUE(r.ok());
+    const double t = static_cast<double>(r->count);
+    warper_est.push_back(warper.EstimateCardinality(q));
+    stale_est.push_back(stale.EstimateCardinality(q));
+    truth.push_back(t);
+    warper.ObserveFeedback(q, t);
+  }
+  // Compare late-stream accuracy (after adaptation had a chance).
+  std::vector<double> w_late(warper_est.end() - 80, warper_est.end());
+  std::vector<double> s_late(stale_est.end() - 80, stale_est.end());
+  std::vector<double> t_late(truth.end() - 80, truth.end());
+  const double w_q = ml::SummarizeQErrors(w_late, t_late).median;
+  const double s_q = ml::SummarizeQErrors(s_late, t_late).median;
+  EXPECT_LT(w_q, s_q);
+}
+
+}  // namespace
+}  // namespace costest
+}  // namespace ml4db

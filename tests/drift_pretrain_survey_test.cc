@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "drift/detectors.h"
+#include "pretrain/pretrained_model.h"
+#include "survey/corpus.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace {
+
+// ------------------------------- detectors ---------------------------------
+
+TEST(KsDriftTest, NoDriftOnStationaryStream) {
+  drift::KsDriftDetector det(64, 0.35);
+  Rng rng(1);
+  int drifts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    drifts += det.Observe(rng.Gaussian(0.0, 1.0));
+  }
+  EXPECT_EQ(drifts, 0);
+  EXPECT_EQ(det.drift_count(), 0u);
+}
+
+TEST(KsDriftTest, DetectsMeanShift) {
+  drift::KsDriftDetector det(64, 0.35);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) det.Observe(rng.Gaussian(0.0, 1.0));
+  bool detected = false;
+  for (int i = 0; i < 200 && !detected; ++i) {
+    detected = det.Observe(rng.Gaussian(3.0, 1.0));
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(KsDriftTest, ResetsReferenceAfterDrift) {
+  drift::KsDriftDetector det(32, 0.4);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) det.Observe(rng.Gaussian(0.0, 1.0));
+  for (int i = 0; i < 100; ++i) det.Observe(rng.Gaussian(5.0, 1.0));
+  EXPECT_GE(det.drift_count(), 1u);
+  const size_t after_shift = det.drift_count();
+  // Stationary at the new regime: no further drift.
+  for (int i = 0; i < 500; ++i) det.Observe(rng.Gaussian(5.0, 1.0));
+  EXPECT_EQ(det.drift_count(), after_shift);
+}
+
+TEST(MixDriftTest, DetectsTemplateMixChange) {
+  drift::MixDriftDetector det(3, 64, 0.1);
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    det.Observe(rng.Categorical({0.8, 0.1, 0.1}));
+  }
+  EXPECT_EQ(det.drift_count(), 0u);
+  bool detected = false;
+  for (int i = 0; i < 300 && !detected; ++i) {
+    detected = det.Observe(rng.Categorical({0.1, 0.1, 0.8}));
+  }
+  EXPECT_TRUE(detected);
+}
+
+// -------------------------------- pretrain ---------------------------------
+
+class PretrainFixture : public ::testing::Test {
+ protected:
+  engine::Database* BuildDb(uint64_t seed) {
+    dbs_.push_back(std::make_unique<engine::Database>());
+    workload::SchemaGenOptions opts;
+    opts.num_dimensions = 3;
+    opts.fact_rows = 2500;
+    opts.dim_rows = 250;
+    opts.seed = seed;
+    auto schema = workload::BuildSyntheticDb(dbs_.back().get(), opts);
+    ML4DB_CHECK(schema.ok());
+    schemas_.push_back(*schema);
+    return dbs_.back().get();
+  }
+
+  std::vector<std::unique_ptr<engine::Database>> dbs_;
+  std::vector<workload::SyntheticSchema> schemas_;
+};
+
+TEST_F(PretrainFixture, AuxTargetsDeriveFromPlan) {
+  engine::Database* db = BuildDb(21);
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 3;
+  qopts.max_tables = 4;
+  workload::QueryGenerator gen(&schemas_[0], qopts);
+  auto plan = db->Plan(gen.Next());
+  ASSERT_TRUE(plan.ok());
+  const ml::Vec t = pretrain::AuxTargets(*plan->root);
+  ASSERT_EQ(t.size(), pretrain::kNumAuxTargets);
+  EXPECT_DOUBLE_EQ(t[0], plan->root->TreeSize());
+  EXPECT_GE(t[1], 2.0);  // depth of a join plan
+  EXPECT_GE(t[4], 1.0);  // at least one join
+}
+
+TEST_F(PretrainFixture, PretrainingImprovesFewShot) {
+  // Pretrain on two databases, fine-tune with few shots on a third; the
+  // pretrained model should beat an identical model trained from scratch
+  // on the same shots.
+  planrepr::FeatureConfig config;
+  pretrain::PretrainedPlanModel::Options popts;
+  popts.pretrain_epochs = 15;
+  popts.finetune_epochs = 30;
+  popts.encoder = planrepr::EncoderKind::kTreeLstm;
+
+  std::vector<pretrain::PretrainSample> pool;
+  for (uint64_t seed : {31ULL, 32ULL}) {
+    engine::Database* db = BuildDb(seed);
+    planrepr::PlanFeaturizer fz(db, config);
+    workload::QueryGenOptions qopts;
+    qopts.min_tables = 1;
+    qopts.max_tables = 4;
+    qopts.seed = seed;
+    workload::QueryGenerator gen(&schemas_.back(), qopts);
+    auto samples = pretrain::MakePretrainSamples(*db, fz, gen.Batch(80));
+    ASSERT_TRUE(samples.ok());
+    pool.insert(pool.end(), samples->begin(), samples->end());
+  }
+
+  engine::Database* target = BuildDb(33);
+  planrepr::PlanFeaturizer fz(target, config);
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 4;
+  qopts.seed = 34;
+  workload::QueryGenerator gen(&schemas_.back(), qopts);
+  costest::CollectOptions copts;
+  copts.num_queries = 80;
+  auto collected =
+      costest::CollectSamples(*target, fz, [&] { return gen.Next(); }, copts);
+  ASSERT_TRUE(collected.ok());
+  const auto& samples = collected->samples;
+  const size_t shots_n = 24;
+  std::vector<costest::PlanSample> shots(samples.begin(),
+                                         samples.begin() + shots_n);
+
+  pretrain::PretrainedPlanModel pretrained(fz.dim(), popts);
+  pretrained.Pretrain(pool);
+  pretrained.FineTune(shots);
+
+  pretrain::PretrainedPlanModel scratch(fz.dim(), popts);
+  scratch.FineTune(shots);  // same architecture, no pretraining
+
+  auto eval = [&](pretrain::PretrainedPlanModel& m) {
+    std::vector<double> pred, truth;
+    for (size_t i = shots_n; i < samples.size(); ++i) {
+      pred.push_back(m.EstimateLatency(samples[i].tree));
+      truth.push_back(samples[i].latency);
+    }
+    return KendallTau(pred, truth);
+  };
+  const double tau_pre = eval(pretrained);
+  const double tau_scratch = eval(scratch);
+  // Pretraining should help (or at worst tie within noise).
+  EXPECT_GT(tau_pre, tau_scratch - 0.05);
+  EXPECT_GT(tau_pre, 0.2);
+}
+
+// --------------------------------- survey ----------------------------------
+
+TEST(SurveyTest, CorpusCoversBothComponentsAndParadigms) {
+  int counts[2][2] = {};
+  for (const auto& pub : survey::Corpus()) {
+    counts[static_cast<int>(pub.component)][static_cast<int>(pub.paradigm)]++;
+    EXPECT_GE(pub.year, 2018);
+    EXPECT_LE(pub.year, 2023);
+    EXPECT_FALSE(pub.name.empty());
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (int p = 0; p < 2; ++p) EXPECT_GT(counts[c][p], 0);
+  }
+}
+
+TEST(SurveyTest, TrendShowsShiftTowardMlEnhanced) {
+  // The paper's Figure 1 observation: ML-enhanced grows over time and
+  // overtakes replacement by 2023, for both components.
+  for (auto component :
+       {survey::Component::kIndex, survey::Component::kQueryOptimizer}) {
+    const auto trend = survey::PublicationTrend(component);
+    ASSERT_EQ(trend.size(), 6u);  // 2018..2023
+    EXPECT_EQ(trend.front().year, 2018);
+    // 2018: replacement-only era.
+    EXPECT_GT(trend.front().replacement, 0);
+    EXPECT_EQ(trend.front().enhanced, 0);
+    // 2023: ML-enhanced dominates.
+    EXPECT_GT(trend.back().enhanced, trend.back().replacement);
+    // Cumulative enhanced count rises monotonically.
+    int prev = 0, cumulative = 0;
+    for (const auto& cell : trend) {
+      cumulative += cell.enhanced;
+      EXPECT_GE(cumulative, prev);
+      prev = cumulative;
+    }
+  }
+}
+
+TEST(SurveyTest, RenderTableContainsAllYears) {
+  const std::string table = survey::RenderTrendTable();
+  for (int year = 2018; year <= 2023; ++year) {
+    EXPECT_NE(table.find(std::to_string(year)), std::string::npos);
+  }
+}
+
+TEST(SurveyTest, NamesAreStable) {
+  EXPECT_STREQ(survey::ComponentName(survey::Component::kIndex), "index");
+  EXPECT_STREQ(survey::ParadigmName(survey::Paradigm::kMlEnhanced),
+               "ml_enhanced");
+}
+
+}  // namespace
+}  // namespace ml4db

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/database.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace engine {
+namespace {
+
+using workload::BuildSyntheticDb;
+using workload::QueryGenerator;
+using workload::QueryGenOptions;
+using workload::SchemaGenOptions;
+using workload::SyntheticSchema;
+using workload::Topology;
+
+// ------------------------- basic table/catalog -----------------------------
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog cat;
+  TableSchema s;
+  s.name = "t";
+  s.columns = {{"a", DataType::kInt64}};
+  ASSERT_TRUE(cat.CreateTable(s).ok());
+  EXPECT_FALSE(cat.CreateTable(s).ok());  // duplicate
+  EXPECT_TRUE(cat.GetTable("t").ok());
+  EXPECT_FALSE(cat.GetTable("nope").ok());
+  EXPECT_EQ(cat.TableNames().size(), 1u);
+}
+
+TEST(TableTest, AppendRowTypeChecked) {
+  Table t({"t", {{"a", DataType::kInt64}, {"b", DataType::kDouble}}});
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(2.0)}).ok());
+  EXPECT_FALSE(t.AppendRow({Value(1.0), Value(2.0)}).ok());   // wrong type
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{1})}).ok());        // wrong arity
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column(0).Get(0).AsInt64(), 1);
+}
+
+TEST(TableTest, SortedIndexEqualAndRange) {
+  Table t({"t", {{"a", DataType::kInt64}}});
+  for (int64_t v : {5, 3, 9, 3, 7}) {
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  const SortedIndex* idx = t.GetIndex(0);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Equal(3).size(), 2u);
+  EXPECT_EQ(idx->Equal(4).size(), 0u);
+  EXPECT_EQ(idx->Range(3, 7).size(), 4u);
+  // Returned row ids point at matching rows.
+  for (uint32_t r : idx->Equal(3)) {
+    EXPECT_EQ(t.column(0).Get(r).AsInt64(), 3);
+  }
+}
+
+TEST(TableTest, CannotIndexStrings) {
+  Table t({"t", {{"s", DataType::kString}}});
+  EXPECT_FALSE(t.BuildIndex(0).ok());
+}
+
+// ------------------------------ histogram ----------------------------------
+
+Column MakeIntColumn(const std::vector<int64_t>& vals) {
+  Column c;
+  c.type = DataType::kInt64;
+  c.i64 = vals;
+  return c;
+}
+
+TEST(HistogramTest, CdfMonotoneAndBounded) {
+  std::vector<int64_t> vals;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    vals.push_back(static_cast<int64_t>(rng.NextUint64(1000)));
+  }
+  Histogram h = Histogram::Build(MakeIntColumn(vals), 32);
+  double prev = -1;
+  for (double x = -50; x <= 1050; x += 10) {
+    const double c = h.CdfLeq(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.CdfLeq(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfLeq(2000), 1.0);
+}
+
+TEST(HistogramTest, UniformRangeSelectivity) {
+  std::vector<int64_t> vals;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    vals.push_back(static_cast<int64_t>(rng.NextUint64(100000)));
+  }
+  Histogram h = Histogram::Build(MakeIntColumn(vals), 64);
+  EXPECT_NEAR(h.RangeSelectivity(20000, 40000), 0.2, 0.02);
+  EXPECT_NEAR(h.CdfLeq(50000), 0.5, 0.02);
+}
+
+TEST(HistogramTest, EqualSelectivityOnDuplicates) {
+  // 1000 rows, values 0..9 each 100 times.
+  std::vector<int64_t> vals;
+  for (int v = 0; v < 10; ++v) {
+    for (int i = 0; i < 100; ++i) vals.push_back(v);
+  }
+  Histogram h = Histogram::Build(MakeIntColumn(vals), 8);
+  EXPECT_NEAR(h.EqualSelectivity(5), 0.1, 0.06);
+  EXPECT_DOUBLE_EQ(h.EqualSelectivity(42), 0.0);  // out of range
+}
+
+TEST(HistogramTest, SketchSumsToCoverage) {
+  std::vector<int64_t> vals;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    vals.push_back(static_cast<int64_t>(rng.NextUint64(1000)));
+  }
+  Histogram h = Histogram::Build(MakeIntColumn(vals), 32);
+  const std::vector<double> sketch = h.Sketch(16);
+  EXPECT_EQ(sketch.size(), 16u);
+  double sum = 0;
+  for (double v : sketch) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 0.1);
+}
+
+TEST(AnalyzeTest, CollectsRowCountAndDistinct) {
+  Table t({"t", {{"a", DataType::kInt64}}});
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{i % 50})}).ok());
+  }
+  TableStats stats = Analyze(t, 16, 64);
+  EXPECT_EQ(stats.row_count, 500u);
+  EXPECT_DOUBLE_EQ(stats.columns[0].num_distinct, 50.0);
+  EXPECT_EQ(stats.sample_rows.size(), 64u);
+}
+
+// ------------------------- query & plan basics -----------------------------
+
+TEST(QueryTest, ConnectivityCheck) {
+  Query q;
+  q.tables = {"a", "b", "c"};
+  q.joins.push_back({{0, 0}, {1, 0}});
+  EXPECT_FALSE(q.JoinGraphConnected());  // c is isolated
+  q.joins.push_back({{1, 0}, {2, 0}});
+  EXPECT_TRUE(q.JoinGraphConnected());
+}
+
+TEST(QueryTest, ToStringRendersSql) {
+  Query q;
+  q.tables = {"fact", "dim0"};
+  q.joins.push_back({{0, 1}, {1, 0}});
+  FilterPredicate f;
+  f.table_slot = 1;
+  f.column = 1;
+  f.op = CompareOp::kBetween;
+  f.value = 10;
+  f.value2 = 20;
+  q.filters.push_back(f);
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT COUNT(*)"), std::string::npos);
+  EXPECT_NE(s.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(s.find("fact t0"), std::string::npos);
+}
+
+TEST(PlanTest, CloneIsDeep) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->op = PlanOp::kSeqScan;
+  scan->table_slot = 0;
+  scan->est_rows = 10;
+  auto join = std::make_unique<PlanNode>();
+  join->op = PlanOp::kHashJoin;
+  join->children.push_back(std::move(scan));
+  auto scan2 = std::make_unique<PlanNode>();
+  scan2->op = PlanOp::kSeqScan;
+  scan2->table_slot = 1;
+  join->children.push_back(std::move(scan2));
+
+  auto copy = join->Clone();
+  copy->children[0]->est_rows = 99;
+  EXPECT_DOUBLE_EQ(join->children[0]->est_rows, 10);
+  EXPECT_EQ(copy->TreeSize(), 3);
+  EXPECT_EQ(copy->CoveredSlots(), (std::vector<int>{0, 1}));
+}
+
+// ------------------- end-to-end: plans vs brute force -----------------------
+
+// Brute-force SPJ evaluation by nested loops over filtered base tables.
+uint64_t BruteForceCount(const Database& db, const Query& q) {
+  std::vector<std::vector<uint32_t>> filtered(q.num_tables());
+  for (int s = 0; s < q.num_tables(); ++s) {
+    auto table = db.catalog().GetTable(q.tables[s]);
+    ML4DB_CHECK(table.ok());
+    const Table* t = *table;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      bool pass = true;
+      for (const auto& f : q.filters) {
+        if (f.table_slot != s) continue;
+        if (!EvalFilter(f, t->column(f.column).GetNumeric(r))) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) filtered[s].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  // Nested loop over slots.
+  uint64_t count = 0;
+  std::vector<uint32_t> tuple(q.num_tables());
+  std::function<void(int)> rec = [&](int slot) {
+    if (slot == q.num_tables()) {
+      ++count;
+      return;
+    }
+    auto table = db.catalog().GetTable(q.tables[slot]);
+    for (uint32_t r : filtered[slot]) {
+      tuple[slot] = r;
+      bool ok = true;
+      for (const auto& j : q.joins) {
+        const int ls = j.left.table_slot, rs = j.right.table_slot;
+        if (ls > slot || rs > slot) continue;  // not all bound yet
+        auto lt = db.catalog().GetTable(q.tables[ls]);
+        auto rt = db.catalog().GetTable(q.tables[rs]);
+        if ((*lt)->column(j.left.column).GetNumeric(tuple[ls]) !=
+            (*rt)->column(j.right.column).GetNumeric(tuple[rs])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) rec(slot + 1);
+    }
+    (void)table;
+  };
+  rec(0);
+  return count;
+}
+
+class EngineE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaGenOptions opts;
+    opts.topology = Topology::kStar;
+    opts.num_dimensions = 3;
+    opts.fact_rows = 2000;
+    opts.dim_rows = 300;
+    opts.attrs_per_table = 2;
+    opts.seed = 77;
+    auto schema = BuildSyntheticDb(&db_, opts);
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = *schema;
+  }
+
+  Database db_;
+  SyntheticSchema schema_;
+};
+
+TEST_F(EngineE2eTest, PlansMatchBruteForce) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 4;
+  qopts.seed = 5;
+  QueryGenerator gen(&schema_, qopts);
+  for (int i = 0; i < 25; ++i) {
+    const Query q = gen.Next();
+    auto result = db_.Run(q);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->count, BruteForceCount(db_, q)) << q.ToString();
+  }
+}
+
+TEST_F(EngineE2eTest, AllHintSetsProduceSameCount) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 4;
+  qopts.seed = 6;
+  QueryGenerator gen(&schema_, qopts);
+  for (int i = 0; i < 8; ++i) {
+    const Query q = gen.Next();
+    auto base = db_.Run(q);
+    ASSERT_TRUE(base.ok());
+    for (const HintSet& hints : HintSet::BaoArms()) {
+      auto result = db_.Run(q, hints);
+      ASSERT_TRUE(result.ok()) << hints.Name();
+      EXPECT_EQ(result->count, base->count)
+          << q.ToString() << " with " << hints.Name();
+    }
+  }
+}
+
+TEST_F(EngineE2eTest, HintsChangeChosenOperators) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 3;
+  qopts.max_tables = 4;
+  qopts.seed = 8;
+  QueryGenerator gen(&schema_, qopts);
+  // Disabling hash joins must remove hash joins from some plan that had
+  // them (unless penalty-forced, which our schemas never trigger).
+  bool found_difference = false;
+  std::function<bool(const PlanNode&, PlanOp)> contains =
+      [&](const PlanNode& n, PlanOp op) {
+        if (n.op == op) return true;
+        for (const auto& c : n.children) {
+          if (contains(*c, op)) return true;
+        }
+        return false;
+      };
+  for (int i = 0; i < 10 && !found_difference; ++i) {
+    const Query q = gen.Next();
+    auto p1 = db_.Plan(q);
+    ASSERT_TRUE(p1.ok());
+    if (!contains(*p1->root, PlanOp::kHashJoin)) continue;
+    HintSet no_hash;
+    no_hash.enable_hash_join = false;
+    auto p2 = db_.Plan(q, no_hash);
+    ASSERT_TRUE(p2.ok());
+    if (!contains(*p2->root, PlanOp::kHashJoin)) found_difference = true;
+  }
+  EXPECT_TRUE(found_difference);
+}
+
+TEST_F(EngineE2eTest, ExecutorAnnotatesActuals) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 3;
+  qopts.seed = 9;
+  QueryGenerator gen(&schema_, qopts);
+  const Query q = gen.Next();
+  auto plan = db_.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  auto result = db_.Execute(q, &*plan);
+  ASSERT_TRUE(result.ok());
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& n) {
+    EXPECT_GE(n.actual_rows, 0.0) << PlanOpName(n.op);
+    for (const auto& c : n.children) check(*c);
+  };
+  check(*plan->root);
+  EXPECT_DOUBLE_EQ(plan->root->actual_rows,
+                   static_cast<double>(result->count));
+  EXPECT_GT(result->latency, 0.0);
+}
+
+TEST_F(EngineE2eTest, LatencyTimeoutAborts) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 3;
+  qopts.max_tables = 4;
+  qopts.seed = 10;
+  QueryGenerator gen(&schema_, qopts);
+  const Query q = gen.Next();
+  auto plan = db_.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  ExecutionLimits limits;
+  limits.latency_timeout = 1e-9;
+  auto result = db_.Execute(q, &*plan, limits);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EngineE2eTest, CardEstimatorWithinReason) {
+  // On uniform attributes the histogram estimator should land within a
+  // modest q-error for single-table scans.
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 1;
+  qopts.seed = 11;
+  QueryGenerator gen(&schema_, qopts);
+  for (int i = 0; i < 10; ++i) {
+    const Query q = gen.Next();
+    const double est = db_.card_estimator().EstimateScan(q, 0);
+    auto result = db_.Run(q);
+    ASSERT_TRUE(result.ok());
+    const double truth = std::max<double>(1.0, result->count);
+    const double qerr = std::max(est / truth, truth / est);
+    EXPECT_LT(qerr, 8.0) << q.ToString() << " est=" << est
+                         << " true=" << truth;
+  }
+}
+
+TEST_F(EngineE2eTest, PlannerParamsAffectPlanCost) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 3;
+  qopts.max_tables = 3;
+  qopts.seed = 12;
+  QueryGenerator gen(&schema_, qopts);
+  const Query q = gen.Next();
+  auto p1 = db_.Plan(q);
+  ASSERT_TRUE(p1.ok());
+  CostParams crazy;
+  crazy.seq_page_cost = 1000.0;  // every plan touches pages somewhere
+  crazy.rand_page_cost = 10000.0;
+  crazy.cpu_tuple_cost = 5.0;
+  db_.SetPlannerParams(crazy);
+  auto p2 = db_.Plan(q);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(p1->est_cost, p2->est_cost);
+}
+
+TEST(DpOptimizerErrorsTest, RejectsDisconnectedAndEmpty) {
+  Database db;
+  Query q;
+  EXPECT_FALSE(db.Plan(q).ok());
+}
+
+// ----------------------------- cost model ----------------------------------
+
+TEST(CostModelTest, ParamRoundTrip) {
+  CostParams p;
+  for (size_t i = 0; i < CostParams::kNumParams; ++i) {
+    p.Set(i, static_cast<double>(i) + 0.5);
+    EXPECT_DOUBLE_EQ(p.Get(i), static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(CostParams::Names().size(), CostParams::kNumParams);
+}
+
+TEST(CostModelTest, PriceIsLinearInWork) {
+  CostParams p;
+  OperatorWork w;
+  w.seq_pages = 10;
+  w.input_tuples = 100;
+  const double c1 = PriceWork(w, p);
+  w.seq_pages *= 2;
+  w.input_tuples *= 2;
+  EXPECT_NEAR(PriceWork(w, p), 2 * c1, 1e-12);
+}
+
+TEST(CostModelTest, SeqVsIndexScanCrossover) {
+  CostModel m{CostParams{}};
+  const double table_rows = 100000;
+  // Selective probe: index much cheaper.
+  const double idx_few =
+      m.Price(m.IndexScanWork(table_rows, 10, 1, 10));
+  const double seq = m.Price(m.SeqScanWork(table_rows, 1, 10));
+  EXPECT_LT(idx_few, seq);
+  // Probe matching everything: index worse than scanning.
+  const double idx_all =
+      m.Price(m.IndexScanWork(table_rows, table_rows, 1, table_rows));
+  EXPECT_GT(idx_all, seq * 0.5);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "learned_index/alex_index.h"
+#include "learned_index/btree_index.h"
+#include "learned_index/pgm_index.h"
+#include "learned_index/radix_spline.h"
+#include "learned_index/rmi_index.h"
+#include "workload/data_gen.h"
+
+namespace ml4db {
+namespace learned_index {
+namespace {
+
+using workload::DataGenOptions;
+using workload::Distribution;
+using workload::GenerateSortedUniqueKeys;
+
+std::vector<Entry> MakeEntries(const std::vector<int64_t>& keys) {
+  std::vector<Entry> entries(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries[i] = {keys[i], static_cast<uint64_t>(i) * 10};
+  }
+  return entries;
+}
+
+std::unique_ptr<OrderedIndex> MakeIndex(const std::string& kind) {
+  if (kind == "btree") return std::make_unique<BTreeIndex>();
+  if (kind == "rmi") return std::make_unique<RmiIndex>(256);
+  if (kind == "pgm") return std::make_unique<PgmIndex>(16);
+  if (kind == "pgm_dynamic") return std::make_unique<DynamicPgmIndex>(16, 512);
+  if (kind == "radix_spline") return std::make_unique<RadixSplineIndex>(16);
+  if (kind == "alex") return std::make_unique<AlexIndex>();
+  ML4DB_CHECK_MSG(false, "unknown index kind");
+  return nullptr;
+}
+
+Status BulkLoadAny(OrderedIndex* index, const std::vector<Entry>& entries) {
+  if (auto* p = dynamic_cast<BTreeIndex*>(index)) return p->BulkLoad(entries);
+  if (auto* p = dynamic_cast<RmiIndex*>(index)) return p->BulkLoad(entries);
+  if (auto* p = dynamic_cast<PgmIndex*>(index)) return p->BulkLoad(entries);
+  if (auto* p = dynamic_cast<DynamicPgmIndex*>(index)) {
+    return p->BulkLoad(entries);
+  }
+  if (auto* p = dynamic_cast<RadixSplineIndex*>(index)) {
+    return p->BulkLoad(entries);
+  }
+  if (auto* p = dynamic_cast<AlexIndex*>(index)) return p->BulkLoad(entries);
+  return Status::Unimplemented("no bulk load");
+}
+
+struct IndexCase {
+  std::string kind;
+  Distribution dist;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<IndexCase>& info) {
+  return info.param.kind + "_" + DistributionName(info.param.dist);
+}
+
+class OrderedIndexParamTest : public ::testing::TestWithParam<IndexCase> {
+ protected:
+  void SetUp() override {
+    DataGenOptions opts;
+    opts.distribution = GetParam().dist;
+    opts.max_value = 1'000'000'000;
+    opts.seed = 1234;
+    keys_ = GenerateSortedUniqueKeys(20000, opts);
+    entries_ = MakeEntries(keys_);
+    index_ = MakeIndex(GetParam().kind);
+    ASSERT_TRUE(BulkLoadAny(index_.get(), entries_).ok());
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<Entry> entries_;
+  std::unique_ptr<OrderedIndex> index_;
+};
+
+TEST_P(OrderedIndexParamTest, LookupAllLoadedKeys) {
+  ASSERT_EQ(index_->size(), keys_.size());
+  for (size_t i = 0; i < entries_.size(); i += 7) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index_->Lookup(entries_[i].key, &v))
+        << index_->Name() << " missing key " << entries_[i].key;
+    EXPECT_EQ(v, entries_[i].value);
+  }
+}
+
+TEST_P(OrderedIndexParamTest, LookupMissReturnsFalse) {
+  Rng rng(55);
+  std::map<int64_t, uint64_t> truth;
+  for (const auto& e : entries_) truth[e.key] = e.value;
+  int misses = 0;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t probe =
+        static_cast<int64_t>(rng.NextUint64(1'000'000'000ULL));
+    uint64_t v = 0;
+    const bool found = index_->Lookup(probe, &v);
+    const auto it = truth.find(probe);
+    EXPECT_EQ(found, it != truth.end());
+    if (!found) ++misses;
+    if (found) {
+      EXPECT_EQ(v, it->second);
+    }
+  }
+  EXPECT_GT(misses, 0);  // probes should mostly miss
+}
+
+TEST_P(OrderedIndexParamTest, RangeScanMatchesOracle) {
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    const size_t a = rng.NextUint64(keys_.size());
+    const size_t b = std::min(keys_.size() - 1, a + rng.NextUint64(500));
+    const int64_t lo = keys_[a];
+    const int64_t hi = keys_[b];
+    std::vector<uint64_t> got = index_->RangeScan(lo, hi);
+    std::vector<uint64_t> expect;
+    for (size_t k = a; k <= b; ++k) expect.push_back(entries_[k].value);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect) << index_->Name() << " range [" << lo << ", " << hi
+                           << "]";
+  }
+}
+
+TEST_P(OrderedIndexParamTest, StructureBytesPositive) {
+  EXPECT_GT(index_->StructureBytes(), 0u);
+}
+
+std::vector<IndexCase> AllCases() {
+  std::vector<IndexCase> cases;
+  for (const char* kind :
+       {"btree", "rmi", "pgm", "pgm_dynamic", "radix_spline", "alex"}) {
+    for (Distribution d :
+         {Distribution::kUniform, Distribution::kLognormal,
+          Distribution::kClustered, Distribution::kSequential}) {
+      cases.push_back({kind, d});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, OrderedIndexParamTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// ------------------------- insert-capable indexes --------------------------
+
+class InsertableIndexTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InsertableIndexTest, InsertThenLookup) {
+  auto index = MakeIndex(GetParam());
+  ASSERT_TRUE(index->SupportsInsert());
+  DataGenOptions opts;
+  opts.seed = 9;
+  const auto initial = GenerateSortedUniqueKeys(5000, opts);
+  ASSERT_TRUE(BulkLoadAny(index.get(), MakeEntries(initial)).ok());
+
+  // Insert interleaved fresh keys (odd offsets unlikely to collide).
+  Rng rng(10);
+  std::map<int64_t, uint64_t> truth;
+  for (const auto& e : MakeEntries(initial)) truth[e.key] = e.value;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(2'000'000'000ULL));
+    if (truth.count(key)) continue;
+    const uint64_t val = static_cast<uint64_t>(i) + 1'000'000;
+    ASSERT_TRUE(index->Insert(key, val).ok());
+    truth[key] = val;
+  }
+  EXPECT_EQ(index->size(), truth.size());
+  for (const auto& [k, v] : truth) {
+    uint64_t got = 0;
+    ASSERT_TRUE(index->Lookup(k, &got)) << GetParam() << " lost key " << k;
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST_P(InsertableIndexTest, RangeScanAfterInserts) {
+  auto index = MakeIndex(GetParam());
+  DataGenOptions opts;
+  opts.seed = 11;
+  const auto initial = GenerateSortedUniqueKeys(2000, opts);
+  ASSERT_TRUE(BulkLoadAny(index.get(), MakeEntries(initial)).ok());
+  std::map<int64_t, uint64_t> truth;
+  for (const auto& e : MakeEntries(initial)) truth[e.key] = e.value;
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(1'000'000'000ULL));
+    if (truth.count(key)) continue;
+    ASSERT_TRUE(index->Insert(key, 7'000'000 + i).ok());
+    truth[key] = 7'000'000 + i;
+  }
+  for (int i = 0; i < 20; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.NextUint64(900'000'000ULL));
+    const int64_t hi = lo + 50'000'000;
+    std::vector<uint64_t> got = index->RangeScan(lo, hi);
+    std::vector<uint64_t> expect;
+    for (auto it = truth.lower_bound(lo); it != truth.end() && it->first <= hi;
+         ++it) {
+      expect.push_back(it->second);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect) << GetParam();
+  }
+}
+
+TEST_P(InsertableIndexTest, InsertIntoEmpty) {
+  auto index = MakeIndex(GetParam());
+  ASSERT_TRUE(index->Insert(42, 7).ok());
+  uint64_t v = 0;
+  ASSERT_TRUE(index->Lookup(42, &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(index->Lookup(43, &v));
+  EXPECT_EQ(index->size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Insertables, InsertableIndexTest,
+                         ::testing::Values("btree", "pgm_dynamic", "alex"),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------- paradigm/limit behaviours -----------------------
+
+TEST(ReplacementLimitTest, StaticIndexesRejectInserts) {
+  for (const std::string kind : {"rmi", "pgm", "radix_spline"}) {
+    auto index = MakeIndex(kind);
+    EXPECT_FALSE(index->SupportsInsert());
+    const Status s = index->Insert(1, 2);
+    EXPECT_EQ(s.code(), StatusCode::kUnimplemented) << kind;
+  }
+}
+
+// ------------------------------ B-tree details -----------------------------
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTreeIndex small(8);
+  std::vector<Entry> entries;
+  for (int64_t i = 0; i < 4096; ++i) entries.push_back({i, 0});
+  ASSERT_TRUE(small.BulkLoad(entries).ok());
+  EXPECT_GE(small.Height(), 3);
+  EXPECT_LE(small.Height(), 6);
+}
+
+TEST(BTreeTest, UpsertReplacesValue) {
+  BTreeIndex bt;
+  ASSERT_TRUE(bt.Insert(5, 1).ok());
+  ASSERT_TRUE(bt.Insert(5, 2).ok());
+  uint64_t v = 0;
+  ASSERT_TRUE(bt.Lookup(5, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(bt.size(), 1u);
+}
+
+TEST(BTreeTest, BulkLoadRejectsUnsorted) {
+  BTreeIndex bt;
+  EXPECT_FALSE(bt.BulkLoad({{5, 0}, {3, 0}}).ok());
+  EXPECT_FALSE(bt.BulkLoad({{5, 0}, {5, 1}}).ok());
+}
+
+// ------------------------------ PGM details --------------------------------
+
+TEST(PgmTest, PlaEpsilonBoundHolds) {
+  DataGenOptions opts;
+  opts.distribution = Distribution::kLognormal;
+  opts.seed = 33;
+  const auto keys = GenerateSortedUniqueKeys(30000, opts);
+  for (size_t eps : {4u, 16u, 64u}) {
+    const auto segments = BuildPla(keys, eps);
+    // Every key's predicted position must be within eps of its true index.
+    size_t seg = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      while (seg + 1 < segments.size() &&
+             segments[seg + 1].first_key <= keys[i]) {
+        ++seg;
+      }
+      const double pred = segments[seg].Predict(keys[i]);
+      EXPECT_NEAR(pred, static_cast<double>(i), static_cast<double>(eps) + 1.0)
+          << "eps=" << eps << " i=" << i;
+    }
+  }
+}
+
+TEST(PgmTest, SmallerEpsilonMoreSegments) {
+  DataGenOptions opts;
+  opts.seed = 34;
+  const auto keys = GenerateSortedUniqueKeys(20000, opts);
+  const auto coarse = BuildPla(keys, 128);
+  const auto fine = BuildPla(keys, 8);
+  EXPECT_GT(fine.size(), coarse.size());
+}
+
+TEST(PgmTest, LowerBoundPosExact) {
+  DataGenOptions opts;
+  opts.seed = 35;
+  const auto keys = GenerateSortedUniqueKeys(10000, opts);
+  PgmIndex pgm(16);
+  ASSERT_TRUE(pgm.BulkLoad(MakeEntries(keys)).ok());
+  Rng rng(36);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t probe = static_cast<int64_t>(rng.NextUint64(1'000'000'000));
+    const size_t got = pgm.LowerBoundPos(probe);
+    const size_t expect = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(PgmTest, MultiLevelForLargeData) {
+  DataGenOptions opts;
+  opts.seed = 37;
+  const auto keys = GenerateSortedUniqueKeys(50000, opts);
+  PgmIndex pgm(8);
+  ASSERT_TRUE(pgm.BulkLoad(MakeEntries(keys)).ok());
+  EXPECT_GE(pgm.num_levels(), 2u);
+  EXPECT_GT(pgm.num_leaf_segments(), 10u);
+}
+
+TEST(DynamicPgmTest, MergesKeepRunCountLogarithmic) {
+  DynamicPgmIndex idx(16, 256);
+  Rng rng(38);
+  std::map<int64_t, uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.NextUint64(1'000'000'000));
+    if (!truth.emplace(k, i).second) continue;
+    ASSERT_TRUE(idx.Insert(k, i).ok());
+  }
+  EXPECT_LE(idx.num_runs(), 12u);
+  EXPECT_EQ(idx.size(), truth.size());
+  // Spot-check lookups.
+  int checked = 0;
+  for (const auto& [k, v] : truth) {
+    if (++checked % 37 != 0) continue;
+    uint64_t got = 0;
+    ASSERT_TRUE(idx.Lookup(k, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+// --------------------------- RadixSpline details ---------------------------
+
+TEST(RadixSplineTest, SplinePointsFarFewerThanKeys) {
+  DataGenOptions opts;
+  opts.seed = 39;
+  const auto keys = GenerateSortedUniqueKeys(30000, opts);
+  RadixSplineIndex rs(64);
+  ASSERT_TRUE(rs.BulkLoad(MakeEntries(keys)).ok());
+  EXPECT_LT(rs.num_spline_points(), keys.size() / 20);
+}
+
+// ------------------------------ ALEX details -------------------------------
+
+TEST(AlexTest, NodesSplitUnderInsertPressure) {
+  AlexIndex::Options opts;
+  opts.target_node_keys = 256;
+  opts.max_node_slots = 1024;
+  AlexIndex alex(opts);
+  DataGenOptions d;
+  d.seed = 40;
+  const auto keys = GenerateSortedUniqueKeys(2000, d);
+  ASSERT_TRUE(alex.BulkLoad(MakeEntries(keys)).ok());
+  const size_t nodes_before = alex.num_data_nodes();
+  Rng rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.NextUint64(1'000'000'000));
+    ASSERT_TRUE(alex.Insert(k, i).ok());
+  }
+  EXPECT_GT(alex.num_data_nodes(), nodes_before);
+}
+
+TEST(AlexTest, SkewedInsertsStayCorrect) {
+  AlexIndex alex;
+  // Hammer one tiny key region (worst case for model-based placement).
+  std::map<int64_t, uint64_t> truth;
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t k = 500'000'000 + static_cast<int64_t>(rng.NextUint64(20000));
+    const uint64_t v = i;
+    ASSERT_TRUE(alex.Insert(k, v).ok());
+    truth[k] = v;
+  }
+  EXPECT_EQ(alex.size(), truth.size());
+  for (const auto& [k, v] : truth) {
+    uint64_t got = 0;
+    ASSERT_TRUE(alex.Lookup(k, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+}  // namespace
+}  // namespace learned_index
+}  // namespace ml4db

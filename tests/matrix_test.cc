@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "ml/matrix.h"
+
+namespace ml4db {
+namespace ml {
+namespace {
+
+TEST(MatrixTest, ZerosAndFill) {
+  Matrix m = Matrix::Zeros(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+  m.Fill(2.5);
+  EXPECT_EQ(m.At(1, 2), 2.5);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  int v = 1;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = v++;
+  Vec x = {1, 0, -1};
+  Vec y = MatVec(m, x);
+  EXPECT_DOUBLE_EQ(y[0], 1 - 3);
+  EXPECT_DOUBLE_EQ(y[1], 4 - 6);
+}
+
+TEST(MatrixTest, MatTVecIsTransposeProduct) {
+  Rng rng(1);
+  Matrix m = Matrix::Randn(rng, 4, 3, 1.0);
+  Vec x = {0.5, -1.0, 2.0, 0.25};
+  Vec y1 = MatTVec(m, x);
+  Vec y2 = MatVec(Transpose(m), x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(MatrixTest, MatMulAgainstManual) {
+  Matrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1; a.At(0, 1) = 2; a.At(1, 0) = 3; a.At(1, 1) = 4;
+  b.At(0, 0) = 5; b.At(0, 1) = 6; b.At(1, 0) = 7; b.At(1, 1) = 8;
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatrixTest, AddOuter) {
+  Matrix m = Matrix::Zeros(2, 3);
+  Vec y = {1, 2};
+  Vec x = {3, 4, 5};
+  AddOuter(m, y, x, 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 6);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 20);
+}
+
+TEST(MatrixTest, CholeskyReconstructs) {
+  // A = L0 L0^T for a known lower-triangular L0.
+  Matrix l0(3, 3);
+  l0.At(0, 0) = 2; l0.At(1, 0) = 0.5; l0.At(1, 1) = 1.5;
+  l0.At(2, 0) = -1; l0.At(2, 1) = 0.3; l0.At(2, 2) = 0.9;
+  Matrix a = MatMul(l0, Transpose(l0));
+  Matrix l = Cholesky(a);
+  Matrix back = MatMul(l, Transpose(l));
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(back.At(i, j), a.At(i, j), 1e-9);
+}
+
+TEST(MatrixTest, CholeskySolve) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 4; a.At(0, 1) = 1; a.At(1, 0) = 1; a.At(1, 1) = 3;
+  Vec b = {1, 2};
+  Vec x = CholeskySolve(a, b);
+  // Verify A x = b.
+  Vec ax = MatVec(a, x);
+  EXPECT_NEAR(ax[0], 1.0, 1e-9);
+  EXPECT_NEAR(ax[1], 2.0, 1e-9);
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  Matrix m(1, 3);
+  m.At(0, 0) = 1; m.At(0, 1) = 2; m.At(0, 2) = 2;
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 9.0);
+}
+
+TEST(MatrixTest, VecHelpers) {
+  Vec a = {1, 2, 3};
+  Vec b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  Vec c = VecAdd(a, b);
+  EXPECT_DOUBLE_EQ(c[2], 9.0);
+  Vec d = VecSub(b, a);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  Vec e = VecMul(a, b);
+  EXPECT_DOUBLE_EQ(e[1], 10.0);
+  Vec f = VecScale(a, -2.0);
+  EXPECT_DOUBLE_EQ(f[2], -6.0);
+  AxpyInPlace(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace ml4db

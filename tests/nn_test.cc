@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/nn.h"
+
+namespace ml4db {
+namespace ml {
+namespace {
+
+// Numerically checks d(loss)/d(param) for a scalar loss closure. Perturbs a
+// subset of parameter entries (stride sampling) to keep runtime small.
+void CheckParamGradients(Module& model,
+                         const std::function<double()>& loss_fn,
+                         const std::function<void()>& backward_fn,
+                         double tol = 1e-5) {
+  model.ZeroGrad();
+  backward_fn();
+  const double eps = 1e-6;
+  for (Parameter* p : model.Params()) {
+    const size_t stride = std::max<size_t>(1, p->size() / 17);
+    for (size_t i = 0; i < p->size(); i += stride) {
+      const double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double lp = loss_fn();
+      p->value.data()[i] = orig - eps;
+      const double lm = loss_fn();
+      p->value.data()[i] = orig;
+      const double num = (lp - lm) / (2 * eps);
+      const double ana = p->grad.data()[i];
+      EXPECT_NEAR(ana, num, tol * std::max(1.0, std::abs(num)))
+          << "param entry " << i;
+    }
+  }
+}
+
+TEST(ActivationTest, ReluAndGrad) {
+  Vec x = {-1.0, 0.0, 2.0};
+  Vec y = ApplyActivation(Activation::kRelu, x);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+  Vec dy = {1.0, 1.0, 1.0};
+  Vec dx = ActivationGradFromOutput(Activation::kRelu, y, dy);
+  EXPECT_DOUBLE_EQ(dx[0], 0.0);
+  EXPECT_DOUBLE_EQ(dx[2], 1.0);
+}
+
+TEST(ActivationTest, SigmoidRange) {
+  Vec x = {-10, 0, 10};
+  Vec y = ApplyActivation(Activation::kSigmoid, x);
+  EXPECT_LT(y[0], 0.01);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_GT(y[2], 0.99);
+}
+
+TEST(SoftmaxTest, SumsToOneAndStable) {
+  Vec y = Softmax({1000.0, 1000.0, 999.0});
+  double sum = 0;
+  for (double v : y) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(y[0], y[1], 1e-12);
+  EXPECT_LT(y[2], y[0]);
+}
+
+TEST(MlpTest, ForwardShapes) {
+  Rng rng(1);
+  Mlp mlp(rng, {4, 8, 3});
+  Vec out = mlp.Predict({1, 2, 3, 4});
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(mlp.in_dim(), 4u);
+  EXPECT_EQ(mlp.out_dim(), 3u);
+}
+
+TEST(MlpTest, NumParams) {
+  Rng rng(1);
+  Mlp mlp(rng, {4, 8, 3});
+  // (8*4 + 8) + (3*8 + 3) = 40 + 27.
+  EXPECT_EQ(mlp.NumParams(), 67u);
+}
+
+TEST(MlpTest, GradientCheckTanh) {
+  Rng rng(2);
+  Mlp mlp(rng, {3, 5, 2}, Activation::kTanh);
+  const Vec x = {0.3, -0.7, 1.1};
+  const Vec target = {0.5, -0.25};
+  auto loss_fn = [&] {
+    Vec g;
+    return MseLoss(mlp.Predict(x), target, &g);
+  };
+  auto backward_fn = [&] {
+    Mlp::Cache cache;
+    Vec pred = mlp.Forward(x, &cache);
+    Vec g;
+    MseLoss(pred, target, &g);
+    mlp.Backward(g, cache);
+  };
+  CheckParamGradients(mlp, loss_fn, backward_fn);
+}
+
+TEST(MlpTest, GradientCheckReluHuber) {
+  Rng rng(3);
+  Mlp mlp(rng, {4, 6, 1}, Activation::kRelu);
+  const Vec x = {1.0, -0.5, 0.2, 0.9};
+  const Vec target = {3.0};
+  auto loss_fn = [&] {
+    Vec g;
+    return HuberLoss(mlp.Predict(x), target, 1.0, &g);
+  };
+  auto backward_fn = [&] {
+    Mlp::Cache cache;
+    Vec pred = mlp.Forward(x, &cache);
+    Vec g;
+    HuberLoss(pred, target, 1.0, &g);
+    mlp.Backward(g, cache);
+  };
+  CheckParamGradients(mlp, loss_fn, backward_fn, 1e-4);
+}
+
+TEST(MlpTest, AdamFitsLinearFunction) {
+  Rng rng(4);
+  Mlp mlp(rng, {2, 16, 1}, Activation::kTanh);
+  Adam opt(mlp.Params(), 0.01);
+  // y = 2 x0 - x1 + 0.5.
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    mlp.ZeroGrad();
+    for (int i = 0; i < 16; ++i) {
+      const Vec x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      const Vec t = {2 * x[0] - x[1] + 0.5};
+      Mlp::Cache cache;
+      Vec pred = mlp.Forward(x, &cache);
+      Vec g;
+      MseLoss(pred, t, &g);
+      mlp.Backward(g, cache);
+    }
+    opt.Step();
+  }
+  double max_err = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Vec x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const double t = 2 * x[0] - x[1] + 0.5;
+    max_err = std::max(max_err, std::abs(mlp.Predict(x)[0] - t));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(MlpTest, SgdReducesLoss) {
+  Rng rng(5);
+  Mlp mlp(rng, {1, 8, 1}, Activation::kTanh);
+  Sgd opt(mlp.Params(), 0.05);
+  auto eval = [&] {
+    double total = 0;
+    for (int i = 0; i < 20; ++i) {
+      const double x = -1.0 + i * 0.1;
+      const double t = std::sin(2 * x);
+      const double p = mlp.Predict({x})[0];
+      total += (p - t) * (p - t);
+    }
+    return total;
+  };
+  const double before = eval();
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    mlp.ZeroGrad();
+    for (int i = 0; i < 20; ++i) {
+      const double x = -1.0 + i * 0.1;
+      Mlp::Cache cache;
+      Vec pred = mlp.Forward({x}, &cache);
+      Vec g;
+      MseLoss(pred, {std::sin(2 * x)}, &g);
+      mlp.Backward(g, cache);
+    }
+    opt.Step();
+  }
+  EXPECT_LT(eval(), before * 0.3);
+}
+
+TEST(LossTest, MseValueAndGrad) {
+  Vec g;
+  const double l = MseLoss({2.0}, {1.0}, &g);
+  EXPECT_DOUBLE_EQ(l, 0.5);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+}
+
+TEST(LossTest, HuberMatchesMseInside) {
+  Vec g1, g2;
+  const double l1 = HuberLoss({1.5}, {1.0}, 1.0, &g1);
+  const double l2 = MseLoss({1.5}, {1.0}, &g2);
+  EXPECT_NEAR(l1, l2, 1e-12);
+  EXPECT_NEAR(g1[0], g2[0], 1e-12);
+}
+
+TEST(LossTest, HuberLinearOutside) {
+  Vec g;
+  HuberLoss({10.0}, {0.0}, 1.0, &g);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);  // clipped at delta
+}
+
+TEST(LossTest, BceGradientSign) {
+  double g;
+  BceWithLogitsLoss(0.0, 1.0, &g);
+  EXPECT_LT(g, 0.0);  // push logit up for positive label
+  BceWithLogitsLoss(0.0, 0.0, &g);
+  EXPECT_GT(g, 0.0);
+}
+
+TEST(LossTest, PairwiseRankPushesApart) {
+  double gb, gw;
+  // Better plan currently scored WORSE (higher): loss should be large and
+  // gradients should push better down, worse up.
+  const double l = PairwiseRankLoss(2.0, 0.0, &gb, &gw);
+  EXPECT_GT(l, 1.0);
+  EXPECT_GT(gb, 0.0);  // minimize => subtract grad => score_better decreases
+  EXPECT_LT(gw, 0.0);
+}
+
+TEST(LossTest, PairwiseRankNumericalGradient) {
+  const double eps = 1e-6;
+  double gb, gw;
+  const double sb = 0.7, sw = 0.2;
+  PairwiseRankLoss(sb, sw, &gb, &gw);
+  double d1, d2;
+  const double num_b =
+      (PairwiseRankLoss(sb + eps, sw, &d1, &d2) -
+       PairwiseRankLoss(sb - eps, sw, &d1, &d2)) / (2 * eps);
+  const double num_w =
+      (PairwiseRankLoss(sb, sw + eps, &d1, &d2) -
+       PairwiseRankLoss(sb, sw - eps, &d1, &d2)) / (2 * eps);
+  EXPECT_NEAR(gb, num_b, 1e-6);
+  EXPECT_NEAR(gw, num_w, 1e-6);
+}
+
+TEST(OptimizerTest, ClipGradNorm) {
+  Rng rng(6);
+  Mlp mlp(rng, {2, 2}, Activation::kIdentity);
+  mlp.ZeroGrad();
+  for (Parameter* p : mlp.Params()) p->grad.Fill(10.0);
+  Sgd opt(mlp.Params(), 0.1);
+  opt.ClipGradNorm(1.0);
+  double total = 0;
+  for (Parameter* p : mlp.Params()) total += p->grad.SquaredNorm();
+  EXPECT_NEAR(std::sqrt(total), 1.0, 1e-9);
+}
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVar) {
+  Rng rng(7);
+  std::vector<Vec> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({rng.Gaussian(5.0, 3.0), rng.Gaussian(-2.0, 0.5), 7.0});
+  }
+  StandardScaler scaler;
+  scaler.Fit(rows);
+  double m0 = 0, m1 = 0;
+  for (const auto& r : rows) {
+    const Vec t = scaler.Transform(r);
+    m0 += t[0];
+    m1 += t[1];
+    EXPECT_DOUBLE_EQ(t[2], 0.0);  // constant feature maps to zero
+  }
+  EXPECT_NEAR(m0 / rows.size(), 0.0, 1e-9);
+  EXPECT_NEAR(m1 / rows.size(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace ml4db

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/autosteer.h"
+#include "optimizer/bao.h"
+#include "optimizer/harness.h"
+#include "optimizer/leon.h"
+#include "optimizer/paramtree.h"
+#include "optimizer/value_search.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace optimizer {
+namespace {
+
+using workload::BuildSyntheticDb;
+using workload::QueryGenerator;
+using workload::QueryGenOptions;
+using workload::SchemaGenOptions;
+using workload::SyntheticSchema;
+
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaGenOptions opts;
+    opts.num_dimensions = 3;
+    opts.fact_rows = 4000;
+    opts.dim_rows = 400;
+    opts.seed = 71;
+    auto schema = BuildSyntheticDb(&db_, opts);
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+    featurizer_ = std::make_unique<planrepr::PlanFeaturizer>(
+        &db_, planrepr::FeatureConfig{});
+    QueryGenOptions qopts;
+    qopts.min_tables = 2;
+    qopts.max_tables = 4;
+    qopts.seed = 72;
+    gen_ = std::make_unique<QueryGenerator>(&schema_, qopts);
+  }
+
+  std::vector<engine::Query> Queries(int n) { return gen_->Batch(n); }
+
+  engine::Database db_;
+  SyntheticSchema schema_;
+  std::unique_ptr<planrepr::PlanFeaturizer> featurizer_;
+  std::unique_ptr<QueryGenerator> gen_;
+};
+
+// --------------------------------- Bao --------------------------------------
+
+TEST_F(OptimizerFixture, BaoFeaturesStable) {
+  const engine::Query q = gen_->Next();
+  auto plan = db_.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  const ml::Vec f1 = BaoPlanFeatures(*plan);
+  const ml::Vec f2 = BaoPlanFeatures(*plan);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1.size(), kBaoFeatureDim);
+  EXPECT_DOUBLE_EQ(f1.back(), 1.0);  // bias
+}
+
+TEST_F(OptimizerFixture, BaoAlwaysProducesValidPlans) {
+  BaoOptimizer bao(&db_, BaoOptimizer::Options{});
+  for (const auto& q : Queries(10)) {
+    auto choice = bao.ChoosePlan(q);
+    ASSERT_TRUE(choice.ok());
+    auto result = db_.Execute(q, &choice->plan);
+    ASSERT_TRUE(result.ok());
+    bao.Feedback(*choice, result->latency);
+  }
+  EXPECT_EQ(bao.feedback_count(), 10u);
+}
+
+TEST_F(OptimizerFixture, BaoConvergesTowardOracleArm) {
+  // With enough feedback, Bao's chosen-arm latency should be much closer
+  // to the per-query best arm than to the worst arm.
+  BaoOptimizer bao(&db_, BaoOptimizer::Options{});
+  const auto train = Queries(120);
+  for (const auto& q : train) {
+    ASSERT_TRUE(bao.RunAndLearn(q).ok());
+  }
+  const auto test = Queries(30);
+  double bao_total = 0, best_total = 0, worst_total = 0;
+  for (const auto& q : test) {
+    auto choice = bao.ChoosePlan(q);
+    ASSERT_TRUE(choice.ok());
+    auto result = db_.Execute(q, &choice->plan);
+    ASSERT_TRUE(result.ok());
+    bao_total += result->latency;
+    double best = -1, worst = -1;
+    for (const auto& hints : engine::HintSet::BaoArms()) {
+      auto p = db_.Plan(q, hints);
+      if (!p.ok()) continue;
+      auto r = db_.Execute(q, &*p);
+      if (!r.ok()) continue;
+      if (best < 0 || r->latency < best) best = r->latency;
+      if (worst < 0 || r->latency > worst) worst = r->latency;
+    }
+    best_total += best;
+    worst_total += worst;
+  }
+  EXPECT_LT(bao_total, worst_total);
+  // Within 2x of the hindsight-best arm total.
+  EXPECT_LT(bao_total, best_total * 2.0);
+}
+
+// ------------------------------ AutoSteer ----------------------------------
+
+TEST_F(OptimizerFixture, AutoSteerDiscoversArms) {
+  AutoSteer steer(&db_, AutoSteer::Options{});
+  for (const auto& q : Queries(20)) {
+    auto latency = steer.RunAndLearn(q);
+    ASSERT_TRUE(latency.ok());
+  }
+  // Must have found more than just the default arm.
+  EXPECT_GT(steer.discovered_arms(), 1u);
+}
+
+TEST_F(OptimizerFixture, PlanFingerprintDistinguishesShapes) {
+  const engine::Query q = gen_->Next();
+  auto p1 = db_.Plan(q);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(PlanFingerprint(*p1->root), PlanFingerprint(*p1->root->Clone()));
+}
+
+// ------------------------------ ValueSearch --------------------------------
+
+TEST_F(OptimizerFixture, ValueSearchColdStartFallsBack) {
+  ValueSearchOptimizer neo(&db_, featurizer_.get(), NeoPreset());
+  EXPECT_FALSE(neo.trained());
+  const engine::Query q = gen_->Next();
+  auto learned = neo.PlanQuery(q);
+  auto expert = db_.Plan(q);
+  ASSERT_TRUE(learned.ok());
+  ASSERT_TRUE(expert.ok());
+  EXPECT_EQ(PlanFingerprint(*learned->root), PlanFingerprint(*expert->root));
+}
+
+TEST_F(OptimizerFixture, ValueSearchProducesExecutablePlans) {
+  ValueSearchOptions opts = NeoPreset();
+  opts.train_epochs = 6;
+  ValueSearchOptimizer neo(&db_, featurizer_.get(), opts);
+  ASSERT_TRUE(neo.Bootstrap(Queries(40)).ok());
+  EXPECT_TRUE(neo.trained());
+  EXPECT_GT(neo.experience_size(), 40u);
+  for (const auto& q : Queries(10)) {
+    auto plan = neo.PlanQuery(q);
+    ASSERT_TRUE(plan.ok());
+    auto result = db_.Execute(q, &*plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Counts must match the expert's answer (plan validity).
+    auto expert = db_.Run(q);
+    ASSERT_TRUE(expert.ok());
+    EXPECT_EQ(result->count, expert->count);
+  }
+}
+
+TEST_F(OptimizerFixture, BalsaTimeoutPreventsDisasters) {
+  ValueSearchOptions opts = BalsaPreset();
+  opts.train_epochs = 4;
+  ValueSearchOptimizer balsa(&db_, featurizer_.get(), opts);
+  ASSERT_TRUE(balsa.Bootstrap(Queries(25)).ok());
+  auto bill = balsa.TrainIteration(Queries(10));
+  ASSERT_TRUE(bill.ok()) << bill.status().ToString();
+  EXPECT_GT(*bill, 0.0);
+}
+
+// --------------------------------- LEON ------------------------------------
+
+TEST_F(OptimizerFixture, LeonUntrainedMatchesExpertPlan) {
+  LeonOptimizer leon(&db_, featurizer_.get(), LeonOptimizer::Options{});
+  EXPECT_FALSE(leon.model_active());
+  for (const auto& q : Queries(5)) {
+    auto leon_plan = leon.PlanQuery(q);
+    ASSERT_TRUE(leon_plan.ok());
+    auto expert_result = db_.Run(q);
+    auto leon_result = db_.Execute(q, &*leon_plan);
+    ASSERT_TRUE(leon_result.ok());
+    EXPECT_EQ(leon_result->count, expert_result->count);
+    // Untrained LEON ranks purely by expert cost, so its top plan cost
+    // matches the DP optimum.
+    auto expert_plan = db_.Plan(q);
+    EXPECT_NEAR(leon_plan->root->est_cost, expert_plan->root->est_cost,
+                expert_plan->root->est_cost * 1e-9);
+  }
+}
+
+TEST_F(OptimizerFixture, LeonTopPlansAreDistinctAndOrdered) {
+  LeonOptimizer leon(&db_, featurizer_.get(), LeonOptimizer::Options{});
+  const engine::Query q = gen_->Next();
+  auto plans = leon.TopPlans(q, 3);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_GE(plans->size(), 1u);
+  for (size_t i = 1; i < plans->size(); ++i) {
+    EXPECT_LE((*plans)[i - 1].root->est_cost, (*plans)[i].root->est_cost);
+  }
+}
+
+TEST_F(OptimizerFixture, LeonTrainsAndStaysCorrect) {
+  LeonOptimizer::Options lopts;
+  lopts.min_pairs = 10;
+  lopts.train_epochs = 6;
+  LeonOptimizer leon(&db_, featurizer_.get(), lopts);
+  for (int round = 0; round < 4; ++round) {
+    auto bill = leon.TrainRound(Queries(15));
+    ASSERT_TRUE(bill.ok()) << bill.status().ToString();
+  }
+  EXPECT_GT(leon.pairs_absorbed(), lopts.min_pairs);
+  // Whether the accuracy gate opens depends on how well the ranker learned;
+  // plans must stay correct either way (the gate IS the safety property).
+  EXPECT_GE(leon.PrequentialAccuracy(), 0.0);
+  for (const auto& q : Queries(8)) {
+    auto plan = leon.PlanQuery(q);
+    ASSERT_TRUE(plan.ok());
+    auto result = db_.Execute(q, &*plan);
+    ASSERT_TRUE(result.ok());
+    auto expert = db_.Run(q);
+    EXPECT_EQ(result->count, expert->count);
+  }
+}
+
+// ------------------------------- ParamTree ---------------------------------
+
+TEST_F(OptimizerFixture, ParamTreeRecoversTrueParams) {
+  // The fixture database uses default true params; collect executions and
+  // fit — the recovered constants must price the observed work accurately.
+  ParamTreeTuner tuner;
+  ASSERT_TRUE(tuner.CollectFrom(db_, Queries(30)).ok());
+  ASSERT_GE(tuner.num_observations(), engine::CostParams::kNumParams);
+  auto fitted = tuner.Fit();
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_LT(tuner.RelativeError(*fitted), 0.05);
+  // The true latency model uses the default constants; key ones should be
+  // recovered closely (identifiable counters).
+  engine::CostParams truth;
+  EXPECT_NEAR(fitted->cpu_tuple_cost, truth.cpu_tuple_cost,
+              truth.cpu_tuple_cost * 0.5);
+  EXPECT_NEAR(fitted->seq_page_cost, truth.seq_page_cost,
+              truth.seq_page_cost * 0.5);
+}
+
+TEST_F(OptimizerFixture, ParamTreeFixesMiscalibratedPlanner) {
+  // A database whose planner believes wildly wrong constants.
+  engine::DatabaseOptions dopts;
+  dopts.planner_params.rand_page_cost = 0.0001;  // index probes look free
+  dopts.planner_params.hash_build_cost = 50.0;   // hash joins look awful
+  engine::Database db2(dopts);
+  SchemaGenOptions sopts;
+  sopts.num_dimensions = 3;
+  sopts.fact_rows = 4000;
+  sopts.dim_rows = 400;
+  sopts.seed = 71;
+  auto schema2 = BuildSyntheticDb(&db2, sopts);
+  ASSERT_TRUE(schema2.ok());
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 4;
+  qopts.seed = 73;
+  QueryGenerator gen2(&*schema2, qopts);
+  const auto train = gen2.Batch(25);
+  const auto test = gen2.Batch(25);
+
+  const WorkloadReport before = EvaluatePlanner(db2, test, ExpertPlanner(db2));
+  ParamTreeTuner tuner;
+  ASSERT_TRUE(tuner.CollectFrom(db2, train).ok());
+  auto fitted = tuner.Fit();
+  ASSERT_TRUE(fitted.ok());
+  db2.SetPlannerParams(*fitted);
+  const WorkloadReport after = EvaluatePlanner(db2, test, ExpertPlanner(db2));
+  EXPECT_LE(after.total, before.total * 1.02);  // should not get worse
+  // PerOperatorError reports are finite.
+  for (double e : tuner.PerOperatorError(*fitted)) {
+    EXPECT_TRUE(std::isfinite(e));
+  }
+}
+
+// -------------------------------- Harness ----------------------------------
+
+TEST_F(OptimizerFixture, HarnessSummaryConsistent) {
+  const auto queries = Queries(12);
+  const WorkloadReport r = EvaluatePlanner(db_, queries, ExpertPlanner(db_));
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_EQ(r.planned, 12);
+  EXPECT_EQ(r.latencies.size(), 12u);
+  EXPECT_GE(r.p99, r.p50);
+  EXPECT_NEAR(r.mean * 12, r.total, 1e-6);
+  const WorkloadReport oracle = OracleArmPlanner(db_, queries);
+  EXPECT_LE(oracle.total, r.total + 1e-9);  // oracle includes default arm
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace ml4db

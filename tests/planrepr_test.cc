@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "planrepr/plan_features.h"
+#include "planrepr/plan_regressor.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace planrepr {
+namespace {
+
+using workload::BuildSyntheticDb;
+using workload::QueryGenerator;
+using workload::QueryGenOptions;
+using workload::SchemaGenOptions;
+using workload::SyntheticSchema;
+
+class PlanReprFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaGenOptions opts;
+    opts.num_dimensions = 3;
+    opts.fact_rows = 3000;
+    opts.dim_rows = 300;
+    opts.seed = 42;
+    auto schema = BuildSyntheticDb(&db_, opts);
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+  }
+
+  engine::Database db_;
+  SyntheticSchema schema_;
+};
+
+TEST_F(PlanReprFixture, FeatureConfigDims) {
+  FeatureConfig all;
+  FeatureConfig none;
+  none.semantic = none.statistics = none.histogram = none.sample = false;
+  EXPECT_EQ(none.Dim(), 0u);
+  FeatureConfig sem_only;
+  sem_only.statistics = sem_only.histogram = sem_only.sample = false;
+  EXPECT_LT(sem_only.Dim(), all.Dim());
+  EXPECT_EQ(all.Name(), "semantic+stats+hist+sample");
+  EXPECT_EQ(sem_only.Name(), "semantic");
+}
+
+TEST_F(PlanReprFixture, EncodePlanShapes) {
+  PlanFeaturizer fz(&db_, FeatureConfig{});
+  QueryGenOptions qopts;
+  qopts.min_tables = 3;
+  qopts.max_tables = 4;
+  QueryGenerator gen(&schema_, qopts);
+  const engine::Query q = gen.Next();
+  auto plan = db_.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  const ml::FeatureTree tree = fz.Encode(q, *plan->root);
+  EXPECT_EQ(static_cast<int>(tree.size()), plan->root->TreeSize());
+  EXPECT_TRUE(tree.IsTopologicallyOrdered());
+  for (const auto& n : tree.nodes) {
+    EXPECT_EQ(n.features.size(), fz.dim());
+    for (double v : n.features) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(PlanReprFixture, SemanticChannelEncodesOperator) {
+  FeatureConfig cfg;
+  cfg.statistics = cfg.histogram = cfg.sample = false;
+  PlanFeaturizer fz(&db_, cfg);
+  engine::PlanNode scan;
+  scan.op = engine::PlanOp::kSeqScan;
+  scan.table_slot = 0;
+  scan.table_name = "fact";
+  engine::Query q;
+  q.tables = {"fact"};
+  const ml::Vec f = fz.NodeFeatures(q, scan);
+  // First 5 entries are the op one-hot.
+  EXPECT_DOUBLE_EQ(f[static_cast<int>(engine::PlanOp::kSeqScan)], 1.0);
+  double onehot_sum = 0;
+  for (int i = 0; i < 5; ++i) onehot_sum += f[i];
+  EXPECT_DOUBLE_EQ(onehot_sum, 1.0);
+}
+
+TEST_F(PlanReprFixture, SampleChannelTracksSelectivity) {
+  FeatureConfig cfg;
+  cfg.semantic = cfg.statistics = cfg.histogram = false;
+  PlanFeaturizer fz(&db_, cfg);
+  engine::Query q;
+  q.tables = {"fact"};
+  engine::PlanNode scan;
+  scan.op = engine::PlanOp::kSeqScan;
+  scan.table_slot = 0;
+  scan.table_name = "fact";
+  // No filters: full sample passes.
+  EXPECT_DOUBLE_EQ(fz.NodeFeatures(q, scan)[0], 1.0);
+  // Narrow filter: few sample rows pass.
+  engine::FilterPredicate f;
+  f.table_slot = 0;
+  f.column = schema_.attr_columns[0][0];
+  f.op = engine::CompareOp::kBetween;
+  f.value = 0;
+  f.value2 = schema_.attr_domain / 100;  // ~1% selectivity
+  scan.filters.push_back(f);
+  EXPECT_LT(fz.NodeFeatures(q, scan)[0], 0.2);
+}
+
+// All encoder kinds should be able to learn a simple structural target
+// (plan size) from featurized plans.
+class RegressorParamTest : public PlanReprFixture,
+                           public ::testing::WithParamInterface<EncoderKind> {
+};
+
+TEST_P(RegressorParamTest, LearnsPlanSize) {
+  PlanFeaturizer fz(&db_, FeatureConfig{});
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 4;
+  qopts.seed = 7;
+  QueryGenerator gen(&schema_, qopts);
+
+  std::vector<ml::FeatureTree> trees;
+  std::vector<ml::Vec> targets;
+  for (int i = 0; i < 60; ++i) {
+    const engine::Query q = gen.Next();
+    auto plan = db_.Plan(q);
+    ASSERT_TRUE(plan.ok());
+    trees.push_back(fz.Encode(q, *plan->root));
+    targets.push_back({static_cast<double>(plan->root->TreeSize())});
+  }
+  PlanRegressorOptions opts;
+  opts.encoder = GetParam();
+  opts.embedding_dim = 16;
+  opts.seed = 9;
+  PlanRegressor model(fz.dim(), opts);
+  Rng rng(10);
+  double first = model.TrainEpoch(trees, targets, 8, rng);
+  double last = first;
+  for (int e = 0; e < 30; ++e) last = model.TrainEpoch(trees, targets, 8, rng);
+  EXPECT_LT(last, first * 0.7) << EncoderKindName(GetParam());
+}
+
+TEST_P(RegressorParamTest, RankingLossOrdersPlans) {
+  PlanFeaturizer fz(&db_, FeatureConfig{});
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 3;
+  qopts.seed = 17;
+  QueryGenerator gen(&schema_, qopts);
+  // Pairs: (small plan = better, big plan = worse).
+  std::vector<std::pair<ml::FeatureTree, ml::FeatureTree>> pairs;
+  for (int i = 0; i < 30; ++i) {
+    const engine::Query q2 = gen.Next();
+    auto p = db_.Plan(q2);
+    ASSERT_TRUE(p.ok());
+    engine::HintSet no_idx;
+    no_idx.enable_index_nl_join = false;
+    no_idx.enable_index_scan = false;
+    auto p2 = db_.Plan(q2, no_idx);
+    ASSERT_TRUE(p2.ok());
+    if (p->est_cost == p2->est_cost) continue;
+    const bool first_better = p->est_cost < p2->est_cost;
+    pairs.emplace_back(fz.Encode(q2, first_better ? *p->root : *p2->root),
+                       fz.Encode(q2, first_better ? *p2->root : *p->root));
+  }
+  ASSERT_GT(pairs.size(), 5u);
+  PlanRegressorOptions opts;
+  opts.encoder = GetParam();
+  opts.embedding_dim = 16;
+  opts.seed = 19;
+  PlanRegressor model(fz.dim(), opts);
+  for (int e = 0; e < 40; ++e) {
+    for (const auto& [better, worse] : pairs) {
+      model.AccumulateRanking(better, worse);
+    }
+    model.Step();
+  }
+  int correct = 0;
+  for (const auto& [better, worse] : pairs) {
+    correct += model.Predict(better)[0] < model.Predict(worse)[0];
+  }
+  EXPECT_GT(correct, static_cast<int>(pairs.size() * 3 / 4))
+      << EncoderKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncoders, RegressorParamTest,
+    ::testing::Values(EncoderKind::kFeatureVector, EncoderKind::kDfsLstm,
+                      EncoderKind::kTreeCnn, EncoderKind::kTreeLstm,
+                      EncoderKind::kTreeAttention),
+    [](const auto& info) { return EncoderKindName(info.param); });
+
+TEST_F(PlanReprFixture, ResetHeadKeepsEncoder) {
+  PlanFeaturizer fz(&db_, FeatureConfig{});
+  PlanRegressorOptions opts;
+  opts.encoder = EncoderKind::kTreeLstm;
+  opts.output_dim = 3;
+  PlanRegressor model(fz.dim(), opts);
+  const size_t params_before = model.NumParams();
+  model.ResetHead(1, 99);
+  // Head shrank (3 -> 1 outputs), encoder unchanged.
+  EXPECT_LT(model.NumParams(), params_before);
+  QueryGenOptions qopts;
+  QueryGenerator gen(&schema_, qopts);
+  const engine::Query q = gen.Next();
+  auto plan = db_.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(model.Predict(fz.Encode(q, *plan->root)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace planrepr
+}  // namespace ml4db

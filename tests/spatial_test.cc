@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "spatial/air_tree.h"
+#include "spatial/lisa_index.h"
+#include "spatial/platon.h"
+#include "spatial/rlr_tree.h"
+#include "spatial/rtree.h"
+#include "spatial/rw_tree.h"
+#include "spatial/zm_index.h"
+#include "workload/spatial_gen.h"
+
+namespace ml4db {
+namespace spatial {
+namespace {
+
+using workload::GeneratePoints;
+using workload::GenerateRangeQueries;
+using workload::GenerateRects;
+using workload::SpatialDistribution;
+using workload::SpatialGenOptions;
+
+Rect ToRect(const workload::Rect2& r) { return {r.xlo, r.ylo, r.xhi, r.yhi}; }
+Point ToPoint(const workload::Point2& p) { return {p.x, p.y}; }
+
+std::vector<SpatialEntry> PointEntries(const std::vector<workload::Point2>& pts) {
+  std::vector<SpatialEntry> entries(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    entries[i] = {Rect::FromPoint(ToPoint(pts[i])), i};
+  }
+  return entries;
+}
+
+std::vector<uint64_t> BruteRange(const std::vector<SpatialEntry>& entries,
+                                 const Rect& q) {
+  std::vector<uint64_t> out;
+  for (const auto& e : entries) {
+    if (q.Intersects(e.rect)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> BruteKnn(const std::vector<SpatialEntry>& entries,
+                               const Point& p, size_t k) {
+  std::vector<std::pair<double, uint64_t>> d;
+  d.reserve(entries.size());
+  for (const auto& e : entries) d.emplace_back(MinDist2(p, e.rect), e.id);
+  std::sort(d.begin(), d.end());
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < std::min(k, d.size()); ++i) out.push_back(d[i].second);
+  return out;
+}
+
+// ------------------------------- geometry ----------------------------------
+
+TEST(GeometryTest, RectBasics) {
+  Rect r{0.2, 0.3, 0.6, 0.5};
+  EXPECT_DOUBLE_EQ(r.Width(), 0.4);
+  EXPECT_DOUBLE_EQ(r.Height(), 0.2);
+  EXPECT_NEAR(r.Area(), 0.08, 1e-12);
+  EXPECT_TRUE(r.ContainsPoint({0.4, 0.4}));
+  EXPECT_FALSE(r.ContainsPoint({0.7, 0.4}));
+}
+
+TEST(GeometryTest, IntersectsAndUnion) {
+  Rect a{0, 0, 0.5, 0.5};
+  Rect b{0.4, 0.4, 1, 1};
+  Rect c{0.6, 0.6, 0.9, 0.9};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  const Rect u = Union(a, c);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(c));
+  EXPECT_NEAR(IntersectionArea(a, b), 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(IntersectionArea(a, c), 0.0);
+}
+
+TEST(GeometryTest, EmptyRectIsUnionIdentity) {
+  Rect a{0.1, 0.2, 0.3, 0.4};
+  const Rect u = Union(Rect::Empty(), a);
+  EXPECT_DOUBLE_EQ(u.xlo, a.xlo);
+  EXPECT_DOUBLE_EQ(u.yhi, a.yhi);
+  EXPECT_DOUBLE_EQ(Rect::Empty().Area(), 0.0);
+}
+
+TEST(GeometryTest, MinDistZeroInside) {
+  Rect r{0.2, 0.2, 0.8, 0.8};
+  EXPECT_DOUBLE_EQ(MinDist2({0.5, 0.5}, r), 0.0);
+  EXPECT_NEAR(MinDist2({0.0, 0.5}, r), 0.04, 1e-12);
+  EXPECT_NEAR(MinDist2({0.0, 0.0}, r), 0.08, 1e-12);
+}
+
+TEST(GeometryTest, ZOrderLocality) {
+  // Nearby points share high-order bits more often than far points.
+  const uint64_t z1 = ZOrder({0.1, 0.1});
+  const uint64_t z2 = ZOrder({0.1001, 0.1001});
+  const uint64_t z3 = ZOrder({0.9, 0.9});
+  EXPECT_LT(z1 ^ z2, z1 ^ z3);
+  // Corner codes bound codes inside the box.
+  const uint64_t lo = ZOrder({0.2, 0.3});
+  const uint64_t hi = ZOrder({0.4, 0.5});
+  const uint64_t mid = ZOrder({0.3, 0.4});
+  EXPECT_LE(lo, mid);
+  EXPECT_LE(mid, hi);
+}
+
+// -------------------------------- R-tree -----------------------------------
+
+class RTreeModes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RTreeModes, RangeMatchesBruteForce) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kClustered;
+  opts.seed = 3;
+  const auto rects = GenerateRects(3000, opts, 0.001, 0.01);
+  std::vector<SpatialEntry> entries(rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) entries[i] = {ToRect(rects[i]), i};
+
+  RTree tree;
+  if (GetParam() == "insert") {
+    for (const auto& e : entries) tree.Insert(e);
+  } else {
+    tree.BulkLoadStr(entries);
+  }
+  EXPECT_EQ(tree.size(), entries.size());
+
+  const auto queries = GenerateRangeQueries(40, 0.02, opts);
+  for (const auto& wq : queries) {
+    const Rect q = ToRect(wq);
+    QueryStats stats = tree.RangeQuery(q);
+    std::sort(stats.results.begin(), stats.results.end());
+    EXPECT_EQ(stats.results, BruteRange(entries, q));
+    EXPECT_GT(stats.nodes_accessed, 0u);
+  }
+}
+
+TEST_P(RTreeModes, KnnMatchesBruteForceDistances) {
+  SpatialGenOptions opts;
+  opts.seed = 4;
+  const auto pts = GeneratePoints(2000, opts);
+  const auto entries = PointEntries(pts);
+  RTree tree;
+  if (GetParam() == "insert") {
+    for (const auto& e : entries) tree.Insert(e);
+  } else {
+    tree.BulkLoadStr(entries);
+  }
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const size_t k = 1 + rng.NextUint64(20);
+    const auto got = tree.KnnQuery(p, k).results;
+    const auto expect = BruteKnn(entries, p, k);
+    ASSERT_EQ(got.size(), expect.size());
+    // Compare by distance (ties may reorder ids).
+    for (size_t j = 0; j < got.size(); ++j) {
+      const double dg = Dist2(p, ToPoint(pts[got[j]]));
+      const double de = Dist2(p, ToPoint(pts[expect[j]]));
+      EXPECT_NEAR(dg, de, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BuildModes, RTreeModes,
+                         ::testing::Values("insert", "str"),
+                         [](const auto& info) { return info.param; });
+
+TEST(RTreeTest, StrBulkLoadIsCompact) {
+  SpatialGenOptions opts;
+  opts.seed = 6;
+  const auto entries = PointEntries(GeneratePoints(10000, opts));
+  RTree inserted;
+  for (const auto& e : entries) inserted.Insert(e);
+  RTree packed;
+  packed.BulkLoadStr(entries);
+  // Packed trees should need fewer node accesses for the same workload.
+  const auto queries = GenerateRangeQueries(50, 0.01, opts);
+  size_t acc_ins = 0, acc_str = 0;
+  for (const auto& wq : queries) {
+    acc_ins += inserted.RangeQuery(ToRect(wq)).nodes_accessed;
+    acc_str += packed.RangeQuery(ToRect(wq)).nodes_accessed;
+  }
+  EXPECT_LT(acc_str, acc_ins);
+  EXPECT_LE(packed.Height(), inserted.Height());
+}
+
+TEST(RTreeTest, ExpectedNodeAccessesTracksReality) {
+  SpatialGenOptions opts;
+  opts.seed = 7;
+  const auto entries = PointEntries(GeneratePoints(5000, opts));
+  RTree tree;
+  tree.BulkLoadStr(entries);
+  const auto wqueries = GenerateRangeQueries(50, 0.02, opts);
+  std::vector<Rect> queries;
+  for (const auto& wq : wqueries) queries.push_back(ToRect(wq));
+  const double expected = tree.ExpectedNodeAccesses(queries);
+  double actual = 0;
+  for (const auto& q : queries) {
+    actual += static_cast<double>(tree.RangeQuery(q).nodes_accessed);
+  }
+  actual /= static_cast<double>(queries.size());
+  // ExpectedNodeAccesses counts every intersecting node; RangeQuery only
+  // descends into intersecting parents, so expected >= actual, but both
+  // should be on the same scale.
+  EXPECT_GE(expected, actual - 1e-9);
+  EXPECT_LT(expected, actual * 2 + 5);
+}
+
+TEST(RTreeTest, LeafVisitCoversAllEntries) {
+  SpatialGenOptions opts;
+  opts.seed = 8;
+  const auto entries = PointEntries(GeneratePoints(1000, opts));
+  RTree tree;
+  tree.BulkLoadStr(entries);
+  std::set<uint64_t> seen;
+  size_t leaves = 0;
+  tree.VisitLeaves([&](size_t, const Rect& mbr,
+                       const std::vector<SpatialEntry>& es) {
+    ++leaves;
+    for (const auto& e : es) {
+      EXPECT_TRUE(mbr.Contains(e.rect));  // MBR invariant
+      seen.insert(e.id);
+    }
+  });
+  EXPECT_EQ(seen.size(), entries.size());
+  EXPECT_GT(leaves, 1u);
+}
+
+// --------------------------------- ZM --------------------------------------
+
+TEST(ZmIndexTest, RangeQueryExact) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kClustered;
+  opts.seed = 9;
+  const auto pts = GeneratePoints(8000, opts);
+  std::vector<Point> points;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    points.push_back(ToPoint(pts[i]));
+    ids.push_back(i);
+  }
+  ZmIndex zm;
+  ASSERT_TRUE(zm.Build(points, ids).ok());
+  const auto entries = PointEntries(pts);
+  for (const auto& wq : GenerateRangeQueries(30, 0.01, opts)) {
+    const Rect q = ToRect(wq);
+    auto stats = zm.RangeQuery(q);
+    std::sort(stats.results.begin(), stats.results.end());
+    EXPECT_EQ(stats.results, BruteRange(entries, q));
+  }
+}
+
+TEST(ZmIndexTest, KnnIsApproximateButClose) {
+  SpatialGenOptions opts;
+  opts.seed = 10;
+  const auto pts = GeneratePoints(10000, opts);
+  std::vector<Point> points;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    points.push_back(ToPoint(pts[i]));
+    ids.push_back(i);
+  }
+  ZmIndex zm;
+  ASSERT_TRUE(zm.Build(points, ids).ok());
+  const auto entries = PointEntries(pts);
+  Rng rng(11);
+  double recall_sum = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const size_t k = 10;
+    const auto got = zm.KnnQuery(p, k).results;
+    const auto expect = BruteKnn(entries, p, k);
+    std::set<uint64_t> truth(expect.begin(), expect.end());
+    size_t hit = 0;
+    for (uint64_t id : got) hit += truth.count(id);
+    recall_sum += static_cast<double>(hit) / static_cast<double>(k);
+  }
+  const double recall = recall_sum / trials;
+  // Approximate: decent recall but the paper's point is it is NOT exact.
+  EXPECT_GT(recall, 0.6);
+}
+
+// --------------------------------- LISA ------------------------------------
+
+TEST(LisaIndexTest, RangeQueryExact) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kSkewed;
+  opts.seed = 12;
+  const auto pts = GeneratePoints(8000, opts);
+  std::vector<Point> points;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    points.push_back(ToPoint(pts[i]));
+    ids.push_back(i);
+  }
+  LisaIndex lisa(32);
+  ASSERT_TRUE(lisa.Build(points, ids).ok());
+  const auto entries = PointEntries(pts);
+  for (const auto& wq : GenerateRangeQueries(30, 0.02, opts)) {
+    const Rect q = ToRect(wq);
+    auto stats = lisa.RangeQuery(q);
+    std::sort(stats.results.begin(), stats.results.end());
+    EXPECT_EQ(stats.results, BruteRange(entries, q));
+  }
+}
+
+TEST(LisaIndexTest, KnnExactDistances) {
+  SpatialGenOptions opts;
+  opts.seed = 13;
+  const auto pts = GeneratePoints(5000, opts);
+  std::vector<Point> points;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    points.push_back(ToPoint(pts[i]));
+    ids.push_back(i);
+  }
+  LisaIndex lisa(16);
+  ASSERT_TRUE(lisa.Build(points, ids).ok());
+  const auto entries = PointEntries(pts);
+  Rng rng(14);
+  for (int t = 0; t < 20; ++t) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const auto got = lisa.KnnQuery(p, 8).results;
+    const auto expect = BruteKnn(entries, p, 8);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_NEAR(Dist2(p, ToPoint(pts[got[j]])),
+                  Dist2(p, ToPoint(pts[expect[j]])), 1e-12);
+    }
+  }
+}
+
+// --------------------------------- RLR -------------------------------------
+
+TEST(RlrTreeTest, CorrectAfterTraining) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kClustered;
+  opts.seed = 15;
+  const auto rects = GenerateRects(4000, opts, 0.001, 0.01);
+  std::vector<SpatialEntry> entries(rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) entries[i] = {ToRect(rects[i]), i};
+
+  RlrTree rlr(RTree::Options{}, RlrPolicy::Options{}, 16);
+  // Training uses a scratch tree; the serving tree starts empty after.
+  std::vector<SpatialEntry> train(entries.begin(), entries.begin() + 2000);
+  rlr.TrainAndFreeze(train);
+  EXPECT_GT(rlr.policy().updates(), 100u);
+  EXPECT_FALSE(rlr.policy().training());
+  EXPECT_EQ(rlr.tree().size(), 0u);
+  for (const auto& e : entries) rlr.Insert(e);
+  EXPECT_EQ(rlr.tree().size(), entries.size());
+
+  for (const auto& wq : GenerateRangeQueries(25, 0.02, opts)) {
+    const Rect q = ToRect(wq);
+    auto stats = rlr.RangeQuery(q);
+    std::sort(stats.results.begin(), stats.results.end());
+    EXPECT_EQ(stats.results, BruteRange(entries, q));
+  }
+}
+
+// --------------------------------- RW --------------------------------------
+
+TEST(RwTreeTest, CorrectAndWorkloadAware) {
+  SpatialGenOptions data_opts;
+  data_opts.distribution = SpatialDistribution::kUniform;
+  data_opts.seed = 17;
+  const auto entries = PointEntries(GeneratePoints(4000, data_opts));
+
+  // Workload concentrated in one corner.
+  SpatialGenOptions q_opts;
+  q_opts.distribution = SpatialDistribution::kSkewed;
+  q_opts.seed = 18;
+  const auto wqueries = GenerateRangeQueries(100, 0.005, q_opts);
+  std::vector<Rect> sample;
+  for (size_t i = 0; i < 50; ++i) sample.push_back(ToRect(wqueries[i]));
+
+  RwTree rw(RTree::Options{}, sample);
+  for (const auto& e : entries) rw.Insert(e);
+  RTree classic;
+  for (const auto& e : entries) classic.Insert(e);
+
+  size_t acc_rw = 0, acc_classic = 0;
+  for (size_t i = 50; i < wqueries.size(); ++i) {  // held-out queries
+    const Rect q = ToRect(wqueries[i]);
+    auto stats = rw.RangeQuery(q);
+    std::sort(stats.results.begin(), stats.results.end());
+    EXPECT_EQ(stats.results, BruteRange(entries, q));
+    acc_rw += stats.nodes_accessed;
+    acc_classic += classic.RangeQuery(q).nodes_accessed;
+  }
+  // Workload-aware insertion should not be dramatically worse; typically
+  // better on the skewed workload. Generous slack keeps the test stable.
+  EXPECT_LT(acc_rw, acc_classic * 3 / 2);
+}
+
+// -------------------------------- PLATON ------------------------------------
+
+TEST(PlatonTest, PartitionCoversAllEntriesOnce) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kClustered;
+  opts.seed = 19;
+  const auto entries = PointEntries(GeneratePoints(6000, opts));
+  const auto wq = GenerateRangeQueries(40, 0.01, opts);
+  std::vector<Rect> queries;
+  for (const auto& q : wq) queries.push_back(ToRect(q));
+
+  PlatonOptions popts;
+  popts.mcts_min_block = 2048;
+  const auto partition = PlatonPartition(entries, queries, popts);
+  std::set<uint64_t> seen;
+  for (const auto& leaf : partition) {
+    EXPECT_LE(leaf.size(), popts.leaf_capacity);
+    EXPECT_FALSE(leaf.empty());
+    for (const auto& e : leaf) {
+      EXPECT_TRUE(seen.insert(e.id).second) << "duplicate entry in partition";
+    }
+  }
+  EXPECT_EQ(seen.size(), entries.size());
+}
+
+TEST(PlatonTest, PackedTreeIsCorrectAndCompetitive) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kClustered;
+  opts.num_clusters = 6;
+  opts.seed = 20;
+  const auto entries = PointEntries(GeneratePoints(8000, opts));
+  // Skewed workload over the clusters.
+  const auto wq = GenerateRangeQueries(120, 0.004, opts);
+  std::vector<Rect> train, test;
+  for (size_t i = 0; i < wq.size(); ++i) {
+    (i < 60 ? train : test).push_back(ToRect(wq[i]));
+  }
+  PlatonOptions popts;
+  popts.mcts_min_block = 2048;
+  RTree platon = PlatonPack(entries, train, RTree::Options{}, popts);
+  RTree str;
+  str.BulkLoadStr(entries);
+
+  size_t acc_platon = 0, acc_str = 0;
+  for (const auto& q : test) {
+    auto stats = platon.RangeQuery(q);
+    std::sort(stats.results.begin(), stats.results.end());
+    EXPECT_EQ(stats.results, BruteRange(entries, q));
+    acc_platon += stats.nodes_accessed;
+    acc_str += str.RangeQuery(q).nodes_accessed;
+  }
+  // Learned packing should be at worst mildly behind STR, typically ahead
+  // on skewed workloads.
+  EXPECT_LT(acc_platon, acc_str * 3 / 2);
+}
+
+// --------------------------------- AI+R -------------------------------------
+
+TEST(AirTreeTest, RoutedQueriesHighRecallFewerAccesses) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kClustered;
+  opts.seed = 21;
+  const auto entries = PointEntries(GeneratePoints(8000, opts));
+  RTree tree;
+  tree.BulkLoadStr(entries);
+
+  // High-overlap workload: large boxes.
+  const auto wq = GenerateRangeQueries(200, 0.05, opts);
+  std::vector<Rect> train, test;
+  for (size_t i = 0; i < wq.size(); ++i) {
+    (i < 120 ? train : test).push_back(ToRect(wq[i]));
+  }
+  AirTree air(&tree, AirTree::Options{});
+  air.Train(train);
+  ASSERT_TRUE(air.trained());
+
+  double recall_sum = 0;
+  size_t acc_air = 0, acc_rtree = 0;
+  size_t denom = 0;
+  for (const auto& q : test) {
+    const auto truth = BruteRange(entries, q);
+    if (truth.empty()) continue;
+    auto stats = air.AiRangeQuery(q);
+    std::set<uint64_t> got(stats.results.begin(), stats.results.end());
+    size_t hit = 0;
+    for (uint64_t id : truth) hit += got.count(id);
+    recall_sum += static_cast<double>(hit) / truth.size();
+    acc_air += stats.nodes_accessed;
+    acc_rtree += tree.RangeQuery(q).nodes_accessed;
+    ++denom;
+  }
+  ASSERT_GT(denom, 0u);
+  EXPECT_GT(recall_sum / denom, 0.9);
+  // Routed search touches only (predicted) leaves: fewer accesses than the
+  // full traversal on high-overlap queries.
+  EXPECT_LT(acc_air, acc_rtree);
+}
+
+TEST(AirTreeTest, UntrainedFallsBackToRtree) {
+  SpatialGenOptions opts;
+  opts.seed = 22;
+  const auto entries = PointEntries(GeneratePoints(1000, opts));
+  RTree tree;
+  tree.BulkLoadStr(entries);
+  AirTree air(&tree, AirTree::Options{});
+  const Rect q{0.2, 0.2, 0.4, 0.4};
+  auto a = air.RangeQuery(q);
+  auto b = tree.RangeQuery(q);
+  std::sort(a.results.begin(), a.results.end());
+  std::sort(b.results.begin(), b.results.end());
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.nodes_accessed, b.nodes_accessed);
+}
+
+}  // namespace
+}  // namespace spatial
+}  // namespace ml4db

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "ml/tree_models.h"
+
+namespace ml4db {
+namespace ml {
+namespace {
+
+// Builds a small plan-shaped tree: root 0 with children {1, 2}; node 1 has
+// children {3, 4}.
+FeatureTree MakeTree(Rng& rng, size_t feat_dim) {
+  FeatureTree t;
+  t.nodes.resize(5);
+  t.nodes[0].children = {1, 2};
+  t.nodes[1].children = {3, 4};
+  for (auto& n : t.nodes) {
+    n.features.resize(feat_dim);
+    for (auto& f : n.features) f = rng.Uniform(-1, 1);
+  }
+  return t;
+}
+
+FeatureTree MakeChain(Rng& rng, size_t feat_dim, size_t len) {
+  FeatureTree t;
+  t.nodes.resize(len);
+  for (size_t i = 0; i + 1 < len; ++i) t.nodes[i].children = {int(i) + 1};
+  for (auto& n : t.nodes) {
+    n.features.resize(feat_dim);
+    for (auto& f : n.features) f = rng.Uniform(-1, 1);
+  }
+  return t;
+}
+
+TEST(FeatureTreeTest, DepthsAndDfs) {
+  Rng rng(1);
+  FeatureTree t = MakeTree(rng, 2);
+  const auto depths = t.Depths();
+  EXPECT_EQ(depths[0], 0);
+  EXPECT_EQ(depths[1], 1);
+  EXPECT_EQ(depths[2], 1);
+  EXPECT_EQ(depths[3], 2);
+  const auto order = t.DfsOrder();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(order[3], 4);
+  EXPECT_EQ(order[4], 2);
+  EXPECT_TRUE(t.IsTopologicallyOrdered());
+}
+
+TEST(FeatureTreeTest, DetectsBadOrdering) {
+  FeatureTree t;
+  t.nodes.resize(2);
+  t.nodes[1].children = {0};  // child before parent
+  EXPECT_FALSE(t.IsTopologicallyOrdered());
+}
+
+// Factory for each encoder type under test.
+std::unique_ptr<TreeEncoder> MakeEncoder(const std::string& kind, Rng& rng,
+                                         size_t in_dim, size_t out_dim) {
+  if (kind == "dfs_lstm") {
+    return std::make_unique<DfsLstmEncoder>(rng, in_dim, out_dim);
+  }
+  if (kind == "tree_lstm") {
+    return std::make_unique<TreeLstmEncoder>(rng, in_dim, out_dim);
+  }
+  if (kind == "tree_cnn") {
+    return std::make_unique<TreeCnnEncoder>(rng, in_dim, out_dim);
+  }
+  if (kind == "tree_attention") {
+    return std::make_unique<TreeAttentionEncoder>(rng, in_dim, out_dim);
+  }
+  ML4DB_CHECK_MSG(false, "unknown encoder kind");
+  return nullptr;
+}
+
+class TreeEncoderParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TreeEncoderParamTest, OutputShape) {
+  Rng rng(11);
+  auto enc = MakeEncoder(GetParam(), rng, 4, 6);
+  FeatureTree t = MakeTree(rng, 4);
+  const Vec out = enc->Embed(t);
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(enc->OutputDim(), 6u);
+}
+
+TEST_P(TreeEncoderParamTest, DeterministicForSameInput) {
+  Rng rng(12);
+  auto enc = MakeEncoder(GetParam(), rng, 4, 6);
+  FeatureTree t = MakeTree(rng, 4);
+  const Vec a = enc->Embed(t);
+  const Vec b = enc->Embed(t);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_P(TreeEncoderParamTest, SensitiveToFeatures) {
+  Rng rng(13);
+  auto enc = MakeEncoder(GetParam(), rng, 4, 6);
+  FeatureTree t = MakeTree(rng, 4);
+  const Vec a = enc->Embed(t);
+  t.nodes[3].features[0] += 1.0;
+  const Vec b = enc->Embed(t);
+  double diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST_P(TreeEncoderParamTest, HandlesSingleNodeTree) {
+  Rng rng(14);
+  auto enc = MakeEncoder(GetParam(), rng, 3, 5);
+  FeatureTree t;
+  t.nodes.resize(1);
+  t.nodes[0].features = {0.1, -0.2, 0.3};
+  const Vec out = enc->Embed(t);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST_P(TreeEncoderParamTest, HandlesDeepChain) {
+  Rng rng(15);
+  auto enc = MakeEncoder(GetParam(), rng, 3, 4);
+  FeatureTree t = MakeChain(rng, 3, 40);
+  const Vec out = enc->Embed(t);
+  EXPECT_EQ(out.size(), 4u);
+  for (double v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+// Numerical gradient check: d(loss)/d(params) where loss = 0.5||embed||^2,
+// so d(loss)/d(embed) = embed.
+TEST_P(TreeEncoderParamTest, GradientCheck) {
+  Rng rng(16);
+  auto enc = MakeEncoder(GetParam(), rng, 3, 4);
+  FeatureTree t = MakeTree(rng, 3);
+
+  auto loss_fn = [&] {
+    const Vec e = enc->Embed(t);
+    double l = 0;
+    for (double v : e) l += 0.5 * v * v;
+    return l;
+  };
+  enc->ZeroGrad();
+  std::unique_ptr<TreeEncoder::Cache> cache;
+  const Vec e = enc->Encode(t, &cache);
+  enc->Backward(e, t, *cache);
+
+  const double eps = 1e-6;
+  // TreeCNN's max-pooling makes the loss piecewise; skip entries where the
+  // argmax flips by using a tolerance on relative error.
+  for (Parameter* p : enc->Params()) {
+    const size_t stride = std::max<size_t>(1, p->size() / 13);
+    for (size_t i = 0; i < p->size(); i += stride) {
+      const double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double lp = loss_fn();
+      p->value.data()[i] = orig - eps;
+      const double lm = loss_fn();
+      p->value.data()[i] = orig;
+      const double num = (lp - lm) / (2 * eps);
+      const double ana = p->grad.data()[i];
+      EXPECT_NEAR(ana, num, 1e-4 * std::max(1.0, std::abs(num)))
+          << GetParam() << " param entry " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, TreeEncoderParamTest,
+                         ::testing::Values("dfs_lstm", "tree_lstm", "tree_cnn",
+                                           "tree_attention"),
+                         [](const auto& info) { return info.param; });
+
+TEST(TreeLstmTest, OrderSensitivity) {
+  // TreeLSTM should distinguish trees with identical multisets of node
+  // features but different shapes.
+  Rng rng(21);
+  TreeLstmEncoder enc(rng, 2, 8);
+  FeatureTree chain = MakeChain(rng, 2, 3);
+  FeatureTree star;
+  star.nodes.resize(3);
+  star.nodes[0].children = {1, 2};
+  for (size_t i = 0; i < 3; ++i) star.nodes[i].features = chain.nodes[i].features;
+  const Vec a = enc.Embed(chain);
+  const Vec b = enc.Embed(star);
+  double diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(TreeModelsTest, TrainableOnTreeRegression) {
+  // Regression target: sum of root features minus count of leaves. All
+  // encoders should reduce loss; we validate the TreeLSTM end to end.
+  Rng rng(22);
+  const size_t feat = 3;
+  TreeLstmEncoder enc(rng, feat, 16);
+  Linear head(rng, 16, 1);
+
+  std::vector<Parameter*> params = enc.Params();
+  for (Parameter* p : head.Params()) params.push_back(p);
+  Adam opt(params, 0.01);
+
+  std::vector<FeatureTree> trees;
+  std::vector<double> targets;
+  Rng data_rng(23);
+  for (int i = 0; i < 60; ++i) {
+    FeatureTree t =
+        (i % 2 == 0) ? MakeTree(data_rng, feat) : MakeChain(data_rng, feat, 4);
+    double target = 0;
+    for (double f : t.nodes[0].features) target += f;
+    trees.push_back(std::move(t));
+    targets.push_back(target);
+  }
+
+  auto epoch_loss = [&] {
+    double total = 0;
+    for (size_t i = 0; i < trees.size(); ++i) {
+      const Vec e = enc.Embed(trees[i]);
+      const double pred = head.Forward(e, nullptr)[0];
+      total += (pred - targets[i]) * (pred - targets[i]);
+    }
+    return total / trees.size();
+  };
+
+  const double before = epoch_loss();
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    enc.ZeroGrad();
+    for (Parameter* p : head.Params()) p->ZeroGrad();
+    for (size_t i = 0; i < trees.size(); ++i) {
+      std::unique_ptr<TreeEncoder::Cache> cache;
+      const Vec e = enc.Encode(trees[i], &cache);
+      Linear::Cache hc;
+      const Vec pred = head.Forward(e, &hc);
+      Vec g;
+      MseLoss(pred, {targets[i]}, &g);
+      const Vec de = head.Backward(g, hc);
+      enc.Backward(de, trees[i], *cache);
+    }
+    opt.Step();
+  }
+  EXPECT_LT(epoch_loss(), before * 0.5);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace ml4db

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/math_util.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+#include "workload/spatial_gen.h"
+
+namespace ml4db {
+namespace workload {
+namespace {
+
+// ------------------------------ data gen -----------------------------------
+
+class DataGenParamTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(DataGenParamTest, KeysInDomainAndDeterministic) {
+  DataGenOptions opts;
+  opts.distribution = GetParam();
+  opts.max_value = 1'000'000;
+  opts.seed = 3;
+  const auto keys = GenerateKeys(5000, opts);
+  ASSERT_EQ(keys.size(), 5000u);
+  for (int64_t k : keys) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 1'000'000);
+  }
+  const auto again = GenerateKeys(5000, opts);
+  EXPECT_EQ(keys, again);
+}
+
+TEST_P(DataGenParamTest, SortedUniqueInvariant) {
+  DataGenOptions opts;
+  opts.distribution = GetParam();
+  opts.max_value = 10'000'000;
+  opts.seed = 4;
+  const auto keys = GenerateSortedUniqueKeys(20000, opts);
+  ASSERT_EQ(keys.size(), 20000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DataGenParamTest,
+    ::testing::Values(Distribution::kUniform, Distribution::kNormal,
+                      Distribution::kLognormal, Distribution::kZipf,
+                      Distribution::kClustered, Distribution::kSequential),
+    [](const auto& info) { return DistributionName(info.param); });
+
+TEST(DataGenTest, ZipfProducesDuplicates) {
+  DataGenOptions opts;
+  opts.distribution = Distribution::kZipf;
+  opts.max_value = 100000;
+  opts.zipf_theta = 1.2;
+  const auto keys = GenerateKeys(10000, opts);
+  std::set<int64_t> uniq(keys.begin(), keys.end());
+  EXPECT_LT(uniq.size(), keys.size() / 2);
+}
+
+TEST(DataGenTest, LognormalIsSkewed) {
+  DataGenOptions opts;
+  opts.distribution = Distribution::kLognormal;
+  opts.max_value = 1'000'000'000;
+  auto keys = GenerateKeys(20000, opts);
+  std::sort(keys.begin(), keys.end());
+  const double median = static_cast<double>(keys[keys.size() / 2]);
+  const double p99 = static_cast<double>(keys[keys.size() * 99 / 100]);
+  EXPECT_GT(p99 / std::max(median, 1.0), 10.0);  // heavy right tail
+}
+
+// ----------------------------- schema gen ----------------------------------
+
+TEST(SchemaGenTest, StarTopologyShapes) {
+  engine::Database db;
+  SchemaGenOptions opts;
+  opts.topology = Topology::kStar;
+  opts.num_dimensions = 3;
+  opts.fact_rows = 1000;
+  opts.dim_rows = 100;
+  auto schema = BuildSyntheticDb(&db, opts);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->table_names.size(), 4u);
+  auto fact = db.catalog().GetTable("fact");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ((*fact)->num_rows(), 1000u);
+  // id + 3 fks + 2 attrs.
+  EXPECT_EQ((*fact)->num_columns(), 6u);
+  // FK values must reference existing dim rows.
+  for (size_t r = 0; r < 100; ++r) {
+    const int64_t fk = (*fact)->column(1).Get(r).AsInt64();
+    EXPECT_GE(fk, 0);
+    EXPECT_LT(fk, 100);
+  }
+  // Stats must exist for every table.
+  for (const auto& name : schema->table_names) {
+    EXPECT_NE(db.stats().Get(name), nullptr);
+  }
+}
+
+TEST(SchemaGenTest, ChainTopologyJoinable) {
+  engine::Database db;
+  SchemaGenOptions opts;
+  opts.topology = Topology::kChain;
+  opts.num_dimensions = 3;  // 4 links
+  opts.fact_rows = 800;
+  opts.dim_rows = 400;
+  auto schema = BuildSyntheticDb(&db, opts);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->table_names.size(), 4u);
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 4;
+  QueryGenerator gen(&*schema, qopts);
+  for (int i = 0; i < 10; ++i) {
+    const engine::Query q = gen.Next();
+    EXPECT_TRUE(q.JoinGraphConnected()) << q.ToString();
+    auto result = db.Run(q);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST(SchemaGenTest, DataDriftShiftsDistribution) {
+  engine::Database db;
+  SchemaGenOptions opts;
+  opts.num_dimensions = 2;
+  opts.fact_rows = 2000;
+  opts.dim_rows = 200;
+  auto schema = BuildSyntheticDb(&db, opts);
+  ASSERT_TRUE(schema.ok());
+  auto fact = db.catalog().GetTable("fact");
+  const size_t before = (*fact)->num_rows();
+  ASSERT_TRUE(InjectDataDrift(&db, *schema, 1000, 0.1, 5, true).ok());
+  EXPECT_EQ((*fact)->num_rows(), before + 1000);
+  // New attribute values live in the top decile of the domain.
+  const int attr_col = schema->attr_columns[0][0];
+  const int64_t lo = static_cast<int64_t>(0.9 * schema->attr_domain);
+  for (size_t r = before; r < before + 50; ++r) {
+    EXPECT_GE((*fact)->column(attr_col).Get(r).AsInt64(), lo);
+  }
+}
+
+// ------------------------------ query gen ----------------------------------
+
+class QueryGenFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaGenOptions opts;
+    opts.num_dimensions = 4;
+    opts.fact_rows = 1000;
+    opts.dim_rows = 100;
+    auto schema = BuildSyntheticDb(&db_, opts);
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+  }
+  engine::Database db_;
+  SyntheticSchema schema_;
+};
+
+TEST_F(QueryGenFixture, QueriesAreWellFormed) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 5;
+  QueryGenerator gen(&schema_, qopts);
+  for (const auto& q : gen.Batch(50)) {
+    EXPECT_GE(q.num_tables(), 1);
+    EXPECT_LE(q.num_tables(), 5);
+    EXPECT_TRUE(q.JoinGraphConnected());
+    for (const auto& f : q.filters) {
+      EXPECT_GE(f.table_slot, 0);
+      EXPECT_LT(f.table_slot, q.num_tables());
+    }
+    EXPECT_FALSE(q.filters.empty());
+  }
+}
+
+TEST_F(QueryGenFixture, TemplateInstancesShareShape) {
+  QueryGenOptions qopts;
+  QueryGenerator gen(&schema_, qopts);
+  const QueryTemplate tmpl = gen.MakeTemplate();
+  const engine::Query a = gen.Instantiate(tmpl);
+  const engine::Query b = gen.Instantiate(tmpl);
+  EXPECT_EQ(a.tables, b.tables);
+  ASSERT_EQ(a.filters.size(), b.filters.size());
+  // Same filtered columns, (almost surely) different literals.
+  for (size_t i = 0; i < a.filters.size(); ++i) {
+    EXPECT_EQ(a.filters[i].column, b.filters[i].column);
+  }
+}
+
+TEST_F(QueryGenFixture, TemplateWorkloadFollowsWeights) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 3;
+  QueryGenerator gen(&schema_, qopts);
+  std::vector<QueryTemplate> tmpls = {gen.MakeTemplate(), gen.MakeTemplate()};
+  // Ensure the two templates differ in table sets for the test to be
+  // meaningful; regenerate if identical.
+  int guard = 0;
+  while (tmpls[0].schema_tables == tmpls[1].schema_tables && guard++ < 20) {
+    tmpls[1] = gen.MakeTemplate();
+  }
+  TemplateWorkload wl(&gen, tmpls, {1.0, 0.0}, 13);
+  for (int i = 0; i < 10; ++i) {
+    const engine::Query q = wl.Next();
+    EXPECT_EQ(q.tables.size(), tmpls[0].schema_tables.size());
+  }
+  wl.SetWeights({0.0, 1.0});
+  for (int i = 0; i < 10; ++i) {
+    const engine::Query q = wl.Next();
+    EXPECT_EQ(q.tables.size(), tmpls[1].schema_tables.size());
+  }
+}
+
+// ----------------------------- spatial gen ---------------------------------
+
+class SpatialGenParamTest
+    : public ::testing::TestWithParam<SpatialDistribution> {};
+
+TEST_P(SpatialGenParamTest, PointsInUnitSquare) {
+  SpatialGenOptions opts;
+  opts.distribution = GetParam();
+  opts.seed = 21;
+  for (const auto& p : GeneratePoints(2000, opts)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpatial, SpatialGenParamTest,
+    ::testing::Values(SpatialDistribution::kUniform,
+                      SpatialDistribution::kClustered,
+                      SpatialDistribution::kSkewed,
+                      SpatialDistribution::kDiagonal),
+    [](const auto& info) { return SpatialDistributionName(info.param); });
+
+TEST(SpatialGenTest, RectsValid) {
+  SpatialGenOptions opts;
+  for (const auto& r : GenerateRects(500, opts, 0.001, 0.01)) {
+    EXPECT_LE(r.xlo, r.xhi);
+    EXPECT_LE(r.ylo, r.yhi);
+  }
+}
+
+TEST(SpatialGenTest, RangeQuerySelectivityApproximate) {
+  SpatialGenOptions opts;
+  opts.distribution = SpatialDistribution::kUniform;
+  const auto points = GeneratePoints(20000, opts);
+  const auto queries = GenerateRangeQueries(50, 0.05, opts);
+  double total_frac = 0;
+  for (const auto& q : queries) {
+    size_t hits = 0;
+    for (const auto& p : points) {
+      if (p.x >= q.xlo && p.x <= q.xhi && p.y >= q.ylo && p.y <= q.yhi) {
+        ++hits;
+      }
+    }
+    total_frac += static_cast<double>(hits) / points.size();
+  }
+  // Boundary clamping biases selectivity down slightly; accept a band.
+  EXPECT_NEAR(total_frac / queries.size(), 0.05, 0.02);
+}
+
+TEST(SpatialGenTest, ClusteredIsDenser) {
+  SpatialGenOptions uni;
+  uni.distribution = SpatialDistribution::kUniform;
+  SpatialGenOptions clus;
+  clus.distribution = SpatialDistribution::kClustered;
+  clus.num_clusters = 4;
+  // Measure mean nearest-grid-cell occupancy variance: clustered data has
+  // much higher cell-count variance than uniform.
+  auto cell_variance = [](const std::vector<Point2>& pts) {
+    constexpr int kGrid = 16;
+    std::vector<double> counts(kGrid * kGrid, 0.0);
+    for (const auto& p : pts) {
+      const int cx = std::min(kGrid - 1, static_cast<int>(p.x * kGrid));
+      const int cy = std::min(kGrid - 1, static_cast<int>(p.y * kGrid));
+      counts[cy * kGrid + cx] += 1.0;
+    }
+    return ml4db::StdDev(counts);
+  };
+  const auto u = GeneratePoints(10000, uni);
+  const auto c = GeneratePoints(10000, clus);
+  EXPECT_GT(cell_variance(c), 3.0 * cell_variance(u));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ml4db
