@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_air_tree"
+  "../bench/bench_air_tree.pdb"
+  "CMakeFiles/bench_air_tree.dir/bench_air_tree.cc.o"
+  "CMakeFiles/bench_air_tree.dir/bench_air_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_air_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

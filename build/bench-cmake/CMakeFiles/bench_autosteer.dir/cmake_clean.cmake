@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_autosteer"
+  "../bench/bench_autosteer.pdb"
+  "CMakeFiles/bench_autosteer.dir/bench_autosteer.cc.o"
+  "CMakeFiles/bench_autosteer.dir/bench_autosteer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autosteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

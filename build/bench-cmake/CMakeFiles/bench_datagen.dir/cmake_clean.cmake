@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_datagen"
+  "../bench/bench_datagen.pdb"
+  "CMakeFiles/bench_datagen.dir/bench_datagen.cc.o"
+  "CMakeFiles/bench_datagen.dir/bench_datagen.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

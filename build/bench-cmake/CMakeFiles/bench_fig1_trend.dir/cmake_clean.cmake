@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_trend"
+  "../bench/bench_fig1_trend.pdb"
+  "CMakeFiles/bench_fig1_trend.dir/bench_fig1_trend.cc.o"
+  "CMakeFiles/bench_fig1_trend.dir/bench_fig1_trend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_index_static.cc" "bench-cmake/CMakeFiles/bench_index_static.dir/bench_index_static.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_index_static.dir/bench_index_static.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/learned_index/CMakeFiles/ml4db_learned_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ml4db_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ml4db_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_index_static"
+  "../bench/bench_index_static.pdb"
+  "CMakeFiles/bench_index_static.dir/bench_index_static.cc.o"
+  "CMakeFiles/bench_index_static.dir/bench_index_static.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_index_updates"
+  "../bench/bench_index_updates.pdb"
+  "CMakeFiles/bench_index_updates.dir/bench_index_updates.cc.o"
+  "CMakeFiles/bench_index_updates.dir/bench_index_updates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_leon_balsa"
+  "../bench/bench_leon_balsa.pdb"
+  "CMakeFiles/bench_leon_balsa.dir/bench_leon_balsa.cc.o"
+  "CMakeFiles/bench_leon_balsa.dir/bench_leon_balsa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leon_balsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

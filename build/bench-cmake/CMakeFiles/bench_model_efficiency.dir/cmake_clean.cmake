@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_efficiency"
+  "../bench/bench_model_efficiency.pdb"
+  "CMakeFiles/bench_model_efficiency.dir/bench_model_efficiency.cc.o"
+  "CMakeFiles/bench_model_efficiency.dir/bench_model_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

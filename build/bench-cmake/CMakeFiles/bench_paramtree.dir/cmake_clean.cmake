@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_paramtree"
+  "../bench/bench_paramtree.pdb"
+  "CMakeFiles/bench_paramtree.dir/bench_paramtree.cc.o"
+  "CMakeFiles/bench_paramtree.dir/bench_paramtree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paramtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pretrain_fewshot"
+  "../bench/bench_pretrain_fewshot.pdb"
+  "CMakeFiles/bench_pretrain_fewshot.dir/bench_pretrain_fewshot.cc.o"
+  "CMakeFiles/bench_pretrain_fewshot.dir/bench_pretrain_fewshot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pretrain_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

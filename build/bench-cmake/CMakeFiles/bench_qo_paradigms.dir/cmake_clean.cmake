@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qo_paradigms"
+  "../bench/bench_qo_paradigms.pdb"
+  "CMakeFiles/bench_qo_paradigms.dir/bench_qo_paradigms.cc.o"
+  "CMakeFiles/bench_qo_paradigms.dir/bench_qo_paradigms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qo_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

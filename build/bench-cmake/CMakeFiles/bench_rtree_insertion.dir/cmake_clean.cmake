@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rtree_insertion"
+  "../bench/bench_rtree_insertion.pdb"
+  "CMakeFiles/bench_rtree_insertion.dir/bench_rtree_insertion.cc.o"
+  "CMakeFiles/bench_rtree_insertion.dir/bench_rtree_insertion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtree_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

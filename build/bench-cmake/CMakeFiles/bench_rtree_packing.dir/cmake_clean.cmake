@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rtree_packing"
+  "../bench/bench_rtree_packing.pdb"
+  "CMakeFiles/bench_rtree_packing.dir/bench_rtree_packing.cc.o"
+  "CMakeFiles/bench_rtree_packing.dir/bench_rtree_packing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtree_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

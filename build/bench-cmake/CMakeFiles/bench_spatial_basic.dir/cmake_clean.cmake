@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spatial_basic"
+  "../bench/bench_spatial_basic.pdb"
+  "CMakeFiles/bench_spatial_basic.dir/bench_spatial_basic.cc.o"
+  "CMakeFiles/bench_spatial_basic.dir/bench_spatial_basic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_planrepr"
+  "../bench/bench_tab1_planrepr.pdb"
+  "CMakeFiles/bench_tab1_planrepr.dir/bench_tab1_planrepr.cc.o"
+  "CMakeFiles/bench_tab1_planrepr.dir/bench_tab1_planrepr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_planrepr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cardest.dir/adaptive_cardest.cpp.o"
+  "CMakeFiles/adaptive_cardest.dir/adaptive_cardest.cpp.o.d"
+  "adaptive_cardest"
+  "adaptive_cardest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cardest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

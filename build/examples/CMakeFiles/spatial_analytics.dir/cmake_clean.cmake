@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_analytics.dir/spatial_analytics.cpp.o"
+  "CMakeFiles/spatial_analytics.dir/spatial_analytics.cpp.o.d"
+  "spatial_analytics"
+  "spatial_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

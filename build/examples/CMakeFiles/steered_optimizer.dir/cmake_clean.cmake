@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steered_optimizer.dir/steered_optimizer.cpp.o"
+  "CMakeFiles/steered_optimizer.dir/steered_optimizer.cpp.o.d"
+  "steered_optimizer"
+  "steered_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steered_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

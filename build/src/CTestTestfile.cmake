@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ml")
+subdirs("engine")
+subdirs("workload")
+subdirs("learned_index")
+subdirs("spatial")
+subdirs("planrepr")
+subdirs("costest")
+subdirs("optimizer")
+subdirs("drift")
+subdirs("pretrain")
+subdirs("survey")
+subdirs("advisor")
+subdirs("datagen")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_advisor.dir/index_advisor.cc.o"
+  "CMakeFiles/ml4db_advisor.dir/index_advisor.cc.o.d"
+  "libml4db_advisor.a"
+  "libml4db_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

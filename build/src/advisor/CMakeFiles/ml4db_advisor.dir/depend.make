@@ -1,0 +1,2 @@
+# Empty dependencies file for ml4db_advisor.
+# This may be replaced when dependencies are built.

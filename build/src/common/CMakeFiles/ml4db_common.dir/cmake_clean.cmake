@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_common.dir/math_util.cc.o"
+  "CMakeFiles/ml4db_common.dir/math_util.cc.o.d"
+  "CMakeFiles/ml4db_common.dir/status.cc.o"
+  "CMakeFiles/ml4db_common.dir/status.cc.o.d"
+  "libml4db_common.a"
+  "libml4db_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

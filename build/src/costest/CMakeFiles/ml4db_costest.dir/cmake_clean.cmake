@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_costest.dir/collector.cc.o"
+  "CMakeFiles/ml4db_costest.dir/collector.cc.o.d"
+  "CMakeFiles/ml4db_costest.dir/estimators.cc.o"
+  "CMakeFiles/ml4db_costest.dir/estimators.cc.o.d"
+  "libml4db_costest.a"
+  "libml4db_costest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_costest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

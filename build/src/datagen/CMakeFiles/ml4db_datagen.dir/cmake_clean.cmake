@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_datagen.dir/workload_datagen.cc.o"
+  "CMakeFiles/ml4db_datagen.dir/workload_datagen.cc.o.d"
+  "libml4db_datagen.a"
+  "libml4db_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

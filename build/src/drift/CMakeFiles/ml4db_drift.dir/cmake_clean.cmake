@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_drift.dir/detectors.cc.o"
+  "CMakeFiles/ml4db_drift.dir/detectors.cc.o.d"
+  "libml4db_drift.a"
+  "libml4db_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

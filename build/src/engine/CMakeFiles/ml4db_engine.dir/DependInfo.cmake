@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/card_estimator.cc" "src/engine/CMakeFiles/ml4db_engine.dir/card_estimator.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/card_estimator.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/ml4db_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/ml4db_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/dp_optimizer.cc" "src/engine/CMakeFiles/ml4db_engine.dir/dp_optimizer.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/dp_optimizer.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/ml4db_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/hints.cc" "src/engine/CMakeFiles/ml4db_engine.dir/hints.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/hints.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/ml4db_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/engine/CMakeFiles/ml4db_engine.dir/query.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/query.cc.o.d"
+  "/root/repo/src/engine/stats.cc" "src/engine/CMakeFiles/ml4db_engine.dir/stats.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/stats.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/ml4db_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/types.cc" "src/engine/CMakeFiles/ml4db_engine.dir/types.cc.o" "gcc" "src/engine/CMakeFiles/ml4db_engine.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

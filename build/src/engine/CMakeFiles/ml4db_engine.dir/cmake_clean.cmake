@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_engine.dir/card_estimator.cc.o"
+  "CMakeFiles/ml4db_engine.dir/card_estimator.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/cost_model.cc.o"
+  "CMakeFiles/ml4db_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/database.cc.o"
+  "CMakeFiles/ml4db_engine.dir/database.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/dp_optimizer.cc.o"
+  "CMakeFiles/ml4db_engine.dir/dp_optimizer.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/executor.cc.o"
+  "CMakeFiles/ml4db_engine.dir/executor.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/hints.cc.o"
+  "CMakeFiles/ml4db_engine.dir/hints.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/plan.cc.o"
+  "CMakeFiles/ml4db_engine.dir/plan.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/query.cc.o"
+  "CMakeFiles/ml4db_engine.dir/query.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/stats.cc.o"
+  "CMakeFiles/ml4db_engine.dir/stats.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/table.cc.o"
+  "CMakeFiles/ml4db_engine.dir/table.cc.o.d"
+  "CMakeFiles/ml4db_engine.dir/types.cc.o"
+  "CMakeFiles/ml4db_engine.dir/types.cc.o.d"
+  "libml4db_engine.a"
+  "libml4db_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

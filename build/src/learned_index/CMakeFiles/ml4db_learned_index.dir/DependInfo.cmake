@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learned_index/alex_index.cc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/alex_index.cc.o" "gcc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/alex_index.cc.o.d"
+  "/root/repo/src/learned_index/btree_index.cc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/btree_index.cc.o" "gcc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/btree_index.cc.o.d"
+  "/root/repo/src/learned_index/pgm_index.cc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/pgm_index.cc.o" "gcc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/pgm_index.cc.o.d"
+  "/root/repo/src/learned_index/radix_spline.cc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/radix_spline.cc.o" "gcc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/radix_spline.cc.o.d"
+  "/root/repo/src/learned_index/rmi_index.cc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/rmi_index.cc.o" "gcc" "src/learned_index/CMakeFiles/ml4db_learned_index.dir/rmi_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_learned_index.dir/alex_index.cc.o"
+  "CMakeFiles/ml4db_learned_index.dir/alex_index.cc.o.d"
+  "CMakeFiles/ml4db_learned_index.dir/btree_index.cc.o"
+  "CMakeFiles/ml4db_learned_index.dir/btree_index.cc.o.d"
+  "CMakeFiles/ml4db_learned_index.dir/pgm_index.cc.o"
+  "CMakeFiles/ml4db_learned_index.dir/pgm_index.cc.o.d"
+  "CMakeFiles/ml4db_learned_index.dir/radix_spline.cc.o"
+  "CMakeFiles/ml4db_learned_index.dir/radix_spline.cc.o.d"
+  "CMakeFiles/ml4db_learned_index.dir/rmi_index.cc.o"
+  "CMakeFiles/ml4db_learned_index.dir/rmi_index.cc.o.d"
+  "libml4db_learned_index.a"
+  "libml4db_learned_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_learned_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayes_linear.cc" "src/ml/CMakeFiles/ml4db_ml.dir/bayes_linear.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/bayes_linear.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/ml4db_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/ml4db_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/ml/CMakeFiles/ml4db_ml.dir/nn.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/nn.cc.o.d"
+  "/root/repo/src/ml/qlearning.cc" "src/ml/CMakeFiles/ml4db_ml.dir/qlearning.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/qlearning.cc.o.d"
+  "/root/repo/src/ml/random_feature_gp.cc" "src/ml/CMakeFiles/ml4db_ml.dir/random_feature_gp.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/random_feature_gp.cc.o.d"
+  "/root/repo/src/ml/tree_models.cc" "src/ml/CMakeFiles/ml4db_ml.dir/tree_models.cc.o" "gcc" "src/ml/CMakeFiles/ml4db_ml.dir/tree_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_ml.dir/bayes_linear.cc.o"
+  "CMakeFiles/ml4db_ml.dir/bayes_linear.cc.o.d"
+  "CMakeFiles/ml4db_ml.dir/matrix.cc.o"
+  "CMakeFiles/ml4db_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/ml4db_ml.dir/metrics.cc.o"
+  "CMakeFiles/ml4db_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/ml4db_ml.dir/nn.cc.o"
+  "CMakeFiles/ml4db_ml.dir/nn.cc.o.d"
+  "CMakeFiles/ml4db_ml.dir/qlearning.cc.o"
+  "CMakeFiles/ml4db_ml.dir/qlearning.cc.o.d"
+  "CMakeFiles/ml4db_ml.dir/random_feature_gp.cc.o"
+  "CMakeFiles/ml4db_ml.dir/random_feature_gp.cc.o.d"
+  "CMakeFiles/ml4db_ml.dir/tree_models.cc.o"
+  "CMakeFiles/ml4db_ml.dir/tree_models.cc.o.d"
+  "libml4db_ml.a"
+  "libml4db_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

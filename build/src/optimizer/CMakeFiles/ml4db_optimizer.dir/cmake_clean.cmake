@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_optimizer.dir/autosteer.cc.o"
+  "CMakeFiles/ml4db_optimizer.dir/autosteer.cc.o.d"
+  "CMakeFiles/ml4db_optimizer.dir/bao.cc.o"
+  "CMakeFiles/ml4db_optimizer.dir/bao.cc.o.d"
+  "CMakeFiles/ml4db_optimizer.dir/harness.cc.o"
+  "CMakeFiles/ml4db_optimizer.dir/harness.cc.o.d"
+  "CMakeFiles/ml4db_optimizer.dir/leon.cc.o"
+  "CMakeFiles/ml4db_optimizer.dir/leon.cc.o.d"
+  "CMakeFiles/ml4db_optimizer.dir/paramtree.cc.o"
+  "CMakeFiles/ml4db_optimizer.dir/paramtree.cc.o.d"
+  "CMakeFiles/ml4db_optimizer.dir/value_search.cc.o"
+  "CMakeFiles/ml4db_optimizer.dir/value_search.cc.o.d"
+  "libml4db_optimizer.a"
+  "libml4db_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planrepr/plan_features.cc" "src/planrepr/CMakeFiles/ml4db_planrepr.dir/plan_features.cc.o" "gcc" "src/planrepr/CMakeFiles/ml4db_planrepr.dir/plan_features.cc.o.d"
+  "/root/repo/src/planrepr/plan_regressor.cc" "src/planrepr/CMakeFiles/ml4db_planrepr.dir/plan_regressor.cc.o" "gcc" "src/planrepr/CMakeFiles/ml4db_planrepr.dir/plan_regressor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ml4db_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ml4db_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

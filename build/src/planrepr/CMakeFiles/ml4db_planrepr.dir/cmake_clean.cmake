@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_planrepr.dir/plan_features.cc.o"
+  "CMakeFiles/ml4db_planrepr.dir/plan_features.cc.o.d"
+  "CMakeFiles/ml4db_planrepr.dir/plan_regressor.cc.o"
+  "CMakeFiles/ml4db_planrepr.dir/plan_regressor.cc.o.d"
+  "libml4db_planrepr.a"
+  "libml4db_planrepr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_planrepr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

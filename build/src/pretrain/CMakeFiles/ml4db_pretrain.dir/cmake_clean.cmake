@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_pretrain.dir/pretrained_model.cc.o"
+  "CMakeFiles/ml4db_pretrain.dir/pretrained_model.cc.o.d"
+  "libml4db_pretrain.a"
+  "libml4db_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/air_tree.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/air_tree.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/air_tree.cc.o.d"
+  "/root/repo/src/spatial/lisa_index.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/lisa_index.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/lisa_index.cc.o.d"
+  "/root/repo/src/spatial/platon.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/platon.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/platon.cc.o.d"
+  "/root/repo/src/spatial/rlr_tree.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/rlr_tree.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/rlr_tree.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/rtree.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/rtree.cc.o.d"
+  "/root/repo/src/spatial/rw_tree.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/rw_tree.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/rw_tree.cc.o.d"
+  "/root/repo/src/spatial/zm_index.cc" "src/spatial/CMakeFiles/ml4db_spatial.dir/zm_index.cc.o" "gcc" "src/spatial/CMakeFiles/ml4db_spatial.dir/zm_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ml4db_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/learned_index/CMakeFiles/ml4db_learned_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

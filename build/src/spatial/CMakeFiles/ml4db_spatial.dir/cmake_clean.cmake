@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_spatial.dir/air_tree.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/air_tree.cc.o.d"
+  "CMakeFiles/ml4db_spatial.dir/lisa_index.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/lisa_index.cc.o.d"
+  "CMakeFiles/ml4db_spatial.dir/platon.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/platon.cc.o.d"
+  "CMakeFiles/ml4db_spatial.dir/rlr_tree.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/rlr_tree.cc.o.d"
+  "CMakeFiles/ml4db_spatial.dir/rtree.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/rtree.cc.o.d"
+  "CMakeFiles/ml4db_spatial.dir/rw_tree.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/rw_tree.cc.o.d"
+  "CMakeFiles/ml4db_spatial.dir/zm_index.cc.o"
+  "CMakeFiles/ml4db_spatial.dir/zm_index.cc.o.d"
+  "libml4db_spatial.a"
+  "libml4db_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_survey.dir/corpus.cc.o"
+  "CMakeFiles/ml4db_survey.dir/corpus.cc.o.d"
+  "libml4db_survey.a"
+  "libml4db_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

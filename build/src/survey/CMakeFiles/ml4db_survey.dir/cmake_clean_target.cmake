@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libml4db_survey.a"
+)

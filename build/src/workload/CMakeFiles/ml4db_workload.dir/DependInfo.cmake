@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/data_gen.cc" "src/workload/CMakeFiles/ml4db_workload.dir/data_gen.cc.o" "gcc" "src/workload/CMakeFiles/ml4db_workload.dir/data_gen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/ml4db_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/ml4db_workload.dir/query_gen.cc.o.d"
+  "/root/repo/src/workload/schema_gen.cc" "src/workload/CMakeFiles/ml4db_workload.dir/schema_gen.cc.o" "gcc" "src/workload/CMakeFiles/ml4db_workload.dir/schema_gen.cc.o.d"
+  "/root/repo/src/workload/spatial_gen.cc" "src/workload/CMakeFiles/ml4db_workload.dir/spatial_gen.cc.o" "gcc" "src/workload/CMakeFiles/ml4db_workload.dir/spatial_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ml4db_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

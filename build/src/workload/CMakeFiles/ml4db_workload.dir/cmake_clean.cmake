@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml4db_workload.dir/data_gen.cc.o"
+  "CMakeFiles/ml4db_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/ml4db_workload.dir/query_gen.cc.o"
+  "CMakeFiles/ml4db_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/ml4db_workload.dir/schema_gen.cc.o"
+  "CMakeFiles/ml4db_workload.dir/schema_gen.cc.o.d"
+  "CMakeFiles/ml4db_workload.dir/spatial_gen.cc.o"
+  "CMakeFiles/ml4db_workload.dir/spatial_gen.cc.o.d"
+  "libml4db_workload.a"
+  "libml4db_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml4db_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

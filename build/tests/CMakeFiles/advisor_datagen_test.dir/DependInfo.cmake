@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_datagen_test.cc" "tests/CMakeFiles/advisor_datagen_test.dir/advisor_datagen_test.cc.o" "gcc" "tests/CMakeFiles/advisor_datagen_test.dir/advisor_datagen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/advisor/CMakeFiles/ml4db_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ml4db_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ml4db_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ml4db_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ml4db_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ml4db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_datagen_test.dir/advisor_datagen_test.cc.o"
+  "CMakeFiles/advisor_datagen_test.dir/advisor_datagen_test.cc.o.d"
+  "advisor_datagen_test"
+  "advisor_datagen_test.pdb"
+  "advisor_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

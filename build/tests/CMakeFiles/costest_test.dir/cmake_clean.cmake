@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costest_test.dir/costest_test.cc.o"
+  "CMakeFiles/costest_test.dir/costest_test.cc.o.d"
+  "costest_test"
+  "costest_test.pdb"
+  "costest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

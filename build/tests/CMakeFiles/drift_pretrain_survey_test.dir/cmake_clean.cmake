@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_pretrain_survey_test.dir/drift_pretrain_survey_test.cc.o"
+  "CMakeFiles/drift_pretrain_survey_test.dir/drift_pretrain_survey_test.cc.o.d"
+  "drift_pretrain_survey_test"
+  "drift_pretrain_survey_test.pdb"
+  "drift_pretrain_survey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_pretrain_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_index_test.dir/learned_index_test.cc.o"
+  "CMakeFiles/learned_index_test.dir/learned_index_test.cc.o.d"
+  "learned_index_test"
+  "learned_index_test.pdb"
+  "learned_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planrepr_test.dir/planrepr_test.cc.o"
+  "CMakeFiles/planrepr_test.dir/planrepr_test.cc.o.d"
+  "planrepr_test"
+  "planrepr_test.pdb"
+  "planrepr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planrepr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
