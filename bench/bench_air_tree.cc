@@ -19,7 +19,8 @@ Rect ToRect(const workload::Rect2& r) { return {r.xlo, r.ylo, r.xhi, r.yhi}; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("air_tree", &argc, argv);
   using namespace ml4db;
   // Rectangle objects (not points): leaf MBRs accumulate dead space, so
   // many leaves intersect a query without contributing results — exactly

@@ -8,7 +8,8 @@
 #include "optimizer/bao.h"
 #include "optimizer/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("autosteer", &argc, argv);
   using namespace ml4db;
   using namespace ml4db::optimizer;
   bench::BenchDb bdb =

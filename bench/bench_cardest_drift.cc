@@ -9,7 +9,8 @@
 #include "costest/estimators.h"
 #include "ml/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("cardest_drift", &argc, argv);
   using namespace ml4db;
   bench::BenchDb bdb = bench::MakeBenchDb(131, 30000, 1500, 3);
   engine::Database& db = *bdb.db;

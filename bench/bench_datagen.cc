@@ -18,7 +18,8 @@ using namespace ml4db;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("datagen", &argc, argv);
   // The "private" database: 40k-row fact table with SKEWED attribute
   // values (uniform attributes would make the fit trivial); we model its
   // two attribute columns from query feedback only.

@@ -7,7 +7,8 @@
 #include "bench/bench_util.h"
 #include "survey/corpus.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("fig1_trend", &argc, argv);
   using namespace ml4db;
   bench::PrintHeader("FIG1: publication trend (replacement vs ML-enhanced)");
   std::printf("%s\n", survey::RenderTrendTable().c_str());

@@ -103,7 +103,8 @@ void RunScenario(const char* name, const engine::DatabaseOptions& dopts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("index_advisor", &argc, argv);
   // Calibrated: the cost model matches the hardware; what-if should do
   // fine. Miscalibrated: random I/O is 3x pricier than modeled — what-if
   // over-recommends index-nested-loop enablers; the learned advisor sees

@@ -105,7 +105,8 @@ double RunRmiWithRebuilds(const std::vector<Entry>& initial, double insert_ratio
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("index_updates", &argc, argv);
   using namespace ml4db;
   const auto initial = Initial(42);
   bench::PrintHeader(

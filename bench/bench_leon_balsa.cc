@@ -13,7 +13,8 @@
 #include "optimizer/leon.h"
 #include "optimizer/value_search.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("leon_balsa", &argc, argv);
   using namespace ml4db;
   using namespace ml4db::optimizer;
   bench::BenchDb bdb =

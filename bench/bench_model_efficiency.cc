@@ -10,7 +10,8 @@
 #include "costest/estimators.h"
 #include "ml/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("model_efficiency", &argc, argv);
   using namespace ml4db;
   bench::BenchDb bdb = bench::MakeBenchDb(121, 40000, 2000, 4);
   engine::Database& db = *bdb.db;

@@ -8,7 +8,8 @@
 #include "optimizer/harness.h"
 #include "optimizer/paramtree.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("paramtree", &argc, argv);
   using namespace ml4db;
   using namespace ml4db::optimizer;
 

@@ -9,7 +9,8 @@
 #include "ml/metrics.h"
 #include "planrepr/plan_regressor.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("planrepr_ablation", &argc, argv);
   using namespace ml4db;
   using planrepr::EncoderKind;
   using planrepr::FeatureConfig;

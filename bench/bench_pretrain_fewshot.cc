@@ -8,7 +8,8 @@
 #include "bench/bench_util.h"
 #include "pretrain/pretrained_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("pretrain_fewshot", &argc, argv);
   using namespace ml4db;
   planrepr::FeatureConfig config;
 

@@ -10,7 +10,8 @@
 #include "optimizer/harness.h"
 #include "optimizer/value_search.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("qo_drift", &argc, argv);
   using namespace ml4db;
   using namespace ml4db::optimizer;
   bench::BenchDb bdb =
@@ -61,6 +62,18 @@ int main() {
                   bench::Fmt(b / cnt, 1), bench::Fmt(bf / cnt, 1),
                   bench::Fmt(n / cnt, 1)});
   };
+
+  // Trace one expert-planned query end-to-end (optimize span + executor
+  // span tree); lands in the --json export and prints as a flame tree.
+  {
+    const engine::Query traced_query = bdb.gen->Batch(1).front();
+    obs::QueryTrace trace;
+    trace.label = "qo_drift sample query";
+    obs::TraceScope scope(&trace);
+    ML4DB_CHECK(db.Run(traced_query).ok());
+    bench::RecordTrace(trace);
+    std::printf("\n%s\n", trace.ToText().c_str());
+  }
 
   run_window("pre-drift", 1);
   run_window("pre-drift", 2);

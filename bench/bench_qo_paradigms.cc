@@ -12,7 +12,8 @@
 #include "optimizer/harness.h"
 #include "optimizer/value_search.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("qo_paradigms", &argc, argv);
   using namespace ml4db;
   using namespace ml4db::optimizer;
   bench::BenchDb bdb =

@@ -20,7 +20,8 @@ Rect ToRect(const workload::Rect2& r) { return {r.xlo, r.ylo, r.xhi, r.yhi}; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("rtree_insertion", &argc, argv);
   using namespace ml4db;
   constexpr size_t kObjects = 200'000;
   for (auto dist : {workload::SpatialDistribution::kClustered,

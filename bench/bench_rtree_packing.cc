@@ -26,7 +26,8 @@ double AvgAccesses(const RTree& tree, const std::vector<workload::Rect2>& wq) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("rtree_packing", &argc, argv);
   using namespace ml4db;
   constexpr size_t kObjects = 200'000;
   workload::SpatialGenOptions data_opts;

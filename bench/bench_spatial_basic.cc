@@ -23,7 +23,8 @@ constexpr size_t kPoints = 500'000;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("spatial_basic", &argc, argv);
   using namespace ml4db;
   for (auto dist : {workload::SpatialDistribution::kUniform,
                     workload::SpatialDistribution::kClustered}) {

@@ -11,7 +11,8 @@
 #include "ml/metrics.h"
 #include "planrepr/plan_regressor.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ml4db::bench::InitBench("tab1_planrepr", &argc, argv);
   using namespace ml4db;
   using planrepr::EncoderKind;
 

@@ -1,33 +1,144 @@
 // Shared helpers for the experiment benchmark binaries: standard database /
-// workload setup and aligned-column table printing. Each bench binary
-// regenerates one table/figure of the paper (see DESIGN.md experiment
-// index) and prints it in a paper-shaped layout.
+// workload setup, aligned-column table printing, and machine-readable
+// export. Each bench binary regenerates one table/figure of the paper (see
+// DESIGN.md experiment index), prints it in a paper-shaped layout, and —
+// when invoked with `--json [path]` / `--csv [path]` — also writes the
+// BENCH_<name>.json / .csv export (schema in DESIGN.md §6): run metadata,
+// a metrics-registry snapshot, the typed event log, and every table the
+// run printed.
+//
+// Usage in a bench main:
+//   int main(int argc, char** argv) {
+//     bench::InitBench("qo_drift", &argc, argv);  // strips --json/--csv
+//     ...
+//     table.Print();  // recorded for export automatically
+//   }
+// The export file is written at process exit (atexit).
 
 #ifndef ML4DB_BENCH_BENCH_UTIL_H_
 #define ML4DB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "workload/query_gen.h"
 #include "workload/schema_gen.h"
 
 namespace ml4db {
 namespace bench {
 
-/// Prints a separator + centered title.
-inline void PrintHeader(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
+namespace internal {
+
+/// Process-wide export state, live between InitBench and process exit.
+struct BenchState {
+  bool active = false;
+  std::string name;
+  std::string json_path;  ///< empty = no JSON export requested
+  std::string csv_path;   ///< empty = no CSV export requested
+  std::string section;    ///< last PrintHeader title (labels tables)
+  size_t untitled_tables = 0;
+  std::unique_ptr<obs::BenchExporter> exporter;
+};
+
+inline BenchState& State() {
+  static BenchState state;
+  return state;
 }
 
-/// Simple aligned table printer.
+inline void FinishBench() {
+  BenchState& s = State();
+  if (!s.active || s.exporter == nullptr) return;
+  s.active = false;
+  if (!s.json_path.empty()) {
+    const Status st = s.exporter->WriteJson(s.json_path);
+    if (st.ok()) {
+      std::printf("\n[bench] wrote %s\n", s.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] JSON export failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (!s.csv_path.empty()) {
+    const Status st = s.exporter->WriteCsv(s.csv_path);
+    if (st.ok()) {
+      std::printf("[bench] wrote %s\n", s.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] CSV export failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace internal
+
+/// Initializes bench export for this process. Parses and REMOVES
+/// `--json [path]` and `--csv [path]` from argv (so later flag parsers,
+/// e.g. google-benchmark's, never see them); a missing path defaults to
+/// BENCH_<name>.json / BENCH_<name>.csv. Safe to call with argc == nullptr
+/// when the binary takes no arguments.
+inline void InitBench(const std::string& name, int* argc = nullptr,
+                      char** argv = nullptr) {
+  internal::BenchState& s = internal::State();
+  s.active = true;
+  s.name = name;
+  std::vector<std::string> args;
+  if (argc != nullptr && argv != nullptr) {
+    for (int i = 0; i < *argc; ++i) args.emplace_back(argv[i]);
+    int w = 0;
+    for (int i = 0; i < *argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" || arg == "--csv") {
+        std::string path = "BENCH_" + name + (arg == "--json" ? ".json" : ".csv");
+        if (i + 1 < *argc && argv[i + 1][0] != '-') path = argv[++i];
+        (arg == "--json" ? s.json_path : s.csv_path) = path;
+        continue;
+      }
+      argv[w++] = argv[i];
+    }
+    *argc = w;
+    argv[w] = nullptr;
+  }
+  s.exporter = std::make_unique<obs::BenchExporter>(name, std::move(args));
+  std::atexit(internal::FinishBench);
+}
+
+/// Records a query trace into the export (no-op unless --json was given).
+inline void RecordTrace(const obs::QueryTrace& trace) {
+  internal::BenchState& s = internal::State();
+  if (s.active && s.exporter != nullptr) s.exporter->AddTrace(trace);
+}
+
+/// Prints a separator + centered title; the title also labels the tables
+/// printed below it in the machine-readable export.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  internal::State().section = title;
+}
+
+/// Simple aligned table printer. Printing also records the table into the
+/// bench export when InitBench was called.
 class Table {
  public:
   explicit Table(std::vector<std::string> columns)
       : columns_(std::move(columns)) {}
 
-  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void AddRow(std::vector<std::string> cells) {
+    ML4DB_DCHECK(cells.size() == columns_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// RFC 4180 CSV rendering (header + rows), used by the exporter.
+  std::string ToCsv() const {
+    std::string out = obs::CsvLine(columns_);
+    for (const auto& row : rows_) out += obs::CsvLine(row);
+    return out;
+  }
 
   void Print() const {
     std::vector<size_t> width(columns_.size(), 0);
@@ -52,6 +163,17 @@ class Table {
     }
     std::printf("\n");
     for (const auto& row : rows_) print_row(row);
+
+    internal::BenchState& s = internal::State();
+    if (s.active && s.exporter != nullptr) {
+      obs::ExportTable t;
+      t.title = s.section.empty()
+                    ? "table_" + std::to_string(++s.untitled_tables)
+                    : s.section;
+      t.columns = columns_;
+      t.rows = rows_;
+      s.exporter->AddTable(std::move(t));
+    }
   }
 
  private:

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable bench export (BENCH_<name>.json, schema v1).
+
+Usage:
+  check_bench_json.py FILE.json [flags]          validate an existing export
+  check_bench_json.py --run BIN [flags]          run BIN with --json to a temp
+                                                 file, then validate that
+
+Flags:
+  --require-histogram   fail unless >= 1 latency histogram with p50/p95/p99
+  --require-event       fail unless >= 1 typed event
+  --quiet               print nothing on success
+
+The schema is documented in DESIGN.md ("Observability"). This script is wired
+into CTest so a drifting exporter fails the suite, and is usable standalone
+against any bench output.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+EVENT_KINDS = {"drift", "retrain", "index_structure", "abort", "custom"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _ensure(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def _check_name(name, ctx):
+    _ensure(isinstance(name, str) and name, f"{ctx}: empty metric name")
+    _ensure(name.startswith("ml4db."),
+            f"{ctx}: metric name {name!r} must start with 'ml4db.'")
+
+
+def _check_histogram(h, ctx):
+    _check_name(h.get("name"), ctx)
+    for field in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+        _ensure(isinstance(h.get(field), (int, float)),
+                f"{ctx}: missing numeric field {field!r}")
+    _ensure(h["count"] >= 0, f"{ctx}: negative count")
+    if h["count"] > 0:
+        _ensure(h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"] + 1e-9,
+                f"{ctx}: quantiles not ordered "
+                f"(min={h['min']} p50={h['p50']} p95={h['p95']} "
+                f"p99={h['p99']} max={h['max']})")
+    buckets = h.get("buckets")
+    _ensure(isinstance(buckets, list), f"{ctx}: buckets must be a list")
+    total = 0
+    prev_bound = float("-inf")
+    for b in buckets:
+        le = b.get("le")
+        if le == "+inf":
+            bound = float("inf")
+        else:
+            _ensure(isinstance(le, (int, float)), f"{ctx}: bad bucket bound {le!r}")
+            bound = float(le)
+        _ensure(bound > prev_bound, f"{ctx}: bucket bounds not ascending")
+        prev_bound = bound
+        _ensure(isinstance(b.get("count"), int) and b["count"] > 0,
+                f"{ctx}: sparse buckets must have positive integer counts")
+        total += b["count"]
+    _ensure(total == h["count"],
+            f"{ctx}: bucket counts sum to {total}, expected {h['count']}")
+
+
+def validate(doc, require_histogram=False, require_event=False):
+    _ensure(isinstance(doc, dict), "top level must be an object")
+    _ensure(doc.get("schema_version") == 1,
+            f"schema_version must be 1, got {doc.get('schema_version')!r}")
+    _ensure(isinstance(doc.get("bench"), str) and doc["bench"],
+            "bench must be a non-empty string")
+
+    run = doc.get("run")
+    _ensure(isinstance(run, dict), "run must be an object")
+    _ensure(isinstance(run.get("argv"), list) and run["argv"],
+            "run.argv must be a non-empty list")
+    _ensure(all(isinstance(a, str) for a in run["argv"]),
+            "run.argv entries must be strings")
+    _ensure(isinstance(run.get("timestamp_unix"), (int, float))
+            and run["timestamp_unix"] > 0,
+            "run.timestamp_unix must be a positive number")
+    _ensure(isinstance(run.get("obs_enabled"), bool),
+            "run.obs_enabled must be a bool")
+    _ensure(run.get("build") in ("release", "debug"),
+            f"run.build must be release|debug, got {run.get('build')!r}")
+
+    metrics = doc.get("metrics")
+    _ensure(isinstance(metrics, dict), "metrics must be an object")
+    for key in ("counters", "gauges", "histograms"):
+        _ensure(isinstance(metrics.get(key), list),
+                f"metrics.{key} must be a list")
+    for c in metrics["counters"]:
+        _check_name(c.get("name"), "counter")
+        _ensure(isinstance(c.get("value"), (int, float)) and c["value"] >= 0,
+                f"counter {c.get('name')}: bad value")
+    for g in metrics["gauges"]:
+        _check_name(g.get("name"), "gauge")
+        _ensure(isinstance(g.get("value"), (int, float)),
+                f"gauge {g.get('name')}: bad value")
+    for h in metrics["histograms"]:
+        _check_histogram(h, f"histogram {h.get('name')}")
+
+    events = doc.get("events")
+    _ensure(isinstance(events, list), "events must be a list")
+    prev_seq = 0
+    for e in events:
+        _ensure(isinstance(e.get("seq"), int) and e["seq"] > prev_seq,
+                "event seq must be strictly increasing positive integers")
+        prev_seq = e["seq"]
+        _ensure(e.get("kind") in EVENT_KINDS,
+                f"event kind {e.get('kind')!r} not in {sorted(EVENT_KINDS)}")
+        _ensure(isinstance(e.get("module"), str) and e["module"],
+                "event module must be a non-empty string")
+    _ensure(isinstance(doc.get("events_dropped"), int)
+            and doc["events_dropped"] >= 0,
+            "events_dropped must be a non-negative integer")
+
+    tables = doc.get("tables")
+    _ensure(isinstance(tables, list), "tables must be a list")
+    for t in tables:
+        _ensure(isinstance(t.get("title"), str), "table title must be a string")
+        cols = t.get("columns")
+        _ensure(isinstance(cols, list) and cols, "table columns must be non-empty")
+        for row in t.get("rows", []):
+            _ensure(isinstance(row, list) and len(row) == len(cols),
+                    f"table {t['title']!r}: row width {len(row)} != "
+                    f"{len(cols)} columns")
+
+    if "traces" in doc:
+        _ensure(isinstance(doc["traces"], list) and doc["traces"],
+                "traces, when present, must be a non-empty list")
+        for tr in doc["traces"]:
+            _ensure(isinstance(tr.get("spans"), list),
+                    "trace.spans must be a list")
+
+    if require_histogram:
+        good = [h for h in metrics["histograms"] if h["count"] > 0]
+        _ensure(good, "--require-histogram: no histogram with samples found")
+    if require_event:
+        _ensure(events, "--require-event: events list is empty")
+
+
+def main(argv):
+    args = list(argv[1:])
+    require_histogram = "--require-histogram" in args
+    require_event = "--require-event" in args
+    quiet = "--quiet" in args
+    args = [a for a in args
+            if a not in ("--require-histogram", "--require-event", "--quiet")]
+
+    if args and args[0] == "--run":
+        if len(args) < 2:
+            print("usage: check_bench_json.py --run BIN [flags]", file=sys.stderr)
+            return 2
+        binary = args[1]
+        fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_export_")
+        os.close(fd)
+        try:
+            proc = subprocess.run([binary, "--json", path],
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.STDOUT, timeout=600)
+            if proc.returncode != 0:
+                print(f"FAIL: {binary} exited with {proc.returncode}",
+                      file=sys.stderr)
+                return 1
+            source = f"{binary} --json"
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        finally:
+            os.unlink(path)
+    elif len(args) == 1:
+        source = args[0]
+        with open(source, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        validate(doc, require_histogram=require_histogram,
+                 require_event=require_event)
+    except SchemaError as e:
+        print(f"FAIL [{source}]: {e}", file=sys.stderr)
+        return 1
+    if not quiet:
+        n_hist = len(doc["metrics"]["histograms"])
+        print(f"OK [{source}]: bench={doc['bench']} "
+              f"counters={len(doc['metrics']['counters'])} "
+              f"histograms={n_hist} events={len(doc['events'])} "
+              f"tables={len(doc['tables'])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,85 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ml4db {
+namespace internal {
+
+namespace {
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel ParseLevel(const char* s) {
+  if (s == nullptr || s[0] == '\0') return LogLevel::kInfo;
+  auto matches = [s](const char* name) {
+    for (size_t i = 0; name[i] != '\0' || s[i] != '\0'; ++i) {
+      const char a = s[i] >= 'a' && s[i] <= 'z' ? s[i] - 'a' + 'A' : s[i];
+      if (a != name[i]) return false;
+    }
+    return true;
+  };
+  if (matches("DEBUG")) return LogLevel::kDebug;
+  if (matches("INFO")) return LogLevel::kInfo;
+  if (matches("WARN") || matches("WARNING")) return LogLevel::kWarn;
+  if (matches("ERROR")) return LogLevel::kError;
+  if (matches("OFF") || matches("NONE")) return LogLevel::kOff;
+  std::fprintf(stderr,
+               "[ml4db][WARN] unrecognized ML4DB_LOG_LEVEL=\"%s\", "
+               "using INFO\n",
+               s);
+  return LogLevel::kInfo;
+}
+
+/// The single log sink: "[ml4db][LEVEL] file:line: message".
+void SinkWrite(LogLevel level, const char* file, int line, const char* msg) {
+  // Trim the path to the basename for readable one-liners.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[ml4db][%s] %s:%d: %s\n", LevelTag(level), base, line,
+               msg);
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  static const LogLevel level = ParseLevel(std::getenv("ML4DB_LOG_LEVEL"));
+  return level;
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  SinkWrite(level, file, line, buf);
+}
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* msg) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), "CHECK failed: %s%s%s", expr,
+                (msg != nullptr && msg[0] != '\0') ? " — " : "",
+                msg != nullptr ? msg : "");
+  // Bypass the level filter: a fatal assertion always reaches the sink.
+  SinkWrite(LogLevel::kError, file, line, buf);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ml4db

@@ -1,28 +1,67 @@
-// Assertion and lightweight logging macros.
+// Assertion and leveled logging macros.
 //
 // ML4DB_CHECK fires in all build types and is used at API boundaries for
 // conditions that indicate caller bugs. ML4DB_DCHECK compiles out in
 // release builds and guards internal invariants on hot paths.
+//
+// ML4DB_LOG(LEVEL, fmt, ...) is printf-style leveled logging to stderr.
+// The minimum emitted level comes from the ML4DB_LOG_LEVEL environment
+// variable (DEBUG, INFO, WARN, ERROR, or OFF; default INFO), read once at
+// first use. CHECK failures route through the same sink (unconditionally —
+// a fatal assertion is never filtered) before aborting.
 
 #ifndef ML4DB_COMMON_LOGGING_H_
 #define ML4DB_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace ml4db {
+
+/// Log severities, ascending. kOff is only meaningful as a filter level.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
 namespace internal {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr, const char* msg) {
-  std::fprintf(stderr, "[ml4db] CHECK failed at %s:%d: %s%s%s\n", file, line,
-               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
-               msg != nullptr ? msg : "");
-  std::abort();
+/// Minimum level that gets emitted (parsed once from ML4DB_LOG_LEVEL).
+LogLevel MinLogLevel();
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevel());
 }
+
+/// Formats and writes one log line to the sink (stderr). Does not filter —
+/// callers (the ML4DB_LOG macro) check LogEnabled first.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...);
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
 
 }  // namespace internal
 }  // namespace ml4db
+
+// Severity tokens for ML4DB_LOG's first argument.
+#define ML4DB_INTERNAL_LOGLEVEL_DEBUG ::ml4db::LogLevel::kDebug
+#define ML4DB_INTERNAL_LOGLEVEL_INFO ::ml4db::LogLevel::kInfo
+#define ML4DB_INTERNAL_LOGLEVEL_WARN ::ml4db::LogLevel::kWarn
+#define ML4DB_INTERNAL_LOGLEVEL_ERROR ::ml4db::LogLevel::kError
+
+/// Usage: ML4DB_LOG(INFO, "loaded %zu rows in %.2fs", n, secs);
+#define ML4DB_LOG(severity, ...)                                       \
+  do {                                                                 \
+    if (::ml4db::internal::LogEnabled(                                 \
+            ML4DB_INTERNAL_LOGLEVEL_##severity)) {                     \
+      ::ml4db::internal::LogMessage(ML4DB_INTERNAL_LOGLEVEL_##severity, \
+                                    __FILE__, __LINE__, __VA_ARGS__);  \
+    }                                                                  \
+  } while (0)
 
 #define ML4DB_CHECK(cond)                                              \
   do {                                                                 \

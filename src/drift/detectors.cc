@@ -1,5 +1,8 @@
 #include "drift/detectors.h"
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace drift {
 
@@ -11,10 +14,15 @@ bool KsDriftDetector::Observe(double value) {
   recent_.push_back(value);
   if (recent_.size() > window_) recent_.pop_front();
   if (recent_.size() < window_) return false;
-  if (Distance() > threshold_) {
+  const double distance = Distance();
+  if (distance > threshold_) {
     reference_.assign(recent_.begin(), recent_.end());
     recent_.clear();
     ++drift_count_;
+    static obs::Counter* drifts = obs::GetCounter("ml4db.drift.ks_drifts");
+    drifts->Inc();
+    obs::PublishEvent(obs::EventKind::kDrift, "drift.ks",
+                      "ks_statistic above threshold", distance);
     return true;
   }
   return false;
@@ -40,11 +48,16 @@ bool MixDriftDetector::Observe(size_t template_id) {
   recent_.push_back(template_id);
   if (recent_.size() > window_) recent_.pop_front();
   if (recent_.size() < window_) return false;
-  if (Divergence() > threshold_) {
+  const double divergence = Divergence();
+  if (divergence > threshold_) {
     reference_counts_.assign(num_templates_, 0.0);
     for (size_t t : recent_) reference_counts_[t] += 1.0;
     recent_.clear();
     ++drift_count_;
+    static obs::Counter* drifts = obs::GetCounter("ml4db.drift.mix_drifts");
+    drifts->Inc();
+    obs::PublishEvent(obs::EventKind::kDrift, "drift.mix",
+                      "js_divergence above threshold", divergence);
     return true;
   }
   return false;

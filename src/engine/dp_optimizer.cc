@@ -4,6 +4,10 @@
 #include <bit>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ml4db {
 namespace engine {
 
@@ -179,6 +183,7 @@ std::unique_ptr<PlanNode> DpOptimizer::BestJoin(const Query& query,
 
 StatusOr<PhysicalPlan> DpOptimizer::Optimize(const Query& query,
                                              const HintSet& hints) const {
+  const Stopwatch sw;
   const int n = query.num_tables();
   if (n == 0) return Status::InvalidArgument("query has no tables");
   if (n > 16) return Status::InvalidArgument("too many tables for DP");
@@ -221,7 +226,25 @@ StatusOr<PhysicalPlan> DpOptimizer::Optimize(const Query& query,
   if (it == best.end() || it->second == nullptr) {
     return Status::Internal("DP failed to cover all tables");
   }
-  return PhysicalPlan(std::move(it->second));
+  PhysicalPlan plan(std::move(it->second));
+
+  const double wall_us = sw.ElapsedSeconds() * 1e6;
+  static obs::Counter* plans = obs::GetCounter("ml4db.optimizer.plans_built");
+  static obs::Histogram* plan_wall =
+      obs::GetHistogram("ml4db.optimizer.plan_wall_us");
+  plans->Inc();
+  plan_wall->Record(wall_us);
+
+  if (obs::QueryTrace* trace = obs::TraceScope::Current()) {
+    obs::TraceSpan span;
+    span.name = "optimize";
+    span.latency = wall_us;
+    span.est_cost = plan.est_cost;
+    span.attrs.emplace_back("unit", "us");
+    span.attrs.emplace_back("tables", std::to_string(n));
+    trace->spans.push_back(std::move(span));
+  }
+  return plan;
 }
 
 }  // namespace engine

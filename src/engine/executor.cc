@@ -3,8 +3,47 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ml4db {
 namespace engine {
+
+namespace {
+
+/// Total intermediate tuples produced across the plan (sum of per-node
+/// actual_rows, diagnostics for ExecutionResult::tuples_flowed).
+uint64_t SumActualRows(const PlanNode& node) {
+  uint64_t total =
+      node.actual_rows > 0 ? static_cast<uint64_t>(node.actual_rows) : 0;
+  for (const auto& c : node.children) total += SumActualRows(*c);
+  return total;
+}
+
+/// Mirrors an executed plan subtree as a trace span tree, reusing the
+/// executor's annotations. A node's span latency is its own priced cost
+/// (subtree cost minus children).
+obs::TraceSpan SpanFromPlan(const PlanNode& node) {
+  obs::TraceSpan span;
+  span.name = PlanOpName(node.op);
+  span.est_rows = node.est_rows;
+  span.actual_rows = node.actual_rows;
+  span.est_cost = node.est_cost;
+  span.actual_cost = node.actual_cost;
+  double own = node.actual_cost;
+  for (const auto& c : node.children) {
+    if (c->actual_cost > 0) own -= c->actual_cost;
+    span.children.push_back(SpanFromPlan(*c));
+  }
+  span.latency = std::max(0.0, own);
+  if (!node.table_name.empty()) {
+    span.attrs.emplace_back("table", node.table_name);
+  }
+  return span;
+}
+
+}  // namespace
 
 bool EvalFilter(const FilterPredicate& f, double v) {
   switch (f.op) {
@@ -56,10 +95,38 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
   ML4DB_CHECK(plan != nullptr && plan->root != nullptr);
   double latency = 0.0;
   auto result = ExecNode(query, plan->root.get(), limits, &latency);
-  ML4DB_RETURN_IF_ERROR(result.status());
+  if (!result.ok()) {
+    static obs::Counter* aborts =
+        obs::GetCounter("ml4db.engine.executor_aborts");
+    aborts->Inc();
+    obs::PublishEvent(obs::EventKind::kAbort, "engine.executor",
+                      result.status().message(), latency);
+    return result.status();
+  }
   ExecutionResult out;
   out.count = result->NumTuples();
   out.latency = latency;
+  out.tuples_flowed = SumActualRows(*plan->root);
+
+  static obs::Counter* executed =
+      obs::GetCounter("ml4db.engine.queries_executed");
+  static obs::Counter* tuples = obs::GetCounter("ml4db.engine.tuples_flowed");
+  static obs::Histogram* latency_hist =
+      obs::GetHistogram("ml4db.engine.query_latency");
+  executed->Inc();
+  tuples->Inc(out.tuples_flowed);
+  latency_hist->Record(latency);
+
+  if (obs::QueryTrace* trace = obs::TraceScope::Current()) {
+    obs::TraceSpan root;
+    root.name = "execute";
+    root.latency = 0.0;
+    root.actual_cost = latency;
+    root.actual_rows = static_cast<double>(out.count);
+    root.attrs.emplace_back("unit", "priced");
+    root.children.push_back(SpanFromPlan(*plan->root));
+    trace->spans.push_back(std::move(root));
+  }
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace ml4db {
 namespace learned_index {
@@ -203,6 +205,9 @@ Status AlexIndex::BulkLoad(const std::vector<Entry>& entries) {
     children_[slot] = node;
     start = end;
   }
+  obs::PublishEvent(obs::EventKind::kIndexStructure, "learned_index.alex",
+                    "bulk load, " + std::to_string(num_nodes) + " data nodes",
+                    static_cast<double>(n));
   return Status::OK();
 }
 
@@ -245,6 +250,7 @@ Status AlexIndex::Insert(int64_t key, uint64_t value) {
   DataNode* node = children_[slot].get();
   uint64_t existing;
   const bool had = Lookup(key, &existing);
+  static obs::Counter* expands = obs::GetCounter("ml4db.index.alex.expands");
   if (node->density() > options_.max_density ||
       node->num_keys + 2 >= node->capacity()) {
     if (node->capacity() >= options_.max_node_slots) {
@@ -253,6 +259,10 @@ Status AlexIndex::Insert(int64_t key, uint64_t value) {
     } else {
       const auto items = node->Items();
       node->Rebuild(items, std::max<size_t>(16, node->capacity() * 2));
+      expands->Inc();
+      obs::PublishEvent(obs::EventKind::kIndexStructure, "learned_index.alex",
+                        "node expanded",
+                        static_cast<double>(node->capacity()));
     }
   }
   if (!node->Insert(key, value)) {
@@ -260,12 +270,20 @@ Status AlexIndex::Insert(int64_t key, uint64_t value) {
     const auto items = node->Items();
     node->Rebuild(items, std::max<size_t>(16, node->capacity() * 2));
     ML4DB_CHECK(node->Insert(key, value));
+    expands->Inc();
+    obs::PublishEvent(obs::EventKind::kIndexStructure, "learned_index.alex",
+                      "node rebuilt after degenerate placement",
+                      static_cast<double>(node->capacity()));
   }
   if (!had) ++size_;
   return Status::OK();
 }
 
 void AlexIndex::SplitNode(size_t slot) {
+  static obs::Counter* splits = obs::GetCounter("ml4db.index.alex.splits");
+  splits->Inc();
+  obs::PublishEvent(obs::EventKind::kIndexStructure, "learned_index.alex",
+                    "node split", static_cast<double>(slot));
   // Find the contiguous root-slot range sharing this node.
   DataNode* node = children_[slot].get();
   size_t lo = slot, hi = slot;
@@ -273,6 +291,11 @@ void AlexIndex::SplitNode(size_t slot) {
   while (hi + 1 < children_.size() && children_[hi + 1].get() == node) ++hi;
   if (hi == lo) {
     GrowRoot();
+    static obs::Counter* grows = obs::GetCounter("ml4db.index.alex.root_grows");
+    grows->Inc();
+    obs::PublishEvent(obs::EventKind::kIndexStructure, "learned_index.alex",
+                      "root doubled",
+                      static_cast<double>(children_.size()));
     // Recompute the range after doubling.
     lo *= 2;
     hi = lo + 1;

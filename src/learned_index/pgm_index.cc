@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace learned_index {
 
@@ -193,6 +196,11 @@ Status DynamicPgmIndex::Insert(int64_t key, uint64_t value) {
 
 void DynamicPgmIndex::MergeIfNeeded() {
   if (buffer_.size() < buffer_capacity_) return;
+  static obs::Counter* merges = obs::GetCounter("ml4db.index.pgm.merges");
+  merges->Inc();
+  obs::PublishEvent(obs::EventKind::kIndexStructure, "learned_index.pgm",
+                    "buffer overflow merge",
+                    static_cast<double>(buffer_.size()));
   // Geometric merge policy: absorb the buffer, then keep merging the
   // smallest remaining run while it is within 2x of the merged size. Runs
   // are kept ordered small -> large.

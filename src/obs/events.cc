@@ -1,0 +1,75 @@
+#include "obs/events.h"
+
+#include <algorithm>
+
+namespace ml4db {
+namespace obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDrift: return "drift";
+    case EventKind::kRetrain: return "retrain";
+    case EventKind::kIndexStructure: return "index_structure";
+    case EventKind::kAbort: return "abort";
+    case EventKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+#ifndef ML4DB_OBS_DISABLED
+
+EventLog& EventLog::Global() {
+  // Leaked intentionally (same reasoning as MetricsRegistry::Global): the
+  // bench exporter reads it from an atexit callback.
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void EventLog::Publish(EventKind kind, std::string module, std::string detail,
+                       double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& slot = ring_[(next_seq_ - 1) % capacity_];
+  slot.seq = next_seq_++;
+  slot.kind = kind;
+  slot.module = std::move(module);
+  slot.detail = std::move(detail);
+  slot.value = value;
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = next_seq_ - 1;
+  const uint64_t keep = std::min<uint64_t>(total, capacity_);
+  std::vector<Event> out;
+  out.reserve(keep);
+  for (uint64_t seq = total - keep + 1; seq <= total; ++seq) {
+    out.push_back(ring_[(seq - 1) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t EventLog::total_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = next_seq_ - 1;
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 1;
+  for (Event& e : ring_) e = Event{};
+}
+
+#endif  // !ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db

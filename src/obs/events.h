@@ -1,0 +1,100 @@
+// Typed observability events published by ML4DB components: drift
+// detections, model retrains (Bao/AutoSteer/NEO/LEON/ParamTree), learned-
+// index structural modifications (ALEX splits/expansions), and executor
+// aborts. Events land in a bounded ring buffer — publishers never block on
+// consumers, and sustained bursts overwrite the oldest entries (the
+// `dropped()` count records how many were lost).
+//
+// With -DML4DB_OBS_DISABLED the log compiles to a no-op.
+
+#ifndef ML4DB_OBS_EVENTS_H_
+#define ML4DB_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef ML4DB_OBS_DISABLED
+#include <mutex>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+enum class EventKind {
+  kDrift,           ///< a drift detector fired
+  kRetrain,         ///< a learned component absorbed feedback / retrained
+  kIndexStructure,  ///< learned index structural modification
+  kAbort,           ///< executor aborted a plan (limits exceeded)
+  kCustom,          ///< anything else (detail says what)
+};
+
+const char* EventKindName(EventKind kind);
+
+struct Event {
+  uint64_t seq = 0;  ///< global publish sequence number, starts at 1
+  EventKind kind = EventKind::kCustom;
+  std::string module;  ///< `ml4db.<module>` source, e.g. "drift.ks"
+  std::string detail;  ///< free-form description
+  double value = 0.0;  ///< kind-specific payload (distance, latency, size…)
+};
+
+#ifndef ML4DB_OBS_DISABLED
+
+/// Bounded, thread-safe event ring buffer.
+class EventLog {
+ public:
+  static EventLog& Global();
+
+  explicit EventLog(size_t capacity = 4096);
+
+  void Publish(EventKind kind, std::string module, std::string detail = "",
+               double value = 0.0);
+
+  /// Retained events, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  uint64_t total_published() const;
+  /// Events lost to overwriting.
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<Event> ring_;  // ring_[seq % capacity_]
+  uint64_t next_seq_ = 1;
+};
+
+#else  // ML4DB_OBS_DISABLED
+
+class EventLog {
+ public:
+  static EventLog& Global() {
+    static EventLog log;
+    return log;
+  }
+  explicit EventLog(size_t = 0) {}
+  void Publish(EventKind, std::string, std::string = "", double = 0.0) {}
+  std::vector<Event> Snapshot() const { return {}; }
+  uint64_t total_published() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  size_t capacity() const { return 0; }
+  void Clear() {}
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+/// Convenience: publish to the global log.
+inline void PublishEvent(EventKind kind, std::string module,
+                         std::string detail = "", double value = 0.0) {
+  EventLog::Global().Publish(kind, std::move(module), std::move(detail),
+                             value);
+}
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_EVENTS_H_

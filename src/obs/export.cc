@@ -1,0 +1,183 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+
+namespace ml4db {
+namespace obs {
+
+std::string CsvLine(const std::vector<std::string>& cells) {
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string& c = cells[i];
+    const bool needs_quoting = c.find_first_of(",\"\n\r") != std::string::npos;
+    if (needs_quoting) {
+      out += '"';
+      for (char ch : c) {
+        if (ch == '"') out += '"';
+        out += ch;
+      }
+      out += '"';
+    } else {
+      out += c;
+    }
+    if (i + 1 < cells.size()) out += ',';
+  }
+  out += '\n';
+  return out;
+}
+
+BenchExporter::BenchExporter(std::string bench_name,
+                             std::vector<std::string> argv)
+    : bench_name_(std::move(bench_name)), argv_(std::move(argv)) {}
+
+namespace {
+
+JsonValue HistogramToJson(const HistogramSnapshot& h) {
+  JsonValue o = JsonValue::Object();
+  o.Set("name", JsonValue::String(h.name));
+  o.Set("count", JsonValue::Number(static_cast<double>(h.count)));
+  o.Set("sum", JsonValue::Number(h.sum));
+  o.Set("min", JsonValue::Number(h.min));
+  o.Set("max", JsonValue::Number(h.max));
+  o.Set("p50", JsonValue::Number(h.p50));
+  o.Set("p95", JsonValue::Number(h.p95));
+  o.Set("p99", JsonValue::Number(h.p99));
+  JsonValue buckets = JsonValue::Array();
+  for (const auto& [bound, count] : h.buckets) {
+    if (count == 0) continue;  // sparse encoding: empty buckets omitted
+    JsonValue b = JsonValue::Object();
+    if (std::isinf(bound)) {
+      b.Set("le", JsonValue::String("+inf"));
+    } else {
+      b.Set("le", JsonValue::Number(bound));
+    }
+    b.Set("count", JsonValue::Number(static_cast<double>(count)));
+    buckets.Append(std::move(b));
+  }
+  o.Set("buckets", std::move(buckets));
+  return o;
+}
+
+}  // namespace
+
+JsonValue BenchExporter::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Number(kBenchExportSchemaVersion));
+  doc.Set("bench", JsonValue::String(bench_name_));
+
+  JsonValue run = JsonValue::Object();
+  JsonValue argv = JsonValue::Array();
+  for (const auto& a : argv_) argv.Append(JsonValue::String(a));
+  run.Set("argv", std::move(argv));
+  run.Set("timestamp_unix",
+          JsonValue::Number(static_cast<double>(std::time(nullptr))));
+  run.Set("obs_enabled", JsonValue::Bool(ObsEnabled()));
+#ifdef NDEBUG
+  run.Set("build", JsonValue::String("release"));
+#else
+  run.Set("build", JsonValue::String("debug"));
+#endif
+  doc.Set("run", std::move(run));
+
+  const RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+  JsonValue metrics = JsonValue::Object();
+  JsonValue counters = JsonValue::Array();
+  for (const auto& c : snap.counters) {
+    JsonValue o = JsonValue::Object();
+    o.Set("name", JsonValue::String(c.name));
+    o.Set("value", JsonValue::Number(static_cast<double>(c.value)));
+    counters.Append(std::move(o));
+  }
+  metrics.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Array();
+  for (const auto& g : snap.gauges) {
+    JsonValue o = JsonValue::Object();
+    o.Set("name", JsonValue::String(g.name));
+    o.Set("value", JsonValue::Number(g.value));
+    gauges.Append(std::move(o));
+  }
+  metrics.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Array();
+  for (const auto& h : snap.histograms) {
+    histograms.Append(HistogramToJson(h));
+  }
+  metrics.Set("histograms", std::move(histograms));
+  doc.Set("metrics", std::move(metrics));
+
+  EventLog& log = EventLog::Global();
+  JsonValue events = JsonValue::Array();
+  for (const Event& e : log.Snapshot()) {
+    JsonValue o = JsonValue::Object();
+    o.Set("seq", JsonValue::Number(static_cast<double>(e.seq)));
+    o.Set("kind", JsonValue::String(EventKindName(e.kind)));
+    o.Set("module", JsonValue::String(e.module));
+    if (!e.detail.empty()) o.Set("detail", JsonValue::String(e.detail));
+    o.Set("value", JsonValue::Number(e.value));
+    events.Append(std::move(o));
+  }
+  doc.Set("events", std::move(events));
+  doc.Set("events_dropped",
+          JsonValue::Number(static_cast<double>(log.dropped())));
+
+  JsonValue tables = JsonValue::Array();
+  for (const auto& t : tables_) {
+    JsonValue o = JsonValue::Object();
+    o.Set("title", JsonValue::String(t.title));
+    JsonValue cols = JsonValue::Array();
+    for (const auto& c : t.columns) cols.Append(JsonValue::String(c));
+    o.Set("columns", std::move(cols));
+    JsonValue rows = JsonValue::Array();
+    for (const auto& row : t.rows) {
+      JsonValue r = JsonValue::Array();
+      for (const auto& cell : row) r.Append(JsonValue::String(cell));
+      rows.Append(std::move(r));
+    }
+    o.Set("rows", std::move(rows));
+    tables.Append(std::move(o));
+  }
+  doc.Set("tables", std::move(tables));
+
+  if (!traces_.empty()) {
+    JsonValue traces = JsonValue::Array();
+    for (const auto& t : traces_) traces.Append(t);
+    doc.Set("traces", std::move(traces));
+  }
+  return doc;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BenchExporter::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson().Dump(2) + "\n");
+}
+
+Status BenchExporter::WriteCsv(const std::string& path) const {
+  std::string out;
+  for (const auto& t : tables_) {
+    out += "# " + t.title + "\n";
+    out += CsvLine(t.columns);
+    for (const auto& row : t.rows) out += CsvLine(row);
+    out += "\n";
+  }
+  return WriteFile(path, out);
+}
+
+}  // namespace obs
+}  // namespace ml4db

@@ -1,0 +1,71 @@
+// Machine-readable bench export: gathers run metadata, a metrics-registry
+// snapshot, the event log, recorded result tables, and optional query
+// traces into one `BENCH_<name>.json` document (schema documented in
+// DESIGN.md §6), seeding the repo's perf trajectory. Also exports the
+// result tables as CSV.
+
+#ifndef ML4DB_OBS_EXPORT_H_
+#define ML4DB_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ml4db {
+namespace obs {
+
+/// Current value of the top-level "schema_version" field.
+inline constexpr int kBenchExportSchemaVersion = 1;
+
+/// A result table in exporter-neutral form (bench::Table converts itself).
+struct ExportTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Accumulates one bench run's output and serializes it.
+class BenchExporter {
+ public:
+  /// @param bench_name short name; the default output file is
+  ///        BENCH_<bench_name>.json
+  /// @param argv       the process argv, recorded as run metadata
+  BenchExporter(std::string bench_name, std::vector<std::string> argv);
+
+  void AddTable(ExportTable table) { tables_.push_back(std::move(table)); }
+  void AddTrace(const QueryTrace& trace) {
+    traces_.push_back(trace.ToJsonValue());
+  }
+
+  const std::string& bench_name() const { return bench_name_; }
+
+  /// Builds the full document; snapshots the global metrics registry and
+  /// event log at call time.
+  JsonValue ToJson() const;
+
+  /// Writes ToJson() pretty-printed to `path`.
+  Status WriteJson(const std::string& path) const;
+
+  /// Writes every recorded table as CSV, sections separated by a
+  /// `# <title>` comment line.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> argv_;
+  std::vector<ExportTable> tables_;
+  std::vector<JsonValue> traces_;
+};
+
+/// One CSV-escaped line from a row of cells (RFC 4180 quoting).
+std::string CsvLine(const std::vector<std::string>& cells);
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_EXPORT_H_

@@ -1,0 +1,376 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace ml4db {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& kv : members_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& kv : members_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+bool JsonValue::operator==(const JsonValue& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == o.bool_;
+    case Type::kNumber: return num_ == o.num_;
+    case Type::kString: return str_ == o.str_;
+    case Type::kArray: return items_ == o.items_;
+    case Type::kObject: return members_ == o.members_;
+  }
+  return false;
+}
+
+namespace {
+
+/// Formats a double the shortest way that round-trips; integers print
+/// without a fractional part.
+std::string NumberToString(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Prefer the shorter %.15g form when it round-trips.
+  char short_buf[40];
+  std::snprintf(short_buf, sizeof(short_buf), "%.15g", d);
+  double back = 0.0;
+  std::sscanf(short_buf, "%lf", &back);
+  return back == d ? short_buf : buf;
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(indent * (depth + 1), ' ') : "";
+  const std::string close_pad = pretty ? std::string(indent * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: *out += NumberToString(num_); break;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(str_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        *out += pad;
+        items_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < items_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(members_[i].first);
+        *out += '"';
+        *out += colon;
+        members_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < members_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ----------------------------- parser --------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    ML4DB_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("json: trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    const char c = s_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        ML4DB_ASSIGN_OR_RETURN(std::string str, ParseString());
+        return JsonValue::String(std::move(str));
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return JsonValue::Bool(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return JsonValue::Bool(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue::Null();
+        }
+        return Err("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool any = false;
+    auto eat_digits = [&] {
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+        ++pos_;
+        any = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    if (!any) return Err("bad number");
+    return JsonValue::Number(std::stod(s_.substr(start, pos_ - start)));
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (s_[pos_] != '"') return Err("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_];
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Err("bad escape");
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Err("bad \\u escape");
+            }
+            pos_ += 4;
+            // UTF-8 encode the code point (BMP only; surrogate pairs are
+            // passed through as two 3-byte sequences, fine for our data).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return Err("bad escape");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= s_.size()) return Err("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      ML4DB_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Err("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return arr;
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      ML4DB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return Err("expected ':'");
+      ++pos_;
+      ML4DB_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Err("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return obj;
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser p(text);
+  return p.ParseDocument();
+}
+
+}  // namespace obs
+}  // namespace ml4db

@@ -1,0 +1,115 @@
+// Minimal JSON value type used by the observability layer: trace-span
+// serialization, the bench exporter, and the schema self-check all speak
+// the same dialect. Supports the full JSON data model (null/bool/number/
+// string/array/object), order-preserving objects, parsing, and dumping
+// with optional pretty-printing. Deliberately tiny — not a general-purpose
+// JSON library.
+
+#ifndef ML4DB_OBS_JSON_H_
+#define ML4DB_OBS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ml4db {
+namespace obs {
+
+/// A parsed or programmatically built JSON value.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.num_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  const std::string& AsString() const { return str_; }
+
+  /// Array access.
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  size_t size() const { return items_.size(); }
+
+  /// Object access (insertion-ordered).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(const std::string& key, JsonValue v);
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member lookups with defaults — convenience for consumers.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Serializes. indent < 0 → compact one-line; >= 0 → pretty-printed
+  /// with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error).
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  bool operator==(const JsonValue& o) const;
+  bool operator!=(const JsonValue& o) const { return !(*this == o); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// Escapes a string for embedding in a JSON document (without quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_JSON_H_

@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace obs {
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      size_t count) {
+  ML4DB_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds(count);
+  double b = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = b;
+    b *= factor;
+  }
+  return bounds;
+}
+
+#ifndef ML4DB_OBS_DISABLED
+
+namespace {
+
+std::vector<double> DefaultBounds() {
+  return ExponentialBounds(1e-6, 2.0, 47);  // 1e-6 .. ~7e7
+}
+
+/// CAS add for atomic<double> (fetch_add on double needs newer libatomic).
+void AtomicAdd(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
+    : name_(std::move(name)),
+      bounds_(upper_bounds.empty() ? DefaultBounds()
+                                   : std::move(upper_bounds)) {
+  ML4DB_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void Histogram::Record(double v) {
+  // Inclusive upper bounds (Prometheus "le"): v lands in the first bucket
+  // whose bound is >= v; anything above the last bound hits the overflow
+  // bucket.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  // Target rank, 1-based; ceil so p100 lands on the last sample.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(n) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // The rank lives in bucket i. Interpolate within the bucket's value
+    // range, clamped to the observed min/max so tails are not overstated.
+    double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+    double upper = (i == bounds_.size()) ? hi : bounds_[i];
+    lower = std::max(lower, std::min(lo, upper));
+    upper = std::min(upper, hi);
+    if (in_bucket == 0 || upper <= lower) return std::min(upper, hi);
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    return lower + frac * (upper - lower);
+  }
+  return hi;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.name = name_;
+  s.count = count();
+  s.sum = sum();
+  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  s.p50 = Quantile(0.50);
+  s.p95 = Quantile(0.95);
+  s.p99 = Quantile(0.99);
+  s.buckets.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const double bound = (i == bounds_.size())
+                             ? std::numeric_limits<double>::infinity()
+                             : bounds_[i];
+    s.buckets.emplace_back(bound,
+                           buckets_[i].load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: metric handles must stay valid through atexit
+  // callbacks (the bench exporter snapshots the registry at process exit).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return c.get();
+  }
+  counters_.push_back(std::make_unique<Counter>(name));
+  return counters_.back().get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return g.get();
+  }
+  gauges_.push_back(std::make_unique<Gauge>(name));
+  return gauges_.back().get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return h.get();
+  }
+  histograms_.push_back(
+      std::make_unique<Histogram>(name, std::move(upper_bounds)));
+  return histograms_.back().get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    snap.counters.push_back({c->name(), c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    snap.gauges.push_back({g->name(), g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    snap.histograms.push_back(h->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+#endif  // !ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db

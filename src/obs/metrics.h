@@ -1,0 +1,237 @@
+// Process-wide metrics registry (paper-tutorial observability plane; cf.
+// Baihe's observation layer): counters, gauges, and fixed-bucket latency
+// histograms with interpolated p50/p95/p99 extraction.
+//
+// Design constraints:
+//  - Hot-path updates are lock-free (relaxed atomics); call sites cache the
+//    metric pointer in a function-local static so the registry mutex is
+//    only taken once per site.
+//  - Metric handles are stable for the process lifetime (never invalidated
+//    by later registrations).
+//  - Names follow the `ml4db.<module>.<name>` convention (DESIGN.md §6).
+//  - Compiling with -DML4DB_OBS_DISABLED swaps every type for an inline
+//    no-op with the identical API, so instrumented call sites cost nothing
+//    and need no #ifdefs.
+
+#ifndef ML4DB_OBS_METRICS_H_
+#define ML4DB_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef ML4DB_OBS_DISABLED
+#include <atomic>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+/// Point-in-time copies handed out by MetricsRegistry::Snapshot(); identical
+/// in both build modes (the disabled build just produces empty vectors).
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Cumulative-style bucket list: (upper bound, count in bucket). The last
+  /// entry's bound is +inf (serialized as the string "+inf" by exporters).
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Default histogram bucket layout: exponential, `count` buckets starting
+/// at `start` growing by `factor` (upper bounds), plus an implicit +inf
+/// overflow bucket. The registry default spans 1e-6 .. ~1.4e8 at 2x steps,
+/// wide enough for priced latencies, microseconds, and seconds alike.
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      size_t count);
+
+#ifndef ML4DB_OBS_DISABLED
+
+/// Monotonic counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with lock-free recording. Bucket i counts values
+/// <= bounds[i] (and > bounds[i-1]); one extra overflow bucket catches the
+/// rest. Quantiles are linearly interpolated within the containing bucket.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> upper_bounds);
+
+  void Record(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// q in [0,1]. Returns 0 when empty.
+  double Quantile(double q) const;
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Name-keyed registry of all metrics in the process.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Get-or-create. Pointers remain valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `upper_bounds` is only used on first registration; empty selects the
+  /// default exponential layout.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = {});
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Drops every registered metric (tests only; invalidates handles).
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+#else  // ML4DB_OBS_DISABLED: identical API, zero cost.
+
+class Counter {
+ public:
+  void Inc(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void Record(double) {}
+  uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  double Quantile(double) const { return 0.0; }
+  HistogramSnapshot Snapshot() const { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry r;
+    return r;
+  }
+  Counter* GetCounter(const std::string&) { return &counter_; }
+  Gauge* GetGauge(const std::string&) { return &gauge_; }
+  Histogram* GetHistogram(const std::string&, std::vector<double> = {}) {
+    return &histogram_;
+  }
+  RegistrySnapshot Snapshot() const { return {}; }
+  void ResetForTesting() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+/// Convenience wrappers over the global registry. Typical hot-path idiom:
+///   static obs::Counter* c = obs::GetCounter("ml4db.engine.queries");
+///   c->Inc();
+inline Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram* GetHistogram(const std::string& name,
+                               std::vector<double> upper_bounds = {}) {
+  return MetricsRegistry::Global().GetHistogram(name, std::move(upper_bounds));
+}
+
+/// True when the library was compiled with observability enabled.
+constexpr bool ObsEnabled() {
+#ifndef ML4DB_OBS_DISABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_METRICS_H_

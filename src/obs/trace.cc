@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ml4db {
+namespace obs {
+
+JsonValue TraceSpan::ToJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("name", JsonValue::String(name));
+  o.Set("latency", JsonValue::Number(latency));
+  if (est_rows >= 0) o.Set("est_rows", JsonValue::Number(est_rows));
+  if (actual_rows >= 0) o.Set("actual_rows", JsonValue::Number(actual_rows));
+  if (est_cost >= 0) o.Set("est_cost", JsonValue::Number(est_cost));
+  if (actual_cost >= 0) o.Set("actual_cost", JsonValue::Number(actual_cost));
+  if (!attrs.empty()) {
+    JsonValue a = JsonValue::Object();
+    for (const auto& kv : attrs) {
+      a.Set(kv.first, JsonValue::String(kv.second));
+    }
+    o.Set("attrs", std::move(a));
+  }
+  if (!children.empty()) {
+    JsonValue c = JsonValue::Array();
+    for (const auto& child : children) c.Append(child.ToJson());
+    o.Set("children", std::move(c));
+  }
+  return o;
+}
+
+StatusOr<TraceSpan> TraceSpan::FromJson(const JsonValue& v) {
+  if (!v.is_object()) return Status::InvalidArgument("span must be an object");
+  TraceSpan s;
+  s.name = v.GetString("name");
+  if (s.name.empty()) return Status::InvalidArgument("span missing name");
+  s.latency = v.GetNumber("latency");
+  s.est_rows = v.GetNumber("est_rows", -1.0);
+  s.actual_rows = v.GetNumber("actual_rows", -1.0);
+  s.est_cost = v.GetNumber("est_cost", -1.0);
+  s.actual_cost = v.GetNumber("actual_cost", -1.0);
+  if (const JsonValue* attrs = v.Find("attrs"); attrs && attrs->is_object()) {
+    for (const auto& kv : attrs->members()) {
+      s.attrs.emplace_back(kv.first, kv.second.is_string()
+                                         ? kv.second.AsString()
+                                         : kv.second.Dump());
+    }
+  }
+  if (const JsonValue* kids = v.Find("children"); kids && kids->is_array()) {
+    for (const auto& item : kids->items()) {
+      ML4DB_ASSIGN_OR_RETURN(TraceSpan child, FromJson(item));
+      s.children.push_back(std::move(child));
+    }
+  }
+  return s;
+}
+
+JsonValue QueryTrace::ToJsonValue() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("label", JsonValue::String(label));
+  JsonValue arr = JsonValue::Array();
+  for (const auto& s : spans) arr.Append(s.ToJson());
+  o.Set("spans", std::move(arr));
+  return o;
+}
+
+std::string QueryTrace::ToJson(int indent) const {
+  return ToJsonValue().Dump(indent);
+}
+
+StatusOr<QueryTrace> QueryTrace::FromJsonValue(const JsonValue& v) {
+  if (!v.is_object()) return Status::InvalidArgument("trace must be object");
+  QueryTrace t;
+  t.label = v.GetString("label");
+  const JsonValue* spans = v.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Status::InvalidArgument("trace missing spans array");
+  }
+  for (const auto& item : spans->items()) {
+    ML4DB_ASSIGN_OR_RETURN(TraceSpan s, TraceSpan::FromJson(item));
+    t.spans.push_back(std::move(s));
+  }
+  return t;
+}
+
+StatusOr<QueryTrace> QueryTrace::FromJsonText(const std::string& text) {
+  ML4DB_ASSIGN_OR_RETURN(JsonValue v, JsonValue::Parse(text));
+  return FromJsonValue(v);
+}
+
+double QueryTrace::TotalLatency() const {
+  double total = 0.0;
+  for (const auto& s : spans) {
+    total += s.actual_cost >= 0 ? s.actual_cost : s.latency;
+  }
+  return total;
+}
+
+namespace {
+
+double SubtreeCost(const TraceSpan& s) {
+  return s.actual_cost >= 0 ? s.actual_cost : s.latency;
+}
+
+void RenderSpan(const TraceSpan& s, int depth, double root_cost,
+                std::string* out) {
+  constexpr int kBarWidth = 24;
+  const double subtree = SubtreeCost(s);
+  const double share = root_cost > 0 ? subtree / root_cost : 0.0;
+  const int filled =
+      std::clamp(static_cast<int>(std::lround(share * kBarWidth)), 0,
+                 kBarWidth);
+
+  char head[192];
+  std::snprintf(head, sizeof(head), "%*s%-*s", depth * 2, "",
+                std::max(1, 28 - depth * 2), s.name.c_str());
+  *out += head;
+
+  char bar[64];
+  int pos = 0;
+  for (int i = 0; i < kBarWidth; ++i) bar[pos++] = i < filled ? '#' : '.';
+  bar[pos] = '\0';
+  char tail[160];
+  std::snprintf(tail, sizeof(tail), " [%s] %10.2f (%5.1f%%)", bar, subtree,
+                share * 100.0);
+  *out += tail;
+
+  if (s.actual_rows >= 0 || s.est_rows >= 0) {
+    char rows[96];
+    std::snprintf(rows, sizeof(rows), "  rows est=%.0f act=%.0f",
+                  std::max(0.0, s.est_rows), std::max(0.0, s.actual_rows));
+    *out += rows;
+  }
+  for (const auto& kv : s.attrs) {
+    *out += "  " + kv.first + "=" + kv.second;
+  }
+  *out += '\n';
+  for (const auto& c : s.children) {
+    RenderSpan(c, depth + 1, root_cost, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryTrace::ToText() const {
+  std::string out;
+  out += "trace";
+  if (!label.empty()) out += " " + label;
+  out += "\n";
+  for (const auto& s : spans) {
+    RenderSpan(s, 0, SubtreeCost(s), &out);
+  }
+  return out;
+}
+
+#ifndef ML4DB_OBS_DISABLED
+
+namespace {
+thread_local QueryTrace* g_current_trace = nullptr;
+}  // namespace
+
+TraceScope::TraceScope(QueryTrace* trace) : prev_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
+
+QueryTrace* TraceScope::Current() { return g_current_trace; }
+
+#endif  // !ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db

@@ -1,0 +1,90 @@
+// Per-query trace spans. A QueryTrace is a forest of spans recorded while
+// planning + executing one query: DpOptimizer contributes an "optimize"
+// span (wall-clock), Executor contributes an "execute" span tree mirroring
+// the physical plan (one span per operator, carrying est_rows vs
+// actual_rows and the operator's own priced latency). Dumpable as JSON and
+// as a flame-style text tree.
+//
+// Recording is opt-in and scoped: instantiate a TraceScope around the
+// Plan/Execute calls and the engine appends spans to your trace. When no
+// scope is active (or with -DML4DB_OBS_DISABLED) the engine pays one
+// thread-local read per query and records nothing.
+
+#ifndef ML4DB_OBS_TRACE_H_
+#define ML4DB_OBS_TRACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace ml4db {
+namespace obs {
+
+/// One node of a span tree.
+struct TraceSpan {
+  std::string name;      ///< phase or operator name ("optimize", "HashJoin")
+  double latency = 0.0;  ///< this span's own cost, excluding children
+  double est_rows = -1.0;     ///< optimizer estimate (-1 = n/a)
+  double actual_rows = -1.0;  ///< executor actual (-1 = n/a)
+  double est_cost = -1.0;
+  double actual_cost = -1.0;  ///< subtree cost including children
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<TraceSpan> children;
+
+  JsonValue ToJson() const;
+  static StatusOr<TraceSpan> FromJson(const JsonValue& v);
+};
+
+/// All spans recorded for one query.
+struct QueryTrace {
+  std::string label;  ///< free-form query label
+  std::vector<TraceSpan> spans;
+
+  std::string ToJson(int indent = 2) const;
+  static StatusOr<QueryTrace> FromJsonText(const std::string& text);
+  JsonValue ToJsonValue() const;
+  static StatusOr<QueryTrace> FromJsonValue(const JsonValue& v);
+
+  /// Flame-style rendering: indentation = depth, bar length = share of the
+  /// root span's subtree cost, annotated with est vs actual rows.
+  std::string ToText() const;
+
+  /// Total latency across top-level spans (subtree costs).
+  double TotalLatency() const;
+};
+
+#ifndef ML4DB_OBS_DISABLED
+
+/// RAII: makes `trace` the thread's current trace for the scope's lifetime.
+/// Scopes nest; the previous trace is restored on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(QueryTrace* trace);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The active trace for this thread, or nullptr.
+  static QueryTrace* Current();
+
+ private:
+  QueryTrace* prev_;
+};
+
+#else  // ML4DB_OBS_DISABLED
+
+class TraceScope {
+ public:
+  explicit TraceScope(QueryTrace*) {}
+  static QueryTrace* Current() { return nullptr; }
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_TRACE_H_

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace optimizer {
 
@@ -137,6 +140,11 @@ StatusOr<AutoSteer::Choice> AutoSteer::ChoosePlan(const engine::Query& query) {
 void AutoSteer::Feedback(const Choice& choice, double latency) {
   ModelFor(choice.arm_key)
       .Observe(BaoPlanFeatures(choice.plan), std::log1p(latency));
+  static obs::Counter* feedbacks =
+      obs::GetCounter("ml4db.optimizer.autosteer.feedbacks");
+  feedbacks->Inc();
+  obs::PublishEvent(obs::EventKind::kRetrain, "optimizer.autosteer",
+                    "arm " + choice.arm_key + " updated", latency);
 }
 
 StatusOr<double> AutoSteer::RunAndLearn(const engine::Query& query) {

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace optimizer {
 
@@ -90,6 +93,11 @@ void BaoOptimizer::Feedback(const Choice& choice, double latency) {
                               std::log1p(latency));
   arm_picks_[choice.arm] += 1;
   ++feedback_count_;
+  static obs::Counter* feedbacks =
+      obs::GetCounter("ml4db.optimizer.bao.feedbacks");
+  feedbacks->Inc();
+  obs::PublishEvent(obs::EventKind::kRetrain, "optimizer.bao",
+                    "arm " + std::to_string(choice.arm) + " updated", latency);
 }
 
 StatusOr<double> BaoOptimizer::RunAndLearn(const engine::Query& query) {

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/math_util.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace ml4db {
 namespace optimizer {
@@ -185,6 +187,12 @@ StatusOr<double> LeonOptimizer::TrainRound(
     if (in_batch > 0) ranker_.Step();
   }
   pairs_absorbed_ += pairs.size();
+  static obs::Counter* rounds =
+      obs::GetCounter("ml4db.optimizer.leon.train_rounds");
+  rounds->Inc();
+  obs::PublishEvent(obs::EventKind::kRetrain, "optimizer.leon",
+                    std::to_string(pairs.size()) + " ranking pairs absorbed",
+                    total);
   return total;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace optimizer {
 
@@ -58,6 +61,10 @@ StatusOr<engine::CostParams> ParamTreeTuner::Fit() const {
     // collinear counters.
     out.Set(i, std::max(params[i], 0.0));
   }
+  static obs::Counter* fits = obs::GetCounter("ml4db.optimizer.paramtree.fits");
+  fits->Inc();
+  obs::PublishEvent(obs::EventKind::kRetrain, "optimizer.paramtree",
+                    "cost constants refit", static_cast<double>(n_));
   return out;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace optimizer {
 
@@ -194,6 +197,12 @@ void ValueSearchOptimizer::TrainNetwork() {
     value_net_.TrainEpoch(trees, targets, options_.batch_size, rng_);
   }
   trained_ = true;
+  static obs::Counter* retrains =
+      obs::GetCounter("ml4db.optimizer.value_search.retrains");
+  retrains->Inc();
+  obs::PublishEvent(obs::EventKind::kRetrain, "optimizer.value_search",
+                    "value network retrained",
+                    static_cast<double>(experiences_.size()));
 }
 
 Status ValueSearchOptimizer::Bootstrap(

@@ -1,0 +1,311 @@
+// Tests for the observability layer: histogram bucket boundaries and
+// quantile extraction, counter concurrency, span-tree JSON round-trip,
+// event ring-buffer overflow, and the bench export document shape.
+//
+// With -DML4DB_OBS_DISABLED the layer is inline no-ops; only the API-shape
+// smoke test remains meaningful, so the behavioural tests compile out.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ml4db {
+namespace obs {
+namespace {
+
+TEST(ObsApi, CompilesAndIsCallableInBothModes) {
+  Counter* c = GetCounter("ml4db.test.api_counter");
+  c->Inc();
+  Gauge* g = GetGauge("ml4db.test.api_gauge");
+  g->Set(4.5);
+  Histogram* h = GetHistogram("ml4db.test.api_hist");
+  h->Record(1.0);
+  PublishEvent(EventKind::kCustom, "test", "smoke");
+  QueryTrace trace;
+  TraceScope scope(&trace);
+  SUCCEED();
+}
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string doc =
+      R"({"a": 1.5, "b": [true, null, "x\ny"], "c": {"nested": -3}})";
+  auto parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("a"), 1.5);
+  const JsonValue* b = parsed->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->size(), 3u);
+  EXPECT_TRUE(b->items()[0].AsBool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].AsString(), "x\ny");
+  // Dump → parse → equal.
+  auto reparsed = JsonValue::Parse(parsed->Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*parsed, *reparsed);
+}
+
+TEST(Json, RejectsGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]2").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+}
+
+#ifndef ML4DB_OBS_DISABLED
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h("ml4db.test.bounds", {1.0, 2.0, 4.0, 8.0});
+  // Upper bounds are inclusive: Record(x) lands in the first bucket with
+  // bound >= x.
+  h.Record(0.5);   // bucket 0 (<= 1)
+  h.Record(1.0);   // bucket 0 (<= 1, inclusive)
+  h.Record(1.01);  // bucket 1
+  h.Record(4.0);   // bucket 2
+  h.Record(100.0); // overflow bucket
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 0u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.01 + 4.0 + 100.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_EQ(snap.buckets.size(), 5u);
+  EXPECT_TRUE(std::isinf(snap.buckets.back().first));
+}
+
+TEST(Histogram, QuantileExtraction) {
+  Histogram h("ml4db.test.quantiles", ExponentialBounds(1.0, 2.0, 12));
+  // 1000 samples uniform on (0, 100]: quantiles should be near q*100
+  // within bucket-interpolation error (bucket width at 100 is 64..128).
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 0.1);
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GT(p50, 30.0);
+  EXPECT_LT(p50, 70.0);
+  EXPECT_GT(p95, 80.0);
+  EXPECT_LE(p95, 100.0);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 100.0);
+  // Monotone in q; p0/p100 clamp to observed extremes.
+  EXPECT_LE(h.Quantile(0.0), p50);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(Histogram, ExactQuantilesWithinOneBucket) {
+  // All mass in one bucket: interpolation stays inside [min, max].
+  Histogram h("ml4db.test.onebucket", {10.0, 20.0});
+  for (int i = 0; i < 100; ++i) h.Record(15.0);
+  EXPECT_GE(h.Quantile(0.5), 10.0);
+  EXPECT_LE(h.Quantile(0.5), 15.0 + 1e-9);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  Counter c("ml4db.test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, ConcurrentRecordsCountExactly) {
+  Histogram h("ml4db.test.hist_concurrent", ExponentialBounds(1.0, 2.0, 8));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>((t * 37 + i) % 200));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < h.bounds().size() + 1; ++i) {
+    bucket_total += h.BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Registry, GetOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("ml4db.test.stable");
+  Counter* b = reg.GetCounter("ml4db.test.stable");
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  reg.GetGauge("ml4db.test.g")->Set(7.0);
+  reg.GetHistogram("ml4db.test.h")->Record(2.0);
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "ml4db.test.stable");
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(Trace, SpanTreeJsonRoundTrip) {
+  QueryTrace trace;
+  trace.label = "q42";
+  TraceSpan opt;
+  opt.name = "optimize";
+  opt.latency = 120.5;
+  opt.attrs.emplace_back("unit", "us");
+  trace.spans.push_back(opt);
+  TraceSpan exec;
+  exec.name = "execute";
+  exec.actual_cost = 990.0;
+  TraceSpan join;
+  join.name = "HashJoin";
+  join.latency = 400.0;
+  join.est_rows = 100.0;
+  join.actual_rows = 1234.0;
+  join.actual_cost = 990.0;
+  TraceSpan scan;
+  scan.name = "SeqScan";
+  scan.latency = 590.0;
+  scan.est_rows = 5000.0;
+  scan.actual_rows = 5000.0;
+  scan.attrs.emplace_back("table", "fact");
+  join.children.push_back(scan);
+  exec.children.push_back(join);
+  trace.spans.push_back(exec);
+
+  const std::string json = trace.ToJson();
+  auto back = QueryTrace::FromJsonText(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->label, "q42");
+  ASSERT_EQ(back->spans.size(), 2u);
+  EXPECT_EQ(back->spans[0].name, "optimize");
+  EXPECT_DOUBLE_EQ(back->spans[0].latency, 120.5);
+  ASSERT_EQ(back->spans[1].children.size(), 1u);
+  const TraceSpan& join_back = back->spans[1].children[0];
+  EXPECT_EQ(join_back.name, "HashJoin");
+  EXPECT_DOUBLE_EQ(join_back.est_rows, 100.0);
+  EXPECT_DOUBLE_EQ(join_back.actual_rows, 1234.0);
+  ASSERT_EQ(join_back.children.size(), 1u);
+  EXPECT_EQ(join_back.children[0].attrs.size(), 1u);
+  EXPECT_EQ(join_back.children[0].attrs[0].second, "fact");
+  // Exact fixed point: serialize again and compare documents.
+  EXPECT_EQ(back->ToJson(), json);
+  // Flame text mentions every operator.
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("SeqScan"), std::string::npos);
+}
+
+TEST(Trace, ScopeNestsAndRestores) {
+  EXPECT_EQ(TraceScope::Current(), nullptr);
+  QueryTrace outer, inner;
+  {
+    TraceScope s1(&outer);
+    EXPECT_EQ(TraceScope::Current(), &outer);
+    {
+      TraceScope s2(&inner);
+      EXPECT_EQ(TraceScope::Current(), &inner);
+    }
+    EXPECT_EQ(TraceScope::Current(), &outer);
+  }
+  EXPECT_EQ(TraceScope::Current(), nullptr);
+}
+
+TEST(EventLog, RingBufferOverflowKeepsNewest) {
+  EventLog log(4);
+  for (int i = 1; i <= 10; ++i) {
+    log.Publish(EventKind::kDrift, "test", "e" + std::to_string(i),
+                static_cast<double>(i));
+  }
+  EXPECT_EQ(log.total_published(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(events.front().seq, 7u);
+  EXPECT_EQ(events.back().seq, 10u);
+  EXPECT_EQ(events.back().detail, "e10");
+  log.Clear();
+  EXPECT_EQ(log.total_published(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(EventLog, UnderfilledSnapshotIsOrdered) {
+  EventLog log(8);
+  log.Publish(EventKind::kRetrain, "m", "first");
+  log.Publish(EventKind::kAbort, "m", "second");
+  const auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "first");
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(Exporter, DocumentShape) {
+  GetCounter("ml4db.test.export_counter")->Inc(5);
+  GetHistogram("ml4db.test.export_hist")->Record(3.0);
+  PublishEvent(EventKind::kRetrain, "test.module", "export check", 1.0);
+
+  BenchExporter exporter("unit_test", {"obs_test", "--json"});
+  ExportTable t;
+  t.title = "demo";
+  t.columns = {"a", "b"};
+  t.rows = {{"1", "x,y"}};
+  exporter.AddTable(std::move(t));
+
+  const JsonValue doc = exporter.ToJson();
+  EXPECT_EQ(doc.GetNumber("schema_version"), kBenchExportSchemaVersion);
+  EXPECT_EQ(doc.GetString("bench"), "unit_test");
+  ASSERT_NE(doc.Find("run"), nullptr);
+  EXPECT_GT(doc.Find("run")->GetNumber("timestamp_unix"), 0.0);
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->Find("histograms"), nullptr);
+  bool found_hist = false;
+  for (const auto& h : metrics->Find("histograms")->items()) {
+    if (h.GetString("name") == "ml4db.test.export_hist") {
+      found_hist = true;
+      EXPECT_EQ(h.GetNumber("count"), 1.0);
+      EXPECT_NE(h.Find("p50"), nullptr);
+      EXPECT_NE(h.Find("p95"), nullptr);
+      EXPECT_NE(h.Find("p99"), nullptr);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+  const JsonValue* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GE(events->size(), 1u);
+  const JsonValue* tables = doc.Find("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->size(), 1u);
+  EXPECT_EQ(tables->items()[0].GetString("title"), "demo");
+  // The whole document survives a parse round-trip.
+  auto reparsed = JsonValue::Parse(doc.Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, doc);
+  // CSV quoting: the comma cell gets quoted.
+  EXPECT_EQ(CsvLine({"1", "x,y"}), "1,\"x,y\"\n");
+}
+
+#endif  // !ML4DB_OBS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace ml4db
