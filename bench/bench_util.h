@@ -23,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "workload/query_gen.h"
 #include "workload/schema_gen.h"
 
@@ -102,6 +104,10 @@ inline void InitBench(const std::string& name, int* argc = nullptr,
     argv[w] = nullptr;
   }
   s.exporter = std::make_unique<obs::BenchExporter>(name, std::move(args));
+  // Every export carries the pool size (ML4DB_THREADS), so speedup claims
+  // in bench JSON are self-describing: compare runs by this gauge.
+  obs::GetGauge("ml4db.bench.threads")
+      ->Set(static_cast<double>(common::ThreadPool::Global().size()));
   std::atexit(internal::FinishBench);
 }
 

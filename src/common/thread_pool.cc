@@ -1,0 +1,171 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace ml4db {
+namespace common {
+
+namespace {
+
+// Dense worker id within the owning pool; -1 on foreign threads. Set for
+// the duration of inline execution on size-1 pools so tasks observe a
+// consistent id in both modes.
+thread_local int tls_worker_id = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  if (num_threads_ <= 1) return;  // inline mode: no workers
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultSize());
+  return pool;
+}
+
+size_t ThreadPool::ParseThreadsValue(const char* value, size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+size_t ThreadPool::DefaultSize() {
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return ParseThreadsValue(std::getenv("ML4DB_THREADS"), hw);
+}
+
+int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ML4DB_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::RunInline(const std::function<void()>& task) {
+  const int prev = tls_worker_id;
+  tls_worker_id = 0;
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  task();  // packaged_task: exceptions land in the future
+  tls_worker_id = prev;
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  tls_worker_id = worker_id;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    task();
+  }
+}
+
+// Shared state of one ParallelFor call. Participants (the caller plus any
+// pool workers that pick up a helper task) claim chunk indices from
+// `next` until exhausted; the last chunk to finish signals `cv`. Chunks
+// claimed after a body threw are skipped but still counted, so `done`
+// always reaches `nchunks` and stragglers never hang the caller.
+struct ThreadPool::ParallelState {
+  size_t begin = 0;
+  size_t chunk = 0;
+  size_t end = 0;
+  size_t nchunks = 0;
+  std::function<void(size_t, size_t)> body;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure; guarded by mu
+
+  void RunChunks() {
+    size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < nchunks) {
+      const size_t b = begin + i * chunk;
+      const size_t e = std::min(end, b + chunk);
+      if (b < e && !abort.load(std::memory_order_relaxed)) {
+        try {
+          body(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (error == nullptr) error = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_relaxed) + 1 == nchunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  grain = std::max<size_t>(1, grain);
+  // Chunk count: enough for load balance (4 per thread), no smaller than
+  // the grain. A single chunk — or a size-1 pool — runs serially on the
+  // caller, which is also what nested calls on saturated pools fall
+  // back to chunk by chunk.
+  const size_t nchunks =
+      std::min((n + grain - 1) / grain, num_threads_ * 4);
+  if (num_threads_ <= 1 || nchunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = (n + nchunks - 1) / nchunks;
+  state->nchunks = nchunks;
+  state->body = body;
+
+  const size_t helpers = std::min(num_threads_, nchunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Enqueue([state] { state->RunChunks(); });
+  }
+  // The caller works too: guarantees progress even when every worker is
+  // busy (including the nested case where the caller IS a worker).
+  state->RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_relaxed) == state->nchunks;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace common
+}  // namespace ml4db

@@ -1,0 +1,125 @@
+// Shared fixed-size thread pool — the parallel execution & training
+// substrate for the whole library. Motivated by Baihe's isolation of model
+// training from the query path and Neo's concurrent value-network training
+// loop: the executor's batch API, learned-index construction, and
+// drift-triggered background retrains all run on this pool so learning
+// never stalls serving.
+//
+// Design:
+//  - `Submit(fn)` returns a std::future; exceptions thrown by `fn`
+//    propagate through future.get().
+//  - `ParallelFor(begin, end, grain, body)` splits [begin, end) into
+//    chunks of at least `grain` elements. The *calling thread
+//    participates* in chunk execution, so nested ParallelFor calls from
+//    pool workers always make progress (no deadlock when the pool is
+//    saturated) and a pool of size 1 degenerates to a plain serial loop.
+//  - Pool size comes from the ML4DB_THREADS env var, defaulting to
+//    std::thread::hardware_concurrency(). Size 1 is a degenerate inline
+//    mode: no worker threads are spawned and Submit runs the task on the
+//    caller, so single-threaded builds/tests behave exactly as before.
+//  - Workers are identified by a small dense id (0..size-1) readable via
+//    CurrentWorkerId(); -1 on threads not owned by a pool. The executor's
+//    batch API tags trace spans with it.
+
+#ifndef ML4DB_COMMON_THREAD_POOL_H_
+#define ML4DB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace common {
+
+class ThreadPool {
+ public:
+  /// @param num_threads worker count; clamped to >= 1. Size 1 spawns no
+  ///        threads (inline mode).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide shared pool, sized by DefaultSize() at first use.
+  static ThreadPool& Global();
+
+  /// ML4DB_THREADS env var if set to a positive integer, otherwise
+  /// hardware_concurrency (>= 1).
+  static size_t DefaultSize();
+
+  /// Parses a ML4DB_THREADS-style value: positive integer = that many
+  /// threads; unset/empty/0/garbage = `fallback`. Exposed for tests.
+  static size_t ParseThreadsValue(const char* value, size_t fallback);
+
+  /// Dense worker id of the current thread within its owning pool, or -1
+  /// when called from a thread no pool owns. During inline execution
+  /// (size-1 pool) tasks observe id 0.
+  static int CurrentWorkerId();
+
+  size_t size() const { return num_threads_; }
+
+  /// Schedules `fn` and returns a future for its result. In inline mode
+  /// the task runs immediately on the calling thread.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (num_threads_ <= 1) {
+      RunInline([task] { (*task)(); });
+      return future;
+    }
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs `body(chunk_begin, chunk_end)` over disjoint chunks covering
+  /// [begin, end), each at least `grain` elements (last chunk may be
+  /// smaller). Blocks until every chunk ran; the caller executes chunks
+  /// too. The first exception thrown by any chunk is rethrown here.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Tasks executed by pool workers since construction (diagnostics).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ParallelState;
+
+  void Enqueue(std::function<void()> task);
+  void RunInline(const std::function<void()>& task);
+  void WorkerLoop(int worker_id);
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> tasks_executed_{0};
+};
+
+/// Convenience: ParallelFor on the global pool.
+inline void ParallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& body) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace common
+}  // namespace ml4db
+
+#endif  // ML4DB_COMMON_THREAD_POOL_H_

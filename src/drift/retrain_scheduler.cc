@@ -1,0 +1,97 @@
+#include "drift/retrain_scheduler.h"
+
+#include "common/stopwatch.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace drift {
+
+RetrainScheduler::RetrainScheduler() : RetrainScheduler(Options{}) {}
+
+RetrainScheduler::RetrainScheduler(Options options)
+    : options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool
+                                     : &common::ThreadPool::Global()) {}
+
+RetrainScheduler::~RetrainScheduler() { Drain(); }
+
+void RetrainScheduler::Schedule(
+    std::string label, std::function<std::shared_ptr<void>()> fit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  obs::GetCounter("ml4db.drift.retrains_scheduled")->Inc();
+  // The future is intentionally dropped: completion is reported through
+  // TakeReady()/Drain(), and RunFit swallows fit exceptions into failed().
+  pool_->Submit(
+      [this, label = std::move(label), fit = std::move(fit)]() mutable {
+        RunFit(std::move(label), fit);
+      });
+}
+
+void RetrainScheduler::RunFit(
+    std::string label, const std::function<std::shared_ptr<void>()>& fit) {
+  Stopwatch sw;
+  std::shared_ptr<void> model;
+  bool threw = false;
+  try {
+    model = fit();
+  } catch (...) {
+    threw = true;
+  }
+  const double fit_seconds = sw.ElapsedSeconds();
+  const bool ok = !threw && model != nullptr;
+  if (ok) {
+    obs::PublishEvent(obs::EventKind::kRetrain, options_.module,
+                      "background refit ready: " + label, fit_seconds);
+    obs::GetCounter("ml4db.drift.retrains_completed")->Inc();
+  } else {
+    obs::PublishEvent(obs::EventKind::kRetrain, options_.module,
+                      "background refit FAILED: " + label, fit_seconds);
+    obs::GetCounter("ml4db.drift.retrains_failed")->Inc();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ready_.push_back(Ready{std::move(label), std::move(model), fit_seconds});
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  --pending_;
+  cv_.notify_all();
+}
+
+std::vector<RetrainScheduler::Ready> RetrainScheduler::TakeReady() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Ready> out;
+  out.swap(ready_);
+  return out;
+}
+
+std::vector<RetrainScheduler::Ready> RetrainScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  std::vector<Ready> out;
+  out.swap(ready_);
+  return out;
+}
+
+size_t RetrainScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+uint64_t RetrainScheduler::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+uint64_t RetrainScheduler::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+}  // namespace drift
+}  // namespace ml4db

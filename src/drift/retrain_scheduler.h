@@ -1,0 +1,104 @@
+// Background retrain scheduler: drift-triggered model refits run as
+// thread-pool jobs so the serving path keeps answering with the current
+// model while the replacement trains (the paper's §4 deployment concern:
+// retraining a learned component must not stall query processing).
+//
+// The scheduler is model-agnostic: a fit job is any callable producing a
+// `std::shared_ptr<void>` (type-erased model); callers recover the type
+// with `std::static_pointer_cast` when they swap the result in. Each
+// completion publishes an obs `kRetrain` event carrying the fit
+// wall-clock, so bench exports show when retrains landed relative to the
+// query stream.
+//
+// With a single-thread pool (ML4DB_THREADS=1) Submit runs inline, so
+// Schedule trains synchronously and the result is ready on return —
+// single-threaded runs behave exactly like the old blocking refit.
+
+#ifndef ML4DB_DRIFT_RETRAIN_SCHEDULER_H_
+#define ML4DB_DRIFT_RETRAIN_SCHEDULER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ml4db {
+namespace drift {
+
+class RetrainScheduler {
+ public:
+  struct Options {
+    /// Pool running the fits; the process-wide pool when null.
+    common::ThreadPool* pool = nullptr;
+    /// Module tag on published kRetrain events (e.g. "drift.cardest").
+    std::string module = "drift.retrain";
+  };
+
+  RetrainScheduler();
+  explicit RetrainScheduler(Options options);
+  /// Blocks until every in-flight fit completes (results are discarded if
+  /// never taken).
+  ~RetrainScheduler();
+
+  RetrainScheduler(const RetrainScheduler&) = delete;
+  RetrainScheduler& operator=(const RetrainScheduler&) = delete;
+
+  /// A completed fit, as returned by TakeReady().
+  struct Ready {
+    std::string label;            ///< Schedule's label, e.g. "window-3"
+    std::shared_ptr<void> model;  ///< the fit's product (never null)
+    double fit_seconds = 0.0;     ///< fit wall-clock
+  };
+
+  /// Queues `fit` on the pool. The job may not touch the model currently
+  /// serving — it builds a replacement from its own (snapshotted) data.
+  /// A fit that throws or returns null is counted in failed() and
+  /// publishes no model.
+  void Schedule(std::string label, std::function<std::shared_ptr<void>()> fit);
+
+  /// Typed convenience: `fit` returns shared_ptr<T>; recover with
+  /// `std::static_pointer_cast<T>(ready.model)`.
+  template <typename T>
+  void Schedule(std::string label, std::function<std::shared_ptr<T>()> fit) {
+    Schedule(std::move(label),
+             std::function<std::shared_ptr<void>()>(std::move(fit)));
+  }
+
+  /// Non-blocking: completed fits since the last call, completion order.
+  /// Poll from the serving thread and swap the newest model in.
+  std::vector<Ready> TakeReady();
+
+  /// Blocks until all scheduled fits complete; returns the fits that
+  /// finished during the wait plus any untaken earlier ones.
+  std::vector<Ready> Drain();
+
+  /// Fits scheduled but not yet completed.
+  size_t pending() const;
+  /// Completed fits (successful; includes taken ones).
+  uint64_t completed() const;
+  /// Fits that threw or produced a null model.
+  uint64_t failed() const;
+
+ private:
+  void RunFit(std::string label,
+              const std::function<std::shared_ptr<void>()>& fit);
+
+  Options options_;
+  common::ThreadPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Ready> ready_;
+  size_t pending_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+};
+
+}  // namespace drift
+}  // namespace ml4db
+
+#endif  // ML4DB_DRIFT_RETRAIN_SCHEDULER_H_

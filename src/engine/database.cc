@@ -44,6 +44,44 @@ StatusOr<ExecutionResult> Database::Run(const Query& query,
   return Execute(query, &plan);
 }
 
+std::vector<StatusOr<ExecutionResult>> Database::RunBatch(
+    const std::vector<Query>& queries, const HintSet& hints,
+    const ExecutionLimits& limits, std::vector<obs::QueryTrace>* traces,
+    common::ThreadPool* pool) const {
+  if (pool == nullptr) pool = &common::ThreadPool::Global();
+  const size_t n = queries.size();
+  std::vector<StatusOr<ExecutionResult>> results(
+      n,
+      StatusOr<ExecutionResult>(Status::Internal("batch slot never planned")));
+  if (traces != nullptr) traces->assign(n, obs::QueryTrace{});
+  if (n == 0) return results;
+
+  // Planning and execution are both const over immutable catalog/stats,
+  // so whole plan-then-execute pipelines fan out per query. Each slot
+  // owns its plan, result, and trace; nothing is shared across slots.
+  pool->ParallelFor(0, n, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      obs::QueryTrace* trace = traces == nullptr ? nullptr : &(*traces)[i];
+      if (trace != nullptr) trace->label = "batch[" + std::to_string(i) + "]";
+      obs::TraceScope scope(trace);
+      auto plan = Plan(queries[i], hints);
+      if (!plan.ok()) {
+        results[i] = plan.status();
+      } else {
+        results[i] = Execute(queries[i], &*plan, limits);
+      }
+      if (trace != nullptr) {
+        const std::string worker =
+            std::to_string(common::ThreadPool::CurrentWorkerId());
+        for (auto& span : trace->spans) {
+          span.attrs.emplace_back("worker", worker);
+        }
+      }
+    }
+  });
+  return results;
+}
+
 void Database::SetPlannerParams(const CostParams& params) {
   options_.planner_params = params;
   planner_ctx_.cost_model = CostModel(params);

@@ -54,6 +54,17 @@ class Database {
   StatusOr<ExecutionResult> Run(const Query& query,
                                 const HintSet& hints = {}) const;
 
+  /// Plans + executes every query of a workload concurrently on `pool`
+  /// (the process-wide pool when null). Results align positionally with
+  /// `queries`; per-query failures land in their slot, not in exceptions.
+  /// When `traces` is non-null each query records its optimize + execute
+  /// spans into its own trace, tagged with the executing worker's id.
+  std::vector<StatusOr<ExecutionResult>> RunBatch(
+      const std::vector<Query>& queries, const HintSet& hints = {},
+      const ExecutionLimits& limits = {},
+      std::vector<obs::QueryTrace>* traces = nullptr,
+      common::ThreadPool* pool = nullptr) const;
+
   /// Planner context (catalog/stats/estimator/cost model) for learned
   /// planners that want to share the engine's primitives.
   const PlannerContext& planner_context() const { return planner_ctx_; }

@@ -130,6 +130,46 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
   return out;
 }
 
+std::vector<StatusOr<ExecutionResult>> Executor::ExecuteBatch(
+    const std::vector<BatchQuery>& batch, const ExecutionLimits& limits,
+    std::vector<obs::QueryTrace>* traces, common::ThreadPool* pool) const {
+  if (pool == nullptr) pool = &common::ThreadPool::Global();
+  const size_t n = batch.size();
+  std::vector<StatusOr<ExecutionResult>> results(
+      n, StatusOr<ExecutionResult>(
+             Status::Internal("batch slot never executed")));
+  if (traces != nullptr) traces->assign(n, obs::QueryTrace{});
+  if (n == 0) return results;
+
+  static obs::Counter* batches = obs::GetCounter("ml4db.engine.batches");
+  static obs::Counter* batch_queries =
+      obs::GetCounter("ml4db.engine.batch_queries");
+  batches->Inc();
+  batch_queries->Inc(n);
+
+  // Each query is independent (Execute is const and the catalog is
+  // immutable after load), so slots fan out across the pool; every slot
+  // writes only its own results/traces entry.
+  pool->ParallelFor(0, n, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const BatchQuery& item = batch[i];
+      ML4DB_CHECK(item.query != nullptr && item.plan != nullptr);
+      if (traces == nullptr) {
+        results[i] = Execute(*item.query, item.plan, limits);
+        continue;
+      }
+      obs::QueryTrace& trace = (*traces)[i];
+      trace.label = "batch[" + std::to_string(i) + "]";
+      obs::TraceScope scope(&trace);
+      results[i] = Execute(*item.query, item.plan, limits);
+      const std::string worker =
+          std::to_string(common::ThreadPool::CurrentWorkerId());
+      for (auto& span : trace.spans) span.attrs.emplace_back("worker", worker);
+    }
+  });
+  return results;
+}
+
 StatusOr<Executor::Intermediate> Executor::ExecNode(
     const Query& query, PlanNode* node, const ExecutionLimits& limits,
     double* accumulated_latency) const {

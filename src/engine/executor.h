@@ -11,10 +11,14 @@
 #ifndef ML4DB_ENGINE_EXECUTOR_H_
 #define ML4DB_ENGINE_EXECUTOR_H_
 
+#include <vector>
+
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "engine/cost_model.h"
 #include "engine/plan.h"
 #include "engine/table.h"
+#include "obs/trace.h"
 
 namespace ml4db {
 namespace engine {
@@ -48,6 +52,24 @@ class Executor {
   /// annotations are left partially filled in that case).
   StatusOr<ExecutionResult> Execute(const Query& query, PhysicalPlan* plan,
                                     const ExecutionLimits& limits = {}) const;
+
+  /// One slot of ExecuteBatch: the plan is caller-owned and annotated in
+  /// place, exactly as in Execute().
+  struct BatchQuery {
+    const Query* query = nullptr;
+    PhysicalPlan* plan = nullptr;
+  };
+
+  /// Executes independent queries concurrently on `pool` (the process-wide
+  /// pool when null; serial when the pool has one thread). Results align
+  /// positionally with `batch`. When `traces` is non-null it is resized to
+  /// the batch size and each query records its span tree into its own
+  /// trace, every span tagged with the id of the pool worker that ran it
+  /// (-1 = the calling thread, which participates in chunk execution).
+  std::vector<StatusOr<ExecutionResult>> ExecuteBatch(
+      const std::vector<BatchQuery>& batch, const ExecutionLimits& limits = {},
+      std::vector<obs::QueryTrace>* traces = nullptr,
+      common::ThreadPool* pool = nullptr) const;
 
   const CostModel& latency_model() const { return latency_model_; }
 

@@ -10,10 +10,14 @@
 namespace ml4db {
 namespace learned_index {
 
-std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
-                                 size_t epsilon) {
+namespace {
+
+/// Shrinking-cone PLA over keys[0..n) whose global positions start at
+/// `pos0` (segment intercepts are global, so chunked parallel builds
+/// concatenate directly).
+std::vector<PgmSegment> BuildPlaSpan(const int64_t* keys, size_t n,
+                                     size_t epsilon, size_t pos0) {
   std::vector<PgmSegment> segments;
-  const size_t n = keys.size();
   if (n == 0) return segments;
   const double eps = static_cast<double>(epsilon);
 
@@ -40,7 +44,7 @@ std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
     if (close) {
       PgmSegment seg;
       seg.first_key = keys[start];
-      seg.intercept = static_cast<double>(start);
+      seg.intercept = static_cast<double>(pos0 + start);
       if (slope_lo > slope_hi || !std::isfinite(slope_lo) ||
           !std::isfinite(slope_hi)) {
         seg.slope = 0.0;  // single-key segment
@@ -59,9 +63,46 @@ std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
   if (segments.empty() || start < n) {
     PgmSegment seg;
     seg.first_key = keys[start];
-    seg.intercept = static_cast<double>(start);
+    seg.intercept = static_cast<double>(pos0 + start);
     seg.slope = 0.0;
     segments.push_back(seg);
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
+                                 size_t epsilon) {
+  return BuildPlaSpan(keys.data(), keys.size(), epsilon, 0);
+}
+
+std::vector<PgmSegment> BuildPlaParallel(const std::vector<int64_t>& keys,
+                                         size_t epsilon,
+                                         common::ThreadPool* pool) {
+  if (pool == nullptr) pool = &common::ThreadPool::Global();
+  const size_t n = keys.size();
+  // Each chunk boundary can cost one extra segment, so keep chunks big
+  // enough that the fragmentation is negligible next to n/ε segments.
+  constexpr size_t kMinChunk = 64 * 1024;
+  if (pool->size() <= 1 || n < 2 * kMinChunk) return BuildPla(keys, epsilon);
+
+  const size_t nchunks = std::min(pool->size(), n / kMinChunk);
+  const size_t chunk = (n + nchunks - 1) / nchunks;
+  std::vector<std::vector<PgmSegment>> parts(nchunks);
+  pool->ParallelFor(0, nchunks, 1, [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      parts[c] = BuildPlaSpan(keys.data() + begin, end - begin, epsilon, begin);
+    }
+  });
+  std::vector<PgmSegment> segments;
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  segments.reserve(total);
+  for (auto& p : parts) {
+    segments.insert(segments.end(), p.begin(), p.end());
   }
   return segments;
 }
@@ -79,7 +120,10 @@ Status PgmIndex::BulkLoad(const std::vector<Entry>& entries) {
   }
   levels_.clear();
   if (n == 0) return Status::OK();
-  levels_.push_back(BuildPla(keys_, epsilon_));
+  // Leaf level dominates build cost — chunk it across the shared pool.
+  // Upper levels recurse over segment first-keys (ε-compressed, tiny) and
+  // stay serial.
+  levels_.push_back(BuildPlaParallel(keys_, epsilon_));
   // Recurse over segment first-keys until a single segment remains.
   while (levels_.back().size() > 1) {
     std::vector<int64_t> seg_keys;

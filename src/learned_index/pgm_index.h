@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "learned_index/ordered_index.h"
 
 namespace ml4db {
@@ -32,6 +33,17 @@ struct PgmSegment {
 /// tests.
 std::vector<PgmSegment> BuildPla(const std::vector<int64_t>& keys,
                                  size_t epsilon);
+
+/// Parallel PLA construction: the key array is chunked across the pool
+/// (the process-wide pool when null), each chunk's shrinking-cone pass
+/// runs independently with global positions, and the per-chunk segment
+/// lists concatenate. Every segment keeps the ±ε guarantee; the only
+/// difference from BuildPla is up to chunks-1 extra segments at chunk
+/// boundaries. Falls back to the serial pass for small inputs or a
+/// single-thread pool, so ML4DB_THREADS=1 reproduces BuildPla exactly.
+std::vector<PgmSegment> BuildPlaParallel(const std::vector<int64_t>& keys,
+                                         size_t epsilon,
+                                         common::ThreadPool* pool = nullptr);
 
 /// Static PGM-index.
 class PgmIndex : public OrderedIndex {

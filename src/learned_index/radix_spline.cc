@@ -27,7 +27,7 @@ Status RadixSplineIndex::BulkLoad(const std::vector<Entry>& entries) {
   // Spline knots from an ε-bounded PLA pass: segment boundaries plus the
   // final key; linear interpolation between consecutive knots stays within
   // ~2ε of the true position.
-  const std::vector<PgmSegment> segments = BuildPla(keys_, epsilon_);
+  const std::vector<PgmSegment> segments = BuildPlaParallel(keys_, epsilon_);
   for (const auto& s : segments) {
     spline_keys_.push_back(s.first_key);
     spline_pos_.push_back(s.intercept);

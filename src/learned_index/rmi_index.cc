@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace ml4db {
 namespace learned_index {
@@ -52,42 +53,54 @@ Status RmiIndex::BulkLoad(const std::vector<Entry>& entries) {
   // Stage 1: root model over the whole CDF, scaled to leaf-model slots.
   root_ = LinearModel::Fit(keys_.data(), n, 0);
   const double scale = static_cast<double>(num_models_) / static_cast<double>(n);
-  // Stage 2: partition keys by root prediction.
-  std::vector<size_t> first_key(num_models_ + 1, n);
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  // Stage 2: partition keys by root prediction. The prediction is pure, so
+  // the assignment pass fans out over the pool.
   std::vector<size_t> model_of(n);
-  for (size_t i = 0; i < n; ++i) {
-    double p = root_.Predict(static_cast<double>(keys_[i])) * scale;
-    size_t m = static_cast<size_t>(Clamp(p, 0.0,
-                                         static_cast<double>(num_models_) - 1));
-    model_of[i] = m;
-  }
-  // Root predictions are monotone in the key, so assignments are sorted.
-  leaves_.assign(num_models_, {});
-  size_t start = 0;
-  for (size_t m = 0; m < num_models_; ++m) {
-    size_t end = start;
-    while (end < n && model_of[end] == m) ++end;
-    first_key[m] = start;
-    if (end > start) {
-      leaves_[m].model = LinearModel::Fit(keys_.data() + start, end - start,
-                                          start);
-      int32_t lo = 0, hi = 0;
-      for (size_t i = start; i < end; ++i) {
-        const double pred = leaves_[m].model.Predict(static_cast<double>(keys_[i]));
-        const int64_t diff =
-            static_cast<int64_t>(i) - static_cast<int64_t>(std::llround(pred));
-        lo = std::min<int32_t>(lo, static_cast<int32_t>(diff));
-        hi = std::max<int32_t>(hi, static_cast<int32_t>(diff));
-      }
-      leaves_[m].err_lo = lo;
-      leaves_[m].err_hi = hi;
-    } else {
-      // Empty model: point into the data where the partition boundary is.
-      leaves_[m].model.slope = 0.0;
-      leaves_[m].model.intercept = static_cast<double>(start);
+  pool.ParallelFor(0, n, 64 * 1024, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const double p = root_.Predict(static_cast<double>(keys_[i])) * scale;
+      model_of[i] = static_cast<size_t>(
+          Clamp(p, 0.0, static_cast<double>(num_models_) - 1));
     }
-    start = end;
+  });
+  // Root predictions are monotone in the key, so assignments are sorted:
+  // one serial O(n + M) sweep finds every model's key range, then the leaf
+  // fits — each over its own disjoint range — run as ParallelFor jobs.
+  std::vector<size_t> start_of(num_models_ + 1);
+  {
+    size_t i = 0;
+    for (size_t m = 0; m <= num_models_; ++m) {
+      while (i < n && model_of[i] < m) ++i;
+      start_of[m] = i;
+    }
   }
+  leaves_.assign(num_models_, {});
+  pool.ParallelFor(0, num_models_, 32, [&](size_t mlo, size_t mhi) {
+    for (size_t m = mlo; m < mhi; ++m) {
+      const size_t start = start_of[m];
+      const size_t end = start_of[m + 1];
+      if (end > start) {
+        leaves_[m].model = LinearModel::Fit(keys_.data() + start, end - start,
+                                            start);
+        int32_t lo = 0, hi = 0;
+        for (size_t i = start; i < end; ++i) {
+          const double pred =
+              leaves_[m].model.Predict(static_cast<double>(keys_[i]));
+          const int64_t diff =
+              static_cast<int64_t>(i) - static_cast<int64_t>(std::llround(pred));
+          lo = std::min<int32_t>(lo, static_cast<int32_t>(diff));
+          hi = std::max<int32_t>(hi, static_cast<int32_t>(diff));
+        }
+        leaves_[m].err_lo = lo;
+        leaves_[m].err_hi = hi;
+      } else {
+        // Empty model: point into the data where the partition boundary is.
+        leaves_[m].model.slope = 0.0;
+        leaves_[m].model.intercept = static_cast<double>(start);
+      }
+    }
+  });
   return Status::OK();
 }
 

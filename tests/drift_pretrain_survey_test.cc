@@ -1,6 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "common/thread_pool.h"
 #include "drift/detectors.h"
+#include "drift/retrain_scheduler.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "pretrain/pretrained_model.h"
 #include "survey/corpus.h"
 #include "workload/query_gen.h"
@@ -57,6 +66,93 @@ TEST(MixDriftTest, DetectsTemplateMixChange) {
     detected = det.Observe(rng.Categorical({0.1, 0.1, 0.8}));
   }
   EXPECT_TRUE(detected);
+}
+
+// --------------------------- retrain scheduler ------------------------------
+
+TEST(RetrainSchedulerTest, FitsCompleteOnInlineAndThreadedPools) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    common::ThreadPool pool(threads);
+    drift::RetrainScheduler::Options opts;
+    opts.pool = &pool;
+    drift::RetrainScheduler sched(opts);
+    for (int i = 0; i < 8; ++i) {
+      sched.Schedule("fit-" + std::to_string(i), [i]() {
+        return std::static_pointer_cast<void>(std::make_shared<int>(i * i));
+      });
+    }
+    auto ready = sched.Drain();
+    ASSERT_EQ(ready.size(), 8u) << "threads=" << threads;
+    EXPECT_EQ(sched.pending(), 0u);
+    EXPECT_EQ(sched.completed(), 8u);
+    EXPECT_EQ(sched.failed(), 0u);
+    int sum = 0;
+    for (const auto& r : ready) {
+      ASSERT_NE(r.model, nullptr);
+      EXPECT_GE(r.fit_seconds, 0.0);
+      sum += *std::static_pointer_cast<int>(r.model);
+    }
+    EXPECT_EQ(sum, 0 + 1 + 4 + 9 + 16 + 25 + 36 + 49);
+  }
+}
+
+TEST(RetrainSchedulerTest, ServingContinuesWhileFitInFlight) {
+  common::ThreadPool pool(2);
+  drift::RetrainScheduler::Options opts;
+  opts.pool = &pool;
+  drift::RetrainScheduler sched(opts);
+  std::atomic<bool> release{false};
+  sched.Schedule("slow", [&release]() {
+    while (!release.load()) std::this_thread::yield();
+    return std::static_pointer_cast<void>(std::make_shared<int>(42));
+  });
+  // The serving thread is not blocked: the fit is pending, nothing ready.
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_TRUE(sched.TakeReady().empty());
+  release.store(true);
+  const auto ready = sched.Drain();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(*std::static_pointer_cast<int>(ready[0].model), 42);
+  // TakeReady after Drain: already taken.
+  EXPECT_TRUE(sched.TakeReady().empty());
+}
+
+TEST(RetrainSchedulerTest, ThrowingAndNullFitsCountAsFailed) {
+  common::ThreadPool pool(1);  // inline: deterministic
+  drift::RetrainScheduler::Options opts;
+  opts.pool = &pool;
+  drift::RetrainScheduler sched(opts);
+  sched.Schedule("throws",
+                 []() -> std::shared_ptr<void> { throw std::runtime_error("x"); });
+  sched.Schedule("null", []() -> std::shared_ptr<void> { return nullptr; });
+  EXPECT_TRUE(sched.Drain().empty());
+  EXPECT_EQ(sched.completed(), 0u);
+  EXPECT_EQ(sched.failed(), 2u);
+}
+
+TEST(RetrainSchedulerTest, PublishesRetrainEventsOnCompletion) {
+  if (!obs::ObsEnabled()) GTEST_SKIP() << "obs layer compiled out";
+  common::ThreadPool pool(1);
+  drift::RetrainScheduler::Options opts;
+  opts.pool = &pool;
+  opts.module = "drift.test";
+  drift::RetrainScheduler sched(opts);
+  const uint64_t before = obs::EventLog::Global().total_published();
+  sched.Schedule("evt", []() {
+    return std::static_pointer_cast<void>(std::make_shared<int>(1));
+  });
+  sched.Drain();
+  EXPECT_GT(obs::EventLog::Global().total_published(), before);
+  const auto events = obs::EventLog::Global().Snapshot();
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.kind == obs::EventKind::kRetrain && e.module == "drift.test" &&
+        e.detail.find("evt") != std::string::npos) {
+      found = true;
+      EXPECT_GE(e.value, 0.0);  // fit wall-clock rides in the value slot
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 // -------------------------------- pretrain ---------------------------------

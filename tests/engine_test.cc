@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "engine/database.h"
+#include "obs/metrics.h"
 #include "workload/query_gen.h"
 #include "workload/schema_gen.h"
 
@@ -439,6 +440,116 @@ TEST(CostModelTest, SeqVsIndexScanCrossover) {
   const double idx_all =
       m.Price(m.IndexScanWork(table_rows, table_rows, 1, table_rows));
   EXPECT_GT(idx_all, seq * 0.5);
+}
+
+// --------------------------- batch execution -------------------------------
+
+TEST_F(EngineE2eTest, RunBatchMatchesSerialRun) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 3;
+  qopts.seed = 17;
+  QueryGenerator gen(&schema_, qopts);
+  const std::vector<Query> queries = gen.Batch(24);
+
+  std::vector<uint64_t> serial_counts;
+  std::vector<double> serial_latencies;
+  for (const Query& q : queries) {
+    auto r = db_.Run(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    serial_counts.push_back(r->count);
+    serial_latencies.push_back(r->latency);
+  }
+
+  for (size_t threads : {1u, 4u}) {
+    common::ThreadPool pool(threads);
+    const auto results = db_.RunBatch(queries, {}, {}, nullptr, &pool);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      EXPECT_EQ(results[i]->count, serial_counts[i]) << "query " << i;
+      EXPECT_DOUBLE_EQ(results[i]->latency, serial_latencies[i])
+          << "query " << i;
+    }
+  }
+}
+
+TEST_F(EngineE2eTest, ExecuteBatchAnnotatesEveryPlan) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 3;
+  qopts.seed = 23;
+  QueryGenerator gen(&schema_, qopts);
+  const std::vector<Query> queries = gen.Batch(12);
+
+  std::vector<PhysicalPlan> plans;
+  plans.reserve(queries.size());
+  std::vector<Executor::BatchQuery> batch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = db_.Plan(queries[i]);
+    ASSERT_TRUE(plan.ok());
+    plans.push_back(std::move(*plan));
+    batch.push_back({&queries[i], &plans[i]});
+  }
+
+  common::ThreadPool pool(4);
+  const auto results =
+      db_.executor().ExecuteBatch(batch, {}, nullptr, &pool);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_GE(plans[i].root->actual_rows, 0.0);
+    EXPECT_GT(plans[i].root->actual_cost, 0.0);
+  }
+}
+
+TEST_F(EngineE2eTest, RunBatchReportsPerQueryFailures) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 3;
+  qopts.seed = 29;
+  QueryGenerator gen(&schema_, qopts);
+  std::vector<Query> queries = gen.Batch(6);
+
+  ExecutionLimits limits;
+  limits.latency_timeout = 0.0;  // everything aborts immediately
+  common::ThreadPool pool(2);
+  const auto results = db_.RunBatch(queries, {}, limits, nullptr, &pool);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST_F(EngineE2eTest, RunBatchTracesCarryWorkerIds) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 2;
+  qopts.seed = 31;
+  QueryGenerator gen(&schema_, qopts);
+  const std::vector<Query> queries = gen.Batch(8);
+
+  common::ThreadPool pool(3);
+  std::vector<obs::QueryTrace> traces;
+  const auto results = db_.RunBatch(queries, {}, {}, &traces, &pool);
+  ASSERT_EQ(traces.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    if (!obs::ObsEnabled()) continue;
+    ASSERT_FALSE(traces[i].spans.empty()) << "query " << i;
+    for (const auto& span : traces[i].spans) {
+      bool has_worker = false;
+      for (const auto& attr : span.attrs) {
+        if (attr.first != "worker") continue;
+        has_worker = true;
+        const int id = std::stoi(attr.second);
+        EXPECT_GE(id, -1);
+        EXPECT_LT(id, 3);
+      }
+      EXPECT_TRUE(has_worker) << "span " << span.name << " of query " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -145,6 +145,68 @@ TEST(Histogram, ConcurrentRecordsCountExactly) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+TEST(Gauge, ConcurrentAddIsExact) {
+  // Add is a CAS loop over a double; concurrent deltas must not be lost.
+  Gauge g("ml4db.test.gauge_concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(EventLog, ConcurrentPublishesSequenceEveryEvent) {
+  EventLog log(100'000);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Publish(EventKind::kCustom, "test.concurrent",
+                    "t" + std::to_string(t), static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(log.total_published(), kTotal);
+  EXPECT_EQ(log.dropped(), 0u);
+  const auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), kTotal);
+  // Sequence numbers are unique, dense, and oldest-first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<uint64_t>(i + 1));
+  }
+}
+
+TEST(Registry, ConcurrentGetOrCreateReturnsOneInstance) {
+  // Many threads race to create/find the same metric names; every thread
+  // must land on the same instance and no increment may be lost.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.GetCounter("ml4db.test.race." + std::to_string(i % 16))->Inc();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (int i = 0; i < 16; ++i) {
+    total += reg.GetCounter("ml4db.test.race." + std::to_string(i))->value();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
 TEST(Registry, GetOrCreateIsStable) {
   MetricsRegistry reg;
   Counter* a = reg.GetCounter("ml4db.test.stable");

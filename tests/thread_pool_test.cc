@@ -1,0 +1,180 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ml4db {
+namespace common {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([]() -> int {
+    throw std::runtime_error("training diverged");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionInline) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, SaturationAllTasksComplete) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 200;  // far more tasks than workers
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ran.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_GE(pool.tasks_executed(), static_cast<uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, ParallelForMatchesSerialReference) {
+  constexpr size_t kN = 10007;  // deliberately not a multiple of any grain
+  std::vector<int> input(kN);
+  std::iota(input.begin(), input.end(), 1);
+
+  std::vector<long> serial(kN), parallel(kN);
+  for (size_t i = 0; i < kN; ++i) serial[i] = 3L * input[i] - 7;
+
+  for (size_t threads : {1u, 2u, 5u}) {
+    for (size_t grain : {1u, 64u, 100000u}) {
+      ThreadPool pool(threads);
+      std::fill(parallel.begin(), parallel.end(), 0L);
+      pool.ParallelFor(0, kN, grain, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) parallel[i] = 3L * input[i] - 7;
+      });
+      EXPECT_EQ(parallel, serial) << "threads=" << threads
+                                  << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEachIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 8,
+                       [](size_t b, size_t) {
+                         if (b >= 504) throw std::runtime_error("chunk failed");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);  // small pool: outer chunks occupy every worker
+  std::atomic<long> total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t ob, size_t oe) {
+    for (size_t o = ob; o < oe; ++o) {
+      pool.ParallelFor(0, 64, 4, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<long>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ThreadPoolTest, InlineModeRunsOnCallerThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto f = pool.Submit([caller] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return ThreadPool::CurrentWorkerId();
+  });
+  EXPECT_EQ(f.get(), 0);  // inline tasks observe worker id 0
+  // Outside any task the caller is not a pool thread.
+  EXPECT_EQ(ThreadPool::CurrentWorkerId(), -1);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreDenseAndStable) {
+  ThreadPool pool(4);
+  std::set<int> ids;
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(ThreadPool::CurrentWorkerId());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_FALSE(ids.empty());
+  EXPECT_GE(*ids.begin(), 0);
+  EXPECT_LT(*ids.rbegin(), 4);
+}
+
+TEST(ThreadPoolTest, ParseThreadsValue) {
+  EXPECT_EQ(ThreadPool::ParseThreadsValue(nullptr, 8), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("", 8), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("0", 8), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("-2", 8), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("abc", 8), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("3x", 8), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("1", 8), 1u);
+  EXPECT_EQ(ThreadPool::ParseThreadsValue("16", 8), 16u);
+}
+
+TEST(ThreadPoolTest, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  ThreadPool& pool = ThreadPool::Global();
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<long> sum{0};
+  ParallelFor(1, 101, 10, [&](size_t b, size_t e) {
+    long local = 0;
+    for (size_t i = b; i < e; ++i) local += static_cast<long>(i);
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace ml4db
