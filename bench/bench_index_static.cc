@@ -16,6 +16,7 @@
 #include <future>
 
 #include "bench/bench_util.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "learned_index/alex_index.h"
@@ -33,14 +34,11 @@ using learned_index::Entry;
 size_t NumKeys() {
   static const size_t n = [] {
     constexpr size_t kDefault = 2'000'000;
-    const char* env = std::getenv("ML4DB_BENCH_KEYS");
-    if (env == nullptr || *env == '\0') return kDefault;
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0') return kDefault;
+    const size_t v = static_cast<size_t>(
+        common::PositiveKnobFromEnv("ML4DB_BENCH_KEYS", kDefault));
     // The range-scan workload samples windows of ~1.1k keys; keep enough
     // headroom that tiny smoke inputs still exercise every phase.
-    return std::max<size_t>(static_cast<size_t>(v), 4096);
+    return std::max<size_t>(v, 4096);
   }();
   return n;
 }

@@ -1,0 +1,305 @@
+// EXP-S — query serving under concurrent load (tutorial §4 open problem:
+// model/inference efficiency is only meaningful measured end-to-end under
+// traffic). Drives a running ml4db_server over TCP with a closed-loop
+// (--qps 0: each connection fires its next query on response) or
+// open-loop (--qps > 0: paced sends with pipelining, the "users don't
+// wait" model) workload, and reports achieved QPS, client-observed
+// p50/p95/p99 latency, and the shed/timeout/lost tallies that make the
+// admission-control story measurable.
+//
+// The query stream is generated client-side: bench_serve rebuilds the
+// server's star schema *shape* (table names + columns are deterministic
+// in --dims/--seed, independent of row counts) over a tiny local replica
+// and serializes each generated query with Query::ToString — the text the
+// server parses back.
+//
+// Exit code is non-zero when responses were lost or nothing succeeded, so
+// CI smoke fails loudly.
+//
+//   bench_serve --port 7433 --connections 4 --duration-ms 2000
+//               [--qps 200] [--deadline-ms 1000] [--json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace {
+
+using namespace ml4db;
+using Clock = std::chrono::steady_clock;
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7433;
+  int connections = 4;
+  int duration_ms = 2000;
+  double qps = 0.0;  // total across connections; 0 = closed loop
+  uint32_t deadline_ms = 1000;
+  int dims = 4;
+  uint64_t seed = 42;
+};
+
+struct Tally {
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> error{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> timeout{0};
+  std::atomic<uint64_t> shutdown{0};
+  std::atomic<uint64_t> lost{0};       ///< sent but never answered
+  std::atomic<uint64_t> transport{0};  ///< connection-level failures
+
+  uint64_t received() const {
+    return ok.load() + error.load() + shed.load() + timeout.load() +
+           shutdown.load();
+  }
+};
+
+obs::Histogram* LatencyHist() {
+  static obs::Histogram* h =
+      obs::GetHistogram("ml4db.serve.client_latency_us");
+  return h;
+}
+
+void Classify(const server::Response& resp, Tally* tally) {
+  switch (resp.status) {
+    case server::ResponseStatus::kOk: tally->ok.fetch_add(1); break;
+    case server::ResponseStatus::kError: tally->error.fetch_add(1); break;
+    case server::ResponseStatus::kOverloaded: tally->shed.fetch_add(1); break;
+    case server::ResponseStatus::kTimeout: tally->timeout.fetch_add(1); break;
+    case server::ResponseStatus::kShuttingDown:
+      tally->shutdown.fetch_add(1);
+      break;
+  }
+}
+
+void RecordLatency(Clock::time_point sent_at, Clock::time_point now) {
+  LatencyHist()->Record(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - sent_at)
+          .count()));
+}
+
+/// Closed loop: next query only after the previous response — models a
+/// user who waits. Per-connection concurrency of exactly 1.
+void ClosedLoopWorker(const Flags& flags, uint64_t session_id,
+                      workload::QueryGenerator gen, Tally* tally) {
+  server::Client client(session_id);
+  if (!client.Connect(flags.host, flags.port).ok()) {
+    tally->transport.fetch_add(1);
+    return;
+  }
+  const Clock::time_point end =
+      Clock::now() + std::chrono::milliseconds(flags.duration_ms);
+  while (Clock::now() < end) {
+    const std::string text = gen.Next().ToString();
+    const Clock::time_point sent_at = Clock::now();
+    tally->sent.fetch_add(1);
+    const auto resp =
+        client.Call(text, flags.deadline_ms,
+                    static_cast<int>(flags.deadline_ms) + 2000);
+    if (!resp.ok()) {
+      tally->lost.fetch_add(1);
+      tally->transport.fetch_add(1);
+      return;  // connection is unusable past a transport error
+    }
+    RecordLatency(sent_at, Clock::now());
+    Classify(*resp, tally);
+  }
+}
+
+/// Open loop: sends are paced by the target rate regardless of responses
+/// (pipelined), so server-side queueing shows up as client latency and —
+/// past the admission bound — as OVERLOADED sheds.
+void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
+                    workload::QueryGenerator gen, Tally* tally) {
+  server::Client client(session_id);
+  if (!client.Connect(flags.host, flags.port).ok()) {
+    tally->transport.fetch_add(1);
+    return;
+  }
+  const auto interval = std::chrono::microseconds(
+      static_cast<int64_t>(1e6 / std::max(rate_qps, 1e-3)));
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end =
+      start + std::chrono::milliseconds(flags.duration_ms);
+  // Tail: how long after the last send we wait for straggler responses.
+  const Clock::time_point tail_deadline =
+      end + std::chrono::milliseconds(flags.deadline_ms + 2000);
+
+  std::map<uint64_t, Clock::time_point> pending;  // request id -> send time
+  Clock::time_point next_send = start;
+  bool transport_down = false;
+
+  auto drain_one = [&](int wait_ms) -> bool {
+    const auto resp = client.Receive(wait_ms);
+    if (!resp.ok()) {
+      if (resp.status().code() == StatusCode::kResourceExhausted) {
+        return false;  // timed out waiting — not fatal
+      }
+      transport_down = true;
+      return false;
+    }
+    const auto it = pending.find(resp->request_id);
+    if (it != pending.end()) {
+      RecordLatency(it->second, Clock::now());
+      pending.erase(it);
+    }
+    Classify(*resp, tally);
+    return true;
+  };
+
+  while (!transport_down) {
+    const Clock::time_point now = Clock::now();
+    if (now >= end) break;
+    if (now >= next_send) {
+      server::Request req;
+      req.session_id = session_id;
+      req.request_id = client.NextRequestId();
+      req.deadline_ms = flags.deadline_ms;
+      req.query_text = gen.Next().ToString();
+      if (!client.Send(req).ok()) {
+        transport_down = true;
+        break;
+      }
+      pending.emplace(req.request_id, Clock::now());
+      tally->sent.fetch_add(1);
+      next_send += interval;
+      continue;
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(next_send - now)
+            .count());
+    drain_one(std::max(wait_ms, 1));  // >= 1ms so a near-due send can't spin
+  }
+  while (!transport_down && !pending.empty() && Clock::now() < tail_deadline) {
+    drain_one(50);
+  }
+  if (!pending.empty()) {
+    tally->lost.fetch_add(pending.size());
+    if (transport_down) tally->transport.fetch_add(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBench("serve", &argc, argv);
+
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") flags.host = value();
+    else if (arg == "--port") flags.port = std::atoi(value());
+    else if (arg == "--connections") flags.connections = std::atoi(value());
+    else if (arg == "--duration-ms") flags.duration_ms = std::atoi(value());
+    else if (arg == "--qps") flags.qps = std::atof(value());
+    else if (arg == "--deadline-ms") flags.deadline_ms = static_cast<uint32_t>(std::atoi(value()));
+    else if (arg == "--dims") flags.dims = std::atoi(value());
+    else if (arg == "--seed") flags.seed = std::strtoull(value(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  flags.connections = std::max(flags.connections, 1);
+
+  // Tiny local replica of the server's schema: table names and filterable
+  // columns depend only on --dims/--seed, not on row counts, so queries
+  // generated here are valid on the server's (much larger) instance.
+  engine::Database replica;
+  workload::SchemaGenOptions sopts;
+  sopts.num_dimensions = flags.dims;
+  sopts.fact_rows = 64;
+  sopts.dim_rows = 16;
+  sopts.seed = flags.seed;
+  const auto schema = workload::BuildSyntheticDb(&replica, sopts);
+  ML4DB_CHECK_MSG(schema.ok(), "replica schema build failed");
+
+  workload::QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 4;
+  qopts.seed = flags.seed ^ 0xbe7cULL;
+
+  Tally tally;
+  const double per_conn_qps = flags.qps / flags.connections;
+  std::vector<std::thread> workers;
+  workers.reserve(flags.connections);
+  const auto t0 = Clock::now();
+  for (int c = 0; c < flags.connections; ++c) {
+    workload::QueryGenOptions wopts = qopts;
+    wopts.seed = qopts.seed + static_cast<uint64_t>(c) * 7919;
+    workload::QueryGenerator gen(&*schema, wopts);
+    const uint64_t session_id = 1000 + static_cast<uint64_t>(c);
+    if (flags.qps > 0) {
+      workers.emplace_back(OpenLoopWorker, flags, session_id, per_conn_qps,
+                           std::move(gen), &tally);
+    } else {
+      workers.emplace_back(ClosedLoopWorker, flags, session_id,
+                           std::move(gen), &tally);
+    }
+  }
+  for (auto& w : workers) w.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const uint64_t sent = tally.sent.load();
+  const uint64_t received = tally.received();
+  const double achieved_qps = wall_s > 0 ? received / wall_s : 0.0;
+  obs::GetGauge("ml4db.serve.achieved_qps")->Set(achieved_qps);
+  obs::GetGauge("ml4db.serve.connections")
+      ->Set(static_cast<double>(flags.connections));
+  obs::GetCounter("ml4db.serve.sent_total")->Inc(sent);
+  obs::GetCounter("ml4db.serve.ok_total")->Inc(tally.ok.load());
+  obs::GetCounter("ml4db.serve.error_total")->Inc(tally.error.load());
+  obs::GetCounter("ml4db.serve.shed_total")->Inc(tally.shed.load());
+  obs::GetCounter("ml4db.serve.timeout_total")->Inc(tally.timeout.load());
+  obs::GetCounter("ml4db.serve.lost_total")->Inc(tally.lost.load());
+
+  const auto lat = LatencyHist()->Snapshot();
+  bench::PrintHeader("query serving under load");
+  bench::Table table({"mode", "conns", "target_qps", "achieved_qps", "sent",
+                      "ok", "error", "shed", "timeout", "shutdown", "lost",
+                      "p50_us", "p95_us", "p99_us"});
+  table.AddRow({flags.qps > 0 ? "open-loop" : "closed-loop",
+                std::to_string(flags.connections), bench::Fmt(flags.qps, 0),
+                bench::Fmt(achieved_qps, 1), std::to_string(sent),
+                std::to_string(tally.ok.load()),
+                std::to_string(tally.error.load()),
+                std::to_string(tally.shed.load()),
+                std::to_string(tally.timeout.load()),
+                std::to_string(tally.shutdown.load()),
+                std::to_string(tally.lost.load()), bench::Fmt(lat.p50, 0),
+                bench::Fmt(lat.p95, 0), bench::Fmt(lat.p99, 0)});
+  table.Print();
+
+  if (tally.transport.load() > 0) {
+    std::fprintf(stderr, "bench_serve: %llu transport errors\n",
+                 static_cast<unsigned long long>(tally.transport.load()));
+  }
+  if (tally.lost.load() > 0) {
+    std::fprintf(stderr, "bench_serve: FAIL — %llu responses lost\n",
+                 static_cast<unsigned long long>(tally.lost.load()));
+    return 1;
+  }
+  if (tally.ok.load() == 0) {
+    std::fprintf(stderr, "bench_serve: FAIL — no query succeeded\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,9 @@ Usage:
 Flags:
   --require-histogram   fail unless >= 1 latency histogram with p50/p95/p99
   --require-event       fail unless >= 1 typed event
+  --require-server      fail unless the full serving metric set is present
+                        (ml4db.server.{inflight,queue_depth,shed_total,
+                        timeout_total} and the request latency histogram)
   --quiet               print nothing on success
 
 The schema is documented in DESIGN.md ("Observability"). This script is wired
@@ -23,6 +26,21 @@ import sys
 import tempfile
 
 EVENT_KINDS = {"drift", "retrain", "index_structure", "abort", "custom"}
+
+# The serving front-end's metric contract (DESIGN.md "Serving architecture").
+# Whenever ANY ml4db.server.* metric appears in an export, the whole core
+# set must be there — a partial set means an instrumentation regression.
+SERVER_REQUIRED_COUNTERS = {
+    "ml4db.server.shed_total",
+    "ml4db.server.timeout_total",
+}
+SERVER_REQUIRED_GAUGES = {
+    "ml4db.server.inflight",
+    "ml4db.server.queue_depth",
+}
+SERVER_REQUIRED_HISTOGRAMS = {
+    "ml4db.server.request_latency_us",
+}
 
 
 class SchemaError(Exception):
@@ -71,7 +89,34 @@ def _check_histogram(h, ctx):
             f"{ctx}: bucket counts sum to {total}, expected {h['count']}")
 
 
-def validate(doc, require_histogram=False, require_event=False):
+def _check_server_metrics(metrics, required):
+    """Checks the serving metric set. `required` forces presence even when
+    no ml4db.server.* metric appears at all (--require-server)."""
+    counters = {c["name"]: c for c in metrics["counters"]}
+    gauges = {g["name"]: g for g in metrics["gauges"]}
+    histograms = {h["name"]: h for h in metrics["histograms"]}
+    all_names = set(counters) | set(gauges) | set(histograms)
+    has_any = any(n.startswith("ml4db.server.") for n in all_names)
+    if not has_any and not required:
+        return
+    _ensure(has_any, "--require-server: no ml4db.server.* metrics found")
+    missing = sorted(
+        (SERVER_REQUIRED_COUNTERS - set(counters))
+        | (SERVER_REQUIRED_GAUGES - set(gauges))
+        | (SERVER_REQUIRED_HISTOGRAMS - set(histograms)))
+    _ensure(not missing,
+            f"server metric set incomplete, missing: {', '.join(missing)}")
+    # Cross-metric consistency: at most one response per decoded request.
+    if ("ml4db.server.requests_total" in counters
+            and "ml4db.server.responses_total" in counters):
+        req = counters["ml4db.server.requests_total"]["value"]
+        resp = counters["ml4db.server.responses_total"]["value"]
+        _ensure(resp <= req,
+                f"server responses_total ({resp}) exceeds requests_total ({req})")
+
+
+def validate(doc, require_histogram=False, require_event=False,
+             require_server=False):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -141,6 +186,8 @@ def validate(doc, require_histogram=False, require_event=False):
             _ensure(isinstance(tr.get("spans"), list),
                     "trace.spans must be a list")
 
+    _check_server_metrics(metrics, required=require_server)
+
     if require_histogram:
         good = [h for h in metrics["histograms"] if h["count"] > 0]
         _ensure(good, "--require-histogram: no histogram with samples found")
@@ -152,9 +199,11 @@ def main(argv):
     args = list(argv[1:])
     require_histogram = "--require-histogram" in args
     require_event = "--require-event" in args
+    require_server = "--require-server" in args
     quiet = "--quiet" in args
     args = [a for a in args
-            if a not in ("--require-histogram", "--require-event", "--quiet")]
+            if a not in ("--require-histogram", "--require-event",
+                         "--require-server", "--quiet")]
 
     if args and args[0] == "--run":
         if len(args) < 2:
@@ -186,7 +235,7 @@ def main(argv):
 
     try:
         validate(doc, require_histogram=require_histogram,
-                 require_event=require_event)
+                 require_event=require_event, require_server=require_server)
     except SchemaError as e:
         print(f"FAIL [{source}]: {e}", file=sys.stderr)
         return 1

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the query-serving front-end:
+#   1. start ml4db_server on an ephemeral port (small synthetic db),
+#   2. drive it with bench_serve (closed-loop, ~2s) and require zero lost
+#      responses,
+#   3. validate both JSON exports against the bench schema
+#      (--require-server on the server side),
+#   4. SIGTERM the server and require a clean drain and exit code 0.
+#
+# Usage: serve_smoke.sh BUILD_DIR [DURATION_MS]
+# Runs under ASan in CI, so a leak or race in the shutdown path fails here.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [DURATION_MS]}
+DURATION_MS=${2:-2000}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SERVER="$BUILD_DIR/bin/ml4db_server"
+BENCH="$BUILD_DIR/bench/bench_serve"
+CHECK="$REPO_ROOT/scripts/check_bench_json.py"
+
+WORK_DIR=$(mktemp -d -t serve_smoke.XXXXXX)
+SERVER_PID=
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+PORT_FILE="$WORK_DIR/port"
+"$SERVER" --port 0 --port-file "$PORT_FILE" \
+  --fact-rows 4000 --dim-rows 500 \
+  --json "$WORK_DIR/server.json" >"$WORK_DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the port file (the server writes it once it is listening).
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server died during startup" >&2
+    cat "$WORK_DIR/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$PORT_FILE" ]] || { echo "FAIL: server never bound a port" >&2; exit 1; }
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: server pid=$SERVER_PID port=$PORT"
+
+"$BENCH" --port "$PORT" --connections 4 --duration-ms "$DURATION_MS" \
+  --json "$WORK_DIR/serve.json"
+
+# Overload burst: open-loop far above capacity with a small queue is the
+# load-shedding path; bench_serve still exits 0 because sheds are answered.
+"$BENCH" --port "$PORT" --connections 4 --duration-ms 500 \
+  --qps 50000 --deadline-ms 1000
+
+# Graceful shutdown: SIGTERM must drain and exit 0 (ASan adds leak checks).
+kill -TERM "$SERVER_PID"
+SERVER_STATUS=0
+wait "$SERVER_PID" || SERVER_STATUS=$?
+SERVER_PID=
+if [[ "$SERVER_STATUS" -ne 0 ]]; then
+  echo "FAIL: server exited with $SERVER_STATUS after SIGTERM" >&2
+  cat "$WORK_DIR/server.log" >&2
+  exit 1
+fi
+grep -q "draining" "$WORK_DIR/server.log" || {
+  echo "FAIL: server log missing drain message" >&2
+  cat "$WORK_DIR/server.log" >&2
+  exit 1
+}
+
+python3 "$CHECK" "$WORK_DIR/serve.json"
+if grep -q '"obs_enabled": true' "$WORK_DIR/server.json"; then
+  python3 "$CHECK" "$WORK_DIR/server.json" --require-server
+else
+  # ML4DB_OBS_DISABLED builds export no metrics by design.
+  python3 "$CHECK" "$WORK_DIR/server.json"
+fi
+echo "serve_smoke: OK"

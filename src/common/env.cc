@@ -1,0 +1,37 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace common {
+
+uint64_t ParsePositiveKnob(const char* name, const char* value,
+                           uint64_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  // strtoull accepts "-1" by wrapping and "+3"/" 3" by skipping — all of
+  // which we treat as operator error, so require a bare digit up front.
+  if (value[0] < '0' || value[0] > '9') {
+    ML4DB_LOG(WARN, "ignoring %s=\"%s\" (not a positive integer); using %llu",
+              name, value, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed == 0) {
+    ML4DB_LOG(WARN, "ignoring %s=\"%s\" (not a positive integer); using %llu",
+              name, value, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+uint64_t PositiveKnobFromEnv(const char* name, uint64_t fallback) {
+  return ParsePositiveKnob(name, std::getenv(name), fallback);
+}
+
+}  // namespace common
+}  // namespace ml4db

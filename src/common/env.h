@@ -1,0 +1,30 @@
+// Hardened parsing for environment-variable knobs (ML4DB_THREADS,
+// ML4DB_BENCH_KEYS, ...). The knobs are operator-facing, so a typo must
+// not silently reconfigure the process: garbage values fall back to the
+// default AND emit one WARN naming the variable and the rejected value.
+// An unset/empty variable is the normal "use the default" case and stays
+// silent.
+
+#ifndef ML4DB_COMMON_ENV_H_
+#define ML4DB_COMMON_ENV_H_
+
+#include <cstdint>
+
+namespace ml4db {
+namespace common {
+
+/// Parses `value` (the raw variable content, may be null) as a strictly
+/// positive integer. Returns `fallback` — warning with `name` in the
+/// message — when the value is malformed: empty after a prefix, trailing
+/// garbage, signs, zero, or out of uint64 range. A null/empty `value`
+/// returns `fallback` silently.
+uint64_t ParsePositiveKnob(const char* name, const char* value,
+                           uint64_t fallback);
+
+/// getenv(name) + ParsePositiveKnob.
+uint64_t PositiveKnobFromEnv(const char* name, uint64_t fallback);
+
+}  // namespace common
+}  // namespace ml4db
+
+#endif  // ML4DB_COMMON_ENV_H_

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/env.h"
+
 namespace ml4db {
 namespace common {
 
@@ -41,11 +43,8 @@ ThreadPool& ThreadPool::Global() {
 }
 
 size_t ThreadPool::ParseThreadsValue(const char* value, size_t fallback) {
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed <= 0) return fallback;
-  return static_cast<size_t>(parsed);
+  return static_cast<size_t>(ParsePositiveKnob(
+      "ML4DB_THREADS", value, static_cast<uint64_t>(fallback)));
 }
 
 size_t ThreadPool::DefaultSize() {

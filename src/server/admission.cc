@@ -1,0 +1,117 @@
+#include "server/admission.h"
+
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace server {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.max_inflight < options_.max_queue_depth) {
+    options_.max_inflight = options_.max_queue_depth;
+  }
+}
+
+void AdmissionController::UpdateGauges(size_t queued, size_t inflight) {
+  static obs::Gauge* depth = obs::GetGauge("ml4db.server.queue_depth");
+  static obs::Gauge* infl = obs::GetGauge("ml4db.server.inflight");
+  depth->Set(static_cast<double>(queued));
+  infl->Set(static_cast<double>(inflight));
+}
+
+AdmitResult AdmissionController::TryEnqueue(PendingQuery item) {
+  static obs::Counter* shed = obs::GetCounter("ml4db.server.shed_total");
+  static obs::Counter* admitted =
+      obs::GetCounter("ml4db.server.admitted_total");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return AdmitResult::kStopped;
+  if (queue_.size() >= options_.max_queue_depth ||
+      queue_.size() + executing_ >= options_.max_inflight) {
+    ++shed_total_;
+    lock.unlock();
+    shed->Inc();
+    return AdmitResult::kShed;
+  }
+  queue_.push_back(std::move(item));
+  ++admitted_total_;
+  const size_t queued = queue_.size();
+  const size_t infl = queued + executing_;
+  lock.unlock();
+  admitted->Inc();
+  UpdateGauges(queued, infl);
+  cv_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+std::vector<PendingQuery> AdmissionController::NextBatch(
+    size_t max_batch, std::chrono::milliseconds linger) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // stopped and drained
+  if (linger.count() > 0 && !stopped_ && queue_.size() < max_batch) {
+    // Best-effort batch fill; deadline checks happen after the pop, so a
+    // lingering batcher converts expired entries into TIMEOUT responses
+    // rather than executing them late.
+    cv_.wait_for(lock, linger, [this, max_batch] {
+      return stopped_ || queue_.size() >= max_batch;
+    });
+  }
+  std::vector<PendingQuery> batch;
+  const size_t n = std::min(max_batch, queue_.size());
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  executing_ += batch.size();
+  const size_t queued = queue_.size();
+  const size_t infl = queued + executing_;
+  lock.unlock();
+  UpdateGauges(queued, infl);
+  return batch;
+}
+
+void AdmissionController::FinishBatch(size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  executing_ -= std::min(executing_, n);
+  const size_t queued = queue_.size();
+  const size_t infl = queued + executing_;
+  lock.unlock();
+  UpdateGauges(queued, infl);
+}
+
+void AdmissionController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopped_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + executing_;
+}
+
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+uint64_t AdmissionController::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_total_;
+}
+
+}  // namespace server
+}  // namespace ml4db

@@ -1,0 +1,108 @@
+// Admission control for the serving path: a bounded submission queue with
+// load-shedding, an in-flight cap, and deadline bookkeeping. This is the
+// backpressure layer the ISSUE's overload story hinges on — when clients
+// outrun the engine the queue fills and new requests are rejected with a
+// retryable OVERLOADED status instead of growing memory without bound
+// (cf. Baihe's separation of the serving path from learned-component
+// work: the queue is the only coupling point, and it is bounded).
+//
+// Threading: TryEnqueue is called by the IO thread, NextBatch/FinishBatch
+// by the batcher thread, Stop by whoever shuts the server down. All state
+// is guarded by one mutex; the queue holds small structs so the critical
+// sections are short.
+
+#ifndef ML4DB_SERVER_ADMISSION_H_
+#define ML4DB_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace ml4db {
+namespace server {
+
+/// One admitted query waiting for (or undergoing) execution.
+struct PendingQuery {
+  uint64_t session_id = 0;   ///< server-assigned connection id
+  uint64_t client_session = 0;  ///< session id the request carried
+  uint64_t request_id = 0;
+  std::string query_text;
+  std::chrono::steady_clock::time_point arrival;
+  /// Absolute expiry (arrival + deadline_ms); time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline;
+  /// Delivers the response to the owning session. Safe to call from any
+  /// thread; must be called exactly once per admitted query.
+  std::function<void(const Response&)> respond;
+
+  bool ExpiredAt(std::chrono::steady_clock::time_point now) const {
+    return deadline < now;
+  }
+};
+
+enum class AdmitResult {
+  kAdmitted,  ///< queued; the batcher will respond
+  kShed,      ///< queue/in-flight bound hit — reply OVERLOADED
+  kStopped,   ///< shutdown in progress — reply SHUTTING_DOWN
+};
+
+struct AdmissionOptions {
+  /// Max queued-but-not-yet-batched requests.
+  size_t max_queue_depth = 1024;
+  /// Max admitted-and-unfinished requests (queued + executing). Must be
+  /// >= max_queue_depth to ever fill the queue.
+  size_t max_inflight = 4096;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Admits or sheds `item`. On kShed/kStopped the item is returned
+  /// unconsumed conceptually — the caller still owns responding.
+  AdmitResult TryEnqueue(PendingQuery item);
+
+  /// Blocks until work is available or Stop() was called. Once the queue is
+  /// non-empty, waits up to `linger` more for it to reach `max_batch`
+  /// (batching amortization), then pops up to `max_batch` items and counts
+  /// them as executing. Returns an empty vector only when stopped AND
+  /// drained — the batcher's exit condition.
+  std::vector<PendingQuery> NextBatch(size_t max_batch,
+                                      std::chrono::milliseconds linger);
+
+  /// Marks `n` previously popped items finished (responses delivered).
+  void FinishBatch(size_t n);
+
+  /// Stops admitting (TryEnqueue returns kStopped) and wakes NextBatch so
+  /// the batcher can drain the remaining queue. Idempotent.
+  void Stop();
+
+  bool stopped() const;
+  size_t queue_depth() const;
+  /// Queued + executing.
+  size_t inflight() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_total() const;
+
+ private:
+  void UpdateGauges(size_t queued, size_t inflight);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingQuery> queue_;
+  size_t executing_ = 0;
+  bool stopped_ = false;
+  uint64_t admitted_total_ = 0;
+  uint64_t shed_total_ = 0;
+};
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_ADMISSION_H_

@@ -1,0 +1,127 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace ml4db {
+namespace server {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  if (connected()) return Status::FailedPrecondition("already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::Internal("connect to " + host + ":" +
+                                       std::to_string(port) + ": " +
+                                       std::strerror(errno));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status Client::Send(const Request& request) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  std::string wire;
+  AppendFrame(EncodeRequest(request), &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Response> Client::Receive(int timeout_ms) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  const Clock::time_point deadline =
+      timeout_ms < 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string payload;
+  char buf[16384];
+  while (true) {
+    ML4DB_ASSIGN_OR_RETURN(const bool got, decoder_.Next(&payload));
+    if (got) return DecodeResponse(payload);
+
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        return Status::ResourceExhausted("receive timed out");
+      }
+      wait_ms = static_cast<int>(left.count());
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) return Status::ResourceExhausted("receive timed out");
+
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::Internal("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<Response> Client::Call(const std::string& query_text,
+                                uint32_t deadline_ms, int timeout_ms) {
+  Request req;
+  req.session_id = session_id_;
+  req.request_id = NextRequestId();
+  req.deadline_ms = deadline_ms;
+  req.query_text = query_text;
+  ML4DB_RETURN_IF_ERROR(Send(req));
+  while (true) {
+    ML4DB_ASSIGN_OR_RETURN(Response resp, Receive(timeout_ms));
+    if (resp.request_id == req.request_id) return resp;
+    // A stale response (e.g. from an abandoned pipelined request) —
+    // keep waiting for ours.
+  }
+}
+
+}  // namespace server
+}  // namespace ml4db

@@ -1,0 +1,62 @@
+// Blocking TCP client for the query server. Used by tests and by the
+// bench_serve load generator. Two levels of API:
+//  - Call(): send one request and block for its response — the simple
+//    request/response pattern (single outstanding request).
+//  - Send()/Receive(): raw pipelining for open-loop load generation; the
+//    caller matches responses to requests by request_id (the server may
+//    complete requests of one session out of order across batches).
+
+#ifndef ML4DB_SERVER_CLIENT_H_
+#define ML4DB_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace ml4db {
+namespace server {
+
+class Client {
+ public:
+  /// @param session_id client-chosen session tag carried in every request
+  ///        (the server tags trace spans with it).
+  explicit Client(uint64_t session_id = 0) : session_id_(session_id) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  uint64_t session_id() const { return session_id_; }
+
+  /// Allocates the next request id (monotone per client).
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+  /// Frames and writes one request (blocking until fully written).
+  Status Send(const Request& request);
+
+  /// Blocks until one complete response arrives. `timeout_ms` < 0 waits
+  /// forever; on timeout returns ResourceExhausted (partial bytes stay
+  /// buffered, so a later Receive can still complete the frame).
+  StatusOr<Response> Receive(int timeout_ms = -1);
+
+  /// Send + Receive for one query; fills in session/request ids. Returns
+  /// the response whose request_id matches (skipping stale ones).
+  StatusOr<Response> Call(const std::string& query_text,
+                          uint32_t deadline_ms = 0, int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+  uint64_t session_id_;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_CLIENT_H_

@@ -1,0 +1,211 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace ml4db {
+namespace server {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Take(size_t n, const char** out) {
+    if (failed || size - pos < n) {
+      failed = true;
+      return false;
+    }
+    *out = data + pos;
+    pos += n;
+    return true;
+  }
+
+  uint8_t U8() {
+    const char* p;
+    if (!Take(1, &p)) return 0;
+    return static_cast<uint8_t>(*p);
+  }
+
+  uint32_t U32() {
+    const char* p;
+    if (!Take(4, &p)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    const char* p;
+    if (!Take(8, &p)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    return v;
+  }
+
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string String() {
+    const uint32_t n = U32();
+    const char* p;
+    if (!Take(n, &p)) return {};
+    return std::string(p, n);
+  }
+
+  Status Finish(const char* what) const {
+    if (failed) return Status::InvalidArgument(std::string(what) + ": truncated payload");
+    if (pos != size) return Status::InvalidArgument(std::string(what) + ": trailing bytes");
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "OK";
+    case ResponseStatus::kError: return "ERROR";
+    case ResponseStatus::kOverloaded: return "OVERLOADED";
+    case ResponseStatus::kTimeout: return "TIMEOUT";
+    case ResponseStatus::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  out.reserve(25 + req.query_text.size());
+  PutU8(&out, kMsgRequest);
+  PutU64(&out, req.session_id);
+  PutU64(&out, req.request_id);
+  PutU32(&out, req.deadline_ms);
+  PutString(&out, req.query_text);
+  return out;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string out;
+  out.reserve(34 + resp.error.size());
+  PutU8(&out, kMsgResponse);
+  PutU64(&out, resp.request_id);
+  PutU8(&out, static_cast<uint8_t>(resp.status));
+  if (resp.status == ResponseStatus::kOk) {
+    PutU64(&out, resp.count);
+    PutF64(&out, resp.latency);
+    PutU64(&out, resp.tuples_flowed);
+  } else {
+    PutString(&out, resp.error);
+  }
+  return out;
+}
+
+StatusOr<Request> DecodeRequest(std::string_view payload) {
+  Cursor c{payload.data(), payload.size()};
+  if (c.U8() != kMsgRequest) {
+    return Status::InvalidArgument("request: wrong message type");
+  }
+  Request req;
+  req.session_id = c.U64();
+  req.request_id = c.U64();
+  req.deadline_ms = c.U32();
+  req.query_text = c.String();
+  ML4DB_RETURN_IF_ERROR(c.Finish("request"));
+  return req;
+}
+
+StatusOr<Response> DecodeResponse(std::string_view payload) {
+  Cursor c{payload.data(), payload.size()};
+  if (c.U8() != kMsgResponse) {
+    return Status::InvalidArgument("response: wrong message type");
+  }
+  Response resp;
+  resp.request_id = c.U64();
+  const uint8_t status = c.U8();
+  if (status > static_cast<uint8_t>(ResponseStatus::kShuttingDown)) {
+    return Status::InvalidArgument("response: unknown status code");
+  }
+  resp.status = static_cast<ResponseStatus>(status);
+  if (resp.status == ResponseStatus::kOk) {
+    resp.count = c.U64();
+    resp.latency = c.F64();
+    resp.tuples_flowed = c.U64();
+  } else {
+    resp.error = c.String();
+  }
+  ML4DB_RETURN_IF_ERROR(c.Finish("response"));
+  return resp;
+}
+
+void AppendFrame(std::string_view payload, std::string* wire) {
+  PutU32(wire, static_cast<uint32_t>(payload.size()));
+  wire->append(payload.data(), payload.size());
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  // Compact the consumed prefix before growing, so buffered memory stays
+  // proportional to unparsed bytes, not connection lifetime.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+StatusOr<bool> FrameDecoder::Next(std::string* payload) {
+  if (!error_.ok()) return error_;
+  if (buf_.size() - pos_ < 4) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i])) << (8 * i);
+  }
+  if (len > max_frame_) {
+    error_ = Status::InvalidArgument("frame of " + std::to_string(len) +
+                                     " bytes exceeds limit of " +
+                                     std::to_string(max_frame_));
+    return error_;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<size_t>(len)) return false;
+  payload->assign(buf_, pos_ + 4, len);
+  pos_ += 4 + len;
+  return true;
+}
+
+}  // namespace server
+}  // namespace ml4db

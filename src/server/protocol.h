@@ -1,0 +1,122 @@
+// Length-prefixed binary wire protocol of the query-serving front-end.
+//
+// Every message on the wire is one frame: a 4-byte little-endian payload
+// length followed by the payload. Payloads are versioned, type-tagged
+// byte strings with explicit little-endian integer encoding, so a client
+// built on any architecture interoperates.
+//
+//   Request  = u8 type(1) | u64 session_id | u64 request_id
+//            | u32 deadline_ms (0 = none) | u32 len | query text
+//   Response = u8 type(2) | u64 request_id | u8 status
+//            | OK:      u64 count | f64 latency | u64 tuples_flowed
+//            | non-OK:  u32 len | error text
+//
+// The deadline is relative (milliseconds from arrival at the server);
+// carrying a relative deadline instead of an absolute timestamp avoids
+// clock-skew coupling between client and server. Frames larger than
+// `max_frame` are a protocol violation (the connection is closed), which
+// bounds per-connection decoder memory.
+
+#ifndef ML4DB_SERVER_PROTOCOL_H_
+#define ML4DB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ml4db {
+namespace server {
+
+/// Hard upper bound on one frame's payload (1 MiB): query texts are small,
+/// so anything bigger indicates a corrupt or hostile peer.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+inline constexpr uint8_t kMsgRequest = 1;
+inline constexpr uint8_t kMsgResponse = 2;
+
+/// Response disposition. kOverloaded and kShuttingDown are retryable: the
+/// request was never executed (load-shedding backpressure); kTimeout means
+/// the request's deadline expired before execution began.
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kError = 1,
+  kOverloaded = 2,
+  kTimeout = 3,
+  kShuttingDown = 4,
+};
+
+const char* ResponseStatusName(ResponseStatus status);
+
+/// One query submission.
+struct Request {
+  uint64_t session_id = 0;   ///< client-chosen session tag (spans carry it)
+  uint64_t request_id = 0;   ///< client-chosen; echoed in the response
+  uint32_t deadline_ms = 0;  ///< relative deadline; 0 = no deadline
+  std::string query_text;    ///< engine::Query::ToString grammar
+
+  bool operator==(const Request& o) const {
+    return session_id == o.session_id && request_id == o.request_id &&
+           deadline_ms == o.deadline_ms && query_text == o.query_text;
+  }
+};
+
+/// One query result (the single COUNT(*) row) or a terminal status.
+struct Response {
+  uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  uint64_t count = 0;          ///< COUNT(*) of the result (kOk only)
+  double latency = 0.0;        ///< priced simulated latency (kOk only)
+  uint64_t tuples_flowed = 0;  ///< intermediate tuples (kOk only)
+  std::string error;           ///< detail for non-OK statuses
+
+  bool operator==(const Response& o) const {
+    return request_id == o.request_id && status == o.status &&
+           count == o.count && latency == o.latency &&
+           tuples_flowed == o.tuples_flowed && error == o.error;
+  }
+};
+
+/// Serializes a message into a payload (no frame header).
+std::string EncodeRequest(const Request& req);
+std::string EncodeResponse(const Response& resp);
+
+/// Parses a payload. Rejects wrong type tags, truncation, and trailing
+/// garbage with InvalidArgument.
+StatusOr<Request> DecodeRequest(std::string_view payload);
+StatusOr<Response> DecodeResponse(std::string_view payload);
+
+/// Appends `payload` as one frame (length prefix + payload) to `wire`.
+void AppendFrame(std::string_view payload, std::string* wire);
+
+/// Incremental frame splitter for a byte stream: feed arbitrary chunks,
+/// pop complete payloads. Oversize length prefixes poison the decoder
+/// (every later Next returns the same error) — the caller must drop the
+/// connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void Feed(const char* data, size_t n);
+
+  /// Pops the next complete payload into *payload. Returns true when one
+  /// was popped, false when more bytes are needed, or InvalidArgument on a
+  /// protocol violation.
+  StatusOr<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet returned.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  uint32_t max_frame_;
+  Status error_;  // sticky protocol violation
+};
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_PROTOCOL_H_

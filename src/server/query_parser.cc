@@ -1,0 +1,187 @@
+#include "server/query_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace ml4db {
+namespace server {
+
+namespace {
+
+using engine::ColumnRef;
+using engine::CompareOp;
+using engine::FilterPredicate;
+using engine::JoinPredicate;
+using engine::Query;
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char ch : text) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      if (!cur.empty()) {
+        tokens.push_back(std::move(cur));
+        cur.clear();
+      }
+      if (ch == ',') tokens.emplace_back(",");
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+/// Parses "t<digits>.c<digits>" into a ColumnRef; false when `tok` is not
+/// of that shape (e.g. it is a numeric literal).
+bool ParseColRef(const std::string& tok, ColumnRef* out) {
+  if (tok.size() < 4 || tok[0] != 't') return false;
+  size_t i = 1;
+  while (i < tok.size() && std::isdigit(static_cast<unsigned char>(tok[i]))) ++i;
+  if (i == 1 || i + 2 >= tok.size() || tok[i] != '.' || tok[i + 1] != 'c') {
+    return false;
+  }
+  size_t j = i + 2;
+  while (j < tok.size() && std::isdigit(static_cast<unsigned char>(tok[j]))) ++j;
+  if (j != tok.size() || j == i + 2) return false;
+  out->table_slot = std::atoi(tok.c_str() + 1);
+  out->column = std::atoi(tok.c_str() + i + 2);
+  return true;
+}
+
+bool ParseNumber(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+bool ParseOp(const std::string& tok, CompareOp* op) {
+  if (tok == "=") *op = CompareOp::kEq;
+  else if (tok == "<") *op = CompareOp::kLt;
+  else if (tok == "<=") *op = CompareOp::kLe;
+  else if (tok == ">") *op = CompareOp::kGt;
+  else if (tok == ">=") *op = CompareOp::kGe;
+  else return false;
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<std::string> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> Run() {
+    ML4DB_RETURN_IF_ERROR(Expect("SELECT"));
+    ML4DB_RETURN_IF_ERROR(Expect("COUNT(*)"));
+    ML4DB_RETURN_IF_ERROR(Expect("FROM"));
+    ML4DB_RETURN_IF_ERROR(ParseTableList());
+    if (!AtEnd()) {
+      ML4DB_RETURN_IF_ERROR(Expect("WHERE"));
+      ML4DB_RETURN_IF_ERROR(ParseCondition());
+      while (!AtEnd()) {
+        ML4DB_RETURN_IF_ERROR(Expect("AND"));
+        ML4DB_RETURN_IF_ERROR(ParseCondition());
+      }
+    }
+    if (query_.tables.empty()) return Err("no tables in FROM clause");
+    return std::move(query_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+
+  const std::string& Peek() const {
+    static const std::string kEnd = "<end>";
+    return AtEnd() ? kEnd : tokens_[pos_];
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("query parse error at token " +
+                                   std::to_string(pos_) + " ('" + Peek() +
+                                   "'): " + msg);
+  }
+
+  Status Expect(const std::string& tok) {
+    if (Peek() != tok) return Err("expected '" + tok + "'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseTableList() {
+    while (true) {
+      if (AtEnd()) return Err("expected table name");
+      const std::string name = tokens_[pos_++];
+      const std::string alias = "t" + std::to_string(query_.tables.size());
+      ML4DB_RETURN_IF_ERROR(Expect(alias));
+      query_.tables.push_back(name);
+      if (Peek() != ",") return Status::OK();
+      ++pos_;
+    }
+  }
+
+  Status CheckRef(const ColumnRef& ref) const {
+    if (ref.table_slot < 0 ||
+        ref.table_slot >= static_cast<int>(query_.tables.size())) {
+      return Err("alias t" + std::to_string(ref.table_slot) +
+                 " out of range");
+    }
+    return Status::OK();
+  }
+
+  Status ParseCondition() {
+    ColumnRef lhs;
+    if (!ParseColRef(Peek(), &lhs)) return Err("expected tN.cM reference");
+    ++pos_;
+    ML4DB_RETURN_IF_ERROR(CheckRef(lhs));
+
+    if (Peek() == "BETWEEN") {
+      ++pos_;
+      FilterPredicate f;
+      f.table_slot = lhs.table_slot;
+      f.column = lhs.column;
+      f.op = CompareOp::kBetween;
+      if (!ParseNumber(Peek(), &f.value)) return Err("expected number");
+      ++pos_;
+      ML4DB_RETURN_IF_ERROR(Expect("AND"));
+      if (!ParseNumber(Peek(), &f.value2)) return Err("expected number");
+      ++pos_;
+      query_.filters.push_back(f);
+      return Status::OK();
+    }
+
+    CompareOp op;
+    if (!ParseOp(Peek(), &op)) return Err("expected comparison operator");
+    ++pos_;
+
+    ColumnRef rhs;
+    if (ParseColRef(Peek(), &rhs)) {
+      ++pos_;
+      if (op != CompareOp::kEq) return Err("joins must use '='");
+      ML4DB_RETURN_IF_ERROR(CheckRef(rhs));
+      query_.joins.push_back(JoinPredicate{lhs, rhs});
+      return Status::OK();
+    }
+    FilterPredicate f;
+    f.table_slot = lhs.table_slot;
+    f.column = lhs.column;
+    f.op = op;
+    if (!ParseNumber(Peek(), &f.value)) return Err("expected number");
+    ++pos_;
+    query_.filters.push_back(f);
+    return Status::OK();
+  }
+
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+  Query query_;
+};
+
+}  // namespace
+
+StatusOr<engine::Query> ParseQueryText(const std::string& text) {
+  return Parser(Tokenize(text)).Run();
+}
+
+}  // namespace server
+}  // namespace ml4db

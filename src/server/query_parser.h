@@ -1,0 +1,34 @@
+// Parser for the query text carried by the wire protocol. The grammar is
+// exactly what engine::Query::ToString renders, so any Query round-trips
+// through text: clients (and the bench_serve load generator) serialize
+// queries with ToString and the server parses them back.
+//
+//   SELECT COUNT(*) FROM <table> t0, <table> t1, ...
+//     [WHERE <cond> [AND <cond>]...]
+//   cond := tI.cJ = tK.cL                 -- equi-join edge
+//         | tI.cJ (=|<|<=|>|>=) <number>  -- base-table filter
+//         | tI.cJ BETWEEN <num> AND <num>
+//
+// Aliases are positional (tN names the N-th FROM entry). The parser
+// validates slot references but not table existence — the engine's planner
+// reports unknown tables, keeping name resolution in one place.
+
+#ifndef ML4DB_SERVER_QUERY_PARSER_H_
+#define ML4DB_SERVER_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/query.h"
+
+namespace ml4db {
+namespace server {
+
+/// Parses `text` into a Query. Returns InvalidArgument with a position hint
+/// on malformed input.
+StatusOr<engine::Query> ParseQueryText(const std::string& text);
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_QUERY_PARSER_H_

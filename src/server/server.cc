@@ -1,0 +1,431 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "server/query_parser.h"
+
+namespace ml4db {
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Response MakeStatusResponse(uint64_t request_id, ResponseStatus status,
+                            std::string error) {
+  Response r;
+  r.request_id = request_id;
+  r.status = status;
+  r.error = std::move(error);
+  return r;
+}
+
+obs::Counter* ResponsesTotal() {
+  static obs::Counter* c = obs::GetCounter("ml4db.server.responses_total");
+  return c;
+}
+
+}  // namespace
+
+Server::Server(const engine::Database* db, ServerOptions options,
+               common::ThreadPool* pool)
+    : db_(db),
+      options_(std::move(options)),
+      pool_(pool != nullptr ? pool : &common::ThreadPool::Global()),
+      admission_(AdmissionOptions{options_.max_queue_depth,
+                                  options_.max_inflight}) {
+  ML4DB_CHECK(db_ != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  ML4DB_CHECK_MSG(!running_.load(), "Server::Start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_fds_) < 0) {
+    const Status st =
+        Status::Internal(std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  ML4DB_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  ML4DB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
+  ML4DB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
+
+  stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  batcher_thread_ = std::thread([this] { BatcherLoop(); });
+  io_thread_ = std::thread([this] { IoLoop(); });
+  ML4DB_LOG(INFO, "ml4db server listening on %s:%d (pool=%zu queue=%zu)",
+            options_.host.c_str(), port_, pool_->size(),
+            options_.max_queue_depth);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  ML4DB_LOG(INFO, "server stopping: draining %zu in-flight requests",
+            admission_.inflight());
+  stopping_.store(true, std::memory_order_release);
+  admission_.Stop();
+  Wake();
+  // Ordering: the batcher drains every admitted request first (it exits
+  // only when the admission queue is empty), then sets draining_ so the IO
+  // thread can leave once the outboxes are flushed. Only then are the
+  // threads joined — no admitted request is ever dropped on shutdown.
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) {
+      ::close(wake_fds_[i]);
+      wake_fds_[i] = -1;
+    }
+  }
+  running_.store(false, std::memory_order_release);
+  ML4DB_LOG(INFO, "server stopped: served %llu queries",
+            static_cast<unsigned long long>(queries_served_.load()));
+}
+
+void Server::Wake() {
+  const char b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+void Server::HandleRequests(const std::shared_ptr<Session>& session,
+                            std::vector<Request>* requests) {
+  static obs::Counter* requests_total =
+      obs::GetCounter("ml4db.server.requests_total");
+  static obs::Counter* dropped =
+      obs::GetCounter("ml4db.server.responses_dropped");
+  const Clock::time_point now = Clock::now();
+  for (Request& req : *requests) {
+    requests_total->Inc();
+    const uint64_t request_id = req.request_id;
+    PendingQuery item;
+    item.session_id = session->id();
+    item.client_session = req.session_id;
+    item.request_id = request_id;
+    item.query_text = std::move(req.query_text);
+    item.arrival = now;
+    item.deadline = req.deadline_ms == 0
+                        ? Clock::time_point::max()
+                        : now + std::chrono::milliseconds(req.deadline_ms);
+    std::weak_ptr<Session> weak = session;
+    item.respond = [this, weak](const Response& resp) {
+      if (const std::shared_ptr<Session> s = weak.lock();
+          s != nullptr && s->QueueResponse(resp)) {
+        ResponsesTotal()->Inc();
+        Wake();
+        return;
+      }
+      dropped->Inc();
+    };
+    switch (admission_.TryEnqueue(std::move(item))) {
+      case AdmitResult::kAdmitted:
+        break;
+      case AdmitResult::kShed:
+        session->QueueResponse(MakeStatusResponse(
+            request_id, ResponseStatus::kOverloaded,
+            "submission queue full; retry with backoff"));
+        ResponsesTotal()->Inc();
+        break;
+      case AdmitResult::kStopped:
+        session->QueueResponse(MakeStatusResponse(
+            request_id, ResponseStatus::kShuttingDown, "server shutting down"));
+        ResponsesTotal()->Inc();
+        break;
+    }
+  }
+  requests->clear();
+}
+
+void Server::RunQueries(std::vector<PendingQuery>* batch) {
+  static obs::Counter* timeouts =
+      obs::GetCounter("ml4db.server.timeout_total");
+  static obs::Counter* parse_errors =
+      obs::GetCounter("ml4db.server.parse_errors");
+  static obs::Counter* exec_errors =
+      obs::GetCounter("ml4db.server.exec_errors");
+  static obs::Histogram* latency_us =
+      obs::GetHistogram("ml4db.server.request_latency_us");
+
+  const Clock::time_point now = Clock::now();
+  std::vector<engine::Query> queries;
+  std::vector<size_t> slot;  // batch index of queries[j]
+  queries.reserve(batch->size());
+  slot.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    PendingQuery& item = (*batch)[i];
+    if (item.ExpiredAt(now)) {
+      // The deadline expired while queued: the client has given up, so
+      // executing now would only add load. Shed the work instead.
+      timeouts->Inc();
+      item.respond(MakeStatusResponse(item.request_id, ResponseStatus::kTimeout,
+                                      "deadline expired before execution"));
+      continue;
+    }
+    auto parsed = ParseQueryText(item.query_text);
+    if (!parsed.ok()) {
+      parse_errors->Inc();
+      item.respond(MakeStatusResponse(item.request_id, ResponseStatus::kError,
+                                      parsed.status().message()));
+      continue;
+    }
+    // Resolve table names here rather than in the planner: a query naming
+    // an unknown (or never-analyzed) table must fail this one request, not
+    // take down the serving process.
+    Status resolved = Status::OK();
+    for (const std::string& table : parsed->tables) {
+      if (!db_->catalog().GetTable(table).ok() ||
+          db_->stats().Get(table) == nullptr) {
+        resolved = Status::NotFound("unknown table: " + table);
+        break;
+      }
+    }
+    if (!resolved.ok()) {
+      parse_errors->Inc();
+      item.respond(MakeStatusResponse(item.request_id, ResponseStatus::kError,
+                                      resolved.message()));
+      continue;
+    }
+    queries.push_back(std::move(*parsed));
+    slot.push_back(i);
+  }
+  if (queries.empty()) return;
+
+  std::vector<obs::QueryTrace> traces;
+  std::vector<obs::QueryTrace>* traces_ptr =
+      options_.trace_sink ? &traces : nullptr;
+  const auto results =
+      db_->RunBatch(queries, {}, options_.limits, traces_ptr, pool_);
+
+  const Clock::time_point done = Clock::now();
+  for (size_t j = 0; j < results.size(); ++j) {
+    PendingQuery& item = (*batch)[slot[j]];
+    Response resp;
+    resp.request_id = item.request_id;
+    if (results[j].ok()) {
+      resp.status = ResponseStatus::kOk;
+      resp.count = results[j]->count;
+      resp.latency = results[j]->latency;
+      resp.tuples_flowed = results[j]->tuples_flowed;
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      resp.status = ResponseStatus::kError;
+      resp.error = results[j].status().ToString();
+      exec_errors->Inc();
+    }
+    latency_us->Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(done -
+                                                              item.arrival)
+            .count());
+    if (traces_ptr != nullptr) {
+      obs::QueryTrace& trace = traces[j];
+      trace.label = "session-" + std::to_string(item.session_id) +
+                    "/request-" + std::to_string(item.request_id);
+      for (obs::TraceSpan& span : trace.spans) {
+        span.attrs.emplace_back("session", std::to_string(item.session_id));
+        span.attrs.emplace_back("client_session",
+                                std::to_string(item.client_session));
+        span.attrs.emplace_back("request", std::to_string(item.request_id));
+      }
+      options_.trace_sink(trace);
+    }
+    item.respond(resp);
+  }
+}
+
+void Server::BatcherLoop() {
+  const std::chrono::milliseconds linger(options_.batch_linger_ms);
+  while (true) {
+    std::vector<PendingQuery> batch =
+        admission_.NextBatch(options_.batch_max, linger);
+    if (batch.empty()) {
+      if (admission_.stopped()) break;
+      continue;
+    }
+    RunQueries(&batch);
+    admission_.FinishBatch(batch.size());
+  }
+  draining_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Server::IoLoop() {
+  static obs::Counter* connections =
+      obs::GetCounter("ml4db.server.connections_total");
+  static obs::Counter* protocol_errors =
+      obs::GetCounter("ml4db.server.protocol_errors");
+
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Session>> polled;
+  std::vector<Request> requests;
+  Clock::time_point drain_deadline{};
+  bool drain_started = false;
+
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && listen_fd_ >= 0) {
+      ::close(listen_fd_);  // stop accepting; port frees immediately
+      listen_fd_ = -1;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!drain_started) {
+        drain_started = true;
+        drain_deadline =
+            Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+      }
+      bool pending = false;
+      for (const auto& [fd, session] : sessions_) {
+        if (session->HasPendingWrites()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || Clock::now() >= drain_deadline) break;
+    }
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, session] : sessions_) {
+      short events = POLLIN;
+      if (session->HasPendingWrites()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+      polled.push_back(session);
+    }
+
+    const int timeout_ms = drain_started ? 50 : -1;
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      ML4DB_LOG(ERROR, "server poll failed: %s", std::strerror(errno));
+      break;
+    }
+
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) {  // wake pipe
+      char buf[256];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++idx;
+    if (listen_fd_ >= 0) {
+      if (fds[idx].revents & POLLIN) {
+        while (true) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          if (!SetNonBlocking(cfd).ok()) {
+            ::close(cfd);
+            continue;
+          }
+          const int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto session = std::make_shared<Session>(cfd, next_session_id_++,
+                                                   options_.max_frame_bytes);
+          sessions_.emplace(cfd, std::move(session));
+          connections->Inc();
+        }
+      }
+      ++idx;
+    }
+
+    for (size_t s = 0; s < polled.size(); ++s, ++idx) {
+      const std::shared_ptr<Session>& session = polled[s];
+      const short revents = fds[idx].revents;
+      if (revents == 0) continue;
+      bool close_session = (revents & (POLLERR | POLLNVAL)) != 0;
+      if (!close_session && (revents & POLLIN)) {
+        requests.clear();
+        const auto keep = session->ReadRequests(&requests);
+        if (!keep.ok()) {
+          protocol_errors->Inc();
+          ML4DB_LOG(WARN, "session %llu dropped: %s",
+                    static_cast<unsigned long long>(session->id()),
+                    keep.status().message().c_str());
+          close_session = true;
+        } else if (!*keep) {
+          close_session = true;  // peer closed
+        }
+        if (!requests.empty()) HandleRequests(session, &requests);
+      }
+      if (!close_session && (revents & POLLHUP) &&
+          !session->HasPendingWrites()) {
+        close_session = true;
+      }
+      if (!close_session && session->HasPendingWrites()) {
+        if (!session->FlushWrites().ok()) close_session = true;
+      }
+      if (close_session) {
+        session->MarkClosed();
+        sessions_.erase(session->fd());
+      }
+    }
+  }
+
+  for (const auto& [fd, session] : sessions_) session->MarkClosed();
+  sessions_.clear();
+}
+
+}  // namespace server
+}  // namespace ml4db

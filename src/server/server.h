@@ -1,0 +1,124 @@
+// TCP query-serving front-end. One IO thread (poll-based) accepts
+// connections, decodes length-prefixed requests, and pushes them through
+// the AdmissionController into a bounded queue; one batcher thread drains
+// the queue into Database::RunBatch, which fans the plan+execute work out
+// over the shared ThreadPool. Responses travel back through per-session
+// outboxes flushed by the IO thread (a self-pipe wakes it).
+//
+//            IO thread                 batcher thread          ThreadPool
+//   accept/recv -> FrameDecoder ->  AdmissionController  ->  RunBatch
+//        ^                             (bounded queue)            |
+//        +---- outbox flush  <----  respond callbacks  <---------+
+//
+// Graceful shutdown (Stop): close the listener, stop admitting (new
+// requests get SHUTTING_DOWN), let the batcher drain every admitted
+// request, flush the outboxes, then join both threads. The ThreadPool is
+// shared and therefore NOT joined here; obs export flushing is the
+// embedder's job after Stop() returns (see server_main.cc ordering).
+
+#ifndef ML4DB_SERVER_SERVER_H_
+#define ML4DB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/database.h"
+#include "server/admission.h"
+#include "server/session.h"
+
+namespace ml4db {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 7433;  ///< 0 = ephemeral (query via Server::port())
+  size_t max_queue_depth = 1024;
+  size_t max_inflight = 4096;
+  /// Largest batch handed to Database::RunBatch at once.
+  size_t batch_max = 64;
+  /// How long the batcher waits for a batch to fill once work exists.
+  /// 0 = run whatever is queued immediately (lowest latency).
+  int batch_linger_ms = 0;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Upper bound on flushing responses to slow clients during Stop().
+  int drain_timeout_ms = 5000;
+  /// Per-query execution limits applied to every served query.
+  engine::ExecutionLimits limits;
+  /// When set, every executed query's trace — spans tagged with session and
+  /// request ids — is handed to this callback (batcher thread). Null skips
+  /// trace collection entirely.
+  std::function<void(const obs::QueryTrace&)> trace_sink;
+};
+
+class Server {
+ public:
+  /// `db` must outlive the server. `pool` defaults to the process-wide
+  /// ThreadPool::Global().
+  Server(const engine::Database* db, ServerOptions options,
+         common::ThreadPool* pool = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the IO + batcher threads.
+  Status Start();
+
+  /// Graceful shutdown; see file comment for ordering. Idempotent, safe
+  /// from any thread (including a signal-driven waiter).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (resolves port 0).
+  int port() const { return port_; }
+
+  uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  void IoLoop();
+  void BatcherLoop();
+  /// Wakes the IO thread's poll (any thread).
+  void Wake();
+  void HandleRequests(const std::shared_ptr<Session>& session,
+                      std::vector<Request>* requests);
+  void RunQueries(std::vector<PendingQuery>* batch);
+
+  const engine::Database* db_;
+  ServerOptions options_;
+  common::ThreadPool* pool_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read, [1] write
+  int port_ = 0;
+
+  std::thread io_thread_;
+  std::thread batcher_thread_;
+  std::mutex stop_mu_;  // serializes Stop()
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Set once the batcher has drained: the IO loop may exit as soon as all
+  /// outboxes are flushed.
+  std::atomic<bool> draining_{false};
+
+  std::unordered_map<int, std::shared_ptr<Session>> sessions_;  // IO thread
+  uint64_t next_session_id_ = 1;                                // IO thread
+  std::atomic<uint64_t> queries_served_{0};
+};
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_SERVER_H_

@@ -1,0 +1,185 @@
+// ml4db_server — standalone query-serving daemon. Builds the standard
+// synthetic star-schema database (same generator the benches use, so
+// bench_serve can reconstruct the schema client-side from the same seed),
+// then serves the wire protocol until SIGINT/SIGTERM.
+//
+// Shutdown ordering (the part ASan/TSan CI verifies): signal -> Server::
+// Stop() drains admitted requests and joins the IO/batcher threads -> the
+// obs export (metrics snapshot + sampled traces) is flushed -> exit 0.
+//
+//   ml4db_server --port 0 --port-file /tmp/port --json server.json
+//
+// Flags:
+//   --host H             listen address          (default 127.0.0.1)
+//   --port P             listen port, 0 = ephemeral (default 7433)
+//   --port-file PATH     write the bound port to PATH once listening
+//   --fact-rows N        fact table rows         (default 40000)
+//   --dim-rows N         rows per dimension      (default 2000)
+//   --dims N             dimension tables        (default 4)
+//   --seed N             schema/data seed        (default 42)
+//   --queue-depth N      admission queue bound   (default 1024)
+//   --max-inflight N     admitted-unfinished cap (default 4096)
+//   --batch-max N        max RunBatch size       (default 64)
+//   --linger-ms N        batch-fill linger       (default 0)
+//   --json [PATH]        write BENCH_server.json (or PATH) on shutdown
+
+#include <pthread.h>
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "workload/schema_gen.h"
+
+namespace {
+
+using namespace ml4db;
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7433;
+  std::string port_file;
+  size_t fact_rows = 40000;
+  size_t dim_rows = 2000;
+  int dims = 4;
+  uint64_t seed = 42;
+  size_t queue_depth = 1024;
+  size_t max_inflight = 4096;
+  size_t batch_max = 64;
+  int linger_ms = 0;
+  std::string json_path;  // empty = no export
+  bool json = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") flags->host = value("--host");
+    else if (arg == "--port") flags->port = std::atoi(value("--port"));
+    else if (arg == "--port-file") flags->port_file = value("--port-file");
+    else if (arg == "--fact-rows") flags->fact_rows = std::strtoull(value("--fact-rows"), nullptr, 10);
+    else if (arg == "--dim-rows") flags->dim_rows = std::strtoull(value("--dim-rows"), nullptr, 10);
+    else if (arg == "--dims") flags->dims = std::atoi(value("--dims"));
+    else if (arg == "--seed") flags->seed = std::strtoull(value("--seed"), nullptr, 10);
+    else if (arg == "--queue-depth") flags->queue_depth = std::strtoull(value("--queue-depth"), nullptr, 10);
+    else if (arg == "--max-inflight") flags->max_inflight = std::strtoull(value("--max-inflight"), nullptr, 10);
+    else if (arg == "--batch-max") flags->batch_max = std::strtoull(value("--batch-max"), nullptr, 10);
+    else if (arg == "--linger-ms") flags->linger_ms = std::atoi(value("--linger-ms"));
+    else if (arg == "--json") {
+      flags->json = true;
+      flags->json_path = "BENCH_server.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') flags->json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  // Block the shutdown signals before any thread exists so every thread
+  // (pool workers, IO, batcher) inherits the mask and sigwait below is the
+  // single delivery point.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  engine::Database db;
+  {
+    workload::SchemaGenOptions opts;
+    opts.num_dimensions = flags.dims;
+    opts.fact_rows = flags.fact_rows;
+    opts.dim_rows = flags.dim_rows;
+    opts.seed = flags.seed;
+    Stopwatch sw;
+    const auto schema = workload::BuildSyntheticDb(&db, opts);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "schema build failed: %s\n",
+                   schema.status().ToString().c_str());
+      return 1;
+    }
+    ML4DB_LOG(INFO, "built %d-dim star schema (%zu fact rows) in %.2fs",
+              flags.dims, flags.fact_rows, sw.ElapsedSeconds());
+  }
+
+  std::vector<std::string> argv_copy(argv, argv + argc);
+  obs::BenchExporter exporter("server", argv_copy);
+
+  server::ServerOptions opts;
+  opts.host = flags.host;
+  opts.port = flags.port;
+  opts.max_queue_depth = flags.queue_depth;
+  opts.max_inflight = flags.max_inflight;
+  opts.batch_max = flags.batch_max;
+  opts.batch_linger_ms = flags.linger_ms;
+  uint64_t trace_samples = 0;
+  if (flags.json) {
+    // Sample 1-in-256 query traces into the export so the JSON stays small
+    // under load while still carrying span-level evidence.
+    opts.trace_sink = [&exporter,
+                       &trace_samples](const obs::QueryTrace& trace) {
+      if ((trace_samples++ & 0xff) == 0) exporter.AddTrace(trace);
+    };
+  }
+
+  server::Server srv(&db, opts);
+  const Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!flags.port_file.empty()) {
+    std::FILE* f = std::fopen(flags.port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", srv.port());
+      std::fclose(f);
+    }
+  }
+  std::printf("ml4db_server listening on %s:%d\n", flags.host.c_str(),
+              srv.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("ml4db_server received %s, draining\n", strsignal(sig));
+  std::fflush(stdout);
+
+  srv.Stop();  // drains in-flight work and joins server threads
+
+  // Only now snapshot metrics: the drain above guarantees every admitted
+  // request's counters and latency samples are in.
+  if (flags.json) {
+    const Status wst = exporter.WriteJson(flags.json_path);
+    if (!wst.ok()) {
+      std::fprintf(stderr, "obs export failed: %s\n", wst.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.json_path.c_str());
+  }
+  std::printf("ml4db_server served %llu queries, exiting\n",
+              static_cast<unsigned long long>(srv.queries_served()));
+  return 0;
+}

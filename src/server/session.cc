@@ -1,0 +1,78 @@
+#include "server/session.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ml4db {
+namespace server {
+
+Session::Session(int fd, uint64_t id, uint32_t max_frame_bytes)
+    : fd_(fd), id_(id), decoder_(max_frame_bytes) {}
+
+Session::~Session() { ::close(fd_); }
+
+StatusOr<bool> Session::ReadRequests(std::vector<Request>* out) {
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+    if (n < static_cast<ssize_t>(sizeof(buf))) break;
+  }
+  std::string payload;
+  while (true) {
+    ML4DB_ASSIGN_OR_RETURN(const bool got, decoder_.Next(&payload));
+    if (!got) break;
+    ML4DB_ASSIGN_OR_RETURN(Request req, DecodeRequest(payload));
+    ++requests_received_;
+    out->push_back(std::move(req));
+  }
+  return true;
+}
+
+bool Session::QueueResponse(const Response& resp) {
+  if (closed()) return false;
+  const std::string payload = EncodeResponse(resp);
+  std::lock_guard<std::mutex> lock(out_mu_);
+  AppendFrame(payload, &outbox_);
+  ++responses_queued_;
+  return true;
+}
+
+Status Session::FlushWrites() {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  while (out_pos_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_, outbox_.data() + out_pos_,
+                             outbox_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    out_pos_ += static_cast<size_t>(n);
+  }
+  if (out_pos_ == outbox_.size()) {
+    outbox_.clear();
+    out_pos_ = 0;
+  } else if (out_pos_ > 65536) {
+    outbox_.erase(0, out_pos_);
+    out_pos_ = 0;
+  }
+  return Status::OK();
+}
+
+bool Session::HasPendingWrites() const {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  return out_pos_ < outbox_.size();
+}
+
+}  // namespace server
+}  // namespace ml4db

@@ -1,0 +1,78 @@
+// Per-connection state of the query server: the socket, an incremental
+// frame decoder for inbound requests, and a mutex-guarded outbox of
+// encoded response frames.
+//
+// Threading contract: reads and write-flushes happen only on the server's
+// IO thread; QueueResponse may be called from any thread (the batcher
+// completes queries there). The session is held by shared_ptr — the IO
+// thread owns the strong reference, response callbacks hold weak_ptrs, so
+// a client that disconnects mid-query never dangles.
+
+#ifndef ML4DB_SERVER_SESSION_H_
+#define ML4DB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace ml4db {
+namespace server {
+
+class Session {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  Session(int fd, uint64_t id, uint32_t max_frame_bytes = kMaxFrameBytes);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  /// IO thread: drains readable bytes and appends every complete request
+  /// to `out`. Returns false when the peer closed cleanly; an error Status
+  /// on protocol violations or fatal socket errors (drop the session).
+  StatusOr<bool> ReadRequests(std::vector<Request>* out);
+
+  /// Any thread: encodes and frames `resp` into the outbox. Returns false
+  /// (dropping the response) once the session is closed.
+  bool QueueResponse(const Response& resp);
+
+  /// IO thread: writes buffered frames until the socket would block.
+  /// Returns an error on fatal write failures.
+  Status FlushWrites();
+
+  bool HasPendingWrites() const;
+
+  /// Marks the session closed: QueueResponse becomes a no-op. Called by
+  /// the IO thread before dropping its reference.
+  void MarkClosed() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  uint64_t requests_received() const { return requests_received_; }
+  uint64_t responses_queued() const { return responses_queued_; }
+
+ private:
+  const int fd_;
+  const uint64_t id_;
+  FrameDecoder decoder_;
+  uint64_t requests_received_ = 0;  // IO thread only
+
+  mutable std::mutex out_mu_;
+  std::string outbox_;      // encoded frames awaiting write
+  size_t out_pos_ = 0;      // written prefix of outbox_
+  uint64_t responses_queued_ = 0;
+
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_SESSION_H_

@@ -1,0 +1,64 @@
+// Regression tests pinning the RFC 4180 CSV rendering used by the bench
+// export (obs::CsvLine and bench::Table::ToCsv): quoting is only applied
+// when needed, embedded quotes are doubled, and separators/newlines inside
+// cells never break row structure.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "obs/export.h"
+
+namespace ml4db {
+namespace {
+
+TEST(CsvLineTest, PlainCellsAreNotQuoted) {
+  EXPECT_EQ(obs::CsvLine({"a", "b", "c"}), "a,b,c\n");
+  EXPECT_EQ(obs::CsvLine({"1.5", "-2", "p99_us"}), "1.5,-2,p99_us\n");
+}
+
+TEST(CsvLineTest, EmptyCellsAndEmptyLine) {
+  EXPECT_EQ(obs::CsvLine({}), "\n");
+  EXPECT_EQ(obs::CsvLine({""}), "\n");
+  EXPECT_EQ(obs::CsvLine({"", ""}), ",\n");
+  EXPECT_EQ(obs::CsvLine({"a", "", "c"}), "a,,c\n");
+}
+
+TEST(CsvLineTest, CommaForcesQuoting) {
+  EXPECT_EQ(obs::CsvLine({"a,b", "c"}), "\"a,b\",c\n");
+}
+
+TEST(CsvLineTest, QuotesAreDoubledAndQuoted) {
+  EXPECT_EQ(obs::CsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"\n");
+  // A cell that is just one quote becomes four inside quotes.
+  EXPECT_EQ(obs::CsvLine({"\""}), "\"\"\"\"\n");
+}
+
+TEST(CsvLineTest, NewlinesAndCarriageReturnsForceQuoting) {
+  EXPECT_EQ(obs::CsvLine({"line1\nline2"}), "\"line1\nline2\"\n");
+  EXPECT_EQ(obs::CsvLine({"a\r\nb"}), "\"a\r\nb\"\n");
+}
+
+TEST(CsvLineTest, AllHazardsInOneCell) {
+  EXPECT_EQ(obs::CsvLine({"a,\"b\"\nc", "plain"}),
+            "\"a,\"\"b\"\"\nc\",plain\n");
+}
+
+TEST(TableToCsvTest, HeaderThenRows) {
+  bench::Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "2"});
+  EXPECT_EQ(t.ToCsv(), "name,value\nalpha,1\nbeta,2\n");
+}
+
+TEST(TableToCsvTest, HazardousCellsStayOneRecordPerRow) {
+  bench::Table t({"query", "note"});
+  t.AddRow({"SELECT COUNT(*) FROM fact t0, dim_0 t1", "join, 2 tables"});
+  t.AddRow({"say \"hi\"", "multi\nline"});
+  EXPECT_EQ(t.ToCsv(),
+            "query,note\n"
+            "\"SELECT COUNT(*) FROM fact t0, dim_0 t1\",\"join, 2 tables\"\n"
+            "\"say \"\"hi\"\"\",\"multi\nline\"\n");
+}
+
+}  // namespace
+}  // namespace ml4db

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/env.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -193,6 +194,44 @@ TEST(MathTest, JensenShannonBounds) {
   std::vector<double> q = {0.0, 1.0};
   EXPECT_NEAR(JensenShannon(p, q), std::log(2.0), 1e-9);
   EXPECT_NEAR(JensenShannon(p, p), 0.0, 1e-12);
+}
+
+TEST(EnvKnobTest, UnsetOrEmptyFallsBackSilently) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(common::ParsePositiveKnob("ML4DB_X", nullptr, 7), 7u);
+  EXPECT_EQ(common::ParsePositiveKnob("ML4DB_X", "", 7), 7u);
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(EnvKnobTest, ValidValuesParse) {
+  EXPECT_EQ(common::ParsePositiveKnob("ML4DB_X", "1", 7), 1u);
+  EXPECT_EQ(common::ParsePositiveKnob("ML4DB_X", "4096", 7), 4096u);
+  EXPECT_EQ(common::ParsePositiveKnob("ML4DB_X", "18446744073709551615", 7),
+            18446744073709551615ull);
+}
+
+TEST(EnvKnobTest, GarbageFallsBackWithWarning) {
+  const char* kGarbage[] = {"abc", "3x",  "x3",    "0",  "-2",
+                            "+3",  " 3",  "3 ",    "",   "0x10",
+                            "1e3", "3.5", "99999999999999999999"};
+  for (const char* value : kGarbage) {
+    if (*value == '\0') continue;  // empty is the silent case above
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(common::ParsePositiveKnob("ML4DB_TEST_KNOB", value, 42), 42u)
+        << value;
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("ML4DB_TEST_KNOB"), std::string::npos) << value;
+    EXPECT_NE(err.find("WARN"), std::string::npos) << value;
+  }
+}
+
+TEST(EnvKnobTest, ReadsFromEnvironment) {
+  ::setenv("ML4DB_TEST_ENV_KNOB", "123", 1);
+  EXPECT_EQ(common::PositiveKnobFromEnv("ML4DB_TEST_ENV_KNOB", 7), 123u);
+  ::setenv("ML4DB_TEST_ENV_KNOB", "bogus", 1);
+  EXPECT_EQ(common::PositiveKnobFromEnv("ML4DB_TEST_ENV_KNOB", 7), 7u);
+  ::unsetenv("ML4DB_TEST_ENV_KNOB");
+  EXPECT_EQ(common::PositiveKnobFromEnv("ML4DB_TEST_ENV_KNOB", 7), 7u);
 }
 
 }  // namespace

@@ -522,6 +522,122 @@ TEST_F(EngineE2eTest, RunBatchReportsPerQueryFailures) {
   }
 }
 
+// Builds a query + plan pair that fails at execution time: an IndexScan
+// forced onto an attribute column that has no index (the planner never
+// emits this; it models a plan gone stale after schema change).
+std::pair<Query, PhysicalPlan> MakeDoomedIndexScan(
+    const Database& db, const SyntheticSchema& schema) {
+  Query bad;
+  bad.tables = {schema.table_names[0]};
+  FilterPredicate f;
+  f.table_slot = 0;
+  f.column = schema.attr_columns[0][0];
+  f.op = CompareOp::kLe;
+  f.value = static_cast<double>(schema.attr_domain);
+  bad.filters = {f};
+  auto plan = db.Plan(bad);
+  EXPECT_TRUE(plan.ok());
+  EXPECT_TRUE(db.catalog()
+                  .GetTable(schema.table_names[0])
+                  .ok());
+  EXPECT_FALSE((*db.catalog().GetTable(schema.table_names[0]))
+                   ->HasIndex(f.column))
+      << "attr column unexpectedly indexed; test premise broken";
+  plan->root->op = PlanOp::kIndexScan;
+  plan->root->index_filter = 0;
+  return {std::move(bad), std::move(*plan)};
+}
+
+TEST_F(EngineE2eTest, ExecuteBatchFailingSlotDoesNotPoisonSiblings) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 2;
+  qopts.max_tables = 3;
+  qopts.seed = 37;
+  QueryGenerator gen(&schema_, qopts);
+  std::vector<Query> queries = gen.Batch(7);
+
+  std::vector<uint64_t> expected;
+  for (const Query& q : queries) {
+    auto r = db_.Run(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(r->count);
+  }
+
+  auto doomed = MakeDoomedIndexScan(db_, schema_);
+
+  // Interleave the poisoned slot in the middle of healthy work.
+  std::vector<PhysicalPlan> plans;
+  plans.reserve(queries.size());
+  std::vector<Executor::BatchQuery> batch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = db_.Plan(queries[i]);
+    ASSERT_TRUE(plan.ok());
+    plans.push_back(std::move(*plan));
+    if (i == 3) batch.push_back({&doomed.first, &doomed.second});
+    batch.push_back({&queries[i], &plans[i]});
+  }
+
+  common::ThreadPool pool(2);
+  std::vector<obs::QueryTrace> traces;
+  const auto results = db_.executor().ExecuteBatch(batch, {}, &traces, &pool);
+  ASSERT_EQ(results.size(), batch.size());
+  ASSERT_EQ(traces.size(), batch.size());
+  size_t qi = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (batch[i].query == &doomed.first) {
+      EXPECT_FALSE(results[i].ok());
+      EXPECT_EQ(results[i].status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok())
+        << "sibling " << i << " poisoned: " << results[i].status().ToString();
+    EXPECT_EQ(results[i]->count, expected[qi]) << "slot " << i;
+    if (obs::ObsEnabled()) {
+      // The sibling's spans must have closed with actuals despite the
+      // failure elsewhere in the batch.
+      ASSERT_FALSE(traces[i].spans.empty()) << "slot " << i;
+      EXPECT_GT(traces[i].spans.back().actual_cost, 0.0);
+    }
+    ++qi;
+  }
+}
+
+TEST_F(EngineE2eTest, ExecuteBatchFailuresDoNotLeakPoolSlots) {
+  QueryGenOptions qopts;
+  qopts.min_tables = 1;
+  qopts.max_tables = 2;
+  qopts.seed = 41;
+  QueryGenerator gen(&schema_, qopts);
+  std::vector<Query> queries = gen.Batch(3);
+
+  auto doomed = MakeDoomedIndexScan(db_, schema_);
+
+  common::ThreadPool pool(2);
+  // Many consecutive failing batches: if a failure path held a pool slot,
+  // the pool would wedge long before the loop finishes.
+  for (int round = 0; round < 25; ++round) {
+    std::vector<PhysicalPlan> plans;
+    plans.reserve(queries.size());
+    std::vector<Executor::BatchQuery> batch;
+    batch.push_back({&doomed.first, &doomed.second});
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto plan = db_.Plan(queries[i]);
+      ASSERT_TRUE(plan.ok());
+      plans.push_back(std::move(*plan));
+      batch.push_back({&queries[i], &plans[i]});
+    }
+    const auto results = db_.executor().ExecuteBatch(batch, {}, nullptr, &pool);
+    ASSERT_EQ(results.size(), batch.size());
+    EXPECT_FALSE(results[0].ok());
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].ok()) << results[i].status().ToString();
+    }
+  }
+  // The pool still takes and finishes fresh work.
+  auto f = pool.Submit([] { return 11; });
+  EXPECT_EQ(f.get(), 11);
+}
+
 TEST_F(EngineE2eTest, RunBatchTracesCarryWorkerIds) {
   QueryGenOptions qopts;
   qopts.min_tables = 1;

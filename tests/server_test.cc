@@ -1,0 +1,491 @@
+// Tests for the query-serving front-end: wire protocol round-trips and
+// framing, query-text parsing, admission control, and full client/server
+// integration (correctness vs. direct execution, overload shedding,
+// deadline timeouts, graceful shutdown, concurrent clients).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/query_parser.h"
+#include "server/server.h"
+#include "workload/query_gen.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace server {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+Request MakeRequest() {
+  Request req;
+  req.session_id = 0x1122334455667788ULL;
+  req.request_id = 42;
+  req.deadline_ms = 250;
+  req.query_text = "SELECT COUNT(*) FROM fact t0, dim_0 t1 WHERE t0.c1 = t1.c0";
+  return req;
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const Request req = MakeRequest();
+  const auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == req);
+}
+
+TEST(ProtocolTest, RequestRoundTripEmptyQuery) {
+  Request req;  // all defaults, empty text
+  const auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == req);
+}
+
+TEST(ProtocolTest, OkResponseRoundTrip) {
+  Response resp;
+  resp.request_id = 7;
+  resp.status = ResponseStatus::kOk;
+  resp.count = 12345;
+  resp.latency = 0.625;
+  resp.tuples_flowed = 99999;
+  const auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == resp);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+  for (const ResponseStatus status :
+       {ResponseStatus::kError, ResponseStatus::kOverloaded,
+        ResponseStatus::kTimeout, ResponseStatus::kShuttingDown}) {
+    Response resp;
+    resp.request_id = 9;
+    resp.status = status;
+    resp.error = "detail text";
+    const auto decoded = DecodeResponse(EncodeResponse(resp));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == resp);
+  }
+}
+
+TEST(ProtocolTest, DecodeRejectsWrongTypeTag) {
+  EXPECT_FALSE(DecodeRequest(EncodeResponse(Response{})).ok());
+  EXPECT_FALSE(DecodeResponse(EncodeRequest(Request{})).ok());
+}
+
+TEST(ProtocolTest, DecodeRejectsTruncationAndTrailingBytes) {
+  const std::string payload = EncodeRequest(MakeRequest());
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeRequest(payload.substr(0, n)).ok()) << "len=" << n;
+  }
+  EXPECT_FALSE(DecodeRequest(payload + "x").ok());
+}
+
+TEST(FrameDecoderTest, SplitsConcatenatedFramesFedByteByByte) {
+  const std::string p1 = EncodeRequest(MakeRequest());
+  Request second = MakeRequest();
+  second.request_id = 43;
+  const std::string p2 = EncodeRequest(second);
+  std::string wire;
+  AppendFrame(p1, &wire);
+  AppendFrame(p2, &wire);
+
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  std::string payload;
+  for (const char c : wire) {
+    decoder.Feed(&c, 1);
+    while (true) {
+      const auto got = decoder.Next(&payload);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      out.push_back(payload);
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], p1);
+  EXPECT_EQ(out[1], p2);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, OversizeFrameIsStickyError) {
+  FrameDecoder decoder(/*max_frame=*/16);
+  std::string wire;
+  AppendFrame(std::string(17, 'q'), &wire);
+  decoder.Feed(wire.data(), wire.size());
+  std::string payload;
+  EXPECT_FALSE(decoder.Next(&payload).ok());
+  // Still poisoned even after more (valid-looking) bytes arrive.
+  std::string ok_wire;
+  AppendFrame("tiny", &ok_wire);
+  decoder.Feed(ok_wire.data(), ok_wire.size());
+  EXPECT_FALSE(decoder.Next(&payload).ok());
+}
+
+TEST(FrameDecoderTest, PartialFrameReportsNeedMoreBytes) {
+  std::string wire;
+  AppendFrame(EncodeRequest(MakeRequest()), &wire);
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size() - 1);
+  std::string payload;
+  const auto got = decoder.Next(&payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+  decoder.Feed(wire.data() + wire.size() - 1, 1);
+  const auto got2 = decoder.Next(&payload);
+  ASSERT_TRUE(got2.ok());
+  EXPECT_TRUE(*got2);
+}
+
+// ---------------------------------------------------------------------------
+// Query text parser
+
+TEST(QueryParserTest, RoundTripsGeneratedQueries) {
+  engine::Database db;
+  workload::SchemaGenOptions sopts;
+  sopts.fact_rows = 64;
+  sopts.dim_rows = 16;
+  sopts.seed = 7;
+  const auto schema = workload::BuildSyntheticDb(&db, sopts);
+  ASSERT_TRUE(schema.ok());
+  workload::QueryGenOptions qopts;
+  qopts.seed = 11;
+  workload::QueryGenerator gen(&*schema, qopts);
+  for (int i = 0; i < 200; ++i) {
+    const engine::Query q = gen.Next();
+    const std::string text = q.ToString();
+    const auto parsed = ParseQueryText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+TEST(QueryParserTest, RejectsMalformedText) {
+  const char* kBad[] = {
+      "",
+      "SELECT * FROM fact t0",
+      "SELECT COUNT(*) FROM",
+      "SELECT COUNT(*) FROM fact",             // missing alias
+      "SELECT COUNT(*) FROM fact t1",          // alias out of order
+      "SELECT COUNT(*) FROM fact t0 WHERE",
+      "SELECT COUNT(*) FROM fact t0 WHERE t0.c1 =",
+      "SELECT COUNT(*) FROM fact t0 WHERE t1.c0 = 3",     // bad slot
+      "SELECT COUNT(*) FROM fact t0 WHERE t0.c1 != 3",    // bad operator
+      "SELECT COUNT(*) FROM fact t0 WHERE t0.c1 BETWEEN 1",
+      "SELECT COUNT(*) FROM fact t0 WHERE t0.c1 = banana",
+      "SELECT COUNT(*) FROM fact t0 trailing garbage",
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseQueryText(text).ok()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+PendingQuery MakePending(std::atomic<int>* responses,
+                         ResponseStatus* last = nullptr) {
+  PendingQuery item;
+  item.arrival = Clock::now();
+  item.deadline = Clock::time_point::max();
+  item.respond = [responses, last](const Response& resp) {
+    if (last != nullptr) *last = resp.status;
+    responses->fetch_add(1);
+  };
+  return item;
+}
+
+TEST(AdmissionTest, ShedsWhenQueueFull) {
+  AdmissionOptions opts;
+  opts.max_queue_depth = 2;
+  opts.max_inflight = 2;
+  AdmissionController ac(opts);
+  std::atomic<int> responses{0};
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kAdmitted);
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kAdmitted);
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kShed);
+  EXPECT_EQ(ac.queue_depth(), 2u);
+  EXPECT_EQ(ac.shed_total(), 1u);
+  EXPECT_EQ(ac.admitted_total(), 2u);
+  ac.Stop();
+}
+
+TEST(AdmissionTest, InflightCapCountsExecutingWork) {
+  AdmissionOptions opts;
+  opts.max_queue_depth = 4;
+  opts.max_inflight = 4;
+  AdmissionController ac(opts);
+  std::atomic<int> responses{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kAdmitted);
+  }
+  // Pop everything into "executing": queue empties but in-flight stays 3.
+  const auto batch = ac.NextBatch(/*max_batch=*/8, milliseconds(0));
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(ac.queue_depth(), 0u);
+  EXPECT_EQ(ac.inflight(), 3u);
+  // Only one more slot before the in-flight cap sheds.
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kAdmitted);
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kShed);
+  ac.FinishBatch(batch.size());
+  EXPECT_EQ(ac.inflight(), 1u);
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kAdmitted);
+  ac.Stop();
+}
+
+TEST(AdmissionTest, StopDrainsQueueThenReturnsEmpty) {
+  AdmissionController ac(AdmissionOptions{});
+  std::atomic<int> responses{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kAdmitted);
+  }
+  ac.Stop();
+  EXPECT_EQ(ac.TryEnqueue(MakePending(&responses)), AdmitResult::kStopped);
+  // Already-admitted work must still be handed out after Stop.
+  size_t drained = 0;
+  while (true) {
+    const auto batch = ac.NextBatch(/*max_batch=*/2, milliseconds(0));
+    if (batch.empty()) break;
+    drained += batch.size();
+    ac.FinishBatch(batch.size());
+  }
+  EXPECT_EQ(drained, 5u);
+  EXPECT_EQ(ac.inflight(), 0u);
+}
+
+TEST(AdmissionTest, NextBatchBlocksUntilWorkArrives) {
+  AdmissionController ac(AdmissionOptions{});
+  std::atomic<int> responses{0};
+  std::thread producer([&] {
+    std::this_thread::sleep_for(milliseconds(30));
+    ac.TryEnqueue(MakePending(&responses));
+  });
+  const auto batch = ac.NextBatch(/*max_batch=*/1, milliseconds(0));
+  EXPECT_EQ(batch.size(), 1u);
+  producer.join();
+  ac.FinishBatch(1);
+  ac.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Client/server integration
+
+struct TestServer {
+  engine::Database db;
+  workload::SyntheticSchema schema;
+  std::unique_ptr<Server> server;
+
+  explicit TestServer(ServerOptions opts = {}, uint64_t seed = 3) {
+    workload::SchemaGenOptions sopts;
+    sopts.fact_rows = 500;
+    sopts.dim_rows = 100;
+    sopts.seed = seed;
+    auto built = workload::BuildSyntheticDb(&db, sopts);
+    EXPECT_TRUE(built.ok());
+    schema = std::move(*built);
+    opts.port = 0;  // ephemeral
+    server = std::make_unique<Server>(&db, opts);
+    const Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  workload::QueryGenerator MakeGen(uint64_t seed) {
+    workload::QueryGenOptions qopts;
+    qopts.seed = seed;
+    return workload::QueryGenerator(&schema, qopts);
+  }
+};
+
+TEST(ServerTest, ServedCountsMatchDirectExecution) {
+  TestServer ts;
+  auto gen = ts.MakeGen(21);
+  Client client(/*session_id=*/77);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  for (int i = 0; i < 50; ++i) {
+    const engine::Query q = gen.Next();
+    const auto direct = ts.db.Run(q);
+    ASSERT_TRUE(direct.ok());
+    const auto resp = client.Call(q.ToString(), /*deadline_ms=*/0,
+                                  /*timeout_ms=*/10000);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->status, ResponseStatus::kOk) << resp->error;
+    EXPECT_EQ(resp->count, direct->count) << q.ToString();
+    EXPECT_GT(resp->latency, 0.0);
+  }
+  ts.server->Stop();
+  EXPECT_EQ(ts.server->queries_served(), 50u);
+}
+
+TEST(ServerTest, MalformedQueryGetsErrorWithoutPoisoningConnection) {
+  TestServer ts;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  const auto bad = client.Call("SELECT nonsense", 0, 5000);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, ResponseStatus::kError);
+  EXPECT_FALSE(bad->error.empty());
+  // Unknown table: parses, but the planner rejects it — still kError.
+  const auto missing = client.Call("SELECT COUNT(*) FROM nope t0", 0, 5000);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, ResponseStatus::kError);
+  // The connection keeps working afterwards.
+  auto gen = ts.MakeGen(5);
+  const engine::Query q = gen.Next();
+  const auto good = client.Call(q.ToString(), 0, 10000);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->status, ResponseStatus::kOk) << good->error;
+}
+
+TEST(ServerTest, OversizeFrameClosesConnection) {
+  ServerOptions opts;
+  opts.max_frame_bytes = 64;
+  TestServer ts(opts);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  Request req;
+  req.request_id = 1;
+  req.query_text = std::string(256, 'x');
+  ASSERT_TRUE(client.Send(req).ok());
+  const auto resp = client.Receive(/*timeout_ms=*/5000);
+  EXPECT_FALSE(resp.ok());  // server dropped the connection, no response
+}
+
+TEST(ServerTest, OverloadShedsWithRetryableStatus) {
+  ServerOptions opts;
+  opts.max_queue_depth = 2;
+  opts.max_inflight = 2;
+  opts.batch_max = 1;
+  opts.batch_linger_ms = 50;  // slow the batcher so the queue fills
+  TestServer ts(opts);
+  auto gen = ts.MakeGen(31);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  // Pipeline far more requests than the queue admits.
+  constexpr int kBurst = 32;
+  for (int i = 0; i < kBurst; ++i) {
+    Request req;
+    req.request_id = client.NextRequestId();
+    req.query_text = gen.Next().ToString();
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto resp = client.Receive(/*timeout_ms=*/20000);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    if (resp->status == ResponseStatus::kOk) ++ok;
+    if (resp->status == ResponseStatus::kOverloaded) {
+      ++shed;
+      EXPECT_FALSE(resp->error.empty());
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0);  // bound 2 vs burst 32: must have shed
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ts.server->admission().shed_total(), static_cast<uint64_t>(shed));
+}
+
+TEST(ServerTest, ExpiredDeadlineGetsTimeoutWithoutExecuting) {
+  ServerOptions opts;
+  opts.batch_linger_ms = 150;  // guarantees queue wait > 1ms deadline
+  opts.batch_max = 64;
+  TestServer ts(opts);
+  auto gen = ts.MakeGen(41);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  const auto resp =
+      client.Call(gen.Next().ToString(), /*deadline_ms=*/1, 20000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, ResponseStatus::kTimeout);
+  ts.server->Stop();
+  EXPECT_EQ(ts.server->queries_served(), 0u);  // never executed
+}
+
+TEST(ServerTest, GracefulStopAnswersEveryAdmittedRequest) {
+  ServerOptions opts;
+  opts.batch_linger_ms = 100;  // keep requests queued when Stop lands
+  TestServer ts(opts);
+  auto gen = ts.MakeGen(51);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  constexpr int kPipelined = 8;
+  for (int i = 0; i < kPipelined; ++i) {
+    Request req;
+    req.request_id = client.NextRequestId();
+    req.query_text = gen.Next().ToString();
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    ts.server->Stop();
+  });
+  // Every pipelined request still gets exactly one response: either it was
+  // admitted before Stop (kOk) or rejected by the stopping admission gate
+  // (kShuttingDown). Nothing may be silently dropped.
+  int answered = 0;
+  for (int i = 0; i < kPipelined; ++i) {
+    const auto resp = client.Receive(/*timeout_ms=*/20000);
+    if (!resp.ok()) break;  // server closed after drain — no more coming
+    EXPECT_TRUE(resp->status == ResponseStatus::kOk ||
+                resp->status == ResponseStatus::kShuttingDown)
+        << ResponseStatusName(resp->status);
+    ++answered;
+  }
+  stopper.join();
+  EXPECT_EQ(answered, kPipelined);
+  EXPECT_FALSE(ts.server->running());
+}
+
+TEST(ServerTest, StopIsIdempotentAndStartAfterStopFails) {
+  TestServer ts;
+  ts.server->Stop();
+  ts.server->Stop();  // second call is a no-op
+  EXPECT_FALSE(ts.server->running());
+}
+
+TEST(ServerTest, ConcurrentClientsAllGetCorrectAnswers) {
+  TestServer ts;
+  constexpr int kClients = 4;
+  constexpr int kQueriesEach = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto gen = ts.MakeGen(100 + static_cast<uint64_t>(c));
+      Client client(static_cast<uint64_t>(c));
+      if (!client.Connect("127.0.0.1", ts.server->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kQueriesEach; ++i) {
+        const engine::Query q = gen.Next();
+        const auto direct = ts.db.Run(q);
+        const auto resp = client.Call(q.ToString(), 0, 20000);
+        if (!direct.ok() || !resp.ok() ||
+            resp->status != ResponseStatus::kOk ||
+            resp->count != direct->count) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ts.server->Stop();
+  EXPECT_EQ(ts.server->queries_served(),
+            static_cast<uint64_t>(kClients * kQueriesEach));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ml4db
