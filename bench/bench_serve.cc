@@ -16,8 +16,14 @@
 // Exit code is non-zero when responses were lost or nothing succeeded, so
 // CI smoke fails loudly.
 //
+// With --admin-port the bench also runs a scraper thread that hits the
+// server's admin plane (/metrics, /events, /slow, /readyz) for the whole
+// run — the scrape-while-loaded mode CI uses to prove introspection never
+// destabilizes the serving path.
+//
 //   bench_serve --port 7433 --connections 4 --duration-ms 2000
 //               [--qps 200] [--deadline-ms 1000] [--json]
+//               [--admin-port 7434] [--scrape-interval-ms 250]
 
 #include <algorithm>
 #include <atomic>
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "server/admin.h"
 #include "server/client.h"
 #include "workload/query_gen.h"
 #include "workload/schema_gen.h"
@@ -46,7 +53,48 @@ struct Flags {
   uint32_t deadline_ms = 1000;
   int dims = 4;
   uint64_t seed = 42;
+  int admin_port = 0;  // > 0 enables the scrape-while-loaded thread
+  int scrape_interval_ms = 250;
 };
+
+struct ScrapeTally {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> bytes{0};  ///< total /metrics payload bytes
+};
+
+/// Hammers the admin plane while the load workers run: proves a scraper
+/// can't destabilize serving and gives sanitizer builds a concurrent
+/// exercise of the exposition path.
+void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
+                  ScrapeTally* tally) {
+  static const char* kTargets[] = {"/metrics", "/events?n=32", "/slow",
+                                   "/readyz"};
+  static obs::Histogram* scrape_us =
+      obs::GetHistogram("ml4db.serve.scrape_latency_us");
+  size_t i = 0;
+  while (!stop->load(std::memory_order_acquire)) {
+    const char* target = kTargets[i++ % 4];
+    const Clock::time_point t0 = Clock::now();
+    const auto result = server::HttpGet(flags.host, flags.admin_port, target);
+    if (result.ok() && result->status_code < 500) {
+      tally->ok.fetch_add(1);
+      if (std::strcmp(target, "/metrics") == 0) {
+        tally->bytes.fetch_add(result->body.size());
+      }
+    } else if (result.ok() && result->status_code == 503) {
+      tally->ok.fetch_add(1);  // draining /readyz is a valid answer
+    } else {
+      tally->failed.fetch_add(1);
+    }
+    scrape_us->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count()));
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.scrape_interval_ms));
+  }
+}
 
 struct Tally {
   std::atomic<uint64_t> sent{0};
@@ -212,6 +260,8 @@ int main(int argc, char** argv) {
     else if (arg == "--deadline-ms") flags.deadline_ms = static_cast<uint32_t>(std::atoi(value()));
     else if (arg == "--dims") flags.dims = std::atoi(value());
     else if (arg == "--seed") flags.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--admin-port") flags.admin_port = std::atoi(value());
+    else if (arg == "--scrape-interval-ms") flags.scrape_interval_ms = std::max(std::atoi(value()), 1);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -254,7 +304,17 @@ int main(int argc, char** argv) {
                            std::move(gen), &tally);
     }
   }
+  ScrapeTally scrapes;
+  std::atomic<bool> stop_scraper{false};
+  std::thread scraper;
+  if (flags.admin_port > 0) {
+    scraper = std::thread(ScrapeWorker, flags, &stop_scraper, &scrapes);
+  }
   for (auto& w : workers) w.join();
+  if (scraper.joinable()) {
+    stop_scraper.store(true, std::memory_order_release);
+    scraper.join();
+  }
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
@@ -270,6 +330,11 @@ int main(int argc, char** argv) {
   obs::GetCounter("ml4db.serve.shed_total")->Inc(tally.shed.load());
   obs::GetCounter("ml4db.serve.timeout_total")->Inc(tally.timeout.load());
   obs::GetCounter("ml4db.serve.lost_total")->Inc(tally.lost.load());
+  if (flags.admin_port > 0) {
+    obs::GetCounter("ml4db.serve.scrapes_ok")->Inc(scrapes.ok.load());
+    obs::GetCounter("ml4db.serve.scrapes_failed")->Inc(scrapes.failed.load());
+    obs::GetCounter("ml4db.serve.scrape_bytes")->Inc(scrapes.bytes.load());
+  }
 
   const auto lat = LatencyHist()->Snapshot();
   bench::PrintHeader("query serving under load");
@@ -287,7 +352,20 @@ int main(int argc, char** argv) {
                 std::to_string(tally.lost.load()), bench::Fmt(lat.p50, 0),
                 bench::Fmt(lat.p95, 0), bench::Fmt(lat.p99, 0)});
   table.Print();
+  if (flags.admin_port > 0) {
+    bench::Table scrape_table({"scrapes_ok", "scrapes_failed", "metrics_kb"});
+    scrape_table.AddRow(
+        {std::to_string(scrapes.ok.load()),
+         std::to_string(scrapes.failed.load()),
+         bench::Fmt(static_cast<double>(scrapes.bytes.load()) / 1024.0, 1)});
+    scrape_table.Print();
+  }
 
+  if (flags.admin_port > 0 && scrapes.ok.load() == 0) {
+    std::fprintf(stderr,
+                 "bench_serve: FAIL — admin plane never answered a scrape\n");
+    return 1;
+  }
   if (tally.transport.load() > 0) {
     std::fprintf(stderr, "bench_serve: %llu transport errors\n",
                  static_cast<unsigned long long>(tally.transport.load()));

@@ -167,6 +167,18 @@ def validate(doc, require_histogram=False, require_event=False,
     _ensure(isinstance(doc.get("events_dropped"), int)
             and doc["events_dropped"] >= 0,
             "events_dropped must be a non-negative integer")
+    for field in ("events_published", "events_capacity"):
+        _ensure(isinstance(doc.get(field), int) and doc[field] >= 0,
+                f"{field} must be a non-negative integer")
+    # Ring accounting: every retained or dropped event was published, and
+    # the ring never retains more than its capacity.
+    _ensure(doc["events_published"] >= len(events) + doc["events_dropped"],
+            f"events_published ({doc['events_published']}) < retained "
+            f"({len(events)}) + dropped ({doc['events_dropped']})")
+    if doc["events_capacity"] > 0:
+        _ensure(len(events) <= doc["events_capacity"],
+                f"{len(events)} events retained but capacity is "
+                f"{doc['events_capacity']}")
 
     tables = doc.get("tables")
     _ensure(isinstance(tables, list), "tables must be a list")

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (format 0.0.4) scrape body.
+
+Usage:
+  check_prom_text.py FILE [flags]     validate a saved scrape (- = stdin)
+
+Flags:
+  --require NAME        fail unless metric family NAME is present
+                        (repeatable; NAME is the sanitized Prometheus name,
+                        e.g. ml4db_server_recent_qps)
+  --require-nonzero NAME  like --require, but at least one sample of the
+                        family must be > 0 (for counters/gauges) or have
+                        _count > 0 (for histograms/summaries)
+  --quiet               print nothing on success
+
+Checks the format contract the admin plane's /metrics endpoint promises
+(DESIGN.md "Live introspection plane"):
+  - every sample line parses as `name{labels} value`
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - every family has exactly one `# TYPE` line, before its samples
+  - histogram families: cumulative non-decreasing buckets ending at
+    le="+Inf", +Inf bucket count == `_count`, and `_sum` present
+  - summary families: quantile samples plus `_sum`/`_count`
+  - no duplicate (name, labels) sample
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class PromError(Exception):
+    pass
+
+
+def _parse_value(text, ctx):
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PromError(f"{ctx}: unparseable sample value {text!r}")
+
+
+def _parse_labels(raw, ctx):
+    if raw is None or raw == "":
+        return ()
+    labels = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if m is None:
+            raise PromError(f"{ctx}: bad label syntax at {raw[pos:]!r}")
+        labels.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise PromError(f"{ctx}: expected ',' in labels at "
+                                f"{raw[pos:]!r}")
+            pos += 1
+    return tuple(labels)
+
+
+def _family(name):
+    """Strips the histogram/summary sample suffix to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(text):
+    """Returns (types, samples): declared TYPE per family, and the ordered
+    sample list as (name, labels, value) tuples."""
+    types = {}
+    samples = []
+    seen_keys = set()
+    families_with_samples = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        ctx = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise PromError(f"{ctx}: malformed TYPE line: {line!r}")
+                _, _, fam, typ = parts
+                if not NAME_RE.match(fam):
+                    raise PromError(f"{ctx}: bad family name {fam!r}")
+                if typ not in TYPES:
+                    raise PromError(f"{ctx}: unknown type {typ!r}")
+                if fam in types:
+                    raise PromError(f"{ctx}: duplicate TYPE for {fam!r}")
+                if fam in families_with_samples:
+                    raise PromError(
+                        f"{ctx}: TYPE for {fam!r} after its samples")
+                types[fam] = typ
+            continue  # HELP and other comments pass through
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            raise PromError(f"{ctx}: unparseable sample line: {line!r}")
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            raise PromError(f"{ctx}: bad metric name {name!r}")
+        labels = _parse_labels(m.group("labels"), ctx)
+        value = _parse_value(m.group("value"), ctx)
+        key = (name, labels)
+        if key in seen_keys:
+            raise PromError(f"{ctx}: duplicate sample {name}{dict(labels)}")
+        seen_keys.add(key)
+        fam = _family(name) if _family(name) in types else name
+        families_with_samples.add(fam)
+        samples.append((name, labels, value))
+    return types, samples
+
+
+def _check_histogram(fam, samples):
+    buckets = []  # (le, value) in document order
+    count = None
+    total = None
+    for name, labels, value in samples:
+        if name == fam + "_bucket":
+            le = dict(labels).get("le")
+            if le is None:
+                raise PromError(f"{fam}: _bucket sample without le label")
+            buckets.append((_parse_value(le, f"{fam} le"), value))
+        elif name == fam + "_count":
+            count = value
+        elif name == fam + "_sum":
+            total = value
+    if not buckets:
+        raise PromError(f"{fam}: histogram with no _bucket samples")
+    if count is None or total is None:
+        raise PromError(f"{fam}: histogram missing _count or _sum")
+    prev_le, prev_v = -math.inf, 0.0
+    for le, v in buckets:
+        if le <= prev_le:
+            raise PromError(f"{fam}: bucket bounds not ascending at le={le}")
+        if v < prev_v:
+            raise PromError(
+                f"{fam}: cumulative bucket counts decreased at le={le}")
+        prev_le, prev_v = le, v
+    if not math.isinf(buckets[-1][0]):
+        raise PromError(f"{fam}: last bucket must be le=\"+Inf\"")
+    if buckets[-1][1] != count:
+        raise PromError(f"{fam}: +Inf bucket ({buckets[-1][1]}) != "
+                        f"_count ({count})")
+
+
+def _check_summary(fam, samples):
+    has_quantile = False
+    count = None
+    total = None
+    for name, labels, value in samples:
+        if name == fam and "quantile" in dict(labels):
+            q = float(dict(labels)["quantile"])
+            if not 0.0 <= q <= 1.0:
+                raise PromError(f"{fam}: quantile {q} outside [0, 1]")
+            has_quantile = True
+        elif name == fam + "_count":
+            count = value
+        elif name == fam + "_sum":
+            total = value
+    if not has_quantile:
+        raise PromError(f"{fam}: summary with no quantile samples")
+    if count is None or total is None:
+        raise PromError(f"{fam}: summary missing _count or _sum")
+
+
+def validate(text, require=(), require_nonzero=()):
+    types, samples = parse(text)
+    by_family = {}
+    for name, labels, value in samples:
+        fam = _family(name) if _family(name) in types else name
+        by_family.setdefault(fam, []).append((name, labels, value))
+
+    for fam, typ in types.items():
+        fam_samples = by_family.get(fam, [])
+        if not fam_samples:
+            raise PromError(f"{fam}: TYPE declared but no samples")
+        if typ == "histogram":
+            _check_histogram(fam, fam_samples)
+        elif typ == "summary":
+            _check_summary(fam, fam_samples)
+
+    for fam in by_family:
+        if fam not in types:
+            raise PromError(f"{fam}: samples without a TYPE line")
+
+    for fam in require:
+        if fam not in by_family:
+            raise PromError(f"--require: metric family {fam!r} not found")
+    for fam in require_nonzero:
+        fam_samples = by_family.get(fam)
+        if not fam_samples:
+            raise PromError(
+                f"--require-nonzero: metric family {fam!r} not found")
+        if types.get(fam) in ("histogram", "summary"):
+            ok = any(name == fam + "_count" and value > 0
+                     for name, _, value in fam_samples)
+        else:
+            ok = any(value > 0 for _, _, value in fam_samples)
+        if not ok:
+            raise PromError(
+                f"--require-nonzero: every {fam!r} sample is zero")
+    return types, samples
+
+
+def main(argv):
+    args = list(argv[1:])
+    require = []
+    require_nonzero = []
+    quiet = False
+    paths = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--require":
+            i += 1
+            require.append(args[i])
+        elif a == "--require-nonzero":
+            i += 1
+            require_nonzero.append(args[i])
+        elif a == "--quiet":
+            quiet = True
+        else:
+            paths.append(a)
+        i += 1
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if paths[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(paths[0], "r", encoding="utf-8") as f:
+            text = f.read()
+    try:
+        types, samples = validate(text, require, require_nonzero)
+    except PromError as e:
+        print(f"FAIL [{paths[0]}]: {e}", file=sys.stderr)
+        return 1
+    if not quiet:
+        histos = sum(1 for t in types.values() if t == "histogram")
+        summaries = sum(1 for t in types.values() if t == "summary")
+        print(f"OK [{paths[0]}]: families={len(types)} samples={len(samples)} "
+              f"histograms={histos} summaries={summaries}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

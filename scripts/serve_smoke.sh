@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# End-to-end smoke of the query-serving front-end:
-#   1. start ml4db_server on an ephemeral port (small synthetic db),
-#   2. drive it with bench_serve (closed-loop, ~2s) and require zero lost
-#      responses,
-#   3. validate both JSON exports against the bench schema
+# End-to-end smoke of the query-serving front-end and its admin plane:
+#   1. start ml4db_server on ephemeral query + admin ports (small db),
+#   2. probe /healthz and /readyz, then drive the server with bench_serve
+#      (closed-loop, ~2s, scraping the admin plane for the whole run) and
+#      require zero lost responses,
+#   3. validate a /metrics scrape against the Prometheus text contract
+#      (check_prom_text.py) and /slow against the stage-attribution
+#      contract (queue_wait/optimize/execute breakdown),
+#   4. validate both JSON exports against the bench schema
 #      (--require-server on the server side),
-#   4. SIGTERM the server and require a clean drain and exit code 0.
+#   5. SIGTERM the server: /readyz must flip away from 200 during the
+#      drain, and the process must exit 0.
 #
 # Usage: serve_smoke.sh BUILD_DIR [DURATION_MS]
 # Runs under ASan in CI, so a leak or race in the shutdown path fails here.
@@ -17,6 +22,8 @@ REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 SERVER="$BUILD_DIR/bin/ml4db_server"
 BENCH="$BUILD_DIR/bench/bench_serve"
 CHECK="$REPO_ROOT/scripts/check_bench_json.py"
+CHECK_PROM="$REPO_ROOT/scripts/check_prom_text.py"
+CURL="curl -sS -m 10"
 
 WORK_DIR=$(mktemp -d -t serve_smoke.XXXXXX)
 SERVER_PID=
@@ -29,14 +36,17 @@ cleanup() {
 trap cleanup EXIT
 
 PORT_FILE="$WORK_DIR/port"
+ADMIN_PORT_FILE="$WORK_DIR/admin_port"
 "$SERVER" --port 0 --port-file "$PORT_FILE" \
+  --admin-port 0 --admin-port-file "$ADMIN_PORT_FILE" \
   --fact-rows 4000 --dim-rows 500 \
   --json "$WORK_DIR/server.json" >"$WORK_DIR/server.log" 2>&1 &
 SERVER_PID=$!
 
-# Wait for the port file (the server writes it once it is listening).
+# Wait for the port files (the server writes them once it is listening;
+# the admin port lands last, after the query listener).
 for _ in $(seq 1 100); do
-  [[ -s "$PORT_FILE" ]] && break
+  [[ -s "$PORT_FILE" && -s "$ADMIN_PORT_FILE" ]] && break
   if ! kill -0 "$SERVER_PID" 2>/dev/null; then
     echo "FAIL: server died during startup" >&2
     cat "$WORK_DIR/server.log" >&2
@@ -45,11 +55,71 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -s "$PORT_FILE" ]] || { echo "FAIL: server never bound a port" >&2; exit 1; }
+[[ -s "$ADMIN_PORT_FILE" ]] || { echo "FAIL: admin plane never bound" >&2; exit 1; }
 PORT=$(cat "$PORT_FILE")
-echo "serve_smoke: server pid=$SERVER_PID port=$PORT"
+ADMIN_PORT=$(cat "$ADMIN_PORT_FILE")
+echo "serve_smoke: server pid=$SERVER_PID port=$PORT admin=$ADMIN_PORT"
+
+# Liveness and readiness before any load.
+[[ "$($CURL "http://127.0.0.1:$ADMIN_PORT/healthz")" == "ok" ]] || {
+  echo "FAIL: /healthz did not answer ok" >&2; exit 1; }
+READY_CODE=$($CURL -o /dev/null -w '%{http_code}' \
+  "http://127.0.0.1:$ADMIN_PORT/readyz")
+[[ "$READY_CODE" == "200" ]] || {
+  echo "FAIL: /readyz returned $READY_CODE before shutdown" >&2; exit 1; }
 
 "$BENCH" --port "$PORT" --connections 4 --duration-ms "$DURATION_MS" \
+  --admin-port "$ADMIN_PORT" --scrape-interval-ms 100 \
   --json "$WORK_DIR/serve.json"
+
+# Scrape under (residual) load and validate the Prometheus contract. The
+# windowed instruments and slow-query requirements only hold when the
+# server was built with observability on — ml4db_build_info says which.
+$CURL "http://127.0.0.1:$ADMIN_PORT/metrics" >"$WORK_DIR/metrics.prom"
+if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
+  python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" \
+    --require-nonzero ml4db_server_recent_qps \
+    --require-nonzero ml4db_server_recent_request_latency_us \
+    --require-nonzero ml4db_server_request_latency_us \
+    --require-nonzero ml4db_server_queue_wait_us \
+    --require ml4db_build_info \
+    --require-nonzero ml4db_uptime_seconds
+  $CURL "http://127.0.0.1:$ADMIN_PORT/slow" >"$WORK_DIR/slow.json"
+  python3 - "$WORK_DIR/slow.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+entries = doc["entries"]
+assert entries, "/slow returned no entries after a loaded run"
+assert len(entries) <= doc["k"], f"{len(entries)} entries exceed k={doc['k']}"
+assert doc["considered"] >= len(entries), "considered < retained"
+totals = [e["total_us"] for e in entries]
+assert totals == sorted(totals, reverse=True), "entries not slowest-first"
+# A stage's cost is its own latency or its subtree cost (the execute root
+# carries the plan's priced cost in actual_cost, latency 0 by contract).
+stages = {}
+for e in entries:
+    for s in e["trace"]["spans"]:
+        cost = max(s.get("latency", 0), s.get("actual_cost", 0))
+        stages[s["name"]] = max(stages.get(s["name"], 0), cost)
+for stage in ("queue_wait", "optimize", "execute"):
+    assert stage in stages, f"slow trace missing {stage} stage"
+    assert stages[stage] > 0, f"{stage} stage has zero cost in every entry"
+print(f"slow-query store OK: {len(entries)} entries, "
+      f"threshold={doc['threshold_us']:.1f}us")
+PYEOF
+  $CURL "http://127.0.0.1:$ADMIN_PORT/events?n=16" >"$WORK_DIR/events.json"
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); \
+assert isinstance(d["events"], list) and d["capacity"] > 0' \
+    "$WORK_DIR/events.json"
+else
+  # ML4DB_OBS_DISABLED: /metrics still serves build info + uptime.
+  python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" --require ml4db_build_info
+fi
+# Unknown endpoints 404 rather than crash or hang.
+NOT_FOUND=$($CURL -o /dev/null -w '%{http_code}' \
+  "http://127.0.0.1:$ADMIN_PORT/nope")
+[[ "$NOT_FOUND" == "404" ]] || {
+  echo "FAIL: unknown admin endpoint returned $NOT_FOUND" >&2; exit 1; }
 
 # Overload burst: open-loop far above capacity with a small queue is the
 # load-shedding path; bench_serve still exits 0 because sheds are answered.
@@ -57,7 +127,23 @@ echo "serve_smoke: server pid=$SERVER_PID port=$PORT"
   --qps 50000 --deadline-ms 1000
 
 # Graceful shutdown: SIGTERM must drain and exit 0 (ASan adds leak checks).
+# Readiness must flip away from 200 while draining — before the admin
+# listener closes — so a load balancer stops sending first. Any answer the
+# admin plane still gives must be 503; once it is gone, connection-refused
+# (curl exit 7) is also a pass. A lingering 200 is the bug.
 kill -TERM "$SERVER_PID"
+READY_FLIPPED=
+for _ in $(seq 1 50); do
+  CODE=$($CURL -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$ADMIN_PORT/readyz" 2>/dev/null) || CODE=refused
+  if [[ "$CODE" == "503" || "$CODE" == "refused" || "$CODE" == "000" ]]; then
+    READY_FLIPPED=yes
+    break
+  fi
+  sleep 0.1
+done
+[[ -n "$READY_FLIPPED" ]] || {
+  echo "FAIL: /readyz still 200 during drain" >&2; exit 1; }
 SERVER_STATUS=0
 wait "$SERVER_PID" || SERVER_STATUS=$?
 SERVER_PID=

@@ -3,6 +3,7 @@
 #include "common/stopwatch.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 
 namespace ml4db {
 namespace drift {
@@ -43,6 +44,9 @@ void RetrainScheduler::RunFit(
   }
   const double fit_seconds = sw.ElapsedSeconds();
   const bool ok = !threw && model != nullptr;
+  // Recent retrain activity for the /metrics sliding window: a burst here
+  // with flat recent QPS is the signature of a drift storm.
+  obs::GetWindowedRate("ml4db.drift.recent_retrains")->Inc();
   if (ok) {
     obs::PublishEvent(obs::EventKind::kRetrain, options_.module,
                       "background refit ready: " + label, fit_seconds);

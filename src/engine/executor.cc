@@ -6,6 +6,7 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace ml4db {
 namespace engine {
@@ -113,9 +114,17 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
   static obs::Counter* tuples = obs::GetCounter("ml4db.engine.tuples_flowed");
   static obs::Histogram* latency_hist =
       obs::GetHistogram("ml4db.engine.query_latency");
+  // Windowed twins of the cumulative instruments: recent engine QPS and
+  // recent latency quantiles for the /metrics sliding-window view.
+  static obs::WindowedRate* recent_rate =
+      obs::GetWindowedRate("ml4db.engine.recent_queries");
+  static obs::WindowedHistogram* recent_latency =
+      obs::GetWindowedHistogram("ml4db.engine.recent_query_latency");
   executed->Inc();
   tuples->Inc(out.tuples_flowed);
   latency_hist->Record(latency);
+  recent_rate->Inc();
+  recent_latency->Record(latency);
 
   if (obs::QueryTrace* trace = obs::TraceScope::Current()) {
     obs::TraceSpan root;

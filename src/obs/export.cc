@@ -120,6 +120,13 @@ JsonValue BenchExporter::ToJson() const {
   doc.Set("events", std::move(events));
   doc.Set("events_dropped",
           JsonValue::Number(static_cast<double>(log.dropped())));
+  // Published/capacity make drops interpretable: retained == events.size(),
+  // published >= retained + dropped, and a nonzero dropped with a small
+  // capacity is a sizing problem, not an instrumentation bug.
+  doc.Set("events_published",
+          JsonValue::Number(static_cast<double>(log.total_published())));
+  doc.Set("events_capacity",
+          JsonValue::Number(static_cast<double>(log.capacity())));
 
   JsonValue tables = JsonValue::Array();
   for (const auto& t : tables_) {

@@ -1,0 +1,166 @@
+#include "obs/exposition.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/thread_pool.h"
+
+namespace ml4db {
+namespace obs {
+
+namespace {
+
+// Captured during static initialization, i.e. effectively process start.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+std::string FmtDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string FmtUint(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void AppendTypeLine(std::string* out, const std::string& name,
+                    const char* type) {
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+void AppendHistogram(std::string* out, const HistogramSnapshot& h) {
+  const std::string name = PromSanitizeName(h.name);
+  AppendTypeLine(out, name, "histogram");
+  // Snapshot buckets are per-bucket counts; the exposition format wants
+  // cumulative counts per upper bound, ending at le="+Inf" == _count.
+  uint64_t cumulative = 0;
+  for (const auto& [bound, count] : h.buckets) {
+    cumulative += count;
+    *out += name + "_bucket{le=\"" + FmtDouble(bound) + "\"} " +
+            FmtUint(cumulative) + "\n";
+  }
+  *out += name + "_sum " + FmtDouble(h.sum) + "\n";
+  *out += name + "_count " + FmtUint(h.count) + "\n";
+}
+
+void AppendSummary(std::string* out, const HistogramSnapshot& h) {
+  const std::string name = PromSanitizeName(h.name);
+  AppendTypeLine(out, name, "summary");
+  const std::pair<const char*, double> quantiles[] = {
+      {"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
+  for (const auto& [q, v] : quantiles) {
+    *out += name + "{quantile=\"" + q + "\"} " + FmtDouble(v) + "\n";
+  }
+  *out += name + "_sum " + FmtDouble(h.sum) + "\n";
+  *out += name + "_count " + FmtUint(h.count) + "\n";
+}
+
+}  // namespace
+
+std::string PromSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool digit = c >= '0' && c <= '9';
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || digit;
+    // A digit is legal anywhere but first; keep it and prefix instead.
+    if (digit && i == 0) out += '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> BuildInfoLabels() {
+#ifndef ML4DB_BUILD_GIT_DESCRIBE
+#define ML4DB_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef ML4DB_BUILD_SANITIZE
+#define ML4DB_BUILD_SANITIZE ""
+#endif
+  std::vector<std::pair<std::string, std::string>> labels;
+  labels.emplace_back("version", ML4DB_BUILD_GIT_DESCRIBE);
+  labels.emplace_back("obs", ObsEnabled() ? "on" : "off");
+  const std::string sanitize = ML4DB_BUILD_SANITIZE;
+  labels.emplace_back("sanitize", sanitize.empty() ? "none" : sanitize);
+#ifdef NDEBUG
+  labels.emplace_back("build", "release");
+#else
+  labels.emplace_back("build", "debug");
+#endif
+  labels.emplace_back("threads",
+                      FmtUint(common::ThreadPool::Global().size()));
+  return labels;
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+std::string RenderPrometheusText(const RegistrySnapshot& metrics,
+                                 const WindowRegistry::Snapshot& windows) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& c : metrics.counters) {
+    const std::string name = PromSanitizeName(c.name);
+    AppendTypeLine(&out, name, "counter");
+    out += name + " " + FmtUint(c.value) + "\n";
+  }
+  for (const auto& g : metrics.gauges) {
+    const std::string name = PromSanitizeName(g.name);
+    AppendTypeLine(&out, name, "gauge");
+    out += name + " " + FmtDouble(g.value) + "\n";
+  }
+  for (const auto& h : metrics.histograms) AppendHistogram(&out, h);
+  for (const auto& r : windows.rates) {
+    const std::string name = PromSanitizeName(r.name);
+    AppendTypeLine(&out, name, "gauge");
+    out += name + " " + FmtDouble(r.per_second) + "\n";
+  }
+  for (const auto& h : windows.histograms) AppendSummary(&out, h);
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  std::string out =
+      RenderPrometheusText(MetricsRegistry::Global().Snapshot(),
+                           WindowRegistry::Global().SnapshotAll());
+  AppendTypeLine(&out, "ml4db_build_info", "gauge");
+  out += "ml4db_build_info{";
+  bool first = true;
+  for (const auto& [key, value] : BuildInfoLabels()) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + PromEscapeLabelValue(value) + "\"";
+  }
+  out += "} 1\n";
+  AppendTypeLine(&out, "ml4db_uptime_seconds", "gauge");
+  out += "ml4db_uptime_seconds " + FmtDouble(ProcessUptimeSeconds()) + "\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ml4db

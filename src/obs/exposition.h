@@ -1,0 +1,60 @@
+// Prometheus text exposition (format version 0.0.4) rendered from the
+// observability snapshots, for the server's GET /metrics admin endpoint.
+//
+// Mapping:
+//  - Counter            -> `# TYPE n counter`  + one sample
+//  - Gauge              -> `# TYPE n gauge`    + one sample
+//  - Histogram          -> `# TYPE n histogram` + cumulative `n_bucket{le=}`
+//                          series ending in le="+Inf", plus n_sum / n_count
+//  - WindowedRate       -> gauge (events/sec over the sliding window)
+//  - WindowedHistogram  -> `# TYPE n summary` + quantile-labelled samples
+//                          (0.5/0.95/0.99) plus n_sum / n_count — all over
+//                          the window, not the process lifetime
+//
+// Metric names are sanitized (`ml4db.server.qps` -> `ml4db_server_qps`);
+// label values are escaped per the exposition format. The renderer is pure
+// over the passed snapshots, so it compiles identically (and returns the
+// same shape, just empty) under -DML4DB_OBS_DISABLED.
+
+#ifndef ML4DB_OBS_EXPOSITION_H_
+#define ML4DB_OBS_EXPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace ml4db {
+namespace obs {
+
+/// Maps an ml4db metric name onto the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: dots and other illegal characters become
+/// underscores; a leading digit gains an underscore prefix.
+std::string PromSanitizeName(const std::string& name);
+
+/// Escapes a label value for embedding between double quotes:
+/// backslash, double-quote, and newline.
+std::string PromEscapeLabelValue(const std::string& value);
+
+/// Key/value labels identifying this binary: version (git describe baked
+/// in at configure time), obs on/off, sanitizer flags, build type, and the
+/// process-wide thread-pool size.
+std::vector<std::pair<std::string, std::string>> BuildInfoLabels();
+
+/// Seconds since process start (static-initialization time).
+double ProcessUptimeSeconds();
+
+/// Renders the given snapshots. Pure: no global state is consulted.
+std::string RenderPrometheusText(const RegistrySnapshot& metrics,
+                                 const WindowRegistry::Snapshot& windows);
+
+/// Renders the global MetricsRegistry + WindowRegistry, plus the
+/// `ml4db_build_info` info-gauge and `ml4db_uptime_seconds`.
+std::string RenderPrometheusText();
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_EXPOSITION_H_

@@ -1,0 +1,109 @@
+#include "obs/slow_query.h"
+
+#ifndef ML4DB_OBS_DISABLED
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace obs {
+
+namespace {
+
+/// Min-heap order on total_us (ties broken toward evicting older entries).
+bool HeapGreater(const SlowQueryEntry& a, const SlowQueryEntry& b) {
+  if (a.total_us != b.total_us) return a.total_us > b.total_us;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+SlowQueryStore::SlowQueryStore(size_t k) : k_(std::max<size_t>(k, 1)) {}
+
+void SlowQueryStore::Add(QueryTrace trace, double total_us) {
+  considered_.fetch_add(1, std::memory_order_relaxed);
+  // Fast reject: once the store is full, anything at or below the current
+  // K-th slowest cannot enter. threshold_us_ only ever grows, so a stale
+  // read can at worst let a borderline query take the lock and lose there.
+  if (total_us <= threshold_us_.load(std::memory_order_relaxed)) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SlowQueryEntry entry;
+  entry.trace = std::move(trace);
+  entry.total_us = total_us;
+  entry.seq = next_seq_++;
+  if (heap_.size() < k_) {
+    heap_.push_back(std::move(entry));
+    std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+  } else {
+    if (total_us <= heap_.front().total_us) return;  // lost the race
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater);
+    heap_.back() = std::move(entry);
+    std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+  }
+  if (heap_.size() == k_) {
+    threshold_us_.store(heap_.front().total_us, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowQueryEntry> SlowQueryStore::Snapshot() const {
+  std::vector<SlowQueryEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(), [](const SlowQueryEntry& a,
+                                       const SlowQueryEntry& b) {
+    if (a.total_us != b.total_us) return a.total_us > b.total_us;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+size_t SlowQueryStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+JsonValue SlowQueryStore::ToJson() const {
+  const std::vector<SlowQueryEntry> entries = Snapshot();
+  JsonValue o = JsonValue::Object();
+  o.Set("k", JsonValue::Number(static_cast<double>(k_)));
+  o.Set("considered", JsonValue::Number(static_cast<double>(considered())));
+  o.Set("threshold_us", JsonValue::Number(threshold_us()));
+  JsonValue arr = JsonValue::Array();
+  for (const SlowQueryEntry& e : entries) {
+    JsonValue item = JsonValue::Object();
+    item.Set("total_us", JsonValue::Number(e.total_us));
+    item.Set("seq", JsonValue::Number(static_cast<double>(e.seq)));
+    item.Set("trace", e.trace.ToJsonValue());
+    arr.Append(std::move(item));
+  }
+  o.Set("entries", std::move(arr));
+  return o;
+}
+
+std::string SlowQueryStore::ToText() const {
+  std::string out;
+  int rank = 1;
+  for (const SlowQueryEntry& e : Snapshot()) {
+    char header[160];
+    std::snprintf(header, sizeof(header), "#%d %.1fus %s\n", rank++,
+                  e.total_us, e.trace.label.c_str());
+    out += header;
+    out += e.trace.ToText();
+  }
+  return out;
+}
+
+void SlowQueryStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  heap_.clear();
+  threshold_us_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // !ML4DB_OBS_DISABLED

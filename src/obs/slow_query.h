@@ -1,0 +1,111 @@
+// Always-on bounded top-K slow-query store. Every served query's trace
+// (with per-stage attribution: queue-wait, parse, optimize, execute,
+// serialize) is offered to the store; only the K slowest survive. The
+// store backs the admin plane's GET /slow endpoint, dumpable as JSON and
+// as flame-style text.
+//
+// Hot-path contract: Add() is called once per served query. The common
+// case (query faster than the current K-th slowest) is rejected with one
+// relaxed atomic load and no lock; only genuinely slow queries pay the
+// mutex + heap insert. Scrapes (Snapshot/ToJson) copy under the same
+// mutex but never touch the fast-reject path.
+//
+// With -DML4DB_OBS_DISABLED the store compiles to a no-op.
+
+#ifndef ML4DB_OBS_SLOW_QUERY_H_
+#define ML4DB_OBS_SLOW_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+#ifndef ML4DB_OBS_DISABLED
+#include <atomic>
+#include <mutex>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+/// Default K; overridable via the ML4DB_SLOW_QUERY_K env knob (read by the
+/// embedder, not by this class).
+inline constexpr size_t kDefaultSlowQueryK = 32;
+
+struct SlowQueryEntry {
+  QueryTrace trace;
+  double total_us = 0;  ///< end-to-end wall latency (arrival -> response)
+  uint64_t seq = 0;     ///< admission order, for stable tie-breaking
+};
+
+#ifndef ML4DB_OBS_DISABLED
+
+class SlowQueryStore {
+ public:
+  explicit SlowQueryStore(size_t k = kDefaultSlowQueryK);
+
+  /// Offers one finished query. Keeps it only if it ranks among the K
+  /// slowest seen so far. Thread-safe.
+  void Add(QueryTrace trace, double total_us);
+
+  /// Retained entries, slowest first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  size_t capacity() const { return k_; }
+  size_t size() const;
+  uint64_t considered() const {
+    return considered_.load(std::memory_order_relaxed);
+  }
+  /// Minimum latency required to enter the store (0 until it fills).
+  double threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  /// {"k":…,"considered":…,"threshold_us":…,"entries":[{"total_us":…,
+  ///  "seq":…,"trace":{…}}…]} — entries slowest first.
+  JsonValue ToJson() const;
+  /// Flame-style text: one header + QueryTrace::ToText() per entry.
+  std::string ToText() const;
+
+  void Clear();
+
+ private:
+  const size_t k_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> heap_;  // min-heap on total_us
+  std::atomic<double> threshold_us_{0.0};
+  std::atomic<uint64_t> considered_{0};
+  uint64_t next_seq_ = 1;
+};
+
+#else  // ML4DB_OBS_DISABLED
+
+class SlowQueryStore {
+ public:
+  explicit SlowQueryStore(size_t = kDefaultSlowQueryK) {}
+  void Add(QueryTrace, double) {}
+  std::vector<SlowQueryEntry> Snapshot() const { return {}; }
+  size_t capacity() const { return 0; }
+  size_t size() const { return 0; }
+  uint64_t considered() const { return 0; }
+  double threshold_us() const { return 0.0; }
+  JsonValue ToJson() const {
+    JsonValue o = JsonValue::Object();
+    o.Set("k", JsonValue::Number(0));
+    o.Set("considered", JsonValue::Number(0));
+    o.Set("threshold_us", JsonValue::Number(0));
+    o.Set("entries", JsonValue::Array());
+    return o;
+  }
+  std::string ToText() const { return ""; }
+  void Clear() {}
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_SLOW_QUERY_H_

@@ -1,0 +1,304 @@
+#include "obs/window.h"
+
+#ifndef ML4DB_OBS_DISABLED
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace obs {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> DefaultBounds() {
+  return ExponentialBounds(1e-6, 2.0, 47);  // matches MetricsRegistry
+}
+
+/// Quantile over a merged bucket array, interpolated within the containing
+/// bucket and clamped to the observed [lo, hi] — same contract as
+/// Histogram::Quantile.
+double MergedQuantile(const std::vector<double>& bounds,
+                      const std::vector<uint64_t>& buckets, uint64_t n,
+                      double lo, double hi, double q) {
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(n) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    double lower = (i == 0) ? 0.0 : bounds[i - 1];
+    double upper = (i == bounds.size()) ? hi : bounds[i];
+    lower = std::max(lower, std::min(lo, upper));
+    upper = std::min(upper, hi);
+    if (in_bucket == 0 || upper <= lower) return std::min(upper, hi);
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    return lower + frac * (upper - lower);
+  }
+  return hi;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WindowedRate
+
+WindowedRate::WindowedRate(std::string name,
+                           std::chrono::milliseconds epoch_length,
+                           size_t num_epochs)
+    : name_(std::move(name)),
+      epoch_length_(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(epoch_length)),
+      origin_(Clock::now()),
+      slots_(std::max<size_t>(num_epochs, 2)) {
+  ML4DB_CHECK(epoch_length.count() > 0);
+  slots_[0].id.store(0, std::memory_order_relaxed);
+}
+
+int64_t WindowedRate::EpochIndex(Clock::time_point now) const {
+  if (now <= origin_) return 0;
+  return (now - origin_) / epoch_length_;
+}
+
+void WindowedRate::AdvanceTo(int64_t target) {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  int64_t cur = current_.load(std::memory_order_relaxed);
+  if (cur >= target) return;
+  // Only the last num_epochs slots matter; skip straight past older ones.
+  const int64_t n = static_cast<int64_t>(slots_.size());
+  for (int64_t id = std::max(cur + 1, target - n + 1); id <= target; ++id) {
+    Slot& slot = slots_[static_cast<size_t>(id % n)];
+    // Invalidate before clearing so a concurrent reader never merges a
+    // half-cleared slot under the new id.
+    slot.id.store(-1, std::memory_order_release);
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.id.store(id, std::memory_order_release);
+  }
+  current_.store(target, std::memory_order_release);
+}
+
+void WindowedRate::IncAt(Clock::time_point now, uint64_t delta) {
+  const int64_t target = EpochIndex(now);
+  if (target > current_.load(std::memory_order_acquire)) AdvanceTo(target);
+  Slot& slot = slots_[static_cast<size_t>(target % slots_.size())];
+  // A concurrent far-future rotation may have recycled the slot; dropping
+  // the event is the correct approximation (it belongs to a dead epoch).
+  if (slot.id.load(std::memory_order_acquire) == target) {
+    slot.count.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+double WindowedRate::CoveredSeconds(Clock::time_point now,
+                                    int64_t current) const {
+  // The window covers the completed epochs plus the live fraction of the
+  // current one, but never more wall time than has actually elapsed.
+  const auto window_start = origin_ + (current - static_cast<int64_t>(
+                                                     slots_.size()) +
+                                       1) *
+                                          epoch_length_;
+  const auto covered = now - std::max(origin_, window_start);
+  return std::max(std::chrono::duration<double>(covered).count(), 0.0);
+}
+
+WindowedRateSnapshot WindowedRate::SnapshotAt(Clock::time_point now) {
+  const int64_t target = EpochIndex(now);
+  if (target > current_.load(std::memory_order_acquire)) AdvanceTo(target);
+  WindowedRateSnapshot s;
+  s.name = name_;
+  const int64_t oldest = target - static_cast<int64_t>(slots_.size()) + 1;
+  for (const Slot& slot : slots_) {
+    const int64_t id = slot.id.load(std::memory_order_acquire);
+    if (id < oldest || id > target) continue;
+    s.count += slot.count.load(std::memory_order_relaxed);
+  }
+  s.window_seconds = CoveredSeconds(now, target);
+  s.per_second = s.window_seconds > 0
+                     ? static_cast<double>(s.count) / s.window_seconds
+                     : 0.0;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram
+
+WindowedHistogram::WindowedHistogram(std::string name,
+                                     std::chrono::milliseconds epoch_length,
+                                     size_t num_epochs,
+                                     std::vector<double> upper_bounds)
+    : name_(std::move(name)),
+      bounds_(upper_bounds.empty() ? DefaultBounds()
+                                   : std::move(upper_bounds)),
+      epoch_length_(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(epoch_length)),
+      origin_(Clock::now()),
+      slots_(std::max<size_t>(num_epochs, 2)) {
+  ML4DB_CHECK(epoch_length.count() > 0);
+  ML4DB_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "windowed histogram bounds must be ascending");
+  for (Slot& slot : slots_) {
+    slot.buckets = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) slot.buckets[i] = 0;
+    slot.min.store(std::numeric_limits<double>::infinity());
+    slot.max.store(-std::numeric_limits<double>::infinity());
+  }
+  slots_[0].id.store(0, std::memory_order_relaxed);
+}
+
+int64_t WindowedHistogram::EpochIndex(Clock::time_point now) const {
+  if (now <= origin_) return 0;
+  return (now - origin_) / epoch_length_;
+}
+
+void WindowedHistogram::AdvanceTo(int64_t target) {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  int64_t cur = current_.load(std::memory_order_relaxed);
+  if (cur >= target) return;
+  const int64_t n = static_cast<int64_t>(slots_.size());
+  for (int64_t id = std::max(cur + 1, target - n + 1); id <= target; ++id) {
+    Slot& slot = slots_[static_cast<size_t>(id % n)];
+    slot.id.store(-1, std::memory_order_release);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slot.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0.0, std::memory_order_relaxed);
+    slot.min.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    slot.max.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    slot.id.store(id, std::memory_order_release);
+  }
+  current_.store(target, std::memory_order_release);
+}
+
+void WindowedHistogram::RecordAt(Clock::time_point now, double v) {
+  const int64_t target = EpochIndex(now);
+  if (target > current_.load(std::memory_order_acquire)) AdvanceTo(target);
+  Slot& slot = slots_[static_cast<size_t>(target % slots_.size())];
+  if (slot.id.load(std::memory_order_acquire) != target) return;
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  slot.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&slot.sum, v);
+  AtomicMin(&slot.min, v);
+  AtomicMax(&slot.max, v);
+}
+
+HistogramSnapshot WindowedHistogram::SnapshotAt(Clock::time_point now) {
+  const int64_t target = EpochIndex(now);
+  if (target > current_.load(std::memory_order_acquire)) AdvanceTo(target);
+  HistogramSnapshot s;
+  s.name = name_;
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const int64_t oldest = target - static_cast<int64_t>(slots_.size()) + 1;
+  for (const Slot& slot : slots_) {
+    const int64_t id = slot.id.load(std::memory_order_acquire);
+    if (id < oldest || id > target) continue;
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      merged[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    s.count += slot.count.load(std::memory_order_relaxed);
+    s.sum += slot.sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, slot.min.load(std::memory_order_relaxed));
+    hi = std::max(hi, slot.max.load(std::memory_order_relaxed));
+  }
+  s.min = s.count > 0 ? lo : 0.0;
+  s.max = s.count > 0 ? hi : 0.0;
+  s.p50 = MergedQuantile(bounds_, merged, s.count, lo, hi, 0.50);
+  s.p95 = MergedQuantile(bounds_, merged, s.count, lo, hi, 0.95);
+  s.p99 = MergedQuantile(bounds_, merged, s.count, lo, hi, 0.99);
+  s.buckets.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const double bound = (i == bounds_.size())
+                             ? std::numeric_limits<double>::infinity()
+                             : bounds_[i];
+    s.buckets.emplace_back(bound, merged[i]);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// WindowRegistry
+
+WindowRegistry& WindowRegistry::Global() {
+  // Leaked for the same reason as MetricsRegistry: handles must survive
+  // atexit exporters.
+  static WindowRegistry* registry = new WindowRegistry();
+  return *registry;
+}
+
+WindowedRate* WindowRegistry::GetRate(const std::string& name,
+                                      std::chrono::milliseconds epoch_length,
+                                      size_t num_epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : rates_) {
+    if (r->name() == name) return r.get();
+  }
+  rates_.push_back(
+      std::make_unique<WindowedRate>(name, epoch_length, num_epochs));
+  return rates_.back().get();
+}
+
+WindowedHistogram* WindowRegistry::GetHistogram(
+    const std::string& name, std::chrono::milliseconds epoch_length,
+    size_t num_epochs, std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return h.get();
+  }
+  histograms_.push_back(std::make_unique<WindowedHistogram>(
+      name, epoch_length, num_epochs, std::move(upper_bounds)));
+  return histograms_.back().get();
+}
+
+WindowRegistry::Snapshot WindowRegistry::SnapshotAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.rates.reserve(rates_.size());
+  for (const auto& r : rates_) snap.rates.push_back(r->Snapshot());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) snap.histograms.push_back(h->Snapshot());
+  return snap;
+}
+
+void WindowRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rates_.clear();
+  histograms_.clear();
+}
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // !ML4DB_OBS_DISABLED

@@ -1,0 +1,236 @@
+// Sliding-window instruments for the live introspection plane: the
+// cumulative MetricsRegistry answers "what happened since process start",
+// these answer "what is happening right now". A WindowedRate counts events
+// over N rotating epochs (recent QPS); a WindowedHistogram keeps per-epoch
+// bucket arrays and merges the live epochs into a recent p50/p95/p99.
+//
+// Design:
+//  - Hot-path recording is lock-free (relaxed atomics into the current
+//    epoch's slot); only epoch rotation takes a mutex, and rotation
+//    happens at most once per epoch per instrument.
+//  - Epochs are derived from a steady clock; every mutating/reading entry
+//    point has an explicit-time overload so tests can drive rotation
+//    deterministically.
+//  - Instruments live in the process-wide WindowRegistry so the /metrics
+//    exposition can enumerate them; names follow the registry convention
+//    but must NOT collide with cumulative metric names (use a `recent_`
+//    segment, e.g. `ml4db.server.recent_qps`).
+//  - With -DML4DB_OBS_DISABLED everything compiles to inline no-ops.
+
+#ifndef ML4DB_OBS_WINDOW_H_
+#define ML4DB_OBS_WINDOW_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#ifndef ML4DB_OBS_DISABLED
+#include <atomic>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+/// Point-in-time view of a WindowedRate.
+struct WindowedRateSnapshot {
+  std::string name;
+  uint64_t count = 0;         ///< events inside the window
+  double window_seconds = 0;  ///< wall time the window actually covers
+  double per_second = 0;      ///< count / window_seconds (0 when empty)
+};
+
+/// Default epoch layout: 12 epochs x 5s = a one-minute sliding window.
+inline constexpr std::chrono::milliseconds kDefaultEpochLength{5000};
+inline constexpr size_t kDefaultEpochCount = 12;
+
+#ifndef ML4DB_OBS_DISABLED
+
+/// Event counter over N rotating epochs.
+class WindowedRate {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WindowedRate(std::string name,
+               std::chrono::milliseconds epoch_length = kDefaultEpochLength,
+               size_t num_epochs = kDefaultEpochCount);
+
+  void Inc(uint64_t delta = 1) { IncAt(Clock::now(), delta); }
+  void IncAt(Clock::time_point now, uint64_t delta = 1);
+
+  WindowedRateSnapshot Snapshot() { return SnapshotAt(Clock::now()); }
+  WindowedRateSnapshot SnapshotAt(Clock::time_point now);
+
+  const std::string& name() const { return name_; }
+  size_t num_epochs() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> id{-1};  ///< epoch index occupying this slot
+    std::atomic<uint64_t> count{0};
+  };
+
+  int64_t EpochIndex(Clock::time_point now) const;
+  void AdvanceTo(int64_t target);
+  double CoveredSeconds(Clock::time_point now, int64_t current) const;
+
+  std::string name_;
+  std::chrono::nanoseconds epoch_length_;
+  Clock::time_point origin_;
+  std::vector<Slot> slots_;
+  std::atomic<int64_t> current_{0};
+  std::mutex rotate_mu_;
+};
+
+/// Latency histogram over N rotating epochs. Bucket layout matches the
+/// cumulative Histogram (ExponentialBounds by default); Snapshot() merges
+/// every live epoch and interpolates quantiles the same way.
+class WindowedHistogram {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WindowedHistogram(std::string name,
+                    std::chrono::milliseconds epoch_length = kDefaultEpochLength,
+                    size_t num_epochs = kDefaultEpochCount,
+                    std::vector<double> upper_bounds = {});
+
+  void Record(double v) { RecordAt(Clock::now(), v); }
+  void RecordAt(Clock::time_point now, double v);
+
+  HistogramSnapshot Snapshot() { return SnapshotAt(Clock::now()); }
+  HistogramSnapshot SnapshotAt(Clock::time_point now);
+
+  const std::string& name() const { return name_; }
+  size_t num_epochs() const { return slots_.size(); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> id{-1};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // bounds + overflow
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+  };
+
+  int64_t EpochIndex(Clock::time_point now) const;
+  void AdvanceTo(int64_t target);
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::chrono::nanoseconds epoch_length_;
+  Clock::time_point origin_;
+  std::vector<Slot> slots_;
+  std::atomic<int64_t> current_{0};
+  std::mutex rotate_mu_;
+};
+
+/// Name-keyed registry of windowed instruments, mirroring MetricsRegistry.
+/// Layout parameters are only honored on first registration.
+class WindowRegistry {
+ public:
+  static WindowRegistry& Global();
+
+  WindowedRate* GetRate(
+      const std::string& name,
+      std::chrono::milliseconds epoch_length = kDefaultEpochLength,
+      size_t num_epochs = kDefaultEpochCount);
+  WindowedHistogram* GetHistogram(
+      const std::string& name,
+      std::chrono::milliseconds epoch_length = kDefaultEpochLength,
+      size_t num_epochs = kDefaultEpochCount,
+      std::vector<double> upper_bounds = {});
+
+  struct Snapshot {
+    std::vector<WindowedRateSnapshot> rates;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot SnapshotAll();
+
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<WindowedRate>> rates_;
+  std::vector<std::unique_ptr<WindowedHistogram>> histograms_;
+};
+
+#else  // ML4DB_OBS_DISABLED: identical API, zero cost.
+
+class WindowedRate {
+ public:
+  using Clock = std::chrono::steady_clock;
+  void Inc(uint64_t = 1) {}
+  void IncAt(Clock::time_point, uint64_t = 1) {}
+  WindowedRateSnapshot Snapshot() { return {}; }
+  WindowedRateSnapshot SnapshotAt(Clock::time_point) { return {}; }
+  size_t num_epochs() const { return 0; }
+};
+
+class WindowedHistogram {
+ public:
+  using Clock = std::chrono::steady_clock;
+  void Record(double) {}
+  void RecordAt(Clock::time_point, double) {}
+  HistogramSnapshot Snapshot() { return {}; }
+  HistogramSnapshot SnapshotAt(Clock::time_point) { return {}; }
+  size_t num_epochs() const { return 0; }
+};
+
+class WindowRegistry {
+ public:
+  static WindowRegistry& Global() {
+    static WindowRegistry r;
+    return r;
+  }
+  WindowedRate* GetRate(const std::string&,
+                        std::chrono::milliseconds = kDefaultEpochLength,
+                        size_t = kDefaultEpochCount) {
+    return &rate_;
+  }
+  WindowedHistogram* GetHistogram(const std::string&,
+                                  std::chrono::milliseconds = kDefaultEpochLength,
+                                  size_t = kDefaultEpochCount,
+                                  std::vector<double> = {}) {
+    return &histogram_;
+  }
+  struct Snapshot {
+    std::vector<WindowedRateSnapshot> rates;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot SnapshotAll() { return {}; }
+  void ResetForTesting() {}
+
+ private:
+  WindowedRate rate_;
+  WindowedHistogram histogram_;
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+/// Convenience wrappers over the global window registry (same idiom as
+/// obs::GetCounter: cache the pointer in a function-local static).
+inline WindowedRate* GetWindowedRate(
+    const std::string& name,
+    std::chrono::milliseconds epoch_length = kDefaultEpochLength,
+    size_t num_epochs = kDefaultEpochCount) {
+  return WindowRegistry::Global().GetRate(name, epoch_length, num_epochs);
+}
+inline WindowedHistogram* GetWindowedHistogram(
+    const std::string& name,
+    std::chrono::milliseconds epoch_length = kDefaultEpochLength,
+    size_t num_epochs = kDefaultEpochCount,
+    std::vector<double> upper_bounds = {}) {
+  return WindowRegistry::Global().GetHistogram(name, epoch_length, num_epochs,
+                                               std::move(upper_bounds));
+}
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_WINDOW_H_

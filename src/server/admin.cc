@@ -1,0 +1,446 @@
+#include "server/admin.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/events.h"
+#include "obs/exposition.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace server {
+
+namespace {
+
+/// Beyond this many concurrent admin connections new accepts are dropped:
+/// the admin plane is for a handful of scrapers, not for traffic.
+constexpr size_t kMaxAdminConns = 64;
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Splits "/events?n=10" into path and a tiny query-param lookup.
+struct Target {
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  std::string Param(const std::string& key) const {
+    for (const auto& [k, v] : params) {
+      if (k == key) return v;
+    }
+    return "";
+  }
+};
+
+Target ParseTarget(const std::string& target) {
+  Target t;
+  const size_t q = target.find('?');
+  t.path = target.substr(0, q);
+  if (q == std::string::npos) return t;
+  size_t pos = q + 1;
+  while (pos < target.size()) {
+    size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      t.params.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return t;
+}
+
+std::string EventsJson(size_t tail) {
+  obs::EventLog& log = obs::EventLog::Global();
+  std::vector<obs::Event> events = log.Snapshot();
+  const size_t skip = events.size() > tail ? events.size() - tail : 0;
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("published", obs::JsonValue::Number(
+                           static_cast<double>(log.total_published())));
+  doc.Set("dropped",
+          obs::JsonValue::Number(static_cast<double>(log.dropped())));
+  doc.Set("capacity",
+          obs::JsonValue::Number(static_cast<double>(log.capacity())));
+  obs::JsonValue arr = obs::JsonValue::Array();
+  for (size_t i = skip; i < events.size(); ++i) {
+    const obs::Event& e = events[i];
+    obs::JsonValue o = obs::JsonValue::Object();
+    o.Set("seq", obs::JsonValue::Number(static_cast<double>(e.seq)));
+    o.Set("kind", obs::JsonValue::String(obs::EventKindName(e.kind)));
+    o.Set("module", obs::JsonValue::String(e.module));
+    if (!e.detail.empty()) {
+      o.Set("detail", obs::JsonValue::String(e.detail));
+    }
+    o.Set("value", obs::JsonValue::Number(e.value));
+    arr.Append(std::move(o));
+  }
+  doc.Set("events", std::move(arr));
+  return doc.Dump(2) + "\n";
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options, Hooks hooks)
+    : options_(std::move(options)), hooks_(std::move(hooks)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  ML4DB_CHECK_MSG(!running_.load(), "AdminServer::Start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad admin host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::Internal(std::string("admin bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const Status st =
+        Status::Internal(std::string("admin listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_fds_) < 0) {
+    const Status st =
+        Status::Internal(std::string("admin pipe: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  ML4DB_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  ML4DB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
+  ML4DB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  ML4DB_LOG(INFO, "admin plane listening on %s:%d (/metrics /healthz "
+            "/readyz /events /slow)",
+            options_.host.c_str(), port_);
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) {
+      ::close(wake_fds_[i]);
+      wake_fds_[i] = -1;
+    }
+  }
+}
+
+void AdminServer::Wake() {
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+std::string AdminServer::Handle(const std::string& method,
+                                const std::string& target) {
+  static obs::Counter* requests =
+      obs::GetCounter("ml4db.admin.requests_total");
+  static obs::Counter* scrapes = obs::GetCounter("ml4db.admin.scrapes_total");
+  static obs::Counter* not_found =
+      obs::GetCounter("ml4db.admin.not_found_total");
+  requests->Inc();
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is supported\n");
+  }
+  const Target t = ParseTarget(target);
+
+  if (t.path == "/metrics") {
+    scrapes->Inc();
+    return HttpResponse(200, "OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        obs::RenderPrometheusText());
+  }
+  if (t.path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (t.path == "/readyz") {
+    const bool ready = hooks_.ready ? hooks_.ready() : false;
+    const size_t depth = hooks_.queue_depth ? hooks_.queue_depth() : 0;
+    const size_t inflight = hooks_.inflight ? hooks_.inflight() : 0;
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("ready", obs::JsonValue::Bool(ready));
+    doc.Set("queue_depth",
+            obs::JsonValue::Number(static_cast<double>(depth)));
+    doc.Set("inflight",
+            obs::JsonValue::Number(static_cast<double>(inflight)));
+    const std::string body = doc.Dump(2) + "\n";
+    return ready ? HttpResponse(200, "OK", "application/json", body)
+                 : HttpResponse(503, "Service Unavailable",
+                                "application/json", body);
+  }
+  if (t.path == "/events") {
+    size_t tail = options_.default_event_tail;
+    const std::string n = t.Param("n");
+    if (!n.empty()) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(n.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && parsed > 0) {
+        tail = static_cast<size_t>(parsed);
+      }
+    }
+    return HttpResponse(200, "OK", "application/json", EventsJson(tail));
+  }
+  if (t.path == "/slow") {
+    static const obs::SlowQueryStore empty_store(1);
+    const obs::SlowQueryStore* slow =
+        hooks_.slow != nullptr ? hooks_.slow : &empty_store;
+    if (t.Param("format") == "text") {
+      return HttpResponse(200, "OK", "text/plain", slow->ToText());
+    }
+    return HttpResponse(200, "OK", "application/json",
+                        slow->ToJson().Dump(2) + "\n");
+  }
+  not_found->Inc();
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "unknown endpoint; try /metrics /healthz /readyz "
+                      "/events /slow\n");
+}
+
+void AdminServer::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<int> polled;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events = POLLOUT;
+      fds.push_back({fd, events, 0});
+      polled.push_back(fd);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0 && errno != EINTR) {
+      ML4DB_LOG(ERROR, "admin poll failed: %s", std::strerror(errno));
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+
+    if (fds[0].revents & POLLIN) {  // wake pipe
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      while (true) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        if (conns_.size() >= kMaxAdminConns || !SetNonBlocking(cfd).ok()) {
+          ::close(cfd);
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns_.emplace(cfd, Conn{});
+      }
+    }
+
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const int fd = polled[i];
+      const short revents = fds[i + 2].revents;
+      if (revents == 0) continue;
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool close_conn = (revents & (POLLERR | POLLNVAL | POLLHUP)) != 0 &&
+                        conn.out.empty();
+
+      if (!close_conn && (revents & POLLIN) && conn.out.empty()) {
+        char buf[1024];
+        while (true) {
+          const ssize_t n = ::read(fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn.in.append(buf, static_cast<size_t>(n));
+            if (conn.in.size() > options_.max_request_bytes) {
+              conn.out = HttpResponse(431, "Request Header Fields Too Large",
+                                      "text/plain", "request too large\n");
+              break;
+            }
+            continue;
+          }
+          if (n == 0) close_conn = conn.in.find("\r\n\r\n") ==
+                                   std::string::npos;  // peer half-closed
+          break;
+        }
+        const size_t head_end = conn.in.find("\r\n\r\n");
+        if (conn.out.empty() && head_end != std::string::npos) {
+          const size_t line_end = conn.in.find("\r\n");
+          const std::string line = conn.in.substr(0, line_end);
+          const size_t sp1 = line.find(' ');
+          const size_t sp2 =
+              sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+          if (sp1 == std::string::npos || sp2 == std::string::npos) {
+            conn.out = HttpResponse(400, "Bad Request", "text/plain",
+                                    "malformed request line\n");
+          } else {
+            conn.out = Handle(line.substr(0, sp1),
+                              line.substr(sp1 + 1, sp2 - sp1 - 1));
+          }
+        }
+      }
+
+      if (!close_conn && !conn.out.empty()) {
+        while (conn.out_pos < conn.out.size()) {
+          const ssize_t n = ::write(fd, conn.out.data() + conn.out_pos,
+                                    conn.out.size() - conn.out_pos);
+          if (n > 0) {
+            conn.out_pos += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          close_conn = true;  // fatal write error
+          break;
+        }
+        if (conn.out_pos >= conn.out.size()) close_conn = true;  // done
+      }
+
+      if (close_conn) {
+        ::close(fd);
+        conns_.erase(it);
+      }
+    }
+  }
+
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+}
+
+StatusOr<HttpResult> HttpGet(const std::string& host, int port,
+                             const std::string& target, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Internal("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0) {
+      ::close(fd);
+      return Status::Internal("recv timed out");
+    }
+    break;  // EOF
+  }
+  ::close(fd);
+
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Internal("malformed HTTP response");
+  }
+  const size_t sp = raw.find(' ');
+  HttpResult result;
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::Internal("malformed HTTP status line");
+  }
+  result.status_code = std::atoi(raw.c_str() + sp + 1);
+  result.body = raw.substr(head_end + 4);
+  return result;
+}
+
+}  // namespace server
+}  // namespace ml4db

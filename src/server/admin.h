@@ -1,0 +1,119 @@
+// Live introspection plane: a minimal HTTP/1.0 admin listener running its
+// own poll()-based thread, separate from the query-serving socket so a
+// scrape can never contend with the wire protocol's IO thread. Endpoints:
+//
+//   GET /metrics  Prometheus text exposition (cumulative registry +
+//                 sliding-window instruments + build info + uptime)
+//   GET /healthz  liveness: 200 "ok" while the process runs
+//   GET /readyz   readiness: 200 + queue stats while accepting queries,
+//                 503 once draining — flips BEFORE the admin listener
+//                 closes so load balancers stop sending during shutdown
+//   GET /events   JSON tail of the EventLog ring (?n=COUNT, default 128)
+//   GET /slow     top-K slow-query store as JSON (?format=text for the
+//                 flame-style rendering)
+//
+// Connections are serve-one-response-and-close (HTTP/1.0 semantics):
+// every response carries Connection: close and Content-Length. Request
+// bodies are not supported; anything but GET gets 405.
+//
+// The listener reads observability state exclusively through snapshots
+// (registry mutex for the copy, never the hot-path atomics) and through
+// the caller-provided hooks, so scrapes cannot block query execution.
+
+#ifndef ML4DB_SERVER_ADMIN_H_
+#define ML4DB_SERVER_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/slow_query.h"
+
+namespace ml4db {
+namespace server {
+
+struct AdminOptions {
+  std::string host = "127.0.0.1";
+  int port = 7434;  ///< 0 = ephemeral (query via AdminServer::port())
+  /// Largest accepted request head; an overlong request gets 431 + close.
+  size_t max_request_bytes = 4096;
+  /// Default /events tail length when no ?n= is given.
+  size_t default_event_tail = 128;
+};
+
+class AdminServer {
+ public:
+  /// Callbacks into the serving state. All must be safe to invoke from the
+  /// admin thread for the listener's whole lifetime; null members degrade
+  /// the corresponding endpoint gracefully (readyz reports not-ready, slow
+  /// reports an empty store).
+  struct Hooks {
+    std::function<bool()> ready;          ///< accepting queries?
+    std::function<size_t()> queue_depth;  ///< admission queue depth
+    std::function<size_t()> inflight;     ///< admitted-unfinished count
+    const obs::SlowQueryStore* slow = nullptr;
+  };
+
+  AdminServer(AdminOptions options, Hooks hooks);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens, and spawns the admin thread.
+  Status Start();
+
+  /// Closes the listener, finishes in-flight responses, joins the thread.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (resolves port 0).
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    std::string in;    ///< bytes until the end of the request head
+    std::string out;   ///< encoded response
+    size_t out_pos = 0;
+    bool respond_ready = false;
+  };
+
+  void Loop();
+  void Wake();
+  /// Routes one parsed request; returns the full HTTP response bytes.
+  std::string Handle(const std::string& method, const std::string& target);
+
+  AdminOptions options_;
+  Hooks hooks_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::map<int, Conn> conns_;  // admin thread only
+};
+
+/// Minimal blocking HTTP/1.0 GET used by tests and bench_serve's
+/// scrape-while-loaded mode. Returns the status code and body.
+struct HttpResult {
+  int status_code = 0;
+  std::string body;
+};
+StatusOr<HttpResult> HttpGet(const std::string& host, int port,
+                             const std::string& target, int timeout_ms = 5000);
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_ADMIN_H_

@@ -32,6 +32,7 @@ AdmitResult AdmissionController::TryEnqueue(PendingQuery item) {
     shed->Inc();
     return AdmitResult::kShed;
   }
+  item.enqueued_at = std::chrono::steady_clock::now();
   queue_.push_back(std::move(item));
   ++admitted_total_;
   const size_t queued = queue_.size();
@@ -59,6 +60,7 @@ std::vector<PendingQuery> AdmissionController::NextBatch(
   std::vector<PendingQuery> batch;
   const size_t n = std::min(max_batch, queue_.size());
   batch.reserve(n);
+  const auto popped_at = std::chrono::steady_clock::now();
   for (size_t i = 0; i < n; ++i) {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
@@ -67,6 +69,16 @@ std::vector<PendingQuery> AdmissionController::NextBatch(
   const size_t queued = queue_.size();
   const size_t infl = queued + executing_;
   lock.unlock();
+  // Queue-wait attribution: without this the server's latency histogram
+  // conflates queueing with execution and overload looks like slow queries.
+  static obs::Histogram* queue_wait =
+      obs::GetHistogram("ml4db.server.queue_wait_us");
+  for (PendingQuery& item : batch) {
+    item.queue_wait_us =
+        std::chrono::duration<double, std::micro>(popped_at - item.enqueued_at)
+            .count();
+    queue_wait->Record(item.queue_wait_us);
+  }
   UpdateGauges(queued, infl);
   return batch;
 }

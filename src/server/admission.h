@@ -36,6 +36,12 @@ struct PendingQuery {
   std::chrono::steady_clock::time_point arrival;
   /// Absolute expiry (arrival + deadline_ms); time_point::max() = none.
   std::chrono::steady_clock::time_point deadline;
+  /// Stamped by AdmissionController::TryEnqueue when the query is admitted.
+  std::chrono::steady_clock::time_point enqueued_at;
+  /// Time spent in the admission queue (enqueue -> batch pop), filled by
+  /// NextBatch. Feeds the ml4db.server.queue_wait_us histogram and the
+  /// queue_wait stage of slow-query traces.
+  double queue_wait_us = 0.0;
   /// Delivers the response to the owning session. Safe to call from any
   /// thread; must be called exactly once per admitted query.
   std::function<void(const Response&)> respond;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/window.h"
 #include "server/query_parser.h"
 
 namespace ml4db {
@@ -41,6 +42,22 @@ Response MakeStatusResponse(uint64_t request_id, ResponseStatus status,
 obs::Counter* ResponsesTotal() {
   static obs::Counter* c = obs::GetCounter("ml4db.server.responses_total");
   return c;
+}
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// A stage span for the serving-path phases the engine doesn't trace
+/// itself (queue_wait / parse / serialize). Latency is wall microseconds,
+/// matching the engine's "optimize" span convention.
+obs::TraceSpan StageSpan(const char* name, double wall_us) {
+  obs::TraceSpan span;
+  span.name = name;
+  span.latency = wall_us;
+  span.actual_cost = wall_us;
+  span.attrs.emplace_back("unit", "us");
+  return span;
 }
 
 }  // namespace
@@ -208,12 +225,18 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
       obs::GetCounter("ml4db.server.exec_errors");
   static obs::Histogram* latency_us =
       obs::GetHistogram("ml4db.server.request_latency_us");
+  static obs::WindowedRate* recent_qps =
+      obs::GetWindowedRate("ml4db.server.recent_qps");
+  static obs::WindowedHistogram* recent_latency =
+      obs::GetWindowedHistogram("ml4db.server.recent_request_latency_us");
 
   const Clock::time_point now = Clock::now();
   std::vector<engine::Query> queries;
-  std::vector<size_t> slot;  // batch index of queries[j]
+  std::vector<size_t> slot;       // batch index of queries[j]
+  std::vector<double> parse_us;   // parse+resolve wall time of queries[j]
   queries.reserve(batch->size());
   slot.reserve(batch->size());
+  parse_us.reserve(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
     PendingQuery& item = (*batch)[i];
     if (item.ExpiredAt(now)) {
@@ -224,6 +247,7 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
                                       "deadline expired before execution"));
       continue;
     }
+    const Clock::time_point parse_start = Clock::now();
     auto parsed = ParseQueryText(item.query_text);
     if (!parsed.ok()) {
       parse_errors->Inc();
@@ -250,12 +274,16 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
     }
     queries.push_back(std::move(*parsed));
     slot.push_back(i);
+    parse_us.push_back(MicrosBetween(parse_start, Clock::now()));
   }
   if (queries.empty()) return;
 
+  const bool want_traces =
+      (options_.trace_sink || options_.slow_store != nullptr) &&
+      options_.trace_sample_n > 0 &&
+      (batch_seq_++ % options_.trace_sample_n) == 0;
   std::vector<obs::QueryTrace> traces;
-  std::vector<obs::QueryTrace>* traces_ptr =
-      options_.trace_sink ? &traces : nullptr;
+  std::vector<obs::QueryTrace>* traces_ptr = want_traces ? &traces : nullptr;
   const auto results =
       db_->RunBatch(queries, {}, options_.limits, traces_ptr, pool_);
 
@@ -275,23 +303,37 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
       resp.error = results[j].status().ToString();
       exec_errors->Inc();
     }
-    latency_us->Record(
-        std::chrono::duration_cast<std::chrono::microseconds>(done -
-                                                              item.arrival)
-            .count());
-    if (traces_ptr != nullptr) {
-      obs::QueryTrace& trace = traces[j];
-      trace.label = "session-" + std::to_string(item.session_id) +
-                    "/request-" + std::to_string(item.request_id);
-      for (obs::TraceSpan& span : trace.spans) {
-        span.attrs.emplace_back("session", std::to_string(item.session_id));
-        span.attrs.emplace_back("client_session",
-                                std::to_string(item.client_session));
-        span.attrs.emplace_back("request", std::to_string(item.request_id));
-      }
-      options_.trace_sink(trace);
+    const double request_us = MicrosBetween(item.arrival, done);
+    latency_us->Record(request_us);
+    recent_latency->Record(request_us);
+    recent_qps->Inc();
+    if (traces_ptr == nullptr) {
+      item.respond(resp);
+      continue;
     }
+    obs::QueryTrace& trace = traces[j];
+    trace.label = "session-" + std::to_string(item.session_id) +
+                  "/request-" + std::to_string(item.request_id);
+    // Per-stage attribution: the engine traced optimize/execute; prepend
+    // the serving-side stages so /slow can tell queueing from execution.
+    trace.spans.insert(trace.spans.begin(),
+                       {StageSpan("queue_wait", item.queue_wait_us),
+                        StageSpan("parse", parse_us[j])});
+    const Clock::time_point serialize_start = Clock::now();
     item.respond(resp);
+    const Clock::time_point responded = Clock::now();
+    trace.spans.push_back(StageSpan(
+        "serialize", MicrosBetween(serialize_start, responded)));
+    for (obs::TraceSpan& span : trace.spans) {
+      span.attrs.emplace_back("session", std::to_string(item.session_id));
+      span.attrs.emplace_back("client_session",
+                              std::to_string(item.client_session));
+      span.attrs.emplace_back("request", std::to_string(item.request_id));
+    }
+    if (options_.slow_store != nullptr) {
+      options_.slow_store->Add(trace, MicrosBetween(item.arrival, responded));
+    }
+    if (options_.trace_sink) options_.trace_sink(trace);
   }
 }
 

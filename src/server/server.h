@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/database.h"
+#include "obs/slow_query.h"
 #include "server/admission.h"
 #include "server/session.h"
 
@@ -55,6 +56,15 @@ struct ServerOptions {
   /// request ids — is handed to this callback (batcher thread). Null skips
   /// trace collection entirely.
   std::function<void(const obs::QueryTrace&)> trace_sink;
+  /// When set, every traced query's end-to-end trace (queue_wait, parse,
+  /// optimize, execute, serialize stages) is offered to this store so the
+  /// admin plane's /slow endpoint can report the K slowest. Must outlive
+  /// the server. Null skips slow-query collection.
+  obs::SlowQueryStore* slow_store = nullptr;
+  /// Trace every Nth batch (1 = all, matching the always-on slow-query
+  /// contract; 0 disables tracing even when sinks are set). Sampling is per
+  /// batch because Database::RunBatch collects traces batch-at-a-time.
+  size_t trace_sample_n = 1;
 };
 
 class Server {
@@ -76,6 +86,14 @@ class Server {
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True while new queries are admitted: running and not yet draining.
+  /// This is the /readyz signal — it flips false the moment Stop() begins,
+  /// before the listener closes, so load balancers stop sending first.
+  bool accepting() const {
+    return running_.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire);
+  }
 
   /// Actual bound port (resolves port 0).
   int port() const { return port_; }
@@ -115,6 +133,7 @@ class Server {
 
   std::unordered_map<int, std::shared_ptr<Session>> sessions_;  // IO thread
   uint64_t next_session_id_ = 1;                                // IO thread
+  uint64_t batch_seq_ = 0;  // batcher thread; drives trace sampling
   std::atomic<uint64_t> queries_served_{0};
 };
 

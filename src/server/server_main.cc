@@ -4,8 +4,10 @@
 // then serves the wire protocol until SIGINT/SIGTERM.
 //
 // Shutdown ordering (the part ASan/TSan CI verifies): signal -> Server::
-// Stop() drains admitted requests and joins the IO/batcher threads -> the
-// obs export (metrics snapshot + sampled traces) is flushed -> exit 0.
+// Stop() drains admitted requests and joins the IO/batcher threads (during
+// the drain /readyz already reports 503: accepting() flips the moment Stop
+// begins) -> the admin listener closes -> the obs export (metrics snapshot
+// + sampled traces) is flushed -> exit 0.
 //
 //   ml4db_server --port 0 --port-file /tmp/port --json server.json
 //
@@ -13,6 +15,10 @@
 //   --host H             listen address          (default 127.0.0.1)
 //   --port P             listen port, 0 = ephemeral (default 7433)
 //   --port-file PATH     write the bound port to PATH once listening
+//   --admin-port P       admin/introspection port: /metrics /healthz
+//                        /readyz /events /slow; 0 = ephemeral, -1 = off
+//                        (default 7434)
+//   --admin-port-file PATH  write the bound admin port once listening
 //   --fact-rows N        fact table rows         (default 40000)
 //   --dim-rows N         rows per dimension      (default 2000)
 //   --dims N             dimension tables        (default 4)
@@ -22,6 +28,10 @@
 //   --batch-max N        max RunBatch size       (default 64)
 //   --linger-ms N        batch-fill linger       (default 0)
 //   --json [PATH]        write BENCH_server.json (or PATH) on shutdown
+//
+// Env knobs:
+//   ML4DB_SLOW_QUERY_K   slow-query store capacity   (default 32)
+//   ML4DB_TRACE_SAMPLE_N trace every Nth batch       (default 1 = all)
 
 #include <pthread.h>
 #include <signal.h>
@@ -32,10 +42,13 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/slow_query.h"
+#include "server/admin.h"
 #include "server/server.h"
 #include "workload/schema_gen.h"
 
@@ -47,6 +60,8 @@ struct Flags {
   std::string host = "127.0.0.1";
   int port = 7433;
   std::string port_file;
+  int admin_port = 7434;  // -1 disables the admin plane
+  std::string admin_port_file;
   size_t fact_rows = 40000;
   size_t dim_rows = 2000;
   int dims = 4;
@@ -72,6 +87,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     if (arg == "--host") flags->host = value("--host");
     else if (arg == "--port") flags->port = std::atoi(value("--port"));
     else if (arg == "--port-file") flags->port_file = value("--port-file");
+    else if (arg == "--admin-port") flags->admin_port = std::atoi(value("--admin-port"));
+    else if (arg == "--admin-port-file") flags->admin_port_file = value("--admin-port-file");
     else if (arg == "--fact-rows") flags->fact_rows = std::strtoull(value("--fact-rows"), nullptr, 10);
     else if (arg == "--dim-rows") flags->dim_rows = std::strtoull(value("--dim-rows"), nullptr, 10);
     else if (arg == "--dims") flags->dims = std::atoi(value("--dims"));
@@ -135,6 +152,15 @@ int main(int argc, char** argv) {
   opts.max_inflight = flags.max_inflight;
   opts.batch_max = flags.batch_max;
   opts.batch_linger_ms = flags.linger_ms;
+
+  // The always-on slow-query store behind GET /slow. Lives here (not in
+  // the Server) so it outlives Stop() and the final obs export can see it.
+  obs::SlowQueryStore slow_store(static_cast<size_t>(
+      common::PositiveKnobFromEnv("ML4DB_SLOW_QUERY_K", obs::kDefaultSlowQueryK)));
+  opts.slow_store = &slow_store;
+  opts.trace_sample_n = static_cast<size_t>(
+      common::PositiveKnobFromEnv("ML4DB_TRACE_SAMPLE_N", 1));
+
   uint64_t trace_samples = 0;
   if (flags.json) {
     // Sample 1-in-256 query traces into the export so the JSON stays small
@@ -158,8 +184,38 @@ int main(int argc, char** argv) {
       std::fclose(f);
     }
   }
+  // Admin plane comes up after the query listener so /readyz can never
+  // report ready before queries are accepted.
+  server::AdminServer::Hooks hooks;
+  hooks.ready = [&srv] { return srv.accepting(); };
+  hooks.queue_depth = [&srv] { return srv.admission().queue_depth(); };
+  hooks.inflight = [&srv] { return srv.admission().inflight(); };
+  hooks.slow = &slow_store;
+  server::AdminOptions admin_opts;
+  admin_opts.host = flags.host;
+  admin_opts.port = flags.admin_port;
+  server::AdminServer admin(admin_opts, hooks);
+  if (flags.admin_port >= 0) {
+    const Status ast = admin.Start();
+    if (!ast.ok()) {
+      std::fprintf(stderr, "admin start failed: %s\n", ast.ToString().c_str());
+      return 1;
+    }
+    if (!flags.admin_port_file.empty()) {
+      std::FILE* f = std::fopen(flags.admin_port_file.c_str(), "w");
+      if (f != nullptr) {
+        std::fprintf(f, "%d\n", admin.port());
+        std::fclose(f);
+      }
+    }
+  }
+
   std::printf("ml4db_server listening on %s:%d\n", flags.host.c_str(),
               srv.port());
+  if (admin.running()) {
+    std::printf("ml4db_server admin plane on %s:%d (try /metrics)\n",
+                flags.host.c_str(), admin.port());
+  }
   std::fflush(stdout);
 
   int sig = 0;
@@ -167,7 +223,11 @@ int main(int argc, char** argv) {
   std::printf("ml4db_server received %s, draining\n", strsignal(sig));
   std::fflush(stdout);
 
+  // The admin plane outlives the drain: accepting() flipped false the
+  // moment Stop() below starts, so /readyz serves 503 while in-flight work
+  // finishes, and only then does the admin listener close.
   srv.Stop();  // drains in-flight work and joins server threads
+  admin.Stop();
 
   // Only now snapshot metrics: the drain above guarantees every admitted
   // request's counters and latency samples are in.

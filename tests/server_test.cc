@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/database.h"
+#include "obs/slow_query.h"
 #include "server/admission.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -484,6 +487,80 @@ TEST(ServerTest, ConcurrentClientsAllGetCorrectAnswers) {
   ts.server->Stop();
   EXPECT_EQ(ts.server->queries_served(),
             static_cast<uint64_t>(kClients * kQueriesEach));
+}
+
+// ---------------------------------------------------------------------------
+// Live introspection wiring
+
+TEST(ServerTest, AcceptingFlipsBeforeListenerCloses) {
+  TestServer ts;
+  EXPECT_TRUE(ts.server->accepting());
+  ts.server->Stop();
+  EXPECT_FALSE(ts.server->accepting());
+}
+
+TEST(ServerTest, SlowStoreCollectsPerStageTraces) {
+  obs::SlowQueryStore store(8);
+  ServerOptions opts;
+  opts.slow_store = &store;
+  TestServer ts(opts);
+  auto gen = ts.MakeGen(33);
+  Client client(/*session_id=*/9);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  for (int i = 0; i < 20; ++i) {
+    const auto resp = client.Call(gen.Next().ToString(), 0, 10000);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->status, ResponseStatus::kOk) << resp->error;
+  }
+  ts.server->Stop();
+#ifndef ML4DB_OBS_DISABLED
+  EXPECT_EQ(store.considered(), 20u);
+  const auto entries = store.Snapshot();
+  ASSERT_FALSE(entries.empty());
+  ASSERT_LE(entries.size(), 8u);
+  // Every retained trace carries the full serving-path stage breakdown.
+  for (const auto& entry : entries) {
+    EXPECT_GT(entry.total_us, 0.0);
+    std::vector<std::string> names;
+    for (const auto& span : entry.trace.spans) names.push_back(span.name);
+    for (const char* stage :
+         {"queue_wait", "parse", "optimize", "execute", "serialize"}) {
+      EXPECT_NE(std::find(names.begin(), names.end(), stage), names.end())
+          << "trace " << entry.trace.label << " missing stage " << stage;
+    }
+    // Stage order: queueing before parsing before planning/execution.
+    EXPECT_EQ(names[0], "queue_wait");
+    EXPECT_EQ(names[1], "parse");
+    EXPECT_EQ(names.back(), "serialize");
+  }
+  // Slowest-first ordering.
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].total_us, entries[i].total_us);
+  }
+#else
+  EXPECT_EQ(store.considered(), 0u);  // no-op store under OBS_DISABLED
+#endif
+}
+
+TEST(ServerTest, TraceSamplingSkipsBatches) {
+  obs::SlowQueryStore store(64);
+  ServerOptions opts;
+  opts.slow_store = &store;
+  opts.trace_sample_n = 2;  // every other batch
+  opts.batch_max = 1;       // one query per batch => deterministic count
+  TestServer ts(opts);
+  auto gen = ts.MakeGen(44);
+  Client client(/*session_id=*/10);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  for (int i = 0; i < 10; ++i) {
+    const auto resp = client.Call(gen.Next().ToString(), 0, 10000);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->status, ResponseStatus::kOk) << resp->error;
+  }
+  ts.server->Stop();
+#ifndef ML4DB_OBS_DISABLED
+  EXPECT_EQ(store.considered(), 5u);  // 10 single-query batches, 1-in-2
+#endif
 }
 
 }  // namespace
