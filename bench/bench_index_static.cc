@@ -19,6 +19,8 @@
 #include "common/env.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "engine/index_backend.h"
+#include "engine/table.h"
 #include "learned_index/alex_index.h"
 #include "learned_index/btree_index.h"
 #include "learned_index/pgm_index.h"
@@ -173,6 +175,110 @@ void RunTable() {
       "be smaller than btree and at least as fast on static lookups.\n");
 }
 
+// ------------------- engine IndexBackend parity -----------------------------
+
+// EXP-A2 — the same structures, probed through the engine's unified
+// IndexBackend layer on a duplicated-key column (what Table columns look
+// like, unlike OrderedIndex's unique-key contract). Every backend must
+// return identical result counts for the same probes; `sorted` is the
+// oracle when more than one backend runs.
+void RunEngineBackendParity(const std::string& selector) {
+  std::vector<engine::IndexBackendKind> kinds;
+  if (selector == "all") {
+    kinds = engine::AllIndexBackendKinds();
+  } else {
+    const auto kind = engine::ParseIndexBackendKind(selector);
+    ML4DB_CHECK_MSG(kind.ok(), "bad --index-backend value");
+    kinds = {*kind};
+  }
+
+  workload::DataGenOptions opts;
+  opts.distribution = workload::Distribution::kUniform;
+  opts.max_value = 4'000'000'000ULL;
+  opts.seed = 1234;
+  const auto keys = workload::GenerateSortedUniqueKeys(NumKeys(), opts);
+
+  // Column rows: every key once, ~25% twice, in shuffled order.
+  engine::Column col;
+  col.type = engine::DataType::kInt64;
+  col.i64.reserve(keys.size() + keys.size() / 4);
+  Rng rng(321);
+  for (int64_t k : keys) {
+    col.i64.push_back(k);
+    if (rng.NextUint64(4) == 0) col.i64.push_back(k);
+  }
+  for (size_t i = col.i64.size(); i > 1; --i) {
+    std::swap(col.i64[i - 1], col.i64[rng.NextUint64(i)]);
+  }
+
+  std::vector<double> eq_probes(100000);
+  for (auto& p : eq_probes) {
+    p = static_cast<double>(keys[rng.NextUint64(keys.size())]);
+  }
+  std::vector<size_t> range_starts(1000);
+  for (auto& a : range_starts) a = rng.NextUint64(keys.size() - 1100);
+
+  bench::PrintHeader("EXP-A2 engine IndexBackend parity, " +
+                     std::to_string(col.i64.size()) + " rows (--index-backend " +
+                     selector + ")");
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  bench::Table table({"backend", "build_s", "size_MB", "equal_hits",
+                      "range_rows", "equal_Mops", "range1k_ms"});
+  uint64_t oracle_equal = 0, oracle_range = 0;
+  bool have_oracle = false;
+  for (const engine::IndexBackendKind kind : kinds) {
+    Stopwatch build_sw;
+    auto built = engine::BuildIndexBackend(col, kind);
+    ML4DB_CHECK_MSG(built.ok(), "backend build failed");
+    const double build_s = build_sw.ElapsedSeconds();
+    const engine::IndexBackend& index = **built;
+
+    std::atomic<uint64_t> equal_hits{0};
+    Stopwatch sw;
+    pool.ParallelFor(0, eq_probes.size(), 512, [&](size_t lo, size_t hi) {
+      uint64_t local = 0;
+      for (size_t i = lo; i < hi; ++i) local += index.Equal(eq_probes[i]).size();
+      equal_hits.fetch_add(local, std::memory_order_relaxed);
+    });
+    const double equal_s = sw.ElapsedSeconds();
+
+    std::atomic<uint64_t> range_rows{0};
+    sw.Reset();
+    pool.ParallelFor(0, range_starts.size(), 32, [&](size_t lo, size_t hi) {
+      uint64_t local = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t a = range_starts[i];
+        local += index
+                     .Range(static_cast<double>(keys[a]),
+                            static_cast<double>(keys[a + 1000]))
+                     .size();
+      }
+      range_rows.fetch_add(local, std::memory_order_relaxed);
+    });
+    const double range_s = sw.ElapsedSeconds();
+
+    if (!have_oracle) {
+      oracle_equal = equal_hits.load();
+      oracle_range = range_rows.load();
+      have_oracle = true;
+    } else {
+      // Identical result counts across backends on the same seed is the
+      // whole point of the unified layer; a mismatch is a bug, not noise.
+      ML4DB_CHECK_MSG(equal_hits.load() == oracle_equal,
+                      "backend equal-probe result mismatch");
+      ML4DB_CHECK_MSG(range_rows.load() == oracle_range,
+                      "backend range-probe result mismatch");
+    }
+    table.AddRow({index.Name(), bench::Fmt(build_s, 3),
+                  bench::Fmt(index.StructureBytes() / 1048576.0, 2),
+                  bench::FmtInt(static_cast<double>(equal_hits.load())),
+                  bench::FmtInt(static_cast<double>(range_rows.load())),
+                  bench::Fmt(eq_probes.size() / equal_s / 1e6, 2),
+                  bench::Fmt(range_s * 1000.0, 3)});
+  }
+  table.Print();
+}
+
 // ------------------- google-benchmark microbenchmarks -----------------------
 
 template <typename MakeIndexFn>
@@ -231,7 +337,28 @@ BENCHMARK(BM_PgmLognormal);
 int main(int argc, char** argv) {
   // Strip --json/--csv before google-benchmark sees (and rejects) them.
   ml4db::bench::InitBench("index_static", &argc, argv);
+  // Strip --index-backend for the same reason. Selects which engine
+  // backend(s) the parity phase probes; "all" cross-checks every backend
+  // against the sorted oracle.
+  std::string backend = "all";
+  {
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--index-backend" && i + 1 < argc) {
+        backend = argv[++i];
+      } else if (arg.rfind("--index-backend=", 0) == 0) {
+        backend = arg.substr(sizeof("--index-backend=") - 1);
+      } else {
+        argv[w++] = argv[i];
+      }
+    }
+    argc = w;
+    argv[argc] = nullptr;
+  }
+  ml4db::bench::SetBenchConfig("index_backend", backend);
   RunTable();
+  RunEngineBackendParity(backend);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

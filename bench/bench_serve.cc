@@ -24,6 +24,7 @@
 //   bench_serve --port 7433 --connections 4 --duration-ms 2000
 //               [--qps 200] [--deadline-ms 1000] [--json]
 //               [--admin-port 7434] [--scrape-interval-ms 250]
+//               [--index-backend sorted]   (stamped into the JSON config)
 
 #include <algorithm>
 #include <atomic>
@@ -55,6 +56,9 @@ struct Flags {
   uint64_t seed = 42;
   int admin_port = 0;  // > 0 enables the scrape-while-loaded thread
   int scrape_interval_ms = 250;
+  /// Which index backend the *server* was started with; stamped into the
+  /// bench JSON so per-backend serve runs are distinguishable downstream.
+  std::string index_backend = "sorted";
 };
 
 struct ScrapeTally {
@@ -262,12 +266,14 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") flags.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--admin-port") flags.admin_port = std::atoi(value());
     else if (arg == "--scrape-interval-ms") flags.scrape_interval_ms = std::max(std::atoi(value()), 1);
+    else if (arg == "--index-backend") flags.index_backend = value();
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
   flags.connections = std::max(flags.connections, 1);
+  bench::SetBenchConfig("index_backend", flags.index_backend);
 
   // Tiny local replica of the server's schema: table names and filterable
   // columns depend only on --dims/--seed, not on row counts, so queries

@@ -117,6 +117,14 @@ inline void RecordTrace(const obs::QueryTrace& trace) {
   if (s.active && s.exporter != nullptr) s.exporter->AddTrace(trace);
 }
 
+/// Stamps a run-configuration key into the export's top-level "config"
+/// object (e.g. which --index-backend served the run), so downstream
+/// tooling can compare JSONs without re-parsing argv.
+inline void SetBenchConfig(const std::string& key, const std::string& value) {
+  internal::BenchState& s = internal::State();
+  if (s.active && s.exporter != nullptr) s.exporter->SetConfig(key, value);
+}
+
 /// Prints a separator + centered title; the title also labels the tables
 /// printed below it in the machine-readable export.
 inline void PrintHeader(const std::string& title) {

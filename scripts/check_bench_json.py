@@ -12,6 +12,8 @@ Flags:
   --require-server      fail unless the full serving metric set is present
                         (ml4db.server.{inflight,queue_depth,shed_total,
                         timeout_total} and the request latency histogram)
+  --require-config KEY  fail unless the top-level "config" object carries
+                        a non-empty string value for KEY (repeatable)
   --quiet               print nothing on success
 
 The schema is documented in DESIGN.md ("Observability"). This script is wired
@@ -116,7 +118,7 @@ def _check_server_metrics(metrics, required):
 
 
 def validate(doc, require_histogram=False, require_event=False,
-             require_server=False):
+             require_server=False, require_config=()):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -136,6 +138,18 @@ def validate(doc, require_histogram=False, require_event=False,
             "run.obs_enabled must be a bool")
     _ensure(run.get("build") in ("release", "debug"),
             f"run.build must be release|debug, got {run.get('build')!r}")
+
+    # "config" is optional (benches only emit it once something was set),
+    # but when present it must be a flat string->string map.
+    config = doc.get("config", {})
+    _ensure(isinstance(config, dict), "config must be an object")
+    for key, value in config.items():
+        _ensure(isinstance(key, str) and key, "config keys must be strings")
+        _ensure(isinstance(value, str),
+                f"config[{key!r}] must be a string, got {type(value).__name__}")
+    for key in require_config:
+        _ensure(isinstance(config.get(key), str) and config.get(key),
+                f"--require-config {key}: missing from config object")
 
     metrics = doc.get("metrics")
     _ensure(isinstance(metrics, dict), "metrics must be an object")
@@ -213,7 +227,20 @@ def main(argv):
     require_event = "--require-event" in args
     require_server = "--require-server" in args
     quiet = "--quiet" in args
-    args = [a for a in args
+    require_config = []
+    filtered = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--require-config":
+            if i + 1 >= len(args):
+                print("--require-config needs a KEY", file=sys.stderr)
+                return 2
+            require_config.append(args[i + 1])
+            i += 2
+            continue
+        filtered.append(args[i])
+        i += 1
+    args = [a for a in filtered
             if a not in ("--require-histogram", "--require-event",
                          "--require-server", "--quiet")]
 
@@ -247,7 +274,8 @@ def main(argv):
 
     try:
         validate(doc, require_histogram=require_histogram,
-                 require_event=require_event, require_server=require_server)
+                 require_event=require_event, require_server=require_server,
+                 require_config=require_config)
     except SchemaError as e:
         print(f"FAIL [{source}]: {e}", file=sys.stderr)
         return 1

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Cross-run backend parity check for bench_index_static exports.
+
+Usage:
+  compare_backend_parity.py A.json B.json [C.json ...]
+
+Each export must contain the "EXP-A2 engine IndexBackend parity" table
+(written by bench_index_static). All runs must report identical
+equal_hits / range_rows counts row-for-row: the probe workload is
+seed-deterministic, so any divergence means a backend returned different
+rows for the same query — a correctness bug in the IndexBackend layer,
+not noise. Single-backend runs produce one-row tables, which is the CI
+mode: run once per --index-backend value, then compare the JSONs here.
+"""
+
+import json
+import sys
+
+
+def parity_counts(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for t in doc.get("tables", []):
+        if "IndexBackend parity" in t.get("title", ""):
+            cols = t["columns"]
+            eq = cols.index("equal_hits")
+            rg = cols.index("range_rows")
+            rows = [(r[eq], r[rg]) for r in t["rows"]]
+            if not rows:
+                raise SystemExit(f"FAIL [{path}]: parity table is empty")
+            return rows
+    raise SystemExit(f"FAIL [{path}]: no IndexBackend parity table found")
+
+
+def main(argv):
+    paths = argv[1:]
+    if len(paths) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = parity_counts(paths[0])
+    for path in paths[1:]:
+        counts = parity_counts(path)
+        if counts != baseline:
+            print(f"FAIL: result counts diverge\n  {paths[0]}: {baseline}\n"
+                  f"  {path}: {counts}", file=sys.stderr)
+            return 1
+    print(f"backend parity OK across {len(paths)} runs: {baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,12 +12,17 @@
 #   5. SIGTERM the server: /readyz must flip away from 200 during the
 #      drain, and the process must exit 0.
 #
-# Usage: serve_smoke.sh BUILD_DIR [DURATION_MS]
-# Runs under ASan in CI, so a leak or race in the shutdown path fails here.
+# Usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND]
+# INDEX_BACKEND (default sorted) selects the engine's index structure; the
+# run also enables a fast background retrain loop so replacement backends
+# are rebuilt and atomically swapped in mid-load — the smoke fails if that
+# loses a request or trips a sanitizer. Runs under ASan in CI, so a leak
+# or race in the shutdown path fails here.
 set -euo pipefail
 
-BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [DURATION_MS]}
+BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND]}
 DURATION_MS=${2:-2000}
+BACKEND=${3:-sorted}
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 SERVER="$BUILD_DIR/bin/ml4db_server"
 BENCH="$BUILD_DIR/bench/bench_serve"
@@ -40,6 +45,7 @@ ADMIN_PORT_FILE="$WORK_DIR/admin_port"
 "$SERVER" --port 0 --port-file "$PORT_FILE" \
   --admin-port 0 --admin-port-file "$ADMIN_PORT_FILE" \
   --fact-rows 4000 --dim-rows 500 \
+  --index-backend "$BACKEND" --retrain-interval-ms 300 \
   --json "$WORK_DIR/server.json" >"$WORK_DIR/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -58,7 +64,7 @@ done
 [[ -s "$ADMIN_PORT_FILE" ]] || { echo "FAIL: admin plane never bound" >&2; exit 1; }
 PORT=$(cat "$PORT_FILE")
 ADMIN_PORT=$(cat "$ADMIN_PORT_FILE")
-echo "serve_smoke: server pid=$SERVER_PID port=$PORT admin=$ADMIN_PORT"
+echo "serve_smoke: server pid=$SERVER_PID port=$PORT admin=$ADMIN_PORT backend=$BACKEND"
 
 # Liveness and readiness before any load.
 [[ "$($CURL "http://127.0.0.1:$ADMIN_PORT/healthz")" == "ok" ]] || {
@@ -70,18 +76,27 @@ READY_CODE=$($CURL -o /dev/null -w '%{http_code}' \
 
 "$BENCH" --port "$PORT" --connections 4 --duration-ms "$DURATION_MS" \
   --admin-port "$ADMIN_PORT" --scrape-interval-ms 100 \
+  --index-backend "$BACKEND" \
   --json "$WORK_DIR/serve.json"
 
 # Scrape under (residual) load and validate the Prometheus contract. The
 # windowed instruments and slow-query requirements only hold when the
 # server was built with observability on — ml4db_build_info says which.
 $CURL "http://127.0.0.1:$ADMIN_PORT/metrics" >"$WORK_DIR/metrics.prom"
+# The index-backend info metric is rendered in both obs modes: which
+# structure serves probes is config, not a measurement.
+grep -q "ml4db_index_backend{backend=\"$BACKEND\"}" "$WORK_DIR/metrics.prom" || {
+  echo "FAIL: /metrics missing ml4db_index_backend{backend=\"$BACKEND\"}" >&2
+  exit 1; }
 if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
   python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" \
     --require-nonzero ml4db_server_recent_qps \
     --require-nonzero ml4db_server_recent_request_latency_us \
     --require-nonzero ml4db_server_request_latency_us \
     --require-nonzero ml4db_server_queue_wait_us \
+    --require-nonzero ml4db_index_probe_us \
+    --require-nonzero ml4db_index_structure_bytes \
+    --require-nonzero ml4db_index_swaps_total \
     --require ml4db_build_info \
     --require-nonzero ml4db_uptime_seconds
   $CURL "http://127.0.0.1:$ADMIN_PORT/slow" >"$WORK_DIR/slow.json"
@@ -158,11 +173,12 @@ grep -q "draining" "$WORK_DIR/server.log" || {
   exit 1
 }
 
-python3 "$CHECK" "$WORK_DIR/serve.json"
+python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend
 if grep -q '"obs_enabled": true' "$WORK_DIR/server.json"; then
-  python3 "$CHECK" "$WORK_DIR/server.json" --require-server
+  python3 "$CHECK" "$WORK_DIR/server.json" --require-server \
+    --require-config index_backend
 else
   # ML4DB_OBS_DISABLED builds export no metrics by design.
-  python3 "$CHECK" "$WORK_DIR/server.json"
+  python3 "$CHECK" "$WORK_DIR/server.json" --require-config index_backend
 fi
 echo "serve_smoke: OK"

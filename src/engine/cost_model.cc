@@ -51,12 +51,6 @@ double PriceWork(const OperatorWork& w, const CostParams& p) {
          w.output_tuples * p.output_tuple_cost;
 }
 
-double IndexProbePages(double table_rows, double matches) {
-  const double n = std::max(table_rows, 2.0);
-  const double depth = std::ceil(std::log(n) / std::log(64.0));
-  return depth + std::ceil(matches / 256.0);
-}
-
 OperatorWork CostModel::SeqScanWork(double table_rows, int num_filters,
                                     double out_rows) const {
   OperatorWork w;
@@ -67,11 +61,11 @@ OperatorWork CostModel::SeqScanWork(double table_rows, int num_filters,
   return w;
 }
 
-OperatorWork CostModel::IndexScanWork(double table_rows, double index_matches,
+OperatorWork CostModel::IndexScanWork(double probe_pages, double index_matches,
                                       int residual_filters,
                                       double out_rows) const {
   OperatorWork w;
-  w.rand_pages = IndexProbePages(table_rows, index_matches);
+  w.rand_pages = probe_pages;
   w.input_tuples = index_matches;
   w.filter_evals = index_matches * residual_filters;
   w.output_tuples = out_rows;
@@ -90,12 +84,11 @@ OperatorWork CostModel::HashJoinWork(double outer_rows, double inner_rows,
 }
 
 OperatorWork CostModel::IndexNlJoinWork(double outer_rows,
-                                        double inner_table_rows,
-                                        double matches_per_probe,
+                                        double probe_pages_per_probe,
                                         double out_rows,
                                         int residual_joins) const {
   OperatorWork w;
-  w.rand_pages = outer_rows * IndexProbePages(inner_table_rows, matches_per_probe);
+  w.rand_pages = outer_rows * probe_pages_per_probe;
   w.input_tuples = outer_rows;
   w.filter_evals = out_rows * residual_joins;
   w.output_tuples = out_rows;

@@ -56,19 +56,22 @@ class CostModel {
                            double out_rows) const;
 
   /// Work for an index scan matching `index_matches` rows (then applying
-  /// `residual_filters` more conjuncts) on a table of `table_rows` rows.
-  OperatorWork IndexScanWork(double table_rows, double index_matches,
+  /// `residual_filters` more conjuncts). `probe_pages` comes from the
+  /// column's IndexBackend::ProbePageCost — the cost model no longer
+  /// carries its own probe-cost formula, so planner and executor always
+  /// price through the structure actually serving the probe.
+  OperatorWork IndexScanWork(double probe_pages, double index_matches,
                              int residual_filters, double out_rows) const;
 
   /// Work for a hash join of child cardinalities (probe = left/outer).
   OperatorWork HashJoinWork(double outer_rows, double inner_rows,
                             double out_rows, int residual_joins) const;
 
-  /// Work for an index nested-loop join driving `outer_rows` probes into an
-  /// index on a table of `inner_table_rows` rows.
-  OperatorWork IndexNlJoinWork(double outer_rows, double inner_table_rows,
-                               double matches_per_probe, double out_rows,
-                               int residual_joins) const;
+  /// Work for an index nested-loop join driving `outer_rows` probes, each
+  /// costing `probe_pages_per_probe` (IndexBackend::ProbePageCost of the
+  /// inner index at the expected matches per probe).
+  OperatorWork IndexNlJoinWork(double outer_rows, double probe_pages_per_probe,
+                               double out_rows, int residual_joins) const;
 
   /// Work for a materialized nested-loop join.
   OperatorWork NlJoinWork(double outer_rows, double inner_rows,
@@ -80,10 +83,6 @@ class CostModel {
  private:
   CostParams params_;
 };
-
-/// Simulated index probe page cost (duplicated from SortedIndex so the
-/// optimizer can price probes without touching data).
-double IndexProbePages(double table_rows, double matches);
 
 }  // namespace engine
 }  // namespace ml4db

@@ -1,9 +1,17 @@
 #include "engine/database.h"
 
+#include "obs/exposition.h"
+
 namespace ml4db {
 namespace engine {
 
 Database::Database(DatabaseOptions options) : options_(options) {
+  catalog_.set_default_index_backend(options_.index_backend);
+  // Expose which structure serves index probes as an info metric, so a
+  // /metrics scrape can tell a learned-index run from the classical one.
+  obs::SetRuntimeInfoMetric(
+      "ml4db.index.backend",
+      {{"backend", IndexBackendKindName(options_.index_backend)}});
   card_est_ = std::make_unique<HistogramCardEstimator>(&catalog_, &stats_);
   planner_ctx_.catalog = &catalog_;
   planner_ctx_.stats = &stats_;

@@ -22,6 +22,10 @@ struct DatabaseOptions {
   /// Constants the simulated hardware actually exhibits; the gap between
   /// the two is what ParamTree learns to close.
   CostParams true_params;
+  /// Index structure serving every column index built through this
+  /// database (sorted | btree | rmi | pgm | radix_spline | alex).
+  /// Defaults to the ML4DB_INDEX_BACKEND env knob ('sorted' when unset).
+  IndexBackendKind index_backend = IndexBackendKindFromEnv();
   int histogram_buckets = 64;
   int sample_size = 256;
   uint64_t analyze_seed = 1;

@@ -49,18 +49,23 @@ std::unique_ptr<PlanNode> DpOptimizer::BestScan(const Query& query, int slot,
                      (hints.enable_seq_scan ? 0.0 : kDisabledOpPenalty);
   }
 
-  // Index scans: one candidate per sargable filter with an index.
+  // Index scans: one candidate per sargable filter with an index. Probes
+  // are priced through the backend actually serving the column, so a
+  // learned backend's cheaper descent shifts plan choice.
   auto table = ctx_.catalog->GetTable(query.tables[slot]);
   if (table.ok()) {
     for (size_t fi = 0; fi < filters.size(); ++fi) {
       const FilterPredicate& f = filters[fi];
-      if (!(*table)->HasIndex(f.column)) continue;
+      const std::shared_ptr<const IndexBackend> index =
+          (*table)->GetIndex(f.column);
+      if (index == nullptr) continue;
       // Estimate rows matched by the index condition alone.
       double index_sel = ctx_.card_est->FilterSelectivity(query, f);
       const double matches = std::max(1.0, index_sel * table_rows);
       auto cand = make_scan(PlanOp::kIndexScan, static_cast<int>(fi));
       const OperatorWork w = ctx_.cost_model.IndexScanWork(
-          table_rows, matches, static_cast<int>(filters.size()), out_rows);
+          index->ProbePageCost(matches), matches,
+          static_cast<int>(filters.size()), out_rows);
       cand->est_cost = ctx_.cost_model.Price(w) +
                        (hints.enable_index_scan ? 0.0 : kDisabledOpPenalty);
       if (cand->est_cost < best->est_cost) best = std::move(cand);
@@ -145,7 +150,10 @@ std::vector<std::unique_ptr<PlanNode>> DpOptimizer::CandidateJoins(
     if (inner_ref.table_slot != inner.table_slot) inner_ref = edges[0].left;
     if (inner_ref.table_slot != inner.table_slot) continue;
     auto table = ctx_.catalog->GetTable(inner.table_name);
-    if (!table.ok() || !(*table)->HasIndex(inner_ref.column)) continue;
+    if (!table.ok()) continue;
+    const std::shared_ptr<const IndexBackend> index =
+        (*table)->GetIndex(inner_ref.column);
+    if (index == nullptr) continue;
 
     const double inner_table_rows = TableRows(query, inner.table_slot);
     const TableStats* its = ctx_.stats->Get(inner.table_name);
@@ -155,7 +163,7 @@ std::vector<std::unique_ptr<PlanNode>> DpOptimizer::CandidateJoins(
 
     auto node = base_join(PlanOp::kIndexNlJoin);
     const OperatorWork w = ctx_.cost_model.IndexNlJoinWork(
-        outer.est_rows, inner_table_rows, matches_per_probe, out_rows,
+        outer.est_rows, index->ProbePageCost(matches_per_probe), out_rows,
         residuals);
     // The inner scan is performed through the index; its standalone scan
     // cost is not paid.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +43,15 @@ obs::TraceSpan SpanFromPlan(const PlanNode& node) {
     span.attrs.emplace_back("table", node.table_name);
   }
   return span;
+}
+
+/// Wall-clock of real index probes through the IndexBackend interface: one
+/// sample per index-scan probe; index NL joins record their per-probe
+/// average once per join node (clock reads stay off the per-tuple path).
+obs::Histogram* IndexProbeUs() {
+  static obs::Histogram* h = obs::GetHistogram(
+      "ml4db.index.probe_us", obs::ExponentialBounds(1e-2, 2.0, 24));
+  return h;
 }
 
 }  // namespace
@@ -227,11 +237,15 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       ML4DB_CHECK(node->index_filter >= 0 &&
                   node->index_filter < static_cast<int>(node->filters.size()));
       const FilterPredicate& ixf = node->filters[node->index_filter];
-      const SortedIndex* index = table->GetIndex(ixf.column);
+      // The shared_ptr pins the backend for this probe: a concurrent
+      // retrain swap publishes a replacement without invalidating us.
+      const std::shared_ptr<const IndexBackend> index =
+          table->GetIndex(ixf.column);
       if (index == nullptr) {
         return Status::FailedPrecondition("index scan without index on " +
                                           node->table_name);
       }
+      Stopwatch probe_sw;
       std::vector<uint32_t> candidates;
       switch (ixf.op) {
         case CompareOp::kEq:
@@ -249,6 +263,7 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
           candidates = index->Range(ixf.value, 1e300);
           break;
       }
+      IndexProbeUs()->Record(probe_sw.ElapsedSeconds() * 1e6);
       out.slots = {node->table_slot};
       int residuals = 0;
       for (uint32_t r : candidates) {
@@ -266,7 +281,7 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       }
       residuals = static_cast<int>(node->filters.size());
       work = latency_model_.IndexScanWork(
-          static_cast<double>(table->num_rows()),
+          index->ProbePageCost(static_cast<double>(candidates.size())),
           static_cast<double>(candidates.size()), residuals,
           static_cast<double>(out.data.size()));
       break;
@@ -381,7 +396,8 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       ColumnRef iref = node->join_pred.right;
       if (iref.table_slot != inner->table_slot) std::swap(lref, iref);
       ML4DB_CHECK(iref.table_slot == inner->table_slot);
-      const SortedIndex* index = inner_table->GetIndex(iref.column);
+      const std::shared_ptr<const IndexBackend> index =
+          inner_table->GetIndex(iref.column);
       if (index == nullptr) {
         return Status::FailedPrecondition("index NL join without index");
       }
@@ -396,12 +412,16 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       double rand_pages = 0.0;
       double inner_matches = 0.0;
       uint64_t inner_emitted = 0;
+      double probe_seconds = 0.0;
 
       for (size_t t = 0; t < ln; ++t) {
         const uint32_t* lt = left.data.data() + t * lw;
+        Stopwatch probe_sw;
         const std::vector<uint32_t> matches =
             index->Equal(lcol.GetNumeric(lt[lpos]));
-        rand_pages += index->ProbePageCost(matches.size());
+        probe_seconds += probe_sw.ElapsedSeconds();
+        rand_pages +=
+            index->ProbePageCost(static_cast<double>(matches.size()));
         inner_matches += static_cast<double>(matches.size());
         for (uint32_t r : matches) {
           bool pass = true;
@@ -431,6 +451,10 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
           ++inner_emitted;
         }
         ML4DB_RETURN_IF_ERROR(check_limits(out.data.size() / out.slots.size()));
+      }
+      if (ln > 0) {
+        IndexProbeUs()->Record(probe_seconds * 1e6 /
+                               static_cast<double>(ln));
       }
       work.rand_pages = rand_pages;
       work.input_tuples = static_cast<double>(ln);

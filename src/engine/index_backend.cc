@@ -1,0 +1,302 @@
+#include "engine/index_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
+#include "engine/table.h"
+#include "learned_index/alex_index.h"
+#include "learned_index/btree_index.h"
+#include "learned_index/pgm_index.h"
+#include "learned_index/radix_spline.h"
+#include "learned_index/rmi_index.h"
+
+namespace ml4db {
+namespace engine {
+
+double BtreeProbePages(double indexed_rows, double matches) {
+  // B-tree-like: log_f(n) internal pages plus one leaf page per ~256 hits.
+  const double n = std::max(indexed_rows, 2.0);
+  const double depth = std::ceil(std::log(n) / std::log(64.0));
+  return depth + std::ceil(matches / 256.0);
+}
+
+double LearnedProbePages(double matches) {
+  // Model descent is O(1) in n: one page for the model prediction, one for
+  // the ε-bounded correction search, then the same leaf cost as a B-tree.
+  return 2.0 + std::ceil(matches / 256.0);
+}
+
+const char* IndexBackendKindName(IndexBackendKind kind) {
+  switch (kind) {
+    case IndexBackendKind::kSorted: return "sorted";
+    case IndexBackendKind::kBtree: return "btree";
+    case IndexBackendKind::kRmi: return "rmi";
+    case IndexBackendKind::kPgm: return "pgm";
+    case IndexBackendKind::kRadixSpline: return "radix_spline";
+    case IndexBackendKind::kAlex: return "alex";
+  }
+  return "unknown";
+}
+
+const std::vector<IndexBackendKind>& AllIndexBackendKinds() {
+  static const std::vector<IndexBackendKind> kAll = {
+      IndexBackendKind::kSorted,      IndexBackendKind::kBtree,
+      IndexBackendKind::kRmi,         IndexBackendKind::kPgm,
+      IndexBackendKind::kRadixSpline, IndexBackendKind::kAlex,
+  };
+  return kAll;
+}
+
+StatusOr<IndexBackendKind> ParseIndexBackendKind(const std::string& name) {
+  for (IndexBackendKind kind : AllIndexBackendKinds()) {
+    if (name == IndexBackendKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown index backend '" + name +
+      "' (valid: sorted, btree, rmi, pgm, radix_spline, alex)");
+}
+
+IndexBackendKind IndexBackendKindFromEnv() {
+  const char* raw = std::getenv("ML4DB_INDEX_BACKEND");
+  if (raw == nullptr || raw[0] == '\0') return IndexBackendKind::kSorted;
+  auto parsed = ParseIndexBackendKind(raw);
+  if (!parsed.ok()) {
+    ML4DB_LOG(WARN, "ML4DB_INDEX_BACKEND=%s: %s; using 'sorted'", raw,
+              parsed.status().message().c_str());
+    return IndexBackendKind::kSorted;
+  }
+  return *parsed;
+}
+
+// ------------------------- SortedIndexBackend ------------------------------
+
+std::shared_ptr<const SortedIndexBackend> SortedIndexBackend::Build(
+    const Column& col) {
+  ML4DB_CHECK_MSG(col.type != DataType::kString,
+                  "indexes support numeric columns only");
+  auto idx = std::make_shared<SortedIndexBackend>();
+  const size_t n = col.size();
+  std::vector<std::pair<double, uint32_t>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(col.GetNumeric(i), static_cast<uint32_t>(i));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  idx->keys_.reserve(n);
+  idx->rows_.reserve(n);
+  for (const auto& [k, r] : pairs) {
+    idx->keys_.push_back(k);
+    idx->rows_.push_back(r);
+  }
+  return idx;
+}
+
+std::vector<uint32_t> SortedIndexBackend::Equal(double key) const {
+  std::vector<uint32_t> out;
+  auto lo = std::lower_bound(keys_.begin(), keys_.end(), key);
+  auto hi = std::upper_bound(keys_.begin(), keys_.end(), key);
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SortedIndexBackend::Range(double lo_key,
+                                                double hi_key) const {
+  std::vector<uint32_t> out;
+  if (hi_key < lo_key) return out;  // inverted interval: hi < lo iterators
+  auto lo = std::lower_bound(keys_.begin(), keys_.end(), lo_key);
+  auto hi = std::upper_bound(keys_.begin(), keys_.end(), hi_key);
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
+  }
+  return out;
+}
+
+double SortedIndexBackend::ProbePageCost(double matches) const {
+  return BtreeProbePages(static_cast<double>(keys_.size()), matches);
+}
+
+size_t SortedIndexBackend::StructureBytes() const {
+  return keys_.size() * sizeof(double) + rows_.size() * sizeof(uint32_t);
+}
+
+// ------------------------- OrderedIndexBackend -----------------------------
+
+namespace {
+
+std::unique_ptr<learned_index::OrderedIndex> MakeOrderedIndex(
+    IndexBackendKind kind) {
+  switch (kind) {
+    case IndexBackendKind::kBtree:
+      return std::make_unique<learned_index::BTreeIndex>();
+    case IndexBackendKind::kRmi:
+      return std::make_unique<learned_index::RmiIndex>();
+    case IndexBackendKind::kPgm:
+      return std::make_unique<learned_index::PgmIndex>();
+    case IndexBackendKind::kRadixSpline:
+      return std::make_unique<learned_index::RadixSplineIndex>();
+    case IndexBackendKind::kAlex:
+      return std::make_unique<learned_index::AlexIndex>();
+    case IndexBackendKind::kSorted:
+      break;
+  }
+  return nullptr;
+}
+
+// Converts an inclusive [lo, hi] double range to the int64 key domain
+// without overflow: the smallest/largest int64 keys that could fall in it.
+// Returns false when the range contains no integer.
+bool DoubleRangeToInt64(double lo, double hi, int64_t* lo_i, int64_t* hi_i) {
+  constexpr double kMin = -9.223372036854776e18;  // < INT64_MIN as double
+  constexpr double kMax = 9.223372036854776e18;   // > INT64_MAX as double
+  lo = std::ceil(lo);
+  hi = std::floor(hi);
+  if (lo > hi) return false;
+  if (lo >= kMax || hi <= kMin) return false;
+  *lo_i = lo <= kMin ? std::numeric_limits<int64_t>::min()
+                     : static_cast<int64_t>(lo);
+  *hi_i = hi >= kMax ? std::numeric_limits<int64_t>::max()
+                     : static_cast<int64_t>(hi);
+  return true;
+}
+
+}  // namespace
+
+OrderedIndexBackend::OrderedIndexBackend() = default;
+OrderedIndexBackend::~OrderedIndexBackend() = default;
+
+StatusOr<std::shared_ptr<const OrderedIndexBackend>> OrderedIndexBackend::Build(
+    const Column& col, IndexBackendKind kind) {
+  if (col.type != DataType::kInt64) {
+    return Status::InvalidArgument(
+        "OrderedIndex backends require an INT64 column");
+  }
+  auto ordered = MakeOrderedIndex(kind);
+  if (ordered == nullptr) {
+    return Status::InvalidArgument("not an OrderedIndex backend kind");
+  }
+  std::shared_ptr<OrderedIndexBackend> idx(new OrderedIndexBackend());
+  idx->kind_ = kind;
+
+  const size_t n = col.i64.size();
+  std::vector<std::pair<int64_t, uint32_t>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(col.i64[i], static_cast<uint32_t>(i));
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  // One OrderedIndex entry per distinct key; the payload is the ordinal of
+  // that key's row run in rows_/starts_.
+  std::vector<learned_index::Entry> entries;
+  idx->rows_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 || pairs[i].first != pairs[i - 1].first) {
+      idx->starts_.push_back(static_cast<uint32_t>(i));
+      entries.push_back({pairs[i].first,
+                         static_cast<uint64_t>(entries.size())});
+    }
+    idx->rows_.push_back(pairs[i].second);
+  }
+  idx->starts_.push_back(static_cast<uint32_t>(n));
+
+  Status st = Status::OK();
+  switch (kind) {
+    case IndexBackendKind::kBtree:
+      st = static_cast<learned_index::BTreeIndex*>(ordered.get())
+               ->BulkLoad(entries);
+      break;
+    case IndexBackendKind::kRmi:
+      st = static_cast<learned_index::RmiIndex*>(ordered.get())
+               ->BulkLoad(entries);
+      break;
+    case IndexBackendKind::kPgm:
+      st = static_cast<learned_index::PgmIndex*>(ordered.get())
+               ->BulkLoad(entries);
+      break;
+    case IndexBackendKind::kRadixSpline:
+      st = static_cast<learned_index::RadixSplineIndex*>(ordered.get())
+               ->BulkLoad(entries);
+      break;
+    case IndexBackendKind::kAlex:
+      st = static_cast<learned_index::AlexIndex*>(ordered.get())
+               ->BulkLoad(entries);
+      break;
+    case IndexBackendKind::kSorted:
+      break;
+  }
+  ML4DB_RETURN_IF_ERROR(st);
+  idx->ordered_ = std::move(ordered);
+  return std::shared_ptr<const OrderedIndexBackend>(idx);
+}
+
+std::string OrderedIndexBackend::Name() const {
+  return IndexBackendKindName(kind_);
+}
+
+std::vector<uint32_t> OrderedIndexBackend::Equal(double key) const {
+  std::vector<uint32_t> out;
+  // Non-integral probe values cannot equal any int64 key.
+  if (key != std::floor(key)) return out;
+  int64_t lo_i, hi_i;
+  if (!DoubleRangeToInt64(key, key, &lo_i, &hi_i)) return out;
+  uint64_t ordinal = 0;
+  if (!ordered_->Lookup(lo_i, &ordinal)) return out;
+  out.assign(rows_.begin() + starts_[ordinal],
+             rows_.begin() + starts_[ordinal + 1]);
+  return out;
+}
+
+std::vector<uint32_t> OrderedIndexBackend::Range(double lo, double hi) const {
+  std::vector<uint32_t> out;
+  int64_t lo_i, hi_i;
+  if (!DoubleRangeToInt64(lo, hi, &lo_i, &hi_i)) return out;
+  // RangeScan yields ordinals in key order, so the concatenated runs come
+  // out key-sorted, matching the classical backend's order.
+  for (uint64_t ordinal : ordered_->RangeScan(lo_i, hi_i)) {
+    out.insert(out.end(), rows_.begin() + starts_[ordinal],
+               rows_.begin() + starts_[ordinal + 1]);
+  }
+  return out;
+}
+
+double OrderedIndexBackend::ProbePageCost(double matches) const {
+  if (kind_ == IndexBackendKind::kBtree) {
+    return BtreeProbePages(static_cast<double>(rows_.size()), matches);
+  }
+  return LearnedProbePages(matches);
+}
+
+size_t OrderedIndexBackend::StructureBytes() const {
+  return ordered_->StructureBytes() + rows_.size() * sizeof(uint32_t) +
+         starts_.size() * sizeof(uint32_t);
+}
+
+// ------------------------------ factory ------------------------------------
+
+StatusOr<std::shared_ptr<const IndexBackend>> BuildIndexBackend(
+    const Column& col, IndexBackendKind kind) {
+  if (col.type == DataType::kString) {
+    return Status::InvalidArgument("cannot index string column");
+  }
+  if (kind != IndexBackendKind::kSorted && col.type != DataType::kInt64) {
+    ML4DB_LOG(WARN,
+              "index backend '%s' requires an INT64 column; "
+              "falling back to 'sorted' for this column",
+              IndexBackendKindName(kind));
+    kind = IndexBackendKind::kSorted;
+  }
+  if (kind == IndexBackendKind::kSorted) {
+    return std::shared_ptr<const IndexBackend>(SortedIndexBackend::Build(col));
+  }
+  ML4DB_ASSIGN_OR_RETURN(std::shared_ptr<const OrderedIndexBackend> built,
+                         OrderedIndexBackend::Build(col, kind));
+  return std::shared_ptr<const IndexBackend>(std::move(built));
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,160 @@
+// Pluggable per-column index backends (paper §3.2): the probe contract the
+// engine plans and executes against, with a classical sorted-array backend
+// and an adapter that serves live traffic through any
+// learned_index::OrderedIndex (btree, rmi, pgm, radix_spline, alex).
+//
+// The engine never names a concrete index structure: Table stores
+// shared_ptr<const IndexBackend> per column, the executor probes through
+// the interface, and the optimizer prices probes via ProbePageCost — so a
+// background retrain can atomically swap a rebuilt backend under live
+// queries (readers keep their shared_ptr for the duration of a probe).
+
+#ifndef ML4DB_ENGINE_INDEX_BACKEND_H_
+#define ML4DB_ENGINE_INDEX_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ml4db {
+
+namespace learned_index {
+class OrderedIndex;
+}  // namespace learned_index
+
+namespace engine {
+
+struct Column;  // table.h; index_backend.h must stay includable from there
+
+/// The single source of the simulated B-tree probe cost: log_64(n) internal
+/// pages for the descent plus one leaf page per ~256 matches. Both the
+/// classical backend and the optimizer's formula model price through this
+/// function — it used to be duplicated in SortedIndex and cost_model.cc.
+double BtreeProbePages(double indexed_rows, double matches);
+
+/// Probe cost of a learned index: a constant-depth model descent (the
+/// paper's §3.2 speed claim — predict the position, then a bounded local
+/// search) plus the same per-match leaf cost.
+double LearnedProbePages(double matches);
+
+/// Which concrete structure backs a column index.
+enum class IndexBackendKind {
+  kSorted,       ///< classical sorted (key,row) array, binary search
+  kBtree,        ///< learned_index::BTreeIndex via the adapter
+  kRmi,          ///< replacement-paradigm RMI (static)
+  kPgm,          ///< PGM (ε-bounded piecewise linear)
+  kRadixSpline,  ///< RadixSpline (static)
+  kAlex,         ///< ML-enhanced updatable (gapped arrays)
+};
+
+/// Short stable name ("sorted", "btree", "rmi", ...), used by flags,
+/// metrics labels, and bench JSON.
+const char* IndexBackendKindName(IndexBackendKind kind);
+
+/// Parses a backend name; InvalidArgument lists the valid names.
+StatusOr<IndexBackendKind> ParseIndexBackendKind(const std::string& name);
+
+/// Backend selected by the ML4DB_INDEX_BACKEND environment variable;
+/// kSorted when unset. An unparsable value logs a WARN and falls back.
+IndexBackendKind IndexBackendKindFromEnv();
+
+/// All kinds, in declaration order (bench sweeps).
+const std::vector<IndexBackendKind>& AllIndexBackendKinds();
+
+/// The probe contract every index consumer (executor, optimizer, cost
+/// model, advisor) speaks. Implementations are immutable once built:
+/// updates go through rebuild-and-swap (Table::SwapIndex).
+class IndexBackend {
+ public:
+  virtual ~IndexBackend() = default;
+
+  /// Backend name for metrics/labels ("sorted", "rmi", ...).
+  virtual std::string Name() const = 0;
+
+  /// Row ids whose key equals `key`.
+  virtual std::vector<uint32_t> Equal(double key) const = 0;
+
+  /// Row ids whose key is in [lo, hi].
+  virtual std::vector<uint32_t> Range(double lo, double hi) const = 0;
+
+  /// Simulated page reads for a probe returning `matches` rows. Takes a
+  /// double so the optimizer can price estimated (fractional) match counts
+  /// through the very same function the executor charges actuals with.
+  virtual double ProbePageCost(double matches) const = 0;
+
+  /// Number of indexed entries.
+  virtual size_t size() const = 0;
+
+  /// Approximate memory footprint of the structure, including adapter
+  /// arrays (the space-efficiency axis of the paper's comparison).
+  virtual size_t StructureBytes() const = 0;
+};
+
+/// The engine's classical index: (key, row) pairs sorted by key, probed
+/// with binary search. Handles INT64 and DOUBLE columns.
+class SortedIndexBackend : public IndexBackend {
+ public:
+  /// Builds over the given column data (must be numeric).
+  static std::shared_ptr<const SortedIndexBackend> Build(const Column& col);
+
+  std::string Name() const override { return "sorted"; }
+  std::vector<uint32_t> Equal(double key) const override;
+  std::vector<uint32_t> Range(double lo, double hi) const override;
+  double ProbePageCost(double matches) const override;
+  size_t size() const override { return keys_.size(); }
+  size_t StructureBytes() const override;
+
+ private:
+  std::vector<double> keys_;    // sorted
+  std::vector<uint32_t> rows_;  // aligned row ids
+};
+
+/// Adapter serving a column through any learned_index::OrderedIndex.
+/// OrderedIndex stores unique int64 keys, so the adapter deduplicates:
+/// the wrapped index maps each distinct key to an ordinal, and run offsets
+/// recover the (key-sorted) row ids of that key's duplicates. INT64
+/// columns only — the OrderedIndex key domain.
+class OrderedIndexBackend : public IndexBackend {
+ public:
+  /// Builds over an INT64 column; InvalidArgument for other types and
+  /// kSorted (which has no OrderedIndex to wrap).
+  static StatusOr<std::shared_ptr<const OrderedIndexBackend>> Build(
+      const Column& col, IndexBackendKind kind);
+
+  std::string Name() const override;
+  std::vector<uint32_t> Equal(double key) const override;
+  std::vector<uint32_t> Range(double lo, double hi) const override;
+  double ProbePageCost(double matches) const override;
+  size_t size() const override { return rows_.size(); }
+  size_t StructureBytes() const override;
+
+  const learned_index::OrderedIndex& ordered() const { return *ordered_; }
+
+  // Out-of-line so unique_ptr<OrderedIndex> tolerates the forward
+  // declaration; public because shared_ptr's deleter destroys from
+  // outside the class.
+  ~OrderedIndexBackend() override;
+
+ private:
+  OrderedIndexBackend();
+
+  IndexBackendKind kind_ = IndexBackendKind::kBtree;
+  std::unique_ptr<learned_index::OrderedIndex> ordered_;  // key -> ordinal
+  std::vector<uint32_t> rows_;    // row ids sorted by (key, row)
+  std::vector<uint32_t> starts_;  // ordinal u covers rows_[starts_[u],
+                                  // starts_[u+1]); size = #distinct + 1
+};
+
+/// Builds a backend of the requested kind over a column. A non-INT64
+/// column cannot be served by an OrderedIndex; it falls back to the
+/// classical backend (with a WARN) so mixed-type schemas still index.
+StatusOr<std::shared_ptr<const IndexBackend>> BuildIndexBackend(
+    const Column& col, IndexBackendKind kind);
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_INDEX_BACKEND_H_

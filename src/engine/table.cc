@@ -1,7 +1,9 @@
 #include "engine/table.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace ml4db {
 namespace engine {
@@ -50,53 +52,6 @@ void Column::Append(const Value& v) {
   }
 }
 
-SortedIndex SortedIndex::Build(const Column& col) {
-  ML4DB_CHECK_MSG(col.type != DataType::kString,
-                  "indexes support numeric columns only");
-  SortedIndex idx;
-  const size_t n = col.size();
-  std::vector<std::pair<double, uint32_t>> pairs;
-  pairs.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    pairs.emplace_back(col.GetNumeric(i), static_cast<uint32_t>(i));
-  }
-  std::sort(pairs.begin(), pairs.end());
-  idx.keys_.reserve(n);
-  idx.rows_.reserve(n);
-  for (const auto& [k, r] : pairs) {
-    idx.keys_.push_back(k);
-    idx.rows_.push_back(r);
-  }
-  return idx;
-}
-
-std::vector<uint32_t> SortedIndex::Equal(double key) const {
-  std::vector<uint32_t> out;
-  auto lo = std::lower_bound(keys_.begin(), keys_.end(), key);
-  auto hi = std::upper_bound(keys_.begin(), keys_.end(), key);
-  for (auto it = lo; it != hi; ++it) {
-    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
-  }
-  return out;
-}
-
-std::vector<uint32_t> SortedIndex::Range(double lo_key, double hi_key) const {
-  std::vector<uint32_t> out;
-  auto lo = std::lower_bound(keys_.begin(), keys_.end(), lo_key);
-  auto hi = std::upper_bound(keys_.begin(), keys_.end(), hi_key);
-  for (auto it = lo; it != hi; ++it) {
-    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
-  }
-  return out;
-}
-
-double SortedIndex::ProbePageCost(size_t matches) const {
-  // B-tree-like: log_f(n) internal pages plus one leaf page per ~256 hits.
-  const double n = std::max<double>(static_cast<double>(keys_.size()), 2.0);
-  const double depth = std::ceil(std::log(n) / std::log(64.0));
-  return depth + std::ceil(static_cast<double>(matches) / 256.0);
-}
-
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.columns.size());
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -143,19 +98,102 @@ Status Table::AppendColumnarInt64(
 }
 
 Status Table::BuildIndex(int column_idx) {
+  return BuildIndex(column_idx, IndexKind(column_idx));
+}
+
+Status Table::BuildIndex(int column_idx, IndexBackendKind kind) {
   if (column_idx < 0 || column_idx >= static_cast<int>(columns_.size())) {
     return Status::InvalidArgument("no such column");
   }
-  if (columns_[column_idx].type == DataType::kString) {
-    return Status::InvalidArgument("cannot index string column");
-  }
-  indexes_[column_idx] = SortedIndex::Build(columns_[column_idx]);
+  // The build reads immutable column data, so it runs outside the lock;
+  // only publication synchronizes with concurrent probes.
+  ML4DB_ASSIGN_OR_RETURN(std::shared_ptr<const IndexBackend> backend,
+                         BuildIndexBackend(columns_[column_idx], kind));
+  PublishIndex(column_idx, kind, std::move(backend), /*is_swap=*/false);
   return Status::OK();
 }
 
-const SortedIndex* Table::GetIndex(int column_idx) const {
+void Table::DropIndex(int column_idx) {
+  std::shared_ptr<const IndexBackend> dropped;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    auto it = indexes_.find(column_idx);
+    if (it == indexes_.end()) return;
+    dropped = std::move(it->second.backend);
+    indexes_.erase(it);
+  }
+  obs::GetGauge("ml4db.index.structure_bytes")
+      ->Add(-static_cast<double>(dropped->StructureBytes()));
+}
+
+std::shared_ptr<const IndexBackend> Table::GetIndex(int column_idx) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(column_idx);
-  return it == indexes_.end() ? nullptr : &it->second;
+  return it == indexes_.end() ? nullptr : it->second.backend;
+}
+
+StatusOr<std::shared_ptr<const IndexBackend>> Table::SwapIndex(
+    int column_idx, std::shared_ptr<const IndexBackend> replacement) {
+  if (replacement == nullptr) {
+    return Status::InvalidArgument("cannot swap in a null index backend");
+  }
+  std::shared_ptr<const IndexBackend> old;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    auto it = indexes_.find(column_idx);
+    if (it == indexes_.end()) {
+      return Status::FailedPrecondition("no index to swap on column " +
+                                        std::to_string(column_idx));
+    }
+    old = it->second.backend;
+  }
+  auto parsed = ParseIndexBackendKind(replacement->Name());
+  const IndexBackendKind kind =
+      parsed.ok() ? *parsed : IndexKind(column_idx);
+  PublishIndex(column_idx, kind, std::move(replacement), /*is_swap=*/true);
+  return old;
+}
+
+std::vector<int> Table::IndexedColumns() const {
+  std::vector<int> cols;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    cols.reserve(indexes_.size());
+    for (const auto& [col, _] : indexes_) cols.push_back(col);
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+IndexBackendKind Table::IndexKind(int column_idx) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = indexes_.find(column_idx);
+  return it == indexes_.end() ? default_backend_ : it->second.kind;
+}
+
+void Table::PublishIndex(int column_idx, IndexBackendKind kind,
+                         std::shared_ptr<const IndexBackend> backend,
+                         bool is_swap) {
+  const double new_bytes = static_cast<double>(backend->StructureBytes());
+  std::shared_ptr<const IndexBackend> old;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    IndexSlot& slot = indexes_[column_idx];
+    old = std::move(slot.backend);
+    slot.kind = kind;
+    slot.backend = std::move(backend);
+  }
+  const double old_bytes =
+      old == nullptr ? 0.0 : static_cast<double>(old->StructureBytes());
+  obs::GetGauge("ml4db.index.structure_bytes")->Add(new_bytes - old_bytes);
+  obs::GetCounter("ml4db.index.builds_total")->Inc();
+  if (is_swap) {
+    obs::GetCounter("ml4db.index.swaps_total")->Inc();
+    obs::PublishEvent(obs::EventKind::kIndexStructure, "engine.index",
+                      schema_.name + ".c" + std::to_string(column_idx) +
+                          " swapped to " + IndexBackendKindName(kind),
+                      new_bytes);
+  }
 }
 
 StatusOr<Table*> Catalog::CreateTable(TableSchema schema) {
@@ -164,6 +202,7 @@ StatusOr<Table*> Catalog::CreateTable(TableSchema schema) {
     return Status::AlreadyExists("table exists: " + name);
   }
   auto table = std::make_unique<Table>(std::move(schema));
+  table->set_default_index_backend(default_backend_);
   Table* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;

@@ -4,11 +4,13 @@
 #define ML4DB_ENGINE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "engine/index_backend.h"
 #include "engine/types.h"
 
 namespace ml4db {
@@ -43,35 +45,12 @@ struct Column {
   void Append(const Value& v);
 };
 
-/// A sorted secondary index over one INT64/DOUBLE column: pairs of
-/// (key, row id) sorted by key, probed with binary search. This is the
-/// engine's classical index; learned alternatives live in
-/// src/learned_index and are benchmarked against it.
-class SortedIndex {
- public:
-  /// Builds the index over the given column data.
-  static SortedIndex Build(const Column& col);
-
-  /// Row ids whose key equals `key`.
-  std::vector<uint32_t> Equal(double key) const;
-
-  /// Row ids whose key is in [lo, hi].
-  std::vector<uint32_t> Range(double lo, double hi) const;
-
-  /// Estimated page reads for a probe returning `matches` rows (root-to-leaf
-  /// descent plus leaf scan).
-  double ProbePageCost(size_t matches) const;
-
-  size_t size() const { return keys_.size(); }
-
- private:
-  std::vector<double> keys_;     // sorted
-  std::vector<uint32_t> rows_;   // aligned row ids
-};
-
-/// An immutable-after-load columnar table with optional per-column indexes
-/// and collected statistics (see stats.h; stored opaquely here to avoid a
-/// header cycle).
+/// An immutable-after-load columnar table with optional per-column index
+/// backends (see index_backend.h) and collected statistics (see stats.h;
+/// stored opaquely here to avoid a header cycle). Index publication is
+/// thread-safe: GetIndex hands out a shared_ptr readers hold for the
+/// duration of a probe, so SwapIndex can atomically install a freshly
+/// rebuilt backend under live queries.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -92,30 +71,74 @@ class Table {
   /// equally sized. Faster path used by generators.
   Status AppendColumnarInt64(const std::vector<std::vector<int64_t>>& cols);
 
-  /// Builds a sorted index on the given column (replacing any existing one).
+  /// Builds an index on the given column (replacing any existing one),
+  /// keeping the column's current backend kind — or the table default for
+  /// a first build.
   Status BuildIndex(int column_idx);
+
+  /// Builds an index on the given column with an explicit backend kind.
+  Status BuildIndex(int column_idx, IndexBackendKind kind);
 
   /// Drops the index on the given column (no-op if absent). The what-if
   /// primitive index advisors rely on.
-  void DropIndex(int column_idx) { indexes_.erase(column_idx); }
+  void DropIndex(int column_idx);
 
-  /// Index on a column, or nullptr.
-  const SortedIndex* GetIndex(int column_idx) const;
+  /// Index backend on a column, or nullptr. The returned shared_ptr keeps
+  /// the backend alive across a concurrent SwapIndex.
+  std::shared_ptr<const IndexBackend> GetIndex(int column_idx) const;
 
   bool HasIndex(int column_idx) const { return GetIndex(column_idx) != nullptr; }
 
+  /// Atomically replaces the backend on an indexed column (the background
+  /// retrain's publish step) and returns the previous backend. Fails if
+  /// the column has no index — swap never creates one.
+  StatusOr<std::shared_ptr<const IndexBackend>> SwapIndex(
+      int column_idx, std::shared_ptr<const IndexBackend> replacement);
+
+  /// Columns that currently have an index, ascending.
+  std::vector<int> IndexedColumns() const;
+
+  /// Backend kind of an existing index on the column, or the table default.
+  IndexBackendKind IndexKind(int column_idx) const;
+
+  /// Default backend kind for future BuildIndex(column) calls. Stamped by
+  /// the catalog at CreateTable from the Database option / env knob.
+  void set_default_index_backend(IndexBackendKind kind) {
+    default_backend_ = kind;
+  }
+  IndexBackendKind default_index_backend() const { return default_backend_; }
+
  private:
+  struct IndexSlot {
+    IndexBackendKind kind = IndexBackendKind::kSorted;
+    std::shared_ptr<const IndexBackend> backend;
+  };
+
+  /// Publishes (or replaces) a backend under the lock and maintains the
+  /// structure-bytes gauge + swap accounting.
+  void PublishIndex(int column_idx, IndexBackendKind kind,
+                    std::shared_ptr<const IndexBackend> backend, bool is_swap);
+
   TableSchema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
-  std::unordered_map<int, SortedIndex> indexes_;
+  IndexBackendKind default_backend_ = IndexBackendKind::kSorted;
+  mutable std::mutex index_mu_;
+  std::unordered_map<int, IndexSlot> indexes_;
 };
 
 /// Name → table registry.
 class Catalog {
  public:
-  /// Creates an empty table; fails if the name exists.
+  /// Creates an empty table; fails if the name exists. The new table's
+  /// default index backend is the catalog's.
   StatusOr<Table*> CreateTable(TableSchema schema);
+
+  /// Default index backend stamped onto tables created afterwards.
+  void set_default_index_backend(IndexBackendKind kind) {
+    default_backend_ = kind;
+  }
+  IndexBackendKind default_index_backend() const { return default_backend_; }
 
   /// Looks a table up by name.
   StatusOr<Table*> GetTable(const std::string& name);
@@ -125,6 +148,7 @@ class Catalog {
   size_t size() const { return tables_.size(); }
 
  private:
+  IndexBackendKind default_backend_ = IndexBackendKind::kSorted;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 };
 

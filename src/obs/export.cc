@@ -32,6 +32,17 @@ BenchExporter::BenchExporter(std::string bench_name,
                              std::vector<std::string> argv)
     : bench_name_(std::move(bench_name)), argv_(std::move(argv)) {}
 
+void BenchExporter::SetConfig(const std::string& key,
+                              const std::string& value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_.emplace_back(key, value);
+}
+
 namespace {
 
 JsonValue HistogramToJson(const HistogramSnapshot& h) {
@@ -80,6 +91,14 @@ JsonValue BenchExporter::ToJson() const {
   run.Set("build", JsonValue::String("debug"));
 #endif
   doc.Set("run", std::move(run));
+
+  if (!config_.empty()) {
+    JsonValue config = JsonValue::Object();
+    for (const auto& [key, value] : config_) {
+      config.Set(key, JsonValue::String(value));
+    }
+    doc.Set("config", std::move(config));
+  }
 
   const RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
   JsonValue metrics = JsonValue::Object();

@@ -8,6 +8,7 @@
 #define ML4DB_OBS_EXPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -42,6 +43,11 @@ class BenchExporter {
     traces_.push_back(trace.ToJsonValue());
   }
 
+  /// Records a run-configuration key (e.g. "index_backend" -> "rmi"),
+  /// emitted as the top-level "config" string map. Last write per key
+  /// wins; insertion order is preserved in the output.
+  void SetConfig(const std::string& key, const std::string& value);
+
   const std::string& bench_name() const { return bench_name_; }
 
   /// Builds the full document; snapshots the global metrics registry and
@@ -58,6 +64,7 @@ class BenchExporter {
  private:
   std::string bench_name_;
   std::vector<std::string> argv_;
+  std::vector<std::pair<std::string, std::string>> config_;
   std::vector<ExportTable> tables_;
   std::vector<JsonValue> traces_;
 };

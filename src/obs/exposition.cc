@@ -1,8 +1,11 @@
 #include "obs/exposition.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <mutex>
 
 #include "common/thread_pool.h"
 
@@ -61,6 +64,28 @@ void AppendSummary(std::string* out, const HistogramSnapshot& h) {
   *out += name + "_count " + FmtUint(h.count) + "\n";
 }
 
+using InfoLabels = std::vector<std::pair<std::string, std::string>>;
+
+std::mutex g_info_mu;
+std::map<std::string, InfoLabels>& InfoMetrics() {
+  static auto* m = new std::map<std::string, InfoLabels>();
+  return *m;
+}
+
+void AppendInfoMetric(std::string* out, const std::string& name,
+                      const InfoLabels& labels) {
+  const std::string prom = PromSanitizeName(name);
+  AppendTypeLine(out, prom, "gauge");
+  *out += prom + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) *out += ",";
+    first = false;
+    *out += PromSanitizeName(key) + "=\"" + PromEscapeLabelValue(value) + "\"";
+  }
+  *out += "} 1\n";
+}
+
 }  // namespace
 
 std::string PromSanitizeName(const std::string& name) {
@@ -114,6 +139,17 @@ std::vector<std::pair<std::string, std::string>> BuildInfoLabels() {
   return labels;
 }
 
+void SetRuntimeInfoMetric(const std::string& name, InfoLabels labels) {
+  std::lock_guard<std::mutex> lock(g_info_mu);
+  InfoMetrics()[name] = std::move(labels);
+}
+
+std::vector<std::pair<std::string, InfoLabels>> RuntimeInfoMetrics() {
+  std::lock_guard<std::mutex> lock(g_info_mu);
+  const auto& m = InfoMetrics();
+  return {m.begin(), m.end()};
+}
+
 double ProcessUptimeSeconds() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        g_process_start)
@@ -157,6 +193,9 @@ std::string RenderPrometheusText() {
     out += key + "=\"" + PromEscapeLabelValue(value) + "\"";
   }
   out += "} 1\n";
+  for (const auto& [name, labels] : RuntimeInfoMetrics()) {
+    AppendInfoMetric(&out, name, labels);
+  }
   AppendTypeLine(&out, "ml4db_uptime_seconds", "gauge");
   out += "ml4db_uptime_seconds " + FmtDouble(ProcessUptimeSeconds()) + "\n";
   return out;

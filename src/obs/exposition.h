@@ -46,6 +46,20 @@ std::vector<std::pair<std::string, std::string>> BuildInfoLabels();
 /// Seconds since process start (static-initialization time).
 double ProcessUptimeSeconds();
 
+/// Registers (or replaces) a runtime info metric: rendered by the global
+/// RenderPrometheusText() as `<name>{k1="v1",...} 1` with TYPE gauge.
+/// Unlike ml4db_build_info the labels are decided at runtime — e.g.
+/// `ml4db.index.backend` carries the configured index backend. Works in
+/// both obs modes. Thread-safe.
+void SetRuntimeInfoMetric(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> labels);
+
+/// All registered runtime info metrics, sorted by name (for tests).
+std::vector<std::pair<std::string,
+                      std::vector<std::pair<std::string, std::string>>>>
+RuntimeInfoMetrics();
+
 /// Renders the given snapshots. Pure: no global state is consulted.
 std::string RenderPrometheusText(const RegistrySnapshot& metrics,
                                  const WindowRegistry::Snapshot& windows);

@@ -11,6 +11,8 @@
 
 #include <cstring>
 
+#include "common/logging.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/window.h"
 #include "server/query_parser.h"
@@ -216,6 +218,50 @@ void Server::HandleRequests(const std::shared_ptr<Session>& session,
   requests->clear();
 }
 
+Status Server::ValidateColumns(const engine::Query& query) {
+  // Table existence was checked by the caller; re-resolve per slot so the
+  // checks below can consult schemas and index state.
+  std::vector<const engine::Table*> tables(query.tables.size(), nullptr);
+  for (size_t s = 0; s < query.tables.size(); ++s) {
+    auto t = db_->catalog().GetTable(query.tables[s]);
+    if (!t.ok()) return t.status();
+    tables[s] = *t;
+  }
+  auto check = [&](int slot, int column) -> Status {
+    const engine::Table* t = tables[slot];
+    if (column < 0 || column >= static_cast<int>(t->num_columns())) {
+      return Status::InvalidArgument(
+          "unknown column c" + std::to_string(column) + " in table " +
+          t->schema().name + " (" + std::to_string(t->num_columns()) +
+          " columns)");
+    }
+    return Status::OK();
+  };
+  for (const engine::JoinPredicate& j : query.joins) {
+    ML4DB_RETURN_IF_ERROR(check(j.left.table_slot, j.left.column));
+    ML4DB_RETURN_IF_ERROR(check(j.right.table_slot, j.right.column));
+  }
+  for (const engine::FilterPredicate& f : query.filters) {
+    ML4DB_RETURN_IF_ERROR(check(f.table_slot, f.column));
+    if (!tables[f.table_slot]->HasIndex(f.column)) {
+      // Valid but non-indexed: the planner serves this with a sequential
+      // scan. Surface it once per (table, column) so a hot filter missing
+      // its index is visible, instead of quietly paying the scan forever
+      // (and never by building a throwaway per-request index).
+      const std::string key = tables[f.table_slot]->schema().name + ".c" +
+                              std::to_string(f.column);
+      if (warned_seq_fallback_.insert(key).second) {
+        ML4DB_LOG(WARN,
+                  "filter on non-indexed column %s: serving via seq scan",
+                  key.c_str());
+        obs::PublishEvent(obs::EventKind::kCustom, "server.query",
+                          "seq-scan fallback on non-indexed column " + key);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 void Server::RunQueries(std::vector<PendingQuery>* batch) {
   static obs::Counter* timeouts =
       obs::GetCounter("ml4db.server.timeout_total");
@@ -266,6 +312,7 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
         break;
       }
     }
+    if (resolved.ok()) resolved = ValidateColumns(*parsed);
     if (!resolved.ok()) {
       parse_errors->Inc();
       item.respond(MakeStatusResponse(item.request_id, ResponseStatus::kError,

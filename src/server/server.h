@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -112,6 +113,11 @@ class Server {
   void HandleRequests(const std::shared_ptr<Session>& session,
                       std::vector<Request>* requests);
   void RunQueries(std::vector<PendingQuery>* batch);
+  /// Rejects out-of-range column references (which would abort inside the
+  /// planner) and warns once per (table, column) when a filter lands on a
+  /// valid but non-indexed column — such filters are served by sequential
+  /// scan rather than by building a throwaway index. Batcher thread only.
+  Status ValidateColumns(const engine::Query& query);
 
   const engine::Database* db_;
   ServerOptions options_;
@@ -134,6 +140,9 @@ class Server {
   std::unordered_map<int, std::shared_ptr<Session>> sessions_;  // IO thread
   uint64_t next_session_id_ = 1;                                // IO thread
   uint64_t batch_seq_ = 0;  // batcher thread; drives trace sampling
+  /// "(table).c(col)" keys already warned about seq-scan fallback
+  /// (batcher thread only; warn-once keeps hot filters from log-spamming).
+  std::unordered_set<std::string> warned_seq_fallback_;
   std::atomic<uint64_t> queries_served_{0};
 };
 

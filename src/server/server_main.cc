@@ -27,24 +27,38 @@
 //   --max-inflight N     admitted-unfinished cap (default 4096)
 //   --batch-max N        max RunBatch size       (default 64)
 //   --linger-ms N        batch-fill linger       (default 0)
+//   --index-backend B    structure serving index probes: sorted | btree |
+//                        rmi | pgm | radix_spline | alex
+//                        (default: ML4DB_INDEX_BACKEND env, else sorted)
+//   --retrain-interval-ms N  rebuild every indexed column's backend in the
+//                        background every N ms and atomically swap the
+//                        replacement in (0 = off, default)
 //   --json [PATH]        write BENCH_server.json (or PATH) on shutdown
 //
 // Env knobs:
 //   ML4DB_SLOW_QUERY_K   slow-query store capacity   (default 32)
 //   ML4DB_TRACE_SAMPLE_N trace every Nth batch       (default 1 = all)
+//   ML4DB_INDEX_BACKEND  default for --index-backend
 
 #include <pthread.h>
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "drift/retrain_scheduler.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/slow_query.h"
@@ -70,6 +84,8 @@ struct Flags {
   size_t max_inflight = 4096;
   size_t batch_max = 64;
   int linger_ms = 0;
+  std::string index_backend;  // empty = ML4DB_INDEX_BACKEND env / sorted
+  int retrain_interval_ms = 0;
   std::string json_path;  // empty = no export
   bool json = false;
 };
@@ -97,6 +113,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     else if (arg == "--max-inflight") flags->max_inflight = std::strtoull(value("--max-inflight"), nullptr, 10);
     else if (arg == "--batch-max") flags->batch_max = std::strtoull(value("--batch-max"), nullptr, 10);
     else if (arg == "--linger-ms") flags->linger_ms = std::atoi(value("--linger-ms"));
+    else if (arg == "--index-backend") flags->index_backend = value("--index-backend");
+    else if (arg == "--retrain-interval-ms") flags->retrain_interval_ms = std::atoi(value("--retrain-interval-ms"));
     else if (arg == "--json") {
       flags->json = true;
       flags->json_path = "BENCH_server.json";
@@ -124,7 +142,17 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
-  engine::Database db;
+  engine::DatabaseOptions dopts;
+  if (!flags.index_backend.empty()) {
+    const auto kind = engine::ParseIndexBackendKind(flags.index_backend);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "--index-backend: %s\n",
+                   kind.status().ToString().c_str());
+      return 2;
+    }
+    dopts.index_backend = *kind;
+  }
+  engine::Database db(dopts);
   {
     workload::SchemaGenOptions opts;
     opts.num_dimensions = flags.dims;
@@ -142,8 +170,11 @@ int main(int argc, char** argv) {
               flags.dims, flags.fact_rows, sw.ElapsedSeconds());
   }
 
+  const char* backend_name =
+      engine::IndexBackendKindName(dopts.index_backend);
   std::vector<std::string> argv_copy(argv, argv + argc);
   obs::BenchExporter exporter("server", argv_copy);
+  exporter.SetConfig("index_backend", backend_name);
 
   server::ServerOptions opts;
   opts.host = flags.host;
@@ -210,8 +241,68 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("ml4db_server listening on %s:%d\n", flags.host.c_str(),
-              srv.port());
+  // Background retrain loop — the replacement-paradigm lifecycle from the
+  // survey's learned-index section: every interval, rebuild each indexed
+  // column's backend off the serving path (fits run on the shared pool via
+  // the RetrainScheduler) and atomically swap finished replacements in.
+  // Readers pin the old backend via shared_ptr, so in-flight probes finish
+  // against the structure they started on and no request is ever lost.
+  drift::RetrainScheduler retrainer(
+      drift::RetrainScheduler::Options{nullptr, "drift.index"});
+  std::atomic<bool> retrain_stop{false};
+  std::mutex retrain_mu;
+  std::condition_variable retrain_cv;
+  std::thread retrain_thread;
+  if (flags.retrain_interval_ms > 0) {
+    retrain_thread = std::thread([&] {
+      const auto interval =
+          std::chrono::milliseconds(flags.retrain_interval_ms);
+      while (true) {
+        {
+          std::unique_lock<std::mutex> lock(retrain_mu);
+          retrain_cv.wait_for(lock, interval,
+                              [&] { return retrain_stop.load(); });
+        }
+        if (retrain_stop.load()) break;
+        for (const std::string& name : db.catalog().TableNames()) {
+          auto t = db.catalog().GetTable(name);
+          if (!t.ok()) continue;
+          engine::Table* table = *t;
+          for (int col : table->IndexedColumns()) {
+            const engine::IndexBackendKind kind = table->IndexKind(col);
+            retrainer.Schedule(
+                name + ":" + std::to_string(col),
+                [table, col, kind]() -> std::shared_ptr<void> {
+                  // Column data is immutable after load, so the fit reads
+                  // it lock-free; only the publish step synchronizes.
+                  auto built =
+                      engine::BuildIndexBackend(table->column(col), kind);
+                  if (!built.ok()) return nullptr;
+                  return std::static_pointer_cast<void>(
+                      std::const_pointer_cast<engine::IndexBackend>(*built));
+                });
+          }
+        }
+        for (drift::RetrainScheduler::Ready& ready : retrainer.TakeReady()) {
+          const size_t colon = ready.label.rfind(':');
+          auto t = db.catalog().GetTable(ready.label.substr(0, colon));
+          if (!t.ok()) continue;
+          const int col = std::atoi(ready.label.c_str() + colon + 1);
+          auto swapped = (*t)->SwapIndex(
+              col, std::static_pointer_cast<const engine::IndexBackend>(
+                       ready.model));
+          if (!swapped.ok()) {
+            ML4DB_LOG(WARN, "index swap for %s failed: %s",
+                      ready.label.c_str(),
+                      swapped.status().ToString().c_str());
+          }
+        }
+      }
+    });
+  }
+
+  std::printf("ml4db_server listening on %s:%d (index backend: %s)\n",
+              flags.host.c_str(), srv.port(), backend_name);
   if (admin.running()) {
     std::printf("ml4db_server admin plane on %s:%d (try /metrics)\n",
                 flags.host.c_str(), admin.port());
@@ -228,6 +319,16 @@ int main(int argc, char** argv) {
   // finishes, and only then does the admin listener close.
   srv.Stop();  // drains in-flight work and joins server threads
   admin.Stop();
+
+  // Stop retraining only after the drain: a swap racing the last served
+  // queries is exactly the lifecycle the smoke test exercises. In-flight
+  // fits are drained (and discarded) so the pool is quiet before export.
+  if (retrain_thread.joinable()) {
+    retrain_stop.store(true);
+    retrain_cv.notify_all();
+    retrain_thread.join();
+    retrainer.Drain();
+  }
 
   // Only now snapshot metrics: the drain above guarantees every admitted
   // request's counters and latency samples are in.

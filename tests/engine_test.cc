@@ -47,7 +47,7 @@ TEST(TableTest, SortedIndexEqualAndRange) {
     ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
   }
   ASSERT_TRUE(t.BuildIndex(0).ok());
-  const SortedIndex* idx = t.GetIndex(0);
+  const std::shared_ptr<const IndexBackend> idx = t.GetIndex(0);
   ASSERT_NE(idx, nullptr);
   EXPECT_EQ(idx->Equal(3).size(), 2u);
   EXPECT_EQ(idx->Equal(4).size(), 0u);
@@ -432,14 +432,21 @@ TEST(CostModelTest, SeqVsIndexScanCrossover) {
   CostModel m{CostParams{}};
   const double table_rows = 100000;
   // Selective probe: index much cheaper.
-  const double idx_few =
-      m.Price(m.IndexScanWork(table_rows, 10, 1, 10));
+  const double idx_few = m.Price(
+      m.IndexScanWork(BtreeProbePages(table_rows, 10), 10, 1, 10));
   const double seq = m.Price(m.SeqScanWork(table_rows, 1, 10));
   EXPECT_LT(idx_few, seq);
   // Probe matching everything: index worse than scanning.
-  const double idx_all =
-      m.Price(m.IndexScanWork(table_rows, table_rows, 1, table_rows));
+  const double idx_all = m.Price(m.IndexScanWork(
+      BtreeProbePages(table_rows, table_rows), table_rows, 1, table_rows));
   EXPECT_GT(idx_all, seq * 0.5);
+}
+
+TEST(CostModelTest, LearnedProbeCheaperThanBtreeOnLargeIndexes) {
+  // The learned formula charges a constant-depth descent; the btree
+  // formula pays log_fanout(n). They fetch identical match pages.
+  EXPECT_LT(LearnedProbePages(10), BtreeProbePages(1e7, 10));
+  EXPECT_DOUBLE_EQ(LearnedProbePages(0), 2.0);
 }
 
 // --------------------------- batch execution -------------------------------

@@ -1,0 +1,438 @@
+// Contract tests for the pluggable index-backend layer (engine/index_backend):
+// every IndexBackendKind must answer Equal/Range probes identically to a
+// brute-force scan over the same column, every learned_index::OrderedIndex
+// implementation must honor the shared lookup/range/insert contract, and
+// Table::SwapIndex must publish a rebuilt backend atomically under
+// concurrent readers (the background-retrain path; the TSan CI job runs
+// this binary directly).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "drift/retrain_scheduler.h"
+#include "engine/index_backend.h"
+#include "engine/table.h"
+#include "learned_index/alex_index.h"
+#include "learned_index/btree_index.h"
+#include "learned_index/pgm_index.h"
+#include "learned_index/radix_spline.h"
+#include "learned_index/rmi_index.h"
+
+namespace ml4db {
+namespace engine {
+namespace {
+
+using learned_index::Entry;
+using learned_index::OrderedIndex;
+
+// ----------------------- IndexBackend probe parity -------------------------
+
+/// A column with duplicate keys (~4 rows per key on average), unsorted, so
+/// backends must both deduplicate for the OrderedIndex key domain and map
+/// each key back to all of its rows.
+Column MakeDupColumn(size_t rows, uint64_t seed) {
+  Column col;
+  col.type = DataType::kInt64;
+  Rng rng(seed);
+  col.i64.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    col.i64.push_back(static_cast<int64_t>(rng.NextUint64(rows / 4 + 1)) * 3);
+  }
+  return col;
+}
+
+std::vector<uint32_t> BruteEqual(const Column& col, double key) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < col.i64.size(); ++i) {
+    if (static_cast<double>(col.i64[i]) == key) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> BruteRange(const Column& col, double lo, double hi) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < col.i64.size(); ++i) {
+    const double v = static_cast<double>(col.i64[i]);
+    if (v >= lo && v <= hi) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::string KindCaseName(
+    const ::testing::TestParamInfo<IndexBackendKind>& info) {
+  return IndexBackendKindName(info.param);
+}
+
+class IndexBackendParamTest : public ::testing::TestWithParam<IndexBackendKind> {
+ protected:
+  void SetUp() override {
+    col_ = MakeDupColumn(5000, 42);
+    auto built = BuildIndexBackend(col_, GetParam());
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    idx_ = *built;
+  }
+
+  Column col_;
+  std::shared_ptr<const IndexBackend> idx_;
+};
+
+TEST_P(IndexBackendParamTest, NameAndSizeMatchKind) {
+  EXPECT_EQ(idx_->Name(), IndexBackendKindName(GetParam()));
+  EXPECT_EQ(idx_->size(), col_.i64.size());
+  EXPECT_GT(idx_->StructureBytes(), 0u);
+}
+
+TEST_P(IndexBackendParamTest, EqualMatchesBruteForce) {
+  Rng rng(7);
+  for (int probe = 0; probe < 200; ++probe) {
+    const double key =
+        static_cast<double>(rng.NextUint64(col_.i64.size() / 2));
+    std::vector<uint32_t> got = idx_->Equal(key);
+    std::vector<uint32_t> want = BruteEqual(col_, key);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "key=" << key;
+  }
+}
+
+TEST_P(IndexBackendParamTest, EqualOnDuplicateKeyReturnsEveryRow) {
+  // Key 0 appears many times in the generated column (multiples of 3 in a
+  // small domain); every matching row id must come back exactly once.
+  std::vector<uint32_t> got = idx_->Equal(0.0);
+  std::vector<uint32_t> want = BruteEqual(col_, 0.0);
+  ASSERT_GT(want.size(), 1u) << "test column lost its duplicate keys";
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(IndexBackendParamTest, EqualMissAndNonIntegralKeysAreEmpty) {
+  EXPECT_TRUE(idx_->Equal(1.0).empty());  // 1 is not a multiple of 3
+  EXPECT_TRUE(idx_->Equal(4.5).empty());  // no int64 key equals 4.5
+  EXPECT_TRUE(idx_->Equal(-1e12).empty());
+}
+
+TEST_P(IndexBackendParamTest, RangeMatchesBruteForce) {
+  Rng rng(11);
+  const double domain = static_cast<double>(col_.i64.size());
+  for (int probe = 0; probe < 100; ++probe) {
+    const double lo = static_cast<double>(rng.NextUint64(
+        static_cast<uint64_t>(domain)));
+    const double hi = lo + static_cast<double>(rng.NextUint64(200));
+    std::vector<uint32_t> got = idx_->Range(lo, hi);
+    std::vector<uint32_t> want = BruteRange(col_, lo, hi);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "range=[" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(IndexBackendParamTest, RangeBoundsAreInclusiveAndFractional) {
+  // [3, 6] includes keys 3 and 6; [3.5, 5.9] includes neither endpoint's
+  // neighbors, only integer keys within — here none but multiples of 3,
+  // so nothing in (3, 6) exclusive besides... nothing.
+  std::vector<uint32_t> closed = idx_->Range(3.0, 6.0);
+  std::vector<uint32_t> want =
+      BruteRange(col_, 3.0, 6.0);
+  std::sort(closed.begin(), closed.end());
+  EXPECT_EQ(closed, want);
+  // Fractional bounds shrink to the integers inside the interval.
+  std::vector<uint32_t> frac = idx_->Range(2.5, 3.5);
+  std::vector<uint32_t> frac_want = BruteEqual(col_, 3.0);
+  std::sort(frac.begin(), frac.end());
+  EXPECT_EQ(frac, frac_want);
+  // Empty interval (no integer between the bounds).
+  EXPECT_TRUE(idx_->Range(3.2, 3.8).empty());
+  // Inverted interval.
+  EXPECT_TRUE(idx_->Range(10.0, 5.0).empty());
+}
+
+TEST_P(IndexBackendParamTest, FullRangeReturnsEveryRow) {
+  std::vector<uint32_t> got =
+      idx_->Range(-1e18, 1e18);
+  EXPECT_EQ(got.size(), col_.i64.size());
+  std::sort(got.begin(), got.end());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<uint32_t>(i));
+  }
+}
+
+TEST_P(IndexBackendParamTest, ProbePageCostPositiveAndMonotone) {
+  const double point = idx_->ProbePageCost(1);
+  EXPECT_GT(point, 0.0);
+  EXPECT_GE(idx_->ProbePageCost(10000), point);
+}
+
+TEST_P(IndexBackendParamTest, EmptyColumnBuildsAnEmptyIndex) {
+  Column empty;
+  empty.type = DataType::kInt64;
+  auto built = BuildIndexBackend(empty, GetParam());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ((*built)->size(), 0u);
+  EXPECT_TRUE((*built)->Equal(0).empty());
+  EXPECT_TRUE((*built)->Range(-100, 100).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IndexBackendParamTest,
+                         ::testing::ValuesIn(AllIndexBackendKinds()),
+                         KindCaseName);
+
+// ------------------------- kind parsing and env ----------------------------
+
+TEST(IndexBackendKindTest, ParseRoundTripsEveryKind) {
+  for (IndexBackendKind kind : AllIndexBackendKinds()) {
+    auto parsed = ParseIndexBackendKind(IndexBackendKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  auto bad = ParseIndexBackendKind("btr33");
+  ASSERT_FALSE(bad.ok());
+  // The error names the valid spellings (it reaches flag users verbatim).
+  EXPECT_NE(bad.status().message().find("sorted"), std::string::npos);
+}
+
+TEST(IndexBackendKindTest, NonInt64ColumnFallsBackToSorted) {
+  Column col;
+  col.type = DataType::kDouble;
+  col.f64 = {3.5, 1.25, 2.0};
+  auto built = BuildIndexBackend(col, IndexBackendKind::kRmi);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ((*built)->Name(), "sorted");  // WARN + classical fallback
+  EXPECT_EQ((*built)->Equal(1.25).size(), 1u);
+}
+
+TEST(IndexBackendKindTest, StringColumnIsRejected) {
+  Column col;
+  col.type = DataType::kString;
+  col.str = {"a"};
+  EXPECT_FALSE(BuildIndexBackend(col, IndexBackendKind::kSorted).ok());
+  EXPECT_FALSE(BuildIndexBackend(col, IndexBackendKind::kPgm).ok());
+}
+
+// ---------------------- OrderedIndex shared contract -----------------------
+
+struct OrderedCase {
+  const char* name;
+  std::unique_ptr<OrderedIndex> (*make)();
+  Status (*bulk_load)(OrderedIndex*, const std::vector<Entry>&);
+};
+
+template <typename T>
+Status BulkLoadAs(OrderedIndex* index, const std::vector<Entry>& entries) {
+  return static_cast<T*>(index)->BulkLoad(entries);
+}
+
+template <typename T>
+std::unique_ptr<OrderedIndex> MakeAs() {
+  return std::make_unique<T>();
+}
+
+const OrderedCase kOrderedCases[] = {
+    {"btree", &MakeAs<learned_index::BTreeIndex>,
+     &BulkLoadAs<learned_index::BTreeIndex>},
+    {"rmi", &MakeAs<learned_index::RmiIndex>,
+     &BulkLoadAs<learned_index::RmiIndex>},
+    {"pgm", &MakeAs<learned_index::PgmIndex>,
+     &BulkLoadAs<learned_index::PgmIndex>},
+    {"radix_spline", &MakeAs<learned_index::RadixSplineIndex>,
+     &BulkLoadAs<learned_index::RadixSplineIndex>},
+    {"alex", &MakeAs<learned_index::AlexIndex>,
+     &BulkLoadAs<learned_index::AlexIndex>},
+};
+
+class OrderedIndexContractTest
+    : public ::testing::TestWithParam<const OrderedCase*> {};
+
+TEST_P(OrderedIndexContractTest, LookupRangeAndInsertContract) {
+  const OrderedCase& c = *GetParam();
+  std::unique_ptr<OrderedIndex> index = c.make();
+  std::vector<Entry> entries;
+  for (int64_t k = 0; k < 2000; ++k) entries.push_back({k * 7, uint64_t(k)});
+  ASSERT_TRUE(c.bulk_load(index.get(), entries).ok());
+  EXPECT_EQ(index->size(), entries.size());
+  EXPECT_GT(index->StructureBytes(), 0u);
+
+  // Point lookups: every loaded key hits with its payload; gaps miss.
+  uint64_t value = 0;
+  ASSERT_TRUE(index->Lookup(0, &value));
+  EXPECT_EQ(value, 0u);
+  ASSERT_TRUE(index->Lookup(1999 * 7, &value));
+  EXPECT_EQ(value, 1999u);
+  EXPECT_FALSE(index->Lookup(3, &value));
+  EXPECT_FALSE(index->Lookup(-5, &value));
+  EXPECT_FALSE(index->Lookup(2000 * 7, &value));
+
+  // Range scans return payloads in key order, inclusive bounds.
+  std::vector<uint64_t> got = index->RangeScan(7 * 10, 7 * 14);
+  EXPECT_EQ(got, (std::vector<uint64_t>{10, 11, 12, 13, 14}));
+  EXPECT_TRUE(index->RangeScan(1, 6).empty());
+
+  // Insert: updatable structures serve the new key immediately; static
+  // replacement-paradigm structures must say Unimplemented (the paper's
+  // robustness limitation), never silently drop the key.
+  const Status inserted = index->Insert(3, 999);
+  if (index->SupportsInsert()) {
+    ASSERT_TRUE(inserted.ok()) << inserted.ToString();
+    ASSERT_TRUE(index->Lookup(3, &value));
+    EXPECT_EQ(value, 999u);
+    EXPECT_EQ(index->size(), entries.size() + 1);
+  } else {
+    EXPECT_EQ(inserted.code(), StatusCode::kUnimplemented);
+    EXPECT_FALSE(index->Lookup(3, &value));
+  }
+}
+
+TEST_P(OrderedIndexContractTest, BulkLoadRejectsUnsortedAndDuplicateKeys) {
+  const OrderedCase& c = *GetParam();
+  // Duplicate keys violate the unique-key domain...
+  std::unique_ptr<OrderedIndex> index = c.make();
+  EXPECT_FALSE(c.bulk_load(index.get(), {{1, 0}, {1, 1}}).ok());
+  // ...and unsorted input violates the bulk-load precondition.
+  index = c.make();
+  EXPECT_FALSE(c.bulk_load(index.get(), {{2, 0}, {1, 1}}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImpls, OrderedIndexContractTest, ::testing::ValuesIn([] {
+      std::vector<const OrderedCase*> ptrs;
+      for (const OrderedCase& c : kOrderedCases) ptrs.push_back(&c);
+      return ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const OrderedCase*>& info) {
+      return std::string(info.param->name);
+    });
+
+// --------------------------- Table swap semantics --------------------------
+
+// Table holds a mutex (not movable), so the fixture constructs in place.
+std::unique_ptr<Table> MakeIndexedTable(IndexBackendKind kind,
+                                        size_t rows = 2000) {
+  auto t = std::make_unique<Table>(
+      TableSchema{"t", {{"a", DataType::kInt64}}});
+  std::vector<int64_t> vals;
+  Rng rng(99);
+  for (size_t i = 0; i < rows; ++i) {
+    vals.push_back(static_cast<int64_t>(rng.NextUint64(rows)));
+  }
+  ML4DB_CHECK(t->AppendColumnarInt64({vals}).ok());
+  ML4DB_CHECK(t->BuildIndex(0, kind).ok());
+  return t;
+}
+
+TEST(TableSwapTest, SwapReplacesBackendAndReturnsOld) {
+  std::unique_ptr<Table> tp = MakeIndexedTable(IndexBackendKind::kSorted);
+  Table& t = *tp;
+  std::shared_ptr<const IndexBackend> old = t.GetIndex(0);
+  ASSERT_NE(old, nullptr);
+  auto rebuilt = BuildIndexBackend(t.column(0), IndexBackendKind::kRmi);
+  ASSERT_TRUE(rebuilt.ok());
+  auto swapped = t.SwapIndex(0, *rebuilt);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(*swapped, old);  // the displaced backend comes back to the caller
+  EXPECT_EQ(t.GetIndex(0), *rebuilt);
+  EXPECT_EQ(t.IndexKind(0), IndexBackendKind::kRmi);
+  // A reader that pinned the old backend before the swap still probes it.
+  const double present_key =
+      static_cast<double>(t.column(0).Get(0).AsInt64());
+  EXPECT_FALSE(old->Equal(present_key).empty());
+}
+
+TEST(TableSwapTest, SwapRejectsNullAndUnindexedColumns) {
+  std::unique_ptr<Table> tp = MakeIndexedTable(IndexBackendKind::kSorted);
+  Table& t = *tp;
+  EXPECT_FALSE(t.SwapIndex(0, nullptr).ok());
+  auto rebuilt = BuildIndexBackend(t.column(0), IndexBackendKind::kPgm);
+  ASSERT_TRUE(rebuilt.ok());
+  t.DropIndex(0);
+  EXPECT_FALSE(t.SwapIndex(0, *rebuilt).ok());  // swap never creates
+  EXPECT_FALSE(t.SwapIndex(7, *rebuilt).ok());  // no such column
+}
+
+TEST(TableSwapTest, BuildIndexKeepsKindAcrossRebuild) {
+  std::unique_ptr<Table> tp = MakeIndexedTable(IndexBackendKind::kPgm);
+  Table& t = *tp;
+  EXPECT_EQ(t.IndexKind(0), IndexBackendKind::kPgm);
+  ASSERT_TRUE(t.BuildIndex(0).ok());  // kind-less rebuild keeps pgm
+  EXPECT_EQ(t.GetIndex(0)->Name(), "pgm");
+  EXPECT_EQ(t.IndexedColumns(), std::vector<int>{0});
+}
+
+TEST(TableSwapTest, DefaultBackendStampsFirstBuild) {
+  Table t({"t", {{"a", DataType::kInt64}}});
+  ASSERT_TRUE(t.AppendColumnarInt64({{5, 1, 3}}).ok());
+  t.set_default_index_backend(IndexBackendKind::kRadixSpline);
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  EXPECT_EQ(t.GetIndex(0)->Name(), "radix_spline");
+}
+
+// Readers probe through GetIndex while another thread repeatedly rebuilds
+// and swaps the backend — the exact interleaving of the serving path and
+// the background retrain loop. Probes must stay correct throughout (every
+// probe sees either the old or the new backend, both answering for the
+// same immutable column). Run directly by the TSan CI job.
+TEST(TableSwapTest, ConcurrentProbesSurviveSwaps) {
+  std::unique_ptr<Table> tp = MakeIndexedTable(IndexBackendKind::kSorted, 4000);
+  Table& t = *tp;
+  const size_t expect_full = t.num_rows();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> probes{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const IndexBackend> idx = t.GetIndex(0);
+        ASSERT_NE(idx, nullptr);
+        const double key = static_cast<double>(rng.NextUint64(4000));
+        for (uint32_t row : idx->Equal(key)) {
+          ASSERT_EQ(t.column(0).Get(row).AsInt64(),
+                    static_cast<int64_t>(key));
+        }
+        ASSERT_EQ(idx->Range(-1, 1e9).size(), expect_full);
+        probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Drive swaps through the retrain scheduler, exactly as server_main does:
+  // fit builds a replacement off-thread, TakeReady/Drain hands it back, and
+  // SwapIndex publishes it under the readers.
+  drift::RetrainScheduler retrainer(
+      drift::RetrainScheduler::Options{nullptr, "test.index"});
+  const IndexBackendKind kinds[] = {IndexBackendKind::kRmi,
+                                    IndexBackendKind::kAlex,
+                                    IndexBackendKind::kSorted};
+  int swaps = 0;
+  for (int round = 0; round < 12; ++round) {
+    const IndexBackendKind kind = kinds[round % 3];
+    retrainer.Schedule("t:0", [&t, kind]() -> std::shared_ptr<void> {
+      auto built = BuildIndexBackend(t.column(0), kind);
+      if (!built.ok()) return nullptr;
+      return std::static_pointer_cast<void>(
+          std::const_pointer_cast<IndexBackend>(*built));
+    });
+    for (drift::RetrainScheduler::Ready& ready : retrainer.Drain()) {
+      auto replacement =
+          std::static_pointer_cast<const IndexBackend>(ready.model);
+      ASSERT_TRUE(t.SwapIndex(0, std::move(replacement)).ok());
+      ++swaps;
+    }
+  }
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+  EXPECT_EQ(swaps, 12);
+  EXPECT_EQ(retrainer.failed(), 0u);
+  EXPECT_GT(probes.load(), 0u);
+  // The last swap in the rotation installed a sorted backend.
+  EXPECT_EQ(t.GetIndex(0)->Name(), "sorted");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ml4db
