@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/json.h"
 #include "server/admin.h"
 #include "server/client.h"
 #include "workload/query_gen.h"
@@ -73,12 +74,13 @@ struct ScrapeTally {
 void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
                   ScrapeTally* tally) {
   static const char* kTargets[] = {"/metrics", "/events?n=32", "/slow",
-                                   "/readyz"};
+                                   "/readyz", "/workload?n=8"};
+  constexpr size_t kNumTargets = sizeof(kTargets) / sizeof(kTargets[0]);
   static obs::Histogram* scrape_us =
       obs::GetHistogram("ml4db.serve.scrape_latency_us");
   size_t i = 0;
   while (!stop->load(std::memory_order_acquire)) {
-    const char* target = kTargets[i++ % 4];
+    const char* target = kTargets[i++ % kNumTargets];
     const Clock::time_point t0 = Clock::now();
     const auto result = server::HttpGet(flags.host, flags.admin_port, target);
     if (result.ok() && result->status_code < 500) {
@@ -365,6 +367,48 @@ int main(int argc, char** argv) {
          std::to_string(scrapes.failed.load()),
          bench::Fmt(static_cast<double>(scrapes.bytes.load()) / 1024.0, 1)});
     scrape_table.Print();
+
+    // Workload-profile health after the run: one /workload scrape folded
+    // into gauges + a summary table, so the BENCH JSON records whether the
+    // server actually fingerprinted the load (shape count, q-error level,
+    // drift events). A 404 (obs-disabled server) skips this quietly.
+    const auto wl = server::HttpGet(flags.host, flags.admin_port,
+                                    "/workload?format=json&n=5");
+    if (wl.ok() && wl->status_code == 200) {
+      const auto doc = obs::JsonValue::Parse(wl->body);
+      if (doc.ok()) {
+        const double shapes = doc->GetNumber("shapes");
+        const double samples = doc->GetNumber("samples");
+        const double evictions = doc->GetNumber("evictions");
+        const double drift_events = doc->GetNumber("drift_events");
+        double top_qps = 0.0, top_qerr_p95 = 0.0, max_qerror = 0.0;
+        if (const obs::JsonValue* top = doc->Find("top");
+            top != nullptr && top->is_array() && top->size() > 0) {
+          top_qps = top->items()[0].GetNumber("recent_qps");
+          for (const obs::JsonValue& s : top->items()) {
+            if (const obs::JsonValue* qe = s.Find("qerror"); qe != nullptr) {
+              top_qerr_p95 =
+                  std::max(top_qerr_p95, qe->GetNumber("recent_p95"));
+              max_qerror = std::max(max_qerror, qe->GetNumber("max"));
+            }
+          }
+        }
+        obs::GetGauge("ml4db.serve.workload_shapes")->Set(shapes);
+        obs::GetGauge("ml4db.serve.workload_samples")->Set(samples);
+        obs::GetGauge("ml4db.serve.workload_evictions")->Set(evictions);
+        obs::GetGauge("ml4db.serve.workload_drift_events")->Set(drift_events);
+        obs::GetGauge("ml4db.serve.workload_max_qerror")->Set(max_qerror);
+        bench::Table wl_table({"wl_shapes", "wl_samples", "wl_evictions",
+                               "wl_drift", "top_qps", "qerr_p95",
+                               "qerr_max"});
+        wl_table.AddRow({bench::Fmt(shapes, 0), bench::Fmt(samples, 0),
+                         bench::Fmt(evictions, 0),
+                         bench::Fmt(drift_events, 0), bench::Fmt(top_qps, 1),
+                         bench::Fmt(top_qerr_p95, 2),
+                         bench::Fmt(max_qerror, 2)});
+        wl_table.Print();
+      }
+    }
   }
 
   if (flags.admin_port > 0 && scrapes.ok.load() == 0) {

@@ -14,6 +14,10 @@ Flags:
                         timeout_total} and the request latency histogram)
   --require-config KEY  fail unless the top-level "config" object carries
                         a non-empty string value for KEY (repeatable)
+  --require-workload    fail unless the workload-plane scrape summary is
+                        present (ml4db.serve.workload_shapes > 0 and the
+                        samples/evictions/drift_events gauges exported —
+                        bench_serve fills these from GET /workload)
   --quiet               print nothing on success
 
 The schema is documented in DESIGN.md ("Observability"). This script is wired
@@ -27,7 +31,8 @@ import subprocess
 import sys
 import tempfile
 
-EVENT_KINDS = {"drift", "retrain", "index_structure", "abort", "custom"}
+EVENT_KINDS = {"drift", "retrain", "index_structure", "abort",
+               "workload_drift", "custom"}
 
 # The serving front-end's metric contract (DESIGN.md "Serving architecture").
 # Whenever ANY ml4db.server.* metric appears in an export, the whole core
@@ -117,8 +122,32 @@ def _check_server_metrics(metrics, required):
                 f"server responses_total ({resp}) exceeds requests_total ({req})")
 
 
+WORKLOAD_REQUIRED_GAUGES = {
+    "ml4db.serve.workload_shapes",
+    "ml4db.serve.workload_samples",
+    "ml4db.serve.workload_evictions",
+    "ml4db.serve.workload_drift_events",
+}
+
+
+def _check_workload_metrics(metrics):
+    """--require-workload: bench_serve's post-run /workload scrape summary
+    must be present and show a non-trivial profile."""
+    gauges = {g["name"]: g for g in metrics["gauges"]}
+    missing = sorted(WORKLOAD_REQUIRED_GAUGES - set(gauges))
+    _ensure(not missing,
+            f"workload scrape summary incomplete, missing: "
+            f"{', '.join(missing)}")
+    shapes = gauges["ml4db.serve.workload_shapes"]["value"]
+    samples = gauges["ml4db.serve.workload_samples"]["value"]
+    _ensure(shapes > 0, "--require-workload: workload_shapes is zero")
+    _ensure(samples >= shapes,
+            f"workload_samples ({samples}) < workload_shapes ({shapes})")
+
+
 def validate(doc, require_histogram=False, require_event=False,
-             require_server=False, require_config=()):
+             require_server=False, require_workload=False,
+             require_config=()):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -213,6 +242,8 @@ def validate(doc, require_histogram=False, require_event=False,
                     "trace.spans must be a list")
 
     _check_server_metrics(metrics, required=require_server)
+    if require_workload:
+        _check_workload_metrics(metrics)
 
     if require_histogram:
         good = [h for h in metrics["histograms"] if h["count"] > 0]
@@ -226,6 +257,7 @@ def main(argv):
     require_histogram = "--require-histogram" in args
     require_event = "--require-event" in args
     require_server = "--require-server" in args
+    require_workload = "--require-workload" in args
     quiet = "--quiet" in args
     require_config = []
     filtered = []
@@ -242,7 +274,8 @@ def main(argv):
         i += 1
     args = [a for a in filtered
             if a not in ("--require-histogram", "--require-event",
-                         "--require-server", "--quiet")]
+                         "--require-server", "--require-workload",
+                         "--quiet")]
 
     if args and args[0] == "--run":
         if len(args) < 2:
@@ -275,6 +308,7 @@ def main(argv):
     try:
         validate(doc, require_histogram=require_histogram,
                  require_event=require_event, require_server=require_server,
+                 require_workload=require_workload,
                  require_config=require_config)
     except SchemaError as e:
         print(f"FAIL [{source}]: {e}", file=sys.stderr)

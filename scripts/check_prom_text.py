@@ -11,6 +11,9 @@ Flags:
   --require-nonzero NAME  like --require, but at least one sample of the
                         family must be > 0 (for counters/gauges) or have
                         _count > 0 (for histograms/summaries)
+  --require-histogram NAME  like --require, but the family must also be
+                        declared `# TYPE NAME histogram` (the cumulative
+                        bucket contract is then checked as usual)
   --quiet               print nothing on success
 
 Checks the format contract the admin plane's /metrics endpoint promises
@@ -182,7 +185,7 @@ def _check_summary(fam, samples):
         raise PromError(f"{fam}: summary missing _count or _sum")
 
 
-def validate(text, require=(), require_nonzero=()):
+def validate(text, require=(), require_nonzero=(), require_histogram=()):
     types, samples = parse(text)
     by_family = {}
     for name, labels, value in samples:
@@ -218,6 +221,14 @@ def validate(text, require=(), require_nonzero=()):
         if not ok:
             raise PromError(
                 f"--require-nonzero: every {fam!r} sample is zero")
+    for fam in require_histogram:
+        if fam not in by_family:
+            raise PromError(
+                f"--require-histogram: metric family {fam!r} not found")
+        if types.get(fam) != "histogram":
+            raise PromError(
+                f"--require-histogram: {fam!r} declared as "
+                f"{types.get(fam)!r}, want histogram")
     return types, samples
 
 
@@ -225,6 +236,7 @@ def main(argv):
     args = list(argv[1:])
     require = []
     require_nonzero = []
+    require_histogram = []
     quiet = False
     paths = []
     i = 0
@@ -236,6 +248,9 @@ def main(argv):
         elif a == "--require-nonzero":
             i += 1
             require_nonzero.append(args[i])
+        elif a == "--require-histogram":
+            i += 1
+            require_histogram.append(args[i])
         elif a == "--quiet":
             quiet = True
         else:
@@ -250,7 +265,8 @@ def main(argv):
         with open(paths[0], "r", encoding="utf-8") as f:
             text = f.read()
     try:
-        types, samples = validate(text, require, require_nonzero)
+        types, samples = validate(text, require, require_nonzero,
+                                  require_histogram)
     except PromError as e:
         print(f"FAIL [{paths[0]}]: {e}", file=sys.stderr)
         return 1

@@ -97,6 +97,12 @@ if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
     --require-nonzero ml4db_index_probe_us \
     --require-nonzero ml4db_index_structure_bytes \
     --require-nonzero ml4db_index_swaps_total \
+    --require-nonzero ml4db_workload_shapes \
+    --require-nonzero ml4db_workload_samples_total \
+    --require-nonzero ml4db_workload_qerror \
+    --require-histogram ml4db_workload_qerror \
+    --require ml4db_workload_evictions_total \
+    --require ml4db_workload_drift_total \
     --require ml4db_build_info \
     --require-nonzero ml4db_uptime_seconds
   $CURL "http://127.0.0.1:$ADMIN_PORT/slow" >"$WORK_DIR/slow.json"
@@ -126,10 +132,52 @@ PYEOF
   python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); \
 assert isinstance(d["events"], list) and d["capacity"] > 0' \
     "$WORK_DIR/events.json"
+  # Workload intelligence plane: after a random-query load the store must
+  # hold several distinct shapes with q-error observations, and the text
+  # rendering must agree with the JSON one (same top shape fingerprint).
+  $CURL "http://127.0.0.1:$ADMIN_PORT/workload?format=json&n=10" \
+    >"$WORK_DIR/workload.json"
+  $CURL "http://127.0.0.1:$ADMIN_PORT/workload?format=text&n=10" \
+    >"$WORK_DIR/workload.txt"
+  python3 - "$WORK_DIR/workload.json" "$WORK_DIR/workload.txt" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+text = open(sys.argv[2]).read()
+assert doc["shapes"] >= 2, f"only {doc['shapes']} shapes profiled"
+assert doc["samples"] > 0, "no workload samples recorded"
+top = doc["top"]
+assert top, "/workload returned an empty top list"
+assert any(s["qerror"]["samples"] > 0 and s["qerror"]["max"] >= 1.0
+           for s in top), "no shape carries q-error observations"
+for s in top:
+    q = s["qerror"]
+    for v in (q["max"], q["geomean"], q["recent_p95"], s["drift"]["score"]):
+        assert v == v and v not in (float("inf"), float("-inf")), \
+            f"non-finite q-error stat in shape {s['fingerprint']}"
+assert top[0]["fingerprint"] in text, \
+    "text rendering missing the JSON top shape fingerprint"
+print(f"workload plane OK: {doc['shapes']} shapes, "
+      f"{doc['samples']} samples, top count={top[0]['count']}")
+PYEOF
+  WL_BAD=$($CURL -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$ADMIN_PORT/workload?n=abc")
+  [[ "$WL_BAD" == "400" ]] || {
+    echo "FAIL: /workload?n=abc returned $WL_BAD, want 400" >&2; exit 1; }
 else
-  # ML4DB_OBS_DISABLED: /metrics still serves build info + uptime.
+  # ML4DB_OBS_DISABLED: /metrics still serves build info + uptime, and the
+  # workload endpoint must not exist (the hook is nulled at wiring time).
   python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" --require ml4db_build_info
+  WL_CODE=$($CURL -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$ADMIN_PORT/workload")
+  [[ "$WL_CODE" == "404" ]] || {
+    echo "FAIL: /workload returned $WL_CODE with obs disabled, want 404" >&2
+    exit 1; }
 fi
+# Malformed admin query params are rejected in both obs modes.
+EVENTS_BAD=$($CURL -o /dev/null -w '%{http_code}' \
+  "http://127.0.0.1:$ADMIN_PORT/events?n=bogus")
+[[ "$EVENTS_BAD" == "400" ]] || {
+  echo "FAIL: /events?n=bogus returned $EVENTS_BAD, want 400" >&2; exit 1; }
 # Unknown endpoints 404 rather than crash or hang.
 NOT_FOUND=$($CURL -o /dev/null -w '%{http_code}' \
   "http://127.0.0.1:$ADMIN_PORT/nope")
@@ -173,12 +221,14 @@ grep -q "draining" "$WORK_DIR/server.log" || {
   exit 1
 }
 
-python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend
 if grep -q '"obs_enabled": true' "$WORK_DIR/server.json"; then
+  python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend \
+    --require-workload
   python3 "$CHECK" "$WORK_DIR/server.json" --require-server \
     --require-config index_backend
 else
   # ML4DB_OBS_DISABLED builds export no metrics by design.
+  python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend
   python3 "$CHECK" "$WORK_DIR/server.json" --require-config index_backend
 fi
 echo "serve_smoke: OK"

@@ -1,6 +1,8 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <unordered_map>
 
 #include "common/stopwatch.h"
@@ -8,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/window.h"
+#include "obs/workload.h"
 
 namespace ml4db {
 namespace engine {
@@ -42,6 +45,14 @@ obs::TraceSpan SpanFromPlan(const PlanNode& node) {
   if (!node.table_name.empty()) {
     span.attrs.emplace_back("table", node.table_name);
   }
+  // Clamped est-vs-actual q-error (obs::QError floors both operands, so
+  // zero/unset cardinalities can never put inf/NaN into a trace).
+  if (const double q = obs::QError(node.est_rows, node.actual_rows);
+      q > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", q);
+    span.attrs.emplace_back("qerror", buf);
+  }
   return span;
 }
 
@@ -52,6 +63,50 @@ obs::Histogram* IndexProbeUs() {
   static obs::Histogram* h = obs::GetHistogram(
       "ml4db.index.probe_us", obs::ExponentialBounds(1e-2, 2.0, 24));
   return h;
+}
+
+/// Per-plan-node q-error histogram: every executed node with both an
+/// estimate and an actual contributes one sample. Recorded here at the
+/// source (not in the WorkloadStore) so /metrics carries the distribution
+/// wherever plans execute, store or no store.
+obs::Histogram* QErrorHist() {
+  static obs::Histogram* h = obs::GetHistogram(
+      "ml4db.workload.qerror", obs::ExponentialBounds(1.0, 2.0, 20));
+  return h;
+}
+
+/// Walks the executed plan comparing the optimizer's est_rows against the
+/// executor's actual_rows and reading observed scan selectivities off the
+/// annotations. The inner side of an index NL join is skipped: its
+/// actual_rows counts matches summed over all probes, which is neither a
+/// base-table selectivity nor comparable to its standalone estimate.
+void ProfilePlan(const PlanNode& node, const Catalog& catalog,
+                 ExecutionResult* out) {
+  const double q = obs::QError(node.est_rows, node.actual_rows);
+  if (q > 0.0) {
+    QErrorHist()->Record(q);
+    out->max_qerror = std::max(out->max_qerror, q);
+    out->sum_log2_qerror += std::log2(q);
+    out->qerror_nodes += 1;
+  }
+  if ((node.op == PlanOp::kSeqScan || node.op == PlanOp::kIndexScan) &&
+      !node.filters.empty() && node.actual_rows >= 0.0) {
+    if (const auto table = catalog.GetTable(node.table_name); table.ok()) {
+      const double rows =
+          std::max(1.0, static_cast<double>((*table)->num_rows()));
+      // The conjunction's selectivity, attributed to each filter column:
+      // per-conjunct attribution is unobservable without re-execution.
+      const double sel = std::clamp(node.actual_rows / rows, 0.0, 1.0);
+      for (const auto& f : node.filters) {
+        out->scans.push_back(ScanObservation{node.table_slot, f.column, sel});
+      }
+    }
+  }
+  const bool index_nl = node.op == PlanOp::kIndexNlJoin;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (index_nl && i == 1) continue;
+    ProfilePlan(*node.children[i], catalog, out);
+  }
 }
 
 }  // namespace
@@ -118,6 +173,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
   out.count = result->NumTuples();
   out.latency = latency;
   out.tuples_flowed = SumActualRows(*plan->root);
+  ProfilePlan(*plan->root, *catalog_, &out);
 
   static obs::Counter* executed =
       obs::GetCounter("ml4db.engine.queries_executed");

@@ -23,11 +23,29 @@
 namespace ml4db {
 namespace engine {
 
+/// Observed selectivity of one filtered scan: the fraction of the base
+/// table surviving that slot's filter conjunction. Keys are numeric (slot,
+/// column) so the engine layer never builds strings; the serving layer
+/// resolves them to "table.cN" when it records workload profiles.
+struct ScanObservation {
+  int table_slot = -1;
+  int column = -1;            ///< one entry per filter column on the scan
+  double selectivity = 0.0;   ///< actual_rows / table_rows, clamped to [0,1]
+};
+
 /// Result of executing a plan.
 struct ExecutionResult {
   uint64_t count = 0;        ///< COUNT(*) of the query result
   double latency = 0.0;      ///< simulated latency (priced true work)
   uint64_t tuples_flowed = 0;///< total intermediate tuples (diagnostics)
+  /// Est-vs-actual q-error over the executed plan's nodes, from the DP
+  /// optimizer's est_rows annotations vs the executor's actual_rows (see
+  /// obs::QError for the floor semantics). 0 nodes means the plan carried
+  /// no usable estimates (e.g. hand-built plans).
+  double max_qerror = 0.0;       ///< worst per-node q-error (0 = none)
+  double sum_log2_qerror = 0.0;  ///< sum of log2(q-error) over nodes
+  uint32_t qerror_nodes = 0;     ///< nodes contributing q-error samples
+  std::vector<ScanObservation> scans;  ///< per filtered-scan selectivities
 };
 
 /// Execution limits: plans whose intermediate results explode are aborted

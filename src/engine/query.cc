@@ -1,6 +1,8 @@
 #include "engine/query.h"
 
+#include <algorithm>
 #include <functional>
+#include <tuple>
 
 namespace ml4db {
 namespace engine {
@@ -84,6 +86,81 @@ std::string Query::ToString() const {
                     "c" + std::to_string(f.column)));
   }
   return out;
+}
+
+QueryShape ComputeQueryShape(const Query& query) {
+  // Orient each (undirected) join edge so the smaller (slot, column) end
+  // comes first, then sort edges; filters sort by (slot, column, op). Two
+  // queries differing only in literal constants or predicate order thus
+  // canonicalize to identical text. Tables stay in slot order: slots are
+  // positional, so reordering the FROM list genuinely changes the query.
+  struct Edge {
+    int ls, lc, rs, rc;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(query.joins.size());
+  for (const JoinPredicate& j : query.joins) {
+    Edge e{j.left.table_slot, j.left.column, j.right.table_slot,
+           j.right.column};
+    if (std::tie(e.rs, e.rc) < std::tie(e.ls, e.lc)) {
+      std::swap(e.ls, e.rs);
+      std::swap(e.lc, e.rc);
+    }
+    edges.push_back(e);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.ls, a.lc, a.rs, a.rc) <
+           std::tie(b.ls, b.lc, b.rs, b.rc);
+  });
+  struct Filt {
+    int slot, column;
+    CompareOp op;
+  };
+  std::vector<Filt> filts;
+  filts.reserve(query.filters.size());
+  for (const FilterPredicate& f : query.filters) {
+    filts.push_back(Filt{f.table_slot, f.column, f.op});
+  }
+  std::sort(filts.begin(), filts.end(), [](const Filt& a, const Filt& b) {
+    return std::tie(a.slot, a.column, a.op) < std::tie(b.slot, b.column, b.op);
+  });
+
+  QueryShape shape;
+  std::string& out = shape.canonical;
+  out = "SELECT COUNT(*) FROM ";
+  for (int i = 0; i < query.num_tables(); ++i) {
+    if (i > 0) out += ", ";
+    out += query.tables[i] + " t" + std::to_string(i);
+  }
+  bool first = true;
+  auto conj = [&](const std::string& s) {
+    out += first ? " WHERE " : " AND ";
+    out += s;
+    first = false;
+  };
+  for (const Edge& e : edges) {
+    conj("t" + std::to_string(e.ls) + ".c" + std::to_string(e.lc) + " = t" +
+         std::to_string(e.rs) + ".c" + std::to_string(e.rc));
+  }
+  for (const Filt& f : filts) {
+    const std::string lhs =
+        "t" + std::to_string(f.slot) + ".c" + std::to_string(f.column);
+    if (f.op == CompareOp::kBetween) {
+      conj(lhs + " BETWEEN ? AND ?");
+    } else {
+      conj(lhs + " " + CompareOpName(f.op) + " ?");
+    }
+  }
+
+  // FNV-1a 64: tiny, stable, and good enough for a shape key space of at
+  // most a few thousand distinct canonical texts.
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : out) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  shape.hash = h;
+  return shape;
 }
 
 }  // namespace engine

@@ -60,6 +60,19 @@ struct Query {
   std::string ToString() const;
 };
 
+/// A query's literal-stripped shape: the workload plane's fingerprint.
+/// Stable across constant changes and predicate reordering; distinct
+/// across different tables, columns, operators, and join structure.
+struct QueryShape {
+  uint64_t hash = 0;       ///< FNV-1a of the canonical text
+  std::string canonical;   ///< SQL-ish shape text with `?` literals
+};
+
+/// Computes the shape of a query: literals become `?`, join edges are
+/// oriented (smaller (slot, column) end first) and sorted, filters sort by
+/// (slot, column, op). Table order is preserved — it defines the slots.
+QueryShape ComputeQueryShape(const Query& query);
+
 }  // namespace engine
 }  // namespace ml4db
 

@@ -11,6 +11,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRetrain: return "retrain";
     case EventKind::kIndexStructure: return "index_structure";
     case EventKind::kAbort: return "abort";
+    case EventKind::kWorkloadDrift: return "workload_drift";
     case EventKind::kCustom: return "custom";
   }
   return "unknown";

@@ -26,6 +26,7 @@ enum class EventKind {
   kRetrain,         ///< a learned component absorbed feedback / retrained
   kIndexStructure,  ///< learned index structural modification
   kAbort,           ///< executor aborted a plan (limits exceeded)
+  kWorkloadDrift,   ///< a query shape's q-error EWMA crossed the threshold
   kCustom,          ///< anything else (detail says what)
 };
 

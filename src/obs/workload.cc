@@ -1,0 +1,338 @@
+#include "obs/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace obs {
+
+double QError(double est_rows, double actual_rows) {
+  if (est_rows < 0.0) return 0.0;  // unset estimate: no sample
+  const double est = std::max(est_rows, kQErrorRowFloor);
+  const double actual = std::max(actual_rows, kQErrorRowFloor);
+  return std::max(est / actual, actual / est);
+}
+
+#ifndef ML4DB_OBS_DISABLED
+
+namespace {
+
+std::string FingerprintHex(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+
+/// Bucket layout for the per-shape q-error window: 1..~1e6 at 2x steps.
+std::vector<double> QErrorBounds() {
+  return ExponentialBounds(1.0, 2.0, 20);
+}
+
+}  // namespace
+
+WorkloadStore::Shape::Shape(std::string canonical_text, const Options& opts)
+    : canonical(std::move(canonical_text)),
+      arrivals("arrivals", opts.epoch_length, opts.num_epochs),
+      latency_us("latency_us", opts.epoch_length, opts.num_epochs),
+      query_qerror("qerror", opts.epoch_length, opts.num_epochs,
+                   QErrorBounds()) {}
+
+WorkloadStore::WorkloadStore() : WorkloadStore(Options()) {}
+
+WorkloadStore::WorkloadStore(Options options) : options_(options) {
+  options_.capacity = std::max<size_t>(1, options_.capacity);
+  stripe_capacity_ = std::max<size_t>(1, options_.capacity / kStripes);
+  // Pre-register the registry families so /metrics exports them (at zero)
+  // from process start rather than after the first sample.
+  GetCounter("ml4db.workload.samples_total");
+  GetCounter("ml4db.workload.evictions_total");
+  GetCounter("ml4db.workload.drift_total");
+  GetGauge("ml4db.workload.shapes");
+}
+
+void WorkloadStore::RecordAt(Clock::time_point now,
+                             const WorkloadSample& sample) {
+  static Counter* samples_total =
+      GetCounter("ml4db.workload.samples_total");
+  static Counter* evictions_total =
+      GetCounter("ml4db.workload.evictions_total");
+  static Counter* drift_total = GetCounter("ml4db.workload.drift_total");
+  static Gauge* shapes_gauge = GetGauge("ml4db.workload.shapes");
+
+  const uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  samples_total->Inc();
+
+  Stripe& stripe = stripes_[sample.fingerprint % kStripes];
+  // Drift events are published outside the stripe lock: EventLog takes its
+  // own mutex and publishers must never hold ours across it.
+  bool fire_drift = false;
+  double fired_score = 0.0;
+  std::string fired_detail;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.shapes.find(sample.fingerprint);
+    if (it == stripe.shapes.end()) {
+      if (stripe.shapes.size() >= stripe_capacity_) {
+        // LRU-ish eviction: drop the least-recently-seen shape of this
+        // stripe to admit the newcomer.
+        auto victim = stripe.shapes.begin();
+        for (auto cand = stripe.shapes.begin(); cand != stripe.shapes.end();
+             ++cand) {
+          if (cand->second->last_seen_tick < victim->second->last_seen_tick) {
+            victim = cand;
+          }
+        }
+        stripe.shapes.erase(victim);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        evictions_total->Inc();
+      }
+      it = stripe.shapes
+               .emplace(sample.fingerprint,
+                        std::make_unique<Shape>(sample.canonical, options_))
+               .first;
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Shape& shape = *it->second;
+    shape.count += 1;
+    shape.last_seen_tick = tick;
+    shape.sum_rows += sample.rows;
+    shape.arrivals.IncAt(now);
+    shape.latency_us.RecordAt(now, sample.latency_us);
+    for (const WorkloadSample::Column& col : sample.columns) {
+      ColumnAgg* agg = nullptr;
+      for (ColumnAgg& existing : shape.columns) {
+        if (existing.name == col.name) {
+          agg = &existing;
+          break;
+        }
+      }
+      if (agg == nullptr) {
+        shape.columns.push_back(ColumnAgg{col.name, 0, 0.0, 0});
+        agg = &shape.columns.back();
+      }
+      agg->touches += 1;
+      if (col.selectivity >= 0.0) {
+        agg->selectivity_sum += col.selectivity;
+        agg->selectivity_samples += 1;
+      }
+    }
+    if (sample.max_qerror > 0.0 && sample.qerror_nodes > 0) {
+      shape.qerror_samples += sample.qerror_nodes;
+      shape.sum_log2_qerror += sample.sum_log2_qerror;
+      shape.max_qerror = std::max(shape.max_qerror, sample.max_qerror);
+      shape.query_qerror.RecordAt(now, sample.max_qerror);
+      // Drift score: EWMA in log2 space so order-of-magnitude misestimates
+      // dominate and a run of accurate queries decays the score back down.
+      const double l = std::log2(std::max(sample.max_qerror, 1.0));
+      const double prev = shape.ewma_qerror > 0.0
+                              ? std::log2(shape.ewma_qerror)
+                              : l;  // seed with the first sample
+      shape.ewma_qerror = std::exp2(options_.drift_alpha * l +
+                                    (1.0 - options_.drift_alpha) * prev);
+      if (!shape.drifting &&
+          shape.ewma_qerror >= options_.drift_threshold &&
+          shape.count >= options_.drift_min_samples) {
+        shape.drifting = true;
+        drift_events_.fetch_add(1, std::memory_order_relaxed);
+        drift_total->Inc();
+        fire_drift = true;
+        fired_score = shape.ewma_qerror;
+        fired_detail = "shape " + FingerprintHex(sample.fingerprint) + ": " +
+                       shape.canonical;
+      } else if (shape.drifting &&
+                 shape.ewma_qerror < options_.drift_threshold * 0.5) {
+        // Hysteresis: re-arm only once the EWMA has clearly recovered, so a
+        // shape oscillating around the threshold fires once, not per query.
+        shape.drifting = false;
+      }
+    }
+  }
+  shapes_gauge->Set(static_cast<double>(size()));
+  if (fire_drift) {
+    PublishEvent(EventKind::kWorkloadDrift, "obs.workload",
+                 std::move(fired_detail), fired_score);
+  }
+}
+
+WorkloadShapeSnapshot WorkloadStore::SnapshotShape(Clock::time_point now,
+                                                   uint64_t fp,
+                                                   Shape* shape) const {
+  WorkloadShapeSnapshot s;
+  s.fingerprint = fp;
+  s.canonical = shape->canonical;
+  s.count = shape->count;
+  s.recent_qps = shape->arrivals.SnapshotAt(now).per_second;
+  const HistogramSnapshot lat = shape->latency_us.SnapshotAt(now);
+  s.latency_p50_us = lat.p50;
+  s.latency_p95_us = lat.p95;
+  s.latency_p99_us = lat.p99;
+  s.mean_rows =
+      shape->count > 0 ? shape->sum_rows / static_cast<double>(shape->count)
+                       : 0.0;
+  s.qerror_samples = shape->qerror_samples;
+  s.max_qerror = shape->max_qerror;
+  s.geomean_qerror =
+      shape->qerror_samples > 0
+          ? std::exp2(shape->sum_log2_qerror /
+                      static_cast<double>(shape->qerror_samples))
+          : 0.0;
+  s.recent_qerror_p95 = shape->query_qerror.SnapshotAt(now).p95;
+  s.drift_score = shape->ewma_qerror;
+  s.drifting = shape->drifting;
+  s.columns.reserve(shape->columns.size());
+  for (const ColumnAgg& agg : shape->columns) {
+    WorkloadColumnSnapshot c;
+    c.column = agg.name;
+    c.touches = agg.touches;
+    c.mean_selectivity =
+        agg.selectivity_samples > 0
+            ? agg.selectivity_sum / static_cast<double>(agg.selectivity_samples)
+            : -1.0;
+    s.columns.push_back(std::move(c));
+  }
+  return s;
+}
+
+WorkloadSnapshot WorkloadStore::SnapshotAt(Clock::time_point now,
+                                           size_t top_n) {
+  WorkloadSnapshot out;
+  out.capacity = options_.capacity;
+  out.samples = samples();
+  out.evictions = evictions();
+  out.drift_events = drift_events();
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto& [fp, shape] : stripe.shapes) {
+      out.top.push_back(SnapshotShape(now, fp, shape.get()));
+    }
+  }
+  out.shapes = out.top.size();
+  std::sort(out.top.begin(), out.top.end(),
+            [](const WorkloadShapeSnapshot& a, const WorkloadShapeSnapshot& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.fingerprint < b.fingerprint;  // deterministic ties
+            });
+  if (out.top.size() > top_n) out.top.resize(top_n);
+  return out;
+}
+
+JsonValue WorkloadStore::ToJson(size_t top_n) {
+  const WorkloadSnapshot snap = Snapshot(top_n);
+  JsonValue doc = JsonValue::Object();
+  doc.Set("capacity", JsonValue::Number(static_cast<double>(snap.capacity)));
+  doc.Set("shapes", JsonValue::Number(static_cast<double>(snap.shapes)));
+  doc.Set("samples", JsonValue::Number(static_cast<double>(snap.samples)));
+  doc.Set("evictions",
+          JsonValue::Number(static_cast<double>(snap.evictions)));
+  doc.Set("drift_events",
+          JsonValue::Number(static_cast<double>(snap.drift_events)));
+  JsonValue top = JsonValue::Array();
+  for (const WorkloadShapeSnapshot& s : snap.top) {
+    JsonValue o = JsonValue::Object();
+    o.Set("fingerprint", JsonValue::String(FingerprintHex(s.fingerprint)));
+    o.Set("canonical", JsonValue::String(s.canonical));
+    o.Set("count", JsonValue::Number(static_cast<double>(s.count)));
+    o.Set("recent_qps", JsonValue::Number(s.recent_qps));
+    JsonValue lat = JsonValue::Object();
+    lat.Set("p50", JsonValue::Number(s.latency_p50_us));
+    lat.Set("p95", JsonValue::Number(s.latency_p95_us));
+    lat.Set("p99", JsonValue::Number(s.latency_p99_us));
+    o.Set("latency_us", std::move(lat));
+    o.Set("mean_rows", JsonValue::Number(s.mean_rows));
+    JsonValue qe = JsonValue::Object();
+    qe.Set("samples",
+           JsonValue::Number(static_cast<double>(s.qerror_samples)));
+    qe.Set("max", JsonValue::Number(s.max_qerror));
+    qe.Set("geomean", JsonValue::Number(s.geomean_qerror));
+    qe.Set("recent_p95", JsonValue::Number(s.recent_qerror_p95));
+    o.Set("qerror", std::move(qe));
+    JsonValue drift = JsonValue::Object();
+    drift.Set("score", JsonValue::Number(s.drift_score));
+    drift.Set("drifting", JsonValue::Bool(s.drifting));
+    o.Set("drift", std::move(drift));
+    JsonValue cols = JsonValue::Array();
+    for (const WorkloadColumnSnapshot& c : s.columns) {
+      JsonValue col = JsonValue::Object();
+      col.Set("column", JsonValue::String(c.column));
+      col.Set("touches", JsonValue::Number(static_cast<double>(c.touches)));
+      col.Set("mean_selectivity", JsonValue::Number(c.mean_selectivity));
+      cols.Append(std::move(col));
+    }
+    o.Set("columns", std::move(cols));
+    top.Append(std::move(o));
+  }
+  doc.Set("top", std::move(top));
+  return doc;
+}
+
+std::string WorkloadStore::ToText(size_t top_n) {
+  const WorkloadSnapshot snap = Snapshot(top_n);
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "workload: shapes=%zu/%zu samples=%llu evictions=%llu "
+                "drift_events=%llu\n",
+                snap.shapes, snap.capacity,
+                static_cast<unsigned long long>(snap.samples),
+                static_cast<unsigned long long>(snap.evictions),
+                static_cast<unsigned long long>(snap.drift_events));
+  out += line;
+  size_t rank = 0;
+  for (const WorkloadShapeSnapshot& s : snap.top) {
+    ++rank;
+    std::snprintf(line, sizeof(line),
+                  "#%zu fp=%s count=%llu qps=%.2f p50=%.0fus p95=%.0fus "
+                  "p99=%.0fus rows=%.1f\n",
+                  rank, FingerprintHex(s.fingerprint).c_str(),
+                  static_cast<unsigned long long>(s.count), s.recent_qps,
+                  s.latency_p50_us, s.latency_p95_us, s.latency_p99_us,
+                  s.mean_rows);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "   qerror: n=%llu max=%.2f geomean=%.2f recent_p95=%.2f "
+                  "drift=%.2f%s\n",
+                  static_cast<unsigned long long>(s.qerror_samples),
+                  s.max_qerror, s.geomean_qerror, s.recent_qerror_p95,
+                  s.drift_score, s.drifting ? " DRIFTING" : "");
+    out += line;
+    out += "   " + s.canonical + "\n";
+    for (const WorkloadColumnSnapshot& c : s.columns) {
+      if (c.mean_selectivity >= 0.0) {
+        std::snprintf(line, sizeof(line), "   col %s touches=%llu sel=%.4f\n",
+                      c.column.c_str(),
+                      static_cast<unsigned long long>(c.touches),
+                      c.mean_selectivity);
+      } else {
+        std::snprintf(line, sizeof(line), "   col %s touches=%llu sel=-\n",
+                      c.column.c_str(),
+                      static_cast<unsigned long long>(c.touches));
+      }
+      out += line;
+    }
+  }
+  return out;
+}
+
+void WorkloadStore::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.shapes.clear();
+  }
+  size_.store(0, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  drift_events_.store(0, std::memory_order_relaxed);
+  GetGauge("ml4db.workload.shapes")->Set(0.0);
+}
+
+#endif  // !ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db

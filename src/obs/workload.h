@@ -1,0 +1,258 @@
+// Workload intelligence plane: a lock-striped, bounded profile store keyed
+// by query fingerprint (a literal-stripped shape hash computed by the
+// engine — see engine::ComputeQueryShape). Per shape it maintains sliding-
+// window instruments (obs/window.h): arrival rate, latency p50/p95/p99,
+// rows returned, per-plan-node q-error, per-column predicate touch counts
+// with observed selectivities, and an online drift score (EWMA of the
+// per-query worst-node q-error; crossing the threshold publishes a
+// kWorkloadDrift event and bumps ml4db.workload.drift_total).
+//
+// The store is deliberately engine-agnostic: callers feed plain-data
+// WorkloadSamples, so ml4db_obs keeps its common-only dependency edge.
+// Capacity is bounded at `capacity` shapes with LRU-ish eviction (the
+// least-recently-seen shape of the stripe the newcomer hashes into is
+// evicted — approximate LRU, but eviction pressure is per-stripe so a hot
+// stripe can never starve the others).
+//
+// Surfaces: WorkloadStore::Snapshot() (the read API for future advisor /
+// plan-steering work), ToJson()/ToText() (the admin plane's GET /workload),
+// and ml4db.workload.* registry metrics (shape count, samples, evictions,
+// drift counter; the q-error histogram is recorded at the source in
+// executor.cc so it is live even without a store).
+//
+// With -DML4DB_OBS_DISABLED the store compiles to a no-op (QError stays
+// real — it is pure math and its result is part of ExecutionResult).
+
+#ifndef ML4DB_OBS_WORKLOAD_H_
+#define ML4DB_OBS_WORKLOAD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/window.h"
+
+#ifndef ML4DB_OBS_DISABLED
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+/// Default shape capacity; overridable via the ML4DB_WORKLOAD_K env knob
+/// (read by the embedder, not by this class).
+inline constexpr size_t kDefaultWorkloadK = 256;
+/// Default drift threshold: a shape whose q-error EWMA exceeds this is
+/// declared drifting. Overridable via ML4DB_WORKLOAD_DRIFT_THRESHOLD.
+inline constexpr double kDefaultWorkloadDriftThreshold = 16.0;
+/// Cardinality floor applied to both operands of QError: estimates and
+/// actuals below one row count as one row, so zero/unset values can never
+/// produce inf/NaN (a 0-row actual against a 0-row estimate is a perfect
+/// q-error of 1, not 0/0).
+inline constexpr double kQErrorRowFloor = 1.0;
+
+/// max(est/actual, actual/est) with both operands floored at
+/// kQErrorRowFloor. Always finite and >= 1 for non-negative inputs;
+/// returns 0 (meaning "no sample") when est_rows is negative (unset).
+double QError(double est_rows, double actual_rows);
+
+/// One served query, as observed by the embedder (plain data — no engine
+/// types — so the obs library's dependency edge stays common-only).
+struct WorkloadSample {
+  uint64_t fingerprint = 0;   ///< shape hash (engine::ComputeQueryShape)
+  std::string canonical;      ///< literal-stripped shape text
+  double latency_us = 0.0;    ///< end-to-end wall latency
+  double rows = 0.0;          ///< result rows (COUNT output)
+  double max_qerror = 0.0;    ///< worst per-plan-node q-error (0 = none)
+  double sum_log2_qerror = 0.0;  ///< sum of log2(q-error) over nodes
+  uint32_t qerror_nodes = 0;     ///< plan nodes contributing q-errors
+  struct Column {
+    std::string name;            ///< "table.cN" predicate column
+    double selectivity = -1.0;   ///< observed base-table fraction; <0 = n/a
+  };
+  std::vector<Column> columns;   ///< one entry per predicate touch
+};
+
+/// Per-column aggregate inside a shape snapshot.
+struct WorkloadColumnSnapshot {
+  std::string column;
+  uint64_t touches = 0;
+  double mean_selectivity = -1.0;  ///< -1 = never observed
+};
+
+/// Point-in-time view of one tracked shape.
+struct WorkloadShapeSnapshot {
+  uint64_t fingerprint = 0;
+  std::string canonical;
+  uint64_t count = 0;           ///< samples since the shape was admitted
+  double recent_qps = 0.0;      ///< sliding-window arrival rate
+  double latency_p50_us = 0.0;  ///< sliding-window latency quantiles
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double mean_rows = 0.0;
+  uint64_t qerror_samples = 0;  ///< node-level q-error samples
+  double max_qerror = 0.0;      ///< worst node-level q-error ever seen
+  double geomean_qerror = 0.0;  ///< exp2(mean log2 q-error); 0 = no samples
+  double recent_qerror_p95 = 0.0;  ///< sliding-window per-query worst
+  double drift_score = 0.0;     ///< EWMA of per-query worst q-error
+  bool drifting = false;        ///< currently above the drift threshold
+  std::vector<WorkloadColumnSnapshot> columns;
+};
+
+/// Store-wide snapshot: totals plus the top-N shapes by sample count.
+struct WorkloadSnapshot {
+  size_t capacity = 0;
+  size_t shapes = 0;         ///< shapes currently tracked
+  uint64_t samples = 0;      ///< samples recorded since construction
+  uint64_t evictions = 0;
+  uint64_t drift_events = 0;
+  std::vector<WorkloadShapeSnapshot> top;  ///< sample-count descending
+};
+
+#ifndef ML4DB_OBS_DISABLED
+
+class WorkloadStore {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    size_t capacity = kDefaultWorkloadK;
+    double drift_threshold = kDefaultWorkloadDriftThreshold;
+    /// EWMA smoothing for the drift score (weight of the newest sample).
+    double drift_alpha = 0.2;
+    /// Samples a shape must accumulate before it may fire a drift event.
+    uint64_t drift_min_samples = 8;
+    /// Sliding-window layout for the per-shape instruments.
+    std::chrono::milliseconds epoch_length = kDefaultEpochLength;
+    size_t num_epochs = kDefaultEpochCount;
+  };
+
+  WorkloadStore();  // all-default Options (defined out of line: a `= {}`
+                    // default argument needs the enclosing class complete)
+  explicit WorkloadStore(Options options);
+
+  /// Folds one served query into its shape's profile. Thread-safe; the
+  /// stripe mutex is the only lock taken.
+  void Record(const WorkloadSample& sample) {
+    RecordAt(Clock::now(), sample);
+  }
+  /// Explicit-time overload so tests can drive window rotation.
+  void RecordAt(Clock::time_point now, const WorkloadSample& sample);
+
+  /// The read API for consumers (admin plane, future advisor/steering):
+  /// totals plus the top-N shapes by sample count. Non-const because
+  /// snapshotting rotates the per-shape sliding windows.
+  WorkloadSnapshot Snapshot(size_t top_n = 20) {
+    return SnapshotAt(Clock::now(), top_n);
+  }
+  WorkloadSnapshot SnapshotAt(Clock::time_point now, size_t top_n);
+
+  /// {"capacity":…,"shapes":…,"samples":…,"evictions":…,"drift_events":…,
+  ///  "top":[{"fingerprint":"hex",…}…]}
+  JsonValue ToJson(size_t top_n = 20);
+  /// One stanza per shape: headline stats, canonical text, column stats.
+  std::string ToText(size_t top_n = 20);
+
+  size_t capacity() const { return options_.capacity; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t drift_events() const {
+    return drift_events_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+ private:
+  struct ColumnAgg {
+    std::string name;
+    uint64_t touches = 0;
+    double selectivity_sum = 0.0;
+    uint64_t selectivity_samples = 0;
+  };
+  struct Shape {
+    Shape(std::string canonical_text, const Options& opts);
+    std::string canonical;
+    uint64_t count = 0;
+    uint64_t last_seen_tick = 0;  ///< LRU ordering within the stripe
+    double sum_rows = 0.0;
+    uint64_t qerror_samples = 0;
+    double max_qerror = 0.0;
+    double sum_log2_qerror = 0.0;
+    double ewma_qerror = 0.0;  ///< drift score; 0 = unseeded
+    bool drifting = false;
+    WindowedRate arrivals;
+    WindowedHistogram latency_us;
+    WindowedHistogram query_qerror;  ///< per-query worst-node q-error
+    std::vector<ColumnAgg> columns;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Shape>> shapes;
+  };
+  static constexpr size_t kStripes = 16;
+
+  WorkloadShapeSnapshot SnapshotShape(Clock::time_point now, uint64_t fp,
+                                      Shape* shape) const;
+
+  Options options_;
+  size_t stripe_capacity_ = 1;
+  Stripe stripes_[kStripes];
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> drift_events_{0};
+};
+
+#else  // ML4DB_OBS_DISABLED
+
+class WorkloadStore {
+ public:
+  using Clock = std::chrono::steady_clock;
+  struct Options {
+    size_t capacity = kDefaultWorkloadK;
+    double drift_threshold = kDefaultWorkloadDriftThreshold;
+    double drift_alpha = 0.2;
+    uint64_t drift_min_samples = 8;
+    std::chrono::milliseconds epoch_length = kDefaultEpochLength;
+    size_t num_epochs = kDefaultEpochCount;
+  };
+  WorkloadStore() {}
+  explicit WorkloadStore(Options) {}
+  void Record(const WorkloadSample&) {}
+  void RecordAt(Clock::time_point, const WorkloadSample&) {}
+  WorkloadSnapshot Snapshot(size_t = 20) { return {}; }
+  WorkloadSnapshot SnapshotAt(Clock::time_point, size_t) { return {}; }
+  JsonValue ToJson(size_t = 20) {
+    JsonValue o = JsonValue::Object();
+    o.Set("capacity", JsonValue::Number(0));
+    o.Set("shapes", JsonValue::Number(0));
+    o.Set("samples", JsonValue::Number(0));
+    o.Set("evictions", JsonValue::Number(0));
+    o.Set("drift_events", JsonValue::Number(0));
+    o.Set("top", JsonValue::Array());
+    return o;
+  }
+  std::string ToText(size_t = 20) { return ""; }
+  size_t capacity() const { return 0; }
+  size_t size() const { return 0; }
+  uint64_t samples() const { return 0; }
+  uint64_t evictions() const { return 0; }
+  uint64_t drift_events() const { return 0; }
+  void Clear() {}
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_WORKLOAD_H_

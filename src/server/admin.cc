@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -60,6 +61,35 @@ struct Target {
     return "";
   }
 };
+
+/// Largest accepted ?n= after clamping: big enough for any real store or
+/// ring, small enough that a hostile ?n=18446744073709551615 cannot ask
+/// for an absurd response.
+constexpr size_t kMaxCountParam = 10000;
+
+/// Strict count-param parsing: empty keeps the default; a pure positive
+/// decimal is accepted (clamped to kMaxCountParam); anything else — signs,
+/// trailing garbage, zero, non-digits — flips *ok to false so the caller
+/// can 400 instead of silently serving the default.
+size_t ParseCountParam(const std::string& raw, size_t fallback, bool* ok) {
+  *ok = true;
+  if (raw.empty()) return fallback;
+  // Anything but plain digits (signs, hex, trailing garbage, encodings)
+  // is malformed. Well-formed-but-huge values are clamped below instead.
+  if (raw.find_first_not_of("0123456789") != std::string::npos) {
+    *ok = false;
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
+  if (errno == ERANGE) return kMaxCountParam;  // huge but well-formed: clamp
+  if (end == nullptr || *end != '\0' || parsed == 0) {
+    *ok = false;
+    return fallback;
+  }
+  return std::min<size_t>(static_cast<size_t>(parsed), kMaxCountParam);
+}
 
 Target ParseTarget(const std::string& target) {
   Target t;
@@ -167,7 +197,7 @@ Status AdminServer::Start() {
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
   ML4DB_LOG(INFO, "admin plane listening on %s:%d (/metrics /healthz "
-            "/readyz /events /slow)",
+            "/readyz /events /slow /workload)",
             options_.host.c_str(), port_);
   return Status::OK();
 }
@@ -235,31 +265,61 @@ std::string AdminServer::Handle(const std::string& method,
                                 "application/json", body);
   }
   if (t.path == "/events") {
-    size_t tail = options_.default_event_tail;
-    const std::string n = t.Param("n");
-    if (!n.empty()) {
-      char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(n.c_str(), &end, 10);
-      if (end != nullptr && *end == '\0' && parsed > 0) {
-        tail = static_cast<size_t>(parsed);
-      }
+    bool ok = true;
+    const size_t tail =
+        ParseCountParam(t.Param("n"), options_.default_event_tail, &ok);
+    if (!ok) {
+      return HttpResponse(400, "Bad Request", "text/plain",
+                          "bad n= parameter: want a positive integer\n");
     }
     return HttpResponse(200, "OK", "application/json", EventsJson(tail));
   }
   if (t.path == "/slow") {
+    const std::string format = t.Param("format");
+    if (!format.empty() && format != "text" && format != "json") {
+      return HttpResponse(400, "Bad Request", "text/plain",
+                          "bad format= parameter: want text or json\n");
+    }
     static const obs::SlowQueryStore empty_store(1);
     const obs::SlowQueryStore* slow =
         hooks_.slow != nullptr ? hooks_.slow : &empty_store;
-    if (t.Param("format") == "text") {
+    if (format == "text") {
       return HttpResponse(200, "OK", "text/plain", slow->ToText());
     }
     return HttpResponse(200, "OK", "application/json",
                         slow->ToJson().Dump(2) + "\n");
   }
+  if (t.path == "/workload") {
+    if (hooks_.workload == nullptr) {
+      // No store wired (obs-disabled build, or the embedder opted out):
+      // the endpoint doesn't exist, matching the no-op contract.
+      not_found->Inc();
+      return HttpResponse(404, "Not Found", "text/plain",
+                          "workload profiling not enabled\n");
+    }
+    bool ok = true;
+    const size_t top =
+        ParseCountParam(t.Param("n"), options_.default_workload_top, &ok);
+    if (!ok) {
+      return HttpResponse(400, "Bad Request", "text/plain",
+                          "bad n= parameter: want a positive integer\n");
+    }
+    const std::string format = t.Param("format");
+    if (!format.empty() && format != "text" && format != "json") {
+      return HttpResponse(400, "Bad Request", "text/plain",
+                          "bad format= parameter: want text or json\n");
+    }
+    if (format == "text") {
+      return HttpResponse(200, "OK", "text/plain",
+                          hooks_.workload->ToText(top));
+    }
+    return HttpResponse(200, "OK", "application/json",
+                        hooks_.workload->ToJson(top).Dump(2) + "\n");
+  }
   not_found->Inc();
   return HttpResponse(404, "Not Found", "text/plain",
                       "unknown endpoint; try /metrics /healthz /readyz "
-                      "/events /slow\n");
+                      "/events /slow /workload\n");
 }
 
 void AdminServer::Loop() {

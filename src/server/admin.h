@@ -11,6 +11,13 @@
 //   GET /events   JSON tail of the EventLog ring (?n=COUNT, default 128)
 //   GET /slow     top-K slow-query store as JSON (?format=text for the
 //                 flame-style rendering)
+//   GET /workload top-N query shapes from the workload profile store
+//                 (?n=COUNT, ?format=text|json); 404 when no store is
+//                 wired (e.g. obs-disabled builds)
+//
+// Query-param contract: malformed values (non-numeric or zero ?n=,
+// unknown ?format=) are rejected with 400 rather than silently replaced
+// by defaults; absurdly large ?n= values are clamped to kMaxCountParam.
 //
 // Connections are serve-one-response-and-close (HTTP/1.0 semantics):
 // every response carries Connection: close and Content-Length. Request
@@ -32,6 +39,7 @@
 
 #include "common/status.h"
 #include "obs/slow_query.h"
+#include "obs/workload.h"
 
 namespace ml4db {
 namespace server {
@@ -43,6 +51,8 @@ struct AdminOptions {
   size_t max_request_bytes = 4096;
   /// Default /events tail length when no ?n= is given.
   size_t default_event_tail = 128;
+  /// Default /workload top-N when no ?n= is given.
+  size_t default_workload_top = 20;
 };
 
 class AdminServer {
@@ -56,6 +66,9 @@ class AdminServer {
     std::function<size_t()> queue_depth;  ///< admission queue depth
     std::function<size_t()> inflight;     ///< admitted-unfinished count
     const obs::SlowQueryStore* slow = nullptr;
+    /// Non-const: snapshotting rotates the store's sliding windows. Null
+    /// makes /workload return 404 (the obs-disabled contract).
+    obs::WorkloadStore* workload = nullptr;
   };
 
   AdminServer(AdminOptions options, Hooks hooks);

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/logging.h"
@@ -60,6 +61,13 @@ obs::TraceSpan StageSpan(const char* name, double wall_us) {
   span.actual_cost = wall_us;
   span.attrs.emplace_back("unit", "us");
   return span;
+}
+
+std::string ShapeHex(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
 }
 
 }  // namespace
@@ -277,12 +285,22 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
       obs::GetWindowedHistogram("ml4db.server.recent_request_latency_us");
 
   const Clock::time_point now = Clock::now();
+  const bool want_traces =
+      (options_.trace_sink || options_.slow_store != nullptr) &&
+      options_.trace_sample_n > 0 &&
+      (batch_seq_++ % options_.trace_sample_n) == 0;
+  // Shape fingerprints feed the workload profile store and tag sampled
+  // traces; skip the canonicalization work when neither consumer exists.
+  const bool profile =
+      obs::ObsEnabled() && options_.workload_store != nullptr;
   std::vector<engine::Query> queries;
   std::vector<size_t> slot;       // batch index of queries[j]
   std::vector<double> parse_us;   // parse+resolve wall time of queries[j]
+  std::vector<engine::QueryShape> shapes;  // fingerprint of queries[j]
   queries.reserve(batch->size());
   slot.reserve(batch->size());
   parse_us.reserve(batch->size());
+  if (profile || want_traces) shapes.reserve(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
     PendingQuery& item = (*batch)[i];
     if (item.ExpiredAt(now)) {
@@ -322,13 +340,12 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
     queries.push_back(std::move(*parsed));
     slot.push_back(i);
     parse_us.push_back(MicrosBetween(parse_start, Clock::now()));
+    if (profile || want_traces) {
+      shapes.push_back(engine::ComputeQueryShape(queries.back()));
+    }
   }
   if (queries.empty()) return;
 
-  const bool want_traces =
-      (options_.trace_sink || options_.slow_store != nullptr) &&
-      options_.trace_sample_n > 0 &&
-      (batch_seq_++ % options_.trace_sample_n) == 0;
   std::vector<obs::QueryTrace> traces;
   std::vector<obs::QueryTrace>* traces_ptr = want_traces ? &traces : nullptr;
   const auto results =
@@ -354,6 +371,41 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
     latency_us->Record(request_us);
     recent_latency->Record(request_us);
     recent_qps->Inc();
+    if (profile && results[j].ok()) {
+      const engine::Query& q = queries[j];
+      obs::WorkloadSample sample;
+      sample.fingerprint = shapes[j].hash;
+      sample.canonical = shapes[j].canonical;
+      sample.latency_us = request_us;
+      sample.rows = static_cast<double>(results[j]->count);
+      sample.max_qerror = results[j]->max_qerror;
+      sample.sum_log2_qerror = results[j]->sum_log2_qerror;
+      sample.qerror_nodes = results[j]->qerror_nodes;
+      // Predicate touches: every filter column (with the scan's observed
+      // conjunction selectivity when the executor saw one) plus both ends
+      // of every join edge (touch-only — join selectivity is not a
+      // base-table fraction).
+      sample.columns.reserve(q.filters.size() + 2 * q.joins.size());
+      for (const engine::FilterPredicate& f : q.filters) {
+        double sel = -1.0;
+        for (const engine::ScanObservation& s : results[j]->scans) {
+          if (s.table_slot == f.table_slot && s.column == f.column) {
+            sel = s.selectivity;
+            break;
+          }
+        }
+        sample.columns.push_back(obs::WorkloadSample::Column{
+            q.tables[f.table_slot] + ".c" + std::to_string(f.column), sel});
+      }
+      for (const engine::JoinPredicate& jp : q.joins) {
+        for (const engine::ColumnRef& ref : {jp.left, jp.right}) {
+          sample.columns.push_back(obs::WorkloadSample::Column{
+              q.tables[ref.table_slot] + ".c" + std::to_string(ref.column),
+              -1.0});
+        }
+      }
+      options_.workload_store->Record(sample);
+    }
     if (traces_ptr == nullptr) {
       item.respond(resp);
       continue;
@@ -371,11 +423,13 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
     const Clock::time_point responded = Clock::now();
     trace.spans.push_back(StageSpan(
         "serialize", MicrosBetween(serialize_start, responded)));
+    const std::string shape_hex = ShapeHex(shapes[j].hash);
     for (obs::TraceSpan& span : trace.spans) {
       span.attrs.emplace_back("session", std::to_string(item.session_id));
       span.attrs.emplace_back("client_session",
                               std::to_string(item.client_session));
       span.attrs.emplace_back("request", std::to_string(item.request_id));
+      span.attrs.emplace_back("shape", shape_hex);
     }
     if (options_.slow_store != nullptr) {
       options_.slow_store->Add(trace, MicrosBetween(item.arrival, responded));

@@ -32,6 +32,7 @@
 #include "common/thread_pool.h"
 #include "engine/database.h"
 #include "obs/slow_query.h"
+#include "obs/workload.h"
 #include "server/admission.h"
 #include "server/session.h"
 
@@ -66,6 +67,11 @@ struct ServerOptions {
   /// contract; 0 disables tracing even when sinks are set). Sampling is per
   /// batch because Database::RunBatch collects traces batch-at-a-time.
   size_t trace_sample_n = 1;
+  /// When set, every successfully served query is folded into this
+  /// per-shape workload profile store (fingerprint, latency, q-error,
+  /// predicate selectivities) backing the admin plane's /workload endpoint.
+  /// Must outlive the server. Null skips workload profiling.
+  obs::WorkloadStore* workload_store = nullptr;
 };
 
 class Server {

@@ -16,8 +16,8 @@
 //   --port P             listen port, 0 = ephemeral (default 7433)
 //   --port-file PATH     write the bound port to PATH once listening
 //   --admin-port P       admin/introspection port: /metrics /healthz
-//                        /readyz /events /slow; 0 = ephemeral, -1 = off
-//                        (default 7434)
+//                        /readyz /events /slow /workload; 0 = ephemeral,
+//                        -1 = off (default 7434)
 //   --admin-port-file PATH  write the bound admin port once listening
 //   --fact-rows N        fact table rows         (default 40000)
 //   --dim-rows N         rows per dimension      (default 2000)
@@ -39,6 +39,9 @@
 //   ML4DB_SLOW_QUERY_K   slow-query store capacity   (default 32)
 //   ML4DB_TRACE_SAMPLE_N trace every Nth batch       (default 1 = all)
 //   ML4DB_INDEX_BACKEND  default for --index-backend
+//   ML4DB_WORKLOAD_K     workload store shape capacity (default 256)
+//   ML4DB_WORKLOAD_DRIFT_THRESHOLD  per-shape q-error EWMA level that
+//                        fires a workload_drift event (default 16)
 
 #include <pthread.h>
 #include <signal.h>
@@ -62,6 +65,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/slow_query.h"
+#include "obs/workload.h"
 #include "server/admin.h"
 #include "server/server.h"
 #include "workload/schema_gen.h"
@@ -192,6 +196,19 @@ int main(int argc, char** argv) {
   opts.trace_sample_n = static_cast<size_t>(
       common::PositiveKnobFromEnv("ML4DB_TRACE_SAMPLE_N", 1));
 
+  // Per-shape workload profile store behind GET /workload. Same lifetime
+  // reasoning as the slow-query store: owned here so the final export and
+  // the admin plane can both read it after the server drains.
+  obs::WorkloadStore::Options wl_opts;
+  wl_opts.capacity = static_cast<size_t>(
+      common::PositiveKnobFromEnv("ML4DB_WORKLOAD_K", obs::kDefaultWorkloadK));
+  wl_opts.drift_threshold =
+      static_cast<double>(common::PositiveKnobFromEnv(
+          "ML4DB_WORKLOAD_DRIFT_THRESHOLD",
+          static_cast<uint64_t>(obs::kDefaultWorkloadDriftThreshold)));
+  obs::WorkloadStore workload_store(wl_opts);
+  opts.workload_store = &workload_store;
+
   uint64_t trace_samples = 0;
   if (flags.json) {
     // Sample 1-in-256 query traces into the export so the JSON stays small
@@ -222,6 +239,9 @@ int main(int argc, char** argv) {
   hooks.queue_depth = [&srv] { return srv.admission().queue_depth(); };
   hooks.inflight = [&srv] { return srv.admission().inflight(); };
   hooks.slow = &slow_store;
+  // In obs-disabled builds the store is a no-op; leaving the hook null
+  // makes /workload 404 instead of serving empty JSON forever.
+  hooks.workload = obs::ObsEnabled() ? &workload_store : nullptr;
   server::AdminOptions admin_opts;
   admin_opts.host = flags.host;
   admin_opts.port = flags.admin_port;

@@ -21,6 +21,7 @@
 #include "obs/slow_query.h"
 #include "obs/trace.h"
 #include "obs/window.h"
+#include "obs/workload.h"
 #include "server/admin.h"
 
 namespace ml4db {
@@ -363,6 +364,9 @@ class AdminPlaneTest : public ::testing::Test {
     hooks.queue_depth = [] { return size_t{3}; };
     hooks.inflight = [] { return size_t{5}; };
     hooks.slow = &slow_;
+    // Same wiring as server_main: the hook is nulled in obs-disabled
+    // builds so /workload 404s there.
+    hooks.workload = obs::ObsEnabled() ? &workload_ : nullptr;
     admin_ = std::make_unique<server::AdminServer>(opts, hooks);
     ASSERT_TRUE(admin_->Start().ok());
   }
@@ -377,6 +381,7 @@ class AdminPlaneTest : public ::testing::Test {
 
   std::atomic<bool> ready_{true};
   obs::SlowQueryStore slow_{4};
+  obs::WorkloadStore workload_;
   std::unique_ptr<server::AdminServer> admin_;
 };
 
@@ -436,6 +441,79 @@ TEST_F(AdminPlaneTest, UnknownEndpoint404sAndNonGet405s) {
   // HttpGet, so exercise via the 404 family only; 405 is covered by the
   // request-line router unit-visible behavior below.
   EXPECT_EQ(Get("/").status_code, 404);
+}
+
+TEST_F(AdminPlaneTest, WorkloadEndpointContract) {
+#ifndef ML4DB_OBS_DISABLED
+  obs::WorkloadSample s;
+  s.fingerprint = 0xbeef;
+  s.canonical = "SELECT COUNT(*) FROM fact t0 WHERE t0.c1 < ?";
+  s.latency_us = 120.0;
+  s.rows = 7.0;
+  s.max_qerror = 3.0;
+  s.sum_log2_qerror = 1.585;
+  s.qerror_nodes = 1;
+  workload_.Record(s);
+
+  const auto json = Get("/workload");
+  EXPECT_EQ(json.status_code, 200);
+  const auto parsed = obs::JsonValue::Parse(json.body);
+  ASSERT_TRUE(parsed.ok()) << json.body;
+  ASSERT_NE(parsed->Find("top"), nullptr);
+  EXPECT_EQ(parsed->GetNumber("shapes"), 1.0);
+
+  const auto text = Get("/workload?format=text&n=5");
+  EXPECT_EQ(text.status_code, 200);
+  EXPECT_NE(text.body.find("000000000000beef"), std::string::npos)
+      << text.body;
+#else
+  // Obs-disabled builds null the hook, so the endpoint does not exist.
+  EXPECT_EQ(Get("/workload").status_code, 404);
+#endif
+}
+
+TEST_F(AdminPlaneTest, WorkloadWithoutHook404s) {
+  // A server wired without a store (e.g. embedder opted out) must 404
+  // rather than crash or serve an empty document.
+  server::AdminOptions opts;
+  opts.port = 0;
+  server::AdminServer::Hooks hooks;  // no workload hook
+  server::AdminServer bare(opts, hooks);
+  ASSERT_TRUE(bare.Start().ok());
+  const auto r = server::HttpGet("127.0.0.1", bare.port(), "/workload");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status_code, 404);
+  bare.Stop();
+}
+
+TEST_F(AdminPlaneTest, BadQueryParamsAreRejected) {
+  // Malformed n= values: non-numeric, signed, zero, trailing garbage.
+  for (const char* target :
+       {"/events?n=abc", "/events?n=-3", "/events?n=0", "/events?n=12x",
+        "/events?n=%20", "/workload?n=abc", "/workload?n=0",
+        "/workload?n=+5"}) {
+    const auto r = Get(target);
+    EXPECT_EQ(r.status_code,
+              std::string(target).rfind("/workload", 0) == 0 &&
+                      !obs::ObsEnabled()
+                  ? 404   // hook nulled: route 404s before param parsing
+                  : 400)
+        << target << " -> " << r.body;
+  }
+  // Unknown format values.
+  EXPECT_EQ(Get("/slow?format=xml").status_code, 400);
+  if (obs::ObsEnabled()) {
+    EXPECT_EQ(Get("/workload?format=yaml").status_code, 400);
+  }
+}
+
+TEST_F(AdminPlaneTest, HugeCountParamsClampInsteadOfFailing) {
+  // Well-formed but absurd n= values clamp to the server-side cap.
+  EXPECT_EQ(Get("/events?n=99999999999999999999999999").status_code, 200);
+  EXPECT_EQ(Get("/events?n=1000000").status_code, 200);
+  if (obs::ObsEnabled()) {
+    EXPECT_EQ(Get("/workload?n=1000000").status_code, 200);
+  }
 }
 
 TEST_F(AdminPlaneTest, ConcurrentScrapesWhileInstrumentsMutate) {

@@ -1,0 +1,439 @@
+// Workload intelligence plane tests: the q-error floor contract, query
+// fingerprint stability/distinctness (engine::ComputeQueryShape), and the
+// WorkloadStore itself — record/snapshot round-trips, bounded eviction,
+// drift-event edge-triggering with hysteresis, the JSON/text renderings,
+// and a concurrent record-vs-snapshot hammer for the TSan suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query.h"
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/workload.h"
+
+namespace ml4db {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// QError: the floor clamp must make every non-negative input finite. These
+// run in both obs-enabled and obs-disabled builds — QError is real math in
+// both modes because its result is part of ExecutionResult.
+
+TEST(QErrorTest, PerfectEstimateIsOne) {
+  EXPECT_DOUBLE_EQ(obs::QError(100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::QError(1.0, 1.0), 1.0);
+}
+
+TEST(QErrorTest, SymmetricOverAndUnderEstimates) {
+  EXPECT_DOUBLE_EQ(obs::QError(10.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::QError(100.0, 10.0), 10.0);
+}
+
+TEST(QErrorTest, ZeroActualRowsIsFlooredNotInf) {
+  // An empty result against a 50-row estimate is a q-error of 50, not inf.
+  const double q = obs::QError(50.0, 0.0);
+  EXPECT_TRUE(std::isfinite(q));
+  EXPECT_DOUBLE_EQ(q, 50.0);
+}
+
+TEST(QErrorTest, ZeroEstimateIsFlooredNotInf) {
+  const double q = obs::QError(0.0, 50.0);
+  EXPECT_TRUE(std::isfinite(q));
+  EXPECT_DOUBLE_EQ(q, 50.0);
+}
+
+TEST(QErrorTest, ZeroVersusZeroIsPerfect) {
+  // 0 estimated, 0 actual: both floor to one row — a perfect estimate,
+  // never 0/0 NaN.
+  const double q = obs::QError(0.0, 0.0);
+  EXPECT_TRUE(std::isfinite(q));
+  EXPECT_DOUBLE_EQ(q, 1.0);
+}
+
+TEST(QErrorTest, UnsetActualStillFinite) {
+  // actual_rows defaults to -1 (never executed); the floor clamps it to
+  // one row, so even a trace rendered from an unexecuted plan is finite.
+  EXPECT_TRUE(std::isfinite(obs::QError(100.0, -1.0)));
+  EXPECT_DOUBLE_EQ(obs::QError(100.0, -1.0), 100.0);
+}
+
+TEST(QErrorTest, NegativeEstimateMeansNoSample) {
+  EXPECT_DOUBLE_EQ(obs::QError(-1.0, 100.0), 0.0);
+}
+
+TEST(QErrorTest, ExtremeValuesStayFinite) {
+  EXPECT_TRUE(std::isfinite(obs::QError(1e300, 1.0)));
+  EXPECT_TRUE(std::isfinite(obs::QError(1.0, 1e300)));
+  EXPECT_GE(obs::QError(1e300, 1.0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting: engine::ComputeQueryShape.
+
+engine::Query TwoTableQuery() {
+  engine::Query q;
+  q.tables = {"fact", "dim_0"};
+  engine::JoinPredicate j;
+  j.left = {0, 1};
+  j.right = {1, 0};
+  q.joins.push_back(j);
+  engine::FilterPredicate f;
+  f.table_slot = 0;
+  f.column = 2;
+  f.op = engine::CompareOp::kLt;
+  f.value = 500.0;
+  q.filters.push_back(f);
+  return q;
+}
+
+TEST(QueryShapeTest, LiteralInsensitive) {
+  engine::Query a = TwoTableQuery();
+  engine::Query b = TwoTableQuery();
+  b.filters[0].value = 9999.0;  // different literal, same shape
+  const auto sa = engine::ComputeQueryShape(a);
+  const auto sb = engine::ComputeQueryShape(b);
+  EXPECT_EQ(sa.hash, sb.hash);
+  EXPECT_EQ(sa.canonical, sb.canonical);
+  // The literal itself must not leak into the canonical text.
+  EXPECT_EQ(sa.canonical.find("500"), std::string::npos) << sa.canonical;
+  EXPECT_NE(sa.canonical.find('?'), std::string::npos) << sa.canonical;
+}
+
+TEST(QueryShapeTest, BetweenLiteralsInsensitive) {
+  engine::Query a = TwoTableQuery();
+  a.filters[0].op = engine::CompareOp::kBetween;
+  a.filters[0].value = 10.0;
+  a.filters[0].value2 = 20.0;
+  engine::Query b = a;
+  b.filters[0].value = 1.0;
+  b.filters[0].value2 = 9000.0;
+  EXPECT_EQ(engine::ComputeQueryShape(a).hash,
+            engine::ComputeQueryShape(b).hash);
+}
+
+TEST(QueryShapeTest, FilterOrderInsensitive) {
+  engine::Query a = TwoTableQuery();
+  engine::FilterPredicate f2;
+  f2.table_slot = 1;
+  f2.column = 1;
+  f2.op = engine::CompareOp::kGe;
+  f2.value = 3.0;
+  a.filters.push_back(f2);
+  engine::Query b = a;
+  std::swap(b.filters[0], b.filters[1]);
+  EXPECT_EQ(engine::ComputeQueryShape(a).hash,
+            engine::ComputeQueryShape(b).hash);
+}
+
+TEST(QueryShapeTest, JoinOrientationInsensitive) {
+  engine::Query a = TwoTableQuery();
+  engine::Query b = a;
+  std::swap(b.joins[0].left, b.joins[0].right);  // t1.c0 = t0.c1
+  EXPECT_EQ(engine::ComputeQueryShape(a).hash,
+            engine::ComputeQueryShape(b).hash);
+}
+
+TEST(QueryShapeTest, DistinctShapesForDistinctStructure) {
+  const auto base = engine::ComputeQueryShape(TwoTableQuery());
+
+  engine::Query diff_op = TwoTableQuery();
+  diff_op.filters[0].op = engine::CompareOp::kGe;
+  EXPECT_NE(engine::ComputeQueryShape(diff_op).hash, base.hash);
+
+  engine::Query diff_col = TwoTableQuery();
+  diff_col.filters[0].column = 3;
+  EXPECT_NE(engine::ComputeQueryShape(diff_col).hash, base.hash);
+
+  engine::Query diff_table = TwoTableQuery();
+  diff_table.tables[1] = "dim_1";
+  EXPECT_NE(engine::ComputeQueryShape(diff_table).hash, base.hash);
+
+  engine::Query no_filter = TwoTableQuery();
+  no_filter.filters.clear();
+  EXPECT_NE(engine::ComputeQueryShape(no_filter).hash, base.hash);
+}
+
+TEST(QueryShapeTest, TableOrderIsPartOfTheShape) {
+  // Slots are positional: swapping FROM order renumbers every reference,
+  // so it is a different shape by design.
+  engine::Query a;
+  a.tables = {"fact", "dim_0"};
+  engine::Query b;
+  b.tables = {"dim_0", "fact"};
+  EXPECT_NE(engine::ComputeQueryShape(a).hash,
+            engine::ComputeQueryShape(b).hash);
+}
+
+#ifndef ML4DB_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// WorkloadStore. All tests drive RecordAt/SnapshotAt with explicit clocks
+// so sliding-window rotation is deterministic.
+
+obs::WorkloadSample MakeSample(uint64_t fp, double latency_us = 100.0,
+                               double qerr = 0.0) {
+  obs::WorkloadSample s;
+  s.fingerprint = fp;
+  s.canonical = "SELECT COUNT(*) FROM t" + std::to_string(fp);
+  s.latency_us = latency_us;
+  s.rows = 10.0;
+  if (qerr > 0.0) {
+    s.max_qerror = qerr;
+    s.sum_log2_qerror = std::log2(qerr);
+    s.qerror_nodes = 1;
+  }
+  return s;
+}
+
+TEST(WorkloadStoreTest, RecordAndSnapshotRoundTrip) {
+  obs::WorkloadStore store;
+  const auto base = obs::WorkloadStore::Clock::now();
+  for (int i = 0; i < 8; ++i) {
+    auto s = MakeSample(/*fp=*/42, /*latency_us=*/100.0 + i, /*qerr=*/4.0);
+    s.columns.push_back({"fact.c2", 0.25});
+    s.columns.push_back({"dim_0.c0", -1.0});  // join column: touch only
+    store.RecordAt(base + std::chrono::milliseconds(i), s);
+  }
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.samples(), 8u);
+
+  const auto snap = store.SnapshotAt(base + 10ms, /*top_n=*/10);
+  ASSERT_EQ(snap.top.size(), 1u);
+  const auto& shape = snap.top[0];
+  EXPECT_EQ(shape.fingerprint, 42u);
+  EXPECT_EQ(shape.count, 8u);
+  EXPECT_GT(shape.recent_qps, 0.0);
+  EXPECT_GE(shape.latency_p95_us, shape.latency_p50_us);
+  EXPECT_DOUBLE_EQ(shape.mean_rows, 10.0);
+  EXPECT_EQ(shape.qerror_samples, 8u);
+  EXPECT_DOUBLE_EQ(shape.max_qerror, 4.0);
+  EXPECT_NEAR(shape.geomean_qerror, 4.0, 1e-9);
+
+  ASSERT_EQ(shape.columns.size(), 2u);
+  EXPECT_EQ(shape.columns[0].column, "fact.c2");
+  EXPECT_EQ(shape.columns[0].touches, 8u);
+  EXPECT_NEAR(shape.columns[0].mean_selectivity, 0.25, 1e-9);
+  EXPECT_EQ(shape.columns[1].column, "dim_0.c0");
+  EXPECT_EQ(shape.columns[1].touches, 8u);
+  EXPECT_DOUBLE_EQ(shape.columns[1].mean_selectivity, -1.0);  // never seen
+}
+
+TEST(WorkloadStoreTest, TopNOrderedBySampleCount) {
+  obs::WorkloadStore store;
+  const auto base = obs::WorkloadStore::Clock::now();
+  for (int i = 0; i < 5; ++i) store.RecordAt(base, MakeSample(1));
+  for (int i = 0; i < 9; ++i) store.RecordAt(base, MakeSample(2));
+  for (int i = 0; i < 2; ++i) store.RecordAt(base, MakeSample(3));
+
+  const auto snap = store.SnapshotAt(base + 1ms, /*top_n=*/2);
+  EXPECT_EQ(snap.shapes, 3u);
+  ASSERT_EQ(snap.top.size(), 2u);  // truncated to top_n
+  EXPECT_EQ(snap.top[0].fingerprint, 2u);
+  EXPECT_EQ(snap.top[1].fingerprint, 1u);
+}
+
+TEST(WorkloadStoreTest, BoundedEvictionPrefersLeastRecentlySeen) {
+  obs::WorkloadStore::Options opts;
+  opts.capacity = 16;  // one shape per stripe
+  obs::WorkloadStore store(opts);
+  const auto base = obs::WorkloadStore::Clock::now();
+
+  // Fingerprints 0 and 16 share stripe 0. Insert 0, then 16: 0 (the
+  // least recently seen) must be evicted.
+  store.RecordAt(base, MakeSample(0));
+  store.RecordAt(base + 1ms, MakeSample(16));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.evictions(), 1u);
+  const auto snap = store.SnapshotAt(base + 2ms, 10);
+  ASSERT_EQ(snap.top.size(), 1u);
+  EXPECT_EQ(snap.top[0].fingerprint, 16u);
+
+  // Filling every stripe keeps the store bounded at capacity.
+  for (uint64_t fp = 0; fp < 64; ++fp) {
+    store.RecordAt(base + 3ms, MakeSample(fp));
+  }
+  EXPECT_LE(store.size(), 16u);
+}
+
+TEST(WorkloadStoreTest, DriftEventIsEdgeTriggeredWithHysteresis) {
+  obs::WorkloadStore::Options opts;
+  opts.drift_threshold = 4.0;
+  opts.drift_min_samples = 4;
+  opts.drift_alpha = 0.5;  // fast EWMA so the test converges quickly
+  obs::WorkloadStore store(opts);
+  const auto base = obs::WorkloadStore::Clock::now();
+  const uint64_t seq_before = [] {
+    const auto events = obs::EventLog::Global().Snapshot();
+    return events.empty() ? 0 : events.back().seq;
+  }();
+
+  // Accurate estimates: no drift no matter how many samples.
+  for (int i = 0; i < 10; ++i) {
+    store.RecordAt(base, MakeSample(7, 100.0, /*qerr=*/1.0));
+  }
+  EXPECT_EQ(store.drift_events(), 0u);
+
+  // Terrible estimates push the EWMA over threshold — exactly one event
+  // fires even though the score stays elevated (edge-triggered).
+  for (int i = 0; i < 20; ++i) {
+    store.RecordAt(base, MakeSample(7, 100.0, /*qerr=*/64.0));
+  }
+  EXPECT_EQ(store.drift_events(), 1u);
+  auto snap = store.SnapshotAt(base + 1ms, 5);
+  ASSERT_EQ(snap.top.size(), 1u);
+  EXPECT_TRUE(snap.top[0].drifting);
+  EXPECT_GE(snap.top[0].drift_score, 4.0);
+
+  // The event landed in the global log with the right kind and detail.
+  const auto events = obs::EventLog::Global().Snapshot();
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.seq > seq_before && e.kind == obs::EventKind::kWorkloadDrift) {
+      found = true;
+      EXPECT_EQ(e.module, "obs.workload");
+      EXPECT_NE(e.detail.find("shape"), std::string::npos);
+      EXPECT_GE(e.value, 4.0);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Recovery: good estimates drop the EWMA below threshold/2, re-arming
+  // the trigger; a second excursion fires a second event.
+  for (int i = 0; i < 40; ++i) {
+    store.RecordAt(base, MakeSample(7, 100.0, /*qerr=*/1.0));
+  }
+  snap = store.SnapshotAt(base + 1ms, 5);
+  EXPECT_FALSE(snap.top[0].drifting);
+  for (int i = 0; i < 20; ++i) {
+    store.RecordAt(base, MakeSample(7, 100.0, /*qerr=*/64.0));
+  }
+  EXPECT_EQ(store.drift_events(), 2u);
+}
+
+TEST(WorkloadStoreTest, DriftNeedsMinimumSamples) {
+  obs::WorkloadStore::Options opts;
+  opts.drift_threshold = 2.0;
+  opts.drift_min_samples = 100;
+  opts.drift_alpha = 1.0;
+  obs::WorkloadStore store(opts);
+  const auto base = obs::WorkloadStore::Clock::now();
+  for (int i = 0; i < 50; ++i) {
+    store.RecordAt(base, MakeSample(9, 100.0, /*qerr=*/1000.0));
+  }
+  EXPECT_EQ(store.drift_events(), 0u);  // score is high but n < min_samples
+}
+
+TEST(WorkloadStoreTest, SamplesWithoutQErrorDoNotPoisonStats) {
+  obs::WorkloadStore store;
+  const auto base = obs::WorkloadStore::Clock::now();
+  // Hand-built plans produce qerror_nodes == 0; the shape still profiles
+  // latency/rows but reports zero q-error samples and no drift.
+  for (int i = 0; i < 5; ++i) {
+    store.RecordAt(base, MakeSample(11, 200.0, /*qerr=*/0.0));
+  }
+  const auto snap = store.SnapshotAt(base + 1ms, 5);
+  ASSERT_EQ(snap.top.size(), 1u);
+  EXPECT_EQ(snap.top[0].count, 5u);
+  EXPECT_EQ(snap.top[0].qerror_samples, 0u);
+  EXPECT_DOUBLE_EQ(snap.top[0].geomean_qerror, 0.0);
+  EXPECT_DOUBLE_EQ(snap.top[0].drift_score, 0.0);
+  EXPECT_FALSE(snap.top[0].drifting);
+}
+
+TEST(WorkloadStoreTest, ToJsonShape) {
+  obs::WorkloadStore store;
+  auto s = MakeSample(0xabcdef0123456789ull, 150.0, 3.0);
+  s.columns.push_back({"fact.c1", 0.5});
+  store.Record(s);
+
+  const auto parsed = obs::JsonValue::Parse(store.ToJson(5).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetNumber("shapes"), 1.0);
+  EXPECT_EQ(parsed->GetNumber("samples"), 1.0);
+  const auto* top = parsed->Find("top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->items().size(), 1u);
+  const auto& shape = top->items()[0];
+  EXPECT_EQ(shape.GetString("fingerprint"), "abcdef0123456789");
+  EXPECT_NE(shape.Find("canonical"), nullptr);
+  ASSERT_NE(shape.Find("latency_us"), nullptr);
+  EXPECT_NE(shape.Find("latency_us")->Find("p95"), nullptr);
+  ASSERT_NE(shape.Find("qerror"), nullptr);
+  EXPECT_EQ(shape.Find("qerror")->GetNumber("max"), 3.0);
+  ASSERT_NE(shape.Find("drift"), nullptr);
+  EXPECT_NE(shape.Find("drift")->Find("score"), nullptr);
+  const auto* cols = shape.Find("columns");
+  ASSERT_NE(cols, nullptr);
+  ASSERT_EQ(cols->items().size(), 1u);
+  EXPECT_EQ(cols->items()[0].GetString("column"), "fact.c1");
+}
+
+TEST(WorkloadStoreTest, ToTextMentionsShapeAndQError) {
+  obs::WorkloadStore store;
+  store.Record(MakeSample(0xff, 100.0, 8.0));
+  const std::string text = store.ToText(5);
+  EXPECT_NE(text.find("workload: shapes=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("00000000000000ff"), std::string::npos) << text;
+  EXPECT_NE(text.find("qerror"), std::string::npos) << text;
+}
+
+TEST(WorkloadStoreTest, ClearResetsEverything) {
+  obs::WorkloadStore store;
+  store.Record(MakeSample(1, 100.0, 4.0));
+  store.Record(MakeSample(2));
+  EXPECT_EQ(store.size(), 2u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.samples(), 0u);
+  EXPECT_TRUE(store.Snapshot(10).top.empty());
+}
+
+TEST(WorkloadStoreTest, ConcurrentRecordAndSnapshot) {
+  obs::WorkloadStore::Options opts;
+  opts.capacity = 32;  // small enough that eviction races are exercised
+  obs::WorkloadStore store(opts);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int i = 0; i < 2000; ++i) {
+        auto s = MakeSample(static_cast<uint64_t>((w * 2000 + i) % 96),
+                            100.0 + i % 50, 1.0 + (i % 7));
+        s.columns.push_back({"fact.c2", 0.1});
+        store.Record(s);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&store, &stop] {
+      while (!stop.load()) {
+        const auto snap = store.Snapshot(16);
+        EXPECT_LE(snap.top.size(), 16u);
+        (void)store.ToJson(8);
+        (void)store.ToText(8);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(store.samples(), 8000u);
+  EXPECT_LE(store.size(), 32u);
+}
+
+#endif  // !ML4DB_OBS_DISABLED
+
+}  // namespace
+}  // namespace ml4db
