@@ -21,9 +21,18 @@
 // run — the scrape-while-loaded mode CI uses to prove introspection never
 // destabilizes the serving path.
 //
+// With --write-ratio R each worker turns fraction R of its traffic into
+// live writes against the fact table (7/8 INSERTs of fresh rows, 1/8
+// narrow-range DELETEs), exercising the server's delta-store write path
+// under concurrent reads. Write outcomes and latency are tallied
+// separately, and the scraper folds the server's ml4db_delta_rows /
+// ml4db_index_stale_rows gauges into the bench JSON so a run records how
+// far the serving indexes lagged the ingest.
+//
 //   bench_serve --port 7433 --connections 4 --duration-ms 2000
 //               [--qps 200] [--deadline-ms 1000] [--json]
 //               [--admin-port 7434] [--scrape-interval-ms 250]
+//               [--write-ratio 0.2]
 //               [--index-backend sorted]   (stamped into the JSON config)
 
 #include <algorithm>
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/math_util.h"
 #include "obs/json.h"
 #include "server/admin.h"
 #include "server/client.h"
@@ -57,6 +67,8 @@ struct Flags {
   uint64_t seed = 42;
   int admin_port = 0;  // > 0 enables the scrape-while-loaded thread
   int scrape_interval_ms = 250;
+  /// Fraction of traffic sent as writes (0 = read-only).
+  double write_ratio = 0.0;
   /// Which index backend the *server* was started with; stamped into the
   /// bench JSON so per-backend serve runs are distinguishable downstream.
   std::string index_backend = "sorted";
@@ -66,7 +78,24 @@ struct ScrapeTally {
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> failed{0};
   std::atomic<uint64_t> bytes{0};  ///< total /metrics payload bytes
+  /// Last server-side delta visibility seen by the scraper (-1 = never).
+  std::atomic<double> delta_rows{-1.0};
+  std::atomic<double> stale_rows{-1.0};
 };
+
+/// Value of gauge `name` in a Prometheus text body, or -1 when absent.
+double PromValue(const std::string& body, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = body.find(name, pos)) != std::string::npos) {
+    const size_t vstart = pos + name.size();
+    if ((pos == 0 || body[pos - 1] == '\n') && vstart < body.size() &&
+        body[vstart] == ' ') {
+      return std::atof(body.c_str() + vstart + 1);
+    }
+    pos = vstart;
+  }
+  return -1.0;
+}
 
 /// Hammers the admin plane while the load workers run: proves a scraper
 /// can't destabilize serving and gives sanitizer builds a concurrent
@@ -87,6 +116,13 @@ void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
       tally->ok.fetch_add(1);
       if (std::strcmp(target, "/metrics") == 0) {
         tally->bytes.fetch_add(result->body.size());
+        // Track how far the serving indexes lag the live ingest; the last
+        // scrape before shutdown is what the bench reports.
+        const double delta = PromValue(result->body, "ml4db_delta_rows");
+        if (delta >= 0) tally->delta_rows.store(delta);
+        const double stale =
+            PromValue(result->body, "ml4db_index_stale_rows");
+        if (stale >= 0) tally->stale_rows.store(stale);
       }
     } else if (result.ok() && result->status_code == 503) {
       tally->ok.fetch_add(1);  // draining /readyz is a valid answer
@@ -124,6 +160,48 @@ obs::Histogram* LatencyHist() {
   return h;
 }
 
+obs::Histogram* WriteLatencyHist() {
+  static obs::Histogram* h =
+      obs::GetHistogram("ml4db.serve.write_latency_us");
+  return h;
+}
+
+/// Generates the write side of a mixed workload: mostly INSERTs of fresh
+/// fact rows, with 1-in-8 statements a narrow-range DELETE on the first
+/// attribute column. Values land in the schema's attribute domain so
+/// DELETEs occasionally match and inserted rows look like generated ones.
+struct WriteGen {
+  std::string table;
+  size_t num_cols = 0;
+  int attr_col = 0;
+  int64_t attr_domain = 1;
+  Rng rng{1};
+  int64_t next_id = 1'000'000'000;  ///< clear of generated ids
+
+  bool NextIsWrite(double write_ratio) {
+    return write_ratio > 0.0 && rng.NextDouble() < write_ratio;
+  }
+
+  std::string Next() {
+    if (rng.NextUint64(8) == 0) {
+      const int64_t lo =
+          static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(attr_domain)));
+      const int64_t hi = lo + std::max<int64_t>(attr_domain / 100000, 1);
+      return "DELETE FROM " + table + " t0 WHERE t0.c" +
+             std::to_string(attr_col) + " BETWEEN " + std::to_string(lo) +
+             " AND " + std::to_string(hi);
+    }
+    std::string out = "INSERT INTO " + table + " VALUES (";
+    out += std::to_string(next_id++);
+    for (size_t c = 1; c < num_cols; ++c) {
+      out += ", " + std::to_string(
+                        rng.NextUint64(static_cast<uint64_t>(attr_domain)));
+    }
+    out += ")";
+    return out;
+  }
+};
+
 void Classify(const server::Response& resp, Tally* tally) {
   switch (resp.status) {
     case server::ResponseStatus::kOk: tally->ok.fetch_add(1); break;
@@ -136,16 +214,19 @@ void Classify(const server::Response& resp, Tally* tally) {
   }
 }
 
-void RecordLatency(Clock::time_point sent_at, Clock::time_point now) {
-  LatencyHist()->Record(static_cast<double>(
-      std::chrono::duration_cast<std::chrono::microseconds>(now - sent_at)
-          .count()));
+void RecordLatency(Clock::time_point sent_at, Clock::time_point now,
+                   bool is_write = false) {
+  (is_write ? WriteLatencyHist() : LatencyHist())
+      ->Record(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now - sent_at)
+              .count()));
 }
 
 /// Closed loop: next query only after the previous response — models a
 /// user who waits. Per-connection concurrency of exactly 1.
 void ClosedLoopWorker(const Flags& flags, uint64_t session_id,
-                      workload::QueryGenerator gen, Tally* tally) {
+                      workload::QueryGenerator gen, WriteGen wgen,
+                      Tally* tally, Tally* wtally) {
   server::Client client(session_id);
   if (!client.Connect(flags.host, flags.port).ok()) {
     tally->transport.fetch_add(1);
@@ -154,19 +235,22 @@ void ClosedLoopWorker(const Flags& flags, uint64_t session_id,
   const Clock::time_point end =
       Clock::now() + std::chrono::milliseconds(flags.duration_ms);
   while (Clock::now() < end) {
-    const std::string text = gen.Next().ToString();
+    const bool is_write = wgen.NextIsWrite(flags.write_ratio);
+    Tally* t = is_write ? wtally : tally;
+    const std::string text = is_write ? wgen.Next() : gen.Next().ToString();
     const Clock::time_point sent_at = Clock::now();
-    tally->sent.fetch_add(1);
+    t->sent.fetch_add(1);
+    const int timeout_ms = static_cast<int>(flags.deadline_ms) + 2000;
     const auto resp =
-        client.Call(text, flags.deadline_ms,
-                    static_cast<int>(flags.deadline_ms) + 2000);
+        is_write ? client.CallWrite(text, flags.deadline_ms, timeout_ms)
+                 : client.Call(text, flags.deadline_ms, timeout_ms);
     if (!resp.ok()) {
-      tally->lost.fetch_add(1);
-      tally->transport.fetch_add(1);
+      t->lost.fetch_add(1);
+      t->transport.fetch_add(1);
       return;  // connection is unusable past a transport error
     }
-    RecordLatency(sent_at, Clock::now());
-    Classify(*resp, tally);
+    RecordLatency(sent_at, Clock::now(), is_write);
+    Classify(*resp, t);
   }
 }
 
@@ -174,7 +258,8 @@ void ClosedLoopWorker(const Flags& flags, uint64_t session_id,
 /// (pipelined), so server-side queueing shows up as client latency and —
 /// past the admission bound — as OVERLOADED sheds.
 void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
-                    workload::QueryGenerator gen, Tally* tally) {
+                    workload::QueryGenerator gen, WriteGen wgen, Tally* tally,
+                    Tally* wtally) {
   server::Client client(session_id);
   if (!client.Connect(flags.host, flags.port).ok()) {
     tally->transport.fetch_add(1);
@@ -189,7 +274,11 @@ void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
   const Clock::time_point tail_deadline =
       end + std::chrono::milliseconds(flags.deadline_ms + 2000);
 
-  std::map<uint64_t, Clock::time_point> pending;  // request id -> send time
+  struct Pending {
+    Clock::time_point sent_at;
+    bool is_write;
+  };
+  std::map<uint64_t, Pending> pending;  // request id -> send record
   Clock::time_point next_send = start;
   bool transport_down = false;
 
@@ -202,12 +291,14 @@ void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
       transport_down = true;
       return false;
     }
+    bool is_write = false;
     const auto it = pending.find(resp->request_id);
     if (it != pending.end()) {
-      RecordLatency(it->second, Clock::now());
+      is_write = it->second.is_write;
+      RecordLatency(it->second.sent_at, Clock::now(), is_write);
       pending.erase(it);
     }
-    Classify(*resp, tally);
+    Classify(*resp, is_write ? wtally : tally);
     return true;
   };
 
@@ -215,17 +306,20 @@ void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
     const Clock::time_point now = Clock::now();
     if (now >= end) break;
     if (now >= next_send) {
+      const bool is_write = wgen.NextIsWrite(flags.write_ratio);
       server::Request req;
+      req.kind = is_write ? server::RequestKind::kWrite
+                          : server::RequestKind::kQuery;
       req.session_id = session_id;
       req.request_id = client.NextRequestId();
       req.deadline_ms = flags.deadline_ms;
-      req.query_text = gen.Next().ToString();
+      req.query_text = is_write ? wgen.Next() : gen.Next().ToString();
       if (!client.Send(req).ok()) {
         transport_down = true;
         break;
       }
-      pending.emplace(req.request_id, Clock::now());
-      tally->sent.fetch_add(1);
+      pending.emplace(req.request_id, Pending{Clock::now(), is_write});
+      (is_write ? wtally : tally)->sent.fetch_add(1);
       next_send += interval;
       continue;
     }
@@ -238,7 +332,12 @@ void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
     drain_one(50);
   }
   if (!pending.empty()) {
-    tally->lost.fetch_add(pending.size());
+    size_t read_lost = 0, write_lost = 0;
+    for (const auto& [id, p] : pending) {
+      (p.is_write ? write_lost : read_lost) += 1;
+    }
+    if (read_lost > 0) tally->lost.fetch_add(read_lost);
+    if (write_lost > 0) wtally->lost.fetch_add(write_lost);
     if (transport_down) tally->transport.fetch_add(1);
   }
 }
@@ -268,6 +367,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") flags.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--admin-port") flags.admin_port = std::atoi(value());
     else if (arg == "--scrape-interval-ms") flags.scrape_interval_ms = std::max(std::atoi(value()), 1);
+    else if (arg == "--write-ratio") flags.write_ratio = std::atof(value());
     else if (arg == "--index-backend") flags.index_backend = value();
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -275,7 +375,9 @@ int main(int argc, char** argv) {
     }
   }
   flags.connections = std::max(flags.connections, 1);
+  flags.write_ratio = std::clamp(flags.write_ratio, 0.0, 1.0);
   bench::SetBenchConfig("index_backend", flags.index_backend);
+  bench::SetBenchConfig("write_ratio", bench::Fmt(flags.write_ratio, 3));
 
   // Tiny local replica of the server's schema: table names and filterable
   // columns depend only on --dims/--seed, not on row counts, so queries
@@ -294,7 +396,19 @@ int main(int argc, char** argv) {
   qopts.max_tables = 4;
   qopts.seed = flags.seed ^ 0xbe7cULL;
 
+  // Write generation targets the fact table (= the star schema's hub).
+  const auto fact = replica.catalog().GetTable(schema->table_names[0]);
+  ML4DB_CHECK_MSG(fact.ok(), "replica fact table missing");
+  WriteGen wgen_proto;
+  wgen_proto.table = schema->table_names[0];
+  wgen_proto.num_cols = (*fact)->num_columns();
+  wgen_proto.attr_col = schema->attr_columns[0].empty()
+                            ? static_cast<int>((*fact)->num_columns()) - 1
+                            : schema->attr_columns[0].front();
+  wgen_proto.attr_domain = std::max<int64_t>(schema->attr_domain, 1);
+
   Tally tally;
+  Tally wtally;
   const double per_conn_qps = flags.qps / flags.connections;
   std::vector<std::thread> workers;
   workers.reserve(flags.connections);
@@ -303,13 +417,17 @@ int main(int argc, char** argv) {
     workload::QueryGenOptions wopts = qopts;
     wopts.seed = qopts.seed + static_cast<uint64_t>(c) * 7919;
     workload::QueryGenerator gen(&*schema, wopts);
+    WriteGen wgen = wgen_proto;
+    wgen.rng = Rng(flags.seed ^ (0x57ca1eULL + static_cast<uint64_t>(c)));
+    // Disjoint per-worker id ranges keep INSERTed fact ids unique.
+    wgen.next_id += static_cast<int64_t>(c) * 10'000'000;
     const uint64_t session_id = 1000 + static_cast<uint64_t>(c);
     if (flags.qps > 0) {
       workers.emplace_back(OpenLoopWorker, flags, session_id, per_conn_qps,
-                           std::move(gen), &tally);
+                           std::move(gen), std::move(wgen), &tally, &wtally);
     } else {
       workers.emplace_back(ClosedLoopWorker, flags, session_id,
-                           std::move(gen), &tally);
+                           std::move(gen), std::move(wgen), &tally, &wtally);
     }
   }
   ScrapeTally scrapes;
@@ -338,6 +456,22 @@ int main(int argc, char** argv) {
   obs::GetCounter("ml4db.serve.shed_total")->Inc(tally.shed.load());
   obs::GetCounter("ml4db.serve.timeout_total")->Inc(tally.timeout.load());
   obs::GetCounter("ml4db.serve.lost_total")->Inc(tally.lost.load());
+  if (flags.write_ratio > 0) {
+    obs::GetCounter("ml4db.serve.write_sent_total")->Inc(wtally.sent.load());
+    obs::GetCounter("ml4db.serve.write_ok_total")->Inc(wtally.ok.load());
+    obs::GetCounter("ml4db.serve.write_error_total")
+        ->Inc(wtally.error.load());
+    obs::GetCounter("ml4db.serve.write_shed_total")->Inc(wtally.shed.load());
+    obs::GetCounter("ml4db.serve.write_timeout_total")
+        ->Inc(wtally.timeout.load());
+    obs::GetCounter("ml4db.serve.write_lost_total")->Inc(wtally.lost.load());
+  }
+  if (scrapes.delta_rows.load() >= 0) {
+    obs::GetGauge("ml4db.serve.delta_rows")->Set(scrapes.delta_rows.load());
+  }
+  if (scrapes.stale_rows.load() >= 0) {
+    obs::GetGauge("ml4db.serve.stale_rows")->Set(scrapes.stale_rows.load());
+  }
   if (flags.admin_port > 0) {
     obs::GetCounter("ml4db.serve.scrapes_ok")->Inc(scrapes.ok.load());
     obs::GetCounter("ml4db.serve.scrapes_failed")->Inc(scrapes.failed.load());
@@ -360,6 +494,22 @@ int main(int argc, char** argv) {
                 std::to_string(tally.lost.load()), bench::Fmt(lat.p50, 0),
                 bench::Fmt(lat.p95, 0), bench::Fmt(lat.p99, 0)});
   table.Print();
+  if (flags.write_ratio > 0) {
+    const auto wlat = WriteLatencyHist()->Snapshot();
+    bench::Table wtable({"w_sent", "w_ok", "w_error", "w_shed", "w_timeout",
+                         "w_lost", "w_p50_us", "w_p95_us", "delta_rows",
+                         "stale_rows"});
+    wtable.AddRow({std::to_string(wtally.sent.load()),
+                   std::to_string(wtally.ok.load()),
+                   std::to_string(wtally.error.load()),
+                   std::to_string(wtally.shed.load()),
+                   std::to_string(wtally.timeout.load()),
+                   std::to_string(wtally.lost.load()),
+                   bench::Fmt(wlat.p50, 0), bench::Fmt(wlat.p95, 0),
+                   bench::Fmt(scrapes.delta_rows.load(), 0),
+                   bench::Fmt(scrapes.stale_rows.load(), 0)});
+    wtable.Print();
+  }
   if (flags.admin_port > 0) {
     bench::Table scrape_table({"scrapes_ok", "scrapes_failed", "metrics_kb"});
     scrape_table.AddRow(
@@ -416,17 +566,24 @@ int main(int argc, char** argv) {
                  "bench_serve: FAIL — admin plane never answered a scrape\n");
     return 1;
   }
-  if (tally.transport.load() > 0) {
+  if (tally.transport.load() + wtally.transport.load() > 0) {
     std::fprintf(stderr, "bench_serve: %llu transport errors\n",
-                 static_cast<unsigned long long>(tally.transport.load()));
+                 static_cast<unsigned long long>(tally.transport.load() +
+                                                 wtally.transport.load()));
   }
-  if (tally.lost.load() > 0) {
+  const uint64_t lost = tally.lost.load() + wtally.lost.load();
+  if (lost > 0) {
     std::fprintf(stderr, "bench_serve: FAIL — %llu responses lost\n",
-                 static_cast<unsigned long long>(tally.lost.load()));
+                 static_cast<unsigned long long>(lost));
     return 1;
   }
   if (tally.ok.load() == 0) {
     std::fprintf(stderr, "bench_serve: FAIL — no query succeeded\n");
+    return 1;
+  }
+  if (flags.write_ratio > 0 && wtally.sent.load() > 0 &&
+      wtally.ok.load() == 0) {
+    std::fprintf(stderr, "bench_serve: FAIL — no write succeeded\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serving-bench regression gate: run the standard mixed read/write
+# bench_serve scenario against a freshly started server and diff the JSON
+# export against the checked-in baseline (bench/baselines/serve_baseline.json)
+# with compare_bench_json.py — >25% p95 latency or shed-rate regression
+# (plus an absolute slack floor for noisy runners) fails the gate.
+#
+# Usage: bench_gate.sh BUILD_DIR [OUT_DIR] [--update] [extra compare flags...]
+#   OUT_DIR   where server.json / serve_gate.json land (default
+#             BUILD_DIR/bench_gate) — CI uploads this directory as an
+#             artifact so a failing gate ships both sides of the diff.
+#   --update  regenerate the baseline from this run instead of comparing
+#             (commit the result to move the bar deliberately).
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: bench_gate.sh BUILD_DIR [OUT_DIR] [--update] [flags...]}
+shift
+OUT_DIR="$BUILD_DIR/bench_gate"
+if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then
+  OUT_DIR=$1
+  shift
+fi
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SERVER="$BUILD_DIR/bin/ml4db_server"
+BENCH="$BUILD_DIR/bench/bench_serve"
+BASELINE="$REPO_ROOT/bench/baselines/serve_baseline.json"
+mkdir -p "$OUT_DIR"
+
+SERVER_PID=
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+PORT_FILE="$OUT_DIR/port"
+rm -f "$PORT_FILE"
+# The scenario is fixed (table sizes, duration, write mix, connection
+# count) so candidate and baseline measure the same work. The merge
+# threshold makes delta folds part of the measured steady state.
+export ML4DB_DELTA_MERGE_THRESHOLD=256
+"$SERVER" --port 0 --port-file "$PORT_FILE" \
+  --fact-rows 4000 --dim-rows 500 \
+  --retrain-interval-ms 300 \
+  --json "$OUT_DIR/server.json" >"$OUT_DIR/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server died during startup" >&2
+    cat "$OUT_DIR/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$PORT_FILE" ]] || { echo "FAIL: server never bound a port" >&2; exit 1; }
+PORT=$(cat "$PORT_FILE")
+
+"$BENCH" --port "$PORT" --connections 4 --duration-ms 3000 \
+  --write-ratio 0.2 --json "$OUT_DIR/serve_gate.json"
+
+kill -TERM "$SERVER_PID"
+SERVER_STATUS=0
+wait "$SERVER_PID" || SERVER_STATUS=$?
+SERVER_PID=
+if [[ "$SERVER_STATUS" -ne 0 ]]; then
+  echo "FAIL: server exited with $SERVER_STATUS after SIGTERM" >&2
+  cat "$OUT_DIR/server.log" >&2
+  exit 1
+fi
+
+python3 "$REPO_ROOT/scripts/compare_bench_json.py" "$OUT_DIR/serve_gate.json" \
+  --baseline "$BASELINE" "$@"

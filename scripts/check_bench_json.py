@@ -18,6 +18,11 @@ Flags:
                         present (ml4db.serve.workload_shapes > 0 and the
                         samples/evictions/drift_events gauges exported —
                         bench_serve fills these from GET /workload)
+  --require-writes      fail unless the write-path metric set is present
+                        and writes actually executed (ml4db.server.
+                        {writes_total>0,writes_rows_total,write_errors},
+                        the write latency histogram, and the delta-store /
+                        index-staleness gauges)
   --quiet               print nothing on success
 
 The schema is documented in DESIGN.md ("Observability"). This script is wired
@@ -130,6 +135,48 @@ WORKLOAD_REQUIRED_GAUGES = {
 }
 
 
+WRITE_REQUIRED_COUNTERS = {
+    "ml4db.server.writes_total",
+    "ml4db.server.writes_rows_total",
+    "ml4db.server.write_errors",
+}
+WRITE_REQUIRED_GAUGES = {
+    "ml4db.delta.rows",
+    "ml4db.delta.deleted",
+    "ml4db.index.stale_rows",
+}
+WRITE_REQUIRED_HISTOGRAMS = {
+    "ml4db.server.write_latency_us",
+}
+
+
+def _check_write_metrics(metrics):
+    """--require-writes: the server export must carry the full write-path
+    set and show that at least one write actually executed. The delta and
+    staleness gauges may legitimately read zero (a retrain fold right
+    before shutdown sweeps the delta into rebuilt indexes), so only their
+    presence is asserted."""
+    counters = {c["name"]: c for c in metrics["counters"]}
+    gauges = {g["name"]: g for g in metrics["gauges"]}
+    histograms = {h["name"]: h for h in metrics["histograms"]}
+    missing = sorted(
+        (WRITE_REQUIRED_COUNTERS - set(counters))
+        | (WRITE_REQUIRED_GAUGES - set(gauges))
+        | (WRITE_REQUIRED_HISTOGRAMS - set(histograms)))
+    _ensure(not missing,
+            f"write metric set incomplete, missing: {', '.join(missing)}")
+    writes = counters["ml4db.server.writes_total"]["value"]
+    rows = counters["ml4db.server.writes_rows_total"]["value"]
+    _ensure(writes > 0, "--require-writes: writes_total is zero")
+    _ensure(rows > 0, "--require-writes: writes_rows_total is zero")
+    hist = histograms["ml4db.server.write_latency_us"]
+    _ensure(hist["count"] > 0,
+            "--require-writes: write latency histogram is empty")
+    _ensure(hist["count"] <= writes,
+            f"write latency samples ({hist['count']}) exceed "
+            f"writes_total ({writes})")
+
+
 def _check_workload_metrics(metrics):
     """--require-workload: bench_serve's post-run /workload scrape summary
     must be present and show a non-trivial profile."""
@@ -147,7 +194,7 @@ def _check_workload_metrics(metrics):
 
 def validate(doc, require_histogram=False, require_event=False,
              require_server=False, require_workload=False,
-             require_config=()):
+             require_writes=False, require_config=()):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -244,6 +291,8 @@ def validate(doc, require_histogram=False, require_event=False,
     _check_server_metrics(metrics, required=require_server)
     if require_workload:
         _check_workload_metrics(metrics)
+    if require_writes:
+        _check_write_metrics(metrics)
 
     if require_histogram:
         good = [h for h in metrics["histograms"] if h["count"] > 0]
@@ -258,6 +307,7 @@ def main(argv):
     require_event = "--require-event" in args
     require_server = "--require-server" in args
     require_workload = "--require-workload" in args
+    require_writes = "--require-writes" in args
     quiet = "--quiet" in args
     require_config = []
     filtered = []
@@ -275,7 +325,7 @@ def main(argv):
     args = [a for a in filtered
             if a not in ("--require-histogram", "--require-event",
                          "--require-server", "--require-workload",
-                         "--quiet")]
+                         "--require-writes", "--quiet")]
 
     if args and args[0] == "--run":
         if len(args) < 2:
@@ -309,6 +359,7 @@ def main(argv):
         validate(doc, require_histogram=require_histogram,
                  require_event=require_event, require_server=require_server,
                  require_workload=require_workload,
+                 require_writes=require_writes,
                  require_config=require_config)
     except SchemaError as e:
         print(f"FAIL [{source}]: {e}", file=sys.stderr)

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Gate bench_serve runs against a checked-in baseline (bench regression CI).
+
+Usage:
+  compare_bench_json.py CANDIDATE.json --baseline BASELINE.json [flags]
+  compare_bench_json.py CANDIDATE.json --baseline BASELINE.json --update
+
+Compares the serving-bench export (schema v1, as validated by
+check_bench_json.py) against a baseline export and fails when the candidate
+regresses:
+
+  * client p95 latency (ml4db.serve.client_latency_us histogram): fails when
+    candidate_p95 > max(baseline_p95 * (1 + --latency-slack),
+                        baseline_p95 + --latency-abs-slack-us).
+    The absolute floor keeps sub-millisecond baselines from turning CI
+    scheduling jitter into failures.
+  * shed rate (ml4db.serve.shed_total / ml4db.serve.sent_total, writes
+    included when present): fails when the candidate sheds and its rate
+    exceeds max(baseline_rate * (1 + --latency-slack), --shed-abs-slack).
+
+--update rewrites BASELINE.json from the candidate (with the volatile run
+block reduced to the fields the gate reads) instead of comparing; commit the
+result to refresh the baseline deliberately.
+
+Flags:
+  --latency-slack F        relative headroom, default 0.25 (25%)
+  --latency-abs-slack-us F absolute headroom in us, default 2000
+  --shed-abs-slack F       absolute shed-rate headroom, default 0.01
+  --quiet                  print nothing on success
+"""
+
+import json
+import sys
+
+DEFAULT_LATENCY_SLACK = 0.25
+DEFAULT_LATENCY_ABS_SLACK_US = 2000.0
+DEFAULT_SHED_ABS_SLACK = 0.01
+
+LATENCY_HIST = "ml4db.serve.client_latency_us"
+
+
+class GateError(Exception):
+    pass
+
+
+def _metric_maps(doc):
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise GateError("export has no metrics object")
+    counters = {c["name"]: c["value"] for c in metrics.get("counters", [])}
+    histograms = {h["name"]: h for h in metrics.get("histograms", [])}
+    return counters, histograms
+
+
+def _p95(doc, label):
+    _, histograms = _metric_maps(doc)
+    h = histograms.get(LATENCY_HIST)
+    if h is None:
+        raise GateError(f"{label}: missing histogram {LATENCY_HIST}")
+    if h.get("count", 0) <= 0:
+        raise GateError(f"{label}: {LATENCY_HIST} has no samples")
+    return float(h["p95"])
+
+
+def _shed_rate(doc, label):
+    counters, _ = _metric_maps(doc)
+    sent = counters.get("ml4db.serve.sent_total", 0)
+    sent += counters.get("ml4db.serve.write_sent_total", 0)
+    shed = counters.get("ml4db.serve.shed_total", 0)
+    shed += counters.get("ml4db.serve.write_shed_total", 0)
+    if sent <= 0:
+        raise GateError(f"{label}: ml4db.serve.sent_total is zero")
+    return float(shed) / float(sent)
+
+
+def compare(candidate, baseline, latency_slack, latency_abs_slack_us,
+            shed_abs_slack):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    cand_p95 = _p95(candidate, "candidate")
+    base_p95 = _p95(baseline, "baseline")
+    p95_limit = max(base_p95 * (1.0 + latency_slack),
+                    base_p95 + latency_abs_slack_us)
+    if cand_p95 > p95_limit:
+        failures.append(
+            f"client p95 latency regressed: {cand_p95:.1f}us vs baseline "
+            f"{base_p95:.1f}us (limit {p95_limit:.1f}us)")
+
+    cand_shed = _shed_rate(candidate, "candidate")
+    base_shed = _shed_rate(baseline, "baseline")
+    shed_limit = max(base_shed * (1.0 + latency_slack), shed_abs_slack)
+    if cand_shed > shed_limit:
+        failures.append(
+            f"shed rate regressed: {cand_shed:.4f} vs baseline "
+            f"{base_shed:.4f} (limit {shed_limit:.4f})")
+    return failures, {
+        "cand_p95": cand_p95, "base_p95": base_p95, "p95_limit": p95_limit,
+        "cand_shed": cand_shed, "base_shed": base_shed,
+        "shed_limit": shed_limit,
+    }
+
+
+def make_baseline(candidate):
+    """Reduces a candidate export to a stable baseline document: only the
+    metrics the gate reads, so refreshing the baseline produces a small,
+    reviewable diff."""
+    counters, histograms = _metric_maps(candidate)
+    keep_counters = sorted(
+        n for n in counters
+        if n in ("ml4db.serve.sent_total", "ml4db.serve.shed_total",
+                 "ml4db.serve.write_sent_total",
+                 "ml4db.serve.write_shed_total"))
+    hist = histograms.get(LATENCY_HIST)
+    if hist is None:
+        raise GateError(f"--update: candidate missing {LATENCY_HIST}")
+    return {
+        "schema_version": 1,
+        "bench": candidate.get("bench", "serve"),
+        "note": ("serving-latency baseline for compare_bench_json.py; "
+                 "regenerate with --update from a quiet machine"),
+        "config": candidate.get("config", {}),
+        "metrics": {
+            "counters": [{"name": n, "value": counters[n]}
+                         for n in keep_counters],
+            "gauges": [],
+            "histograms": [dict(
+                {k: hist[k] for k in ("name", "count", "sum", "min", "max",
+                                      "p50", "p95", "p99")},
+                buckets=[])],
+        },
+    }
+
+
+def _float_flag(args, name, default):
+    if name in args:
+        i = args.index(name)
+        if i + 1 >= len(args):
+            print(f"{name} needs a value", file=sys.stderr)
+            sys.exit(2)
+        value = float(args[i + 1])
+        del args[i:i + 2]
+        return value
+    return default
+
+
+def main(argv):
+    args = list(argv[1:])
+    quiet = "--quiet" in args
+    update = "--update" in args
+    args = [a for a in args if a not in ("--quiet", "--update")]
+    latency_slack = _float_flag(args, "--latency-slack",
+                                DEFAULT_LATENCY_SLACK)
+    latency_abs = _float_flag(args, "--latency-abs-slack-us",
+                              DEFAULT_LATENCY_ABS_SLACK_US)
+    shed_abs = _float_flag(args, "--shed-abs-slack", DEFAULT_SHED_ABS_SLACK)
+    if "--baseline" not in args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    i = args.index("--baseline")
+    if i + 1 >= len(args):
+        print("--baseline needs a FILE", file=sys.stderr)
+        return 2
+    baseline_path = args[i + 1]
+    del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    candidate_path = args[0]
+
+    with open(candidate_path, "r", encoding="utf-8") as f:
+        candidate = json.load(f)
+
+    try:
+        if update:
+            doc = make_baseline(candidate)
+            with open(baseline_path, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+                f.write("\n")
+            if not quiet:
+                h = doc["metrics"]["histograms"][0]
+                print(f"baseline updated [{baseline_path}]: "
+                      f"p95={h['p95']:.1f}us count={h['count']}")
+            return 0
+
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+        failures, stats = compare(candidate, baseline, latency_slack,
+                                  latency_abs, shed_abs)
+    except GateError as e:
+        print(f"FAIL [{candidate_path}]: {e}", file=sys.stderr)
+        return 1
+    if failures:
+        for msg in failures:
+            print(f"FAIL [{candidate_path}]: {msg}", file=sys.stderr)
+        return 1
+    if not quiet:
+        print(f"OK [{candidate_path}]: p95={stats['cand_p95']:.1f}us "
+              f"(baseline {stats['base_p95']:.1f}us, "
+              f"limit {stats['p95_limit']:.1f}us), "
+              f"shed={stats['cand_shed']:.4f} "
+              f"(limit {stats['shed_limit']:.4f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

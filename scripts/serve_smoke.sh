@@ -12,17 +12,30 @@
 #   5. SIGTERM the server: /readyz must flip away from 200 during the
 #      drain, and the process must exit 0.
 #
-# Usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND]
+# Usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND] [MODE]
 # INDEX_BACKEND (default sorted) selects the engine's index structure; the
 # run also enables a fast background retrain loop so replacement backends
 # are rebuilt and atomically swapped in mid-load — the smoke fails if that
 # loses a request or trips a sanitizer. Runs under ASan in CI, so a leak
 # or race in the shutdown path fails here.
+# MODE=writes drives a mixed read/write load (bench_serve --write-ratio
+# 0.2) with a small ML4DB_DELTA_MERGE_THRESHOLD so delta folds happen
+# mid-ingest, and additionally asserts the write-path metric contract
+# (writes counter, delta-size and staleness gauges on /metrics; the
+# ml4db.server.writes_* set in the server's JSON export).
 set -euo pipefail
 
-BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND]}
+BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND] [MODE]}
 DURATION_MS=${2:-2000}
 BACKEND=${3:-sorted}
+MODE=${4:-}
+WRITE_RATIO=0
+if [[ "$MODE" == "writes" ]]; then
+  WRITE_RATIO=0.2
+elif [[ -n "$MODE" ]]; then
+  echo "FAIL: unknown mode '$MODE' (only 'writes' is recognised)" >&2
+  exit 2
+fi
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 SERVER="$BUILD_DIR/bin/ml4db_server"
 BENCH="$BUILD_DIR/bench/bench_serve"
@@ -42,6 +55,11 @@ trap cleanup EXIT
 
 PORT_FILE="$WORK_DIR/port"
 ADMIN_PORT_FILE="$WORK_DIR/admin_port"
+if [[ "$WRITE_RATIO" != "0" ]]; then
+  # Small threshold so the delta is folded (rebuild-and-swap) mid-ingest,
+  # on top of the interval-driven retrains already configured below.
+  export ML4DB_DELTA_MERGE_THRESHOLD=256
+fi
 "$SERVER" --port 0 --port-file "$PORT_FILE" \
   --admin-port 0 --admin-port-file "$ADMIN_PORT_FILE" \
   --fact-rows 4000 --dim-rows 500 \
@@ -76,7 +94,7 @@ READY_CODE=$($CURL -o /dev/null -w '%{http_code}' \
 
 "$BENCH" --port "$PORT" --connections 4 --duration-ms "$DURATION_MS" \
   --admin-port "$ADMIN_PORT" --scrape-interval-ms 100 \
-  --index-backend "$BACKEND" \
+  --index-backend "$BACKEND" --write-ratio "$WRITE_RATIO" \
   --json "$WORK_DIR/serve.json"
 
 # Scrape under (residual) load and validate the Prometheus contract. The
@@ -89,7 +107,18 @@ grep -q "ml4db_index_backend{backend=\"$BACKEND\"}" "$WORK_DIR/metrics.prom" || 
   echo "FAIL: /metrics missing ml4db_index_backend{backend=\"$BACKEND\"}" >&2
   exit 1; }
 if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
+  WRITE_PROM_ARGS=()
+  if [[ "$WRITE_RATIO" != "0" ]]; then
+    # Write mode: the server must have executed writes, and the delta-store
+    # and index-staleness gauges must be rendered (possibly zero right after
+    # a fold swept the delta into rebuilt indexes).
+    WRITE_PROM_ARGS=(--require-nonzero ml4db_server_writes_total
+                     --require-nonzero ml4db_server_writes_rows_total
+                     --require ml4db_delta_rows
+                     --require ml4db_index_stale_rows)
+  fi
   python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" \
+    "${WRITE_PROM_ARGS[@]}" \
     --require-nonzero ml4db_server_recent_qps \
     --require-nonzero ml4db_server_recent_request_latency_us \
     --require-nonzero ml4db_server_request_latency_us \
@@ -222,10 +251,14 @@ grep -q "draining" "$WORK_DIR/server.log" || {
 }
 
 if grep -q '"obs_enabled": true' "$WORK_DIR/server.json"; then
+  WRITE_JSON_ARGS=()
+  if [[ "$WRITE_RATIO" != "0" ]]; then
+    WRITE_JSON_ARGS=(--require-writes)
+  fi
   python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend \
     --require-workload
   python3 "$CHECK" "$WORK_DIR/server.json" --require-server \
-    --require-config index_backend
+    --require-config index_backend "${WRITE_JSON_ARGS[@]}"
 else
   # ML4DB_OBS_DISABLED builds export no metrics by design.
   python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend

@@ -1,0 +1,87 @@
+#include "engine/delta_store.h"
+
+namespace ml4db {
+namespace engine {
+
+DeltaStore::Chunk::Chunk(size_t num_columns) {
+  cols.resize(num_columns);
+  for (auto& c : cols) c.resize(kChunkRows, 0);
+  for (auto& w : tombstones) w.store(0, std::memory_order_relaxed);
+}
+
+DeltaStore::DeltaStore(size_t num_columns, size_t base_rows)
+    : num_columns_(num_columns),
+      base_rows_(base_rows),
+      base_tombstones_((base_rows + 63) / 64) {
+  for (auto& w : base_tombstones_) w.store(0, std::memory_order_relaxed);
+}
+
+size_t DeltaStore::Append(const std::vector<int64_t>& values) {
+  ML4DB_CHECK(values.size() == num_columns_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ % kChunkRows == 0) {
+    chunks_.push_back(std::make_shared<Chunk>(num_columns_));
+  }
+  const size_t slot = size_ % kChunkRows;
+  // Slots past `visible_` are invisible to readers, so writing them under
+  // the mutex is race-free.
+  Chunk* chunk = chunks_.back().get();
+  for (size_t c = 0; c < num_columns_; ++c) chunk->cols[c][slot] = values[c];
+  ++size_;
+  visible_.store(size_, std::memory_order_release);
+  return base_rows_ + size_ - 1;
+}
+
+void DeltaStore::AppendColumnar(
+    const std::vector<std::vector<int64_t>>& cols) {
+  ML4DB_CHECK(cols.size() == num_columns_);
+  const size_t n = cols.empty() ? 0 : cols[0].size();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t r = 0; r < n; ++r) {
+    if (size_ % kChunkRows == 0) {
+      chunks_.push_back(std::make_shared<Chunk>(num_columns_));
+    }
+    const size_t slot = size_ % kChunkRows;
+    Chunk* chunk = chunks_.back().get();
+    for (size_t c = 0; c < num_columns_; ++c) chunk->cols[c][slot] = cols[c][r];
+    ++size_;
+  }
+  visible_.store(size_, std::memory_order_release);
+}
+
+void DeltaStore::MarkDeleted(size_t row) {
+  if (row < base_rows_) {
+    const uint64_t bit = uint64_t{1} << (row % 64);
+    const uint64_t old = base_tombstones_[row / 64].fetch_or(
+        bit, std::memory_order_relaxed);
+    if (!(old & bit)) deleted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t idx = row - base_rows_;
+  ML4DB_DCHECK(idx < size_);
+  if (idx >= size_) return;
+  const uint64_t bit = uint64_t{1} << (idx % 64);
+  Chunk* chunk = chunks_[idx / kChunkRows].get();
+  const uint64_t old = chunk->tombstones[(idx % kChunkRows) / 64].fetch_or(
+      bit, std::memory_order_relaxed);
+  if (!(old & bit)) deleted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool DeltaStore::IsDeleted(size_t row) const {
+  return Acquire().IsDeleted(row);
+}
+
+DeltaStore::Snapshot DeltaStore::Acquire() const {
+  Snapshot snap;
+  snap.base_rows = base_rows_;
+  snap.base_tombstones = &base_tombstones_;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.visible_rows = size_;
+  snap.any_deleted = deleted_.load(std::memory_order_relaxed) > 0;
+  snap.chunks.assign(chunks_.begin(), chunks_.end());
+  return snap;
+}
+
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,122 @@
+// Per-table delta store: the write side of the serving stack (ISSUE 7).
+//
+// Base columns are sealed (frozen) the moment a table grows its first
+// index; every later INSERT lands here as an int64 row in a chunked
+// append log, and every DELETE sets a tombstone bit over the base or the
+// delta. Row ids are stable forever: base rows occupy [0, base_rows) and
+// delta rows occupy [base_rows, base_rows + visible). Tombstoned rows are
+// never compacted out — they stay addressable (so index payloads never
+// shift) and are filtered at scan/probe time.
+//
+// Threading contract: Append/AppendColumnar/MarkDeleted are writer-side
+// calls, serialized by the store mutex (the server funnels all writes
+// through the single batcher thread anyway). Readers never touch the
+// mutex-guarded chunk list directly — they take an Acquire() snapshot
+// (chunk-pointer copy + visible row count captured under the mutex) and
+// read value slots that were fully written before they became visible.
+// Tombstone bits are lock-free atomics: a reader may miss a delete that
+// races its scan (snapshot semantics) but never tears.
+
+#ifndef ML4DB_ENGINE_DELTA_STORE_H_
+#define ML4DB_ENGINE_DELTA_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ml4db {
+namespace engine {
+
+class DeltaStore {
+ public:
+  /// Rows per chunk. Chunks are allocated full-size up front so value
+  /// slots never reallocate under concurrent readers.
+  static constexpr size_t kChunkRows = 1024;
+
+  /// One append chunk: column-major int64 values plus a tombstone bitmap.
+  struct Chunk {
+    explicit Chunk(size_t num_columns);
+    std::vector<std::vector<int64_t>> cols;  ///< [column][slot]
+    std::array<std::atomic<uint64_t>, kChunkRows / 64> tombstones;
+  };
+
+  DeltaStore(size_t num_columns, size_t base_rows);
+
+  size_t base_rows() const { return base_rows_; }
+
+  /// Rows appended and published to readers. Lock-free (acquire): any row
+  /// id below base_rows + visible_rows() has fully written values.
+  size_t visible_rows() const {
+    return visible_.load(std::memory_order_acquire);
+  }
+
+  /// Tombstoned rows, base + delta.
+  size_t deleted_rows() const {
+    return deleted_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one row (one value per column); returns its global row id.
+  size_t Append(const std::vector<int64_t>& values);
+
+  /// Appends column-major data (all columns equally sized).
+  void AppendColumnar(const std::vector<std::vector<int64_t>>& cols);
+
+  /// Tombstones a global row id (base or delta). Idempotent; rows at or
+  /// beyond base_rows + visible_rows() are rejected with a DCHECK.
+  void MarkDeleted(size_t row);
+
+  bool IsDeleted(size_t row) const;
+
+  /// Immutable reader snapshot: a consistent (chunks, visible) pair.
+  struct Snapshot {
+    size_t base_rows = 0;
+    size_t visible_rows = 0;  ///< delta rows readable through this snapshot
+    bool any_deleted = false;
+    std::vector<std::shared_ptr<const Chunk>> chunks;
+    const std::vector<std::atomic<uint64_t>>* base_tombstones = nullptr;
+
+    /// Value of a delta row; `row` is a global id in
+    /// [base_rows, base_rows + visible_rows).
+    int64_t DeltaValue(int col, size_t row) const {
+      const size_t idx = row - base_rows;
+      ML4DB_DCHECK(idx < visible_rows);
+      return chunks[idx / kChunkRows]->cols[col][idx % kChunkRows];
+    }
+
+    bool IsDeleted(size_t row) const {
+      if (row < base_rows) {
+        const uint64_t word =
+            (*base_tombstones)[row / 64].load(std::memory_order_relaxed);
+        return (word >> (row % 64)) & 1;
+      }
+      const size_t idx = row - base_rows;
+      if (idx >= visible_rows) return false;
+      const uint64_t word = chunks[idx / kChunkRows]
+                                ->tombstones[(idx % kChunkRows) / 64]
+                                .load(std::memory_order_relaxed);
+      return (word >> (idx % 64)) & 1;
+    }
+  };
+
+  Snapshot Acquire() const;
+
+ private:
+  const size_t num_columns_;
+  const size_t base_rows_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Chunk>> chunks_;  // guarded by mu_
+  size_t size_ = 0;                                   // guarded by mu_
+  std::atomic<size_t> visible_{0};
+  std::atomic<size_t> deleted_{0};
+  std::vector<std::atomic<uint64_t>> base_tombstones_;
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_DELTA_STORE_H_

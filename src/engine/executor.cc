@@ -142,14 +142,26 @@ struct Executor::Intermediate {
 
 namespace {
 
+/// Resolves column values through per-slot Table::ReadView snapshots so
+/// every operator reads base + delta merged. Views are acquired lazily and
+/// cached per slot; children execute before their parent resolves their
+/// row ids, and the delta only grows, so a parent's later snapshot always
+/// covers every row id a child emitted.
 struct Resolver {
   const Query* query;
   const Catalog* catalog;
+  mutable std::unordered_map<int, Table::ReadView> views;
 
-  const Column& ColumnOf(const ColumnRef& ref) const {
-    auto table = catalog->GetTable(query->tables[ref.table_slot]);
+  const Table::ReadView& ViewOf(int slot) const {
+    auto it = views.find(slot);
+    if (it != views.end()) return it->second;
+    auto table = catalog->GetTable(query->tables[slot]);
     ML4DB_CHECK(table.ok());
-    return table.value()->column(ref.column);
+    return views.emplace(slot, table.value()->View()).first->second;
+  }
+
+  double ValueOf(const ColumnRef& ref, uint32_t row) const {
+    return ViewOf(ref.table_slot).GetNumeric(ref.column, row);
   }
 };
 
@@ -248,7 +260,7 @@ std::vector<StatusOr<ExecutionResult>> Executor::ExecuteBatch(
 StatusOr<Executor::Intermediate> Executor::ExecNode(
     const Query& query, PlanNode* node, const ExecutionLimits& limits,
     double* accumulated_latency) const {
-  Resolver resolver{&query, catalog_};
+  Resolver resolver{&query, catalog_, {}};
   Intermediate out;
   OperatorWork work;
 
@@ -266,15 +278,15 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
 
   switch (node->op) {
     case PlanOp::kSeqScan: {
-      ML4DB_ASSIGN_OR_RETURN(const Table* table,
-                             catalog_->GetTable(node->table_name));
-      const size_t n = table->num_rows();
+      const Table::ReadView& view = resolver.ViewOf(node->table_slot);
+      const size_t n = view.rows();
       out.slots = {node->table_slot};
       out.data.reserve(64);
       for (size_t r = 0; r < n; ++r) {
+        if (view.IsDeleted(r)) continue;
         bool pass = true;
         for (const auto& f : node->filters) {
-          if (!EvalFilter(f, table->column(f.column).GetNumeric(r))) {
+          if (!EvalFilter(f, view.GetNumeric(f.column, r))) {
             pass = false;
             break;
           }
@@ -301,6 +313,14 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
         return Status::FailedPrecondition("index scan without index on " +
                                           node->table_name);
       }
+      const Table::ReadView& view = resolver.ViewOf(node->table_slot);
+      // Exact merge contract: the covered prefix is read BEFORE the probe.
+      // Rows below it are fully represented in the structure; rows
+      // [covered, visible) are served by scanning the delta tail with
+      // every filter applied. An absorb landing mid-probe can only add
+      // candidates at or above the cut, which are dropped (the tail scan
+      // already counts them) — so rows merge exactly once either way.
+      const size_t covered = std::min(index->covered_rows(), view.rows());
       Stopwatch probe_sw;
       std::vector<uint32_t> candidates;
       switch (ixf.op) {
@@ -323,23 +343,35 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       out.slots = {node->table_slot};
       int residuals = 0;
       for (uint32_t r : candidates) {
+        if (r >= covered || view.IsDeleted(r)) continue;
         bool pass = true;
         for (size_t fi = 0; fi < node->filters.size(); ++fi) {
           const auto& f = node->filters[fi];
           // The index handles equality/between exactly; strict bounds still
           // need rechecking, so apply every filter including the indexed one.
-          if (!EvalFilter(f, table->column(f.column).GetNumeric(r))) {
+          if (!EvalFilter(f, view.GetNumeric(f.column, r))) {
             pass = false;
             break;
           }
         }
         if (pass) out.data.push_back(r);
       }
+      for (size_t r = covered; r < view.rows(); ++r) {
+        if (view.IsDeleted(r)) continue;
+        bool pass = true;
+        for (const auto& f : node->filters) {
+          if (!EvalFilter(f, view.GetNumeric(f.column, r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.data.push_back(static_cast<uint32_t>(r));
+      }
       residuals = static_cast<int>(node->filters.size());
       work = latency_model_.IndexScanWork(
           index->ProbePageCost(static_cast<double>(candidates.size())),
-          static_cast<double>(candidates.size()), residuals,
-          static_cast<double>(out.data.size()));
+          static_cast<double>(candidates.size() + (view.rows() - covered)),
+          residuals, static_cast<double>(out.data.size()));
       break;
     }
 
@@ -360,8 +392,6 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       const int lpos = left.SlotPos(lref.table_slot);
       const int rpos = right.SlotPos(rref.table_slot);
       ML4DB_CHECK(lpos >= 0 && rpos >= 0);
-      const Column& lcol = resolver.ColumnOf(lref);
-      const Column& rcol = resolver.ColumnOf(rref);
 
       out.slots = left.slots;
       out.slots.insert(out.slots.end(), right.slots.begin(), right.slots.end());
@@ -374,8 +404,6 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       auto passes_residuals = [&](const uint32_t* lt, const uint32_t* rt) {
         for (const auto& rj : node->residual_joins) {
           ColumnRef a = rj.left, b = rj.right;
-          const Column& ca = resolver.ColumnOf(a);
-          const Column& cb = resolver.ColumnOf(b);
           auto row_of = [&](const ColumnRef& ref) -> uint32_t {
             int p = left.SlotPos(ref.table_slot);
             if (p >= 0) return lt[p];
@@ -383,7 +411,8 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
             ML4DB_CHECK(p >= 0);
             return rt[p];
           };
-          if (ca.GetNumeric(row_of(a)) != cb.GetNumeric(row_of(b))) {
+          if (resolver.ValueOf(a, row_of(a)) !=
+              resolver.ValueOf(b, row_of(b))) {
             return false;
           }
         }
@@ -401,11 +430,12 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
         ht.reserve(rn * 2);
         for (size_t t = 0; t < rn; ++t) {
           const uint32_t* rt = right.data.data() + t * rw;
-          ht[rcol.GetNumeric(rt[rpos])].push_back(static_cast<uint32_t>(t));
+          ht[resolver.ValueOf(rref, rt[rpos])].push_back(
+              static_cast<uint32_t>(t));
         }
         for (size_t t = 0; t < ln; ++t) {
           const uint32_t* lt = left.data.data() + t * lw;
-          auto it = ht.find(lcol.GetNumeric(lt[lpos]));
+          auto it = ht.find(resolver.ValueOf(lref, lt[lpos]));
           if (it == ht.end()) continue;
           for (uint32_t rtidx : it->second) {
             const uint32_t* rt = right.data.data() + rtidx * rw;
@@ -420,10 +450,11 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       } else {
         for (size_t tl = 0; tl < ln; ++tl) {
           const uint32_t* lt = left.data.data() + tl * lw;
-          const double lv = lcol.GetNumeric(lt[lpos]);
+          const double lv = resolver.ValueOf(lref, lt[lpos]);
           for (size_t tr = 0; tr < rn; ++tr) {
             const uint32_t* rt = right.data.data() + tr * rw;
-            if (rcol.GetNumeric(rt[rpos]) == lv && passes_residuals(lt, rt)) {
+            if (resolver.ValueOf(rref, rt[rpos]) == lv &&
+                passes_residuals(lt, rt)) {
               emit(lt, rt);
             }
           }
@@ -459,7 +490,17 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       }
       const int lpos = left.SlotPos(lref.table_slot);
       ML4DB_CHECK(lpos >= 0);
-      const Column& lcol = resolver.ColumnOf(lref);
+      const Table::ReadView& inner_view = resolver.ViewOf(inner->table_slot);
+      // Same covered-prefix merge as kIndexScan, amortized across probes:
+      // the inner delta tail's join-key values are materialized once and
+      // linearly matched per outer tuple.
+      const size_t inner_covered =
+          std::min(index->covered_rows(), inner_view.rows());
+      std::vector<std::pair<double, uint32_t>> inner_tail;
+      for (size_t r = inner_covered; r < inner_view.rows(); ++r) {
+        inner_tail.emplace_back(inner_view.GetNumeric(iref.column, r),
+                                static_cast<uint32_t>(r));
+      }
 
       out.slots = left.slots;
       out.slots.push_back(inner->table_slot);
@@ -470,41 +511,49 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       uint64_t inner_emitted = 0;
       double probe_seconds = 0.0;
 
+      auto emit_match = [&](const uint32_t* lt, uint32_t r) {
+        if (inner_view.IsDeleted(r)) return;
+        bool pass = true;
+        for (const auto& f : inner->filters) {
+          if (!EvalFilter(f, inner_view.GetNumeric(f.column, r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) return;
+        // Residual joins against the combined tuple.
+        for (const auto& rj : node->residual_joins) {
+          ColumnRef a = rj.left, b = rj.right;
+          if (a.table_slot == inner->table_slot) std::swap(a, b);
+          const int ap = left.SlotPos(a.table_slot);
+          ML4DB_CHECK(ap >= 0 && b.table_slot == inner->table_slot);
+          if (resolver.ValueOf(a, lt[ap]) !=
+              inner_view.GetNumeric(b.column, r)) {
+            return;
+          }
+        }
+        for (size_t i = 0; i < lw; ++i) out.data.push_back(lt[i]);
+        out.data.push_back(r);
+        ++inner_emitted;
+      };
+
       for (size_t t = 0; t < ln; ++t) {
         const uint32_t* lt = left.data.data() + t * lw;
+        const double lv = resolver.ValueOf(lref, lt[lpos]);
         Stopwatch probe_sw;
-        const std::vector<uint32_t> matches =
-            index->Equal(lcol.GetNumeric(lt[lpos]));
+        const std::vector<uint32_t> matches = index->Equal(lv);
         probe_seconds += probe_sw.ElapsedSeconds();
         rand_pages +=
             index->ProbePageCost(static_cast<double>(matches.size()));
         inner_matches += static_cast<double>(matches.size());
         for (uint32_t r : matches) {
-          bool pass = true;
-          for (const auto& f : inner->filters) {
-            if (!EvalFilter(f, inner_table->column(f.column).GetNumeric(r))) {
-              pass = false;
-              break;
-            }
-          }
-          if (!pass) continue;
-          // Residual joins against the combined tuple.
-          bool res_ok = true;
-          for (const auto& rj : node->residual_joins) {
-            ColumnRef a = rj.left, b = rj.right;
-            if (a.table_slot == inner->table_slot) std::swap(a, b);
-            const int ap = left.SlotPos(a.table_slot);
-            ML4DB_CHECK(ap >= 0 && b.table_slot == inner->table_slot);
-            if (resolver.ColumnOf(a).GetNumeric(lt[ap]) !=
-                inner_table->column(b.column).GetNumeric(r)) {
-              res_ok = false;
-              break;
-            }
-          }
-          if (!res_ok) continue;
-          for (size_t i = 0; i < lw; ++i) out.data.push_back(lt[i]);
-          out.data.push_back(r);
-          ++inner_emitted;
+          if (r >= inner_covered) continue;  // delta tail serves these
+          emit_match(lt, r);
+        }
+        for (const auto& [v, r] : inner_tail) {
+          if (v != lv) continue;
+          inner_matches += 1.0;
+          emit_match(lt, r);
         }
         ML4DB_RETURN_IF_ERROR(check_limits(out.data.size() / out.slots.size()));
       }

@@ -71,6 +71,10 @@ IndexBackendKind IndexBackendKindFromEnv() {
   return *parsed;
 }
 
+Status IndexBackend::Absorb(double /*key*/, uint32_t /*row*/) const {
+  return Status::Unimplemented("index backend cannot absorb writes");
+}
+
 // ------------------------- SortedIndexBackend ------------------------------
 
 std::shared_ptr<const SortedIndexBackend> SortedIndexBackend::Build(
@@ -91,6 +95,7 @@ std::shared_ptr<const SortedIndexBackend> SortedIndexBackend::Build(
     idx->keys_.push_back(k);
     idx->rows_.push_back(r);
   }
+  idx->set_covered_rows(n);
   return idx;
 }
 
@@ -231,11 +236,31 @@ StatusOr<std::shared_ptr<const OrderedIndexBackend>> OrderedIndexBackend::Build(
   }
   ML4DB_RETURN_IF_ERROR(st);
   idx->ordered_ = std::move(ordered);
+  idx->absorb_enabled_ = idx->ordered_->SupportsInsert();
+  idx->set_covered_rows(n);
   return std::shared_ptr<const OrderedIndexBackend>(idx);
 }
 
 std::string OrderedIndexBackend::Name() const {
   return IndexBackendKindName(kind_);
+}
+
+void OrderedIndexBackend::AppendRun(uint64_t payload,
+                                    std::vector<uint32_t>* out) const {
+  if (payload & kOverlayBit) {
+    const auto& run = overlay_runs_[payload & ~kOverlayBit];
+    out->insert(out->end(), run.begin(), run.end());
+    return;
+  }
+  const auto ordinal = static_cast<uint32_t>(payload);
+  out->insert(out->end(), rows_.begin() + starts_[ordinal],
+              rows_.begin() + starts_[ordinal + 1]);
+  if (!base_extras_.empty()) {
+    auto it = base_extras_.find(ordinal);
+    if (it != base_extras_.end()) {
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    }
+  }
 }
 
 std::vector<uint32_t> OrderedIndexBackend::Equal(double key) const {
@@ -244,10 +269,11 @@ std::vector<uint32_t> OrderedIndexBackend::Equal(double key) const {
   if (key != std::floor(key)) return out;
   int64_t lo_i, hi_i;
   if (!DoubleRangeToInt64(key, key, &lo_i, &hi_i)) return out;
-  uint64_t ordinal = 0;
-  if (!ordered_->Lookup(lo_i, &ordinal)) return out;
-  out.assign(rows_.begin() + starts_[ordinal],
-             rows_.begin() + starts_[ordinal + 1]);
+  std::shared_lock<std::shared_mutex> lock(absorb_mu_, std::defer_lock);
+  if (absorb_enabled_) lock.lock();
+  uint64_t payload = 0;
+  if (!ordered_->Lookup(lo_i, &payload)) return out;
+  AppendRun(payload, &out);
   return out;
 }
 
@@ -255,13 +281,48 @@ std::vector<uint32_t> OrderedIndexBackend::Range(double lo, double hi) const {
   std::vector<uint32_t> out;
   int64_t lo_i, hi_i;
   if (!DoubleRangeToInt64(lo, hi, &lo_i, &hi_i)) return out;
-  // RangeScan yields ordinals in key order, so the concatenated runs come
+  std::shared_lock<std::shared_mutex> lock(absorb_mu_, std::defer_lock);
+  if (absorb_enabled_) lock.lock();
+  // RangeScan yields payloads in key order, so the concatenated runs come
   // out key-sorted, matching the classical backend's order.
-  for (uint64_t ordinal : ordered_->RangeScan(lo_i, hi_i)) {
-    out.insert(out.end(), rows_.begin() + starts_[ordinal],
-               rows_.begin() + starts_[ordinal + 1]);
+  for (uint64_t payload : ordered_->RangeScan(lo_i, hi_i)) {
+    AppendRun(payload, &out);
   }
   return out;
+}
+
+bool OrderedIndexBackend::SupportsAbsorb() const { return absorb_enabled_; }
+
+Status OrderedIndexBackend::Absorb(double key, uint32_t row) const {
+  if (!absorb_enabled_) {
+    return Status::Unimplemented("wrapped OrderedIndex has no Insert");
+  }
+  if (key != std::floor(key)) {
+    return Status::InvalidArgument("absorb key must be integral");
+  }
+  int64_t lo_i, hi_i;
+  if (!DoubleRangeToInt64(key, key, &lo_i, &hi_i)) {
+    return Status::InvalidArgument("absorb key outside the int64 domain");
+  }
+  std::unique_lock<std::shared_mutex> lock(absorb_mu_);
+  // Contiguity gate: after a swap race or a failed insert the covered
+  // prefix stops advancing and later rows stay delta-served (exactly the
+  // read-path contract) until a rebuild folds them in.
+  if (covered_rows() != row) return Status::OK();
+  uint64_t payload = 0;
+  if (ordered_->Lookup(lo_i, &payload)) {
+    if (payload & kOverlayBit) {
+      overlay_runs_[payload & ~kOverlayBit].push_back(row);
+    } else {
+      base_extras_[static_cast<uint32_t>(payload)].push_back(row);
+    }
+  } else {
+    const uint64_t run = overlay_runs_.size();
+    ML4DB_RETURN_IF_ERROR(ordered_->Insert(lo_i, kOverlayBit | run));
+    overlay_runs_.emplace_back(1, row);
+  }
+  set_covered_rows(row + 1);
+  return Status::OK();
 }
 
 double OrderedIndexBackend::ProbePageCost(double matches) const {
@@ -272,8 +333,19 @@ double OrderedIndexBackend::ProbePageCost(double matches) const {
 }
 
 size_t OrderedIndexBackend::StructureBytes() const {
+  std::shared_lock<std::shared_mutex> lock(absorb_mu_, std::defer_lock);
+  size_t overlay = 0;
+  if (absorb_enabled_) {
+    lock.lock();
+    for (const auto& run : overlay_runs_) {
+      overlay += run.size() * sizeof(uint32_t);
+    }
+    for (const auto& [ordinal, run] : base_extras_) {
+      overlay += sizeof(ordinal) + run.size() * sizeof(uint32_t);
+    }
+  }
   return ordered_->StructureBytes() + rows_.size() * sizeof(uint32_t) +
-         starts_.size() * sizeof(uint32_t);
+         starts_.size() * sizeof(uint32_t) + overlay;
 }
 
 // ------------------------------ factory ------------------------------------

@@ -12,9 +12,12 @@
 #ifndef ML4DB_ENGINE_INDEX_BACKEND_H_
 #define ML4DB_ENGINE_INDEX_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -65,8 +68,16 @@ IndexBackendKind IndexBackendKindFromEnv();
 const std::vector<IndexBackendKind>& AllIndexBackendKinds();
 
 /// The probe contract every index consumer (executor, optimizer, cost
-/// model, advisor) speaks. Implementations are immutable once built:
-/// updates go through rebuild-and-swap (Table::SwapIndex).
+/// model, advisor) speaks. Structures are bulk-built; backends wrapping
+/// an insert-capable OrderedIndex (ALEX, B+-tree, dynamic PGM) can
+/// additionally Absorb appended rows in place, while static structures
+/// stay behind until rebuild-and-swap (Table::SwapIndex) folds the delta.
+///
+/// The covered-row contract makes the read path exact under concurrent
+/// writes: rows [0, covered_rows()) are fully represented in the
+/// structure; the executor filters probe candidates to that prefix and
+/// serves rows [covered_rows(), visible) by scanning the table's delta —
+/// so a row is counted exactly once whether or not its absorb has landed.
 class IndexBackend {
  public:
   virtual ~IndexBackend() = default;
@@ -91,6 +102,30 @@ class IndexBackend {
   /// Approximate memory footprint of the structure, including adapter
   /// arrays (the space-efficiency axis of the paper's comparison).
   virtual size_t StructureBytes() const = 0;
+
+  /// Rows [0, covered_rows()) are fully represented in the structure.
+  /// Stamped by the builder; advanced by successful Absorb calls.
+  size_t covered_rows() const {
+    return covered_.load(std::memory_order_acquire);
+  }
+  /// Const because published backends are shared as const for probe
+  /// safety; covered_ is an internally synchronized atomic.
+  void set_covered_rows(size_t n) const {
+    covered_.store(n, std::memory_order_release);
+  }
+
+  /// True when Absorb can apply appended rows in place.
+  virtual bool SupportsAbsorb() const { return false; }
+
+  /// Applies the appended row `row` with key `key`, iff covered_rows() ==
+  /// row (rows must absorb contiguously — on any gap the call is a no-op
+  /// and the row stays delta-served until the next rebuild). Const for
+  /// the same reason as set_covered_rows: the overlay is internally
+  /// synchronized against concurrent probes.
+  virtual Status Absorb(double key, uint32_t row) const;
+
+ private:
+  mutable std::atomic<size_t> covered_{0};
 };
 
 /// The engine's classical index: (key, row) pairs sorted by key, probed
@@ -131,6 +166,13 @@ class OrderedIndexBackend : public IndexBackend {
   size_t size() const override { return rows_.size(); }
   size_t StructureBytes() const override;
 
+  /// Absorb is available when the wrapped OrderedIndex supports Insert
+  /// (ALEX, B+-tree, dynamic PGM). Absorbed rows live in overlay runs the
+  /// probe paths merge in; probes take a shared lock only on
+  /// absorb-capable backends, so static backends stay lock-free.
+  bool SupportsAbsorb() const override;
+  Status Absorb(double key, uint32_t row) const override;
+
   const learned_index::OrderedIndex& ordered() const { return *ordered_; }
 
   // Out-of-line so unique_ptr<OrderedIndex> tolerates the forward
@@ -141,11 +183,28 @@ class OrderedIndexBackend : public IndexBackend {
  private:
   OrderedIndexBackend();
 
+  /// Ordinals at or above this bit tag overlay runs (absorbed keys that
+  /// were not in the bulk-loaded structure).
+  static constexpr uint64_t kOverlayBit = uint64_t{1} << 63;
+
+  /// Appends the run for payload `p` (base ordinal or overlay-tagged) to
+  /// `out`. Caller holds the shared lock when absorb is enabled.
+  void AppendRun(uint64_t payload, std::vector<uint32_t>* out) const;
+
   IndexBackendKind kind_ = IndexBackendKind::kBtree;
   std::unique_ptr<learned_index::OrderedIndex> ordered_;  // key -> ordinal
   std::vector<uint32_t> rows_;    // row ids sorted by (key, row)
   std::vector<uint32_t> starts_;  // ordinal u covers rows_[starts_[u],
                                   // starts_[u+1]); size = #distinct + 1
+  // --- absorb overlay (guarded by absorb_mu_ when absorb_enabled_) ---
+  bool absorb_enabled_ = false;
+  mutable std::shared_mutex absorb_mu_;
+  /// Runs for keys first seen by Absorb; ordered_ maps them to
+  /// kOverlayBit | run index.
+  mutable std::vector<std::vector<uint32_t>> overlay_runs_;
+  /// Absorbed duplicates of keys already in the bulk-loaded structure,
+  /// keyed by base ordinal.
+  mutable std::unordered_map<uint32_t, std::vector<uint32_t>> base_extras_;
 };
 
 /// Builds a backend of the requested kind over a column. A non-INT64

@@ -114,8 +114,15 @@ TableStats Analyze(const Table& table, int histogram_buckets, int sample_size,
   TableStats stats;
   stats.row_count = table.num_rows();
   stats.columns.resize(table.num_columns());
+  // Post-seal appends live in the table's delta store; materialize each
+  // column so a re-Analyze after live ingest (or InjectDataDrift) sees
+  // base + delta merged rather than the frozen base.
+  const bool has_delta = table.delta_rows() > 0;
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    const Column& col = table.column(static_cast<int>(c));
+    Column merged;
+    if (has_delta) merged = table.MaterializeColumn(static_cast<int>(c));
+    const Column& col =
+        has_delta ? merged : table.column(static_cast<int>(c));
     ColumnStats& cs = stats.columns[c];
     if (col.type == DataType::kString || col.size() == 0) {
       continue;  // strings keep default stats

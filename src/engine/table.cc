@@ -70,6 +70,21 @@ Status Table::AppendRow(const Row& row) {
                                      schema_.columns[i].name);
     }
   }
+  DeltaStore* delta = delta_.load(std::memory_order_acquire);
+  if (delta != nullptr) {
+    std::vector<int64_t> values;
+    values.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (columns_[i].type != DataType::kInt64) {
+        return Status::FailedPrecondition(
+            "post-seal appends require an all-INT64 schema");
+      }
+      values.push_back(row[i].AsInt64());
+    }
+    const size_t row_id = delta->Append(values);
+    AbsorbIntoIndexes(row_id, values);
+    return Status::OK();
+  }
   for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
   ++num_rows_;
   return Status::OK();
@@ -89,12 +104,110 @@ Status Table::AppendColumnarInt64(
       return Status::InvalidArgument("ragged column data");
     }
   }
+  DeltaStore* delta = delta_.load(std::memory_order_acquire);
+  if (delta != nullptr) {
+    const size_t first_row = num_rows_ + delta->visible_rows();
+    delta->AppendColumnar(cols);
+    std::vector<int64_t> values(cols.size());
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < cols.size(); ++c) values[c] = cols[c][r];
+      AbsorbIntoIndexes(first_row + r, values);
+    }
+    return Status::OK();
+  }
   for (size_t i = 0; i < cols.size(); ++i) {
     columns_[i].i64.insert(columns_[i].i64.end(), cols[i].begin(),
                            cols[i].end());
   }
   num_rows_ += n;
   return Status::OK();
+}
+
+void Table::Seal() {
+  if (sealed()) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (delta_owner_ != nullptr) return;
+  delta_owner_ = std::make_unique<DeltaStore>(columns_.size(), num_rows_);
+  delta_.store(delta_owner_.get(), std::memory_order_release);
+}
+
+Status Table::MarkDeleted(size_t row) {
+  Seal();
+  DeltaStore* delta = delta_.load(std::memory_order_acquire);
+  if (row >= num_rows_ + delta->visible_rows()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  delta->MarkDeleted(row);
+  return Status::OK();
+}
+
+Table::ReadView Table::View() const {
+  ReadView view;
+  view.table_ = this;
+  const DeltaStore* delta = delta_.load(std::memory_order_acquire);
+  if (delta == nullptr) {
+    view.base_rows_ = num_rows_;
+    view.rows_ = num_rows_;
+    return view;
+  }
+  view.snap_ = delta->Acquire();
+  view.base_rows_ = view.snap_.base_rows;
+  view.rows_ = view.snap_.base_rows + view.snap_.visible_rows;
+  view.any_deleted_ = view.snap_.any_deleted;
+  return view;
+}
+
+Column Table::MaterializeColumn(int column_idx) const {
+  ML4DB_CHECK(column_idx >= 0 &&
+              column_idx < static_cast<int>(columns_.size()));
+  Column out = columns_[column_idx];
+  const DeltaStore* delta = delta_.load(std::memory_order_acquire);
+  if (delta == nullptr || out.type != DataType::kInt64) return out;
+  const DeltaStore::Snapshot snap = delta->Acquire();
+  out.i64.reserve(out.i64.size() + snap.visible_rows);
+  for (size_t i = 0; i < snap.visible_rows; ++i) {
+    out.i64.push_back(snap.DeltaValue(column_idx, snap.base_rows + i));
+  }
+  return out;
+}
+
+StatusOr<std::shared_ptr<const IndexBackend>> Table::BuildIndexSnapshot(
+    int column_idx, IndexBackendKind kind) const {
+  if (column_idx < 0 || column_idx >= static_cast<int>(columns_.size())) {
+    return Status::InvalidArgument("no such column");
+  }
+  if (delta_rows() == 0) {
+    // No delta to fold: build straight off the (sealed or pre-seal) base.
+    return BuildIndexBackend(columns_[column_idx], kind);
+  }
+  // The materialized copy freezes the covered prefix: rows appended while
+  // the build runs stay delta-served until the next rebuild. Tombstoned
+  // rows are included on purpose — payload row ids must never shift.
+  const Column merged = MaterializeColumn(column_idx);
+  return BuildIndexBackend(merged, kind);
+}
+
+size_t Table::StaleRows(int column_idx) const {
+  std::shared_ptr<const IndexBackend> backend = GetIndex(column_idx);
+  if (backend == nullptr) return 0;
+  const size_t visible = num_rows();
+  const size_t covered = backend->covered_rows();
+  return covered >= visible ? 0 : visible - covered;
+}
+
+void Table::AbsorbIntoIndexes(size_t row,
+                              const std::vector<int64_t>& values) {
+  for (int col : IndexedColumns()) {
+    std::shared_ptr<const IndexBackend> backend = GetIndex(col);
+    if (backend == nullptr || !backend->SupportsAbsorb()) continue;
+    const size_t before = backend->covered_rows();
+    const Status st =
+        backend->Absorb(static_cast<double>(values[col]),
+                        static_cast<uint32_t>(row));
+    if (st.ok() && backend->covered_rows() > before) {
+      obs::GetCounter("ml4db.index.absorbed_total")->Inc();
+    }
+  }
 }
 
 Status Table::BuildIndex(int column_idx) {
@@ -105,10 +218,13 @@ Status Table::BuildIndex(int column_idx, IndexBackendKind kind) {
   if (column_idx < 0 || column_idx >= static_cast<int>(columns_.size())) {
     return Status::InvalidArgument("no such column");
   }
-  // The build reads immutable column data, so it runs outside the lock;
+  // Indexing seals the table: later appends land in the delta store and
+  // merge into reads instead of mutating what this build snapshot saw.
+  Seal();
+  // The build reads sealed column data, so it runs outside the lock;
   // only publication synchronizes with concurrent probes.
   ML4DB_ASSIGN_OR_RETURN(std::shared_ptr<const IndexBackend> backend,
-                         BuildIndexBackend(columns_[column_idx], kind));
+                         BuildIndexSnapshot(column_idx, kind));
   PublishIndex(column_idx, kind, std::move(backend), /*is_swap=*/false);
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #ifndef ML4DB_ENGINE_TABLE_H_
 #define ML4DB_ENGINE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/delta_store.h"
 #include "engine/index_backend.h"
 #include "engine/types.h"
 
@@ -45,18 +47,26 @@ struct Column {
   void Append(const Value& v);
 };
 
-/// An immutable-after-load columnar table with optional per-column index
-/// backends (see index_backend.h) and collected statistics (see stats.h;
-/// stored opaquely here to avoid a header cycle). Index publication is
-/// thread-safe: GetIndex hands out a shared_ptr readers hold for the
-/// duration of a probe, so SwapIndex can atomically install a freshly
-/// rebuilt backend under live queries.
+/// A columnar table whose base storage seals at first index build, with
+/// post-seal writes absorbed by a per-table DeltaStore (delta_store.h),
+/// optional per-column index backends (index_backend.h), and collected
+/// statistics (stats.h; stored opaquely here to avoid a header cycle).
+/// Index publication is thread-safe: GetIndex hands out a shared_ptr
+/// readers hold for the duration of a probe, so SwapIndex can atomically
+/// install a freshly rebuilt backend under live queries. Post-seal writes
+/// (AppendRow/AppendColumnarInt64/MarkDeleted) must be externally
+/// serialized (the server funnels them through its batcher thread);
+/// readers take a View() snapshot and are safe against concurrent writes.
 class Table {
  public:
   explicit Table(TableSchema schema);
 
   const TableSchema& schema() const { return schema_; }
-  size_t num_rows() const { return num_rows_; }
+  /// Total rows: sealed base + visible delta.
+  size_t num_rows() const {
+    const DeltaStore* d = delta_.load(std::memory_order_acquire);
+    return num_rows_ + (d == nullptr ? 0 : d->visible_rows());
+  }
   size_t num_columns() const { return columns_.size(); }
 
   const Column& column(int idx) const {
@@ -64,12 +74,89 @@ class Table {
     return columns_[idx];
   }
 
-  /// Appends one row; value types must match the schema.
+  /// Appends one row; value types must match the schema. Before the table
+  /// seals this mutates base columns directly (the generators' load path);
+  /// after sealing the row lands in the delta store, so a post-build
+  /// append is immediately visible to merged scans and can never serve a
+  /// stale probe from a base-only index.
   Status AppendRow(const Row& row);
 
   /// Bulk-appends typed int64 column data; all columns must be provided and
-  /// equally sized. Faster path used by generators.
+  /// equally sized. Faster path used by generators; delta-routed once the
+  /// table is sealed, like AppendRow.
   Status AppendColumnarInt64(const std::vector<std::vector<int64_t>>& cols);
+
+  /// Freezes base column storage and installs the delta store; idempotent.
+  /// Called implicitly by the first BuildIndex and the first post-seal
+  /// write entry points — callers only need it to force delta routing on
+  /// an index-less table.
+  void Seal();
+  bool sealed() const {
+    return delta_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Tombstones a global row id (auto-seals). Deletes never compact:
+  /// the row id stays addressable and is filtered at read time.
+  Status MarkDeleted(size_t row);
+
+  /// Rows currently in the delta store (0 before sealing).
+  size_t delta_rows() const {
+    const DeltaStore* d = delta_.load(std::memory_order_acquire);
+    return d == nullptr ? 0 : d->visible_rows();
+  }
+  /// Tombstoned rows, base + delta.
+  size_t deleted_rows() const {
+    const DeltaStore* d = delta_.load(std::memory_order_acquire);
+    return d == nullptr ? 0 : d->deleted_rows();
+  }
+
+  /// Consistent per-query snapshot over base + delta. Cheap to copy;
+  /// valid as long as the table outlives it.
+  class ReadView {
+   public:
+    size_t rows() const { return rows_; }
+    bool any_deleted() const { return any_deleted_; }
+    double GetNumeric(int col, size_t row) const {
+      if (row < base_rows_) return table_->column(col).GetNumeric(row);
+      return static_cast<double>(snap_.DeltaValue(col, row));
+    }
+    int64_t GetInt64(int col, size_t row) const {
+      if (row < base_rows_) return table_->column(col).i64[row];
+      return snap_.DeltaValue(col, row);
+    }
+    bool IsDeleted(size_t row) const {
+      return any_deleted_ && snap_.IsDeleted(row);
+    }
+
+   private:
+    friend class Table;
+    const Table* table_ = nullptr;
+    DeltaStore::Snapshot snap_;
+    size_t base_rows_ = 0;
+    size_t rows_ = 0;
+    bool any_deleted_ = false;
+  };
+  ReadView View() const;
+
+  /// Base + delta values of an INT64 column materialized into one flat
+  /// Column (tombstoned rows included — payload row ids must not shift).
+  /// Non-INT64 columns return a copy of the base column.
+  Column MaterializeColumn(int column_idx) const;
+
+  /// Builds (without publishing) a backend over the merged base + delta
+  /// column, stamped with the covered row count captured before the
+  /// materialization — the retrain loop's rebuild step.
+  StatusOr<std::shared_ptr<const IndexBackend>> BuildIndexSnapshot(
+      int column_idx, IndexBackendKind kind) const;
+
+  /// Rows visible to readers but not yet represented in the column's
+  /// index structure (0 when unindexed): the per-column staleness gauge.
+  size_t StaleRows(int column_idx) const;
+
+  /// Applies one appended row to every index backend that can absorb
+  /// writes in place (ALEX/B+-tree/dynamic-PGM). Backends that cannot
+  /// stay stale until the rebuild-and-swap loop folds the delta in.
+  void AbsorbIntoIndexes(size_t row, const std::vector<int64_t>& values);
 
   /// Builds an index on the given column (replacing any existing one),
   /// keeping the column's current backend kind — or the table default for
@@ -121,10 +208,14 @@ class Table {
 
   TableSchema schema_;
   std::vector<Column> columns_;
-  size_t num_rows_ = 0;
+  size_t num_rows_ = 0;  ///< base rows only; frozen once sealed
   IndexBackendKind default_backend_ = IndexBackendKind::kSorted;
   mutable std::mutex index_mu_;
   std::unordered_map<int, IndexSlot> indexes_;
+  /// Owned delta store; the atomic mirror makes sealed()/num_rows()
+  /// lock-free for readers racing the (index_mu_-guarded) Seal().
+  std::unique_ptr<DeltaStore> delta_owner_;
+  std::atomic<DeltaStore*> delta_{nullptr};
 };
 
 /// Name → table registry.

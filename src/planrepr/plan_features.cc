@@ -56,12 +56,14 @@ double PlanFeaturizer::SampleHitFraction(const engine::Query& query,
   if (stats == nullptr || stats->sample_rows.empty()) return 1.0;
   auto table = db_->catalog().GetTable(query.tables[node.table_slot]);
   if (!table.ok()) return 1.0;
+  // Merged view: a re-Analyze after live ingest may sample delta rows.
+  const engine::Table::ReadView view = (*table)->View();
   size_t hits = 0;
   for (uint32_t row : stats->sample_rows) {
+    if (row >= view.rows()) continue;
     bool pass = true;
     for (const auto& f : node.filters) {
-      if (!engine::EvalFilter(
-              f, (*table)->column(f.column).GetNumeric(row))) {
+      if (!engine::EvalFilter(f, view.GetNumeric(f.column, row))) {
         pass = false;
         break;
       }

@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -27,12 +28,17 @@
 namespace ml4db {
 namespace server {
 
-/// One admitted query waiting for (or undergoing) execution.
+/// One admitted query or write waiting for (or undergoing) execution.
 struct PendingQuery {
   uint64_t session_id = 0;   ///< server-assigned connection id
   uint64_t client_session = 0;  ///< session id the request carried
   uint64_t request_id = 0;
-  std::string query_text;
+  RequestKind kind = RequestKind::kQuery;
+  std::string query_text;  ///< kQuery/kWrite statement text
+  // kIngest payload (row-major int64 values for `ingest_table`).
+  std::string ingest_table;
+  uint32_t ingest_cols = 0;
+  std::vector<int64_t> ingest_values;
   std::chrono::steady_clock::time_point arrival;
   /// Absolute expiry (arrival + deadline_ms); time_point::max() = none.
   std::chrono::steady_clock::time_point deadline;

@@ -107,13 +107,9 @@ StatusOr<Response> Client::Receive(int timeout_ms) {
   }
 }
 
-StatusOr<Response> Client::Call(const std::string& query_text,
-                                uint32_t deadline_ms, int timeout_ms) {
-  Request req;
+StatusOr<Response> Client::RoundTrip(Request req, int timeout_ms) {
   req.session_id = session_id_;
   req.request_id = NextRequestId();
-  req.deadline_ms = deadline_ms;
-  req.query_text = query_text;
   ML4DB_RETURN_IF_ERROR(Send(req));
   while (true) {
     ML4DB_ASSIGN_OR_RETURN(Response resp, Receive(timeout_ms));
@@ -121,6 +117,36 @@ StatusOr<Response> Client::Call(const std::string& query_text,
     // A stale response (e.g. from an abandoned pipelined request) —
     // keep waiting for ours.
   }
+}
+
+StatusOr<Response> Client::Call(const std::string& query_text,
+                                uint32_t deadline_ms, int timeout_ms) {
+  Request req;
+  req.deadline_ms = deadline_ms;
+  req.query_text = query_text;
+  return RoundTrip(std::move(req), timeout_ms);
+}
+
+StatusOr<Response> Client::CallWrite(const std::string& statement_text,
+                                     uint32_t deadline_ms, int timeout_ms) {
+  Request req;
+  req.kind = RequestKind::kWrite;
+  req.deadline_ms = deadline_ms;
+  req.query_text = statement_text;
+  return RoundTrip(std::move(req), timeout_ms);
+}
+
+StatusOr<Response> Client::CallIngest(const std::string& table,
+                                      uint32_t num_cols,
+                                      const std::vector<int64_t>& values,
+                                      uint32_t deadline_ms, int timeout_ms) {
+  Request req;
+  req.kind = RequestKind::kIngest;
+  req.deadline_ms = deadline_ms;
+  req.ingest_table = table;
+  req.ingest_cols = num_cols;
+  req.ingest_values = values;
+  return RoundTrip(std::move(req), timeout_ms);
 }
 
 }  // namespace server

@@ -10,6 +10,7 @@
 #define ML4DB_SERVER_CLIENT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "server/protocol.h"
@@ -49,7 +50,20 @@ class Client {
   StatusOr<Response> Call(const std::string& query_text,
                           uint32_t deadline_ms = 0, int timeout_ms = -1);
 
+  /// Call() over a write frame: `statement_text` is INSERT/DELETE; the
+  /// response's count is rows affected.
+  StatusOr<Response> CallWrite(const std::string& statement_text,
+                               uint32_t deadline_ms = 0, int timeout_ms = -1);
+
+  /// Call() over a binary bulk-ingest frame appending `values` (row-major,
+  /// `num_cols` per row) to `table`.
+  StatusOr<Response> CallIngest(const std::string& table, uint32_t num_cols,
+                                const std::vector<int64_t>& values,
+                                uint32_t deadline_ms = 0, int timeout_ms = -1);
+
  private:
+  StatusOr<Response> RoundTrip(Request req, int timeout_ms);
+
   int fd_ = -1;
   uint64_t session_id_;
   uint64_t next_request_id_ = 1;

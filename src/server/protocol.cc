@@ -95,6 +95,15 @@ struct Cursor {
 
 }  // namespace
 
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kQuery: return "query";
+    case RequestKind::kWrite: return "write";
+    case RequestKind::kIngest: return "ingest";
+  }
+  return "unknown";
+}
+
 const char* ResponseStatusName(ResponseStatus status) {
   switch (status) {
     case ResponseStatus::kOk: return "OK";
@@ -108,12 +117,37 @@ const char* ResponseStatusName(ResponseStatus status) {
 
 std::string EncodeRequest(const Request& req) {
   std::string out;
-  out.reserve(25 + req.query_text.size());
-  PutU8(&out, kMsgRequest);
-  PutU64(&out, req.session_id);
-  PutU64(&out, req.request_id);
-  PutU32(&out, req.deadline_ms);
-  PutString(&out, req.query_text);
+  out.reserve(25 + req.query_text.size() + req.ingest_table.size() +
+              req.ingest_values.size() * 8);
+  switch (req.kind) {
+    case RequestKind::kQuery:
+    case RequestKind::kWrite:
+      PutU8(&out, req.kind == RequestKind::kQuery ? kMsgRequest : kMsgWrite);
+      PutU64(&out, req.session_id);
+      PutU64(&out, req.request_id);
+      PutU32(&out, req.deadline_ms);
+      PutString(&out, req.query_text);
+      break;
+    case RequestKind::kIngest: {
+      PutU8(&out, kMsgIngest);
+      PutU64(&out, req.session_id);
+      PutU64(&out, req.request_id);
+      PutU32(&out, req.deadline_ms);
+      PutString(&out, req.ingest_table);
+      const uint32_t rows =
+          req.ingest_cols == 0
+              ? 0
+              : static_cast<uint32_t>(req.ingest_values.size() /
+                                      req.ingest_cols);
+      PutU32(&out, req.ingest_cols);
+      PutU32(&out, rows);
+      const size_t n = static_cast<size_t>(rows) * req.ingest_cols;
+      for (size_t i = 0; i < n; ++i) {
+        PutU64(&out, static_cast<uint64_t>(req.ingest_values[i]));
+      }
+      break;
+    }
+  }
   return out;
 }
 
@@ -135,14 +169,44 @@ std::string EncodeResponse(const Response& resp) {
 
 StatusOr<Request> DecodeRequest(std::string_view payload) {
   Cursor c{payload.data(), payload.size()};
-  if (c.U8() != kMsgRequest) {
-    return Status::InvalidArgument("request: wrong message type");
-  }
+  const uint8_t tag = c.U8();
   Request req;
+  switch (tag) {
+    case kMsgRequest:
+      req.kind = RequestKind::kQuery;
+      break;
+    case kMsgWrite:
+      req.kind = RequestKind::kWrite;
+      break;
+    case kMsgIngest:
+      req.kind = RequestKind::kIngest;
+      break;
+    default:
+      return Status::InvalidArgument("request: wrong message type");
+  }
   req.session_id = c.U64();
   req.request_id = c.U64();
   req.deadline_ms = c.U32();
-  req.query_text = c.String();
+  if (req.kind == RequestKind::kIngest) {
+    req.ingest_table = c.String();
+    req.ingest_cols = c.U32();
+    const uint32_t rows = c.U32();
+    const uint64_t n = static_cast<uint64_t>(req.ingest_cols) * rows;
+    if (req.ingest_cols == 0 && rows > 0) {
+      return Status::InvalidArgument("ingest: rows without columns");
+    }
+    // Reject fabricated dimensions before looping: the payload can hold at
+    // most size/8 values, so anything larger is truncation by definition.
+    if (n > payload.size() / 8) {
+      return Status::InvalidArgument("ingest: truncated payload");
+    }
+    req.ingest_values.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      req.ingest_values.push_back(static_cast<int64_t>(c.U64()));
+    }
+  } else {
+    req.query_text = c.String();
+  }
   ML4DB_RETURN_IF_ERROR(c.Finish("request"));
   return req;
 }

@@ -7,9 +7,18 @@
 //
 //   Request  = u8 type(1) | u64 session_id | u64 request_id
 //            | u32 deadline_ms (0 = none) | u32 len | query text
+//   Write    = u8 type(3) | u64 session_id | u64 request_id
+//            | u32 deadline_ms | u32 len | statement text (INSERT/DELETE)
+//   Ingest   = u8 type(4) | u64 session_id | u64 request_id
+//            | u32 deadline_ms | u32 len | table name
+//            | u32 num_cols | u32 num_rows | i64 values (row-major)
 //   Response = u8 type(2) | u64 request_id | u8 status
 //            | OK:      u64 count | f64 latency | u64 tuples_flowed
 //            | non-OK:  u32 len | error text
+//
+// Type 1 frames are byte-identical to the read-only protocol, so old
+// clients keep working; writes ride new frame types. A Response to a
+// write carries count = rows affected.
 //
 // The deadline is relative (milliseconds from arrival at the server);
 // carrying a relative deadline instead of an absolute timestamp avoids
@@ -23,6 +32,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -35,6 +45,8 @@ inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
 
 inline constexpr uint8_t kMsgRequest = 1;
 inline constexpr uint8_t kMsgResponse = 2;
+inline constexpr uint8_t kMsgWrite = 3;
+inline constexpr uint8_t kMsgIngest = 4;
 
 /// Response disposition. kOverloaded and kShuttingDown are retryable: the
 /// request was never executed (load-shedding backpressure); kTimeout means
@@ -49,16 +61,34 @@ enum class ResponseStatus : uint8_t {
 
 const char* ResponseStatusName(ResponseStatus status);
 
-/// One query submission.
+/// What a Request frame carries; selects the wire type tag.
+enum class RequestKind : uint8_t {
+  kQuery = 0,   ///< SELECT COUNT(*) text (kMsgRequest)
+  kWrite = 1,   ///< INSERT/DELETE statement text (kMsgWrite)
+  kIngest = 2,  ///< binary bulk append (kMsgIngest)
+};
+
+const char* RequestKindName(RequestKind kind);
+
+/// One query, write, or bulk-ingest submission.
 struct Request {
+  RequestKind kind = RequestKind::kQuery;
   uint64_t session_id = 0;   ///< client-chosen session tag (spans carry it)
   uint64_t request_id = 0;   ///< client-chosen; echoed in the response
   uint32_t deadline_ms = 0;  ///< relative deadline; 0 = no deadline
-  std::string query_text;    ///< engine::Query::ToString grammar
+  std::string query_text;    ///< statement text (kQuery/kWrite)
+  // kIngest payload: row-major int64 values appended to `ingest_table`.
+  // ingest_values.size() must be a multiple of ingest_cols; the frame cap
+  // bounds a single ingest to ~128k values.
+  std::string ingest_table;
+  uint32_t ingest_cols = 0;
+  std::vector<int64_t> ingest_values;
 
   bool operator==(const Request& o) const {
-    return session_id == o.session_id && request_id == o.request_id &&
-           deadline_ms == o.deadline_ms && query_text == o.query_text;
+    return kind == o.kind && session_id == o.session_id &&
+           request_id == o.request_id && deadline_ms == o.deadline_ms &&
+           query_text == o.query_text && ingest_table == o.ingest_table &&
+           ingest_cols == o.ingest_cols && ingest_values == o.ingest_values;
   }
 };
 
@@ -82,8 +112,10 @@ struct Response {
 std::string EncodeRequest(const Request& req);
 std::string EncodeResponse(const Response& resp);
 
-/// Parses a payload. Rejects wrong type tags, truncation, and trailing
-/// garbage with InvalidArgument.
+/// Parses a payload. DecodeRequest accepts any request-bearing type tag
+/// (kMsgRequest/kMsgWrite/kMsgIngest) and sets Request::kind accordingly;
+/// both reject unknown tags, truncation, and trailing garbage with
+/// InvalidArgument.
 StatusOr<Request> DecodeRequest(std::string_view payload);
 StatusOr<Response> DecodeResponse(std::string_view payload);
 

@@ -19,12 +19,13 @@ std::vector<std::string> Tokenize(const std::string& text) {
   std::vector<std::string> tokens;
   std::string cur;
   for (char ch : text) {
-    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+    const bool ws = std::isspace(static_cast<unsigned char>(ch)) != 0;
+    if (ws || ch == ',' || ch == '(' || ch == ')') {
       if (!cur.empty()) {
         tokens.push_back(std::move(cur));
         cur.clear();
       }
-      if (ch == ',') tokens.emplace_back(",");
+      if (!ws) tokens.emplace_back(1, ch);
     } else {
       cur.push_back(ch);
     }
@@ -57,6 +58,13 @@ bool ParseNumber(const std::string& tok, double* out) {
   return end == tok.c_str() + tok.size();
 }
 
+bool ParseInt64(const std::string& tok, int64_t* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(tok.c_str(), &end, 10);
+  return end == tok.c_str() + tok.size();
+}
+
 bool ParseOp(const std::string& tok, CompareOp* op) {
   if (tok == "=") *op = CompareOp::kEq;
   else if (tok == "<") *op = CompareOp::kLt;
@@ -73,7 +81,10 @@ class Parser {
 
   StatusOr<Query> Run() {
     ML4DB_RETURN_IF_ERROR(Expect("SELECT"));
-    ML4DB_RETURN_IF_ERROR(Expect("COUNT(*)"));
+    ML4DB_RETURN_IF_ERROR(Expect("COUNT"));
+    ML4DB_RETURN_IF_ERROR(Expect("("));
+    ML4DB_RETURN_IF_ERROR(Expect("*"));
+    ML4DB_RETURN_IF_ERROR(Expect(")"));
     ML4DB_RETURN_IF_ERROR(Expect("FROM"));
     ML4DB_RETURN_IF_ERROR(ParseTableList());
     if (!AtEnd()) {
@@ -88,7 +99,73 @@ class Parser {
     return std::move(query_);
   }
 
+  StatusOr<Statement> RunStatement() {
+    if (Peek() == "INSERT") return RunInsert();
+    if (Peek() == "DELETE") return RunDelete();
+    Statement stmt;
+    stmt.kind = Statement::Kind::kSelect;
+    ML4DB_ASSIGN_OR_RETURN(stmt.query, Run());
+    return stmt;
+  }
+
  private:
+  StatusOr<Statement> RunInsert() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kInsert;
+    ML4DB_RETURN_IF_ERROR(Expect("INSERT"));
+    ML4DB_RETURN_IF_ERROR(Expect("INTO"));
+    if (AtEnd() || Peek() == "(") return Err("expected table name");
+    stmt.table = tokens_[pos_++];
+    ML4DB_RETURN_IF_ERROR(Expect("VALUES"));
+    while (true) {
+      ML4DB_RETURN_IF_ERROR(Expect("("));
+      std::vector<int64_t> row;
+      while (true) {
+        int64_t v = 0;
+        if (!ParseInt64(Peek(), &v)) return Err("expected integer literal");
+        ++pos_;
+        row.push_back(v);
+        if (Peek() != ",") break;
+        ++pos_;
+      }
+      ML4DB_RETURN_IF_ERROR(Expect(")"));
+      if (!stmt.insert_rows.empty() &&
+          row.size() != stmt.insert_rows.front().size()) {
+        return Err("tuple arity mismatch");
+      }
+      stmt.insert_rows.push_back(std::move(row));
+      if (Peek() != ",") break;
+      ++pos_;
+    }
+    if (!AtEnd()) return Err("trailing tokens after VALUES list");
+    return stmt;
+  }
+
+  StatusOr<Statement> RunDelete() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDelete;
+    ML4DB_RETURN_IF_ERROR(Expect("DELETE"));
+    ML4DB_RETURN_IF_ERROR(Expect("FROM"));
+    if (AtEnd()) return Err("expected table name");
+    stmt.table = tokens_[pos_++];
+    ML4DB_RETURN_IF_ERROR(Expect("t0"));
+    query_.tables.push_back(stmt.table);
+    if (!AtEnd()) {
+      ML4DB_RETURN_IF_ERROR(Expect("WHERE"));
+      ML4DB_RETURN_IF_ERROR(ParseCondition());
+      while (!AtEnd()) {
+        ML4DB_RETURN_IF_ERROR(Expect("AND"));
+        ML4DB_RETURN_IF_ERROR(ParseCondition());
+      }
+    }
+    // A tI.cJ = tK.cL condition parses as a join edge; there is no second
+    // table to join against, so reject it rather than silently ignore it.
+    if (!query_.joins.empty()) {
+      return Err("DELETE cannot contain join predicates");
+    }
+    stmt.query = std::move(query_);
+    return stmt;
+  }
   bool AtEnd() const { return pos_ >= tokens_.size(); }
 
   const std::string& Peek() const {
@@ -181,6 +258,10 @@ class Parser {
 
 StatusOr<engine::Query> ParseQueryText(const std::string& text) {
   return Parser(Tokenize(text)).Run();
+}
+
+StatusOr<Statement> ParseStatementText(const std::string& text) {
+  return Parser(Tokenize(text)).RunStatement();
 }
 
 }  // namespace server

@@ -1,22 +1,28 @@
-// Parser for the query text carried by the wire protocol. The grammar is
-// exactly what engine::Query::ToString renders, so any Query round-trips
-// through text: clients (and the bench_serve load generator) serialize
-// queries with ToString and the server parses them back.
+// Parser for the statement text carried by the wire protocol. The read
+// grammar is exactly what engine::Query::ToString renders, so any Query
+// round-trips through text: clients (and the bench_serve load generator)
+// serialize queries with ToString and the server parses them back. Write
+// frames carry INSERT/DELETE statements over the same tokenizer.
 //
 //   SELECT COUNT(*) FROM <table> t0, <table> t1, ...
 //     [WHERE <cond> [AND <cond>]...]
-//   cond := tI.cJ = tK.cL                 -- equi-join edge
+//   INSERT INTO <table> VALUES ( <int> [, <int>]... ) [, ( ... )]...
+//   DELETE FROM <table> t0 [WHERE <cond> [AND <cond>]...]
+//   cond := tI.cJ = tK.cL                 -- equi-join edge (SELECT only)
 //         | tI.cJ (=|<|<=|>|>=) <number>  -- base-table filter
 //         | tI.cJ BETWEEN <num> AND <num>
 //
 // Aliases are positional (tN names the N-th FROM entry). The parser
 // validates slot references but not table existence — the engine's planner
-// reports unknown tables, keeping name resolution in one place.
+// reports unknown tables, keeping name resolution in one place. INSERT
+// values are int64 literals (the live write path is INT64-only).
 
 #ifndef ML4DB_SERVER_QUERY_PARSER_H_
 #define ML4DB_SERVER_QUERY_PARSER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/query.h"
@@ -24,9 +30,25 @@
 namespace ml4db {
 namespace server {
 
+/// One parsed wire statement: a read query or a write.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kDelete };
+  Kind kind = Kind::kSelect;
+  /// kSelect: the full query. kDelete: a single-table query (tables =
+  /// {table}, alias t0) whose filters select the rows to tombstone; an
+  /// empty filter list deletes every visible row.
+  engine::Query query;
+  std::string table;  ///< target table name (kInsert/kDelete)
+  std::vector<std::vector<int64_t>> insert_rows;  ///< kInsert tuples
+};
+
 /// Parses `text` into a Query. Returns InvalidArgument with a position hint
 /// on malformed input.
 StatusOr<engine::Query> ParseQueryText(const std::string& text);
+
+/// Parses `text` as SELECT, INSERT, or DELETE. SELECTs carry the same
+/// grammar ParseQueryText accepts.
+StatusOr<Statement> ParseStatementText(const std::string& text);
 
 }  // namespace server
 }  // namespace ml4db

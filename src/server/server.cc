@@ -72,7 +72,27 @@ std::string ShapeHex(uint64_t hash) {
 
 }  // namespace
 
-Server::Server(const engine::Database* db, ServerOptions options,
+void PublishDeltaGauges(const engine::Database& db) {
+  if (!obs::ObsEnabled()) return;
+  static obs::Gauge* delta_rows = obs::GetGauge("ml4db.delta.rows");
+  static obs::Gauge* delta_deleted = obs::GetGauge("ml4db.delta.deleted");
+  static obs::Gauge* stale_rows = obs::GetGauge("ml4db.index.stale_rows");
+  double rows = 0.0, deleted = 0.0, stale = 0.0;
+  for (const std::string& name : db.catalog().TableNames()) {
+    auto table = db.catalog().GetTable(name);
+    if (!table.ok()) continue;
+    rows += static_cast<double>((*table)->delta_rows());
+    deleted += static_cast<double>((*table)->deleted_rows());
+    for (const int col : (*table)->IndexedColumns()) {
+      stale += static_cast<double>((*table)->StaleRows(col));
+    }
+  }
+  delta_rows->Set(rows);
+  delta_deleted->Set(deleted);
+  stale_rows->Set(stale);
+}
+
+Server::Server(engine::Database* db, ServerOptions options,
                common::ThreadPool* pool)
     : db_(db),
       options_(std::move(options)),
@@ -192,7 +212,11 @@ void Server::HandleRequests(const std::shared_ptr<Session>& session,
     item.session_id = session->id();
     item.client_session = req.session_id;
     item.request_id = request_id;
+    item.kind = req.kind;
     item.query_text = std::move(req.query_text);
+    item.ingest_table = std::move(req.ingest_table);
+    item.ingest_cols = req.ingest_cols;
+    item.ingest_values = std::move(req.ingest_values);
     item.arrival = now;
     item.deadline = req.deadline_ms == 0
                         ? Clock::time_point::max()
@@ -270,6 +294,130 @@ Status Server::ValidateColumns(const engine::Query& query) {
   return Status::OK();
 }
 
+StatusOr<uint64_t> Server::ApplyWriteStatement(const std::string& text) {
+  ML4DB_ASSIGN_OR_RETURN(Statement stmt, ParseStatementText(text));
+  if (stmt.kind == Statement::Kind::kSelect) {
+    return Status::InvalidArgument(
+        "read query on a write frame; send it as a query request");
+  }
+  auto table = db_->catalog().GetTable(stmt.table);
+  if (!table.ok()) return Status::NotFound("unknown table: " + stmt.table);
+
+  if (stmt.kind == Statement::Kind::kInsert) {
+    const size_t num_cols = (*table)->num_columns();
+    for (const std::vector<int64_t>& row : stmt.insert_rows) {
+      if (row.size() != num_cols) {
+        return Status::InvalidArgument(
+            "INSERT arity mismatch: tuple has " + std::to_string(row.size()) +
+            " values, table " + stmt.table + " has " +
+            std::to_string(num_cols) + " columns");
+      }
+    }
+    // Seal before the first append: live writes must land in the delta
+    // store — mutating base columns would race concurrent scans.
+    (*table)->Seal();
+    for (const std::vector<int64_t>& row : stmt.insert_rows) {
+      engine::Row r;
+      r.reserve(row.size());
+      for (const int64_t v : row) r.emplace_back(v);
+      ML4DB_RETURN_IF_ERROR((*table)->AppendRow(r));
+    }
+    return static_cast<uint64_t>(stmt.insert_rows.size());
+  }
+
+  // DELETE: tombstone every visible row the filters select.
+  ML4DB_RETURN_IF_ERROR(ValidateColumns(stmt.query));
+  (*table)->Seal();
+  const engine::Table::ReadView view = (*table)->View();
+  uint64_t affected = 0;
+  for (size_t r = 0; r < view.rows(); ++r) {
+    if (view.IsDeleted(r)) continue;
+    bool pass = true;
+    for (const engine::FilterPredicate& f : stmt.query.filters) {
+      if (!engine::EvalFilter(f, view.GetNumeric(f.column, r))) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ML4DB_RETURN_IF_ERROR((*table)->MarkDeleted(r));
+    ++affected;
+  }
+  return affected;
+}
+
+StatusOr<uint64_t> Server::ApplyIngest(const PendingQuery& item) {
+  auto table = db_->catalog().GetTable(item.ingest_table);
+  if (!table.ok()) {
+    return Status::NotFound("unknown table: " + item.ingest_table);
+  }
+  if (item.ingest_cols != (*table)->num_columns()) {
+    return Status::InvalidArgument(
+        "ingest arity mismatch: frame has " +
+        std::to_string(item.ingest_cols) + " columns, table " +
+        item.ingest_table + " has " +
+        std::to_string((*table)->num_columns()));
+  }
+  if (item.ingest_values.empty()) return uint64_t{0};
+  const size_t rows = item.ingest_values.size() / item.ingest_cols;
+  std::vector<std::vector<int64_t>> cols(item.ingest_cols);
+  for (auto& c : cols) c.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < item.ingest_cols; ++c) {
+      cols[c].push_back(item.ingest_values[r * item.ingest_cols + c]);
+    }
+  }
+  (*table)->Seal();  // same reason as INSERT: route into the delta store
+  ML4DB_RETURN_IF_ERROR((*table)->AppendColumnarInt64(cols));
+  return static_cast<uint64_t>(rows);
+}
+
+void Server::RunWrites(std::vector<PendingQuery>* batch) {
+  static obs::Counter* timeouts =
+      obs::GetCounter("ml4db.server.timeout_total");
+  static obs::Counter* writes_total =
+      obs::GetCounter("ml4db.server.writes_total");
+  static obs::Counter* writes_rows =
+      obs::GetCounter("ml4db.server.writes_rows_total");
+  static obs::Counter* write_errors =
+      obs::GetCounter("ml4db.server.write_errors");
+  static obs::Histogram* write_latency_us =
+      obs::GetHistogram("ml4db.server.write_latency_us");
+
+  bool any = false;
+  for (PendingQuery& item : *batch) {
+    if (item.kind == RequestKind::kQuery) continue;
+    any = true;
+    const Clock::time_point now = Clock::now();
+    if (item.ExpiredAt(now)) {
+      timeouts->Inc();
+      item.respond(MakeStatusResponse(item.request_id,
+                                      ResponseStatus::kTimeout,
+                                      "deadline expired before execution"));
+      continue;
+    }
+    writes_total->Inc();
+    StatusOr<uint64_t> affected =
+        item.kind == RequestKind::kIngest ? ApplyIngest(item)
+                                          : ApplyWriteStatement(item.query_text);
+    Response resp;
+    resp.request_id = item.request_id;
+    if (affected.ok()) {
+      resp.status = ResponseStatus::kOk;
+      resp.count = *affected;
+      writes_rows->Inc(*affected);
+      writes_served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      resp.status = ResponseStatus::kError;
+      resp.error = affected.status().ToString();
+      write_errors->Inc();
+    }
+    write_latency_us->Record(MicrosBetween(item.arrival, Clock::now()));
+    item.respond(resp);
+  }
+  if (any) PublishDeltaGauges(*db_);
+}
+
 void Server::RunQueries(std::vector<PendingQuery>* batch) {
   static obs::Counter* timeouts =
       obs::GetCounter("ml4db.server.timeout_total");
@@ -283,6 +431,10 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
       obs::GetWindowedRate("ml4db.server.recent_qps");
   static obs::WindowedHistogram* recent_latency =
       obs::GetWindowedHistogram("ml4db.server.recent_request_latency_us");
+
+  // Writes first, serially, in arrival order: reads batched behind a
+  // write then run against the post-write snapshot.
+  RunWrites(batch);
 
   const Clock::time_point now = Clock::now();
   const bool want_traces =
@@ -303,6 +455,7 @@ void Server::RunQueries(std::vector<PendingQuery>* batch) {
   if (profile || want_traces) shapes.reserve(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
     PendingQuery& item = (*batch)[i];
+    if (item.kind != RequestKind::kQuery) continue;  // handled by RunWrites
     if (item.ExpiredAt(now)) {
       // The deadline expired while queued: the client has given up, so
       // executing now would only add load. Shed the work instead.

@@ -5,6 +5,12 @@
 // over the shared ThreadPool. Responses travel back through per-session
 // outboxes flushed by the IO thread (a self-pipe wakes it).
 //
+// Writes (INSERT/DELETE statements and binary bulk ingest) share the same
+// admission queue but execute before the reads of each batch, serially on
+// the batcher thread — the engine requires post-seal writes to be
+// externally serialized, and the single batcher IS that serialization
+// point. Reads batched behind a write therefore observe it.
+//
 //            IO thread                 batcher thread          ThreadPool
 //   accept/recv -> FrameDecoder ->  AdmissionController  ->  RunBatch
 //        ^                             (bounded queue)            |
@@ -74,11 +80,17 @@ struct ServerOptions {
   obs::WorkloadStore* workload_store = nullptr;
 };
 
+/// Recomputes the delta-visibility gauges (ml4db.delta.rows,
+/// ml4db.delta.deleted, ml4db.index.stale_rows) by summing over every
+/// catalog table. Called by the server after each write batch and by the
+/// retrain loop after a rebuild-and-swap folds a delta in.
+void PublishDeltaGauges(const engine::Database& db);
+
 class Server {
  public:
-  /// `db` must outlive the server. `pool` defaults to the process-wide
-  /// ThreadPool::Global().
-  Server(const engine::Database* db, ServerOptions options,
+  /// `db` must outlive the server; non-const because writes mutate tables.
+  /// `pool` defaults to the process-wide ThreadPool::Global().
+  Server(engine::Database* db, ServerOptions options,
          common::ThreadPool* pool = nullptr);
   ~Server();
 
@@ -109,6 +121,10 @@ class Server {
     return queries_served_.load(std::memory_order_relaxed);
   }
 
+  uint64_t writes_served() const {
+    return writes_served_.load(std::memory_order_relaxed);
+  }
+
   const AdmissionController& admission() const { return admission_; }
 
  private:
@@ -119,13 +135,20 @@ class Server {
   void HandleRequests(const std::shared_ptr<Session>& session,
                       std::vector<Request>* requests);
   void RunQueries(std::vector<PendingQuery>* batch);
+  /// Applies the batch's writes in arrival order and responds to each.
+  /// Batcher thread only (the write-serialization point).
+  void RunWrites(std::vector<PendingQuery>* batch);
+  /// Rows affected by one INSERT/DELETE statement.
+  StatusOr<uint64_t> ApplyWriteStatement(const std::string& text);
+  /// Rows appended by one binary bulk ingest.
+  StatusOr<uint64_t> ApplyIngest(const PendingQuery& item);
   /// Rejects out-of-range column references (which would abort inside the
   /// planner) and warns once per (table, column) when a filter lands on a
   /// valid but non-indexed column — such filters are served by sequential
   /// scan rather than by building a throwaway index. Batcher thread only.
   Status ValidateColumns(const engine::Query& query);
 
-  const engine::Database* db_;
+  engine::Database* db_;
   ServerOptions options_;
   common::ThreadPool* pool_;
   AdmissionController admission_;
@@ -150,6 +173,7 @@ class Server {
   /// (batcher thread only; warn-once keeps hot filters from log-spamming).
   std::unordered_set<std::string> warned_seq_fallback_;
   std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> writes_served_{0};
 };
 
 }  // namespace server

@@ -32,7 +32,8 @@
 //                        (default: ML4DB_INDEX_BACKEND env, else sorted)
 //   --retrain-interval-ms N  rebuild every indexed column's backend in the
 //                        background every N ms and atomically swap the
-//                        replacement in (0 = off, default)
+//                        replacement in (0 = off, default). Rebuilds fold
+//                        the table's delta store into the new structure.
 //   --json [PATH]        write BENCH_server.json (or PATH) on shutdown
 //
 // Env knobs:
@@ -42,10 +43,15 @@
 //   ML4DB_WORKLOAD_K     workload store shape capacity (default 256)
 //   ML4DB_WORKLOAD_DRIFT_THRESHOLD  per-shape q-error EWMA level that
 //                        fires a workload_drift event (default 16)
+//   ML4DB_DELTA_MERGE_THRESHOLD  rebuild-and-swap a column's index as soon
+//                        as its stale (delta, not-yet-indexed) row count
+//                        reaches N, independent of the retrain interval
+//                        (unset/0 = off)
 
 #include <pthread.h>
 #include <signal.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -179,6 +185,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> argv_copy(argv, argv + argc);
   obs::BenchExporter exporter("server", argv_copy);
   exporter.SetConfig("index_backend", backend_name);
+  exporter.SetConfig("delta_merge_threshold",
+                     std::to_string(common::PositiveKnobFromEnv(
+                         "ML4DB_DELTA_MERGE_THRESHOLD", 0)));
 
   server::ServerOptions opts;
   opts.host = flags.host;
@@ -262,47 +271,70 @@ int main(int argc, char** argv) {
   }
 
   // Background retrain loop — the replacement-paradigm lifecycle from the
-  // survey's learned-index section: every interval, rebuild each indexed
-  // column's backend off the serving path (fits run on the shared pool via
-  // the RetrainScheduler) and atomically swap finished replacements in.
+  // survey's learned-index section: rebuild each indexed column's backend
+  // off the serving path (fits run on the shared pool via the
+  // RetrainScheduler) and atomically swap finished replacements in.
   // Readers pin the old backend via shared_ptr, so in-flight probes finish
   // against the structure they started on and no request is ever lost.
+  // Rebuilds use Table::BuildIndexSnapshot, which folds the delta store
+  // (live INSERT/ingest rows) into the replacement — this loop is also the
+  // delta-merge path, triggered either by the wall-clock interval or by a
+  // column's stale-row count crossing ML4DB_DELTA_MERGE_THRESHOLD.
+  const uint64_t merge_threshold =
+      common::PositiveKnobFromEnv("ML4DB_DELTA_MERGE_THRESHOLD", 0);
   drift::RetrainScheduler retrainer(
       drift::RetrainScheduler::Options{nullptr, "drift.index"});
   std::atomic<bool> retrain_stop{false};
   std::mutex retrain_mu;
   std::condition_variable retrain_cv;
   std::thread retrain_thread;
-  if (flags.retrain_interval_ms > 0) {
+  if (flags.retrain_interval_ms > 0 || merge_threshold > 0) {
     retrain_thread = std::thread([&] {
+      using RClock = std::chrono::steady_clock;
       const auto interval =
           std::chrono::milliseconds(flags.retrain_interval_ms);
+      // Wake often enough to notice threshold crossings promptly even
+      // when the interval is long (or interval-only rebuilding is off).
+      const auto wake = std::chrono::milliseconds(
+          flags.retrain_interval_ms > 0
+              ? std::min(flags.retrain_interval_ms, 100)
+              : 100);
+      RClock::time_point last_rebuild = RClock::now();
       while (true) {
         {
           std::unique_lock<std::mutex> lock(retrain_mu);
-          retrain_cv.wait_for(lock, interval,
+          retrain_cv.wait_for(lock, wake,
                               [&] { return retrain_stop.load(); });
         }
         if (retrain_stop.load()) break;
+        const bool interval_due =
+            flags.retrain_interval_ms > 0 &&
+            RClock::now() - last_rebuild >= interval;
         for (const std::string& name : db.catalog().TableNames()) {
           auto t = db.catalog().GetTable(name);
           if (!t.ok()) continue;
           engine::Table* table = *t;
           for (int col : table->IndexedColumns()) {
+            const bool stale_due =
+                merge_threshold > 0 &&
+                table->StaleRows(col) >= merge_threshold;
+            if (!interval_due && !stale_due) continue;
             const engine::IndexBackendKind kind = table->IndexKind(col);
             retrainer.Schedule(
                 name + ":" + std::to_string(col),
                 [table, col, kind]() -> std::shared_ptr<void> {
-                  // Column data is immutable after load, so the fit reads
-                  // it lock-free; only the publish step synchronizes.
-                  auto built =
-                      engine::BuildIndexBackend(table->column(col), kind);
+                  // Snapshot build: materializes base + delta (sealed base
+                  // columns are immutable; the delta snapshot is
+                  // consistent), so the fit runs lock-free off-path.
+                  auto built = table->BuildIndexSnapshot(col, kind);
                   if (!built.ok()) return nullptr;
                   return std::static_pointer_cast<void>(
                       std::const_pointer_cast<engine::IndexBackend>(*built));
                 });
           }
         }
+        if (interval_due) last_rebuild = RClock::now();
+        bool swapped_any = false;
         for (drift::RetrainScheduler::Ready& ready : retrainer.TakeReady()) {
           const size_t colon = ready.label.rfind(':');
           auto t = db.catalog().GetTable(ready.label.substr(0, colon));
@@ -315,8 +347,13 @@ int main(int argc, char** argv) {
             ML4DB_LOG(WARN, "index swap for %s failed: %s",
                       ready.label.c_str(),
                       swapped.status().ToString().c_str());
+          } else {
+            swapped_any = true;
           }
         }
+        // A swap folds stale rows into the structure; refresh the gauges
+        // so staleness drops without waiting for the next write batch.
+        if (swapped_any) server::PublishDeltaGauges(db);
       }
     });
   }
@@ -360,7 +397,8 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", flags.json_path.c_str());
   }
-  std::printf("ml4db_server served %llu queries, exiting\n",
-              static_cast<unsigned long long>(srv.queries_served()));
+  std::printf("ml4db_server served %llu queries and %llu writes, exiting\n",
+              static_cast<unsigned long long>(srv.queries_served()),
+              static_cast<unsigned long long>(srv.writes_served()));
   return 0;
 }

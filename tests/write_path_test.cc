@@ -1,0 +1,588 @@
+// Tests for the live write path: wire-protocol round-trips for write and
+// ingest frames, INSERT/DELETE statement parsing, delta-merge read parity
+// (brute force vs merged seq/index scans across every backend kind),
+// index staleness accounting around rebuild-and-swap, server-level write
+// execution, and a concurrent insert-vs-probe-vs-swap hammer (the TSan
+// target for the absorb overlay and covered-row handoff).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/index_backend.h"
+#include "engine/plan.h"
+#include "engine/query.h"
+#include "engine/table.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/query_parser.h"
+#include "server/server.h"
+#include "workload/schema_gen.h"
+
+namespace ml4db {
+namespace server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol: write and ingest frames
+
+Request MakeWriteRequest() {
+  Request req;
+  req.kind = RequestKind::kWrite;
+  req.session_id = 0xa1a2a3a4a5a6a7a8ULL;
+  req.request_id = 17;
+  req.deadline_ms = 500;
+  req.query_text = "INSERT INTO fact VALUES (1, 2, 3), (4, 5, 6)";
+  return req;
+}
+
+Request MakeIngestRequest() {
+  Request req;
+  req.kind = RequestKind::kIngest;
+  req.session_id = 0xb1b2b3b4b5b6b7b8ULL;
+  req.request_id = 18;
+  req.deadline_ms = 750;
+  req.ingest_table = "fact";
+  req.ingest_cols = 3;
+  req.ingest_values = {1, -2, 3, 40, 50, -60};
+  return req;
+}
+
+TEST(WriteProtocolTest, WriteRequestRoundTrip) {
+  const Request req = MakeWriteRequest();
+  const std::string payload = EncodeRequest(req);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), kMsgWrite);
+  const auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == req);
+  EXPECT_EQ(decoded->kind, RequestKind::kWrite);
+}
+
+TEST(WriteProtocolTest, IngestRequestRoundTrip) {
+  const Request req = MakeIngestRequest();
+  const std::string payload = EncodeRequest(req);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), kMsgIngest);
+  const auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == req);
+  EXPECT_EQ(decoded->kind, RequestKind::kIngest);
+}
+
+TEST(WriteProtocolTest, IngestRoundTripEmptyValues) {
+  Request req;
+  req.kind = RequestKind::kIngest;
+  req.ingest_table = "fact";
+  req.ingest_cols = 4;  // columns declared, zero rows
+  const auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == req);
+}
+
+TEST(WriteProtocolTest, QueryFrameTagUnchangedForBackwardCompat) {
+  // Pre-write-path clients emit tag kMsgRequest; the layout (and therefore
+  // the bytes) of query frames must not have changed.
+  Request req;
+  req.session_id = 1;
+  req.request_id = 2;
+  req.query_text = "SELECT COUNT(*) FROM fact t0";
+  const std::string payload = EncodeRequest(req);
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), kMsgRequest);
+  const auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, RequestKind::kQuery);
+}
+
+TEST(WriteProtocolTest, DecodeRejectsEveryTruncationOfWriteAndIngest) {
+  for (const std::string& payload :
+       {EncodeRequest(MakeWriteRequest()), EncodeRequest(MakeIngestRequest())}) {
+    for (size_t n = 0; n < payload.size(); ++n) {
+      EXPECT_FALSE(DecodeRequest(payload.substr(0, n)).ok()) << "len=" << n;
+    }
+    EXPECT_FALSE(DecodeRequest(payload + "x").ok());
+  }
+}
+
+// Little-endian writers matching the wire format, for crafting hostile
+// payloads the encoder cannot produce.
+void PutU32Raw(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void PutU64Raw(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::string IngestHeader(const std::string& table) {
+  std::string p;
+  p.push_back(static_cast<char>(kMsgIngest));
+  PutU64Raw(&p, /*session_id=*/1);
+  PutU64Raw(&p, /*request_id=*/2);
+  PutU32Raw(&p, /*deadline_ms=*/0);
+  PutU32Raw(&p, static_cast<uint32_t>(table.size()));
+  p.append(table);
+  return p;
+}
+
+TEST(WriteProtocolTest, DecodeRejectsFabricatedIngestDimensions) {
+  // Dimensions claiming far more values than the payload carries must be
+  // rejected up front, not by allocating num_cols*num_rows slots.
+  std::string huge = IngestHeader("fact");
+  PutU32Raw(&huge, /*cols=*/0xffffffffu);
+  PutU32Raw(&huge, /*rows=*/0xffffffffu);
+  const auto decoded = DecodeRequest(huge);
+  ASSERT_FALSE(decoded.ok());
+
+  // Rows without columns is a contradiction even with a matching byte count.
+  std::string zero_cols = IngestHeader("fact");
+  PutU32Raw(&zero_cols, /*cols=*/0);
+  PutU32Raw(&zero_cols, /*rows=*/2);
+  PutU64Raw(&zero_cols, 7);
+  PutU64Raw(&zero_cols, 8);
+  EXPECT_FALSE(DecodeRequest(zero_cols).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser: INSERT / DELETE grammar
+
+TEST(WriteParserTest, InsertSingleTuple) {
+  const auto stmt = ParseStatementText("INSERT INTO fact VALUES (1, -2, 3)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt->table, "fact");
+  ASSERT_EQ(stmt->insert_rows.size(), 1u);
+  EXPECT_EQ(stmt->insert_rows[0], (std::vector<int64_t>{1, -2, 3}));
+}
+
+TEST(WriteParserTest, InsertMultipleTuples) {
+  const auto stmt =
+      ParseStatementText("INSERT INTO dim_0 VALUES (10, 20), (30, 40), (50, 60)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->insert_rows.size(), 3u);
+  EXPECT_EQ(stmt->insert_rows[2], (std::vector<int64_t>{50, 60}));
+}
+
+TEST(WriteParserTest, InsertRejectsMalformedInput) {
+  // Tuple arity must be consistent.
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t VALUES (1, 2), (3)").ok());
+  // Trailing tokens after the tuple list.
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t VALUES (1) garbage").ok());
+  // Non-integer literal.
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t VALUES (abc)").ok());
+  // Missing pieces.
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t").ok());
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t VALUES (").ok());
+  EXPECT_FALSE(ParseStatementText("INSERT INTO t VALUES ()").ok());
+  EXPECT_FALSE(ParseStatementText("INSERT INTO VALUES (1)").ok());
+}
+
+TEST(WriteParserTest, DeleteWithFilters) {
+  const auto stmt = ParseStatementText(
+      "DELETE FROM fact t0 WHERE t0.c1 BETWEEN 5 AND 9 AND t0.c2 >= 100");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kDelete);
+  EXPECT_EQ(stmt->table, "fact");
+  ASSERT_EQ(stmt->query.tables.size(), 1u);
+  EXPECT_EQ(stmt->query.tables[0], "fact");
+  ASSERT_EQ(stmt->query.filters.size(), 2u);
+  EXPECT_EQ(stmt->query.filters[0].op, engine::CompareOp::kBetween);
+  EXPECT_DOUBLE_EQ(stmt->query.filters[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(stmt->query.filters[0].value2, 9.0);
+  EXPECT_EQ(stmt->query.filters[1].column, 2);
+}
+
+TEST(WriteParserTest, DeleteWithoutWhereMeansDeleteAll) {
+  const auto stmt = ParseStatementText("DELETE FROM fact t0");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kDelete);
+  EXPECT_TRUE(stmt->query.filters.empty());
+}
+
+TEST(WriteParserTest, DeleteRejectsMalformedInput) {
+  // Join predicates make no sense in a single-table DELETE.
+  EXPECT_FALSE(
+      ParseStatementText("DELETE FROM fact t0 WHERE t0.c0 = t0.c1").ok());
+  // The positional alias is part of the grammar.
+  EXPECT_FALSE(ParseStatementText("DELETE FROM fact").ok());
+  EXPECT_FALSE(ParseStatementText("DELETE FROM fact t1").ok());
+  // Trailing tokens.
+  EXPECT_FALSE(ParseStatementText("DELETE FROM fact t0 extra").ok());
+}
+
+TEST(WriteParserTest, SelectStillParsesThroughStatementEntryPoint) {
+  const std::string text =
+      "SELECT COUNT(*) FROM fact t0 WHERE t0.c1 BETWEEN 1 AND 2";
+  const auto stmt = ParseStatementText(text);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kSelect);
+  const auto query = ParseQueryText(text);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(stmt->query.ToString(), query->ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Delta-merge parity: brute force vs merged seq/index scans
+
+engine::TableSchema TwoColSchema(const std::string& name) {
+  engine::TableSchema schema;
+  schema.name = name;
+  schema.columns = {{"c0", engine::DataType::kInt64},
+                    {"c1", engine::DataType::kInt64}};
+  return schema;
+}
+
+// Counts visible rows of `table` matching `f` on column 0, straight off a
+// read view — the oracle the executor's merged scans must agree with.
+uint64_t BruteCount(const engine::Table& table, const engine::FilterPredicate& f) {
+  const engine::Table::ReadView view = table.View();
+  uint64_t count = 0;
+  for (size_t r = 0; r < view.rows(); ++r) {
+    if (view.IsDeleted(r)) continue;
+    if (engine::EvalFilter(f, view.GetNumeric(0, r))) ++count;
+  }
+  return count;
+}
+
+uint64_t ExecCount(const engine::Catalog& catalog, const std::string& table,
+                   const engine::FilterPredicate& f, engine::PlanOp op) {
+  engine::Query query;
+  query.tables = {table};
+  query.filters = {f};
+  auto node = std::make_unique<engine::PlanNode>();
+  node->op = op;
+  node->table_slot = 0;
+  node->table_name = table;
+  node->filters = {f};
+  if (op == engine::PlanOp::kIndexScan) node->index_filter = 0;
+  engine::PhysicalPlan plan(std::move(node));
+  engine::Executor exec(&catalog, engine::CostParams{});
+  auto result = exec.Execute(query, &plan);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->count : ~uint64_t{0};
+}
+
+TEST(DeltaMergeParityTest, ScansAgreeWithBruteForceAcrossBackends) {
+  for (const engine::IndexBackendKind kind : engine::AllIndexBackendKinds()) {
+    SCOPED_TRACE(engine::IndexBackendKindName(kind));
+    engine::Catalog catalog;
+    auto created = catalog.CreateTable(TwoColSchema("t"));
+    ASSERT_TRUE(created.ok());
+    engine::Table* table = *created;
+    // Base: keys 0..9 repeated (duplicates are the interesting case).
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          table->AppendRow({engine::Value(i % 10), engine::Value(i)}).ok());
+    }
+    ASSERT_TRUE(table->BuildIndex(0, kind).ok());  // seals the table
+
+    // Delta: new keys, duplicates of base keys, and tombstones on both
+    // sides of the seal boundary.
+    for (int64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          table->AppendRow({engine::Value(i % 20), engine::Value(1000 + i)})
+              .ok());
+    }
+    for (const size_t row : {3u, 7u, 50u, 99u, 101u, 120u}) {
+      ASSERT_TRUE(table->MarkDeleted(row).ok());
+    }
+    // Delete-then-reinsert of a duplicate key: row 5 has key 5; tombstone
+    // it and append the same key again — the reinserted copy must count.
+    ASSERT_TRUE(table->MarkDeleted(5).ok());
+    ASSERT_TRUE(table->AppendRow({engine::Value(int64_t{5}), engine::Value(int64_t{9999})})
+                    .ok());
+
+    const std::vector<engine::FilterPredicate> predicates = {
+        {0, 0, engine::CompareOp::kEq, 5.0, 0.0},
+        {0, 0, engine::CompareOp::kEq, 15.0, 0.0},   // delta-only key
+        {0, 0, engine::CompareOp::kBetween, 3.0, 12.0},
+        {0, 0, engine::CompareOp::kLt, 4.0, 0.0},
+        {0, 0, engine::CompareOp::kGe, 18.0, 0.0},
+        {0, 0, engine::CompareOp::kBetween, 100.0, 200.0},  // empty
+    };
+    for (const engine::FilterPredicate& f : predicates) {
+      SCOPED_TRACE(f.ToString("t0", "c0"));
+      const uint64_t expected = BruteCount(*table, f);
+      EXPECT_EQ(ExecCount(catalog, "t", f, engine::PlanOp::kSeqScan), expected);
+      EXPECT_EQ(ExecCount(catalog, "t", f, engine::PlanOp::kIndexScan),
+                expected);
+    }
+
+    // Folding the delta into a rebuilt structure must not change results.
+    auto rebuilt = table->BuildIndexSnapshot(0, kind);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ASSERT_TRUE(table->SwapIndex(0, *rebuilt).ok());
+    EXPECT_EQ(table->StaleRows(0), 0u);
+    for (const engine::FilterPredicate& f : predicates) {
+      SCOPED_TRACE(f.ToString("t0", "c0"));
+      EXPECT_EQ(ExecCount(catalog, "t", f, engine::PlanOp::kIndexScan),
+                BruteCount(*table, f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Staleness accounting
+
+TEST(StalenessTest, StaticBackendAccruesStaleRowsUntilSwap) {
+  engine::Catalog catalog;
+  engine::Table* table = *catalog.CreateTable(TwoColSchema("t"));
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table->AppendRow({engine::Value(i), engine::Value(i)}).ok());
+  }
+  ASSERT_TRUE(table->BuildIndex(0, engine::IndexBackendKind::kRmi).ok());
+  EXPECT_EQ(table->StaleRows(0), 0u);
+
+  for (int64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        table->AppendRow({engine::Value(100 + i), engine::Value(i)}).ok());
+  }
+  // RMI cannot absorb: every delta row is stale until rebuild-and-swap.
+  EXPECT_EQ(table->delta_rows(), 7u);
+  EXPECT_EQ(table->StaleRows(0), 7u);
+
+  auto rebuilt = table->BuildIndexSnapshot(0, engine::IndexBackendKind::kRmi);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  ASSERT_TRUE(table->SwapIndex(0, *rebuilt).ok());
+  EXPECT_EQ(table->StaleRows(0), 0u);
+  EXPECT_EQ(table->delta_rows(), 7u);  // the delta itself never compacts
+}
+
+TEST(StalenessTest, AbsorbingBackendStaysFresh) {
+  engine::Catalog catalog;
+  engine::Table* table = *catalog.CreateTable(TwoColSchema("t"));
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table->AppendRow({engine::Value(i), engine::Value(i)}).ok());
+  }
+  ASSERT_TRUE(table->BuildIndex(0, engine::IndexBackendKind::kAlex).ok());
+  for (int64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        table->AppendRow({engine::Value(100 + i), engine::Value(i)}).ok());
+  }
+  // ALEX absorbs appends in place: delta rows exist but none are stale.
+  EXPECT_EQ(table->delta_rows(), 7u);
+  EXPECT_EQ(table->StaleRows(0), 0u);
+  EXPECT_EQ(table->GetIndex(0)->covered_rows(), 57u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: writes over the wire
+
+struct TestServer {
+  engine::Database db;
+  workload::SyntheticSchema schema;
+  std::unique_ptr<Server> server;
+
+  explicit TestServer(ServerOptions opts = {}, uint64_t seed = 3) {
+    workload::SchemaGenOptions sopts;
+    sopts.fact_rows = 500;
+    sopts.dim_rows = 100;
+    sopts.seed = seed;
+    auto built = workload::BuildSyntheticDb(&db, sopts);
+    EXPECT_TRUE(built.ok());
+    schema = std::move(*built);
+    opts.port = 0;  // ephemeral
+    server = std::make_unique<Server>(&db, opts);
+    const Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+};
+
+std::string InsertText(const std::string& table, size_t arity, int64_t id) {
+  std::string text = "INSERT INTO " + table + " VALUES (" + std::to_string(id);
+  for (size_t i = 1; i < arity; ++i) text += ", " + std::to_string(i);
+  text += ")";
+  return text;
+}
+
+TEST(ServerWriteTest, InsertDeleteVisibleToReads) {
+  TestServer ts;
+  const std::string fact = ts.schema.table_names[0];
+  const size_t arity =
+      (*ts.db.catalog().GetTable(fact))->num_columns();
+  Client client(/*session_id=*/7);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  const std::string count_all = "SELECT COUNT(*) FROM " + fact + " t0";
+
+  const auto before = client.Call(count_all, 0, 20000);
+  ASSERT_TRUE(before.ok() && before->status == ResponseStatus::kOk);
+
+  // Two inserted rows with a sentinel id far outside the generated domain.
+  constexpr int64_t kSentinel = 987654321;
+  for (int i = 0; i < 2; ++i) {
+    const auto resp =
+        client.CallWrite(InsertText(fact, arity, kSentinel + i), 0, 20000);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->status, ResponseStatus::kOk) << resp->error;
+    EXPECT_EQ(resp->count, 1u);  // rows affected
+  }
+  const auto after = client.Call(count_all, 0, 20000);
+  ASSERT_TRUE(after.ok() && after->status == ResponseStatus::kOk);
+  EXPECT_EQ(after->count, before->count + 2);
+
+  // Delete them back out by sentinel range on the id column (c0).
+  const auto deleted = client.CallWrite(
+      "DELETE FROM " + fact + " t0 WHERE t0.c0 BETWEEN " +
+          std::to_string(kSentinel) + " AND " + std::to_string(kSentinel + 1),
+      0, 20000);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  ASSERT_EQ(deleted->status, ResponseStatus::kOk) << deleted->error;
+  EXPECT_EQ(deleted->count, 2u);
+  const auto restored = client.Call(count_all, 0, 20000);
+  ASSERT_TRUE(restored.ok() && restored->status == ResponseStatus::kOk);
+  EXPECT_EQ(restored->count, before->count);
+  EXPECT_EQ(ts.server->writes_served(), 3u);
+}
+
+TEST(ServerWriteTest, IngestAppendsRows) {
+  TestServer ts;
+  const std::string fact = ts.schema.table_names[0];
+  const size_t arity = (*ts.db.catalog().GetTable(fact))->num_columns();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  const std::string count_all = "SELECT COUNT(*) FROM " + fact + " t0";
+  const auto before = client.Call(count_all, 0, 20000);
+  ASSERT_TRUE(before.ok() && before->status == ResponseStatus::kOk);
+
+  std::vector<int64_t> values;
+  for (int64_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < arity; ++c) values.push_back(r * 100 + c);
+  }
+  const auto resp = client.CallIngest(fact, static_cast<uint32_t>(arity),
+                                      values, 0, 20000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->status, ResponseStatus::kOk) << resp->error;
+  EXPECT_EQ(resp->count, 3u);
+  const auto after = client.Call(count_all, 0, 20000);
+  ASSERT_TRUE(after.ok() && after->status == ResponseStatus::kOk);
+  EXPECT_EQ(after->count, before->count + 3);
+}
+
+TEST(ServerWriteTest, KindAndStatementMustAgree) {
+  TestServer ts;
+  const std::string fact = ts.schema.table_names[0];
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server->port()).ok());
+  // A SELECT on a write frame is rejected without executing.
+  const auto read_as_write =
+      client.CallWrite("SELECT COUNT(*) FROM " + fact + " t0", 0, 20000);
+  ASSERT_TRUE(read_as_write.ok());
+  EXPECT_EQ(read_as_write->status, ResponseStatus::kError);
+  // An INSERT on a query frame fails in the read parser.
+  const auto write_as_read = client.Call(
+      "INSERT INTO " + fact + " VALUES (1)", 0, 20000);
+  ASSERT_TRUE(write_as_read.ok());
+  EXPECT_EQ(write_as_read->status, ResponseStatus::kError);
+  // Unknown table.
+  const auto bad_table = client.CallWrite("INSERT INTO nope VALUES (1)", 0,
+                                          20000);
+  ASSERT_TRUE(bad_table.ok());
+  EXPECT_EQ(bad_table->status, ResponseStatus::kError);
+  // Wrong arity for the target table.
+  const auto bad_arity =
+      client.CallWrite("INSERT INTO " + fact + " VALUES (1)", 0, 20000);
+  ASSERT_TRUE(bad_arity.ok());
+  EXPECT_EQ(bad_arity->status, ResponseStatus::kError);
+  EXPECT_EQ(ts.server->writes_served(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: INSERT vs probe vs SwapIndex (TSan target)
+
+TEST(WriteConcurrencyTest, InsertProbeSwapHammer) {
+  engine::Catalog catalog;
+  engine::Table* table = *catalog.CreateTable(TwoColSchema("t"));
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        table->AppendRow({engine::Value(i % 50), engine::Value(i)}).ok());
+  }
+  ASSERT_TRUE(table->BuildIndex(0, engine::IndexBackendKind::kAlex).ok());
+
+  constexpr int kWriterRows = 1500;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> probes{0};
+
+  // Single writer (the server's batcher-thread serialization, compressed).
+  std::thread writer([&] {
+    for (int64_t i = 0; i < kWriterRows; ++i) {
+      const Status st =
+          table->AppendRow({engine::Value(i % 97), engine::Value(10000 + i)});
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Rebuild-and-swap races the writer and the readers.
+  std::thread swapper([&] {
+    // do-while: even if the writer wins the race outright (single-core
+    // schedulers), at least one swap still contends with the readers.
+    do {
+      auto rebuilt =
+          table->BuildIndexSnapshot(0, engine::IndexBackendKind::kAlex);
+      ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+      ASSERT_TRUE(table->SwapIndex(0, *rebuilt).ok());
+      std::this_thread::yield();
+    } while (!done.load(std::memory_order_acquire));
+  });
+
+  // Readers replay the executor's merged-probe protocol: snapshot the
+  // view, grab the backend, read covered BEFORE probing, then candidates
+  // below covered + a linear tail — and check exact agreement with a
+  // brute-force count over the same view.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      const double lo = 10 + t, hi = 40 + t;
+      do {
+        const engine::Table::ReadView view = table->View();
+        const std::shared_ptr<const engine::IndexBackend> backend =
+            table->GetIndex(0);
+        ASSERT_NE(backend, nullptr);
+        const size_t covered = backend->covered_rows();
+        uint64_t merged = 0;
+        for (const uint32_t row : backend->Range(lo, hi)) {
+          if (row >= covered || row >= view.rows()) continue;
+          if (!view.IsDeleted(row)) ++merged;
+        }
+        for (size_t row = std::min(covered, view.rows()); row < view.rows();
+             ++row) {
+          if (view.IsDeleted(row)) continue;
+          const double v = view.GetNumeric(0, row);
+          if (v >= lo && v <= hi) ++merged;
+        }
+        uint64_t brute = 0;
+        for (size_t row = 0; row < view.rows(); ++row) {
+          if (view.IsDeleted(row)) continue;
+          const double v = view.GetNumeric(0, row);
+          if (v >= lo && v <= hi) ++brute;
+        }
+        ASSERT_EQ(merged, brute);
+        probes.fetch_add(1, std::memory_order_relaxed);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  writer.join();
+  swapper.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_GT(probes.load(), 0u);
+  EXPECT_EQ(table->num_rows(), 200u + kWriterRows);
+
+  // Post-quiesce parity through the real executor.
+  const engine::FilterPredicate f{0, 0, engine::CompareOp::kBetween, 10.0,
+                                  40.0};
+  EXPECT_EQ(ExecCount(catalog, "t", f, engine::PlanOp::kIndexScan),
+            BruteCount(*table, f));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ml4db
