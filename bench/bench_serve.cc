@@ -29,10 +29,19 @@
 // ml4db_index_stale_rows gauges into the bench JSON so a run records how
 // far the serving indexes lagged the ingest.
 //
+// With --shards N (matching the server's --shards) the bench stamps the
+// shard layout into its JSON and the scraper folds the server's
+// ml4db_shard_retrains_total counter in. --write-shard K pins every
+// INSERTed row's partition key to hash shard K (and skips DELETEs), and
+// --write-count M bounds the total writes across workers — together they
+// aim a bounded ingest burst at exactly one shard, the setup the sharded
+// smoke uses to prove single-shard retrains.
+//
 //   bench_serve --port 7433 --connections 4 --duration-ms 2000
 //               [--qps 200] [--deadline-ms 1000] [--json]
 //               [--admin-port 7434] [--scrape-interval-ms 250]
-//               [--write-ratio 0.2]
+//               [--write-ratio 0.2] [--write-shard K] [--write-count M]
+//               [--shards N]               (stamped into the JSON config)
 //               [--index-backend sorted]   (stamped into the JSON config)
 
 #include <algorithm>
@@ -45,6 +54,7 @@
 
 #include "bench/bench_util.h"
 #include "common/math_util.h"
+#include "engine/sharding/partition.h"
 #include "obs/json.h"
 #include "server/admin.h"
 #include "server/client.h"
@@ -69,6 +79,15 @@ struct Flags {
   int scrape_interval_ms = 250;
   /// Fraction of traffic sent as writes (0 = read-only).
   double write_ratio = 0.0;
+  /// Shard count the *server* was started with (config stamp + the shard
+  /// INSERTed partition keys are pinned against).
+  int shards = 1;
+  /// Pin every INSERT's partition key to this hash shard and skip
+  /// DELETEs (-1 = off). Requires --shards to match the server.
+  int write_shard = -1;
+  /// Total writes across all workers (-1 = unbounded); a bounded burst
+  /// crosses a staleness threshold exactly once.
+  int64_t write_count = -1;
   /// Which index backend the *server* was started with; stamped into the
   /// bench JSON so per-backend serve runs are distinguishable downstream.
   std::string index_backend = "sorted";
@@ -81,6 +100,8 @@ struct ScrapeTally {
   /// Last server-side delta visibility seen by the scraper (-1 = never).
   std::atomic<double> delta_rows{-1.0};
   std::atomic<double> stale_rows{-1.0};
+  /// Last ml4db_shard_retrains_total seen (-1 = never).
+  std::atomic<double> shard_retrains{-1.0};
 };
 
 /// Value of gauge `name` in a Prometheus text body, or -1 when absent.
@@ -123,6 +144,9 @@ void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
         const double stale =
             PromValue(result->body, "ml4db_index_stale_rows");
         if (stale >= 0) tally->stale_rows.store(stale);
+        const double retrains =
+            PromValue(result->body, "ml4db_shard_retrains_total");
+        if (retrains >= 0) tally->shard_retrains.store(retrains);
       }
     } else if (result.ok() && result->status_code == 503) {
       tally->ok.fetch_add(1);  // draining /readyz is a valid answer
@@ -177,19 +201,36 @@ struct WriteGen {
   int64_t attr_domain = 1;
   Rng rng{1};
   int64_t next_id = 1'000'000'000;  ///< clear of generated ids
+  /// The server's hash layout over the id column; used to pin inserts.
+  engine::sharding::PartitionSpec spec;
+  int pin_shard = -1;  ///< --write-shard: target every INSERT here
+  /// Shared across workers; claims one unit per write (--write-count).
+  std::atomic<int64_t>* budget = nullptr;
 
   bool NextIsWrite(double write_ratio) {
-    return write_ratio > 0.0 && rng.NextDouble() < write_ratio;
+    if (write_ratio <= 0.0 || rng.NextDouble() >= write_ratio) return false;
+    // Claim from the bounded burst, if one is configured. fetch_sub past
+    // zero is harmless — every claim at <= 0 is rejected.
+    return budget == nullptr ||
+           budget->fetch_sub(1, std::memory_order_relaxed) > 0;
   }
 
   std::string Next() {
-    if (rng.NextUint64(8) == 0) {
+    // Pinned mode is INSERT-only: a DELETE's range predicate would touch
+    // whatever shards its attribute values hash-route to, defeating the
+    // point of aiming the burst at one shard.
+    if (pin_shard < 0 && rng.NextUint64(8) == 0) {
       const int64_t lo =
           static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(attr_domain)));
       const int64_t hi = lo + std::max<int64_t>(attr_domain / 100000, 1);
       return "DELETE FROM " + table + " t0 WHERE t0.c" +
              std::to_string(attr_col) + " BETWEEN " + std::to_string(lo) +
              " AND " + std::to_string(hi);
+    }
+    if (pin_shard >= 0) {
+      // Walk forward to the next id hashing into the target shard (~1 in
+      // `shards` ids qualifies, so this stays cheap).
+      while (spec.ShardOf(next_id) != pin_shard) ++next_id;
     }
     std::string out = "INSERT INTO " + table + " VALUES (";
     out += std::to_string(next_id++);
@@ -368,6 +409,9 @@ int main(int argc, char** argv) {
     else if (arg == "--admin-port") flags.admin_port = std::atoi(value());
     else if (arg == "--scrape-interval-ms") flags.scrape_interval_ms = std::max(std::atoi(value()), 1);
     else if (arg == "--write-ratio") flags.write_ratio = std::atof(value());
+    else if (arg == "--shards") flags.shards = std::max(std::atoi(value()), 1);
+    else if (arg == "--write-shard") flags.write_shard = std::atoi(value());
+    else if (arg == "--write-count") flags.write_count = std::strtoll(value(), nullptr, 10);
     else if (arg == "--index-backend") flags.index_backend = value();
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -376,8 +420,17 @@ int main(int argc, char** argv) {
   }
   flags.connections = std::max(flags.connections, 1);
   flags.write_ratio = std::clamp(flags.write_ratio, 0.0, 1.0);
+  if (flags.write_shard >= flags.shards) {
+    std::fprintf(stderr, "--write-shard %d out of range for --shards %d\n",
+                 flags.write_shard, flags.shards);
+    return 2;
+  }
   bench::SetBenchConfig("index_backend", flags.index_backend);
   bench::SetBenchConfig("write_ratio", bench::Fmt(flags.write_ratio, 3));
+  bench::SetBenchConfig("shards", std::to_string(flags.shards));
+  if (flags.write_shard >= 0) {
+    bench::SetBenchConfig("write_shard", std::to_string(flags.write_shard));
+  }
 
   // Tiny local replica of the server's schema: table names and filterable
   // columns depend only on --dims/--seed, not on row counts, so queries
@@ -406,6 +459,10 @@ int main(int argc, char** argv) {
                             ? static_cast<int>((*fact)->num_columns()) - 1
                             : schema->attr_columns[0].front();
   wgen_proto.attr_domain = std::max<int64_t>(schema->attr_domain, 1);
+  wgen_proto.spec.shards = flags.shards;  // hash over the id column
+  wgen_proto.pin_shard = flags.write_shard;
+  std::atomic<int64_t> write_budget{flags.write_count};
+  if (flags.write_count >= 0) wgen_proto.budget = &write_budget;
 
   Tally tally;
   Tally wtally;
@@ -471,6 +528,12 @@ int main(int argc, char** argv) {
   }
   if (scrapes.stale_rows.load() >= 0) {
     obs::GetGauge("ml4db.serve.stale_rows")->Set(scrapes.stale_rows.load());
+  }
+  obs::GetGauge("ml4db.serve.shards")
+      ->Set(static_cast<double>(flags.shards));
+  if (scrapes.shard_retrains.load() >= 0) {
+    obs::GetGauge("ml4db.serve.shard_retrains_total")
+        ->Set(scrapes.shard_retrains.load());
   }
   if (flags.admin_port > 0) {
     obs::GetCounter("ml4db.serve.scrapes_ok")->Inc(scrapes.ok.load());

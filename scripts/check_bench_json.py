@@ -23,6 +23,11 @@ Flags:
                         {writes_total>0,writes_rows_total,write_errors},
                         the write latency histogram, and the delta-store /
                         index-staleness gauges)
+  --require-shards      fail unless the export is shard-aware: the config
+                        object carries a non-empty "shards" value and at
+                        least one exported metric name contains "shard"
+                        (the ml4db.shard.* family on the server side,
+                        ml4db.serve.shards on the load-gen side)
   --quiet               print nothing on success
 
 The schema is documented in DESIGN.md ("Observability"). This script is wired
@@ -177,6 +182,23 @@ def _check_write_metrics(metrics):
             f"writes_total ({writes})")
 
 
+def _check_shard_metrics(doc):
+    """--require-shards: the exporting process must have been shard-aware —
+    its config names the shard layout and at least one shard metric was
+    registered (they are pre-registered at zero, so presence is guaranteed
+    even on runs that never trigger a shard-granular retrain)."""
+    config = doc.get("config", {})
+    _ensure(isinstance(config.get("shards"), str) and config.get("shards"),
+            "--require-shards: config carries no 'shards' value")
+    metrics = doc["metrics"]
+    names = set()
+    for key in ("counters", "gauges", "histograms"):
+        names.update(m.get("name", "") for m in metrics[key])
+    shard_names = sorted(n for n in names if "shard" in n)
+    _ensure(shard_names,
+            "--require-shards: no metric name containing 'shard' exported")
+
+
 def _check_workload_metrics(metrics):
     """--require-workload: bench_serve's post-run /workload scrape summary
     must be present and show a non-trivial profile."""
@@ -194,7 +216,7 @@ def _check_workload_metrics(metrics):
 
 def validate(doc, require_histogram=False, require_event=False,
              require_server=False, require_workload=False,
-             require_writes=False, require_config=()):
+             require_writes=False, require_shards=False, require_config=()):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -293,6 +315,8 @@ def validate(doc, require_histogram=False, require_event=False,
         _check_workload_metrics(metrics)
     if require_writes:
         _check_write_metrics(metrics)
+    if require_shards:
+        _check_shard_metrics(doc)
 
     if require_histogram:
         good = [h for h in metrics["histograms"] if h["count"] > 0]
@@ -308,6 +332,7 @@ def main(argv):
     require_server = "--require-server" in args
     require_workload = "--require-workload" in args
     require_writes = "--require-writes" in args
+    require_shards = "--require-shards" in args
     quiet = "--quiet" in args
     require_config = []
     filtered = []
@@ -325,7 +350,7 @@ def main(argv):
     args = [a for a in filtered
             if a not in ("--require-histogram", "--require-event",
                          "--require-server", "--require-workload",
-                         "--require-writes", "--quiet")]
+                         "--require-writes", "--require-shards", "--quiet")]
 
     if args and args[0] == "--run":
         if len(args) < 2:
@@ -360,6 +385,7 @@ def main(argv):
                  require_event=require_event, require_server=require_server,
                  require_workload=require_workload,
                  require_writes=require_writes,
+                 require_shards=require_shards,
                  require_config=require_config)
     except SchemaError as e:
         print(f"FAIL [{source}]: {e}", file=sys.stderr)

@@ -23,6 +23,12 @@
 # mid-ingest, and additionally asserts the write-path metric contract
 # (writes counter, delta-size and staleness gauges on /metrics; the
 # ml4db.server.writes_* set in the server's JSON export).
+# MODE=shards starts the server with --shards 4 and staleness-only retrains
+# (no interval rebuilds), asserts the pre-registered ml4db_shard_* metrics
+# read zero before any write, then fires a bounded INSERT burst pinned to
+# one shard (bench_serve --write-shard) and requires the resulting retrain
+# to rebuild exactly that shard — ml4db_shard_retrains_total moves by 1,
+# the other shards' counters stay at 0, and reads keep flowing throughout.
 set -euo pipefail
 
 BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [DURATION_MS] [INDEX_BACKEND] [MODE]}
@@ -30,10 +36,16 @@ DURATION_MS=${2:-2000}
 BACKEND=${3:-sorted}
 MODE=${4:-}
 WRITE_RATIO=0
+SHARDS=0
 if [[ "$MODE" == "writes" ]]; then
   WRITE_RATIO=0.2
+elif [[ "$MODE" == "shards" ]]; then
+  SHARDS=4
+  # Shard the pinned write burst crosses; must be < SHARDS.
+  BURST_SHARD=2
+  BURST_ROWS=600
 elif [[ -n "$MODE" ]]; then
-  echo "FAIL: unknown mode '$MODE' (only 'writes' is recognised)" >&2
+  echo "FAIL: unknown mode '$MODE' ('writes' and 'shards' are recognised)" >&2
   exit 2
 fi
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -42,6 +54,11 @@ BENCH="$BUILD_DIR/bench/bench_serve"
 CHECK="$REPO_ROOT/scripts/check_bench_json.py"
 CHECK_PROM="$REPO_ROOT/scripts/check_prom_text.py"
 CURL="curl -sS -m 10"
+
+# First value of the exactly-named Prometheus sample $1 in scrape file $2
+# (empty when absent). Counters render as integers, gauges via %.10g, so
+# small whole numbers compare exactly as strings.
+prom_value() { awk -v m="$1" '$1 == m {print $2; exit}' "$2"; }
 
 WORK_DIR=$(mktemp -d -t serve_smoke.XXXXXX)
 SERVER_PID=
@@ -55,15 +72,22 @@ trap cleanup EXIT
 
 PORT_FILE="$WORK_DIR/port"
 ADMIN_PORT_FILE="$WORK_DIR/admin_port"
+SERVER_ARGS=(--retrain-interval-ms 300)
 if [[ "$WRITE_RATIO" != "0" ]]; then
   # Small threshold so the delta is folded (rebuild-and-swap) mid-ingest,
   # on top of the interval-driven retrains already configured below.
   export ML4DB_DELTA_MERGE_THRESHOLD=256
+elif [[ "$SHARDS" -gt 0 ]]; then
+  # Staleness-only retrains: no interval rebuilds, so the only swaps this
+  # run can see are the ones triggered by a shard crossing the stale-row
+  # threshold — which makes "exactly one shard rebuilt" assertable.
+  export ML4DB_DELTA_MERGE_THRESHOLD=400
+  SERVER_ARGS=(--shards "$SHARDS")
 fi
 "$SERVER" --port 0 --port-file "$PORT_FILE" \
   --admin-port 0 --admin-port-file "$ADMIN_PORT_FILE" \
   --fact-rows 4000 --dim-rows 500 \
-  --index-backend "$BACKEND" --retrain-interval-ms 300 \
+  --index-backend "$BACKEND" "${SERVER_ARGS[@]}" \
   --json "$WORK_DIR/server.json" >"$WORK_DIR/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -92,10 +116,92 @@ READY_CODE=$($CURL -o /dev/null -w '%{http_code}' \
 [[ "$READY_CODE" == "200" ]] || {
   echo "FAIL: /readyz returned $READY_CODE before shutdown" >&2; exit 1; }
 
+SHARD_OBS=
+if [[ "$SHARDS" -gt 0 ]]; then
+  # Pre-load scrape: the shard layout must be visible, and every shard
+  # metric — including the delta/staleness gauges — must already be
+  # registered AT ZERO before the first write ever arrives (a dashboard
+  # querying a fresh server sees explicit zeros, not absent series).
+  $CURL "http://127.0.0.1:$ADMIN_PORT/metrics" >"$WORK_DIR/metrics0.prom"
+  grep -q 'obs="on"' "$WORK_DIR/metrics0.prom" && SHARD_OBS=yes
+  if [[ -n "$SHARD_OBS" ]]; then
+    [[ "$(prom_value ml4db_shard_count "$WORK_DIR/metrics0.prom")" == "$SHARDS" ]] || {
+      echo "FAIL: ml4db_shard_count != $SHARDS on a --shards $SHARDS server" >&2
+      exit 1; }
+    for metric in ml4db_shard_retrains_total ml4db_drift_retrains_coalesced \
+                  ml4db_delta_rows ml4db_delta_deleted ml4db_index_stale_rows \
+                  $(seq -f "ml4db_shard_retrains_s%g" 0 $((SHARDS - 1))); do
+      VAL=$(prom_value "$metric" "$WORK_DIR/metrics0.prom")
+      [[ "$VAL" == "0" ]] || {
+        echo "FAIL: $metric should pre-register at 0, got '${VAL:-absent}'" >&2
+        exit 1; }
+    done
+  fi
+fi
+
+BENCH_EXTRA=()
+if [[ "$SHARDS" -gt 0 ]]; then
+  BENCH_EXTRA=(--shards "$SHARDS")  # recorded in serve.json's config
+fi
 "$BENCH" --port "$PORT" --connections 4 --duration-ms "$DURATION_MS" \
   --admin-port "$ADMIN_PORT" --scrape-interval-ms 100 \
   --index-backend "$BACKEND" --write-ratio "$WRITE_RATIO" \
-  --json "$WORK_DIR/serve.json"
+  "${BENCH_EXTRA[@]}" --json "$WORK_DIR/serve.json"
+
+if [[ -n "$SHARD_OBS" ]]; then
+  # The read load must have fanned scans across shards without triggering
+  # a single retrain (staleness-only mode, nothing written yet).
+  $CURL "http://127.0.0.1:$ADMIN_PORT/metrics" >"$WORK_DIR/metrics1.prom"
+  SCANS=$(prom_value ml4db_shard_scan_tasks_total "$WORK_DIR/metrics1.prom")
+  [[ -n "$SCANS" && "$SCANS" != "0" ]] || {
+    echo "FAIL: no sharded scan tasks recorded under read load" >&2; exit 1; }
+  [[ "$(prom_value ml4db_shard_retrains_total "$WORK_DIR/metrics1.prom")" == "0" ]] || {
+    echo "FAIL: a retrain fired before any write" >&2; exit 1; }
+  SWAPS0=$(prom_value ml4db_index_swaps_total "$WORK_DIR/metrics1.prom")
+
+  # Bounded INSERT burst pinned to one shard: BURST_ROWS rows, every one
+  # routed (by partition key) into shard BURST_SHARD, crossing the 400-row
+  # staleness threshold there and nowhere else.
+  "$BENCH" --port "$PORT" --connections 2 --duration-ms 2000 \
+    --index-backend "$BACKEND" --write-ratio 1 \
+    --shards "$SHARDS" --write-shard "$BURST_SHARD" --write-count "$BURST_ROWS"
+
+  # The retrain loop wakes every 100ms; the fit then runs on the pool and
+  # the finished backend is swapped in on the next wake. Poll until the
+  # pinned shard's retrain counter moves AND the swap lands.
+  RETRAIN_SEEN=
+  for _ in $(seq 1 100); do
+    $CURL "http://127.0.0.1:$ADMIN_PORT/metrics" >"$WORK_DIR/metrics2.prom"
+    HIT=$(prom_value "ml4db_shard_retrains_s$BURST_SHARD" "$WORK_DIR/metrics2.prom")
+    SWAPS=$(prom_value ml4db_index_swaps_total "$WORK_DIR/metrics2.prom")
+    if [[ "$HIT" != "0" && -n "$SWAPS" && "$SWAPS" != "$SWAPS0" ]]; then
+      RETRAIN_SEEN=yes
+      break
+    fi
+    sleep 0.1
+  done
+  [[ -n "$RETRAIN_SEEN" ]] || {
+    echo "FAIL: pinned burst never triggered a shard-$BURST_SHARD retrain" >&2
+    cat "$WORK_DIR/metrics2.prom" >&2; exit 1; }
+  # Exactly ONE shard rebuilt: the totals counter moved by one and every
+  # other shard's counter is still zero — the survey's targeted-updates
+  # claim, observable.
+  [[ "$(prom_value ml4db_shard_retrains_total "$WORK_DIR/metrics2.prom")" == "1" ]] || {
+    echo "FAIL: expected exactly 1 shard retrain, got" \
+      "$(prom_value ml4db_shard_retrains_total "$WORK_DIR/metrics2.prom")" >&2
+    exit 1; }
+  for s in $(seq 0 $((SHARDS - 1))); do
+    [[ "$s" -eq "$BURST_SHARD" ]] && continue
+    [[ "$(prom_value "ml4db_shard_retrains_s$s" "$WORK_DIR/metrics2.prom")" == "0" ]] || {
+      echo "FAIL: shard $s was rebuilt by a burst pinned to shard $BURST_SHARD" >&2
+      exit 1; }
+  done
+  # The untouched shards kept serving throughout: a post-swap read load
+  # must still lose zero responses (bench_serve exits non-zero otherwise).
+  "$BENCH" --port "$PORT" --connections 4 --duration-ms 500 \
+    --index-backend "$BACKEND"
+  echo "serve_smoke: single-shard retrain OK (shard $BURST_SHARD only)"
+fi
 
 # Scrape under (residual) load and validate the Prometheus contract. The
 # windowed instruments and slow-query requirements only hold when the
@@ -108,14 +214,21 @@ grep -q "ml4db_index_backend{backend=\"$BACKEND\"}" "$WORK_DIR/metrics.prom" || 
   exit 1; }
 if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
   WRITE_PROM_ARGS=()
-  if [[ "$WRITE_RATIO" != "0" ]]; then
-    # Write mode: the server must have executed writes, and the delta-store
-    # and index-staleness gauges must be rendered (possibly zero right after
-    # a fold swept the delta into rebuilt indexes).
+  if [[ "$WRITE_RATIO" != "0" || "$SHARDS" -gt 0 ]]; then
+    # Write mode (and the sharded burst): the server must have executed
+    # writes, and the delta-store and index-staleness gauges must be
+    # rendered (possibly zero right after a fold swept the delta into
+    # rebuilt indexes).
     WRITE_PROM_ARGS=(--require-nonzero ml4db_server_writes_total
                      --require-nonzero ml4db_server_writes_rows_total
                      --require ml4db_delta_rows
                      --require ml4db_index_stale_rows)
+  fi
+  if [[ "$SHARDS" -gt 0 ]]; then
+    WRITE_PROM_ARGS+=(--require-nonzero ml4db_shard_count
+                      --require-nonzero ml4db_shard_scan_tasks_total
+                      --require ml4db_shard_pruned_total
+                      --require-nonzero ml4db_shard_retrains_total)
   fi
   python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" \
     "${WRITE_PROM_ARGS[@]}" \
@@ -255,10 +368,18 @@ if grep -q '"obs_enabled": true' "$WORK_DIR/server.json"; then
   if [[ "$WRITE_RATIO" != "0" ]]; then
     WRITE_JSON_ARGS=(--require-writes)
   fi
+  SHARD_JSON_ARGS=()
+  if [[ "$SHARDS" -gt 0 ]]; then
+    # Both exports must be shard-aware: the burst executed writes, and the
+    # ml4db.shard.* family must appear in the server's JSON.
+    WRITE_JSON_ARGS=(--require-writes)
+    SHARD_JSON_ARGS=(--require-shards)
+  fi
   python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend \
-    --require-workload
+    --require-workload "${SHARD_JSON_ARGS[@]}"
   python3 "$CHECK" "$WORK_DIR/server.json" --require-server \
-    --require-config index_backend "${WRITE_JSON_ARGS[@]}"
+    --require-config index_backend "${WRITE_JSON_ARGS[@]}" \
+    "${SHARD_JSON_ARGS[@]}"
 else
   # ML4DB_OBS_DISABLED builds export no metrics by design.
   python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend

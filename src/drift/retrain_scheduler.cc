@@ -17,10 +17,18 @@ RetrainScheduler::RetrainScheduler(Options options)
 
 RetrainScheduler::~RetrainScheduler() { Drain(); }
 
-void RetrainScheduler::Schedule(
+bool RetrainScheduler::Schedule(
     std::string label, std::function<std::shared_ptr<void>()> fit) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!inflight_labels_.insert(label).second) {
+      // A fit for this label is already queued or running; the pending
+      // one will fold the same (or newer) snapshot, so a second build
+      // would only burn pool time to produce an immediately stale model.
+      ++coalesced_;
+      obs::GetCounter("ml4db.drift.retrains_coalesced")->Inc();
+      return false;
+    }
     ++pending_;
   }
   obs::GetCounter("ml4db.drift.retrains_scheduled")->Inc();
@@ -30,6 +38,7 @@ void RetrainScheduler::Schedule(
       [this, label = std::move(label), fit = std::move(fit)]() mutable {
         RunFit(std::move(label), fit);
       });
+  return true;
 }
 
 void RetrainScheduler::RunFit(
@@ -57,6 +66,9 @@ void RetrainScheduler::RunFit(
     obs::GetCounter("ml4db.drift.retrains_failed")->Inc();
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Clear the in-flight mark before publishing: once the result is
+  // visible, a new Schedule for this label must train again.
+  inflight_labels_.erase(label);
   if (ok) {
     ready_.push_back(Ready{std::move(label), std::move(model), fit_seconds});
     ++completed_;
@@ -95,6 +107,11 @@ uint64_t RetrainScheduler::completed() const {
 uint64_t RetrainScheduler::failed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return failed_;
+}
+
+uint64_t RetrainScheduler::coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
 }
 
 }  // namespace drift

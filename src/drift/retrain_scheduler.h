@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -58,14 +59,22 @@ class RetrainScheduler {
   /// serving — it builds a replacement from its own (snapshotted) data.
   /// A fit that throws or returns null is counted in failed() and
   /// publishes no model.
-  void Schedule(std::string label, std::function<std::shared_ptr<void>()> fit);
+  ///
+  /// Duplicate requests coalesce: while a fit for `label` is in flight
+  /// (scheduled but not yet completed), further Schedule calls with the
+  /// same label are dropped — a staleness burst re-noticing the same
+  /// stale column every poll tick must not queue redundant folds. Returns
+  /// true when the fit was enqueued, false when it coalesced into the
+  /// pending one (counted in coalesced() and the
+  /// `ml4db.drift.retrains_coalesced` counter).
+  bool Schedule(std::string label, std::function<std::shared_ptr<void>()> fit);
 
   /// Typed convenience: `fit` returns shared_ptr<T>; recover with
   /// `std::static_pointer_cast<T>(ready.model)`.
   template <typename T>
-  void Schedule(std::string label, std::function<std::shared_ptr<T>()> fit) {
-    Schedule(std::move(label),
-             std::function<std::shared_ptr<void>()>(std::move(fit)));
+  bool Schedule(std::string label, std::function<std::shared_ptr<T>()> fit) {
+    return Schedule(std::move(label),
+                    std::function<std::shared_ptr<void>()>(std::move(fit)));
   }
 
   /// Non-blocking: completed fits since the last call, completion order.
@@ -82,6 +91,8 @@ class RetrainScheduler {
   uint64_t completed() const;
   /// Fits that threw or produced a null model.
   uint64_t failed() const;
+  /// Schedule calls dropped because the same label was already in flight.
+  uint64_t coalesced() const;
 
  private:
   void RunFit(std::string label,
@@ -93,9 +104,12 @@ class RetrainScheduler {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Ready> ready_;
+  /// Labels with an in-flight fit (Schedule accepted, RunFit not done).
+  std::unordered_set<std::string> inflight_labels_;
   size_t pending_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t coalesced_ = 0;
 };
 
 }  // namespace drift

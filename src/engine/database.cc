@@ -1,17 +1,27 @@
 #include "engine/database.h"
 
 #include "obs/exposition.h"
+#include "obs/metrics.h"
 
 namespace ml4db {
 namespace engine {
 
 Database::Database(DatabaseOptions options) : options_(options) {
   catalog_.set_default_index_backend(options_.index_backend);
+  catalog_.set_default_partition(options_.partition);
   // Expose which structure serves index probes as an info metric, so a
   // /metrics scrape can tell a learned-index run from the classical one.
   obs::SetRuntimeInfoMetric(
       "ml4db.index.backend",
       {{"backend", IndexBackendKindName(options_.index_backend)}});
+  // Same for the partitioning layout: scrape-visible shard count plus the
+  // mode, so sharded runs are distinguishable without reading flags.
+  obs::GetGauge("ml4db.shard.count")
+      ->Set(static_cast<double>(options_.partition.shards));
+  obs::SetRuntimeInfoMetric(
+      "ml4db.shard.config",
+      {{"shards", std::to_string(options_.partition.shards)},
+       {"mode", sharding::PartitionModeName(options_.partition.mode)}});
   card_est_ = std::make_unique<HistogramCardEstimator>(&catalog_, &stats_);
   planner_ctx_.catalog = &catalog_;
   planner_ctx_.stats = &stats_;

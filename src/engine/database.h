@@ -26,6 +26,10 @@ struct DatabaseOptions {
   /// database (sorted | btree | rmi | pgm | radix_spline | alex).
   /// Defaults to the ML4DB_INDEX_BACKEND env knob ('sorted' when unset).
   IndexBackendKind index_backend = IndexBackendKindFromEnv();
+  /// Default partitioning applied to tables created through the catalog
+  /// (shards=1 keeps every table unsharded). Defaults to the ML4DB_SHARDS
+  /// / ML4DB_SHARD_PARTITION env knobs.
+  sharding::PartitionSpec partition = sharding::PartitionSpecFromEnv();
   int histogram_buckets = 64;
   int sample_size = 256;
   uint64_t analyze_seed = 1;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,19 +41,47 @@ std::unique_ptr<PlanNode> DpOptimizer::BestScan(const Query& query, int slot,
     return node;
   };
 
+  // Sharded tables scan only the shards partition pruning keeps, fanned
+  // out across the pool: scanned rows come from the per-shard ANALYZE
+  // stats (honest inputs, not the blended table total) and the priced
+  // latency divides by the achievable scatter-gather parallelism —
+  // mirroring exactly what the executor will do.
+  auto table = ctx_.catalog->GetTable(query.tables[slot]);
+  double scanned_rows = table_rows;
+  double scan_fanout = 1.0;
+  double parallel = 1.0;
+  if (table.ok() && (*table)->shard_count() > 1) {
+    const std::vector<int> scan_shards = (*table)->PruneShards(filters);
+    const TableStats* ts = ctx_.stats->Get(query.tables[slot]);
+    double rows = 0.0;
+    for (int s : scan_shards) {
+      if (ts != nullptr && s < static_cast<int>(ts->shards.size())) {
+        rows += static_cast<double>(ts->shards[s].row_count);
+      } else {
+        rows += static_cast<double>((*table)->ShardRows(s));
+      }
+    }
+    scanned_rows = std::min(rows, table_rows);
+    scan_fanout = std::max<double>(1.0, scan_shards.size());
+    parallel = std::max(
+        1.0, std::min(scan_fanout,
+                      static_cast<double>(common::ThreadPool::Global().size())));
+  }
+
   // Sequential scan (always constructible; penalized if disabled).
   auto best = make_scan(PlanOp::kSeqScan, -1);
   {
     const OperatorWork w = ctx_.cost_model.SeqScanWork(
-        table_rows, static_cast<int>(filters.size()), out_rows);
-    best->est_cost = ctx_.cost_model.Price(w) +
+        scanned_rows, static_cast<int>(filters.size()), out_rows);
+    best->est_cost = ctx_.cost_model.Price(w) / parallel +
                      (hints.enable_seq_scan ? 0.0 : kDisabledOpPenalty);
   }
 
   // Index scans: one candidate per sargable filter with an index. Probes
   // are priced through the backend actually serving the column, so a
-  // learned backend's cheaper descent shifts plan choice.
-  auto table = ctx_.catalog->GetTable(query.tables[slot]);
+  // learned backend's cheaper descent shifts plan choice. On sharded
+  // tables the single-sourced ProbePages formula applies per shard probe
+  // (matches split across the scanned shards).
   if (table.ok()) {
     for (size_t fi = 0; fi < filters.size(); ++fi) {
       const FilterPredicate& f = filters[fi];
@@ -62,11 +91,12 @@ std::unique_ptr<PlanNode> DpOptimizer::BestScan(const Query& query, int slot,
       // Estimate rows matched by the index condition alone.
       double index_sel = ctx_.card_est->FilterSelectivity(query, f);
       const double matches = std::max(1.0, index_sel * table_rows);
+      const double probe_pages =
+          scan_fanout * index->ProbePageCost(matches / scan_fanout);
       auto cand = make_scan(PlanOp::kIndexScan, static_cast<int>(fi));
       const OperatorWork w = ctx_.cost_model.IndexScanWork(
-          index->ProbePageCost(matches), matches,
-          static_cast<int>(filters.size()), out_rows);
-      cand->est_cost = ctx_.cost_model.Price(w) +
+          probe_pages, matches, static_cast<int>(filters.size()), out_rows);
+      cand->est_cost = ctx_.cost_model.Price(w) / parallel +
                        (hints.enable_index_scan ? 0.0 : kDisabledOpPenalty);
       if (cand->est_cost < best->est_cost) best = std::move(cand);
     }
@@ -160,11 +190,20 @@ std::vector<std::unique_ptr<PlanNode>> DpOptimizer::CandidateJoins(
     const double ndv =
         std::max(1.0, its->columns[inner_ref.column].num_distinct);
     const double matches_per_probe = inner_table_rows / ndv;
+    // Sharded inner: an equality probe on the partition key routes to the
+    // owner shard (one probe); any other join column probes every shard's
+    // index with the matches split across them.
+    double probe_pages = index->ProbePageCost(matches_per_probe);
+    const int inner_shards = (*table)->shard_count();
+    if (inner_shards > 1 &&
+        inner_ref.column != (*table)->partition().column) {
+      probe_pages = inner_shards * index->ProbePageCost(
+                                       matches_per_probe / inner_shards);
+    }
 
     auto node = base_join(PlanOp::kIndexNlJoin);
     const OperatorWork w = ctx_.cost_model.IndexNlJoinWork(
-        outer.est_rows, index->ProbePageCost(matches_per_probe), out_rows,
-        residuals);
+        outer.est_rows, probe_pages, out_rows, residuals);
     // The inner scan is performed through the index; its standalone scan
     // cost is not paid.
     node->est_cost = outer.est_cost + ctx_.cost_model.Price(w) +

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -63,6 +64,28 @@ obs::Histogram* IndexProbeUs() {
   static obs::Histogram* h = obs::GetHistogram(
       "ml4db.index.probe_us", obs::ExponentialBounds(1e-2, 2.0, 24));
   return h;
+}
+
+/// Scatter-gather accounting for sharded scans: tasks fanned out and
+/// shards skipped by partition pruning. Only sharded tables report here.
+void RecordShardScan(int table_shards, size_t scanned) {
+  if (table_shards <= 1) return;
+  static obs::Counter* tasks =
+      obs::GetCounter("ml4db.shard.scan_tasks_total");
+  static obs::Counter* pruned = obs::GetCounter("ml4db.shard.pruned_total");
+  tasks->Inc(scanned);
+  if (static_cast<size_t>(table_shards) > scanned) {
+    pruned->Inc(static_cast<uint64_t>(table_shards) - scanned);
+  }
+}
+
+/// Latency divisor for a scan fanned out across `scanned` shard tasks on
+/// the global pool: work is priced in full, wall-clock shrinks by the
+/// achievable parallelism.
+double ShardParallelFactor(size_t scanned) {
+  const size_t threads = common::ThreadPool::Global().size();
+  return static_cast<double>(std::max<size_t>(
+      1, std::min(scanned, threads)));
 }
 
 /// Per-plan-node q-error histogram: every executed node with both an
@@ -263,6 +286,9 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
   Resolver resolver{&query, catalog_, {}};
   Intermediate out;
   OperatorWork work;
+  // Sharded scans keep true totals in `work` but divide the priced
+  // latency by the scatter-gather parallelism actually available.
+  double parallel_factor = 1.0;
 
   auto check_limits = [&](size_t tuples) -> Status {
     if (tuples * std::max<size_t>(out.slots.size(), 1) >
@@ -278,22 +304,53 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
 
   switch (node->op) {
     case PlanOp::kSeqScan: {
+      ML4DB_ASSIGN_OR_RETURN(const Table* table,
+                             catalog_->GetTable(node->table_name));
       const Table::ReadView& view = resolver.ViewOf(node->table_slot);
-      const size_t n = view.rows();
       out.slots = {node->table_slot};
-      out.data.reserve(64);
-      for (size_t r = 0; r < n; ++r) {
-        if (view.IsDeleted(r)) continue;
-        bool pass = true;
-        for (const auto& f : node->filters) {
-          if (!EvalFilter(f, view.GetNumeric(f.column, r))) {
-            pass = false;
-            break;
+      // Partition pruning keeps only shards whose key bounds can match;
+      // each surviving shard becomes one scan task on the shared pool.
+      const std::vector<int> scan_shards = table->PruneShards(node->filters);
+      auto scan_shard = [&](int s, std::vector<uint32_t>* dst) {
+        const size_t n = view.ShardRows(s);
+        for (size_t local = 0; local < n; ++local) {
+          if (view.ShardIsDeleted(s, local)) continue;
+          bool pass = true;
+          for (const auto& f : node->filters) {
+            if (!EvalFilter(f, view.ShardGetNumeric(s, f.column, local))) {
+              pass = false;
+              break;
+            }
           }
+          if (pass) dst->push_back(Table::ReadView::GlobalId(s, local));
         }
-        if (pass) out.data.push_back(static_cast<uint32_t>(r));
+      };
+      size_t scanned_rows = 0;
+      if (scan_shards.size() <= 1) {
+        out.data.reserve(64);
+        if (!scan_shards.empty()) {
+          scan_shard(scan_shards[0], &out.data);
+          scanned_rows = view.ShardRows(scan_shards[0]);
+        }
+      } else {
+        std::vector<std::vector<uint32_t>> parts(scan_shards.size());
+        common::ParallelFor(0, scan_shards.size(), 1,
+                            [&](size_t lo, size_t hi) {
+                              for (size_t i = lo; i < hi; ++i) {
+                                scan_shard(scan_shards[i], &parts[i]);
+                              }
+                            });
+        size_t total = 0;
+        for (const auto& p : parts) total += p.size();
+        out.data.reserve(total);
+        for (const auto& p : parts) {
+          out.data.insert(out.data.end(), p.begin(), p.end());
+        }
+        for (int s : scan_shards) scanned_rows += view.ShardRows(s);
       }
-      work = latency_model_.SeqScanWork(static_cast<double>(n),
+      RecordShardScan(view.shard_count(), scan_shards.size());
+      parallel_factor = ShardParallelFactor(scan_shards.size());
+      work = latency_model_.SeqScanWork(static_cast<double>(scanned_rows),
                                         static_cast<int>(node->filters.size()),
                                         static_cast<double>(out.data.size()));
       break;
@@ -305,73 +362,122 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       ML4DB_CHECK(node->index_filter >= 0 &&
                   node->index_filter < static_cast<int>(node->filters.size()));
       const FilterPredicate& ixf = node->filters[node->index_filter];
-      // The shared_ptr pins the backend for this probe: a concurrent
-      // retrain swap publishes a replacement without invalidating us.
-      const std::shared_ptr<const IndexBackend> index =
-          table->GetIndex(ixf.column);
-      if (index == nullptr) {
-        return Status::FailedPrecondition("index scan without index on " +
-                                          node->table_name);
-      }
       const Table::ReadView& view = resolver.ViewOf(node->table_slot);
-      // Exact merge contract: the covered prefix is read BEFORE the probe.
-      // Rows below it are fully represented in the structure; rows
-      // [covered, visible) are served by scanning the delta tail with
-      // every filter applied. An absorb landing mid-probe can only add
-      // candidates at or above the cut, which are dropped (the tail scan
-      // already counts them) — so rows merge exactly once either way.
-      const size_t covered = std::min(index->covered_rows(), view.rows());
-      Stopwatch probe_sw;
-      std::vector<uint32_t> candidates;
-      switch (ixf.op) {
-        case CompareOp::kEq:
-          candidates = index->Equal(ixf.value);
-          break;
-        case CompareOp::kBetween:
-          candidates = index->Range(ixf.value, ixf.value2);
-          break;
-        case CompareOp::kLe:
-        case CompareOp::kLt:
-          candidates = index->Range(-1e300, ixf.value);
-          break;
-        case CompareOp::kGe:
-        case CompareOp::kGt:
-          candidates = index->Range(ixf.value, 1e300);
-          break;
+      const std::vector<int> scan_shards = table->PruneShards(node->filters);
+      // The shared_ptrs pin each shard's backend for this probe: a
+      // concurrent retrain swap publishes a replacement without
+      // invalidating us.
+      std::vector<std::shared_ptr<const IndexBackend>> backends;
+      backends.reserve(scan_shards.size());
+      for (int s : scan_shards) {
+        backends.push_back(table->GetIndex(ixf.column, s));
+        if (backends.back() == nullptr) {
+          return Status::FailedPrecondition("index scan without index on " +
+                                            node->table_name);
+        }
       }
-      IndexProbeUs()->Record(probe_sw.ElapsedSeconds() * 1e6);
       out.slots = {node->table_slot};
-      int residuals = 0;
-      for (uint32_t r : candidates) {
-        if (r >= covered || view.IsDeleted(r)) continue;
-        bool pass = true;
-        for (size_t fi = 0; fi < node->filters.size(); ++fi) {
-          const auto& f = node->filters[fi];
-          // The index handles equality/between exactly; strict bounds still
-          // need rechecking, so apply every filter including the indexed one.
-          if (!EvalFilter(f, view.GetNumeric(f.column, r))) {
-            pass = false;
+      // Per-shard probe + merge. Exact merge contract, per shard: the
+      // covered prefix is read BEFORE the probe. Local rows below it are
+      // fully represented in the structure; rows [covered, visible) are
+      // served by scanning the shard's delta tail with every filter
+      // applied. An absorb landing mid-probe can only add candidates at
+      // or above the cut, which are dropped (the tail scan already counts
+      // them) — so rows merge exactly once either way.
+      struct ShardProbe {
+        std::vector<uint32_t> rows;
+        double probe_pages = 0.0;
+        double probe_seconds = 0.0;
+        size_t candidates = 0;
+        size_t tail = 0;
+      };
+      auto probe_shard = [&](size_t i, ShardProbe* p) {
+        const int s = scan_shards[i];
+        const IndexBackend& index = *backends[i];
+        const size_t shard_rows = view.ShardRows(s);
+        const size_t covered = std::min(index.covered_rows(), shard_rows);
+        Stopwatch probe_sw;
+        std::vector<uint32_t> candidates;
+        switch (ixf.op) {
+          case CompareOp::kEq:
+            candidates = index.Equal(ixf.value);
             break;
-          }
-        }
-        if (pass) out.data.push_back(r);
-      }
-      for (size_t r = covered; r < view.rows(); ++r) {
-        if (view.IsDeleted(r)) continue;
-        bool pass = true;
-        for (const auto& f : node->filters) {
-          if (!EvalFilter(f, view.GetNumeric(f.column, r))) {
-            pass = false;
+          case CompareOp::kBetween:
+            candidates = index.Range(ixf.value, ixf.value2);
             break;
-          }
+          case CompareOp::kLe:
+          case CompareOp::kLt:
+            candidates = index.Range(-1e300, ixf.value);
+            break;
+          case CompareOp::kGe:
+          case CompareOp::kGt:
+            candidates = index.Range(ixf.value, 1e300);
+            break;
         }
-        if (pass) out.data.push_back(static_cast<uint32_t>(r));
+        p->probe_seconds = probe_sw.ElapsedSeconds();
+        p->probe_pages =
+            index.ProbePageCost(static_cast<double>(candidates.size()));
+        p->candidates = candidates.size();
+        p->tail = shard_rows - covered;
+        for (uint32_t r : candidates) {
+          if (r >= covered || view.ShardIsDeleted(s, r)) continue;
+          bool pass = true;
+          for (size_t fi = 0; fi < node->filters.size(); ++fi) {
+            const auto& f = node->filters[fi];
+            // The index handles equality/between exactly; strict bounds
+            // still need rechecking, so apply every filter including the
+            // indexed one.
+            if (!EvalFilter(f, view.ShardGetNumeric(s, f.column, r))) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) p->rows.push_back(Table::ReadView::GlobalId(s, r));
+        }
+        for (size_t local = covered; local < shard_rows; ++local) {
+          if (view.ShardIsDeleted(s, local)) continue;
+          bool pass = true;
+          for (const auto& f : node->filters) {
+            if (!EvalFilter(f, view.ShardGetNumeric(s, f.column, local))) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) p->rows.push_back(Table::ReadView::GlobalId(s, local));
+        }
+      };
+      std::vector<ShardProbe> probes(scan_shards.size());
+      if (scan_shards.size() <= 1) {
+        if (!probes.empty()) probe_shard(0, &probes[0]);
+      } else {
+        common::ParallelFor(0, scan_shards.size(), 1,
+                            [&](size_t lo, size_t hi) {
+                              for (size_t i = lo; i < hi; ++i) {
+                                probe_shard(i, &probes[i]);
+                              }
+                            });
       }
-      residuals = static_cast<int>(node->filters.size());
+      double probe_pages = 0.0;
+      double probe_seconds = 0.0;
+      size_t candidates = 0;
+      size_t tail = 0;
+      size_t total = 0;
+      for (const auto& p : probes) total += p.rows.size();
+      out.data.reserve(total);
+      for (const auto& p : probes) {
+        out.data.insert(out.data.end(), p.rows.begin(), p.rows.end());
+        probe_pages += p.probe_pages;
+        probe_seconds += p.probe_seconds;
+        candidates += p.candidates;
+        tail += p.tail;
+      }
+      IndexProbeUs()->Record(probe_seconds * 1e6);
+      RecordShardScan(view.shard_count(), scan_shards.size());
+      parallel_factor = ShardParallelFactor(scan_shards.size());
       work = latency_model_.IndexScanWork(
-          index->ProbePageCost(static_cast<double>(candidates.size())),
-          static_cast<double>(candidates.size() + (view.rows() - covered)),
-          residuals, static_cast<double>(out.data.size()));
+          probe_pages, static_cast<double>(candidates + tail),
+          static_cast<int>(node->filters.size()),
+          static_cast<double>(out.data.size()));
       break;
     }
 
@@ -483,23 +589,33 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       ColumnRef iref = node->join_pred.right;
       if (iref.table_slot != inner->table_slot) std::swap(lref, iref);
       ML4DB_CHECK(iref.table_slot == inner->table_slot);
-      const std::shared_ptr<const IndexBackend> index =
-          inner_table->GetIndex(iref.column);
-      if (index == nullptr) {
-        return Status::FailedPrecondition("index NL join without index");
+      const Table::ReadView& inner_view = resolver.ViewOf(inner->table_slot);
+      const int inner_shards = inner_view.shard_count();
+      std::vector<std::shared_ptr<const IndexBackend>> inner_idx;
+      inner_idx.reserve(inner_shards);
+      for (int s = 0; s < inner_shards; ++s) {
+        inner_idx.push_back(inner_table->GetIndex(iref.column, s));
+        if (inner_idx.back() == nullptr) {
+          return Status::FailedPrecondition("index NL join without index");
+        }
       }
       const int lpos = left.SlotPos(lref.table_slot);
       ML4DB_CHECK(lpos >= 0);
-      const Table::ReadView& inner_view = resolver.ViewOf(inner->table_slot);
-      // Same covered-prefix merge as kIndexScan, amortized across probes:
-      // the inner delta tail's join-key values are materialized once and
-      // linearly matched per outer tuple.
-      const size_t inner_covered =
-          std::min(index->covered_rows(), inner_view.rows());
+      // Same covered-prefix merge as kIndexScan, per inner shard and
+      // amortized across probes: each shard's delta-tail join-key values
+      // are materialized once (shard-tagged) and linearly matched per
+      // outer tuple.
+      std::vector<size_t> inner_covered(inner_shards);
       std::vector<std::pair<double, uint32_t>> inner_tail;
-      for (size_t r = inner_covered; r < inner_view.rows(); ++r) {
-        inner_tail.emplace_back(inner_view.GetNumeric(iref.column, r),
-                                static_cast<uint32_t>(r));
+      for (int s = 0; s < inner_shards; ++s) {
+        inner_covered[s] =
+            std::min(inner_idx[s]->covered_rows(), inner_view.ShardRows(s));
+        for (size_t local = inner_covered[s];
+             local < inner_view.ShardRows(s); ++local) {
+          inner_tail.emplace_back(
+              inner_view.ShardGetNumeric(s, iref.column, local),
+              Table::ReadView::GlobalId(s, local));
+        }
       }
 
       out.slots = left.slots;
@@ -540,16 +656,22 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       for (size_t t = 0; t < ln; ++t) {
         const uint32_t* lt = left.data.data() + t * lw;
         const double lv = resolver.ValueOf(lref, lt[lpos]);
+        // Partition routing: an equality probe on the partition key only
+        // touches the owner shard's index; otherwise probe every shard.
+        const int owner = inner_table->OwnerShardForKey(iref.column, lv);
         Stopwatch probe_sw;
-        const std::vector<uint32_t> matches = index->Equal(lv);
-        probe_seconds += probe_sw.ElapsedSeconds();
-        rand_pages +=
-            index->ProbePageCost(static_cast<double>(matches.size()));
-        inner_matches += static_cast<double>(matches.size());
-        for (uint32_t r : matches) {
-          if (r >= inner_covered) continue;  // delta tail serves these
-          emit_match(lt, r);
+        for (int s = owner >= 0 ? owner : 0; s < inner_shards; ++s) {
+          const std::vector<uint32_t> matches = inner_idx[s]->Equal(lv);
+          rand_pages += inner_idx[s]->ProbePageCost(
+              static_cast<double>(matches.size()));
+          inner_matches += static_cast<double>(matches.size());
+          for (uint32_t r : matches) {
+            if (r >= inner_covered[s]) continue;  // delta tail serves these
+            emit_match(lt, Table::ReadView::GlobalId(s, r));
+          }
+          if (owner >= 0) break;
         }
+        probe_seconds += probe_sw.ElapsedSeconds();
         for (const auto& [v, r] : inner_tail) {
           if (v != lv) continue;
           inner_matches += 1.0;
@@ -574,7 +696,7 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
     }
   }
 
-  const double own_cost = latency_model_.Price(work);
+  const double own_cost = latency_model_.Price(work) / parallel_factor;
   *accumulated_latency += own_cost;
   node->actual_work = work;
   node->actual_rows = static_cast<double>(out.NumTuples());

@@ -1,0 +1,100 @@
+#include "engine/sharding/partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace ml4db {
+namespace engine {
+namespace sharding {
+
+const char* PartitionModeName(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kHash: return "hash";
+    case PartitionMode::kRange: return "range";
+  }
+  return "unknown";
+}
+
+StatusOr<PartitionMode> ParsePartitionMode(const std::string& text) {
+  if (text == "hash") return PartitionMode::kHash;
+  if (text == "range") return PartitionMode::kRange;
+  return Status::InvalidArgument("unknown partition mode: " + text +
+                                 " (expected hash|range)");
+}
+
+uint64_t HashPartitionKey(int64_t key) {
+  uint64_t x = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int PartitionSpec::ShardOf(int64_t key) const {
+  if (shards <= 1) return 0;
+  if (mode == PartitionMode::kHash) {
+    return static_cast<int>(HashPartitionKey(key) %
+                            static_cast<uint64_t>(shards));
+  }
+  // Range mode: even split of [range_lo, range_hi); out-of-domain keys
+  // clamp so every key still has exactly one owner.
+  if (key < range_lo) return 0;
+  if (key >= range_hi) return shards - 1;
+  const uint64_t span = static_cast<uint64_t>(range_hi - range_lo);
+  const uint64_t off = static_cast<uint64_t>(key - range_lo);
+  const int s = static_cast<int>(off * static_cast<uint64_t>(shards) / span);
+  return std::min(s, shards - 1);
+}
+
+namespace {
+
+int64_t Int64FromEnv(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    ML4DB_LOG(WARN, "%s=\"%s\" is not an integer; using %lld", name, raw,
+              static_cast<long long>(fallback));
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+PartitionSpec PartitionSpecFromEnv() {
+  PartitionSpec spec;
+  const uint64_t shards = common::PositiveKnobFromEnv("ML4DB_SHARDS", 1);
+  if (shards > static_cast<uint64_t>(kMaxShards)) {
+    ML4DB_LOG(WARN, "ML4DB_SHARDS=%llu exceeds the cap of %d; clamping",
+              static_cast<unsigned long long>(shards), kMaxShards);
+  }
+  spec.shards = static_cast<int>(
+      std::min<uint64_t>(shards, static_cast<uint64_t>(kMaxShards)));
+  if (const char* raw = std::getenv("ML4DB_SHARD_PARTITION");
+      raw != nullptr && *raw != '\0') {
+    auto mode = ParsePartitionMode(raw);
+    if (mode.ok()) {
+      spec.mode = *mode;
+    } else {
+      ML4DB_LOG(WARN, "%s; using hash", mode.status().message().c_str());
+    }
+  }
+  spec.range_lo = Int64FromEnv("ML4DB_SHARD_RANGE_LO", spec.range_lo);
+  spec.range_hi = Int64FromEnv("ML4DB_SHARD_RANGE_HI", spec.range_hi);
+  if (spec.range_hi <= spec.range_lo) {
+    ML4DB_LOG(WARN,
+              "ML4DB_SHARD_RANGE_HI <= ML4DB_SHARD_RANGE_LO; "
+              "using the default range domain");
+    spec.range_lo = 0;
+    spec.range_hi = 1 << 20;
+  }
+  return spec;
+}
+
+}  // namespace sharding
+}  // namespace engine
+}  // namespace ml4db

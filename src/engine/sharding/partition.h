@@ -1,0 +1,87 @@
+// Horizontal partitioning for sharded scatter-gather execution (ISSUE 8).
+//
+// A sharded table splits its rows across N shards by a partition key
+// (hash or range on one INT64 column). Each shard owns its base columns,
+// its DeltaStore, and its own index backend per indexed column, so the
+// retrain loop can rebuild-and-swap exactly the shard whose data drifted
+// while every other shard keeps serving — the paper's targeted-updates-
+// beat-full-retrain claim made operational.
+//
+// Row ids stay plain uint32 everywhere (executor tuples, index payloads)
+// by tagging the shard into the high bits: global = shard << 28 | local.
+// Shard 0 is the identity encoding, so a 1-shard table (the default) is
+// bit-for-bit today's behavior. Index backends store *local* row ids —
+// the covered-rows contract (delta_store.h) holds per shard in local
+// coordinates and the executor re-tags candidates on the way out.
+
+#ifndef ML4DB_ENGINE_SHARDING_PARTITION_H_
+#define ML4DB_ENGINE_SHARDING_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ml4db {
+namespace engine {
+namespace sharding {
+
+/// Bits of a row id reserved for the shard-local row number.
+constexpr int kShardLocalBits = 28;
+/// Mask selecting the shard-local row number from a global row id.
+constexpr uint32_t kShardLocalMask = (uint32_t{1} << kShardLocalBits) - 1;
+/// Hard shard-count cap: 32 - kShardLocalBits tag bits.
+constexpr int kMaxShards = 16;
+/// Rows one shard can hold (~268M) before ids would collide with the tag.
+constexpr size_t kMaxLocalRows = size_t{1} << kShardLocalBits;
+
+/// Tags a shard-local row id with its shard. Shard 0 is the identity.
+inline uint32_t EncodeRowId(int shard, size_t local) {
+  return (static_cast<uint32_t>(shard) << kShardLocalBits) |
+         static_cast<uint32_t>(local);
+}
+
+inline int ShardOfRowId(uint32_t row) {
+  return static_cast<int>(row >> kShardLocalBits);
+}
+
+inline size_t LocalRowId(uint32_t row) { return row & kShardLocalMask; }
+
+enum class PartitionMode {
+  kHash,   ///< shard = splitmix64(key) % shards — balanced under skew
+  kRange,  ///< shard = even split of [range_lo, range_hi) — prunable scans
+};
+
+const char* PartitionModeName(PartitionMode mode);
+StatusOr<PartitionMode> ParsePartitionMode(const std::string& text);
+
+/// How a table's rows map to shards. The default (1 shard) never routes.
+struct PartitionSpec {
+  int shards = 1;
+  PartitionMode mode = PartitionMode::kHash;
+  int column = 0;  ///< partition key column (must be INT64 when shards > 1)
+  /// Key domain split evenly across shards in range mode; keys outside
+  /// clamp to the first/last shard.
+  int64_t range_lo = 0;
+  int64_t range_hi = 1 << 20;
+
+  /// Owning shard of a partition-key value; always in [0, shards).
+  int ShardOf(int64_t key) const;
+};
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) shared by the engine's
+/// routing and by load generators that pin writes to one shard.
+uint64_t HashPartitionKey(int64_t key);
+
+/// Reads ML4DB_SHARDS / ML4DB_SHARD_PARTITION (hash|range) /
+/// ML4DB_SHARD_RANGE_LO / ML4DB_SHARD_RANGE_HI. Unset or invalid values
+/// fall back to the 1-shard default (with a warning for garbage, matching
+/// the PositiveKnobFromEnv convention).
+PartitionSpec PartitionSpecFromEnv();
+
+}  // namespace sharding
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_SHARDING_PARTITION_H_

@@ -114,15 +114,17 @@ TableStats Analyze(const Table& table, int histogram_buckets, int sample_size,
   TableStats stats;
   stats.row_count = table.num_rows();
   stats.columns.resize(table.num_columns());
-  // Post-seal appends live in the table's delta store; materialize each
-  // column so a re-Analyze after live ingest (or InjectDataDrift) sees
-  // base + delta merged rather than the frozen base.
-  const bool has_delta = table.delta_rows() > 0;
+  // Post-seal appends live in the per-shard delta stores; materialize
+  // each column so a re-Analyze after live ingest (or InjectDataDrift)
+  // sees base + delta merged rather than the frozen base. Sharded tables
+  // always materialize — their base data has no single contiguous column.
+  const bool needs_merge =
+      table.delta_rows() > 0 || table.shard_count() > 1;
   for (size_t c = 0; c < table.num_columns(); ++c) {
     Column merged;
-    if (has_delta) merged = table.MaterializeColumn(static_cast<int>(c));
+    if (needs_merge) merged = table.MaterializeColumn(static_cast<int>(c));
     const Column& col =
-        has_delta ? merged : table.column(static_cast<int>(c));
+        needs_merge ? merged : table.column(static_cast<int>(c));
     ColumnStats& cs = stats.columns[c];
     if (col.type == DataType::kString || col.size() == 0) {
       continue;  // strings keep default stats
@@ -142,16 +144,35 @@ TableStats Analyze(const Table& table, int histogram_buckets, int sample_size,
     }
     cs.num_distinct = static_cast<double>(distinct.size());
   }
-  // Reservoir sample of row ids.
+  // Reservoir sample of row ids, enumerated shard by shard so the kept
+  // ids are valid shard-tagged globals (the identity stream — and thus
+  // the exact historical sample — on unsharded tables).
   Rng rng(seed);
-  const size_t n = table.num_rows();
-  for (size_t i = 0; i < n; ++i) {
-    if (stats.sample_rows.size() < static_cast<size_t>(sample_size)) {
-      stats.sample_rows.push_back(static_cast<uint32_t>(i));
-    } else {
-      const size_t j = rng.NextUint64(i + 1);
-      if (j < static_cast<size_t>(sample_size)) {
-        stats.sample_rows[j] = static_cast<uint32_t>(i);
+  size_t seen = 0;
+  for (int s = 0; s < table.shard_count(); ++s) {
+    const size_t shard_rows = table.ShardRows(s);
+    for (size_t local = 0; local < shard_rows; ++local, ++seen) {
+      const uint32_t id = Table::ReadView::GlobalId(s, local);
+      if (stats.sample_rows.size() < static_cast<size_t>(sample_size)) {
+        stats.sample_rows.push_back(id);
+      } else {
+        const size_t j = rng.NextUint64(seen + 1);
+        if (j < static_cast<size_t>(sample_size)) {
+          stats.sample_rows[j] = id;
+        }
+      }
+    }
+  }
+  // Per-shard row counts and partition-key bounds for the optimizer.
+  if (table.shard_count() > 1) {
+    stats.shards.resize(table.shard_count());
+    for (int s = 0; s < table.shard_count(); ++s) {
+      ShardStats& ss = stats.shards[s];
+      ss.row_count = table.ShardRows(s);
+      int64_t lo = 0, hi = 0;
+      if (table.ShardKeyBounds(s, &lo, &hi)) {
+        ss.key_min = static_cast<double>(lo);
+        ss.key_max = static_cast<double>(hi);
       }
     }
   }

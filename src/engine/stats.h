@@ -61,11 +61,21 @@ struct ColumnStats {
   Histogram histogram;
 };
 
+/// Per-shard statistics for sharded tables: row counts and partition-key
+/// bounds feed the optimizer honest scanned-row totals for pruned
+/// scatter-gather plans instead of one blended figure.
+struct ShardStats {
+  size_t row_count = 0;
+  double key_min = 0.0;
+  double key_max = -1.0;  ///< min > max ⇒ shard empty at ANALYZE time
+};
+
 /// Per-table statistics collected by Analyze().
 struct TableStats {
   size_t row_count = 0;
   std::vector<ColumnStats> columns;          // aligned with schema
-  std::vector<uint32_t> sample_rows;         // sampled row ids
+  std::vector<uint32_t> sample_rows;         // sampled (shard-tagged) row ids
+  std::vector<ShardStats> shards;            // empty on unsharded tables
 };
 
 /// Computes statistics for every numeric column of a table.

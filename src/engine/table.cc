@@ -1,6 +1,7 @@
 #include "engine/table.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/events.h"
 #include "obs/metrics.h"
@@ -53,115 +54,311 @@ void Column::Append(const Value& v) {
 }
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
-  columns_.resize(schema_.columns.size());
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    columns_[i].type = schema_.columns[i].type;
+  shards_.push_back(NewShard());
+}
+
+std::unique_ptr<Table::TableShard> Table::NewShard() const {
+  auto shard = std::make_unique<TableShard>();
+  shard->columns.resize(schema_.columns.size());
+  for (size_t i = 0; i < shard->columns.size(); ++i) {
+    shard->columns[i].type = schema_.columns[i].type;
+  }
+  return shard;
+}
+
+Status Table::ConfigureSharding(const sharding::PartitionSpec& spec) {
+  if (spec.shards < 1 || spec.shards > sharding::kMaxShards) {
+    return Status::InvalidArgument(
+        "shard count must be in [1, " +
+        std::to_string(sharding::kMaxShards) + "]");
+  }
+  if (num_rows() > 0 || sealed() || !IndexedColumns().empty()) {
+    return Status::FailedPrecondition(
+        "ConfigureSharding requires an empty, unsealed, index-less table");
+  }
+  if (spec.shards > 1) {
+    if (spec.column < 0 ||
+        spec.column >= static_cast<int>(schema_.columns.size()) ||
+        schema_.columns[spec.column].type != DataType::kInt64) {
+      return Status::InvalidArgument(
+          "partition column must be an INT64 column of " + schema_.name);
+    }
+    if (spec.mode == sharding::PartitionMode::kRange &&
+        spec.range_hi <= spec.range_lo) {
+      return Status::InvalidArgument("empty range-partition domain");
+    }
+  }
+  part_ = spec;
+  shards_.clear();
+  for (int s = 0; s < spec.shards; ++s) shards_.push_back(NewShard());
+  return Status::OK();
+}
+
+int Table::RouteRow(const Row& row) const {
+  if (shards_.size() == 1) return 0;
+  return part_.ShardOf(row[part_.column].AsInt64());
+}
+
+void Table::UpdateShardBounds(TableShard& sh, int64_t key) {
+  // Writers are externally serialized; plain load/store suffices.
+  if (key < sh.key_min.load(std::memory_order_relaxed)) {
+    sh.key_min.store(key, std::memory_order_relaxed);
+  }
+  if (key > sh.key_max.load(std::memory_order_relaxed)) {
+    sh.key_max.store(key, std::memory_order_relaxed);
   }
 }
 
+bool Table::ShardKeyBounds(int shard, int64_t* lo, int64_t* hi) const {
+  if (shards_.size() == 1) return false;
+  const TableShard& sh = *shards_[shard];
+  const int64_t kmin = sh.key_min.load(std::memory_order_relaxed);
+  const int64_t kmax = sh.key_max.load(std::memory_order_relaxed);
+  if (kmin > kmax) return false;
+  *lo = kmin;
+  *hi = kmax;
+  return true;
+}
+
+std::vector<int> Table::PruneShards(
+    const std::vector<FilterPredicate>& filters) const {
+  const int n = shard_count();
+  std::vector<int> out;
+  if (n == 1) {
+    out.push_back(0);
+    return out;
+  }
+  for (int s = 0; s < n; ++s) {
+    bool survives = true;
+    for (const auto& f : filters) {
+      if (f.column != part_.column) continue;
+      if (f.op == CompareOp::kEq) {
+        const int owner = OwnerShardForKey(f.column, f.value);
+        if (owner >= 0 && owner != s) {
+          survives = false;
+          break;
+        }
+      }
+      // Bounds pruning is conservative: strict bounds are treated as
+      // closed and deletes never shrink the interval.
+      double lo = -std::numeric_limits<double>::infinity();
+      double hi = std::numeric_limits<double>::infinity();
+      switch (f.op) {
+        case CompareOp::kEq: lo = hi = f.value; break;
+        case CompareOp::kLt:
+        case CompareOp::kLe: hi = f.value; break;
+        case CompareOp::kGt:
+        case CompareOp::kGe: lo = f.value; break;
+        case CompareOp::kBetween:
+          lo = f.value;
+          hi = f.value2;
+          break;
+      }
+      int64_t kmin = 0;
+      int64_t kmax = 0;
+      if (!ShardKeyBounds(s, &kmin, &kmax)) {
+        survives = false;  // never routed a row: nothing to scan
+        break;
+      }
+      if (static_cast<double>(kmax) < lo || static_cast<double>(kmin) > hi) {
+        survives = false;
+        break;
+      }
+    }
+    if (survives) out.push_back(s);
+  }
+  return out;
+}
+
+int Table::OwnerShardForKey(int column, double value) const {
+  if (shards_.size() == 1 || column != part_.column) return -1;
+  // Only exactly-representable integer keys route; anything else falls
+  // back to scanning every shard (correct, just unpruned).
+  if (!(value >= -9.2e18 && value <= 9.2e18)) return -1;
+  const double rounded = std::nearbyint(value);
+  if (rounded != value) return -1;
+  return part_.ShardOf(static_cast<int64_t>(value));
+}
+
 Status Table::AppendRow(const Row& row) {
-  if (row.size() != columns_.size()) {
+  if (row.size() != schema_.columns.size()) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    schema_.name);
   }
   for (size_t i = 0; i < row.size(); ++i) {
-    if (row[i].type() != columns_[i].type) {
+    if (row[i].type() != schema_.columns[i].type) {
       return Status::InvalidArgument("type mismatch in column " +
                                      schema_.columns[i].name);
     }
   }
-  DeltaStore* delta = delta_.load(std::memory_order_acquire);
+  const bool is_sharded = shards_.size() > 1;
+  const int shard = RouteRow(row);
+  TableShard& sh = *shards_[shard];
+  DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
   if (delta != nullptr) {
     std::vector<int64_t> values;
     values.reserve(row.size());
     for (size_t i = 0; i < row.size(); ++i) {
-      if (columns_[i].type != DataType::kInt64) {
+      if (schema_.columns[i].type != DataType::kInt64) {
         return Status::FailedPrecondition(
             "post-seal appends require an all-INT64 schema");
       }
       values.push_back(row[i].AsInt64());
     }
-    const size_t row_id = delta->Append(values);
-    AbsorbIntoIndexes(row_id, values);
+    const size_t local = delta->Append(values);
+    if (is_sharded) {
+      ML4DB_CHECK_MSG(local < sharding::kMaxLocalRows, "shard row cap");
+      UpdateShardBounds(sh, values[part_.column]);
+    }
+    AbsorbIntoIndexes(shard, local, values);
     return Status::OK();
   }
-  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
-  ++num_rows_;
+  for (size_t i = 0; i < row.size(); ++i) sh.columns[i].Append(row[i]);
+  ++sh.num_rows;
+  if (is_sharded) {
+    ML4DB_CHECK_MSG(sh.num_rows <= sharding::kMaxLocalRows, "shard row cap");
+    UpdateShardBounds(sh, row[part_.column].AsInt64());
+  }
   return Status::OK();
 }
 
 Status Table::AppendColumnarInt64(
     const std::vector<std::vector<int64_t>>& cols) {
-  if (cols.size() != columns_.size()) {
+  if (cols.size() != schema_.columns.size()) {
     return Status::InvalidArgument("column count mismatch");
   }
   const size_t n = cols.empty() ? 0 : cols[0].size();
   for (size_t i = 0; i < cols.size(); ++i) {
-    if (columns_[i].type != DataType::kInt64) {
+    if (schema_.columns[i].type != DataType::kInt64) {
       return Status::InvalidArgument("AppendColumnarInt64 on non-int column");
     }
     if (cols[i].size() != n) {
       return Status::InvalidArgument("ragged column data");
     }
   }
-  DeltaStore* delta = delta_.load(std::memory_order_acquire);
-  if (delta != nullptr) {
-    const size_t first_row = num_rows_ + delta->visible_rows();
-    delta->AppendColumnar(cols);
-    std::vector<int64_t> values(cols.size());
-    for (size_t r = 0; r < n; ++r) {
-      for (size_t c = 0; c < cols.size(); ++c) values[c] = cols[c][r];
-      AbsorbIntoIndexes(first_row + r, values);
+  if (shards_.size() == 1) {
+    TableShard& sh = *shards_[0];
+    DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
+    if (delta != nullptr) {
+      const size_t first_row = sh.num_rows + delta->visible_rows();
+      delta->AppendColumnar(cols);
+      std::vector<int64_t> values(cols.size());
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < cols.size(); ++c) values[c] = cols[c][r];
+        AbsorbIntoIndexes(0, first_row + r, values);
+      }
+      return Status::OK();
     }
+    for (size_t i = 0; i < cols.size(); ++i) {
+      sh.columns[i].i64.insert(sh.columns[i].i64.end(), cols[i].begin(),
+                               cols[i].end());
+    }
+    sh.num_rows += n;
     return Status::OK();
   }
-  for (size_t i = 0; i < cols.size(); ++i) {
-    columns_[i].i64.insert(columns_[i].i64.end(), cols[i].begin(),
-                           cols[i].end());
+  // Sharded: split row indices by owner, then bulk-append per shard.
+  std::vector<std::vector<size_t>> rows_of(shards_.size());
+  for (size_t r = 0; r < n; ++r) {
+    rows_of[part_.ShardOf(cols[part_.column][r])].push_back(r);
   }
-  num_rows_ += n;
+  std::vector<std::vector<int64_t>> part(cols.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (rows_of[s].empty()) continue;
+    TableShard& sh = *shards_[s];
+    for (size_t c = 0; c < cols.size(); ++c) {
+      part[c].clear();
+      part[c].reserve(rows_of[s].size());
+      for (size_t r : rows_of[s]) part[c].push_back(cols[c][r]);
+    }
+    for (int64_t key : part[part_.column]) UpdateShardBounds(sh, key);
+    DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
+    if (delta != nullptr) {
+      const size_t first_local = sh.num_rows + delta->visible_rows();
+      ML4DB_CHECK_MSG(first_local + rows_of[s].size() <=
+                          sharding::kMaxLocalRows,
+                      "shard row cap");
+      delta->AppendColumnar(part);
+      std::vector<int64_t> values(cols.size());
+      for (size_t k = 0; k < rows_of[s].size(); ++k) {
+        for (size_t c = 0; c < cols.size(); ++c) values[c] = part[c][k];
+        AbsorbIntoIndexes(static_cast<int>(s), first_local + k, values);
+      }
+      continue;
+    }
+    for (size_t c = 0; c < cols.size(); ++c) {
+      sh.columns[c].i64.insert(sh.columns[c].i64.end(), part[c].begin(),
+                               part[c].end());
+    }
+    sh.num_rows += rows_of[s].size();
+    ML4DB_CHECK_MSG(sh.num_rows <= sharding::kMaxLocalRows, "shard row cap");
+  }
   return Status::OK();
 }
 
 void Table::Seal() {
   if (sealed()) return;
   std::lock_guard<std::mutex> lock(index_mu_);
-  if (delta_owner_ != nullptr) return;
-  delta_owner_ = std::make_unique<DeltaStore>(columns_.size(), num_rows_);
-  delta_.store(delta_owner_.get(), std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->delta_owner != nullptr) continue;
+    shard->delta_owner =
+        std::make_unique<DeltaStore>(schema_.columns.size(), shard->num_rows);
+    shard->delta.store(shard->delta_owner.get(), std::memory_order_release);
+  }
 }
 
 Status Table::MarkDeleted(size_t row) {
   Seal();
-  DeltaStore* delta = delta_.load(std::memory_order_acquire);
-  if (row >= num_rows_ + delta->visible_rows()) {
+  int s;
+  size_t local;
+  if (shards_.size() == 1) {
+    s = 0;
+    local = row;
+  } else {
+    s = sharding::ShardOfRowId(static_cast<uint32_t>(row));
+    local = sharding::LocalRowId(static_cast<uint32_t>(row));
+  }
+  if (s >= shard_count()) {
     return Status::InvalidArgument("row id out of range");
   }
-  delta->MarkDeleted(row);
+  TableShard& sh = *shards_[s];
+  DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
+  if (local >= sh.num_rows + delta->visible_rows()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  delta->MarkDeleted(local);
   return Status::OK();
 }
 
 Table::ReadView Table::View() const {
   ReadView view;
-  view.table_ = this;
-  const DeltaStore* delta = delta_.load(std::memory_order_acquire);
-  if (delta == nullptr) {
-    view.base_rows_ = num_rows_;
-    view.rows_ = num_rows_;
-    return view;
+  view.shards_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const TableShard& sh = *shards_[s];
+    ReadView::ShardView& sv = view.shards_[s];
+    sv.columns = &sh.columns;
+    const DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
+    if (delta == nullptr) {
+      sv.base_rows = sh.num_rows;
+      sv.rows = sh.num_rows;
+    } else {
+      sv.snap = delta->Acquire();
+      sv.base_rows = sv.snap.base_rows;
+      sv.rows = sv.snap.base_rows + sv.snap.visible_rows;
+      sv.any_deleted = sv.snap.any_deleted;
+    }
+    view.rows_ += sv.rows;
+    view.any_deleted_ = view.any_deleted_ || sv.any_deleted;
   }
-  view.snap_ = delta->Acquire();
-  view.base_rows_ = view.snap_.base_rows;
-  view.rows_ = view.snap_.base_rows + view.snap_.visible_rows;
-  view.any_deleted_ = view.snap_.any_deleted;
   return view;
 }
 
-Column Table::MaterializeColumn(int column_idx) const {
+Column Table::MaterializeShardColumn(int column_idx, int shard) const {
   ML4DB_CHECK(column_idx >= 0 &&
-              column_idx < static_cast<int>(columns_.size()));
-  Column out = columns_[column_idx];
-  const DeltaStore* delta = delta_.load(std::memory_order_acquire);
+              column_idx < static_cast<int>(schema_.columns.size()));
+  ML4DB_CHECK(shard >= 0 && shard < shard_count());
+  const TableShard& sh = *shards_[shard];
+  Column out = sh.columns[column_idx];
+  const DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
   if (delta == nullptr || out.type != DataType::kInt64) return out;
   const DeltaStore::Snapshot snap = delta->Acquire();
   out.i64.reserve(out.i64.size() + snap.visible_rows);
@@ -171,39 +368,80 @@ Column Table::MaterializeColumn(int column_idx) const {
   return out;
 }
 
+Column Table::MaterializeColumn(int column_idx) const {
+  if (shards_.size() == 1) return MaterializeShardColumn(column_idx, 0);
+  Column out = MaterializeShardColumn(column_idx, 0);
+  for (int s = 1; s < shard_count(); ++s) {
+    Column part = MaterializeShardColumn(column_idx, s);
+    switch (out.type) {
+      case DataType::kInt64:
+        out.i64.insert(out.i64.end(), part.i64.begin(), part.i64.end());
+        break;
+      case DataType::kDouble:
+        out.f64.insert(out.f64.end(), part.f64.begin(), part.f64.end());
+        break;
+      case DataType::kString:
+        out.str.insert(out.str.end(), part.str.begin(), part.str.end());
+        break;
+    }
+  }
+  return out;
+}
+
 StatusOr<std::shared_ptr<const IndexBackend>> Table::BuildIndexSnapshot(
     int column_idx, IndexBackendKind kind) const {
-  if (column_idx < 0 || column_idx >= static_cast<int>(columns_.size())) {
+  if (shards_.size() > 1) {
+    return Status::FailedPrecondition(
+        "sharded table: use the per-shard BuildIndexSnapshot overload");
+  }
+  return BuildIndexSnapshot(column_idx, kind, 0);
+}
+
+StatusOr<std::shared_ptr<const IndexBackend>> Table::BuildIndexSnapshot(
+    int column_idx, IndexBackendKind kind, int shard) const {
+  if (column_idx < 0 ||
+      column_idx >= static_cast<int>(schema_.columns.size())) {
     return Status::InvalidArgument("no such column");
   }
-  if (delta_rows() == 0) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  const TableShard& sh = *shards_[shard];
+  const DeltaStore* delta = sh.delta.load(std::memory_order_acquire);
+  if (delta == nullptr || delta->visible_rows() == 0) {
     // No delta to fold: build straight off the (sealed or pre-seal) base.
-    return BuildIndexBackend(columns_[column_idx], kind);
+    return BuildIndexBackend(sh.columns[column_idx], kind);
   }
   // The materialized copy freezes the covered prefix: rows appended while
   // the build runs stay delta-served until the next rebuild. Tombstoned
   // rows are included on purpose — payload row ids must never shift.
-  const Column merged = MaterializeColumn(column_idx);
+  const Column merged = MaterializeShardColumn(column_idx, shard);
   return BuildIndexBackend(merged, kind);
 }
 
 size_t Table::StaleRows(int column_idx) const {
-  std::shared_ptr<const IndexBackend> backend = GetIndex(column_idx);
+  size_t total = 0;
+  for (int s = 0; s < shard_count(); ++s) total += StaleRows(column_idx, s);
+  return total;
+}
+
+size_t Table::StaleRows(int column_idx, int shard) const {
+  std::shared_ptr<const IndexBackend> backend = GetIndex(column_idx, shard);
   if (backend == nullptr) return 0;
-  const size_t visible = num_rows();
+  const size_t visible = ShardRows(shard);
   const size_t covered = backend->covered_rows();
   return covered >= visible ? 0 : visible - covered;
 }
 
-void Table::AbsorbIntoIndexes(size_t row,
+void Table::AbsorbIntoIndexes(int shard, size_t local_row,
                               const std::vector<int64_t>& values) {
   for (int col : IndexedColumns()) {
-    std::shared_ptr<const IndexBackend> backend = GetIndex(col);
+    std::shared_ptr<const IndexBackend> backend = GetIndex(col, shard);
     if (backend == nullptr || !backend->SupportsAbsorb()) continue;
     const size_t before = backend->covered_rows();
     const Status st =
         backend->Absorb(static_cast<double>(values[col]),
-                        static_cast<uint32_t>(row));
+                        static_cast<uint32_t>(local_row));
     if (st.ok() && backend->covered_rows() > before) {
       obs::GetCounter("ml4db.index.absorbed_total")->Inc();
     }
@@ -215,49 +453,73 @@ Status Table::BuildIndex(int column_idx) {
 }
 
 Status Table::BuildIndex(int column_idx, IndexBackendKind kind) {
-  if (column_idx < 0 || column_idx >= static_cast<int>(columns_.size())) {
+  if (column_idx < 0 ||
+      column_idx >= static_cast<int>(schema_.columns.size())) {
     return Status::InvalidArgument("no such column");
   }
-  // Indexing seals the table: later appends land in the delta store and
+  // Indexing seals the table: later appends land in the delta stores and
   // merge into reads instead of mutating what this build snapshot saw.
   Seal();
   // The build reads sealed column data, so it runs outside the lock;
   // only publication synchronizes with concurrent probes.
-  ML4DB_ASSIGN_OR_RETURN(std::shared_ptr<const IndexBackend> backend,
-                         BuildIndexSnapshot(column_idx, kind));
-  PublishIndex(column_idx, kind, std::move(backend), /*is_swap=*/false);
+  for (int s = 0; s < shard_count(); ++s) {
+    ML4DB_ASSIGN_OR_RETURN(std::shared_ptr<const IndexBackend> backend,
+                           BuildIndexSnapshot(column_idx, kind, s));
+    PublishIndex(s, column_idx, kind, std::move(backend), /*is_swap=*/false);
+  }
   return Status::OK();
 }
 
 void Table::DropIndex(int column_idx) {
-  std::shared_ptr<const IndexBackend> dropped;  // destroyed outside the lock
+  std::vector<std::shared_ptr<const IndexBackend>> dropped;
   {
     std::lock_guard<std::mutex> lock(index_mu_);
-    auto it = indexes_.find(column_idx);
-    if (it == indexes_.end()) return;
-    dropped = std::move(it->second.backend);
-    indexes_.erase(it);
+    for (auto& shard : shards_) {
+      auto it = shard->indexes.find(column_idx);
+      if (it == shard->indexes.end()) continue;
+      dropped.push_back(std::move(it->second.backend));
+      shard->indexes.erase(it);
+    }
   }
-  obs::GetGauge("ml4db.index.structure_bytes")
-      ->Add(-static_cast<double>(dropped->StructureBytes()));
+  double bytes = 0.0;
+  for (const auto& backend : dropped) {
+    bytes += static_cast<double>(backend->StructureBytes());
+  }
+  if (!dropped.empty()) {
+    obs::GetGauge("ml4db.index.structure_bytes")->Add(-bytes);
+  }
 }
 
 std::shared_ptr<const IndexBackend> Table::GetIndex(int column_idx) const {
+  return GetIndex(column_idx, 0);
+}
+
+std::shared_ptr<const IndexBackend> Table::GetIndex(int column_idx,
+                                                    int shard) const {
   std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = indexes_.find(column_idx);
-  return it == indexes_.end() ? nullptr : it->second.backend;
+  auto it = shards_[shard]->indexes.find(column_idx);
+  return it == shards_[shard]->indexes.end() ? nullptr : it->second.backend;
 }
 
 StatusOr<std::shared_ptr<const IndexBackend>> Table::SwapIndex(
     int column_idx, std::shared_ptr<const IndexBackend> replacement) {
+  return SwapIndex(column_idx, 0, std::move(replacement));
+}
+
+StatusOr<std::shared_ptr<const IndexBackend>> Table::SwapIndex(
+    int column_idx, int shard,
+    std::shared_ptr<const IndexBackend> replacement) {
   if (replacement == nullptr) {
     return Status::InvalidArgument("cannot swap in a null index backend");
+  }
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("no such shard");
   }
   std::shared_ptr<const IndexBackend> old;
   {
     std::lock_guard<std::mutex> lock(index_mu_);
-    auto it = indexes_.find(column_idx);
-    if (it == indexes_.end()) {
+    auto it = shards_[shard]->indexes.find(column_idx);
+    if (it == shards_[shard]->indexes.end()) {
       return Status::FailedPrecondition("no index to swap on column " +
                                         std::to_string(column_idx));
     }
@@ -266,7 +528,8 @@ StatusOr<std::shared_ptr<const IndexBackend>> Table::SwapIndex(
   auto parsed = ParseIndexBackendKind(replacement->Name());
   const IndexBackendKind kind =
       parsed.ok() ? *parsed : IndexKind(column_idx);
-  PublishIndex(column_idx, kind, std::move(replacement), /*is_swap=*/true);
+  PublishIndex(shard, column_idx, kind, std::move(replacement),
+               /*is_swap=*/true);
   return old;
 }
 
@@ -274,8 +537,8 @@ std::vector<int> Table::IndexedColumns() const {
   std::vector<int> cols;
   {
     std::lock_guard<std::mutex> lock(index_mu_);
-    cols.reserve(indexes_.size());
-    for (const auto& [col, _] : indexes_) cols.push_back(col);
+    cols.reserve(shards_[0]->indexes.size());
+    for (const auto& [col, _] : shards_[0]->indexes) cols.push_back(col);
   }
   std::sort(cols.begin(), cols.end());
   return cols;
@@ -283,18 +546,18 @@ std::vector<int> Table::IndexedColumns() const {
 
 IndexBackendKind Table::IndexKind(int column_idx) const {
   std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = indexes_.find(column_idx);
-  return it == indexes_.end() ? default_backend_ : it->second.kind;
+  auto it = shards_[0]->indexes.find(column_idx);
+  return it == shards_[0]->indexes.end() ? default_backend_ : it->second.kind;
 }
 
-void Table::PublishIndex(int column_idx, IndexBackendKind kind,
+void Table::PublishIndex(int shard, int column_idx, IndexBackendKind kind,
                          std::shared_ptr<const IndexBackend> backend,
                          bool is_swap) {
   const double new_bytes = static_cast<double>(backend->StructureBytes());
   std::shared_ptr<const IndexBackend> old;  // destroyed outside the lock
   {
     std::lock_guard<std::mutex> lock(index_mu_);
-    IndexSlot& slot = indexes_[column_idx];
+    IndexSlot& slot = shards_[shard]->indexes[column_idx];
     old = std::move(slot.backend);
     slot.kind = kind;
     slot.backend = std::move(backend);
@@ -305,9 +568,10 @@ void Table::PublishIndex(int column_idx, IndexBackendKind kind,
   obs::GetCounter("ml4db.index.builds_total")->Inc();
   if (is_swap) {
     obs::GetCounter("ml4db.index.swaps_total")->Inc();
+    std::string what = schema_.name + ".c" + std::to_string(column_idx);
+    if (shard_count() > 1) what += ".s" + std::to_string(shard);
     obs::PublishEvent(obs::EventKind::kIndexStructure, "engine.index",
-                      schema_.name + ".c" + std::to_string(column_idx) +
-                          " swapped to " + IndexBackendKindName(kind),
+                      what + " swapped to " + IndexBackendKindName(kind),
                       new_bytes);
   }
 }
@@ -319,6 +583,16 @@ StatusOr<Table*> Catalog::CreateTable(TableSchema schema) {
   }
   auto table = std::make_unique<Table>(std::move(schema));
   table->set_default_index_backend(default_backend_);
+  if (default_partition_.shards > 1) {
+    const auto& cols = table->schema().columns;
+    const int pcol = default_partition_.column;
+    // Tables whose schema cannot host the partition key (non-INT64 or
+    // missing column) stay unsharded rather than failing creation.
+    if (pcol >= 0 && pcol < static_cast<int>(cols.size()) &&
+        cols[pcol].type == DataType::kInt64) {
+      ML4DB_CHECK(table->ConfigureSharding(default_partition_).ok());
+    }
+  }
   Table* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;

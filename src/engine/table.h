@@ -4,6 +4,7 @@
 #define ML4DB_ENGINE_TABLE_H_
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +14,8 @@
 #include "common/status.h"
 #include "engine/delta_store.h"
 #include "engine/index_backend.h"
+#include "engine/query.h"
+#include "engine/sharding/partition.h"
 #include "engine/types.h"
 
 namespace ml4db {
@@ -48,9 +51,20 @@ struct Column {
 };
 
 /// A columnar table whose base storage seals at first index build, with
-/// post-seal writes absorbed by a per-table DeltaStore (delta_store.h),
+/// post-seal writes absorbed by per-shard DeltaStores (delta_store.h),
 /// optional per-column index backends (index_backend.h), and collected
 /// statistics (stats.h; stored opaquely here to avoid a header cycle).
+///
+/// Storage is horizontally partitioned into 1..kMaxShards shards
+/// (sharding/partition.h). The default is one shard, which reproduces the
+/// unsharded engine bit for bit: shard 0's row-id encoding is the
+/// identity. At shards > 1, every row id handed out by views, scans, and
+/// index probes is shard-tagged (shard << 28 | local); each shard owns
+/// its base columns, its DeltaStore, and one IndexBackend per indexed
+/// column holding *local* row ids, so the PR-7 covered-rows merge
+/// contract holds independently per shard and a retrain can rebuild-and-
+/// swap exactly one drifted shard while the rest keep serving.
+///
 /// Index publication is thread-safe: GetIndex hands out a shared_ptr
 /// readers hold for the duration of a probe, so SwapIndex can atomically
 /// install a freshly rebuilt backend under live queries. Post-seal writes
@@ -62,127 +76,244 @@ class Table {
   explicit Table(TableSchema schema);
 
   const TableSchema& schema() const { return schema_; }
-  /// Total rows: sealed base + visible delta.
+  /// Total rows: sealed base + visible delta, summed over shards.
   size_t num_rows() const {
-    const DeltaStore* d = delta_.load(std::memory_order_acquire);
-    return num_rows_ + (d == nullptr ? 0 : d->visible_rows());
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      const DeltaStore* d = s->delta.load(std::memory_order_acquire);
+      total += s->num_rows + (d == nullptr ? 0 : d->visible_rows());
+    }
+    return total;
   }
-  size_t num_columns() const { return columns_.size(); }
+  size_t num_columns() const { return schema_.columns.size(); }
 
+  /// Base column data; only meaningful on an unsharded table (sharded
+  /// tables have no single contiguous column — use MaterializeColumn).
   const Column& column(int idx) const {
-    ML4DB_DCHECK(idx >= 0 && idx < static_cast<int>(columns_.size()));
-    return columns_[idx];
+    ML4DB_DCHECK(shards_.size() == 1);
+    ML4DB_DCHECK(idx >= 0 && idx < static_cast<int>(num_columns()));
+    return shards_[0]->columns[idx];
   }
+
+  /// Splits storage into spec.shards hash- or range-partitioned shards.
+  /// Must be called on an empty, unsealed, index-less table (the catalog
+  /// applies it at CreateTable); requires an INT64 partition column.
+  Status ConfigureSharding(const sharding::PartitionSpec& spec);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const sharding::PartitionSpec& partition() const { return part_; }
+
+  /// Visible rows (base + delta) in one shard.
+  size_t ShardRows(int shard) const {
+    const TableShard& sh = *shards_[shard];
+    const DeltaStore* d = sh.delta.load(std::memory_order_acquire);
+    return sh.num_rows + (d == nullptr ? 0 : d->visible_rows());
+  }
+
+  /// Partition-key bounds over every row ever routed to the shard
+  /// (deletes never shrink them); false when the shard is empty or the
+  /// table is unsharded.
+  bool ShardKeyBounds(int shard, int64_t* lo, int64_t* hi) const;
+
+  /// Shards a scan with these filters must visit, ascending. Equality on
+  /// the partition key routes to the owner shard; other partition-key
+  /// predicates prune by the per-shard key bounds. Unsharded tables
+  /// always return {0}.
+  std::vector<int> PruneShards(
+      const std::vector<FilterPredicate>& filters) const;
+
+  /// Owning shard for an equality probe value on `column`, or -1 when not
+  /// routable (unsharded, not the partition column, or non-integral key).
+  int OwnerShardForKey(int column, double value) const;
 
   /// Appends one row; value types must match the schema. Before the table
   /// seals this mutates base columns directly (the generators' load path);
-  /// after sealing the row lands in the delta store, so a post-build
-  /// append is immediately visible to merged scans and can never serve a
-  /// stale probe from a base-only index.
+  /// after sealing the row lands in the owning shard's delta store, so a
+  /// post-build append is immediately visible to merged scans and can
+  /// never serve a stale probe from a base-only index.
   Status AppendRow(const Row& row);
 
   /// Bulk-appends typed int64 column data; all columns must be provided and
-  /// equally sized. Faster path used by generators; delta-routed once the
-  /// table is sealed, like AppendRow.
+  /// equally sized. Faster path used by generators; rows route to their
+  /// owning shards, delta-routed once the table is sealed, like AppendRow.
   Status AppendColumnarInt64(const std::vector<std::vector<int64_t>>& cols);
 
-  /// Freezes base column storage and installs the delta store; idempotent.
-  /// Called implicitly by the first BuildIndex and the first post-seal
-  /// write entry points — callers only need it to force delta routing on
-  /// an index-less table.
+  /// Freezes base column storage and installs the per-shard delta stores;
+  /// idempotent. Called implicitly by the first BuildIndex and the first
+  /// post-seal write entry points — callers only need it to force delta
+  /// routing on an index-less table.
   void Seal();
   bool sealed() const {
-    return delta_.load(std::memory_order_acquire) != nullptr;
+    return shards_[0]->delta.load(std::memory_order_acquire) != nullptr;
   }
 
   /// Tombstones a global row id (auto-seals). Deletes never compact:
   /// the row id stays addressable and is filtered at read time.
   Status MarkDeleted(size_t row);
 
-  /// Rows currently in the delta store (0 before sealing).
+  /// Rows currently in the delta stores (0 before sealing).
   size_t delta_rows() const {
-    const DeltaStore* d = delta_.load(std::memory_order_acquire);
-    return d == nullptr ? 0 : d->visible_rows();
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      const DeltaStore* d = s->delta.load(std::memory_order_acquire);
+      total += d == nullptr ? 0 : d->visible_rows();
+    }
+    return total;
   }
-  /// Tombstoned rows, base + delta.
+  /// Tombstoned rows, base + delta, summed over shards.
   size_t deleted_rows() const {
-    const DeltaStore* d = delta_.load(std::memory_order_acquire);
-    return d == nullptr ? 0 : d->deleted_rows();
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      const DeltaStore* d = s->delta.load(std::memory_order_acquire);
+      total += d == nullptr ? 0 : d->deleted_rows();
+    }
+    return total;
   }
 
-  /// Consistent per-query snapshot over base + delta. Cheap to copy;
-  /// valid as long as the table outlives it.
+  /// Consistent per-query snapshot over base + delta of every shard.
+  /// Row ids are shard-tagged globals (the identity for one shard).
+  /// Cheap to copy; valid as long as the table outlives it.
   class ReadView {
    public:
+    /// Total visible rows across shards. NOTE: at shards > 1 global row
+    /// ids are NOT contiguous in [0, rows()) — iterate per shard with
+    /// ShardRows/GlobalId instead.
     size_t rows() const { return rows_; }
     bool any_deleted() const { return any_deleted_; }
+
+    int shard_count() const { return static_cast<int>(shards_.size()); }
+    size_t ShardRows(int shard) const { return shards_[shard].rows; }
+    static uint32_t GlobalId(int shard, size_t local) {
+      return sharding::EncodeRowId(shard, local);
+    }
+    /// True when `row` is a valid (shard-tagged) id under this snapshot.
+    bool ContainsId(size_t row) const {
+      int s;
+      size_t local;
+      Locate(row, &s, &local);
+      return s >= 0 && s < static_cast<int>(shards_.size()) &&
+             local < shards_[s].rows;
+    }
+
     double GetNumeric(int col, size_t row) const {
-      if (row < base_rows_) return table_->column(col).GetNumeric(row);
-      return static_cast<double>(snap_.DeltaValue(col, row));
+      int s;
+      size_t local;
+      Locate(row, &s, &local);
+      return ShardGetNumeric(s, col, local);
     }
     int64_t GetInt64(int col, size_t row) const {
-      if (row < base_rows_) return table_->column(col).i64[row];
-      return snap_.DeltaValue(col, row);
+      int s;
+      size_t local;
+      Locate(row, &s, &local);
+      return ShardGetInt64(s, col, local);
     }
     bool IsDeleted(size_t row) const {
-      return any_deleted_ && snap_.IsDeleted(row);
+      if (!any_deleted_) return false;
+      int s;
+      size_t local;
+      Locate(row, &s, &local);
+      return ShardIsDeleted(s, local);
+    }
+
+    /// Shard-local accessors: the executor's per-shard scan loops skip
+    /// the id decode on their hot path.
+    double ShardGetNumeric(int shard, int col, size_t local) const {
+      const ShardView& sv = shards_[shard];
+      if (local < sv.base_rows) return (*sv.columns)[col].GetNumeric(local);
+      return static_cast<double>(sv.snap.DeltaValue(col, local));
+    }
+    int64_t ShardGetInt64(int shard, int col, size_t local) const {
+      const ShardView& sv = shards_[shard];
+      if (local < sv.base_rows) return (*sv.columns)[col].i64[local];
+      return sv.snap.DeltaValue(col, local);
+    }
+    bool ShardIsDeleted(int shard, size_t local) const {
+      const ShardView& sv = shards_[shard];
+      return sv.any_deleted && sv.snap.IsDeleted(local);
     }
 
    private:
     friend class Table;
-    const Table* table_ = nullptr;
-    DeltaStore::Snapshot snap_;
-    size_t base_rows_ = 0;
+    struct ShardView {
+      const std::vector<Column>* columns = nullptr;
+      DeltaStore::Snapshot snap;
+      size_t base_rows = 0;
+      size_t rows = 0;  ///< visible = base + delta
+      bool any_deleted = false;
+    };
+    void Locate(size_t row, int* shard, size_t* local) const {
+      if (shards_.size() == 1) {
+        *shard = 0;
+        *local = row;
+        return;
+      }
+      *shard = sharding::ShardOfRowId(static_cast<uint32_t>(row));
+      *local = sharding::LocalRowId(static_cast<uint32_t>(row));
+    }
+    std::vector<ShardView> shards_;
     size_t rows_ = 0;
     bool any_deleted_ = false;
   };
   ReadView View() const;
 
   /// Base + delta values of an INT64 column materialized into one flat
-  /// Column (tombstoned rows included — payload row ids must not shift).
-  /// Non-INT64 columns return a copy of the base column.
+  /// Column, shard by shard (tombstoned rows included — payload row ids
+  /// must not shift). Non-INT64 columns return a copy of the base data.
+  /// At shards > 1 positions do NOT equal row ids; use
+  /// MaterializeShardColumn for anything id-addressed.
   Column MaterializeColumn(int column_idx) const;
+
+  /// One shard's base + delta column; positions are shard-local row ids.
+  Column MaterializeShardColumn(int column_idx, int shard) const;
 
   /// Builds (without publishing) a backend over the merged base + delta
   /// column, stamped with the covered row count captured before the
-  /// materialization — the retrain loop's rebuild step.
+  /// materialization — the retrain loop's rebuild step. The two-argument
+  /// form is the unsharded compatibility path.
   StatusOr<std::shared_ptr<const IndexBackend>> BuildIndexSnapshot(
       int column_idx, IndexBackendKind kind) const;
+  StatusOr<std::shared_ptr<const IndexBackend>> BuildIndexSnapshot(
+      int column_idx, IndexBackendKind kind, int shard) const;
 
   /// Rows visible to readers but not yet represented in the column's
-  /// index structure (0 when unindexed): the per-column staleness gauge.
+  /// index structure (0 when unindexed): the per-column staleness gauge,
+  /// summed over shards or per shard.
   size_t StaleRows(int column_idx) const;
+  size_t StaleRows(int column_idx, int shard) const;
 
-  /// Applies one appended row to every index backend that can absorb
-  /// writes in place (ALEX/B+-tree/dynamic-PGM). Backends that cannot
-  /// stay stale until the rebuild-and-swap loop folds the delta in.
-  void AbsorbIntoIndexes(size_t row, const std::vector<int64_t>& values);
-
-  /// Builds an index on the given column (replacing any existing one),
-  /// keeping the column's current backend kind — or the table default for
-  /// a first build.
+  /// Builds an index on the given column (replacing any existing one) on
+  /// every shard, keeping the column's current backend kind — or the
+  /// table default for a first build.
   Status BuildIndex(int column_idx);
 
   /// Builds an index on the given column with an explicit backend kind.
   Status BuildIndex(int column_idx, IndexBackendKind kind);
 
-  /// Drops the index on the given column (no-op if absent). The what-if
-  /// primitive index advisors rely on.
+  /// Drops the index on the given column on every shard (no-op if
+  /// absent). The what-if primitive index advisors rely on.
   void DropIndex(int column_idx);
 
-  /// Index backend on a column, or nullptr. The returned shared_ptr keeps
-  /// the backend alive across a concurrent SwapIndex.
+  /// Index backend on a column (shard 0 when unspecified), or nullptr.
+  /// The returned shared_ptr keeps the backend alive across a concurrent
+  /// SwapIndex.
   std::shared_ptr<const IndexBackend> GetIndex(int column_idx) const;
+  std::shared_ptr<const IndexBackend> GetIndex(int column_idx,
+                                               int shard) const;
 
   bool HasIndex(int column_idx) const { return GetIndex(column_idx) != nullptr; }
 
   /// Atomically replaces the backend on an indexed column (the background
   /// retrain's publish step) and returns the previous backend. Fails if
-  /// the column has no index — swap never creates one.
+  /// the column has no index — swap never creates one. The two-argument
+  /// form swaps shard 0 (the unsharded compatibility path).
   StatusOr<std::shared_ptr<const IndexBackend>> SwapIndex(
       int column_idx, std::shared_ptr<const IndexBackend> replacement);
+  StatusOr<std::shared_ptr<const IndexBackend>> SwapIndex(
+      int column_idx, int shard,
+      std::shared_ptr<const IndexBackend> replacement);
 
-  /// Columns that currently have an index, ascending.
+  /// Columns that currently have an index, ascending. Shards always index
+  /// the same column set, so shard 0 is authoritative.
   std::vector<int> IndexedColumns() const;
 
   /// Backend kind of an existing index on the column, or the table default.
@@ -201,28 +332,50 @@ class Table {
     std::shared_ptr<const IndexBackend> backend;
   };
 
+  /// One horizontal partition: base columns, delta store, index slots,
+  /// and the partition-key bounds used for pruning.
+  struct TableShard {
+    std::vector<Column> columns;
+    size_t num_rows = 0;  ///< base rows only; frozen once sealed
+    std::unordered_map<int, IndexSlot> indexes;  // guarded by index_mu_
+    /// Owned delta store; the atomic mirror makes sealed()/num_rows()
+    /// lock-free for readers racing the (index_mu_-guarded) Seal().
+    std::unique_ptr<DeltaStore> delta_owner;
+    std::atomic<DeltaStore*> delta{nullptr};
+    /// Ever-appended partition-key bounds (min > max ⇒ empty shard);
+    /// writers are externally serialized, readers load relaxed.
+    std::atomic<int64_t> key_min{std::numeric_limits<int64_t>::max()};
+    std::atomic<int64_t> key_max{std::numeric_limits<int64_t>::min()};
+  };
+
+  std::unique_ptr<TableShard> NewShard() const;
+  /// Owning shard of one row (0 when unsharded).
+  int RouteRow(const Row& row) const;
+  void UpdateShardBounds(TableShard& sh, int64_t key);
+  /// Applies one appended row to every absorb-capable index backend of
+  /// its shard; non-absorbing backends stay stale until rebuild-and-swap.
+  void AbsorbIntoIndexes(int shard, size_t local_row,
+                         const std::vector<int64_t>& values);
+
   /// Publishes (or replaces) a backend under the lock and maintains the
   /// structure-bytes gauge + swap accounting.
-  void PublishIndex(int column_idx, IndexBackendKind kind,
+  void PublishIndex(int shard, int column_idx, IndexBackendKind kind,
                     std::shared_ptr<const IndexBackend> backend, bool is_swap);
 
   TableSchema schema_;
-  std::vector<Column> columns_;
-  size_t num_rows_ = 0;  ///< base rows only; frozen once sealed
+  sharding::PartitionSpec part_;
+  std::vector<std::unique_ptr<TableShard>> shards_;
   IndexBackendKind default_backend_ = IndexBackendKind::kSorted;
   mutable std::mutex index_mu_;
-  std::unordered_map<int, IndexSlot> indexes_;
-  /// Owned delta store; the atomic mirror makes sealed()/num_rows()
-  /// lock-free for readers racing the (index_mu_-guarded) Seal().
-  std::unique_ptr<DeltaStore> delta_owner_;
-  std::atomic<DeltaStore*> delta_{nullptr};
 };
 
 /// Name → table registry.
 class Catalog {
  public:
   /// Creates an empty table; fails if the name exists. The new table's
-  /// default index backend is the catalog's.
+  /// default index backend is the catalog's, and the catalog's default
+  /// partition spec is applied when the schema supports it (INT64
+  /// partition column).
   StatusOr<Table*> CreateTable(TableSchema schema);
 
   /// Default index backend stamped onto tables created afterwards.
@@ -230,6 +383,14 @@ class Catalog {
     default_backend_ = kind;
   }
   IndexBackendKind default_index_backend() const { return default_backend_; }
+
+  /// Default partition spec applied to tables created afterwards.
+  void set_default_partition(const sharding::PartitionSpec& spec) {
+    default_partition_ = spec;
+  }
+  const sharding::PartitionSpec& default_partition() const {
+    return default_partition_;
+  }
 
   /// Looks a table up by name.
   StatusOr<Table*> GetTable(const std::string& name);
@@ -240,6 +401,7 @@ class Catalog {
 
  private:
   IndexBackendKind default_backend_ = IndexBackendKind::kSorted;
+  sharding::PartitionSpec default_partition_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 };
 

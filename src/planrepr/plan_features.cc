@@ -60,7 +60,9 @@ double PlanFeaturizer::SampleHitFraction(const engine::Query& query,
   const engine::Table::ReadView view = (*table)->View();
   size_t hits = 0;
   for (uint32_t row : stats->sample_rows) {
-    if (row >= view.rows()) continue;
+    // Sample ids are shard-tagged globals; validate against the snapshot
+    // rather than comparing to the (non-contiguous) total row count.
+    if (!view.ContainsId(row)) continue;
     bool pass = true;
     for (const auto& f : node.filters) {
       if (!engine::EvalFilter(f, view.GetNumeric(f.column, row))) {

@@ -325,23 +325,29 @@ StatusOr<uint64_t> Server::ApplyWriteStatement(const std::string& text) {
     return static_cast<uint64_t>(stmt.insert_rows.size());
   }
 
-  // DELETE: tombstone every visible row the filters select.
+  // DELETE: tombstone every visible row the filters select, shard by
+  // shard — global row ids are shard-tagged and not contiguous, and
+  // partition pruning skips shards whose key bounds cannot match.
   ML4DB_RETURN_IF_ERROR(ValidateColumns(stmt.query));
   (*table)->Seal();
   const engine::Table::ReadView view = (*table)->View();
   uint64_t affected = 0;
-  for (size_t r = 0; r < view.rows(); ++r) {
-    if (view.IsDeleted(r)) continue;
-    bool pass = true;
-    for (const engine::FilterPredicate& f : stmt.query.filters) {
-      if (!engine::EvalFilter(f, view.GetNumeric(f.column, r))) {
-        pass = false;
-        break;
+  for (const int s : (*table)->PruneShards(stmt.query.filters)) {
+    const size_t shard_rows = view.ShardRows(s);
+    for (size_t local = 0; local < shard_rows; ++local) {
+      if (view.ShardIsDeleted(s, local)) continue;
+      bool pass = true;
+      for (const engine::FilterPredicate& f : stmt.query.filters) {
+        if (!engine::EvalFilter(f, view.ShardGetNumeric(s, f.column, local))) {
+          pass = false;
+          break;
+        }
       }
+      if (!pass) continue;
+      ML4DB_RETURN_IF_ERROR(
+          (*table)->MarkDeleted(engine::Table::ReadView::GlobalId(s, local)));
+      ++affected;
     }
-    if (!pass) continue;
-    ML4DB_RETURN_IF_ERROR((*table)->MarkDeleted(r));
-    ++affected;
   }
   return affected;
 }

@@ -30,10 +30,16 @@
 //   --index-backend B    structure serving index probes: sorted | btree |
 //                        rmi | pgm | radix_spline | alex
 //                        (default: ML4DB_INDEX_BACKEND env, else sorted)
+//   --shards N           hash-partition every table into N shards, each
+//                        with its own index slot + delta store; scans and
+//                        probes scatter-gather across them (default:
+//                        ML4DB_SHARDS env, else 1 = unsharded)
 //   --retrain-interval-ms N  rebuild every indexed column's backend in the
 //                        background every N ms and atomically swap the
 //                        replacement in (0 = off, default). Rebuilds fold
-//                        the table's delta store into the new structure.
+//                        the table's delta store into the new structure;
+//                        on sharded tables each shard rebuilds and swaps
+//                        independently.
 //   --json [PATH]        write BENCH_server.json (or PATH) on shutdown
 //
 // Env knobs:
@@ -46,7 +52,11 @@
 //   ML4DB_DELTA_MERGE_THRESHOLD  rebuild-and-swap a column's index as soon
 //                        as its stale (delta, not-yet-indexed) row count
 //                        reaches N, independent of the retrain interval
-//                        (unset/0 = off)
+//                        (unset/0 = off). On sharded tables the threshold
+//                        applies per shard, so only the shard absorbing
+//                        the writes retrains.
+//   ML4DB_SHARDS / ML4DB_SHARD_PARTITION / ML4DB_SHARD_RANGE_LO/HI
+//                        default partitioning (see --shards)
 
 #include <pthread.h>
 #include <signal.h>
@@ -62,6 +72,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
@@ -95,6 +106,7 @@ struct Flags {
   size_t batch_max = 64;
   int linger_ms = 0;
   std::string index_backend;  // empty = ML4DB_INDEX_BACKEND env / sorted
+  int shards = 0;  // 0 = ML4DB_SHARDS env / 1
   int retrain_interval_ms = 0;
   std::string json_path;  // empty = no export
   bool json = false;
@@ -124,6 +136,7 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     else if (arg == "--batch-max") flags->batch_max = std::strtoull(value("--batch-max"), nullptr, 10);
     else if (arg == "--linger-ms") flags->linger_ms = std::atoi(value("--linger-ms"));
     else if (arg == "--index-backend") flags->index_backend = value("--index-backend");
+    else if (arg == "--shards") flags->shards = std::atoi(value("--shards"));
     else if (arg == "--retrain-interval-ms") flags->retrain_interval_ms = std::atoi(value("--retrain-interval-ms"));
     else if (arg == "--json") {
       flags->json = true;
@@ -162,6 +175,11 @@ int main(int argc, char** argv) {
     }
     dopts.index_backend = *kind;
   }
+  if (flags.shards > 0) {
+    // Flag overrides the ML4DB_SHARDS env default picked up by dopts.
+    dopts.partition.shards =
+        std::min(flags.shards, engine::sharding::kMaxShards);
+  }
   engine::Database db(dopts);
   {
     workload::SchemaGenOptions opts;
@@ -180,11 +198,25 @@ int main(int argc, char** argv) {
               flags.dims, flags.fact_rows, sw.ElapsedSeconds());
   }
 
+  // Pre-register the write-path gauges and the shard counters at zero so
+  // the first /metrics scrape exposes them before any write or sharded
+  // scan happens — dashboards and the smoke scripts can diff against a
+  // baseline instead of special-casing "metric not there yet".
+  server::PublishDeltaGauges(db);
+  obs::GetCounter("ml4db.shard.scan_tasks_total");
+  obs::GetCounter("ml4db.shard.pruned_total");
+  obs::GetCounter("ml4db.shard.retrains_total");
+  obs::GetCounter("ml4db.drift.retrains_coalesced");
+  for (int s = 0; s < dopts.partition.shards; ++s) {
+    obs::GetCounter("ml4db.shard.retrains.s" + std::to_string(s));
+  }
+
   const char* backend_name =
       engine::IndexBackendKindName(dopts.index_backend);
   std::vector<std::string> argv_copy(argv, argv + argc);
   obs::BenchExporter exporter("server", argv_copy);
   exporter.SetConfig("index_backend", backend_name);
+  exporter.SetConfig("shards", std::to_string(dopts.partition.shards));
   exporter.SetConfig("delta_merge_threshold",
                      std::to_string(common::PositiveKnobFromEnv(
                          "ML4DB_DELTA_MERGE_THRESHOLD", 0)));
@@ -307,42 +339,25 @@ int main(int argc, char** argv) {
                               [&] { return retrain_stop.load(); });
         }
         if (retrain_stop.load()) break;
-        const bool interval_due =
-            flags.retrain_interval_ms > 0 &&
-            RClock::now() - last_rebuild >= interval;
-        for (const std::string& name : db.catalog().TableNames()) {
-          auto t = db.catalog().GetTable(name);
-          if (!t.ok()) continue;
-          engine::Table* table = *t;
-          for (int col : table->IndexedColumns()) {
-            const bool stale_due =
-                merge_threshold > 0 &&
-                table->StaleRows(col) >= merge_threshold;
-            if (!interval_due && !stale_due) continue;
-            const engine::IndexBackendKind kind = table->IndexKind(col);
-            retrainer.Schedule(
-                name + ":" + std::to_string(col),
-                [table, col, kind]() -> std::shared_ptr<void> {
-                  // Snapshot build: materializes base + delta (sealed base
-                  // columns are immutable; the delta snapshot is
-                  // consistent), so the fit runs lock-free off-path.
-                  auto built = table->BuildIndexSnapshot(col, kind);
-                  if (!built.ok()) return nullptr;
-                  return std::static_pointer_cast<void>(
-                      std::const_pointer_cast<engine::IndexBackend>(*built));
-                });
-          }
-        }
-        if (interval_due) last_rebuild = RClock::now();
+        // Swap finished fits FIRST: the staleness pass below then reads
+        // post-swap stale counts, so a threshold crossing triggers exactly
+        // one rebuild round per shard — the scheduler coalesces the
+        // re-noticed crossing while the fit is still in flight, and the
+        // swap clears it before the next evaluation.
         bool swapped_any = false;
         for (drift::RetrainScheduler::Ready& ready : retrainer.TakeReady()) {
-          const size_t colon = ready.label.rfind(':');
-          auto t = db.catalog().GetTable(ready.label.substr(0, colon));
+          // Labels are "table:col:shard" (table names may not contain
+          // ':'; parse from the right).
+          const size_t c2 = ready.label.rfind(':');
+          const size_t c1 = ready.label.rfind(':', c2 - 1);
+          auto t = db.catalog().GetTable(ready.label.substr(0, c1));
           if (!t.ok()) continue;
-          const int col = std::atoi(ready.label.c_str() + colon + 1);
+          const int col = std::atoi(ready.label.c_str() + c1 + 1);
+          const int shard = std::atoi(ready.label.c_str() + c2 + 1);
           auto swapped = (*t)->SwapIndex(
-              col, std::static_pointer_cast<const engine::IndexBackend>(
-                       ready.model));
+              col, shard,
+              std::static_pointer_cast<const engine::IndexBackend>(
+                  ready.model));
           if (!swapped.ok()) {
             ML4DB_LOG(WARN, "index swap for %s failed: %s",
                       ready.label.c_str(),
@@ -354,12 +369,68 @@ int main(int argc, char** argv) {
         // A swap folds stale rows into the structure; refresh the gauges
         // so staleness drops without waiting for the next write batch.
         if (swapped_any) server::PublishDeltaGauges(db);
+
+        const bool interval_due =
+            flags.retrain_interval_ms > 0 &&
+            RClock::now() - last_rebuild >= interval;
+        // (table, shard) pairs that enqueued at least one fit this round;
+        // each counts once in ml4db.shard.retrains_total no matter how
+        // many indexed columns the shard rebuilds.
+        std::vector<std::pair<std::string, int>> round_shards;
+        for (const std::string& name : db.catalog().TableNames()) {
+          auto t = db.catalog().GetTable(name);
+          if (!t.ok()) continue;
+          engine::Table* table = *t;
+          for (int col : table->IndexedColumns()) {
+            const engine::IndexBackendKind kind = table->IndexKind(col);
+            for (int shard = 0; shard < table->shard_count(); ++shard) {
+              // Staleness is judged per shard: only the shard absorbing
+              // the writes crosses the threshold, so the others keep
+              // serving their current structure untouched.
+              const bool stale_due =
+                  merge_threshold > 0 &&
+                  table->StaleRows(col, shard) >= merge_threshold;
+              if (!interval_due && !stale_due) continue;
+              const bool enqueued = retrainer.Schedule(
+                  name + ":" + std::to_string(col) + ":" +
+                      std::to_string(shard),
+                  [table, col, kind, shard]() -> std::shared_ptr<void> {
+                    // Snapshot build: materializes the shard's base +
+                    // delta (sealed base columns are immutable; the delta
+                    // snapshot is consistent), so the fit runs lock-free
+                    // off-path while every shard keeps serving.
+                    auto built = table->BuildIndexSnapshot(col, kind, shard);
+                    if (!built.ok()) return nullptr;
+                    return std::static_pointer_cast<void>(
+                        std::const_pointer_cast<engine::IndexBackend>(
+                            *built));
+                  });
+              if (enqueued) {
+                const auto key = std::make_pair(name, shard);
+                if (std::find(round_shards.begin(), round_shards.end(),
+                              key) == round_shards.end()) {
+                  round_shards.push_back(key);
+                }
+              }
+            }
+          }
+        }
+        for (const auto& [name, shard] : round_shards) {
+          (void)name;
+          static obs::Counter* total =
+              obs::GetCounter("ml4db.shard.retrains_total");
+          total->Inc();
+          obs::GetCounter("ml4db.shard.retrains.s" + std::to_string(shard))
+              ->Inc();
+        }
+        if (interval_due) last_rebuild = RClock::now();
       }
     });
   }
 
-  std::printf("ml4db_server listening on %s:%d (index backend: %s)\n",
-              flags.host.c_str(), srv.port(), backend_name);
+  std::printf("ml4db_server listening on %s:%d (index backend: %s, %d shard%s)\n",
+              flags.host.c_str(), srv.port(), backend_name,
+              dopts.partition.shards, dopts.partition.shards == 1 ? "" : "s");
   if (admin.running()) {
     std::printf("ml4db_server admin plane on %s:%d (try /metrics)\n",
                 flags.host.c_str(), admin.port());

@@ -1,0 +1,530 @@
+// Sharded scatter-gather tests (engine/sharding): partition routing and
+// row-id tagging, sharded table storage, partition pruning, brute-force
+// parity of seq and index scans across every backend at shards {1,3,8}
+// (including post-seal writes and deletes), snapshot isolation of views
+// taken mid-ingest, drift-targeted per-shard rebuild-and-swap, scheduler
+// coalescing of duplicate retrain requests, and an insert-vs-probe-vs-
+// per-shard-swap hammer the TSan CI job runs directly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "drift/retrain_scheduler.h"
+#include "engine/database.h"
+#include "engine/sharding/partition.h"
+#include "engine/table.h"
+
+namespace ml4db {
+namespace engine {
+namespace {
+
+// ----------------------------- partition spec ------------------------------
+
+TEST(PartitionTest, RowIdRoundTrip) {
+  for (int shard : {0, 1, 7, 15}) {
+    for (size_t local : {size_t{0}, size_t{1}, size_t{12345},
+                         sharding::kMaxLocalRows - 1}) {
+      const uint32_t id = sharding::EncodeRowId(shard, local);
+      EXPECT_EQ(sharding::ShardOfRowId(id), shard);
+      EXPECT_EQ(sharding::LocalRowId(id), local);
+    }
+  }
+  // Shard 0 is the identity encoding — the unsharded compatibility bit.
+  EXPECT_EQ(sharding::EncodeRowId(0, 42u), 42u);
+}
+
+TEST(PartitionTest, HashRoutingStableAndInRange) {
+  sharding::PartitionSpec spec;
+  spec.shards = 8;
+  std::array<int, 8> hits{};
+  for (int64_t k = -500; k < 500; ++k) {
+    const int s = spec.ShardOf(k);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 8);
+    EXPECT_EQ(spec.ShardOf(k), s);  // deterministic
+    hits[s]++;
+  }
+  // splitmix64 spreads a dense key range across every shard.
+  for (int s = 0; s < 8; ++s) EXPECT_GT(hits[s], 0) << "shard " << s;
+}
+
+TEST(PartitionTest, RangeRoutingOrderedAndClamped) {
+  sharding::PartitionSpec spec;
+  spec.shards = 4;
+  spec.mode = sharding::PartitionMode::kRange;
+  spec.range_lo = 0;
+  spec.range_hi = 400;
+  EXPECT_EQ(spec.ShardOf(0), 0);
+  EXPECT_EQ(spec.ShardOf(99), 0);
+  EXPECT_EQ(spec.ShardOf(100), 1);
+  EXPECT_EQ(spec.ShardOf(399), 3);
+  // Out-of-domain keys clamp to the edge shards instead of wrapping.
+  EXPECT_EQ(spec.ShardOf(-5), 0);
+  EXPECT_EQ(spec.ShardOf(100000), 3);
+  // Routing is monotone in the key — what makes range scans prunable.
+  int prev = 0;
+  for (int64_t k = 0; k < 400; ++k) {
+    const int s = spec.ShardOf(k);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PartitionTest, SingleShardNeverRoutes) {
+  sharding::PartitionSpec spec;  // default: 1 shard
+  for (int64_t k : {int64_t{-1}, int64_t{0}, int64_t{1 << 30}}) {
+    EXPECT_EQ(spec.ShardOf(k), 0);
+  }
+}
+
+TEST(PartitionTest, EnvParsingClampsAndFallsBack) {
+  setenv("ML4DB_SHARDS", "64", 1);  // above kMaxShards
+  setenv("ML4DB_SHARD_PARTITION", "range", 1);
+  auto spec = sharding::PartitionSpecFromEnv();
+  EXPECT_EQ(spec.shards, sharding::kMaxShards);
+  EXPECT_EQ(spec.mode, sharding::PartitionMode::kRange);
+  setenv("ML4DB_SHARD_PARTITION", "bogus", 1);
+  spec = sharding::PartitionSpecFromEnv();
+  EXPECT_EQ(spec.mode, sharding::PartitionMode::kHash);
+  unsetenv("ML4DB_SHARDS");
+  unsetenv("ML4DB_SHARD_PARTITION");
+}
+
+// ------------------------------ sharded table ------------------------------
+
+TableSchema TwoColSchema(const std::string& name) {
+  TableSchema s;
+  s.name = name;
+  s.columns = {{"id", DataType::kInt64}, {"val", DataType::kInt64}};
+  return s;
+}
+
+TEST(ShardedTableTest, ConfigureShardingValidation) {
+  sharding::PartitionSpec spec;
+  spec.shards = 4;
+  {
+    Table t(TwoColSchema("t"));
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+    EXPECT_FALSE(t.ConfigureSharding(spec).ok());  // not empty
+  }
+  {
+    TableSchema s;
+    s.name = "t";
+    s.columns = {{"id", DataType::kDouble}};
+    Table t(s);
+    EXPECT_FALSE(t.ConfigureSharding(spec).ok());  // non-INT64 key
+  }
+  {
+    Table t(TwoColSchema("t"));
+    sharding::PartitionSpec bad = spec;
+    bad.shards = sharding::kMaxShards + 1;
+    EXPECT_FALSE(t.ConfigureSharding(bad).ok());
+    EXPECT_TRUE(t.ConfigureSharding(spec).ok());
+    EXPECT_EQ(t.shard_count(), 4);
+  }
+}
+
+TEST(ShardedTableTest, RowsRouteByPartitionKey) {
+  Table t(TwoColSchema("t"));
+  sharding::PartitionSpec spec;
+  spec.shards = 3;
+  ASSERT_TRUE(t.ConfigureSharding(spec).ok());
+  for (int64_t id = 0; id < 300; ++id) {
+    ASSERT_TRUE(t.AppendRow({Value(id), Value(id * 7)}).ok());
+  }
+  EXPECT_EQ(t.num_rows(), 300u);
+  size_t total = 0;
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_GT(t.ShardRows(s), 0u);
+    total += t.ShardRows(s);
+    int64_t lo = 0, hi = 0;
+    ASSERT_TRUE(t.ShardKeyBounds(s, &lo, &hi));
+    EXPECT_LE(lo, hi);
+  }
+  EXPECT_EQ(total, 300u);
+  // Every row is addressable through its shard-tagged id and holds the
+  // value appended for its key.
+  const Table::ReadView view = t.View();
+  size_t seen = 0;
+  for (int s = 0; s < view.shard_count(); ++s) {
+    for (size_t r = 0; r < view.ShardRows(s); ++r) {
+      const uint32_t id = Table::ReadView::GlobalId(s, r);
+      EXPECT_TRUE(view.ContainsId(id));
+      EXPECT_EQ(view.GetInt64(1, id), view.GetInt64(0, id) * 7);
+      EXPECT_EQ(spec.ShardOf(view.GetInt64(0, id)), s);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 300u);
+  // MaterializeColumn concatenates shard data: same multiset of values.
+  const Column all = t.MaterializeColumn(1);
+  std::vector<int64_t> vals = all.i64;
+  std::sort(vals.begin(), vals.end());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(vals[i], static_cast<int64_t>(i) * 7);
+  }
+}
+
+TEST(ShardedTableTest, PruneShardsRoutesAndBounds) {
+  sharding::PartitionSpec spec;
+  spec.shards = 4;
+  spec.mode = sharding::PartitionMode::kRange;
+  spec.range_lo = 0;
+  spec.range_hi = 400;
+  Table t(TwoColSchema("t"));
+  ASSERT_TRUE(t.ConfigureSharding(spec).ok());
+  for (int64_t id = 0; id < 400; ++id) {
+    ASSERT_TRUE(t.AppendRow({Value(id), Value(id % 10)}).ok());
+  }
+  // Equality on the partition key → exactly the owner shard.
+  FilterPredicate eq;
+  eq.column = 0;
+  eq.op = CompareOp::kEq;
+  eq.value = 250;
+  EXPECT_EQ(t.PruneShards({eq}), (std::vector<int>{spec.ShardOf(250)}));
+  // Range predicate on the key prunes by per-shard bounds.
+  FilterPredicate between;
+  between.column = 0;
+  between.op = CompareOp::kBetween;
+  between.value = 110;
+  between.value2 = 190;
+  EXPECT_EQ(t.PruneShards({between}), (std::vector<int>{1}));
+  // Predicates on other columns can't prune.
+  FilterPredicate other;
+  other.column = 1;
+  other.op = CompareOp::kEq;
+  other.value = 3;
+  EXPECT_EQ(t.PruneShards({other}).size(), 4u);
+  // No filters at all: scan everything.
+  EXPECT_EQ(t.PruneShards({}).size(), 4u);
+}
+
+TEST(ShardedTableTest, ViewSnapshotIsolatedFromConcurrentWrites) {
+  Table t(TwoColSchema("t"));
+  sharding::PartitionSpec spec;
+  spec.shards = 3;
+  ASSERT_TRUE(t.ConfigureSharding(spec).ok());
+  for (int64_t id = 0; id < 90; ++id) {
+    ASSERT_TRUE(t.AppendRow({Value(id), Value(id)}).ok());
+  }
+  t.Seal();
+  const Table::ReadView before = t.View();
+  const size_t rows_before = before.rows();
+  // Writes routed mid-scan: land in per-shard deltas, invisible to the
+  // snapshot taken above, visible to a fresh view.
+  for (int64_t id = 90; id < 120; ++id) {
+    ASSERT_TRUE(t.AppendRow({Value(id), Value(id)}).ok());
+  }
+  EXPECT_EQ(before.rows(), rows_before);
+  size_t before_total = 0;
+  for (int s = 0; s < before.shard_count(); ++s) {
+    before_total += before.ShardRows(s);
+  }
+  EXPECT_EQ(before_total, 90u);
+  EXPECT_EQ(t.View().rows(), 120u);
+}
+
+// --------------------- scan parity against brute force ---------------------
+
+struct ParityFixture {
+  std::unique_ptr<Database> db;
+  std::vector<std::array<int64_t, 2>> rows;  ///< live (id, val) pairs
+
+  static constexpr int64_t kValDomain = 50;  // ~40 dup rows per value
+
+  explicit ParityFixture(int shards, IndexBackendKind kind,
+                         size_t num_rows = 2000) {
+    DatabaseOptions dopts;
+    dopts.index_backend = kind;
+    dopts.partition.shards = shards;
+    db = std::make_unique<Database>(dopts);
+    auto table = db->catalog().CreateTable(TwoColSchema("t"));
+    ML4DB_CHECK(table.ok());
+    ML4DB_CHECK((*table)->shard_count() == shards);
+    Rng rng(77);
+    for (size_t i = 0; i < num_rows; ++i) {
+      const int64_t id = static_cast<int64_t>(i) * 3;  // gaps, ascending
+      const int64_t val =
+          static_cast<int64_t>(rng.NextUint64(kValDomain)) * 2;
+      ML4DB_CHECK((*table)->AppendRow({Value(id), Value(val)}).ok());
+      rows.push_back({id, val});
+    }
+    ML4DB_CHECK((*table)->BuildIndex(0).ok());
+    ML4DB_CHECK((*table)->BuildIndex(1).ok());
+    ML4DB_CHECK(db->AnalyzeAll().ok());
+  }
+
+  Table* table() { return *db->catalog().GetTable("t"); }
+
+  uint64_t Brute(const std::vector<FilterPredicate>& filters) const {
+    uint64_t n = 0;
+    for (const auto& r : rows) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (!EvalFilter(f, static_cast<double>(r[f.column]))) {
+          pass = false;
+          break;
+        }
+      }
+      n += pass;
+    }
+    return n;
+  }
+
+  /// Runs the single-table COUNT(*) under both a forced seq scan and a
+  /// forced index scan and checks each against the brute-force count.
+  void CheckQuery(const std::vector<FilterPredicate>& filters,
+                  const std::string& what) {
+    Query q;
+    q.tables = {"t"};
+    q.filters = filters;
+    const uint64_t want = Brute(filters);
+    HintSet seq_only;
+    seq_only.enable_index_scan = false;
+    auto seq = db->Run(q, seq_only);
+    ASSERT_TRUE(seq.ok()) << what << ": " << seq.status().ToString();
+    EXPECT_EQ(seq->count, want) << what << " (seq scan)";
+    HintSet index_only;
+    index_only.enable_seq_scan = false;
+    auto idx = db->Run(q, index_only);
+    ASSERT_TRUE(idx.ok()) << what << ": " << idx.status().ToString();
+    EXPECT_EQ(idx->count, want) << what << " (index scan)";
+  }
+
+  void CheckAll(const std::string& tag) {
+    FilterPredicate f;
+    f.column = 1;
+    f.op = CompareOp::kEq;
+    f.value = 24;
+    CheckQuery({f}, tag + " eq(val)");
+    f.op = CompareOp::kBetween;
+    f.value = 10;
+    f.value2 = 40;
+    CheckQuery({f}, tag + " between(val)");
+    FilterPredicate key;  // partition-key predicates exercise pruning
+    key.column = 0;
+    key.op = CompareOp::kEq;
+    key.value = 300;
+    CheckQuery({key}, tag + " eq(id)");
+    key.op = CompareOp::kBetween;
+    key.value = 100;
+    key.value2 = 2000;
+    CheckQuery({key}, tag + " between(id)");
+    key.op = CompareOp::kGe;
+    key.value = 4000;
+    CheckQuery({key}, tag + " ge(id)");
+  }
+};
+
+class ShardedParityTest : public ::testing::TestWithParam<IndexBackendKind> {};
+
+TEST_P(ShardedParityTest, SeqAndIndexScansMatchBruteForce) {
+  for (int shards : {1, 3, 8}) {
+    ParityFixture fx(shards, GetParam());
+    fx.CheckAll("shards=" + std::to_string(shards) + " static");
+
+    // Post-seal writes land in per-shard deltas; scans must merge them.
+    Rng rng(15);
+    for (int64_t i = 0; i < 400; ++i) {
+      const int64_t id = 1'000'000 + i;
+      const int64_t val = static_cast<int64_t>(
+          rng.NextUint64(ParityFixture::kValDomain) * 2);
+      ASSERT_TRUE(fx.table()->AppendRow({Value(id), Value(val)}).ok());
+      fx.rows.push_back({id, val});
+    }
+    ASSERT_TRUE(fx.db->AnalyzeAll().ok());
+    fx.CheckAll("shards=" + std::to_string(shards) + " +writes");
+
+    // Deletes tombstone across shards; scans must drop them.
+    const Table::ReadView view = fx.table()->View();
+    std::set<int64_t> deleted_ids;
+    for (int s = 0; s < view.shard_count(); ++s) {
+      for (size_t r = 0; r < view.ShardRows(s); r += 5) {
+        const uint32_t id = Table::ReadView::GlobalId(s, r);
+        deleted_ids.insert(view.GetInt64(0, id));
+        ASSERT_TRUE(fx.table()->MarkDeleted(id).ok());
+      }
+    }
+    fx.rows.erase(std::remove_if(fx.rows.begin(), fx.rows.end(),
+                                 [&](const std::array<int64_t, 2>& r) {
+                                   return deleted_ids.count(r[0]) > 0;
+                                 }),
+                  fx.rows.end());
+    fx.CheckAll("shards=" + std::to_string(shards) + " +deletes");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ShardedParityTest, ::testing::ValuesIn(AllIndexBackendKinds()),
+    [](const ::testing::TestParamInfo<IndexBackendKind>& info) {
+      return std::string(IndexBackendKindName(info.param));
+    });
+
+// ------------------------ drift-targeted retrain ---------------------------
+
+TEST(ShardedRetrainTest, OnlyTheStaleShardRebuilds) {
+  DatabaseOptions dopts;
+  dopts.index_backend = IndexBackendKind::kRmi;  // static: never absorbs
+  dopts.partition.shards = 4;
+  Database db(dopts);
+  auto created = db.catalog().CreateTable(TwoColSchema("t"));
+  ASSERT_TRUE(created.ok());
+  Table* t = *created;
+  for (int64_t id = 0; id < 4000; ++id) {
+    ASSERT_TRUE(t->AppendRow({Value(id), Value(id % 100)}).ok());
+  }
+  ASSERT_TRUE(t->BuildIndex(1).ok());
+
+  // Aim a write burst at one shard by walking ids owned by it.
+  const int target = 2;
+  int64_t id = 100000;
+  int landed = 0;
+  while (landed < 500) {
+    if (t->partition().ShardOf(id) == target) {
+      ASSERT_TRUE(t->AppendRow({Value(id), Value(id % 100)}).ok());
+      ++landed;
+    }
+    ++id;
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(t->StaleRows(1, s), s == target ? 500u : 0u) << "shard " << s;
+  }
+  EXPECT_EQ(t->StaleRows(1), 500u);
+
+  // Rebuild-and-swap only the stale shard; the others keep their backend.
+  std::vector<std::shared_ptr<const IndexBackend>> before;
+  for (int s = 0; s < 4; ++s) before.push_back(t->GetIndex(1, s));
+  auto built = t->BuildIndexSnapshot(1, IndexBackendKind::kRmi, target);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto old = t->SwapIndex(1, target, *built);
+  ASSERT_TRUE(old.ok()) << old.status().ToString();
+  EXPECT_EQ(*old, before[target]);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(t->StaleRows(1, s), 0u) << "shard " << s;
+    if (s != target) EXPECT_EQ(t->GetIndex(1, s), before[s]);
+  }
+  EXPECT_NE(t->GetIndex(1, target), before[target]);
+
+  // A 2-arg snapshot build on a sharded table is a contract violation.
+  EXPECT_FALSE(t->BuildIndexSnapshot(1, IndexBackendKind::kRmi).ok());
+}
+
+TEST(RetrainSchedulerTest, DuplicateLabelsCoalesce) {
+  common::ThreadPool pool(2);
+  drift::RetrainScheduler sched(
+      drift::RetrainScheduler::Options{&pool, "test.coalesce"});
+  std::atomic<bool> release{false};
+  std::atomic<int> fits{0};
+  auto fit = [&]() -> std::shared_ptr<void> {
+    while (!release.load()) std::this_thread::yield();
+    fits.fetch_add(1);
+    return std::make_shared<int>(1);
+  };
+  EXPECT_TRUE(sched.Schedule("t:1:2", fit));
+  // Re-noticed staleness while the fit is in flight: dropped.
+  EXPECT_FALSE(sched.Schedule("t:1:2", fit));
+  EXPECT_FALSE(sched.Schedule("t:1:2", fit));
+  // A different shard of the same column trains concurrently.
+  EXPECT_TRUE(sched.Schedule("t:1:3", fit));
+  release.store(true);
+  const auto ready = sched.Drain();
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_EQ(fits.load(), 2);
+  EXPECT_EQ(sched.coalesced(), 2u);
+  // Completed fits clear the in-flight mark: same label schedules again.
+  EXPECT_TRUE(sched.Schedule("t:1:2", fit));
+  EXPECT_EQ(sched.Drain().size(), 1u);
+}
+
+// ------------------- insert vs probe vs per-shard swap ---------------------
+
+// Concurrency hammer for the TSan job: one (externally serialized) writer
+// appends rows while reader threads probe per-shard indexes + merged
+// views and a maintenance thread rebuild-and-swaps rotating shards.
+TEST(ShardedHammerTest, InsertProbeSwapRace) {
+  DatabaseOptions dopts;
+  dopts.index_backend = IndexBackendKind::kSorted;
+  dopts.partition.shards = 8;
+  Database db(dopts);
+  auto created = db.catalog().CreateTable(TwoColSchema("t"));
+  ASSERT_TRUE(created.ok());
+  Table* t = *created;
+  for (int64_t id = 0; id < 8000; ++id) {
+    ASSERT_TRUE(t->AppendRow({Value(id), Value(id % 64)}).ok());
+  }
+  ASSERT_TRUE(t->BuildIndex(1).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> probes{0}, swaps{0};
+
+  std::thread writer([&] {
+    int64_t id = 1 << 20;
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(t->AppendRow({Value(id), Value(id % 64)}).ok());
+      ++id;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + static_cast<uint64_t>(r));
+      while (!stop.load(std::memory_order_acquire)) {
+        const Table::ReadView view = t->View();
+        const double key = static_cast<double>(rng.NextUint64(64));
+        for (int s = 0; s < t->shard_count(); ++s) {
+          auto idx = t->GetIndex(1, s);
+          ASSERT_NE(idx, nullptr);
+          const size_t covered =
+              std::min(idx->covered_rows(), view.ShardRows(s));
+          for (uint32_t local : idx->Equal(key)) {
+            if (local >= covered) continue;  // beyond the snapshot
+            ASSERT_EQ(view.ShardGetInt64(s, 1, local),
+                      static_cast<int64_t>(key));
+          }
+        }
+        probes.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    int s = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto built = t->BuildIndexSnapshot(1, IndexBackendKind::kSorted, s);
+      ASSERT_TRUE(built.ok());
+      ASSERT_TRUE(t->SwapIndex(1, s, *built).ok());
+      swaps.fetch_add(1);
+      s = (s + 1) % t->shard_count();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  for (auto& th : readers) th.join();
+  swapper.join();
+  EXPECT_GT(probes.load(), 0u);
+  EXPECT_GT(swaps.load(), 0u);
+  // Everything written is visible afterwards, shard-consistently.
+  const Table::ReadView view = t->View();
+  size_t total = 0;
+  for (int s = 0; s < view.shard_count(); ++s) total += view.ShardRows(s);
+  EXPECT_EQ(total, t->num_rows());
+  EXPECT_GE(total, 8000u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ml4db
