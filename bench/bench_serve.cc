@@ -102,6 +102,14 @@ struct ScrapeTally {
   std::atomic<double> stale_rows{-1.0};
   /// Last ml4db_shard_retrains_total seen (-1 = never).
   std::atomic<double> shard_retrains{-1.0};
+  /// Highest /indexes probe_err_p95 seen DURING load (-1 = never scraped):
+  /// the peak matters because a post-run scrape may land after a retrain
+  /// already swapped the degraded structure out.
+  std::atomic<double> probe_err_p95_peak{-1.0};
+  /// Highest fleet-wide sample count seen in one scrape. Per-structure
+  /// counters reset on every swap, so only the in-flight peak reliably
+  /// proves probes were being measured.
+  std::atomic<double> probe_err_samples_peak{-1.0};
 };
 
 /// Value of gauge `name` in a Prometheus text body, or -1 when absent.
@@ -123,8 +131,9 @@ double PromValue(const std::string& body, const std::string& name) {
 /// exercise of the exposition path.
 void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
                   ScrapeTally* tally) {
-  static const char* kTargets[] = {"/metrics", "/events?n=32", "/slow",
-                                   "/readyz", "/workload?n=8"};
+  static const char* kTargets[] = {"/metrics",      "/events?n=32",
+                                   "/slow",         "/readyz",
+                                   "/workload?n=8", "/indexes?format=json"};
   constexpr size_t kNumTargets = sizeof(kTargets) / sizeof(kTargets[0]);
   static obs::Histogram* scrape_us =
       obs::GetHistogram("ml4db.serve.scrape_latency_us");
@@ -147,6 +156,18 @@ void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
         const double retrains =
             PromValue(result->body, "ml4db_shard_retrains_total");
         if (retrains >= 0) tally->shard_retrains.store(retrains);
+      } else if (std::strncmp(target, "/indexes", 8) == 0) {
+        const auto doc = obs::JsonValue::Parse(result->body);
+        if (doc.ok()) {
+          const double p95 = doc->GetNumber("probe_err_p95");
+          if (p95 > tally->probe_err_p95_peak.load()) {
+            tally->probe_err_p95_peak.store(p95);
+          }
+          const double samples = doc->GetNumber("probe_err_samples");
+          if (samples > tally->probe_err_samples_peak.load()) {
+            tally->probe_err_samples_peak.store(samples);
+          }
+        }
       }
     } else if (result.ok() && result->status_code == 503) {
       tally->ok.fetch_add(1);  // draining /readyz is a valid answer
@@ -620,6 +641,43 @@ int main(int argc, char** argv) {
                          bench::Fmt(top_qerr_p95, 2),
                          bench::Fmt(max_qerror, 2)});
         wl_table.Print();
+      }
+    }
+
+    // Index-fleet health after the run: one /indexes scrape stamped into
+    // gauges + a summary table, so the BENCH JSON records probe-error
+    // level and retrain activity alongside the serving numbers. The peak
+    // gauge comes from the in-flight scrapes (a post-run snapshot can miss
+    // the degraded window a retrain already recovered from). A 404
+    // (obs-disabled server) skips this quietly.
+    const auto fleet = server::HttpGet(flags.host, flags.admin_port,
+                                       "/indexes?format=json");
+    if (fleet.ok() && fleet->status_code == 200) {
+      const auto doc = obs::JsonValue::Parse(fleet->body);
+      if (doc.ok()) {
+        const double entries = doc->GetNumber("entry_count");
+        const double err_p95 = doc->GetNumber("probe_err_p95");
+        const double retrains = doc->GetNumber("retrains");
+        const double peak = scrapes.probe_err_p95_peak.load();
+        // Per-structure sample counters reset at every swap, so report the
+        // busiest snapshot (in-flight or post-run, whichever saw more).
+        const double err_samples =
+            std::max(doc->GetNumber("probe_err_samples"),
+                     scrapes.probe_err_samples_peak.load());
+        obs::GetGauge("ml4db.serve.index_entries")->Set(entries);
+        obs::GetGauge("ml4db.serve.probe_err_p95")->Set(err_p95);
+        obs::GetGauge("ml4db.serve.probe_err_samples")->Set(err_samples);
+        obs::GetGauge("ml4db.serve.probe_err_p95_peak")
+            ->Set(peak < 0 ? err_p95 : peak);
+        obs::GetGauge("ml4db.serve.index_retrains")->Set(retrains);
+        bench::Table fleet_table({"idx_entries", "probe_err_p95",
+                                  "err_p95_peak", "err_samples",
+                                  "idx_retrains"});
+        fleet_table.AddRow({bench::Fmt(entries, 0), bench::Fmt(err_p95, 1),
+                            bench::Fmt(peak < 0 ? err_p95 : peak, 1),
+                            bench::Fmt(err_samples, 0),
+                            bench::Fmt(retrains, 0)});
+        fleet_table.Print();
       }
     }
   }

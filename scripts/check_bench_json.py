@@ -18,6 +18,12 @@ Flags:
                         present (ml4db.serve.workload_shapes > 0 and the
                         samples/evictions/drift_events gauges exported —
                         bench_serve fills these from GET /workload)
+  --require-introspection
+                        fail unless the index-fleet scrape summary is
+                        present (ml4db.serve.index_entries > 0 and the
+                        probe_err_p95/probe_err_samples/index_retrains
+                        gauges exported — bench_serve fills these from
+                        GET /indexes)
   --require-writes      fail unless the write-path metric set is present
                         and writes actually executed (ml4db.server.
                         {writes_total>0,writes_rows_total,write_errors},
@@ -42,7 +48,7 @@ import sys
 import tempfile
 
 EVENT_KINDS = {"drift", "retrain", "index_structure", "abort",
-               "workload_drift", "custom"}
+               "workload_drift", "retrain_swap", "custom"}
 
 # The serving front-end's metric contract (DESIGN.md "Serving architecture").
 # Whenever ANY ml4db.server.* metric appears in an export, the whole core
@@ -199,6 +205,37 @@ def _check_shard_metrics(doc):
             "--require-shards: no metric name containing 'shard' exported")
 
 
+INTROSPECTION_REQUIRED_GAUGES = {
+    "ml4db.serve.index_entries",
+    "ml4db.serve.probe_err_p95",
+    "ml4db.serve.probe_err_p95_peak",
+    "ml4db.serve.probe_err_samples",
+    "ml4db.serve.index_retrains",
+}
+
+
+def _check_introspection_metrics(metrics):
+    """--require-introspection: bench_serve's /indexes scrape summary must
+    be present, show the server actually exposed a fleet, and show probe
+    telemetry flowing (the samples gauge is the peak across scrapes, so a
+    swap-happy retrain loop can't zero it). Don't pass this flag on runs
+    that throttle ML4DB_TRACE_SAMPLE_N hard."""
+    gauges = {g["name"]: g for g in metrics["gauges"]}
+    missing = sorted(INTROSPECTION_REQUIRED_GAUGES - set(gauges))
+    _ensure(not missing,
+            f"index-fleet scrape summary incomplete, missing: "
+            f"{', '.join(missing)}")
+    entries = gauges["ml4db.serve.index_entries"]["value"]
+    _ensure(entries > 0, "--require-introspection: index_entries is zero")
+    samples = gauges["ml4db.serve.probe_err_samples"]["value"]
+    _ensure(samples > 0,
+            "--require-introspection: no probe-error samples observed in "
+            "any /indexes scrape")
+    peak = gauges["ml4db.serve.probe_err_p95_peak"]["value"]
+    _ensure(peak >= 0,
+            f"probe_err_p95_peak ({peak}) must be non-negative")
+
+
 def _check_workload_metrics(metrics):
     """--require-workload: bench_serve's post-run /workload scrape summary
     must be present and show a non-trivial profile."""
@@ -216,7 +253,8 @@ def _check_workload_metrics(metrics):
 
 def validate(doc, require_histogram=False, require_event=False,
              require_server=False, require_workload=False,
-             require_writes=False, require_shards=False, require_config=()):
+             require_introspection=False, require_writes=False,
+             require_shards=False, require_config=()):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -313,6 +351,8 @@ def validate(doc, require_histogram=False, require_event=False,
     _check_server_metrics(metrics, required=require_server)
     if require_workload:
         _check_workload_metrics(metrics)
+    if require_introspection:
+        _check_introspection_metrics(metrics)
     if require_writes:
         _check_write_metrics(metrics)
     if require_shards:
@@ -331,6 +371,7 @@ def main(argv):
     require_event = "--require-event" in args
     require_server = "--require-server" in args
     require_workload = "--require-workload" in args
+    require_introspection = "--require-introspection" in args
     require_writes = "--require-writes" in args
     require_shards = "--require-shards" in args
     quiet = "--quiet" in args
@@ -350,7 +391,8 @@ def main(argv):
     args = [a for a in filtered
             if a not in ("--require-histogram", "--require-event",
                          "--require-server", "--require-workload",
-                         "--require-writes", "--require-shards", "--quiet")]
+                         "--require-introspection", "--require-writes",
+                         "--require-shards", "--quiet")]
 
     if args and args[0] == "--run":
         if len(args) < 2:
@@ -384,6 +426,7 @@ def main(argv):
         validate(doc, require_histogram=require_histogram,
                  require_event=require_event, require_server=require_server,
                  require_workload=require_workload,
+                 require_introspection=require_introspection,
                  require_writes=require_writes,
                  require_shards=require_shards,
                  require_config=require_config)

@@ -5,8 +5,10 @@
 #      (closed-loop, ~2s, scraping the admin plane for the whole run) and
 #      require zero lost responses,
 #   3. validate a /metrics scrape against the Prometheus text contract
-#      (check_prom_text.py) and /slow against the stage-attribution
-#      contract (queue_wait/optimize/execute breakdown),
+#      (check_prom_text.py), /slow against the stage-attribution
+#      contract (queue_wait/optimize/execute breakdown), and /indexes
+#      against the fleet-view contract (probe-error telemetry per
+#      structure, retrain audit trail, text/json parity),
 #   4. validate both JSON exports against the bench schema
 #      (--require-server on the server side),
 #   5. SIGTERM the server: /readyz must flip away from 200 during the
@@ -230,8 +232,20 @@ if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
                       --require ml4db_shard_pruned_total
                       --require-nonzero ml4db_shard_retrains_total)
   fi
+  if [[ "$WRITE_RATIO" != "0" || "$SHARDS" -gt 0 ]]; then
+    # Both write modes guarantee at least one audited rebuild-and-swap
+    # before this scrape (interval+threshold in writes mode, the pinned
+    # burst in shards mode), so the audit histograms must carry samples.
+    WRITE_PROM_ARGS+=(--require-nonzero ml4db_retrain_build_us
+                      --require-nonzero ml4db_retrain_rows_folded)
+  fi
   python3 "$CHECK_PROM" "$WORK_DIR/metrics.prom" \
     "${WRITE_PROM_ARGS[@]}" \
+    --require ml4db_retrain_build_us \
+    --require ml4db_retrain_swap_us \
+    --require ml4db_retrain_rows_folded \
+    --require-nonzero ml4db_index_probe_err \
+    --require-nonzero ml4db_index_recent_probe_err \
     --require-nonzero ml4db_server_recent_qps \
     --require-nonzero ml4db_server_recent_request_latency_us \
     --require-nonzero ml4db_server_request_latency_us \
@@ -305,6 +319,72 @@ PYEOF
     "http://127.0.0.1:$ADMIN_PORT/workload?n=abc")
   [[ "$WL_BAD" == "400" ]] || {
     echo "FAIL: /workload?n=abc returned $WL_BAD, want 400" >&2; exit 1; }
+  # Learned-component health plane: after a loaded run the fleet view must
+  # cover every indexed (table, column, shard) with live probe telemetry,
+  # the text rendering must agree with the JSON one, and in the write
+  # modes the retrain audit trail must show what fired each rebuild.
+  $CURL "http://127.0.0.1:$ADMIN_PORT/indexes?format=json" \
+    >"$WORK_DIR/indexes.json"
+  $CURL "http://127.0.0.1:$ADMIN_PORT/indexes?format=text" \
+    >"$WORK_DIR/indexes.txt"
+  python3 - "$WORK_DIR/indexes.json" "$WORK_DIR/indexes.txt" "${MODE:-plain}" \
+    <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+text = open(sys.argv[2]).read()
+mode = sys.argv[3]
+entries = doc["entries"]
+assert doc["entry_count"] >= 1, "fleet view is empty after a loaded run"
+assert len(entries) == doc["entry_count"], "entry_count != len(entries)"
+# Per-structure sample counters reset at every swap and the interval
+# retrain loop keeps swapping after load stops, so this point-in-time
+# total may be zero; nonzero DURING load is asserted via bench_serve's
+# scrape peak (check_bench_json --require-introspection) and cumulatively
+# via ml4db_index_probe_err in the /metrics contract above.
+assert doc["probe_err_samples"] >= 0
+for e in entries:
+    assert e["backend"], f"entry {e['table']}:{e['column_index']} lacks a backend"
+    assert e["covered_rows"] >= 0 and e["structure_bytes"] > 0, \
+        f"implausible structure state in {e['table']}:{e['column_index']}"
+# text/json parity: same fleet, same summary fields.
+assert "probe_err_p95" in text, "text rendering missing the summary header"
+for e in entries:
+    assert e["table"] in text, f"table {e['table']} absent from text rendering"
+valid = {"interval", "staleness", "coalesced"}
+for r in doc["audit"]:
+    assert r["trigger"] in valid, f"unknown trigger {r['trigger']!r}"
+    assert r["build_us"] > 0, f"audit #{r['seq']} has zero build time"
+if mode == "writes":
+    assert doc["retrains"] > 0, "writes mode finished with an empty audit"
+    assert any(r["rows_folded"] > 0 for r in doc["audit"]), \
+        "no audited retrain folded delta rows in writes mode"
+if mode == "shards":
+    assert any(r["trigger"] == "staleness" for r in doc["audit"]), \
+        "the pinned-burst retrain was not audited as staleness-triggered"
+print(f"index fleet OK: {doc['entry_count']} entries, "
+      f"{doc['probe_err_samples']} probe-error samples, "
+      f"{doc['retrains']} audited retrains")
+PYEOF
+  # Table filter: restricting to the first entry's table must return only
+  # that table's structures (and at least one of them).
+  IDX_TBL=$(python3 -c 'import json,sys;
+print(json.load(open(sys.argv[1]))["entries"][0]["table"])' \
+    "$WORK_DIR/indexes.json")
+  $CURL "http://127.0.0.1:$ADMIN_PORT/indexes?format=json&table=$IDX_TBL" \
+    >"$WORK_DIR/indexes_tbl.json"
+  python3 - "$WORK_DIR/indexes_tbl.json" "$IDX_TBL" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+want = sys.argv[2]
+assert doc["entry_count"] >= 1, f"?table={want} filtered everything out"
+assert all(e["table"] == want for e in doc["entries"]), \
+    f"?table={want} leaked other tables into the fleet view"
+PYEOF
+  IDX_BAD=$($CURL -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$ADMIN_PORT/indexes?format=bogus")
+  [[ "$IDX_BAD" == "400" ]] || {
+    echo "FAIL: /indexes?format=bogus returned $IDX_BAD, want 400" >&2
+    exit 1; }
 else
   # ML4DB_OBS_DISABLED: /metrics still serves build info + uptime, and the
   # workload endpoint must not exist (the hook is nulled at wiring time).
@@ -313,6 +393,12 @@ else
     "http://127.0.0.1:$ADMIN_PORT/workload")
   [[ "$WL_CODE" == "404" ]] || {
     echo "FAIL: /workload returned $WL_CODE with obs disabled, want 404" >&2
+    exit 1; }
+  # The fleet view rides the same contract: no obs plane, no /indexes.
+  IDX_CODE=$($CURL -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$ADMIN_PORT/indexes")
+  [[ "$IDX_CODE" == "404" ]] || {
+    echo "FAIL: /indexes returned $IDX_CODE with obs disabled, want 404" >&2
     exit 1; }
 fi
 # Malformed admin query params are rejected in both obs modes.
@@ -376,7 +462,25 @@ if grep -q '"obs_enabled": true' "$WORK_DIR/server.json"; then
     SHARD_JSON_ARGS=(--require-shards)
   fi
   python3 "$CHECK" "$WORK_DIR/serve.json" --require-config index_backend \
-    --require-workload "${SHARD_JSON_ARGS[@]}"
+    --require-workload --require-introspection "${SHARD_JSON_ARGS[@]}"
+  if [[ "$MODE" == "writes" && "$BACKEND" != "sorted" && "$BACKEND" != "btree" ]]; then
+    # The health-plane acceptance story: a learned structure degrades
+    # measurably under ingest (probe-error p95 rises above zero in at
+    # least one in-flight /indexes scrape) and the audited retrains swap
+    # recovered structures in (the post-run p95 is the fresh fleet's).
+    python3 - "$WORK_DIR/serve.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+g = {x["name"]: x["value"] for x in doc["metrics"]["gauges"]}
+peak = g["ml4db.serve.probe_err_p95_peak"]
+final = g["ml4db.serve.probe_err_p95"]
+retrains = g["ml4db.serve.index_retrains"]
+assert peak > 0, "learned backend under ingest never showed probe error"
+assert retrains > 0, "no retrain recovered the degraded structure"
+print(f"probe-error recovery OK: p95 peaked at {peak:.1f} rows under "
+      f"ingest, {final:.1f} after {retrains:.0f} audited retrains")
+PYEOF
+  fi
   python3 "$CHECK" "$WORK_DIR/server.json" --require-server \
     --require-config index_backend "${WRITE_JSON_ARGS[@]}" \
     "${SHARD_JSON_ARGS[@]}"

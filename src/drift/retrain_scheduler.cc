@@ -34,15 +34,21 @@ bool RetrainScheduler::Schedule(
   obs::GetCounter("ml4db.drift.retrains_scheduled")->Inc();
   // The future is intentionally dropped: completion is reported through
   // TakeReady()/Drain(), and RunFit swallows fit exceptions into failed().
-  pool_->Submit(
-      [this, label = std::move(label), fit = std::move(fit)]() mutable {
-        RunFit(std::move(label), fit);
-      });
+  const auto scheduled_at = std::chrono::steady_clock::now();
+  pool_->Submit([this, label = std::move(label), fit = std::move(fit),
+                 scheduled_at]() mutable {
+    RunFit(std::move(label), fit, scheduled_at);
+  });
   return true;
 }
 
 void RetrainScheduler::RunFit(
-    std::string label, const std::function<std::shared_ptr<void>()>& fit) {
+    std::string label, const std::function<std::shared_ptr<void>()>& fit,
+    std::chrono::steady_clock::time_point scheduled_at) {
+  const double queue_wait_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scheduled_at)
+          .count();
   Stopwatch sw;
   std::shared_ptr<void> model;
   bool threw = false;
@@ -70,7 +76,8 @@ void RetrainScheduler::RunFit(
   // visible, a new Schedule for this label must train again.
   inflight_labels_.erase(label);
   if (ok) {
-    ready_.push_back(Ready{std::move(label), std::move(model), fit_seconds});
+    ready_.push_back(Ready{std::move(label), std::move(model), fit_seconds,
+                           queue_wait_seconds});
     ++completed_;
   } else {
     ++failed_;

@@ -17,6 +17,7 @@
 #ifndef ML4DB_DRIFT_RETRAIN_SCHEDULER_H_
 #define ML4DB_DRIFT_RETRAIN_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -53,6 +54,9 @@ class RetrainScheduler {
     std::string label;            ///< Schedule's label, e.g. "window-3"
     std::shared_ptr<void> model;  ///< the fit's product (never null)
     double fit_seconds = 0.0;     ///< fit wall-clock
+    /// Schedule() to fit start — pool queueing delay, the retrain-audit
+    /// signal that the pool (not the build) is the bottleneck.
+    double queue_wait_seconds = 0.0;
   };
 
   /// Queues `fit` on the pool. The job may not touch the model currently
@@ -96,7 +100,8 @@ class RetrainScheduler {
 
  private:
   void RunFit(std::string label,
-              const std::function<std::shared_ptr<void>()>& fit);
+              const std::function<std::shared_ptr<void>()>& fit,
+              std::chrono::steady_clock::time_point scheduled_at);
 
   Options options_;
   common::ThreadPool* pool_;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/probe_error.h"
 
 namespace ml4db {
 
@@ -124,8 +125,15 @@ class IndexBackend {
   /// synchronized against concurrent probes.
   virtual Status Absorb(double key, uint32_t row) const;
 
+  /// Probe health telemetry for this structure (sampled error windows and
+  /// latencies; see obs/probe_error.h). Mutable through const shared_ptr
+  /// for the same reason as covered_: internally synchronized, and stats
+  /// must accumulate against published (const) backends.
+  obs::IndexProbeStats& probe_stats() const { return probe_stats_; }
+
  private:
   mutable std::atomic<size_t> covered_{0};
+  mutable obs::IndexProbeStats probe_stats_;
 };
 
 /// The engine's classical index: (key, row) pairs sorted by key, probed

@@ -151,6 +151,12 @@ class Table {
   /// the row id stays addressable and is filtered at read time.
   Status MarkDeleted(size_t row);
 
+  /// Rows currently in one shard's delta store (0 before sealing).
+  size_t ShardDeltaRows(int shard) const {
+    const DeltaStore* d = shards_[shard]->delta.load(std::memory_order_acquire);
+    return d == nullptr ? 0 : d->visible_rows();
+  }
+
   /// Rows currently in the delta stores (0 before sealing).
   size_t delta_rows() const {
     size_t total = 0;

@@ -245,6 +245,17 @@ bool AlexIndex::Lookup(int64_t key, uint64_t* value) const {
   return true;
 }
 
+size_t AlexIndex::ProbeErrorWindow(int64_t key) const {
+  if (children_.empty()) return 0;
+  const DataNode* node = NodeFor(key);
+  if (node == nullptr || node->capacity() == 0 || node->num_keys == 0) return 0;
+  const size_t predicted = static_cast<size_t>(
+      Clamp(node->model.Predict(static_cast<double>(key)), 0.0,
+            static_cast<double>(node->capacity() - 1)));
+  const size_t actual = node->InsertionPoint(key);
+  return actual > predicted ? actual - predicted : predicted - actual;
+}
+
 Status AlexIndex::Insert(int64_t key, uint64_t value) {
   const size_t slot = RootSlot(key);
   DataNode* node = children_[slot].get();

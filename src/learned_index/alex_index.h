@@ -46,6 +46,11 @@ class AlexIndex : public OrderedIndex {
   size_t num_data_nodes() const;
   size_t num_root_slots() const { return children_.size(); }
 
+  /// |model-predicted slot - actual insertion boundary| inside the data
+  /// node owning `key` — grows as gapped arrays fill and shift under
+  /// inserts, which is exactly the degradation signal.
+  size_t ProbeErrorWindow(int64_t key) const override;
+
  private:
   struct DataNode;
 

@@ -52,6 +52,18 @@ class OrderedIndex {
 
   /// True when Insert is supported.
   virtual bool SupportsInsert() const = 0;
+
+  /// Width, in rows, of the last-mile search window a probe of `key`
+  /// traverses after the structure's position prediction — i.e. the
+  /// predicted-vs-actual position error for this key. Classical exact
+  /// descents (B+-tree) return 0; learned structures return the window
+  /// their error bounds (plus any defensive widening) actually produced.
+  /// Only called on sampled probes, so implementations may re-run the
+  /// prediction rather than thread state through the hot lookup path.
+  virtual size_t ProbeErrorWindow(int64_t key) const {
+    (void)key;
+    return 0;
+  }
 };
 
 /// Validates bulk-load input: strictly increasing keys.

@@ -136,7 +136,8 @@ Status PgmIndex::BulkLoad(const std::vector<Entry>& entries) {
   return Status::OK();
 }
 
-size_t PgmIndex::LowerBoundPos(int64_t key) const {
+size_t PgmIndex::LowerBoundPos(int64_t key, size_t* window_rows) const {
+  if (window_rows != nullptr) *window_rows = 0;
   const size_t n = keys_.size();
   if (n == 0) return 0;
   if (key <= keys_.front()) return key == keys_.front() ? 0 : 0;
@@ -166,6 +167,7 @@ size_t PgmIndex::LowerBoundPos(int64_t key) const {
       while (hi + 1 < n && keys_[hi] < key) {
         hi = std::min(n - 1, hi + epsilon_);
       }
+      if (window_rows != nullptr) *window_rows = hi - lo;
       auto it = std::lower_bound(keys_.begin() + lo, keys_.begin() + hi + 1, key);
       return static_cast<size_t>(it - keys_.begin());
     }
@@ -206,6 +208,12 @@ std::vector<Entry> PgmIndex::Items() const {
   std::vector<Entry> out(keys_.size());
   for (size_t i = 0; i < keys_.size(); ++i) out[i] = {keys_[i], values_[i]};
   return out;
+}
+
+size_t PgmIndex::ProbeErrorWindow(int64_t key) const {
+  size_t window = 0;
+  LowerBoundPos(key, &window);
+  return window;
 }
 
 size_t PgmIndex::StructureBytes() const {
@@ -309,6 +317,12 @@ size_t DynamicPgmIndex::size() const {
   size_t n = buffer_.size();
   for (const auto& run : runs_) n += run->size();
   return n;
+}
+
+size_t DynamicPgmIndex::ProbeErrorWindow(int64_t key) const {
+  size_t total = 0;
+  for (const auto& run : runs_) total += run->ProbeErrorWindow(key);
+  return total;
 }
 
 size_t DynamicPgmIndex::StructureBytes() const {

@@ -74,7 +74,13 @@ class PgmIndex : public OrderedIndex {
 
   /// Position of the first key >= `key` (n when none); the primitive both
   /// Lookup and RangeScan build on. Exposed for the ε-bound property test.
-  size_t LowerBoundPos(int64_t key) const;
+  /// When `window_rows` is non-null it receives the width of the leaf-level
+  /// search window actually binary-searched (after defensive widening).
+  size_t LowerBoundPos(int64_t key, size_t* window_rows = nullptr) const;
+
+  /// Leaf search-window width for `key` (2ε+2 nominally, wider only when
+  /// the defensive clamp had to widen).
+  size_t ProbeErrorWindow(int64_t key) const override;
 
   /// All stored entries in key order (used by DynamicPgmIndex merges).
   std::vector<Entry> Items() const;
@@ -105,6 +111,10 @@ class DynamicPgmIndex : public OrderedIndex {
   bool SupportsInsert() const override { return true; }
 
   size_t num_runs() const { return runs_.size(); }
+
+  /// A probe visits the buffer (exact) plus every run: total window is the
+  /// sum of the runs' leaf windows.
+  size_t ProbeErrorWindow(int64_t key) const override;
 
  private:
   void MergeIfNeeded();

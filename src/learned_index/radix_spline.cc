@@ -61,7 +61,8 @@ size_t RadixSplineIndex::RadixBucket(int64_t key) const {
   return static_cast<size_t>(static_cast<uint64_t>(key - min_key_) >> shift_);
 }
 
-size_t RadixSplineIndex::LowerBoundPos(int64_t key) const {
+size_t RadixSplineIndex::LowerBoundPos(int64_t key, size_t* window_rows) const {
+  if (window_rows != nullptr) *window_rows = 0;
   const size_t n = keys_.size();
   if (n == 0) return 0;
   if (key <= keys_.front()) return 0;
@@ -95,8 +96,15 @@ size_t RadixSplineIndex::LowerBoundPos(int64_t key) const {
       std::min<int64_t>(static_cast<int64_t>(n) - 1, pred + window));
   while (lo > 0 && keys_[lo] >= key) lo = lo > 64 ? lo - 64 : 0;
   while (hi + 1 < n && keys_[hi] < key) hi = std::min(n - 1, hi + 64);
+  if (window_rows != nullptr) *window_rows = hi - lo;
   auto kit = std::lower_bound(keys_.begin() + lo, keys_.begin() + hi + 1, key);
   return static_cast<size_t>(kit - keys_.begin());
+}
+
+size_t RadixSplineIndex::ProbeErrorWindow(int64_t key) const {
+  size_t window = 0;
+  LowerBoundPos(key, &window);
+  return window;
 }
 
 bool RadixSplineIndex::Lookup(int64_t key, uint64_t* value) const {

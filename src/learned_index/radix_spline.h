@@ -38,9 +38,14 @@ class RadixSplineIndex : public OrderedIndex {
 
   size_t num_spline_points() const { return spline_keys_.size(); }
 
+  /// Spline search-window width for `key` (2(2ε+2) nominally, wider only
+  /// when the defensive clamp had to widen).
+  size_t ProbeErrorWindow(int64_t key) const override;
+
  private:
-  /// Index of first key >= key.
-  size_t LowerBoundPos(int64_t key) const;
+  /// Index of first key >= key. When `window_rows` is non-null it receives
+  /// the width of the data-level window actually binary-searched.
+  size_t LowerBoundPos(int64_t key, size_t* window_rows = nullptr) const;
   size_t RadixBucket(int64_t key) const;
 
   size_t epsilon_;

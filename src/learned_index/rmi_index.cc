@@ -165,6 +165,17 @@ size_t RmiIndex::StructureBytes() const {
          keys_.size() * (sizeof(int64_t) + sizeof(uint64_t));
 }
 
+size_t RmiIndex::ProbeErrorWindow(int64_t key) const {
+  if (keys_.empty()) return 0;
+  size_t lo, hi;
+  PredictPos(key, &lo, &hi);
+  while (lo > 0 && keys_[lo] > key) lo = lo > 64 ? lo - 64 : 0;
+  while (hi + 1 < keys_.size() && keys_[hi] < key) {
+    hi = std::min(keys_.size() - 1, hi + 64);
+  }
+  return hi - lo;
+}
+
 double RmiIndex::MeanErrorWindow() const {
   if (leaves_.empty()) return 0.0;
   double acc = 0.0;

@@ -50,6 +50,10 @@ class RmiIndex : public OrderedIndex {
   /// Mean absolute last-mile search window (diagnostic: model quality).
   double MeanErrorWindow() const;
 
+  /// Per-key search window: leaf error bounds plus the same defensive
+  /// widening Lookup applies for keys outside them.
+  size_t ProbeErrorWindow(int64_t key) const override;
+
  private:
   struct LeafModel {
     LinearModel model;

@@ -7,14 +7,22 @@ namespace obs {
 
 const char* EventKindName(EventKind kind) {
   switch (kind) {
-    case EventKind::kDrift: return "drift";
-    case EventKind::kRetrain: return "retrain";
-    case EventKind::kIndexStructure: return "index_structure";
-    case EventKind::kAbort: return "abort";
-    case EventKind::kWorkloadDrift: return "workload_drift";
-    case EventKind::kCustom: return "custom";
+#define ML4DB_EVENT_KIND_NAME(sym, name) \
+  case EventKind::sym:                   \
+    return name;
+    ML4DB_EVENT_KINDS(ML4DB_EVENT_KIND_NAME)
+#undef ML4DB_EVENT_KIND_NAME
   }
   return "unknown";
+}
+
+const std::vector<EventKind>& AllEventKinds() {
+  static const std::vector<EventKind> kAll = {
+#define ML4DB_EVENT_KIND_LIST(sym, name) EventKind::sym,
+      ML4DB_EVENT_KINDS(ML4DB_EVENT_KIND_LIST)
+#undef ML4DB_EVENT_KIND_LIST
+  };
+  return kAll;
 }
 
 #ifndef ML4DB_OBS_DISABLED

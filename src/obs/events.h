@@ -21,16 +21,32 @@
 namespace ml4db {
 namespace obs {
 
+// Single source of truth for event kinds and their stable wire names:
+// the enum, EventKindName(), AllEventKinds(), the /events JSON tail, and
+// scripts/check_bench_json.py all derive from this table. Names are part
+// of the exposition contract — never rename, only append.
+//
+//                enum            wire name
+#define ML4DB_EVENT_KINDS(X)                    \
+  X(kDrift, "drift")           /* a drift detector fired */                  \
+  X(kRetrain, "retrain")       /* a learned component retrained */           \
+  X(kIndexStructure, "index_structure") /* index structural modification */  \
+  X(kAbort, "abort")           /* executor aborted a plan */                 \
+  X(kWorkloadDrift, "workload_drift") /* shape q-error EWMA crossed */       \
+  X(kRetrainSwap, "retrain_swap") /* rebuilt index swapped in (audited) */   \
+  X(kCustom, "custom")         /* anything else (detail says what) */
+
 enum class EventKind {
-  kDrift,           ///< a drift detector fired
-  kRetrain,         ///< a learned component absorbed feedback / retrained
-  kIndexStructure,  ///< learned index structural modification
-  kAbort,           ///< executor aborted a plan (limits exceeded)
-  kWorkloadDrift,   ///< a query shape's q-error EWMA crossed the threshold
-  kCustom,          ///< anything else (detail says what)
+#define ML4DB_EVENT_KIND_ENUM(sym, name) sym,
+  ML4DB_EVENT_KINDS(ML4DB_EVENT_KIND_ENUM)
+#undef ML4DB_EVENT_KIND_ENUM
 };
 
+/// Stable wire name for `kind` (see the ML4DB_EVENT_KINDS table).
 const char* EventKindName(EventKind kind);
+
+/// Every kind in table order (for exposition / tooling sync checks).
+const std::vector<EventKind>& AllEventKinds();
 
 struct Event {
   uint64_t seq = 0;  ///< global publish sequence number, starts at 1

@@ -1,0 +1,55 @@
+#include "obs/probe_error.h"
+
+#ifndef ML4DB_OBS_DISABLED
+
+#include "common/env.h"
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace obs {
+
+namespace {
+
+// Window widths are row counts: power-of-two buckets from 1 to ~8M rows.
+// A width of 0 (exact hit / classical descent) lands in the first bucket.
+std::vector<double> ProbeErrBounds() { return ExponentialBounds(1, 2, 24); }
+
+}  // namespace
+
+bool SampleProbe() {
+  static const uint64_t n = common::PositiveKnobFromEnv("ML4DB_TRACE_SAMPLE_N", 1);
+  if (n <= 1) return true;
+  static std::atomic<uint64_t> tick{0};
+  return tick.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
+IndexProbeStats::IndexProbeStats()
+    // Unregistered (standalone) windows: the instruments die with the
+    // owning structure, which is the point — per-structure error history
+    // must not outlive the structure it describes.
+    : err_rows_("", kProbeErrEpochLength, kProbeErrEpochCount,
+                ProbeErrBounds()),
+      latency_us_("", kProbeErrEpochLength, kProbeErrEpochCount) {}
+
+void IndexProbeStats::RecordProbe(double window_rows, double seconds) {
+  err_rows_.Record(window_rows);
+  latency_us_.Record(seconds * 1e6);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+
+  static Histogram* cumulative =
+      GetHistogram("ml4db.index.probe_err", ProbeErrBounds());
+  cumulative->Record(window_rows);
+  static WindowedHistogram* recent =
+      GetWindowedHistogram("ml4db.index.recent_probe_err", kProbeErrEpochLength,
+                           kProbeErrEpochCount, ProbeErrBounds());
+  recent->Record(window_rows);
+}
+
+double IndexProbeStats::ErrorP95() { return err_rows_.Snapshot().p95; }
+
+double IndexProbeStats::LatencyP95Us() { return latency_us_.Snapshot().p95; }
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // !ML4DB_OBS_DISABLED

@@ -1,0 +1,91 @@
+// Per-index-structure probe health telemetry. A learned index predicts a
+// position and then runs a bounded last-mile search; the width of that
+// final search window (in rows) IS the structure's prediction error for
+// the probed key, and its drift over time is the earliest signal that a
+// model has gone stale under writes. Each live index backend embeds an
+// IndexProbeStats; sampled probes record the window width and the probe
+// latency into short sliding windows (so retrain recovery shows up within
+// one bench run) and mirror into process-wide cumulative families:
+//
+//   ml4db.index.probe_err          cumulative histogram, window width rows
+//   ml4db.index.recent_probe_err   sliding-window recent p50/p95/p99
+//
+// Sampling is 1-in-N under the existing ML4DB_TRACE_SAMPLE_N knob
+// (default 1 = every probe); tail linear-scans over uncovered delta rows
+// are never counted — only the structure's own misprediction is.
+//
+// With -DML4DB_OBS_DISABLED everything compiles to inline no-ops.
+
+#ifndef ML4DB_OBS_PROBE_ERROR_H_
+#define ML4DB_OBS_PROBE_ERROR_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/window.h"
+
+#ifndef ML4DB_OBS_DISABLED
+#include <atomic>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+/// Probe-error window geometry: 8 epochs x 2 s = a 16 s sliding window,
+/// deliberately shorter than the default 12 x 5 s so the p95 visibly
+/// drops within one bench run after a retrain swaps a fresh structure in.
+inline constexpr std::chrono::milliseconds kProbeErrEpochLength{2000};
+inline constexpr size_t kProbeErrEpochCount = 8;
+
+#ifndef ML4DB_OBS_DISABLED
+
+/// True for 1-in-N probes (N = ML4DB_TRACE_SAMPLE_N, read once). Callers
+/// should do nothing else probe-telemetry-related when this returns false.
+bool SampleProbe();
+
+/// Per-backend accumulator. Lives inside an index backend (one per table/
+/// column/shard structure) and dies with it — a freshly swapped-in
+/// structure starts with a clean error profile. Thread-safe; recording is
+/// lock-free except for at-most-once-per-epoch rotation.
+class IndexProbeStats {
+ public:
+  IndexProbeStats();
+
+  /// Record one sampled probe: last-mile search-window width in rows and
+  /// the probe's wall-clock duration. Also mirrors into the process-wide
+  /// ml4db.index.probe_err / recent_probe_err families.
+  void RecordProbe(double window_rows, double seconds);
+
+  /// Sampled probes recorded against this structure.
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+  /// Recent (sliding-window) p95 of the search-window width, in rows.
+  double ErrorP95();
+
+  /// Recent p95 probe latency, microseconds.
+  double LatencyP95Us();
+
+ private:
+  WindowedHistogram err_rows_;
+  WindowedHistogram latency_us_;
+  std::atomic<uint64_t> samples_{0};
+};
+
+#else  // ML4DB_OBS_DISABLED
+
+inline bool SampleProbe() { return false; }
+
+class IndexProbeStats {
+ public:
+  void RecordProbe(double, double) {}
+  uint64_t samples() const { return 0; }
+  double ErrorP95() { return 0; }
+  double LatencyP95Us() { return 0; }
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_PROBE_ERROR_H_

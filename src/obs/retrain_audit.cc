@@ -1,0 +1,82 @@
+#include "obs/retrain_audit.h"
+
+#ifndef ML4DB_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace obs {
+
+RetrainAuditLog& RetrainAuditLog::Global() {
+  // Leaked intentionally (same reasoning as EventLog::Global): readers may
+  // run from atexit callbacks.
+  static RetrainAuditLog* log = new RetrainAuditLog();
+  return *log;
+}
+
+RetrainAuditLog::RetrainAuditLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void RetrainAuditLog::Append(RetrainRecord rec) {
+  static Histogram* build_us = GetHistogram("ml4db.retrain.build_us");
+  static Histogram* swap_us = GetHistogram("ml4db.retrain.swap_us");
+  static Histogram* rows_folded = GetHistogram("ml4db.retrain.rows_folded");
+  build_us->Record(rec.build_seconds * 1e6);
+  swap_us->Record(rec.swap_seconds * 1e6);
+  rows_folded->Record(static_cast<double>(rec.rows_folded));
+
+  char detail[192];
+  std::snprintf(detail, sizeof(detail),
+                "%s trigger=%s rows_folded=%llu bytes=%llu->%llu "
+                "err_p95_before=%.1f",
+                rec.label.c_str(), rec.trigger.c_str(),
+                static_cast<unsigned long long>(rec.rows_folded),
+                static_cast<unsigned long long>(rec.bytes_before),
+                static_cast<unsigned long long>(rec.bytes_after),
+                rec.err_p95_before);
+  PublishEvent(EventKind::kRetrainSwap, "drift.retrain", detail,
+               rec.build_seconds);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  RetrainRecord& slot = ring_[(next_seq_ - 1) % capacity_];
+  slot = std::move(rec);
+  slot.seq = next_seq_++;
+}
+
+std::vector<RetrainRecord> RetrainAuditLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = next_seq_ - 1;
+  const uint64_t keep = std::min<uint64_t>(total, capacity_);
+  std::vector<RetrainRecord> out;
+  out.reserve(keep);
+  for (uint64_t seq = total - keep + 1; seq <= total; ++seq) {
+    RetrainRecord rec = ring_[(seq - 1) % capacity_];
+    if (rec.err_after_probe) {
+      rec.err_p95_after = rec.err_after_probe();
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+uint64_t RetrainAuditLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void RetrainAuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 1;
+  for (RetrainRecord& r : ring_) r = RetrainRecord{};
+}
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // !ML4DB_OBS_DISABLED

@@ -1,0 +1,95 @@
+// Auditable record of every index rebuild-and-swap. Drift-triggered
+// adaptation is only trustworthy if each adaptation leaves a trace an
+// advisor (or an operator) can mine: what fired it, how long the rebuild
+// queued/built/swapped, how much data it folded, and whether probe error
+// actually recovered. Records land in a bounded ring (oldest overwritten)
+// and are exported three ways: the /indexes fleet view renders the tail,
+// ml4db.retrain.{build_us,swap_us,rows_folded} histograms aggregate the
+// durations, and each append publishes a kRetrainSwap event.
+//
+// With -DML4DB_OBS_DISABLED the log compiles to a no-op.
+
+#ifndef ML4DB_OBS_RETRAIN_AUDIT_H_
+#define ML4DB_OBS_RETRAIN_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#ifndef ML4DB_OBS_DISABLED
+#include <mutex>
+#endif
+
+namespace ml4db {
+namespace obs {
+
+/// One completed rebuild-and-swap.
+struct RetrainRecord {
+  uint64_t seq = 0;     ///< global append sequence number, starts at 1
+  std::string label;    ///< scheduler label, e.g. "fact:0:2" (table:col:shard)
+  std::string trigger;  ///< "interval" | "staleness" | "coalesced"
+  double queue_wait_seconds = 0;  ///< Schedule() -> fit start
+  double build_seconds = 0;       ///< the fit itself
+  double swap_seconds = 0;        ///< atomic publish of the new structure
+  uint64_t rows_folded = 0;       ///< delta rows absorbed into the structure
+  uint64_t bytes_before = 0;      ///< old structure bytes
+  uint64_t bytes_after = 0;       ///< new structure bytes
+  double err_p95_before = 0;      ///< old structure's recent probe-error p95
+  double err_p95_after = 0;       ///< new structure's, resolved at Snapshot()
+  /// Optional lazy reader for err_p95_after: the new structure has no
+  /// probes yet at swap time, so the writer installs a closure (typically
+  /// over a weak_ptr to the new backend) and Snapshot() re-resolves it.
+  std::function<double()> err_after_probe;
+};
+
+#ifndef ML4DB_OBS_DISABLED
+
+/// Bounded, thread-safe retrain audit ring.
+class RetrainAuditLog {
+ public:
+  static RetrainAuditLog& Global();
+
+  explicit RetrainAuditLog(size_t capacity = 256);
+
+  /// Appends, records the ml4db.retrain.* histograms, and publishes a
+  /// kRetrainSwap event ("<label> trigger=<t> rows_folded=<n> ...").
+  void Append(RetrainRecord rec);
+
+  /// Retained records, oldest first, with err_p95_after re-resolved.
+  std::vector<RetrainRecord> Snapshot() const;
+
+  uint64_t total() const;
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<RetrainRecord> ring_;  // ring_[seq % capacity_]
+  uint64_t next_seq_ = 1;
+};
+
+#else  // ML4DB_OBS_DISABLED
+
+class RetrainAuditLog {
+ public:
+  static RetrainAuditLog& Global() {
+    static RetrainAuditLog log;
+    return log;
+  }
+  explicit RetrainAuditLog(size_t = 0) {}
+  void Append(RetrainRecord) {}
+  std::vector<RetrainRecord> Snapshot() const { return {}; }
+  uint64_t total() const { return 0; }
+  size_t capacity() const { return 0; }
+  void Clear() {}
+};
+
+#endif  // ML4DB_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace ml4db
+
+#endif  // ML4DB_OBS_RETRAIN_AUDIT_H_

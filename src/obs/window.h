@@ -165,20 +165,37 @@ class WindowRegistry {
 class WindowedRate {
  public:
   using Clock = std::chrono::steady_clock;
+  WindowedRate() = default;
+  explicit WindowedRate(std::string,
+                        std::chrono::milliseconds = kDefaultEpochLength,
+                        size_t = kDefaultEpochCount) {}
   void Inc(uint64_t = 1) {}
   void IncAt(Clock::time_point, uint64_t = 1) {}
   WindowedRateSnapshot Snapshot() { return {}; }
   WindowedRateSnapshot SnapshotAt(Clock::time_point) { return {}; }
+  const std::string& name() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
   size_t num_epochs() const { return 0; }
 };
 
 class WindowedHistogram {
  public:
   using Clock = std::chrono::steady_clock;
+  WindowedHistogram() = default;
+  explicit WindowedHistogram(std::string,
+                             std::chrono::milliseconds = kDefaultEpochLength,
+                             size_t = kDefaultEpochCount,
+                             std::vector<double> = {}) {}
   void Record(double) {}
   void RecordAt(Clock::time_point, double) {}
   HistogramSnapshot Snapshot() { return {}; }
   HistogramSnapshot SnapshotAt(Clock::time_point) { return {}; }
+  const std::string& name() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
   size_t num_epochs() const { return 0; }
 };
 

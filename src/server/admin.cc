@@ -197,7 +197,7 @@ Status AdminServer::Start() {
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
   ML4DB_LOG(INFO, "admin plane listening on %s:%d (/metrics /healthz "
-            "/readyz /events /slow /workload)",
+            "/readyz /events /slow /workload /indexes)",
             options_.host.c_str(), port_);
   return Status::OK();
 }
@@ -316,10 +316,29 @@ std::string AdminServer::Handle(const std::string& method,
     return HttpResponse(200, "OK", "application/json",
                         hooks_.workload->ToJson(top).Dump(2) + "\n");
   }
+  if (t.path == "/indexes") {
+    if (hooks_.indexes == nullptr) {
+      // No renderer wired (obs-disabled build, or the embedder opted
+      // out): the endpoint doesn't exist, matching the no-op contract.
+      not_found->Inc();
+      return HttpResponse(404, "Not Found", "text/plain",
+                          "index introspection not enabled\n");
+    }
+    const std::string format = t.Param("format");
+    if (!format.empty() && format != "text" && format != "json") {
+      return HttpResponse(400, "Bad Request", "text/plain",
+                          "bad format= parameter: want text or json\n");
+    }
+    const std::string body =
+        hooks_.indexes(format.empty() ? "json" : format, t.Param("table"));
+    return HttpResponse(200, "OK",
+                        format == "text" ? "text/plain" : "application/json",
+                        body);
+  }
   not_found->Inc();
   return HttpResponse(404, "Not Found", "text/plain",
                       "unknown endpoint; try /metrics /healthz /readyz "
-                      "/events /slow /workload\n");
+                      "/events /slow /workload /indexes\n");
 }
 
 void AdminServer::Loop() {

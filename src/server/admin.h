@@ -14,6 +14,10 @@
 //   GET /workload top-N query shapes from the workload profile store
 //                 (?n=COUNT, ?format=text|json); 404 when no store is
 //                 wired (e.g. obs-disabled builds)
+//   GET /indexes  learned-component fleet view: per (table, column,
+//                 shard) backend health plus the retrain audit tail
+//                 (?format=text|json, ?table=NAME filter); 404 when no
+//                 renderer is wired (obs-disabled builds)
 //
 // Query-param contract: malformed values (non-numeric or zero ?n=,
 // unknown ?format=) are rejected with 400 rather than silently replaced
@@ -69,6 +73,12 @@ class AdminServer {
     /// Non-const: snapshotting rotates the store's sliding windows. Null
     /// makes /workload return 404 (the obs-disabled contract).
     obs::WorkloadStore* workload = nullptr;
+    /// Renders the /indexes fleet view body for a validated format
+    /// ("text" or "json") and optional table-name filter (empty = all).
+    /// Null makes /indexes return 404 (the obs-disabled contract).
+    std::function<std::string(const std::string& format,
+                              const std::string& table)>
+        indexes;
   };
 
   AdminServer(AdminOptions options, Hooks hooks);

@@ -1,0 +1,234 @@
+#include "server/index_fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "engine/table.h"
+#include "obs/json.h"
+#include "obs/retrain_audit.h"
+
+namespace ml4db {
+namespace server {
+
+namespace {
+
+struct FleetEntry {
+  std::string table;
+  std::string column;
+  int column_index = 0;
+  int shard = 0;
+  std::string backend;
+  size_t rows = 0;           // visible rows in the shard (base + delta)
+  size_t covered_rows = 0;   // rows represented in the structure
+  size_t stale_rows = 0;     // visible but not in the structure
+  size_t delta_rows = 0;     // shard delta-store size
+  size_t structure_bytes = 0;
+  double latency_p95_us = 0;
+  double err_p95 = 0;
+  uint64_t err_samples = 0;
+  const obs::RetrainRecord* last_retrain = nullptr;  // into the audit vector
+};
+
+std::string EntryLabel(const FleetEntry& e) {
+  return e.table + ":" + std::to_string(e.column_index) + ":" +
+         std::to_string(e.shard);
+}
+
+std::vector<FleetEntry> CollectFleet(const engine::Database& db,
+                                     const std::string& table_filter) {
+  std::vector<FleetEntry> entries;
+  for (const std::string& name : db.catalog().TableNames()) {
+    if (!table_filter.empty() && name != table_filter) continue;
+    auto t = db.catalog().GetTable(name);
+    if (!t.ok()) continue;
+    const engine::Table* table = *t;
+    for (int col : table->IndexedColumns()) {
+      for (int shard = 0; shard < table->shard_count(); ++shard) {
+        std::shared_ptr<const engine::IndexBackend> backend =
+            table->GetIndex(col, shard);
+        if (backend == nullptr) continue;
+        FleetEntry e;
+        e.table = name;
+        e.column = table->schema().columns[col].name;
+        e.column_index = col;
+        e.shard = shard;
+        e.backend = backend->Name();
+        e.rows = table->ShardRows(shard);
+        e.covered_rows = backend->covered_rows();
+        e.stale_rows = table->StaleRows(col, shard);
+        e.delta_rows = table->ShardDeltaRows(shard);
+        e.structure_bytes = backend->StructureBytes();
+        obs::IndexProbeStats& stats = backend->probe_stats();
+        e.latency_p95_us = stats.LatencyP95Us();
+        e.err_p95 = stats.ErrorP95();
+        e.err_samples = stats.samples();
+        entries.push_back(std::move(e));
+      }
+    }
+  }
+  return entries;
+}
+
+obs::JsonValue AuditJson(const obs::RetrainRecord& r) {
+  obs::JsonValue o = obs::JsonValue::Object();
+  o.Set("seq", obs::JsonValue::Number(static_cast<double>(r.seq)));
+  o.Set("label", obs::JsonValue::String(r.label));
+  o.Set("trigger", obs::JsonValue::String(r.trigger));
+  o.Set("queue_wait_us",
+        obs::JsonValue::Number(r.queue_wait_seconds * 1e6));
+  o.Set("build_us", obs::JsonValue::Number(r.build_seconds * 1e6));
+  o.Set("swap_us", obs::JsonValue::Number(r.swap_seconds * 1e6));
+  o.Set("rows_folded",
+        obs::JsonValue::Number(static_cast<double>(r.rows_folded)));
+  o.Set("bytes_before",
+        obs::JsonValue::Number(static_cast<double>(r.bytes_before)));
+  o.Set("bytes_after",
+        obs::JsonValue::Number(static_cast<double>(r.bytes_after)));
+  o.Set("err_p95_before", obs::JsonValue::Number(r.err_p95_before));
+  o.Set("err_p95_after", obs::JsonValue::Number(r.err_p95_after));
+  return o;
+}
+
+}  // namespace
+
+std::string RenderIndexFleet(const engine::Database& db,
+                             const std::string& format,
+                             const std::string& table_filter) {
+  std::vector<FleetEntry> entries = CollectFleet(db, table_filter);
+  obs::RetrainAuditLog& audit_log = obs::RetrainAuditLog::Global();
+  const std::vector<obs::RetrainRecord> audit = audit_log.Snapshot();
+
+  // Attach each entry's most recent audit record (audit is oldest-first,
+  // so the last match wins).
+  for (FleetEntry& e : entries) {
+    const std::string label = EntryLabel(e);
+    for (const obs::RetrainRecord& r : audit) {
+      if (r.label == label) e.last_retrain = &r;
+    }
+  }
+
+  double max_err_p95 = 0;
+  uint64_t total_err_samples = 0;
+  for (const FleetEntry& e : entries) {
+    max_err_p95 = std::max(max_err_p95, e.err_p95);
+    total_err_samples += e.err_samples;
+  }
+
+  if (format == "text") {
+    char line[512];
+    std::string out;
+    std::snprintf(line, sizeof(line),
+                  "# index fleet: %zu entries, probe_err_p95=%.1f "
+                  "(%llu samples), retrains=%llu\n",
+                  entries.size(), max_err_p95,
+                  static_cast<unsigned long long>(total_err_samples),
+                  static_cast<unsigned long long>(audit_log.total()));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "%-12s %-12s %5s %-12s %10s %10s %8s %8s %10s %10s %9s "
+                  "%8s\n",
+                  "table", "column", "shard", "backend", "rows", "covered",
+                  "stale", "delta", "bytes", "lat_p95us", "err_p95",
+                  "samples");
+    out += line;
+    for (const FleetEntry& e : entries) {
+      std::snprintf(line, sizeof(line),
+                    "%-12s %-12s %5d %-12s %10zu %10zu %8zu %8zu %10zu "
+                    "%10.1f %9.1f %8llu\n",
+                    e.table.c_str(), e.column.c_str(), e.shard,
+                    e.backend.c_str(), e.rows, e.covered_rows, e.stale_rows,
+                    e.delta_rows, e.structure_bytes, e.latency_p95_us,
+                    e.err_p95,
+                    static_cast<unsigned long long>(e.err_samples));
+      out += line;
+      if (e.last_retrain != nullptr) {
+        const obs::RetrainRecord& r = *e.last_retrain;
+        std::snprintf(line, sizeof(line),
+                      "  last retrain #%llu trigger=%s queue=%.1fms "
+                      "build=%.1fms swap=%.2fms rows_folded=%llu "
+                      "bytes=%llu->%llu err_p95=%.1f->%.1f\n",
+                      static_cast<unsigned long long>(r.seq),
+                      r.trigger.c_str(), r.queue_wait_seconds * 1e3,
+                      r.build_seconds * 1e3, r.swap_seconds * 1e3,
+                      static_cast<unsigned long long>(r.rows_folded),
+                      static_cast<unsigned long long>(r.bytes_before),
+                      static_cast<unsigned long long>(r.bytes_after),
+                      r.err_p95_before, r.err_p95_after);
+        out += line;
+      }
+    }
+    // Audit tail, newest last — mirrors the JSON "audit" array.
+    const size_t tail = std::min<size_t>(audit.size(), 16);
+    std::snprintf(line, sizeof(line),
+                  "# audit tail (%zu of %llu, capacity %zu):\n", tail,
+                  static_cast<unsigned long long>(audit_log.total()),
+                  audit_log.capacity());
+    out += line;
+    for (size_t i = audit.size() - tail; i < audit.size(); ++i) {
+      const obs::RetrainRecord& r = audit[i];
+      std::snprintf(line, sizeof(line),
+                    "#%llu %s trigger=%s queue=%.1fms build=%.1fms "
+                    "swap=%.2fms rows_folded=%llu bytes=%llu->%llu "
+                    "err_p95=%.1f->%.1f\n",
+                    static_cast<unsigned long long>(r.seq), r.label.c_str(),
+                    r.trigger.c_str(), r.queue_wait_seconds * 1e3,
+                    r.build_seconds * 1e3, r.swap_seconds * 1e3,
+                    static_cast<unsigned long long>(r.rows_folded),
+                    static_cast<unsigned long long>(r.bytes_before),
+                    static_cast<unsigned long long>(r.bytes_after),
+                    r.err_p95_before, r.err_p95_after);
+      out += line;
+    }
+    return out;
+  }
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("entry_count",
+          obs::JsonValue::Number(static_cast<double>(entries.size())));
+  doc.Set("probe_err_p95", obs::JsonValue::Number(max_err_p95));
+  doc.Set("probe_err_samples",
+          obs::JsonValue::Number(static_cast<double>(total_err_samples)));
+  doc.Set("retrains",
+          obs::JsonValue::Number(static_cast<double>(audit_log.total())));
+  doc.Set("audit_capacity",
+          obs::JsonValue::Number(static_cast<double>(audit_log.capacity())));
+  obs::JsonValue arr = obs::JsonValue::Array();
+  for (const FleetEntry& e : entries) {
+    obs::JsonValue o = obs::JsonValue::Object();
+    o.Set("table", obs::JsonValue::String(e.table));
+    o.Set("column", obs::JsonValue::String(e.column));
+    o.Set("column_index",
+          obs::JsonValue::Number(static_cast<double>(e.column_index)));
+    o.Set("shard", obs::JsonValue::Number(static_cast<double>(e.shard)));
+    o.Set("backend", obs::JsonValue::String(e.backend));
+    o.Set("rows", obs::JsonValue::Number(static_cast<double>(e.rows)));
+    o.Set("covered_rows",
+          obs::JsonValue::Number(static_cast<double>(e.covered_rows)));
+    o.Set("stale_rows",
+          obs::JsonValue::Number(static_cast<double>(e.stale_rows)));
+    o.Set("delta_rows",
+          obs::JsonValue::Number(static_cast<double>(e.delta_rows)));
+    o.Set("structure_bytes",
+          obs::JsonValue::Number(static_cast<double>(e.structure_bytes)));
+    o.Set("probe_latency_p95_us", obs::JsonValue::Number(e.latency_p95_us));
+    o.Set("probe_err_p95", obs::JsonValue::Number(e.err_p95));
+    o.Set("probe_err_samples",
+          obs::JsonValue::Number(static_cast<double>(e.err_samples)));
+    if (e.last_retrain != nullptr) {
+      o.Set("last_retrain", AuditJson(*e.last_retrain));
+    }
+    arr.Append(std::move(o));
+  }
+  doc.Set("entries", std::move(arr));
+  obs::JsonValue audit_arr = obs::JsonValue::Array();
+  const size_t tail = std::min<size_t>(audit.size(), 16);
+  for (size_t i = audit.size() - tail; i < audit.size(); ++i) {
+    audit_arr.Append(AuditJson(audit[i]));
+  }
+  doc.Set("audit", std::move(audit_arr));
+  return doc.Dump(2) + "\n";
+}
+
+}  // namespace server
+}  // namespace ml4db

@@ -1,0 +1,30 @@
+// The /indexes fleet view: one row per (table, column, shard) index
+// structure, joining the engine's live state (backend kind, covered/stale
+// rows, structure bytes, delta size) with the obs plane's per-structure
+// probe telemetry (latency p95, probe-error p95, sample count) and the
+// retrain audit ring — the machine-readable snapshot an index advisor
+// needs to cost what-if backend swaps, and the operator view of which
+// learned structure is degrading under writes.
+
+#ifndef ML4DB_SERVER_INDEX_FLEET_H_
+#define ML4DB_SERVER_INDEX_FLEET_H_
+
+#include <string>
+
+#include "engine/database.h"
+
+namespace ml4db {
+namespace server {
+
+/// Renders the fleet view body. `format` is "text" or "json" (the admin
+/// route pre-validates); `table_filter` restricts to one table name when
+/// non-empty (an unknown name yields an empty fleet, not an error — the
+/// filter is a grep, not a lookup).
+std::string RenderIndexFleet(const engine::Database& db,
+                             const std::string& format,
+                             const std::string& table_filter);
+
+}  // namespace server
+}  // namespace ml4db
+
+#endif  // ML4DB_SERVER_INDEX_FLEET_H_

@@ -16,8 +16,8 @@
 //   --port P             listen port, 0 = ephemeral (default 7433)
 //   --port-file PATH     write the bound port to PATH once listening
 //   --admin-port P       admin/introspection port: /metrics /healthz
-//                        /readyz /events /slow /workload; 0 = ephemeral,
-//                        -1 = off (default 7434)
+//                        /readyz /events /slow /workload /indexes;
+//                        0 = ephemeral, -1 = off (default 7434)
 //   --admin-port-file PATH  write the bound admin port once listening
 //   --fact-rows N        fact table rows         (default 40000)
 //   --dim-rows N         rows per dimension      (default 2000)
@@ -68,6 +68,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -81,9 +82,11 @@
 #include "drift/retrain_scheduler.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/retrain_audit.h"
 #include "obs/slow_query.h"
 #include "obs/workload.h"
 #include "server/admin.h"
+#include "server/index_fleet.h"
 #include "server/server.h"
 #include "workload/schema_gen.h"
 
@@ -210,6 +213,13 @@ int main(int argc, char** argv) {
   for (int s = 0; s < dopts.partition.shards; ++s) {
     obs::GetCounter("ml4db.shard.retrains.s" + std::to_string(s));
   }
+  // Health-plane families, present-at-zero for the same reason. The
+  // probe-err bounds must match IndexProbeStats's mirror registration
+  // (first registration wins the bucket layout).
+  obs::GetHistogram("ml4db.retrain.build_us");
+  obs::GetHistogram("ml4db.retrain.swap_us");
+  obs::GetHistogram("ml4db.retrain.rows_folded");
+  obs::GetHistogram("ml4db.index.probe_err", obs::ExponentialBounds(1, 2, 24));
 
   const char* backend_name =
       engine::IndexBackendKindName(dopts.index_backend);
@@ -283,6 +293,14 @@ int main(int argc, char** argv) {
   // In obs-disabled builds the store is a no-op; leaving the hook null
   // makes /workload 404 instead of serving empty JSON forever.
   hooks.workload = obs::ObsEnabled() ? &workload_store : nullptr;
+  // Same contract for the fleet view: without the obs plane there is no
+  // probe telemetry or audit ring to render, so /indexes 404s.
+  if (obs::ObsEnabled()) {
+    hooks.indexes = [&db](const std::string& format,
+                          const std::string& table) {
+      return server::RenderIndexFleet(db, format, table);
+    };
+  }
   server::AdminOptions admin_opts;
   admin_opts.host = flags.host;
   admin_opts.port = flags.admin_port;
@@ -332,6 +350,10 @@ int main(int argc, char** argv) {
               ? std::min(flags.retrain_interval_ms, 100)
               : 100);
       RClock::time_point last_rebuild = RClock::now();
+      // What fired each in-flight fit, keyed by label, recorded at
+      // Schedule time and consumed when the swap lands. Only this thread
+      // touches it (Schedule and TakeReady both run here).
+      std::map<std::string, std::string> pending_trigger;
       while (true) {
         {
           std::unique_lock<std::mutex> lock(retrain_mu);
@@ -354,17 +376,52 @@ int main(int argc, char** argv) {
           if (!t.ok()) continue;
           const int col = std::atoi(ready.label.c_str() + c1 + 1);
           const int shard = std::atoi(ready.label.c_str() + c2 + 1);
-          auto swapped = (*t)->SwapIndex(
-              col, shard,
+          auto replacement =
               std::static_pointer_cast<const engine::IndexBackend>(
-                  ready.model));
+                  ready.model);
+          const Stopwatch swap_sw;
+          auto swapped = (*t)->SwapIndex(col, shard, replacement);
+          const double swap_seconds = swap_sw.ElapsedSeconds();
           if (!swapped.ok()) {
             ML4DB_LOG(WARN, "index swap for %s failed: %s",
                       ready.label.c_str(),
                       swapped.status().ToString().c_str());
-          } else {
-            swapped_any = true;
+            pending_trigger.erase(ready.label);
+            continue;
           }
+          swapped_any = true;
+          // Audit the completed rebuild-and-swap: durations from the
+          // scheduler, before-state from the displaced backend (returned
+          // by SwapIndex), after-state from the replacement. The new
+          // structure has no probe samples yet, so err_p95_after is a
+          // lazy closure the fleet view resolves at render time.
+          obs::RetrainRecord rec;
+          rec.label = ready.label;
+          const auto trig = pending_trigger.find(ready.label);
+          rec.trigger =
+              trig != pending_trigger.end() ? trig->second : "interval";
+          if (trig != pending_trigger.end()) pending_trigger.erase(trig);
+          rec.queue_wait_seconds = ready.queue_wait_seconds;
+          rec.build_seconds = ready.fit_seconds;
+          rec.swap_seconds = swap_seconds;
+          rec.bytes_after = replacement->StructureBytes();
+          rec.rows_folded = replacement->covered_rows();
+          const std::shared_ptr<const engine::IndexBackend>& old_backend =
+              *swapped;
+          if (old_backend != nullptr) {
+            rec.bytes_before = old_backend->StructureBytes();
+            rec.err_p95_before = old_backend->probe_stats().ErrorP95();
+            const size_t old_covered = old_backend->covered_rows();
+            rec.rows_folded = replacement->covered_rows() > old_covered
+                                  ? replacement->covered_rows() - old_covered
+                                  : 0;
+          }
+          std::weak_ptr<const engine::IndexBackend> weak_new = replacement;
+          rec.err_after_probe = [weak_new]() -> double {
+            const auto live = weak_new.lock();
+            return live == nullptr ? 0.0 : live->probe_stats().ErrorP95();
+          };
+          obs::RetrainAuditLog::Global().Append(std::move(rec));
         }
         // A swap folds stale rows into the structure; refresh the gauges
         // so staleness drops without waiting for the next write batch.
@@ -391,9 +448,10 @@ int main(int argc, char** argv) {
                   merge_threshold > 0 &&
                   table->StaleRows(col, shard) >= merge_threshold;
               if (!interval_due && !stale_due) continue;
+              std::string label = name + ":" + std::to_string(col) + ":" +
+                                  std::to_string(shard);
               const bool enqueued = retrainer.Schedule(
-                  name + ":" + std::to_string(col) + ":" +
-                      std::to_string(shard),
+                  label,
                   [table, col, kind, shard]() -> std::shared_ptr<void> {
                     // Snapshot build: materializes the shard's base +
                     // delta (sealed base columns are immutable; the delta
@@ -406,6 +464,12 @@ int main(int argc, char** argv) {
                             *built));
                   });
               if (enqueued) {
+                // Classify what fired this fit, for the audit record the
+                // swap will write. A threshold crossing that lands in the
+                // same round as the interval counts as coalesced.
+                pending_trigger[std::move(label)] =
+                    stale_due ? (interval_due ? "coalesced" : "staleness")
+                              : "interval";
                 const auto key = std::make_pair(name, shard);
                 if (std::find(round_shards.begin(), round_shards.end(),
                               key) == round_shards.end()) {

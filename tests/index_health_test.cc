@@ -1,0 +1,384 @@
+// Tests for the learned-component health plane: per-backend probe-error
+// telemetry (the final search-window width a learned index had to scan),
+// the bounded retrain audit ring, and the /indexes fleet view that joins
+// both with the engine's catalog — including a concurrent scrape-vs-swap
+// hammer the TSan CI job runs directly.
+//
+// With -DML4DB_OBS_DISABLED the telemetry compiles to no-ops; the tests
+// assert the degraded contract (zero samples, empty audit) in that mode.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "drift/retrain_scheduler.h"
+#include "engine/database.h"
+#include "engine/index_backend.h"
+#include "engine/table.h"
+#include "learned_index/rmi_index.h"
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/probe_error.h"
+#include "obs/retrain_audit.h"
+#include "server/admin.h"
+#include "server/index_fleet.h"
+
+namespace ml4db {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::IndexBackend;
+using engine::IndexBackendKind;
+using engine::Table;
+using engine::TableSchema;
+
+Column LinearColumn(size_t rows) {
+  Column col;
+  col.type = DataType::kInt64;
+  for (size_t i = 0; i < rows; ++i) {
+    col.i64.push_back(static_cast<int64_t>(i) * 4);
+  }
+  return col;
+}
+
+// ------------------------- probe-error accounting --------------------------
+
+TEST(ProbeErrorAccounting, BinarySearchBackendRecordsZeroError) {
+  Column col = LinearColumn(4000);
+  auto built = engine::BuildIndexBackend(col, IndexBackendKind::kSorted);
+  ASSERT_TRUE(built.ok());
+  const std::shared_ptr<const IndexBackend>& idx = *built;
+  for (int64_t k = 0; k < 400; ++k) {
+    (void)idx->Equal(static_cast<double>(k * 4));
+  }
+  if (obs::ObsEnabled()) {
+    // A classical binary-search descent has no prediction to mispredict:
+    // every sampled probe records a window of exactly zero rows.
+    EXPECT_GT(idx->probe_stats().samples(), 0u);
+    EXPECT_EQ(idx->probe_stats().ErrorP95(), 0.0);
+  } else {
+    EXPECT_EQ(idx->probe_stats().samples(), 0u);
+  }
+}
+
+TEST(ProbeErrorAccounting, LearnedBackendRecordsSearchWindow) {
+  // Heavily skewed keys under a deliberately tiny model: one leaf cannot
+  // fit the distribution, so probes must widen a visible search window.
+  std::vector<learned_index::Entry> entries;
+  for (int64_t i = 0; i < 2000; ++i) {
+    // Dense cluster then far outliers — a single linear model mispredicts.
+    const int64_t key = i < 1900 ? i : 1900 + (i - 1900) * 100000;
+    entries.push_back({key, static_cast<uint64_t>(i)});
+  }
+  learned_index::RmiIndex rmi(/*num_leaf_models=*/1);
+  ASSERT_TRUE(rmi.BulkLoad(entries).ok());
+  size_t worst = 0;
+  for (const auto& e : entries) {
+    worst = std::max(worst, rmi.ProbeErrorWindow(e.key));
+    uint64_t value = 0;
+    ASSERT_TRUE(rmi.Lookup(e.key, &value));
+  }
+  // Works in BOTH obs modes: ProbeErrorWindow is structural, not telemetry.
+  EXPECT_GT(worst, 0u) << "a 1-leaf RMI over skewed keys predicted exactly";
+}
+
+TEST(ProbeErrorAccounting, EqualAndRangeProbesFeedTheStats) {
+  Column col = LinearColumn(3000);
+  auto built = engine::BuildIndexBackend(col, IndexBackendKind::kRmi);
+  ASSERT_TRUE(built.ok());
+  const std::shared_ptr<const IndexBackend>& idx = *built;
+  for (int64_t k = 0; k < 100; ++k) {
+    (void)idx->Equal(static_cast<double>(k * 4));
+    (void)idx->Range(static_cast<double>(k), static_cast<double>(k + 40));
+  }
+  if (obs::ObsEnabled()) {
+    EXPECT_GE(idx->probe_stats().samples(), 200u);
+    EXPECT_GE(idx->probe_stats().ErrorP95(), 0.0);
+    EXPECT_GE(idx->probe_stats().LatencyP95Us(), 0.0);
+  } else {
+    EXPECT_EQ(idx->probe_stats().samples(), 0u);
+  }
+}
+
+TEST(ProbeErrorAccounting, UncoveredTailRowsAreNotCharged) {
+  // The delta-tail contract: rows a structure does not cover are scanned
+  // by the executor OUTSIDE the backend, so probing keys that only exist
+  // in a (conceptual) delta must not inflate the structure's error — the
+  // recorded window stays the structure's own, bounded misprediction.
+  Column col = LinearColumn(2000);  // keys 0,4,...,7996
+  auto built = engine::BuildIndexBackend(col, IndexBackendKind::kRmi);
+  ASSERT_TRUE(built.ok());
+  const std::shared_ptr<const IndexBackend>& idx = *built;
+  for (int64_t k = 0; k < 200; ++k) {
+    // "Delta" keys: far past the covered range, and gaps inside it.
+    (void)idx->Equal(static_cast<double>(8000 + k * 1000));
+    (void)idx->Equal(static_cast<double>(k * 4 + 1));
+  }
+  if (obs::ObsEnabled()) {
+    EXPECT_GT(idx->probe_stats().samples(), 0u);
+    // Linear keys fit an RMI near-perfectly; even miss-probes stay within
+    // the model's own error window rather than charging a tail scan.
+    EXPECT_LT(idx->probe_stats().ErrorP95(),
+              static_cast<double>(col.i64.size()) / 4);
+  }
+}
+
+// --------------------------- event kind table ------------------------------
+
+TEST(EventKinds, TableIsCompleteUniqueAndStable) {
+  const std::vector<obs::EventKind>& all = obs::AllEventKinds();
+  ASSERT_GE(all.size(), 7u);
+  std::set<std::string> names;
+  for (obs::EventKind k : all) {
+    const std::string name = obs::EventKindName(k);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate kind name " << name;
+  }
+  EXPECT_TRUE(names.count("retrain_swap"));
+  EXPECT_EQ(obs::EventKindName(obs::EventKind::kRetrainSwap),
+            std::string("retrain_swap"));
+}
+
+// --------------------------- retrain audit ring ----------------------------
+
+TEST(RetrainAudit, RingBoundsAndOrdering) {
+  obs::RetrainAuditLog log(/*capacity=*/4);
+  for (int i = 1; i <= 10; ++i) {
+    obs::RetrainRecord rec;
+    rec.label = "t:0:" + std::to_string(i);
+    rec.trigger = "interval";
+    rec.build_seconds = 0.001 * i;
+    log.Append(std::move(rec));
+  }
+  const std::vector<obs::RetrainRecord> snap = log.Snapshot();
+  if (obs::ObsEnabled()) {
+    EXPECT_EQ(log.total(), 10u);
+    EXPECT_EQ(log.capacity(), 4u);
+    ASSERT_EQ(snap.size(), 4u);
+    // Oldest-first, and only the newest `capacity` records survive.
+    for (size_t i = 0; i < snap.size(); ++i) {
+      EXPECT_EQ(snap[i].seq, 7 + i);
+      EXPECT_EQ(snap[i].label, "t:0:" + std::to_string(7 + i));
+    }
+  } else {
+    EXPECT_EQ(log.total(), 0u);
+    EXPECT_TRUE(snap.empty());
+  }
+}
+
+TEST(RetrainAudit, LazyErrAfterResolvesAtSnapshot) {
+  obs::RetrainAuditLog log(8);
+  obs::RetrainRecord rec;
+  rec.label = "t:0:0";
+  rec.trigger = "staleness";
+  rec.err_p95_before = 17.0;
+  auto source = std::make_shared<double>(0.0);
+  rec.err_after_probe = [source] { return *source; };
+  log.Append(std::move(rec));
+  *source = 42.5;  // probes landed on the new structure after the swap
+  if (obs::ObsEnabled()) {
+    const auto snap = log.Snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].err_p95_before, 17.0);
+    EXPECT_EQ(snap[0].err_p95_after, 42.5);
+    log.Clear();
+    EXPECT_EQ(log.total(), 0u);
+    EXPECT_TRUE(log.Snapshot().empty());
+  }
+}
+
+// ----------------------------- fleet rendering -----------------------------
+
+std::unique_ptr<engine::Database> MakeDb() {
+  auto db = std::make_unique<engine::Database>();
+  auto t = db->catalog().CreateTable(
+      TableSchema{"health", {{"k", DataType::kInt64}}});
+  EXPECT_TRUE(t.ok());
+  std::vector<int64_t> vals;
+  for (int64_t i = 0; i < 3000; ++i) vals.push_back(i * 2);
+  EXPECT_TRUE((*t)->AppendColumnarInt64({vals}).ok());
+  EXPECT_TRUE((*t)->BuildIndex(0, IndexBackendKind::kRmi).ok());
+  return db;
+}
+
+TEST(IndexFleet, JsonRenderingCoversTheCatalog) {
+  std::unique_ptr<engine::Database> db = MakeDb();
+  auto t = db->catalog().GetTable("health");
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 64; ++k) {
+    (void)(*t)->GetIndex(0)->Equal(static_cast<double>(k * 2));
+  }
+  const std::string body = server::RenderIndexFleet(*db, "json", "");
+  const auto doc = obs::JsonValue::Parse(body);
+  ASSERT_TRUE(doc.ok()) << body;
+  EXPECT_EQ(doc->GetNumber("entry_count"), 1.0);
+  const obs::JsonValue* entries = doc->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->size(), 1u);
+  const obs::JsonValue& e = entries->items()[0];
+  EXPECT_EQ(e.GetString("table"), "health");
+  EXPECT_EQ(e.GetString("column"), "k");
+  EXPECT_EQ(e.GetString("backend"), "rmi");
+  EXPECT_GT(e.GetNumber("structure_bytes"), 0.0);
+  EXPECT_EQ(e.GetNumber("covered_rows"), 3000.0);
+  if (obs::ObsEnabled()) {
+    EXPECT_GT(doc->GetNumber("probe_err_samples"), 0.0);
+  } else {
+    EXPECT_EQ(doc->GetNumber("probe_err_samples"), 0.0);
+  }
+}
+
+TEST(IndexFleet, TextRenderingAgreesWithJson) {
+  std::unique_ptr<engine::Database> db = MakeDb();
+  const std::string text = server::RenderIndexFleet(*db, "text", "");
+  EXPECT_NE(text.find("probe_err_p95"), std::string::npos);
+  EXPECT_NE(text.find("health"), std::string::npos);
+  EXPECT_NE(text.find("rmi"), std::string::npos);
+  EXPECT_NE(text.find("# audit tail"), std::string::npos);
+}
+
+TEST(IndexFleet, TableFilterIsAGrepNotALookup) {
+  std::unique_ptr<engine::Database> db = MakeDb();
+  const auto all = obs::JsonValue::Parse(
+      server::RenderIndexFleet(*db, "json", "health"));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->GetNumber("entry_count"), 1.0);
+  const auto none = obs::JsonValue::Parse(
+      server::RenderIndexFleet(*db, "json", "no_such_table"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->GetNumber("entry_count"), 0.0);
+}
+
+// --------------------------- /indexes endpoint -----------------------------
+
+TEST(AdminIndexes, RouteContractAndParamValidation) {
+  server::AdminOptions opts;
+  opts.port = 0;
+  server::AdminServer::Hooks hooks;
+  hooks.indexes = [](const std::string& format, const std::string& table) {
+    return format + "|" + table;
+  };
+  server::AdminServer admin(opts, hooks);
+  ASSERT_TRUE(admin.Start().ok());
+
+  auto get = [&](const std::string& target) {
+    auto r = server::HttpGet("127.0.0.1", admin.port(), target);
+    EXPECT_TRUE(r.ok()) << target;
+    return *r;
+  };
+  // Default format is json; both explicit formats and the table filter
+  // reach the hook verbatim.
+  EXPECT_EQ(get("/indexes").body, "json|");
+  EXPECT_EQ(get("/indexes?format=text").body, "text|");
+  EXPECT_EQ(get("/indexes?format=json&table=fact").body, "json|fact");
+  EXPECT_EQ(get("/indexes?format=bogus").status_code, 400);
+  admin.Stop();
+
+  // No hook wired (the obs-disabled server): the endpoint must not exist.
+  server::AdminServer::Hooks none;
+  server::AdminServer bare(opts, none);
+  ASSERT_TRUE(bare.Start().ok());
+  const auto r = server::HttpGet("127.0.0.1", bare.port(), "/indexes");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status_code, 404);
+  bare.Stop();
+}
+
+// ----------------------- concurrent scrape vs swap -------------------------
+
+// The fleet view reads per-structure telemetry through shared_ptr pins
+// while the retrain loop keeps swapping replacements in and the serving
+// path keeps probing — the exact triple the admin plane runs live. TSan
+// runs this binary in CI.
+TEST(IndexFleet, ConcurrentScrapeSurvivesSwapsAndProbes) {
+  std::unique_ptr<engine::Database> db = MakeDb();
+  auto table_or = db->catalog().GetTable("health");
+  ASSERT_TRUE(table_or.ok());
+  Table* table = *table_or;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> renders{0};
+  std::vector<std::thread> workers;
+  for (int r = 0; r < 2; ++r) {
+    workers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const IndexBackend> idx = table->GetIndex(0);
+        ASSERT_NE(idx, nullptr);
+        (void)idx->Equal(static_cast<double>(rng.NextUint64(6000)));
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string body = server::RenderIndexFleet(*db, "json", "");
+      ASSERT_TRUE(obs::JsonValue::Parse(body).ok());
+      (void)server::RenderIndexFleet(*db, "text", "");
+      renders.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  drift::RetrainScheduler retrainer(
+      drift::RetrainScheduler::Options{nullptr, "test.health"});
+  int swaps = 0;
+  for (int round = 0; round < 10; ++round) {
+    retrainer.Schedule("health:0:0", [table]() -> std::shared_ptr<void> {
+      auto built =
+          engine::BuildIndexBackend(table->column(0), IndexBackendKind::kRmi);
+      if (!built.ok()) return nullptr;
+      return std::static_pointer_cast<void>(
+          std::const_pointer_cast<IndexBackend>(*built));
+    });
+    for (drift::RetrainScheduler::Ready& ready : retrainer.Drain()) {
+      auto replacement =
+          std::static_pointer_cast<const IndexBackend>(ready.model);
+      const std::shared_ptr<const IndexBackend> old = table->GetIndex(0);
+      auto swapped = table->SwapIndex(0, replacement);
+      ASSERT_TRUE(swapped.ok());
+      ++swaps;
+      // Audit the swap exactly as server_main does, so the render thread
+      // exercises the audit-ring + lazy-resolution path concurrently.
+      obs::RetrainRecord rec;
+      rec.label = "health:0:0";
+      rec.trigger = round % 2 == 0 ? "interval" : "staleness";
+      rec.queue_wait_seconds = ready.queue_wait_seconds;
+      rec.build_seconds = ready.fit_seconds;
+      rec.bytes_before = old == nullptr ? 0 : old->StructureBytes();
+      rec.bytes_after = replacement->StructureBytes();
+      std::weak_ptr<const IndexBackend> weak = replacement;
+      rec.err_after_probe = [weak]() -> double {
+        const auto live = weak.lock();
+        return live == nullptr ? 0.0 : live->probe_stats().ErrorP95();
+      };
+      obs::RetrainAuditLog::Global().Append(std::move(rec));
+    }
+  }
+  // The swap rounds can finish in single-digit milliseconds; keep the
+  // probes and scrapes running until the render thread has demonstrably
+  // overlapped them a few times.
+  for (int spin = 0; spin < 1000 && renders.load() < 5; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (std::thread& th : workers) th.join();
+  EXPECT_EQ(swaps, 10);
+  EXPECT_GT(renders.load(), 0u);
+  if (obs::ObsEnabled()) {
+    EXPECT_GE(obs::RetrainAuditLog::Global().total(), 10u);
+    const std::string body = server::RenderIndexFleet(*db, "json", "");
+    const auto doc = obs::JsonValue::Parse(body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_GE(doc->GetNumber("retrains"), 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace ml4db
