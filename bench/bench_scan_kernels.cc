@@ -1,0 +1,148 @@
+// EXP-V — vectorized scan kernels: rows/sec of the batched predicate
+// kernels (engine/vec) against the scalar reference loop (batch size 1,
+// the pre-vectorization executor body) on the seq-scan filter path, at
+// selectivities {0.001, 0.1, 0.9} and shards {1, 4}. Both paths run in
+// one process over the same sealed table, so the comparison isolates the
+// kernel (selection vectors over contiguous column chunks vs per-row
+// virtual-ish dispatch through the ReadView) from everything else.
+//
+// Exports (--json): the per-combination table plus ml4db.kernels.* gauges
+// for the headline combo (selectivity 0.001, 1 shard — the selective
+// filter scan the ISSUE's >= 1.5x acceptance bar is measured on),
+// validated by scripts/check_bench_json.py --require-kernels.
+//
+// Knobs: ML4DB_BENCH_ROWS (table size, default 2M), ML4DB_BATCH_ROWS
+// (vectorized batch size, default 1024).
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "engine/vec/kernels.h"
+
+namespace {
+
+using namespace ml4db;
+
+/// val is uniform over [0, kValDomain): a kLt predicate at
+/// kValDomain * selectivity passes that fraction of rows.
+constexpr int64_t kValDomain = 1000;
+
+engine::FilterPredicate SelPred(double selectivity) {
+  engine::FilterPredicate f;
+  f.column = 1;
+  f.op = engine::CompareOp::kLt;
+  f.value = static_cast<double>(kValDomain) * selectivity;
+  return f;
+}
+
+/// One timed pass: the filter kernel over every shard of the view at the
+/// given batch size. Returns rows scanned (the denominator is constant
+/// across batch sizes — output size varies with selectivity, input does
+/// not).
+size_t ScanOnce(const engine::Table::ReadView& view,
+                const std::vector<engine::FilterPredicate>& filters,
+                size_t batch_rows, std::vector<uint32_t>* out) {
+  size_t scanned = 0;
+  for (int s = 0; s < view.shard_count(); ++s) {
+    out->clear();
+    engine::vec::FilterRange(view, s, 0, view.ShardRows(s), filters, out,
+                             batch_rows);
+    scanned += view.ShardRows(s);
+  }
+  return scanned;
+}
+
+double RowsPerSec(const engine::Table::ReadView& view,
+                  const std::vector<engine::FilterPredicate>& filters,
+                  size_t batch_rows, size_t target_rows) {
+  std::vector<uint32_t> out;
+  ScanOnce(view, filters, batch_rows, &out);  // warmup (faults pages in)
+  size_t scanned = 0;
+  Stopwatch sw;
+  while (scanned < target_rows) {
+    scanned += ScanOnce(view, filters, batch_rows, &out);
+  }
+  const double secs = sw.ElapsedSeconds();
+  return secs > 0 ? static_cast<double>(scanned) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBench("scan_kernels", &argc, argv);
+
+  const size_t rows = static_cast<size_t>(
+      common::PositiveKnobFromEnv("ML4DB_BENCH_ROWS", 2'000'000));
+  // Enough repeat passes to dominate timer noise even on the tiny CI input.
+  const size_t target_rows = rows * 4;
+  const size_t batch = engine::vec::BatchRows();
+  bench::SetBenchConfig("rows", std::to_string(rows));
+  bench::SetBenchConfig("batch_rows", std::to_string(batch));
+
+  bench::PrintHeader("EXP-V scan kernels: scalar vs vectorized rows/sec");
+  bench::Table table({"shards", "selectivity", "scalar_rows_per_sec",
+                      "vector_rows_per_sec", "speedup"});
+
+  double headline_scalar = 0, headline_vector = 0;
+  for (int shards : {1, 4}) {
+    engine::DatabaseOptions dopts;
+    dopts.partition.shards = shards;
+    engine::Database db(dopts);
+    engine::TableSchema schema;
+    schema.name = "scan";
+    schema.columns = {{"id", engine::DataType::kInt64},
+                      {"val", engine::DataType::kInt64}};
+    auto created = db.catalog().CreateTable(schema);
+    ML4DB_CHECK(created.ok());
+    engine::Table* t = *created;
+    std::vector<std::vector<int64_t>> cols(2);
+    for (size_t i = 0; i < rows; ++i) {
+      cols[0].push_back(static_cast<int64_t>(i));
+      // splitmix-ish scramble keeps values uncorrelated with position so
+      // the branchy scalar loop can't ride the branch predictor.
+      uint64_t x = i * 0x9e3779b97f4a7c15ULL;
+      x ^= x >> 31;
+      cols[1].push_back(static_cast<int64_t>(x % kValDomain));
+    }
+    ML4DB_CHECK(t->AppendColumnarInt64(cols).ok());
+    t->Seal();
+    const engine::Table::ReadView view = t->View();
+
+    for (double sel : {0.001, 0.1, 0.9}) {
+      const std::vector<engine::FilterPredicate> filters = {SelPred(sel)};
+      const double scalar = RowsPerSec(view, filters, 1, target_rows);
+      const double vectored = RowsPerSec(view, filters, batch, target_rows);
+      const double speedup = scalar > 0 ? vectored / scalar : 0.0;
+      table.AddRow({std::to_string(shards), bench::Fmt(sel, 3),
+                    bench::FmtInt(scalar), bench::FmtInt(vectored),
+                    bench::Fmt(speedup, 2)});
+      if (shards == 1 && sel == 0.001) {
+        headline_scalar = scalar;
+        headline_vector = vectored;
+      }
+    }
+  }
+  table.Print();
+
+  // Headline gauges (selective filter, 1 shard): what the CI schema check
+  // requires and the acceptance speedup is read from.
+  obs::GetGauge("ml4db.kernels.scalar_rows_per_sec")->Set(headline_scalar);
+  obs::GetGauge("ml4db.kernels.vector_rows_per_sec")->Set(headline_vector);
+  obs::GetGauge("ml4db.kernels.speedup")
+      ->Set(headline_scalar > 0 ? headline_vector / headline_scalar : 0.0);
+  obs::GetGauge("ml4db.kernels.batch_rows")
+      ->Set(static_cast<double>(batch));
+
+  std::printf(
+      "\nShape check: vectorized >= 1.5x scalar on the selective filter "
+      "(sel=0.001, 1 shard); the gap narrows as selectivity rises and "
+      "output assembly dominates.\n");
+  return 0;
+}

@@ -11,7 +11,10 @@
 // server's star schema *shape* (table names + columns are deterministic
 // in --dims/--seed, independent of row counts) over a tiny local replica
 // and serializes each generated query with Query::ToString — the text the
-// server parses back.
+// server parses back. Shapes come from a fixed --templates pool (default
+// 12) shared across workers with per-query literals, the bounded-shape
+// locality a real serving workload has (and the plan cache / workload
+// profile assume); --templates 0 restores a fresh random shape per query.
 //
 // Exit code is non-zero when responses were lost or nothing succeeded, so
 // CI smoke fails loudly.
@@ -91,6 +94,26 @@ struct Flags {
   /// Which index backend the *server* was started with; stamped into the
   /// bench JSON so per-backend serve runs are distinguishable downstream.
   std::string index_backend = "sorted";
+  /// Size of the fixed query-template pool every worker draws from: a
+  /// real serving workload repeats a bounded set of shapes (the premise
+  /// of both the workload profile and the plan cache), so shapes recur
+  /// while literals stay fresh per query. 0 = a brand-new random
+  /// template per query (the pre-plan-cache stream: near-unique shapes).
+  int templates = 12;
+};
+
+/// Per-worker query source: fresh literals from this worker's generator,
+/// shapes drawn uniformly from the shared template pool (or fully random
+/// when the pool is empty).
+struct QueryStream {
+  workload::QueryGenerator gen;
+  std::vector<workload::QueryTemplate> pool;
+  Rng pick;
+
+  engine::Query Next() {
+    if (pool.empty()) return gen.Next();
+    return gen.Instantiate(pool[pick.NextUint64(pool.size())]);
+  }
 };
 
 struct ScrapeTally {
@@ -131,9 +154,13 @@ double PromValue(const std::string& body, const std::string& name) {
 /// exercise of the exposition path.
 void ScrapeWorker(const Flags& flags, const std::atomic<bool>* stop,
                   ScrapeTally* tally) {
-  static const char* kTargets[] = {"/metrics",      "/events?n=32",
-                                   "/slow",         "/readyz",
-                                   "/workload?n=8", "/indexes?format=json"};
+  // /indexes sits second so even a short run records an in-flight
+  // probe-sample peak before the first retrain wave resets the
+  // per-structure counters — the post-run scrape alone races those
+  // resets once load (and thus probing) has stopped.
+  static const char* kTargets[] = {"/metrics", "/indexes?format=json",
+                                   "/events?n=32", "/slow",
+                                   "/readyz", "/workload?n=8"};
   constexpr size_t kNumTargets = sizeof(kTargets) / sizeof(kTargets[0]);
   static obs::Histogram* scrape_us =
       obs::GetHistogram("ml4db.serve.scrape_latency_us");
@@ -287,7 +314,7 @@ void RecordLatency(Clock::time_point sent_at, Clock::time_point now,
 /// Closed loop: next query only after the previous response — models a
 /// user who waits. Per-connection concurrency of exactly 1.
 void ClosedLoopWorker(const Flags& flags, uint64_t session_id,
-                      workload::QueryGenerator gen, WriteGen wgen,
+                      QueryStream gen, WriteGen wgen,
                       Tally* tally, Tally* wtally) {
   server::Client client(session_id);
   if (!client.Connect(flags.host, flags.port).ok()) {
@@ -320,7 +347,7 @@ void ClosedLoopWorker(const Flags& flags, uint64_t session_id,
 /// (pipelined), so server-side queueing shows up as client latency and —
 /// past the admission bound — as OVERLOADED sheds.
 void OpenLoopWorker(const Flags& flags, uint64_t session_id, double rate_qps,
-                    workload::QueryGenerator gen, WriteGen wgen, Tally* tally,
+                    QueryStream gen, WriteGen wgen, Tally* tally,
                     Tally* wtally) {
   server::Client client(session_id);
   if (!client.Connect(flags.host, flags.port).ok()) {
@@ -434,6 +461,7 @@ int main(int argc, char** argv) {
     else if (arg == "--write-shard") flags.write_shard = std::atoi(value());
     else if (arg == "--write-count") flags.write_count = std::strtoll(value(), nullptr, 10);
     else if (arg == "--index-backend") flags.index_backend = value();
+    else if (arg == "--templates") flags.templates = std::max(std::atoi(value()), 0);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -447,6 +475,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   bench::SetBenchConfig("index_backend", flags.index_backend);
+  bench::SetBenchConfig("templates", std::to_string(flags.templates));
   bench::SetBenchConfig("write_ratio", bench::Fmt(flags.write_ratio, 3));
   bench::SetBenchConfig("shards", std::to_string(flags.shards));
   if (flags.write_shard >= 0) {
@@ -469,6 +498,39 @@ int main(int argc, char** argv) {
   qopts.min_tables = 2;
   qopts.max_tables = 4;
   qopts.seed = flags.seed ^ 0xbe7cULL;
+
+  // One shared template pool, drawn once: every worker samples shapes
+  // from the same bounded set (literals stay per-worker random), so the
+  // stream has the shape locality a real serving workload has.
+  std::vector<workload::QueryTemplate> template_pool;
+  if (flags.templates > 0) {
+    workload::QueryGenerator pool_gen(&*schema, qopts);
+    Rng op_rng(flags.seed ^ 0x0b5e55edULL);
+    template_pool.reserve(flags.templates);
+    for (int i = 0; i < flags.templates; ++i) {
+      workload::QueryTemplate tmpl = pool_gen.MakeTemplate();
+      // Pin each filter's operator at pool-draw time (the prepared-
+      // statement model): one template = one plan-cache shape, with only
+      // the literals varying per instantiation. The first filtered
+      // template is pinned all-equality — a point-lookup statement, the
+      // always-index-probing shape every real workload has. That matters
+      // under the plan cache: a range shape primed with a wide literal
+      // caches a seq-scan plan for every later instance, so without a
+      // point-lookup shape the whole stream can stop probing indexes.
+      const bool first_filtered =
+          !tmpl.filter_on.empty() &&
+          std::none_of(template_pool.begin(), template_pool.end(),
+                       [](const workload::QueryTemplate& t) {
+                         return !t.filter_on.empty();
+                       });
+      for (size_t f = 0; f < tmpl.filter_on.size(); ++f) {
+        const bool eq = first_filtered || op_rng.Bernoulli(0.15);
+        tmpl.filter_op.push_back(eq ? engine::CompareOp::kEq
+                                    : engine::CompareOp::kBetween);
+      }
+      template_pool.push_back(std::move(tmpl));
+    }
+  }
 
   // Write generation targets the fact table (= the star schema's hub).
   const auto fact = replica.catalog().GetTable(schema->table_names[0]);
@@ -494,7 +556,8 @@ int main(int argc, char** argv) {
   for (int c = 0; c < flags.connections; ++c) {
     workload::QueryGenOptions wopts = qopts;
     wopts.seed = qopts.seed + static_cast<uint64_t>(c) * 7919;
-    workload::QueryGenerator gen(&*schema, wopts);
+    QueryStream gen{workload::QueryGenerator(&*schema, wopts), template_pool,
+                    Rng(flags.seed ^ (0x7e3a91ULL + static_cast<uint64_t>(c)))};
     WriteGen wgen = wgen_proto;
     wgen.rng = Rng(flags.seed ^ (0x57ca1eULL + static_cast<uint64_t>(c)));
     // Disjoint per-worker id ranges keep INSERTed fact ids unique.

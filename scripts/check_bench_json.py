@@ -34,6 +34,11 @@ Flags:
                         least one exported metric name contains "shard"
                         (the ml4db.shard.* family on the server side,
                         ml4db.serve.shards on the load-gen side)
+  --require-kernels     fail unless the scan-kernel comparison gauges are
+                        present and live (ml4db.kernels.{scalar,vector}_
+                        rows_per_sec > 0, speedup > 0, batch_rows > 1 —
+                        bench_scan_kernels' headline selective-filter
+                        combo)
   --quiet               print nothing on success
 
 The schema is documented in DESIGN.md ("Observability"). This script is wired
@@ -236,6 +241,33 @@ def _check_introspection_metrics(metrics):
             f"probe_err_p95_peak ({peak}) must be non-negative")
 
 
+KERNEL_REQUIRED_GAUGES = {
+    "ml4db.kernels.scalar_rows_per_sec",
+    "ml4db.kernels.vector_rows_per_sec",
+    "ml4db.kernels.speedup",
+    "ml4db.kernels.batch_rows",
+}
+
+
+def _check_kernel_metrics(metrics):
+    """--require-kernels: bench_scan_kernels' headline gauges must be
+    present and show both paths actually ran (rows/sec > 0) with a real
+    batch size (> 1, else the "vectorized" path was the scalar loop). The
+    1.5x speedup acceptance bar is a perf property checked by the bench
+    gate, not a schema property, so only speedup > 0 is asserted here."""
+    gauges = {g["name"]: g for g in metrics["gauges"]}
+    missing = sorted(KERNEL_REQUIRED_GAUGES - set(gauges))
+    _ensure(not missing,
+            f"scan-kernel gauge set incomplete, missing: {', '.join(missing)}")
+    for name in ("ml4db.kernels.scalar_rows_per_sec",
+                 "ml4db.kernels.vector_rows_per_sec",
+                 "ml4db.kernels.speedup"):
+        _ensure(gauges[name]["value"] > 0,
+                f"--require-kernels: {name} is not positive")
+    _ensure(gauges["ml4db.kernels.batch_rows"]["value"] > 1,
+            "--require-kernels: batch_rows <= 1 (vectorized path disabled)")
+
+
 def _check_workload_metrics(metrics):
     """--require-workload: bench_serve's post-run /workload scrape summary
     must be present and show a non-trivial profile."""
@@ -254,7 +286,7 @@ def _check_workload_metrics(metrics):
 def validate(doc, require_histogram=False, require_event=False,
              require_server=False, require_workload=False,
              require_introspection=False, require_writes=False,
-             require_shards=False, require_config=()):
+             require_shards=False, require_kernels=False, require_config=()):
     _ensure(isinstance(doc, dict), "top level must be an object")
     _ensure(doc.get("schema_version") == 1,
             f"schema_version must be 1, got {doc.get('schema_version')!r}")
@@ -357,6 +389,8 @@ def validate(doc, require_histogram=False, require_event=False,
         _check_write_metrics(metrics)
     if require_shards:
         _check_shard_metrics(doc)
+    if require_kernels:
+        _check_kernel_metrics(metrics)
 
     if require_histogram:
         good = [h for h in metrics["histograms"] if h["count"] > 0]
@@ -374,6 +408,7 @@ def main(argv):
     require_introspection = "--require-introspection" in args
     require_writes = "--require-writes" in args
     require_shards = "--require-shards" in args
+    require_kernels = "--require-kernels" in args
     quiet = "--quiet" in args
     require_config = []
     filtered = []
@@ -392,7 +427,7 @@ def main(argv):
             if a not in ("--require-histogram", "--require-event",
                          "--require-server", "--require-workload",
                          "--require-introspection", "--require-writes",
-                         "--require-shards", "--quiet")]
+                         "--require-shards", "--require-kernels", "--quiet")]
 
     if args and args[0] == "--run":
         if len(args) < 2:
@@ -429,6 +464,7 @@ def main(argv):
                  require_introspection=require_introspection,
                  require_writes=require_writes,
                  require_shards=require_shards,
+                 require_kernels=require_kernels,
                  require_config=require_config)
     except SchemaError as e:
         print(f"FAIL [{source}]: {e}", file=sys.stderr)

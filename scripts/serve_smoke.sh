@@ -260,7 +260,36 @@ if grep -q 'obs="on"' "$WORK_DIR/metrics.prom"; then
     --require ml4db_workload_evictions_total \
     --require ml4db_workload_drift_total \
     --require ml4db_build_info \
-    --require-nonzero ml4db_uptime_seconds
+    --require-nonzero ml4db_uptime_seconds \
+    --require-nonzero ml4db_plan_cache_hits \
+    --require ml4db_plan_cache_misses \
+    --require ml4db_plan_cache_invalidations \
+    --require-nonzero ml4db_server_arena_high_water_bytes
+  # Plan cache: a serving workload repeats a bounded set of query shapes,
+  # so at steady state nearly every request must plan off the cache —
+  # even though the background retrain swaps (and, in writes mode, delta
+  # folds) keep bumping the invalidation epoch mid-run.
+  PC_HITS=$(prom_value ml4db_plan_cache_hits "$WORK_DIR/metrics.prom")
+  PC_MISSES=$(prom_value ml4db_plan_cache_misses "$WORK_DIR/metrics.prom")
+  python3 - "$PC_HITS" "$PC_MISSES" <<'PYEOF'
+import sys
+hits, misses = float(sys.argv[1]), float(sys.argv[2])
+assert hits + misses > 0, "plan cache was never consulted under load"
+rate = hits / (hits + misses)
+assert rate > 0.9, (f"plan-cache hit rate {rate:.3f} <= 0.9 "
+                    f"(hits={hits:.0f} misses={misses:.0f})")
+print(f"plan cache OK: hit rate {rate:.3f} "
+      f"({hits:.0f}/{hits + misses:.0f} lookups)")
+PYEOF
+  # Session arena: responses encode into a reusable per-session buffer;
+  # a loaded run must have grown it (a zero high-water mark would mean
+  # the arena path never ran).
+  ARENA_HW=$(prom_value ml4db_server_arena_high_water_bytes "$WORK_DIR/metrics.prom")
+  [[ -n "$ARENA_HW" && "$ARENA_HW" != "0" ]] || {
+    echo "FAIL: ml4db_server_arena_high_water_bytes is" \
+      "'${ARENA_HW:-absent}' after a loaded run" >&2
+    exit 1; }
+  echo "serve_smoke: arena high-water ${ARENA_HW} bytes"
   $CURL "http://127.0.0.1:$ADMIN_PORT/slow" >"$WORK_DIR/slow.json"
   python3 - "$WORK_DIR/slow.json" <<'PYEOF'
 import json, sys

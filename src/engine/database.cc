@@ -1,7 +1,9 @@
 #include "engine/database.h"
 
+#include "common/stopwatch.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ml4db {
 namespace engine {
@@ -22,6 +24,10 @@ Database::Database(DatabaseOptions options) : options_(options) {
       "ml4db.shard.config",
       {{"shards", std::to_string(options_.partition.shards)},
        {"mode", sharding::PartitionModeName(options_.partition.mode)}});
+  // Scrape-visible plan-cache mode, like the backend/shard info rows.
+  obs::SetRuntimeInfoMetric(
+      "ml4db.plan_cache.config",
+      {{"enabled", options_.plan_cache ? "on" : "off"}});
   card_est_ = std::make_unique<HistogramCardEstimator>(&catalog_, &stats_);
   planner_ctx_.catalog = &catalog_;
   planner_ctx_.stats = &stats_;
@@ -47,7 +53,35 @@ Status Database::AnalyzeAll() {
 
 StatusOr<PhysicalPlan> Database::Plan(const Query& query,
                                       const HintSet& hints) const {
-  return optimizer_->Optimize(query, hints);
+  // Hinted plans (Bao/AutoSteer arms) are deliberate deviations from the
+  // default plan — caching them under the same shape would serve the
+  // wrong arm, so only default-hint queries touch the cache.
+  if (!options_.plan_cache || !(hints == HintSet{})) {
+    return optimizer_->Optimize(query, hints);
+  }
+  Stopwatch sw;
+  const QueryShape shape = ComputeQueryShape(query);
+  // Read the epoch before optimizing: a structural change landing while
+  // the optimizer runs must invalidate this entry, not race it in fresh.
+  const uint64_t epoch = PlanCacheEpoch();
+  if (auto cached = plan_cache_.Lookup(query, shape)) {
+    // A hit is still the plan-acquisition stage of the request — trace it
+    // under the same span name the optimizer uses, so the queue_wait /
+    // optimize / execute breakdown stays complete either way.
+    if (obs::QueryTrace* trace = obs::TraceScope::Current()) {
+      obs::TraceSpan span;
+      span.name = "optimize";
+      span.latency = sw.ElapsedSeconds() * 1e6;
+      span.est_cost = cached->est_cost;
+      span.attrs.emplace_back("unit", "us");
+      span.attrs.emplace_back("plan_cache", "hit");
+      trace->spans.push_back(std::move(span));
+    }
+    return std::move(*cached);
+  }
+  ML4DB_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer_->Optimize(query, hints));
+  plan_cache_.Insert(shape, plan, epoch);
+  return plan;
 }
 
 StatusOr<ExecutionResult> Database::Execute(const Query& query,
@@ -104,6 +138,8 @@ void Database::SetPlannerParams(const CostParams& params) {
   options_.planner_params = params;
   planner_ctx_.cost_model = CostModel(params);
   optimizer_ = std::make_unique<DpOptimizer>(planner_ctx_);
+  // New cost constants change plan choices; stale entries must replan.
+  BumpPlanCacheEpoch();
 }
 
 }  // namespace engine

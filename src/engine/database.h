@@ -11,6 +11,7 @@
 
 #include "engine/dp_optimizer.h"
 #include "engine/executor.h"
+#include "engine/plan_cache.h"
 
 namespace ml4db {
 namespace engine {
@@ -33,6 +34,11 @@ struct DatabaseOptions {
   int histogram_buckets = 64;
   int sample_size = 256;
   uint64_t analyze_seed = 1;
+  /// Consult the shape-keyed plan cache (plan_cache.h) before the DP
+  /// optimizer; non-default hint sets always bypass it. Defaults to the
+  /// ML4DB_PLAN_CACHE env knob — off when unset, so library users opt in
+  /// (ml4db_server flips its default to on via --plan-cache).
+  bool plan_cache = PlanCacheFromEnv(false);
 };
 
 /// An in-memory database instance.
@@ -83,6 +89,11 @@ class Database {
   /// Replaces the planner's cost constants (ParamTree integration point).
   void SetPlannerParams(const CostParams& params);
 
+  /// The shape-keyed plan cache (hit/miss/invalidation stats for tests
+  /// and /metrics); only consulted when options.plan_cache is on.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  bool plan_cache_enabled() const { return options_.plan_cache; }
+
  private:
   DatabaseOptions options_;
   Catalog catalog_;
@@ -91,6 +102,9 @@ class Database {
   PlannerContext planner_ctx_;
   std::unique_ptr<DpOptimizer> optimizer_;
   std::unique_ptr<Executor> executor_;
+  /// Internally synchronized; Plan() is const and runs concurrently from
+  /// RunBatch pool workers.
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace engine

@@ -7,6 +7,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "engine/vec/kernels.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -134,17 +135,8 @@ void ProfilePlan(const PlanNode& node, const Catalog& catalog,
 
 }  // namespace
 
-bool EvalFilter(const FilterPredicate& f, double v) {
-  switch (f.op) {
-    case CompareOp::kEq: return v == f.value;
-    case CompareOp::kLt: return v < f.value;
-    case CompareOp::kLe: return v <= f.value;
-    case CompareOp::kGt: return v > f.value;
-    case CompareOp::kGe: return v >= f.value;
-    case CompareOp::kBetween: return v >= f.value && v <= f.value2;
-  }
-  return false;
-}
+// EvalFilter is defined with the vectorized kernels (vec/kernels.cc) so
+// every filter path shares one comparison.
 
 /// Tuples of base-table row ids; `slots[i]` names the query slot whose row
 /// id lives at position i of each tuple.
@@ -312,18 +304,7 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
       // each surviving shard becomes one scan task on the shared pool.
       const std::vector<int> scan_shards = table->PruneShards(node->filters);
       auto scan_shard = [&](int s, std::vector<uint32_t>* dst) {
-        const size_t n = view.ShardRows(s);
-        for (size_t local = 0; local < n; ++local) {
-          if (view.ShardIsDeleted(s, local)) continue;
-          bool pass = true;
-          for (const auto& f : node->filters) {
-            if (!EvalFilter(f, view.ShardGetNumeric(s, f.column, local))) {
-              pass = false;
-              break;
-            }
-          }
-          if (pass) dst->push_back(Table::ReadView::GlobalId(s, local));
-        }
+        vec::FilterRange(view, s, 0, view.ShardRows(s), node->filters, dst);
       };
       size_t scanned_rows = 0;
       if (scan_shards.size() <= 1) {
@@ -419,32 +400,13 @@ StatusOr<Executor::Intermediate> Executor::ExecNode(
             index.ProbePageCost(static_cast<double>(candidates.size()));
         p->candidates = candidates.size();
         p->tail = shard_rows - covered;
-        for (uint32_t r : candidates) {
-          if (r >= covered || view.ShardIsDeleted(s, r)) continue;
-          bool pass = true;
-          for (size_t fi = 0; fi < node->filters.size(); ++fi) {
-            const auto& f = node->filters[fi];
-            // The index handles equality/between exactly; strict bounds
-            // still need rechecking, so apply every filter including the
-            // indexed one.
-            if (!EvalFilter(f, view.ShardGetNumeric(s, f.column, r))) {
-              pass = false;
-              break;
-            }
-          }
-          if (pass) p->rows.push_back(Table::ReadView::GlobalId(s, r));
-        }
-        for (size_t local = covered; local < shard_rows; ++local) {
-          if (view.ShardIsDeleted(s, local)) continue;
-          bool pass = true;
-          for (const auto& f : node->filters) {
-            if (!EvalFilter(f, view.ShardGetNumeric(s, f.column, local))) {
-              pass = false;
-              break;
-            }
-          }
-          if (pass) p->rows.push_back(Table::ReadView::GlobalId(s, local));
-        }
+        // The index handles equality/between exactly; strict bounds still
+        // need rechecking, so the gather kernel applies every filter
+        // including the indexed one.
+        vec::FilterCandidates(view, s, candidates, covered, node->filters,
+                              &p->rows);
+        vec::FilterRange(view, s, covered, shard_rows, node->filters,
+                         &p->rows);
       };
       std::vector<ShardProbe> probes(scan_shards.size());
       if (scan_shards.size() <= 1) {

@@ -1,0 +1,162 @@
+#include "engine/plan_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ml4db {
+namespace engine {
+
+namespace {
+
+std::atomic<uint64_t> g_plan_epoch{1};
+
+obs::Counter* Hits() {
+  static obs::Counter* c = obs::GetCounter("ml4db.plan_cache.hits");
+  return c;
+}
+obs::Counter* Misses() {
+  static obs::Counter* c = obs::GetCounter("ml4db.plan_cache.misses");
+  return c;
+}
+obs::Counter* Invalidations() {
+  static obs::Counter* c = obs::GetCounter("ml4db.plan_cache.invalidations");
+  return c;
+}
+
+/// Occurrence-ordered literal lists of one query, keyed by the filter's
+/// shape identity (slot, column, op). Two queries of equal shape have
+/// equal key multisets, so rebinding matches the cached tree's k-th
+/// (slot, column, op) filter to the new query's k-th — conjunctions are
+/// order-independent, so any occurrence pairing yields identical results.
+struct LiteralBinder {
+  struct Slot {
+    std::vector<std::pair<double, double>> literals;
+    size_t next = 0;
+  };
+  std::unordered_map<uint64_t, Slot> slots;
+
+  static uint64_t Key(const FilterPredicate& f) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(f.table_slot)) << 40) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(f.column)) << 8) |
+           static_cast<uint64_t>(f.op);
+  }
+
+  explicit LiteralBinder(const Query& query) {
+    for (const auto& f : query.filters) {
+      slots[Key(f)].literals.emplace_back(f.value, f.value2);
+    }
+  }
+
+  /// Patches one plan filter in place; false when the query has no
+  /// literal left for its key (shape mismatch — treat as a miss).
+  bool Bind(FilterPredicate* f) {
+    auto it = slots.find(Key(*f));
+    if (it == slots.end() || it->second.next >= it->second.literals.size()) {
+      return false;
+    }
+    const auto& [v, v2] = it->second.literals[it->second.next++];
+    f->value = v;
+    f->value2 = v2;
+    return true;
+  }
+};
+
+/// Pre-order walk patching every filter literal in the tree.
+bool RebindTree(PlanNode* node, LiteralBinder* binder) {
+  for (auto& f : node->filters) {
+    if (!binder->Bind(&f)) return false;
+  }
+  for (auto& child : node->children) {
+    if (!RebindTree(child.get(), binder)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t PlanCacheEpoch() {
+  return g_plan_epoch.load(std::memory_order_acquire);
+}
+
+void BumpPlanCacheEpoch() {
+  g_plan_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool PlanCacheFromEnv(bool fallback) {
+  const char* raw = std::getenv("ML4DB_PLAN_CACHE");
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  if (std::strcmp(raw, "0") == 0 || std::strcmp(raw, "off") == 0 ||
+      std::strcmp(raw, "false") == 0) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<PhysicalPlan> PlanCache::Lookup(const Query& query,
+                                              const QueryShape& shape) {
+  const uint64_t epoch = PlanCacheEpoch();
+  bool stale = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(shape.hash);
+    if (it != entries_.end() && it->second.canonical == shape.canonical) {
+      if (it->second.epoch == epoch) {
+        PhysicalPlan plan = it->second.plan.Clone();
+        lock.unlock();
+        LiteralBinder binder(query);
+        if (plan.root != nullptr && RebindTree(plan.root.get(), &binder)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          Hits()->Inc();
+          return plan;
+        }
+      } else {
+        stale = true;
+      }
+    }
+  }
+  if (stale) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(shape.hash);
+    // Re-check under the exclusive lock: a concurrent replan may have
+    // refreshed the entry already.
+    if (it != entries_.end() && it->second.epoch != PlanCacheEpoch()) {
+      entries_.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      Invalidations()->Inc();
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Misses()->Inc();
+  return std::nullopt;
+}
+
+void PlanCache::Insert(const QueryShape& shape, const PhysicalPlan& plan,
+                       uint64_t epoch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.size() >= capacity_ && entries_.count(shape.hash) == 0) {
+    // Bounded map; shapes beyond capacity evict an arbitrary entry (real
+    // workloads have far fewer hot shapes than slots).
+    entries_.erase(entries_.begin());
+  }
+  Entry& e = entries_[shape.hash];
+  e.canonical = shape.canonical;
+  e.epoch = epoch;
+  e.plan = plan;
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace engine
+}  // namespace ml4db

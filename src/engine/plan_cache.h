@@ -1,0 +1,104 @@
+// Shape-keyed plan cache: reuses DP-optimizer plans across queries that
+// share a ComputeQueryShape fingerprint, rebinding the new query's
+// literals into a clone of the cached tree. A cached plan is structurally
+// valid for any query of the same shape (same tables, join edges, and
+// filter (slot, column, op) multiset — only constants differ); it may be
+// suboptimal for very different literals, which is the classical plan-
+// cache tradeoff, never a correctness one.
+//
+// Invalidation is epoch-based: a process-wide structural epoch is bumped
+// whenever anything a plan depends on changes — an index is published
+// (build, retrain swap, delta-merge rebuild), dropped, statistics are
+// rebuilt, or planner cost constants change. Entries carry the epoch in
+// force when planning started; a lookup that finds an older epoch counts
+// an invalidation and replans. The epoch is global (not per table):
+// coarse, but correct under every race, and structural changes are rare
+// next to steady-state reads.
+//
+// Thread-safe: lookups take a shared lock (RunBatch plans from many pool
+// workers concurrently); inserts and stale-entry eviction take the
+// exclusive lock. Counters ml4db.plan_cache.{hits,misses,invalidations}
+// mirror to the metrics registry, and stats() exposes them directly so
+// tests work under ML4DB_OBS_DISABLED.
+
+#ifndef ML4DB_ENGINE_PLAN_CACHE_H_
+#define ML4DB_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/plan.h"
+#include "engine/query.h"
+
+namespace ml4db {
+namespace engine {
+
+/// Current structural epoch. Plans optimized under an older epoch are
+/// stale.
+uint64_t PlanCacheEpoch();
+
+/// Bumps the structural epoch, lazily invalidating every cached plan.
+/// Called by Table::PublishIndex / Table::DropIndex, StatsCatalog::Put,
+/// and Database::SetPlannerParams.
+void BumpPlanCacheEpoch();
+
+/// Parses the ML4DB_PLAN_CACHE env knob: "0" / "off" / "false" disable,
+/// any other non-empty value enables, unset keeps `fallback` (the engine
+/// default is off so library users opt in; ml4db_server defaults on).
+bool PlanCacheFromEnv(bool fallback);
+
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns a literal-rebound clone of the cached plan for the query's
+  /// shape, or nullopt on a miss (also counting stale-epoch evictions).
+  std::optional<PhysicalPlan> Lookup(const Query& query,
+                                     const QueryShape& shape);
+
+  /// Caches a plan for the shape, stamped with `epoch` — the structural
+  /// epoch read BEFORE optimization, so a structural change landing
+  /// mid-plan invalidates the entry rather than racing it in.
+  void Insert(const QueryShape& shape, const PhysicalPlan& plan,
+              uint64_t epoch);
+
+  void Clear();
+
+  Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    return s;
+  }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string canonical;  ///< collision guard for the 64-bit hash key
+    uint64_t epoch = 0;
+    PhysicalPlan plan;
+  };
+
+  const size_t capacity_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_PLAN_CACHE_H_

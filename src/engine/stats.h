@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "engine/plan_cache.h"
 #include "engine/table.h"
 
 namespace ml4db {
@@ -89,6 +90,9 @@ class StatsCatalog {
  public:
   void Put(const std::string& table_name, TableStats stats) {
     stats_[table_name] = std::move(stats);
+    // Fresh statistics change cardinality estimates, so cached plans for
+    // every shape must replan (plan_cache.h).
+    BumpPlanCacheEpoch();
   }
   const TableStats* Get(const std::string& table_name) const {
     auto it = stats_.find(table_name);

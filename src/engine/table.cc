@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/plan_cache.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 
@@ -487,6 +488,8 @@ void Table::DropIndex(int column_idx) {
   }
   if (!dropped.empty()) {
     obs::GetGauge("ml4db.index.structure_bytes")->Add(-bytes);
+    // Cached plans may reference the dropped index — invalidate them.
+    BumpPlanCacheEpoch();
   }
 }
 
@@ -566,6 +569,9 @@ void Table::PublishIndex(int shard, int column_idx, IndexBackendKind kind,
       old == nullptr ? 0.0 : static_cast<double>(old->StructureBytes());
   obs::GetGauge("ml4db.index.structure_bytes")->Add(new_bytes - old_bytes);
   obs::GetCounter("ml4db.index.builds_total")->Inc();
+  // Every publication — first build, retrain swap, delta-merge rebuild —
+  // changes what the optimizer should pick; stale cached plans replan.
+  BumpPlanCacheEpoch();
   if (is_swap) {
     obs::GetCounter("ml4db.index.swaps_total")->Inc();
     std::string what = schema_.name + ".c" + std::to_string(column_idx);

@@ -221,6 +221,23 @@ class Table {
       return ShardIsDeleted(s, local);
     }
 
+    /// Rows of one shard resident in sealed base storage; locals at or
+    /// beyond it live in the delta tail. The vectorized kernels
+    /// (vec/kernels.h) batch only over [0, ShardBaseRows).
+    size_t ShardBaseRows(int shard) const {
+      return shards_[shard].base_rows;
+    }
+    /// Raw base column of one shard: contiguous storage the dense-select
+    /// kernels read directly. Valid rows are [0, ShardBaseRows(shard)).
+    const Column& ShardColumn(int shard, int col) const {
+      return (*shards_[shard].columns)[col];
+    }
+    /// Whether this shard has any tombstoned row under the snapshot (the
+    /// kernels skip the per-row tombstone refine entirely when false).
+    bool ShardAnyDeleted(int shard) const {
+      return shards_[shard].any_deleted;
+    }
+
     /// Shard-local accessors: the executor's per-shard scan loops skip
     /// the id decode on their hot path.
     double ShardGetNumeric(int shard, int col, size_t local) const {

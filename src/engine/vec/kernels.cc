@@ -1,0 +1,302 @@
+#include "engine/vec/kernels.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+
+namespace ml4db {
+namespace engine {
+
+bool EvalFilter(const FilterPredicate& f, double v) {
+  switch (f.op) {
+    case CompareOp::kEq: return v == f.value;
+    case CompareOp::kLt: return v < f.value;
+    case CompareOp::kLe: return v <= f.value;
+    case CompareOp::kGt: return v > f.value;
+    case CompareOp::kGe: return v >= f.value;
+    case CompareOp::kBetween: return v >= f.value && v <= f.value2;
+  }
+  return false;
+}
+
+namespace vec {
+
+namespace {
+
+/// Dense select: emits into `sel` the offsets in [0, n) of `d` passing
+/// `pred`. The body is one contiguous load + compare + unconditional
+/// store with a predicated index bump — branchless, so the compiler can
+/// vectorize it and a selective filter costs no mispredictions.
+template <typename T, typename Pred>
+size_t DenseSelect(const T* d, size_t n, uint32_t* sel, Pred pred) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += pred(d[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+/// Refine: compacts `sel` (offsets into `d`) down to the entries passing
+/// `pred`, in place, preserving order.
+template <typename T, typename Pred>
+size_t RefineSelect(const T* d, uint32_t* sel, size_t n, Pred pred) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t idx = sel[i];
+    sel[k] = idx;
+    k += pred(d[idx]) ? 1 : 0;
+  }
+  return k;
+}
+
+/// Instantiates the op-specialized tight loop for one filter. Values are
+/// cast to double exactly like Column::GetNumeric, so int64 and float64
+/// columns compare identically to the scalar path.
+template <typename T>
+size_t DenseSelectOp(const T* d, size_t n, uint32_t* sel,
+                     const FilterPredicate& f) {
+  const double lo = f.value;
+  const double hi = f.value2;
+  switch (f.op) {
+    case CompareOp::kEq:
+      return DenseSelect(d, n, sel,
+                         [lo](T v) { return static_cast<double>(v) == lo; });
+    case CompareOp::kLt:
+      return DenseSelect(d, n, sel,
+                         [lo](T v) { return static_cast<double>(v) < lo; });
+    case CompareOp::kLe:
+      return DenseSelect(d, n, sel,
+                         [lo](T v) { return static_cast<double>(v) <= lo; });
+    case CompareOp::kGt:
+      return DenseSelect(d, n, sel,
+                         [lo](T v) { return static_cast<double>(v) > lo; });
+    case CompareOp::kGe:
+      return DenseSelect(d, n, sel,
+                         [lo](T v) { return static_cast<double>(v) >= lo; });
+    case CompareOp::kBetween:
+      return DenseSelect(d, n, sel, [lo, hi](T v) {
+        const double x = static_cast<double>(v);
+        return x >= lo && x <= hi;
+      });
+  }
+  return 0;
+}
+
+template <typename T>
+size_t RefineSelectOp(const T* d, uint32_t* sel, size_t n,
+                      const FilterPredicate& f) {
+  const double lo = f.value;
+  const double hi = f.value2;
+  switch (f.op) {
+    case CompareOp::kEq:
+      return RefineSelect(d, sel, n,
+                          [lo](T v) { return static_cast<double>(v) == lo; });
+    case CompareOp::kLt:
+      return RefineSelect(d, sel, n,
+                          [lo](T v) { return static_cast<double>(v) < lo; });
+    case CompareOp::kLe:
+      return RefineSelect(d, sel, n,
+                          [lo](T v) { return static_cast<double>(v) <= lo; });
+    case CompareOp::kGt:
+      return RefineSelect(d, sel, n,
+                          [lo](T v) { return static_cast<double>(v) > lo; });
+    case CompareOp::kGe:
+      return RefineSelect(d, sel, n,
+                          [lo](T v) { return static_cast<double>(v) >= lo; });
+    case CompareOp::kBetween:
+      return RefineSelect(d, sel, n, [lo, hi](T v) {
+        const double x = static_cast<double>(v);
+        return x >= lo && x <= hi;
+      });
+  }
+  return 0;
+}
+
+/// The reference per-row loop (the pre-vectorization executor body).
+/// Batch sizes <= 1 route here, and the vectorized paths must match its
+/// output exactly.
+void FilterRangeScalar(const Table::ReadView& view, int shard, size_t lo,
+                       size_t hi,
+                       const std::vector<FilterPredicate>& filters,
+                       std::vector<uint32_t>* out) {
+  for (size_t local = lo; local < hi; ++local) {
+    if (view.ShardIsDeleted(shard, local)) continue;
+    bool pass = true;
+    for (const auto& f : filters) {
+      if (!EvalFilter(f, view.ShardGetNumeric(shard, f.column, local))) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out->push_back(Table::ReadView::GlobalId(shard, local));
+  }
+}
+
+void FilterCandidatesScalar(const Table::ReadView& view, int shard,
+                            const std::vector<uint32_t>& candidates,
+                            size_t covered,
+                            const std::vector<FilterPredicate>& filters,
+                            std::vector<uint32_t>* out) {
+  for (uint32_t r : candidates) {
+    if (r >= covered || view.ShardIsDeleted(shard, r)) continue;
+    bool pass = true;
+    for (const auto& f : filters) {
+      if (!EvalFilter(f, view.ShardGetNumeric(shard, f.column, r))) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out->push_back(Table::ReadView::GlobalId(shard, r));
+  }
+}
+
+/// The dense kernels read raw column arrays, so every filtered column
+/// must be numeric; anything else (strings would CHECK in GetNumeric,
+/// exactly as on the scalar path) falls back to the reference loop.
+bool NumericFilterColumns(const Table::ReadView& view, int shard,
+                          const std::vector<FilterPredicate>& filters) {
+  for (const auto& f : filters) {
+    const DataType t = view.ShardColumn(shard, f.column).type;
+    if (t != DataType::kInt64 && t != DataType::kDouble) return false;
+  }
+  return true;
+}
+
+/// Batched selection over the contiguous base region [lo, hi), hi <=
+/// ShardBaseRows(shard).
+void FilterRangeBase(const Table::ReadView& view, int shard, size_t lo,
+                     size_t hi, const std::vector<FilterPredicate>& filters,
+                     size_t batch, std::vector<uint32_t>* out) {
+  const bool check_deleted = view.ShardAnyDeleted(shard);
+  std::vector<uint32_t> sel(batch);
+  for (size_t start = lo; start < hi; start += batch) {
+    const size_t n = std::min(batch, hi - start);
+    size_t k;
+    if (filters.empty()) {
+      for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+      k = n;
+    } else {
+      const Column& c0 = view.ShardColumn(shard, filters[0].column);
+      k = c0.type == DataType::kInt64
+              ? DenseSelectOp(c0.i64.data() + start, n, sel.data(),
+                              filters[0])
+              : DenseSelectOp(c0.f64.data() + start, n, sel.data(),
+                              filters[0]);
+      for (size_t fi = 1; fi < filters.size() && k > 0; ++fi) {
+        const Column& c = view.ShardColumn(shard, filters[fi].column);
+        k = c.type == DataType::kInt64
+                ? RefineSelectOp(c.i64.data() + start, sel.data(), k,
+                                 filters[fi])
+                : RefineSelectOp(c.f64.data() + start, sel.data(), k,
+                                 filters[fi]);
+      }
+    }
+    if (check_deleted) {
+      size_t m = 0;
+      for (size_t i = 0; i < k; ++i) {
+        const uint32_t idx = sel[i];
+        sel[m] = idx;
+        m += view.ShardIsDeleted(shard, start + idx) ? 0 : 1;
+      }
+      k = m;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      out->push_back(Table::ReadView::GlobalId(shard, start + sel[i]));
+    }
+  }
+}
+
+}  // namespace
+
+size_t BatchRows() {
+  static const size_t n = static_cast<size_t>(
+      common::PositiveKnobFromEnv("ML4DB_BATCH_ROWS", 1024));
+  return n;
+}
+
+void FilterRange(const Table::ReadView& view, int shard, size_t lo,
+                 size_t hi, const std::vector<FilterPredicate>& filters,
+                 std::vector<uint32_t>* out) {
+  FilterRange(view, shard, lo, hi, filters, out, BatchRows());
+}
+
+void FilterRange(const Table::ReadView& view, int shard, size_t lo,
+                 size_t hi, const std::vector<FilterPredicate>& filters,
+                 std::vector<uint32_t>* out, size_t batch_rows) {
+  if (lo >= hi) return;
+  if (batch_rows <= 1 || !NumericFilterColumns(view, shard, filters)) {
+    FilterRangeScalar(view, shard, lo, hi, filters, out);
+    return;
+  }
+  // Dense kernels cover the sealed base region; the delta tail lives in
+  // chunked append storage and takes the per-row path.
+  const size_t base_end = std::min(hi, view.ShardBaseRows(shard));
+  if (lo < base_end) {
+    FilterRangeBase(view, shard, lo, base_end, filters, batch_rows, out);
+  }
+  if (hi > base_end) {
+    FilterRangeScalar(view, shard, std::max(lo, base_end), hi, filters, out);
+  }
+}
+
+void FilterCandidates(const Table::ReadView& view, int shard,
+                      const std::vector<uint32_t>& candidates,
+                      size_t covered,
+                      const std::vector<FilterPredicate>& filters,
+                      std::vector<uint32_t>* out) {
+  FilterCandidates(view, shard, candidates, covered, filters, out,
+                   BatchRows());
+}
+
+void FilterCandidates(const Table::ReadView& view, int shard,
+                      const std::vector<uint32_t>& candidates,
+                      size_t covered,
+                      const std::vector<FilterPredicate>& filters,
+                      std::vector<uint32_t>* out, size_t batch_rows) {
+  if (batch_rows <= 1 || !NumericFilterColumns(view, shard, filters)) {
+    FilterCandidatesScalar(view, shard, candidates, covered, filters, out);
+    return;
+  }
+  const size_t base_rows = view.ShardBaseRows(shard);
+  const bool check_deleted = view.ShardAnyDeleted(shard);
+  std::vector<uint32_t> sel(batch_rows);
+  for (size_t start = 0; start < candidates.size(); start += batch_rows) {
+    const size_t n = std::min(batch_rows, candidates.size() - start);
+    // Compact pass: drop candidates the covered-rows contract or a
+    // tombstone excludes; `sel` holds shard-local row ids from here on.
+    size_t k = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t r = candidates[start + i];
+      if (r >= covered) continue;
+      if (check_deleted && view.ShardIsDeleted(shard, r)) continue;
+      sel[k++] = r;
+    }
+    // Gathered refine per conjunct: candidates below the seal read the
+    // raw column array, absorbed delta candidates go through the view.
+    for (size_t fi = 0; fi < filters.size() && k > 0; ++fi) {
+      const auto& f = filters[fi];
+      const Column& c = view.ShardColumn(shard, f.column);
+      const int64_t* i64 = c.type == DataType::kInt64 ? c.i64.data() : nullptr;
+      const double* f64 = c.type == DataType::kDouble ? c.f64.data() : nullptr;
+      size_t m = 0;
+      for (size_t i = 0; i < k; ++i) {
+        const uint32_t r = sel[i];
+        const double v =
+            r < base_rows
+                ? (i64 != nullptr ? static_cast<double>(i64[r]) : f64[r])
+                : view.ShardGetNumeric(shard, f.column, r);
+        sel[m] = r;
+        m += EvalFilter(f, v) ? 1 : 0;
+      }
+      k = m;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      out->push_back(Table::ReadView::GlobalId(shard, sel[i]));
+    }
+  }
+}
+
+}  // namespace vec
+}  // namespace engine
+}  // namespace ml4db

@@ -1,0 +1,79 @@
+// Vectorized predicate/gather kernels: the shared filter-evaluation layer
+// under the executor's seq-scan, index-candidate, and delta-tail paths
+// (previously three copy-pasted per-row loops).
+//
+// Rows are processed in fixed-size batches (ML4DB_BATCH_ROWS, default
+// 1024) with selection vectors over the raw base-column data of one
+// shard: the first conjunct dense-selects offsets out of a contiguous
+// column chunk, later conjuncts refine the surviving selection, and
+// tombstones are applied as a final refine only when the shard has any.
+// The delta tail (rows at or beyond the sealed base) is never contiguous,
+// so it always takes the per-row path through the ReadView accessors.
+//
+// Contract: for any batch size the kernels emit exactly the rows — in
+// exactly the order — of the reference per-row loop (ascending local
+// order for ranges, candidate order for gathers). ML4DB_BATCH_ROWS <= 1
+// runs that reference loop itself, so the pre-vectorization executor is
+// reproduced bit for bit for parity benching.
+
+#ifndef ML4DB_ENGINE_VEC_KERNELS_H_
+#define ML4DB_ENGINE_VEC_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/query.h"
+#include "engine/table.h"
+
+namespace ml4db {
+namespace engine {
+namespace vec {
+
+/// Process-wide batch size: ML4DB_BATCH_ROWS (default 1024), read once.
+/// Values <= 1 select the scalar reference path everywhere.
+size_t BatchRows();
+
+/// Applies the filter conjunction to shard-local rows [lo, hi) of one
+/// shard, appending shard-tagged global ids of passing, non-tombstoned
+/// rows to *out in ascending local order. Serves both the seq-scan
+/// (lo = 0) and the delta-tail scan (lo = covered).
+void FilterRange(const Table::ReadView& view, int shard, size_t lo,
+                 size_t hi, const std::vector<FilterPredicate>& filters,
+                 std::vector<uint32_t>* out);
+
+/// Same, with an explicit batch size (tests and the scan-kernel bench
+/// compare batch sizes within one process; batch_rows <= 1 is the scalar
+/// reference loop).
+void FilterRange(const Table::ReadView& view, int shard, size_t lo,
+                 size_t hi, const std::vector<FilterPredicate>& filters,
+                 std::vector<uint32_t>* out, size_t batch_rows);
+
+/// Applies the conjunction to an explicit list of shard-local candidate
+/// row ids (an index probe's result): candidates at or beyond `covered`
+/// are dropped first (the delta-tail scan owns them — the PR-7 merge
+/// contract), then tombstones and every filter including the indexed one
+/// (strict bounds need rechecking). Survivors append to *out as global
+/// ids in candidate order.
+void FilterCandidates(const Table::ReadView& view, int shard,
+                      const std::vector<uint32_t>& candidates,
+                      size_t covered,
+                      const std::vector<FilterPredicate>& filters,
+                      std::vector<uint32_t>* out);
+
+void FilterCandidates(const Table::ReadView& view, int shard,
+                      const std::vector<uint32_t>& candidates,
+                      size_t covered,
+                      const std::vector<FilterPredicate>& filters,
+                      std::vector<uint32_t>* out, size_t batch_rows);
+
+}  // namespace vec
+
+/// One conjunct against one value (defined with the kernels so every
+/// filter path — vectorized or scalar — shares the same comparison).
+bool EvalFilter(const FilterPredicate& f, double v);
+
+}  // namespace engine
+}  // namespace ml4db
+
+#endif  // ML4DB_ENGINE_VEC_KERNELS_H_

@@ -151,19 +151,23 @@ std::string EncodeRequest(const Request& req) {
   return out;
 }
 
+void EncodeResponseInto(const Response& resp, std::string* out) {
+  PutU8(out, kMsgResponse);
+  PutU64(out, resp.request_id);
+  PutU8(out, static_cast<uint8_t>(resp.status));
+  if (resp.status == ResponseStatus::kOk) {
+    PutU64(out, resp.count);
+    PutF64(out, resp.latency);
+    PutU64(out, resp.tuples_flowed);
+  } else {
+    PutString(out, resp.error);
+  }
+}
+
 std::string EncodeResponse(const Response& resp) {
   std::string out;
   out.reserve(34 + resp.error.size());
-  PutU8(&out, kMsgResponse);
-  PutU64(&out, resp.request_id);
-  PutU8(&out, static_cast<uint8_t>(resp.status));
-  if (resp.status == ResponseStatus::kOk) {
-    PutU64(&out, resp.count);
-    PutF64(&out, resp.latency);
-    PutU64(&out, resp.tuples_flowed);
-  } else {
-    PutString(&out, resp.error);
-  }
+  EncodeResponseInto(resp, &out);
   return out;
 }
 

@@ -112,6 +112,11 @@ struct Response {
 std::string EncodeRequest(const Request& req);
 std::string EncodeResponse(const Response& resp);
 
+/// Appends the encoded response to *out in place — the arena path: the
+/// session encodes straight into its outbox so steady-state serving does
+/// no per-response allocation (EncodeResponse wraps this).
+void EncodeResponseInto(const Response& resp, std::string* out);
+
 /// Parses a payload. DecodeRequest accepts any request-bearing type tag
 /// (kMsgRequest/kMsgWrite/kMsgIngest) and sets Request::kind accordingly;
 /// both reject unknown tags, truncation, and trailing garbage with

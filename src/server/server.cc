@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "engine/vec/kernels.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/window.h"
@@ -332,20 +333,13 @@ StatusOr<uint64_t> Server::ApplyWriteStatement(const std::string& text) {
   (*table)->Seal();
   const engine::Table::ReadView view = (*table)->View();
   uint64_t affected = 0;
+  std::vector<uint32_t> matches;
   for (const int s : (*table)->PruneShards(stmt.query.filters)) {
-    const size_t shard_rows = view.ShardRows(s);
-    for (size_t local = 0; local < shard_rows; ++local) {
-      if (view.ShardIsDeleted(s, local)) continue;
-      bool pass = true;
-      for (const engine::FilterPredicate& f : stmt.query.filters) {
-        if (!engine::EvalFilter(f, view.ShardGetNumeric(s, f.column, local))) {
-          pass = false;
-          break;
-        }
-      }
-      if (!pass) continue;
-      ML4DB_RETURN_IF_ERROR(
-          (*table)->MarkDeleted(engine::Table::ReadView::GlobalId(s, local)));
+    matches.clear();
+    engine::vec::FilterRange(view, s, 0, view.ShardRows(s),
+                             stmt.query.filters, &matches);
+    for (const uint32_t row : matches) {
+      ML4DB_RETURN_IF_ERROR((*table)->MarkDeleted(row));
       ++affected;
     }
   }

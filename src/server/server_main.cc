@@ -40,6 +40,11 @@
 //                        the table's delta store into the new structure;
 //                        on sharded tables each shard rebuilds and swaps
 //                        independently.
+//   --plan-cache on|off  consult the shape-keyed plan cache before the DP
+//                        optimizer; invalidated on index publish/drop,
+//                        stats rebuild, and planner-param changes
+//                        (default: ML4DB_PLAN_CACHE env, else on — the
+//                        server flips the library's off default)
 //   --json [PATH]        write BENCH_server.json (or PATH) on shutdown
 //
 // Env knobs:
@@ -57,6 +62,10 @@
 //                        the writes retrains.
 //   ML4DB_SHARDS / ML4DB_SHARD_PARTITION / ML4DB_SHARD_RANGE_LO/HI
 //                        default partitioning (see --shards)
+//   ML4DB_PLAN_CACHE     default for --plan-cache ("0"/"off"/"false"
+//                        disable, anything else enables)
+//   ML4DB_BATCH_ROWS     vectorized kernel batch size (default 1024;
+//                        1 = scalar reference path for parity benching)
 
 #include <pthread.h>
 #include <signal.h>
@@ -111,6 +120,10 @@ struct Flags {
   std::string index_backend;  // empty = ML4DB_INDEX_BACKEND env / sorted
   int shards = 0;  // 0 = ML4DB_SHARDS env / 1
   int retrain_interval_ms = 0;
+  // Serving workloads repeat shapes, so the server defaults the plan
+  // cache ON (the library default is off); ML4DB_PLAN_CACHE still wins
+  // when set, and --plan-cache wins over both.
+  bool plan_cache = engine::PlanCacheFromEnv(true);
   std::string json_path;  // empty = no export
   bool json = false;
 };
@@ -141,6 +154,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     else if (arg == "--index-backend") flags->index_backend = value("--index-backend");
     else if (arg == "--shards") flags->shards = std::atoi(value("--shards"));
     else if (arg == "--retrain-interval-ms") flags->retrain_interval_ms = std::atoi(value("--retrain-interval-ms"));
+    else if (arg == "--plan-cache") {
+      const std::string v = value("--plan-cache");
+      flags->plan_cache = !(v == "off" || v == "0" || v == "false");
+    }
     else if (arg == "--json") {
       flags->json = true;
       flags->json_path = "BENCH_server.json";
@@ -183,6 +200,7 @@ int main(int argc, char** argv) {
     dopts.partition.shards =
         std::min(flags.shards, engine::sharding::kMaxShards);
   }
+  dopts.plan_cache = flags.plan_cache;
   engine::Database db(dopts);
   {
     workload::SchemaGenOptions opts;
@@ -220,6 +238,12 @@ int main(int argc, char** argv) {
   obs::GetHistogram("ml4db.retrain.swap_us");
   obs::GetHistogram("ml4db.retrain.rows_folded");
   obs::GetHistogram("ml4db.index.probe_err", obs::ExponentialBounds(1, 2, 24));
+  // Plan-cache counters and the session-arena gauge, present-at-zero so
+  // the smoke scripts can assert on them even before the first query.
+  obs::GetCounter("ml4db.plan_cache.hits");
+  obs::GetCounter("ml4db.plan_cache.misses");
+  obs::GetCounter("ml4db.plan_cache.invalidations");
+  obs::GetGauge("ml4db.server.arena_high_water_bytes");
 
   const char* backend_name =
       engine::IndexBackendKindName(dopts.index_backend);
@@ -230,6 +254,7 @@ int main(int argc, char** argv) {
   exporter.SetConfig("delta_merge_threshold",
                      std::to_string(common::PositiveKnobFromEnv(
                          "ML4DB_DELTA_MERGE_THRESHOLD", 0)));
+  exporter.SetConfig("plan_cache", flags.plan_cache ? "on" : "off");
 
   server::ServerOptions opts;
   opts.host = flags.host;

@@ -6,8 +6,23 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace ml4db {
 namespace server {
+
+namespace {
+
+/// Fleet-wide arena high-water mark: the largest outbox capacity any
+/// session has grown. A nonzero steady value with flat allocation churn
+/// is the signal the arena is actually being reused.
+obs::Gauge* ArenaHighWater() {
+  static obs::Gauge* g =
+      obs::GetGauge("ml4db.server.arena_high_water_bytes");
+  return g;
+}
+
+}  // namespace
 
 Session::Session(int fd, uint64_t id, uint32_t max_frame_bytes)
     : fd_(fd), id_(id), decoder_(max_frame_bytes) {}
@@ -27,11 +42,12 @@ StatusOr<bool> Session::ReadRequests(std::vector<Request>* out) {
     decoder_.Feed(buf, static_cast<size_t>(n));
     if (n < static_cast<ssize_t>(sizeof(buf))) break;
   }
-  std::string payload;
+  // `read_scratch_` persists across calls so a long-lived connection's
+  // payload buffer stops reallocating once it has seen its largest frame.
   while (true) {
-    ML4DB_ASSIGN_OR_RETURN(const bool got, decoder_.Next(&payload));
+    ML4DB_ASSIGN_OR_RETURN(const bool got, decoder_.Next(&read_scratch_));
     if (!got) break;
-    ML4DB_ASSIGN_OR_RETURN(Request req, DecodeRequest(payload));
+    ML4DB_ASSIGN_OR_RETURN(Request req, DecodeRequest(read_scratch_));
     ++requests_received_;
     out->push_back(std::move(req));
   }
@@ -40,10 +56,27 @@ StatusOr<bool> Session::ReadRequests(std::vector<Request>* out) {
 
 bool Session::QueueResponse(const Response& resp) {
   if (closed()) return false;
-  const std::string payload = EncodeResponse(resp);
   std::lock_guard<std::mutex> lock(out_mu_);
-  AppendFrame(payload, &outbox_);
+  // Arena path: encode straight into the outbox after a length
+  // placeholder, patched once the payload size is known. FlushWrites
+  // clears the outbox without releasing capacity, so once a session
+  // reaches steady state no response allocates.
+  const size_t frame_start = outbox_.size();
+  outbox_.append(4, '\0');
+  EncodeResponseInto(resp, &outbox_);
+  const uint32_t len =
+      static_cast<uint32_t>(outbox_.size() - frame_start - 4);
+  for (int i = 0; i < 4; ++i) {
+    outbox_[frame_start + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
   ++responses_queued_;
+  if (outbox_.capacity() > arena_high_water_) {
+    arena_high_water_ = outbox_.capacity();
+    obs::Gauge* hw = ArenaHighWater();
+    if (static_cast<double>(arena_high_water_) > hw->value()) {
+      hw->Set(static_cast<double>(arena_high_water_));
+    }
+  }
   return true;
 }
 

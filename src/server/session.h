@@ -63,10 +63,16 @@ class Session {
   const uint64_t id_;
   FrameDecoder decoder_;
   uint64_t requests_received_ = 0;  // IO thread only
+  std::string read_scratch_;        // reusable payload buffer (IO thread)
 
   mutable std::mutex out_mu_;
+  /// The session's response arena: responses encode directly into it
+  /// (QueueResponse), flushes consume from it, and a full flush clear()
+  /// keeps its capacity — so per-row/per-response allocation stops once
+  /// the arena has grown to the session's working size.
   std::string outbox_;      // encoded frames awaiting write
   size_t out_pos_ = 0;      // written prefix of outbox_
+  size_t arena_high_water_ = 0;  // max outbox capacity seen (under out_mu_)
   uint64_t responses_queued_ = 0;
 
   std::atomic<bool> closed_{false};

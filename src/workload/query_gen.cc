@@ -46,12 +46,16 @@ void QueryGenerator::AddJoins(const std::vector<int>& schema_tables,
   }
 }
 
-FilterPredicate QueryGenerator::MakeFilter(int slot, int column) {
+FilterPredicate QueryGenerator::MakeFilter(int slot, int column,
+                                           const CompareOp* forced_op) {
   FilterPredicate f;
   f.table_slot = slot;
   f.column = column;
   const double domain = static_cast<double>(schema_->attr_domain);
-  if (rng_.Bernoulli(options_.eq_filter_prob)) {
+  const bool eq = forced_op != nullptr
+                      ? *forced_op == CompareOp::kEq
+                      : rng_.Bernoulli(options_.eq_filter_prob);
+  if (eq) {
     f.op = CompareOp::kEq;
     f.value = static_cast<double>(
         rng_.NextUint64(static_cast<uint64_t>(schema_->attr_domain)));
@@ -106,8 +110,11 @@ Query QueryGenerator::Instantiate(const QueryTemplate& tmpl) {
     q.tables.push_back(schema_->table_names[t]);
   }
   AddJoins(tmpl.schema_tables, &q);
-  for (const auto& [slot, col] : tmpl.filter_on) {
-    q.filters.push_back(MakeFilter(slot, col));
+  const bool pinned = tmpl.filter_op.size() == tmpl.filter_on.size();
+  for (size_t i = 0; i < tmpl.filter_on.size(); ++i) {
+    const auto& [slot, col] = tmpl.filter_on[i];
+    q.filters.push_back(
+        MakeFilter(slot, col, pinned ? &tmpl.filter_op[i] : nullptr));
   }
   return q;
 }

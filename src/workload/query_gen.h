@@ -27,6 +27,12 @@ struct QueryGenOptions {
 struct QueryTemplate {
   std::vector<int> schema_tables;              ///< indexes into schema tables
   std::vector<std::pair<int, int>> filter_on;  ///< (slot, column) pairs
+  /// When sized like filter_on, pins each filter's comparison operator —
+  /// the prepared-statement model: instantiations share one query shape
+  /// (engine::ComputeQueryShape) and only literals vary. Empty (the
+  /// default) keeps the historical behavior of drawing eq-vs-range per
+  /// instantiation.
+  std::vector<engine::CompareOp> filter_op;
 };
 
 /// Generates random SPJ queries over a SyntheticSchema.
@@ -48,7 +54,8 @@ class QueryGenerator {
 
  private:
   void AddJoins(const std::vector<int>& schema_tables, engine::Query* q) const;
-  engine::FilterPredicate MakeFilter(int slot, int column);
+  engine::FilterPredicate MakeFilter(int slot, int column,
+                                     const engine::CompareOp* forced_op);
 
   const SyntheticSchema* schema_;
   QueryGenOptions options_;

@@ -1,0 +1,318 @@
+// Plan-cache contract tests (engine/plan_cache): repeated shapes hit and
+// rebind literals correctly, every structural change — index publish or
+// swap, index drop, stats rebuild, planner-param update — invalidates via
+// the epoch, non-default hints and disabled caches bypass entirely, the
+// bounded map evicts, and a concurrent lookup-vs-invalidate hammer (run
+// under TSan in CI) never serves a stale plan.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/plan_cache.h"
+#include "engine/vec/kernels.h"
+
+namespace ml4db {
+namespace engine {
+namespace {
+
+TableSchema TwoColSchema(const std::string& name) {
+  TableSchema s;
+  s.name = name;
+  s.columns = {{"id", DataType::kInt64}, {"val", DataType::kInt64}};
+  return s;
+}
+
+struct CacheFixture {
+  std::unique_ptr<Database> db;
+  std::vector<std::array<int64_t, 2>> rows;
+
+  explicit CacheFixture(bool enable_cache = true, size_t num_rows = 2000) {
+    DatabaseOptions dopts;
+    dopts.index_backend = IndexBackendKind::kSorted;
+    dopts.plan_cache = enable_cache;
+    db = std::make_unique<Database>(dopts);
+    auto table = db->catalog().CreateTable(TwoColSchema("t"));
+    ML4DB_CHECK(table.ok());
+    Rng rng(42);
+    for (size_t i = 0; i < num_rows; ++i) {
+      const int64_t id = static_cast<int64_t>(i) * 2;
+      const int64_t val = static_cast<int64_t>(rng.NextUint64(100));
+      ML4DB_CHECK((*table)->AppendRow({Value(id), Value(val)}).ok());
+      rows.push_back({id, val});
+    }
+    ML4DB_CHECK((*table)->BuildIndex(1).ok());
+    // AnalyzeAll bumps the epoch (stats rebuild), so it runs before any
+    // query is cached.
+    ML4DB_CHECK(db->AnalyzeAll().ok());
+  }
+
+  Table* table() { return *db->catalog().GetTable("t"); }
+
+  uint64_t Brute(const std::vector<FilterPredicate>& filters) const {
+    uint64_t n = 0;
+    for (const auto& r : rows) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (!EvalFilter(f, static_cast<double>(r[f.column]))) {
+          pass = false;
+          break;
+        }
+      }
+      n += pass;
+    }
+    return n;
+  }
+
+  /// Runs the (val BETWEEN lo..hi) query and checks its count against
+  /// brute force, returning the cache stats afterwards.
+  PlanCache::Stats RunBetween(int64_t lo, int64_t hi) {
+    Query q;
+    q.tables = {"t"};
+    FilterPredicate f;
+    f.column = 1;
+    f.op = CompareOp::kBetween;
+    f.value = static_cast<double>(lo);
+    f.value2 = static_cast<double>(hi);
+    q.filters = {f};
+    auto got = db->Run(q);
+    ML4DB_CHECK(got.ok());
+    EXPECT_EQ(got->count, Brute(q.filters))
+        << "val between " << lo << ".." << hi;
+    return db->plan_cache().stats();
+  }
+};
+
+TEST(PlanCacheTest, RepeatedShapeHitsAndRebindsLiterals) {
+  CacheFixture fx;
+  ASSERT_TRUE(fx.db->plan_cache_enabled());
+  auto s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  // Identical query: pure hit.
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  // Same shape, different literals (including value2): the cached tree is
+  // rebound, and correctness is checked against brute force inside.
+  s = fx.RunBetween(55, 80);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+  s = fx.RunBetween(0, 99);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(fx.db->plan_cache().size(), 1u);
+}
+
+TEST(PlanCacheTest, MultiLiteralShapesRebindByOccurrence) {
+  CacheFixture fx;
+  // Two conjuncts on the same (slot, column, op) key: occurrence-ordered
+  // rebinding must keep them straight.
+  auto run = [&](double ge1, double ge2) {
+    Query q;
+    q.tables = {"t"};
+    FilterPredicate a;
+    a.column = 0;
+    a.op = CompareOp::kGe;
+    a.value = ge1;
+    FilterPredicate b = a;
+    b.value = ge2;
+    FilterPredicate c;
+    c.column = 1;
+    c.op = CompareOp::kLt;
+    c.value = 50;
+    q.filters = {a, b, c};
+    auto got = fx.db->Run(q);
+    ML4DB_CHECK(got.ok());
+    EXPECT_EQ(got->count, fx.Brute(q.filters)) << ge1 << "/" << ge2;
+  };
+  run(100, 200);
+  run(3000, 500);  // second occurrence now the binding one
+  run(0, 3900);
+  const auto s = fx.db->plan_cache().stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+}
+
+TEST(PlanCacheTest, StructuralChangesInvalidate) {
+  CacheFixture fx;
+  Table* t = fx.table();
+  fx.RunBetween(10, 30);
+  auto s = fx.RunBetween(10, 30);
+  ASSERT_EQ(s.hits, 1u);
+
+  // Retrain swap: a fresh backend publication must not serve the plan
+  // optimized against the old one.
+  auto built = t->BuildIndexSnapshot(1, IndexBackendKind::kSorted);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(t->SwapIndex(1, *built).ok());
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.invalidations, 1u);
+
+  // Stats rebuild.
+  ASSERT_TRUE(fx.db->AnalyzeTable("t").ok());
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.invalidations, 2u);
+
+  // Index drop: the cached plan may reference the dropped index, so a
+  // reuse here would be a stale-plan violation, not just a perf bug.
+  t->DropIndex(1);
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.misses, 4u);
+
+  // First build on a fresh column is a publication too.
+  ASSERT_TRUE(t->BuildIndex(1).ok());
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.misses, 5u);
+
+  // Planner-param updates change every cost decision.
+  fx.db->SetPlannerParams(CostParams{});
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.misses, 6u);
+
+  // Quiescent again: back to hitting.
+  s = fx.RunBetween(10, 30);
+  EXPECT_EQ(s.hits, 2u);
+}
+
+TEST(PlanCacheTest, HintsAndDisabledCacheBypass) {
+  CacheFixture fx;
+  Query q;
+  q.tables = {"t"};
+  FilterPredicate f;
+  f.column = 1;
+  f.op = CompareOp::kEq;
+  f.value = 7;
+  q.filters = {f};
+  // Non-default hints pin the plan shape; caching them would leak the
+  // hinted plan into unhinted queries of the same shape.
+  HintSet seq_only;
+  seq_only.enable_index_scan = false;
+  ASSERT_TRUE(fx.db->Run(q, seq_only).ok());
+  auto s = fx.db->plan_cache().stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+
+  CacheFixture off(/*enable_cache=*/false);
+  ASSERT_FALSE(off.db->plan_cache_enabled());
+  off.RunBetween(10, 30);
+  off.RunBetween(10, 30);
+  s = off.db->plan_cache().stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+  EXPECT_EQ(off.db->plan_cache().size(), 0u);
+}
+
+TEST(PlanCacheTest, EnvKnobParsing) {
+  unsetenv("ML4DB_PLAN_CACHE");
+  EXPECT_FALSE(PlanCacheFromEnv(false));
+  EXPECT_TRUE(PlanCacheFromEnv(true));  // the server's default
+  for (const char* off : {"0", "off", "false"}) {
+    setenv("ML4DB_PLAN_CACHE", off, 1);
+    EXPECT_FALSE(PlanCacheFromEnv(true)) << off;
+  }
+  for (const char* on : {"1", "on", "true"}) {
+    setenv("ML4DB_PLAN_CACHE", on, 1);
+    EXPECT_TRUE(PlanCacheFromEnv(false)) << on;
+  }
+  unsetenv("ML4DB_PLAN_CACHE");
+}
+
+TEST(PlanCacheTest, BoundedCapacityEvicts) {
+  CacheFixture fx;
+  PlanCache cache(/*capacity=*/2);
+  // Three distinct shapes through a capacity-2 cache: one must go.
+  std::vector<Query> queries;
+  for (int col : {0, 1}) {
+    for (CompareOp op : {CompareOp::kEq, CompareOp::kGe}) {
+      Query q;
+      q.tables = {"t"};
+      FilterPredicate f;
+      f.column = col;
+      f.op = op;
+      f.value = 10;
+      q.filters = {f};
+      queries.push_back(q);
+    }
+  }
+  for (const auto& q : queries) {
+    auto plan = fx.db->Plan(q);
+    ASSERT_TRUE(plan.ok());
+    cache.Insert(ComputeQueryShape(q), *plan, PlanCacheEpoch());
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  int present = 0;
+  for (const auto& q : queries) {
+    present += cache.Lookup(q, ComputeQueryShape(q)).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(present, 2);
+}
+
+// Concurrency hammer for the TSan job: query threads hit/rebind out of
+// the cache while one thread keeps publishing index swaps (epoch bumps)
+// and another bumps the epoch directly. Every count must stay correct —
+// a stale plan surviving an invalidation would show up as a wrong count
+// once the planner's world changed.
+TEST(PlanCacheHammerTest, LookupVsInvalidateRace) {
+  CacheFixture fx;
+  Table* t = fx.table();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0}, swaps{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + static_cast<uint64_t>(r));
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t lo = static_cast<int64_t>(rng.NextUint64(90));
+        fx.RunBetween(lo, lo + 9);
+        queries.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto built = t->BuildIndexSnapshot(1, IndexBackendKind::kSorted);
+      ASSERT_TRUE(built.ok());
+      ASSERT_TRUE(t->SwapIndex(1, *built).ok());
+      swaps.fetch_add(1);
+    }
+  });
+
+  std::thread bumper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      BumpPlanCacheEpoch();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  swapper.join();
+  bumper.join();
+
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_GT(swaps.load(), 0u);
+  const auto s = fx.db->plan_cache().stats();
+  EXPECT_EQ(s.hits + s.misses, queries.load());
+  // The world is quiet now: one miss refills, then hits resume.
+  fx.RunBetween(10, 30);
+  const auto s1 = fx.db->plan_cache().stats();
+  const auto s2 = fx.RunBetween(10, 30);
+  EXPECT_EQ(s2.hits, s1.hits + 1);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ml4db

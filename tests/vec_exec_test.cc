@@ -1,0 +1,290 @@
+// Vectorized kernel parity tests (engine/vec): the batched FilterRange /
+// FilterCandidates kernels must emit exactly the rows — in exactly the
+// order — of the scalar reference loop (batch_rows = 1, the
+// pre-vectorization executor body), for every backend at shards {1,3,8}
+// across static tables, post-seal writes, and deletes; plus end-to-end
+// count parity of the rebuilt executor paths against brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "engine/vec/kernels.h"
+
+namespace ml4db {
+namespace engine {
+namespace {
+
+/// Post-seal appends require an all-INT64 schema (delta stores are int64
+/// columnar), so the write/delete phases run on the two-column layout;
+/// the double column rides along only in the static f64-kernel test.
+TableSchema MakeSchema(const std::string& name, bool with_score) {
+  TableSchema s;
+  s.name = name;
+  s.columns = {{"id", DataType::kInt64}, {"val", DataType::kInt64}};
+  if (with_score) s.columns.push_back({"score", DataType::kDouble});
+  return s;
+}
+
+/// Batch sizes swept against the scalar reference: tiny (forces many
+/// partial batches), prime (batch boundaries never align with shard
+/// sizes), the default, and one larger than any shard (single batch).
+const size_t kBatchSizes[] = {2, 7, 64, 1024, 1 << 20};
+
+struct KernelFixture {
+  std::unique_ptr<Database> db;
+  bool with_score;
+  std::vector<std::array<double, 3>> rows;  ///< live (id, val, score)
+
+  explicit KernelFixture(int shards, IndexBackendKind kind,
+                         bool score_col = false, size_t num_rows = 2500)
+      : with_score(score_col) {
+    DatabaseOptions dopts;
+    dopts.index_backend = kind;
+    dopts.partition.shards = shards;
+    db = std::make_unique<Database>(dopts);
+    auto table = db->catalog().CreateTable(MakeSchema("t", with_score));
+    ML4DB_CHECK(table.ok());
+    Rng rng(99);
+    for (size_t i = 0; i < num_rows; ++i) {
+      Append(static_cast<int64_t>(i) * 3,
+             static_cast<int64_t>(rng.NextUint64(50)) * 2);
+    }
+    ML4DB_CHECK((*table)->BuildIndex(0).ok());
+    ML4DB_CHECK((*table)->BuildIndex(1).ok());
+    ML4DB_CHECK(db->AnalyzeAll().ok());
+  }
+
+  Table* table() { return *db->catalog().GetTable("t"); }
+
+  void Append(int64_t id, int64_t val) {
+    const double score = static_cast<double>(val) + 0.25;
+    Row row = {Value(id), Value(val)};
+    if (with_score) row.push_back(Value(score));
+    ML4DB_CHECK(table()->AppendRow(row).ok());
+    rows.push_back({static_cast<double>(id), static_cast<double>(val), score});
+  }
+
+  uint64_t Brute(const std::vector<FilterPredicate>& filters) const {
+    uint64_t n = 0;
+    for (const auto& r : rows) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (!EvalFilter(f, r[static_cast<size_t>(f.column)])) {
+          pass = false;
+          break;
+        }
+      }
+      n += pass;
+    }
+    return n;
+  }
+};
+
+FilterPredicate Pred(int column, CompareOp op, double value,
+                     double value2 = 0) {
+  FilterPredicate f;
+  f.column = column;
+  f.op = op;
+  f.value = value;
+  f.value2 = value2;
+  return f;
+}
+
+/// Conjunctions covering: no filters, single int64 eq/between,
+/// multi-conjunct refines, a never-true predicate (empty selections), and
+/// — when the table has the score column — the f64 dense/refine kernels.
+std::vector<std::vector<FilterPredicate>> FilterSets(bool with_score) {
+  std::vector<std::vector<FilterPredicate>> sets = {
+      {},
+      {Pred(1, CompareOp::kEq, 24)},
+      {Pred(1, CompareOp::kBetween, 10, 40)},
+      {Pred(0, CompareOp::kGe, 1000), Pred(1, CompareOp::kEq, 24)},
+      {Pred(1, CompareOp::kEq, 7)},  // odd value never appears
+  };
+  if (with_score) {
+    sets.push_back({Pred(2, CompareOp::kLt, 30.5)});
+    sets.push_back({Pred(1, CompareOp::kBetween, 10, 60),
+                    Pred(2, CompareOp::kGt, 19.0),
+                    Pred(0, CompareOp::kLe, 6000)});
+  } else {
+    sets.push_back({Pred(1, CompareOp::kBetween, 10, 60),
+                    Pred(1, CompareOp::kGt, 19.0),
+                    Pred(0, CompareOp::kLe, 6000)});
+  }
+  return sets;
+}
+
+/// Every batch size — and the default-batch entry point — must reproduce
+/// the scalar loop's output bit for bit over full and partial ranges.
+void ExpectRangeParity(const Table::ReadView& view,
+                       const std::vector<FilterPredicate>& filters,
+                       const std::string& tag) {
+  for (int s = 0; s < view.shard_count(); ++s) {
+    const size_t rows = view.ShardRows(s);
+    const std::array<std::pair<size_t, size_t>, 3> ranges = {
+        {{0, rows}, {rows / 2, rows}, {rows / 3, 2 * rows / 3}}};
+    for (const auto& [lo, hi] : ranges) {
+      std::vector<uint32_t> want;
+      vec::FilterRange(view, s, lo, hi, filters, &want, 1);
+      for (const size_t batch : kBatchSizes) {
+        std::vector<uint32_t> got;
+        vec::FilterRange(view, s, lo, hi, filters, &got, batch);
+        ASSERT_EQ(got, want) << tag << " shard=" << s << " range=[" << lo
+                             << "," << hi << ") batch=" << batch;
+      }
+      std::vector<uint32_t> dflt;
+      vec::FilterRange(view, s, lo, hi, filters, &dflt);
+      ASSERT_EQ(dflt, want) << tag << " shard=" << s << " (default batch)";
+    }
+  }
+}
+
+/// Candidate-gather parity: ascending, shuffled, and duplicate-bearing
+/// candidate lists at covered = {0, half, all}, including delta-region
+/// ids (>= base rows) that absorbing backends can return.
+void ExpectCandidateParity(const Table::ReadView& view,
+                           const std::vector<FilterPredicate>& filters,
+                           const std::string& tag) {
+  Rng rng(7);
+  for (int s = 0; s < view.shard_count(); ++s) {
+    const size_t rows = view.ShardRows(s);
+    std::vector<uint32_t> ascending;
+    for (size_t r = 0; r < rows; ++r) {
+      ascending.push_back(static_cast<uint32_t>(r));
+    }
+    std::vector<uint32_t> shuffled = ascending;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+    }
+    std::vector<uint32_t> dupes;
+    for (size_t r = 0; r < rows; r += 2) {
+      dupes.push_back(static_cast<uint32_t>(r));
+      dupes.push_back(static_cast<uint32_t>(r));
+    }
+    int c = 0;
+    for (const auto& candidates : {ascending, shuffled, dupes}) {
+      for (const size_t covered : {size_t{0}, rows / 2, rows}) {
+        std::vector<uint32_t> want;
+        vec::FilterCandidates(view, s, candidates, covered, filters, &want,
+                              1);
+        for (const size_t batch : kBatchSizes) {
+          std::vector<uint32_t> got;
+          vec::FilterCandidates(view, s, candidates, covered, filters, &got,
+                                batch);
+          ASSERT_EQ(got, want)
+              << tag << " shard=" << s << " cands#" << c
+              << " covered=" << covered << " batch=" << batch;
+        }
+        std::vector<uint32_t> dflt;
+        vec::FilterCandidates(view, s, candidates, covered, filters, &dflt);
+        ASSERT_EQ(dflt, want)
+            << tag << " shard=" << s << " cands#" << c << " (default batch)";
+      }
+      ++c;
+    }
+  }
+}
+
+void CheckAllParity(KernelFixture* fx, const std::string& tag) {
+  const Table::ReadView view = fx->table()->View();
+  for (const auto& filters : FilterSets(fx->with_score)) {
+    ExpectRangeParity(view, filters, tag);
+    ExpectCandidateParity(view, filters, tag);
+    // End-to-end: the rebuilt executor paths (seq scan and, when the
+    // filter set touches an indexed column, index scan) agree with brute
+    // force under the default batch size.
+    if (filters.empty()) continue;
+    Query q;
+    q.tables = {"t"};
+    q.filters = filters;
+    auto got = fx->db->Run(q);
+    ASSERT_TRUE(got.ok()) << tag << ": " << got.status().ToString();
+    EXPECT_EQ(got->count, fx->Brute(filters)) << tag;
+  }
+}
+
+/// Tombstones every fifth row of every shard: flips ShardAnyDeleted on,
+/// engaging the deleted-refine pass in the batched kernels.
+void DeleteEveryFifth(KernelFixture* fx) {
+  const Table::ReadView view = fx->table()->View();
+  std::set<int64_t> deleted_ids;
+  for (int s = 0; s < view.shard_count(); ++s) {
+    for (size_t r = 0; r < view.ShardRows(s); r += 5) {
+      const uint32_t id = Table::ReadView::GlobalId(s, r);
+      deleted_ids.insert(view.GetInt64(0, id));
+      ASSERT_TRUE(fx->table()->MarkDeleted(id).ok());
+    }
+  }
+  fx->rows.erase(
+      std::remove_if(fx->rows.begin(), fx->rows.end(),
+                     [&](const std::array<double, 3>& r) {
+                       return deleted_ids.count(static_cast<int64_t>(r[0])) >
+                              0;
+                     }),
+      fx->rows.end());
+}
+
+class VecParityTest : public ::testing::TestWithParam<IndexBackendKind> {};
+
+TEST_P(VecParityTest, BatchedKernelsMatchScalarReference) {
+  for (int shards : {1, 3, 8}) {
+    KernelFixture fx(shards, GetParam());
+    const std::string tag = "shards=" + std::to_string(shards);
+    CheckAllParity(&fx, tag + " static");
+
+    // Post-seal writes: the delta tail must take the per-row path and
+    // still line up with the scalar loop over the merged view.
+    Rng rng(15);
+    for (int64_t i = 0; i < 300; ++i) {
+      fx.Append(1'000'000 + i, static_cast<int64_t>(rng.NextUint64(50)) * 2);
+    }
+    CheckAllParity(&fx, tag + " +writes");
+
+    DeleteEveryFifth(&fx);
+    if (::testing::Test::HasFatalFailure()) return;
+    CheckAllParity(&fx, tag + " +deletes");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, VecParityTest, ::testing::ValuesIn(AllIndexBackendKinds()),
+    [](const ::testing::TestParamInfo<IndexBackendKind>& info) {
+      return std::string(IndexBackendKindName(info.param));
+    });
+
+// The f64 dense/refine kernels, which the all-int64 parametrized tables
+// above never touch. Post-seal appends are int64-only, so this covers
+// the static and tombstone phases.
+TEST(VecDoubleColumnTest, DoubleColumnKernelsMatchScalar) {
+  for (int shards : {1, 4}) {
+    KernelFixture fx(shards, IndexBackendKind::kSorted, /*score_col=*/true);
+    const std::string tag = "score shards=" + std::to_string(shards);
+    CheckAllParity(&fx, tag + " static");
+    DeleteEveryFifth(&fx);
+    if (::testing::Test::HasFatalFailure()) return;
+    CheckAllParity(&fx, tag + " +deletes");
+  }
+}
+
+// The knob default: unset ML4DB_BATCH_ROWS means 1024-row batches (the
+// value is latched on first use, so this also pins process-wide
+// stability of the knob).
+TEST(BatchRowsTest, DefaultAndStability) {
+  const size_t first = vec::BatchRows();
+  EXPECT_GE(first, 1u);
+  EXPECT_EQ(vec::BatchRows(), first);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ml4db
